@@ -1,0 +1,135 @@
+// E16 — guard ablations: disable each PRED-scheduler mechanism in turn and
+// measure what breaks on a conflict- and failure-heavy workload:
+//  * lemma1    — deferred commit of non-compensatables (Lemma 1)
+//  * crossing  — future-aware crossing prevention
+//  * compgate  — Lemma 2 compensation gate + cascading aborts
+//  * preorder  — §3.5 completion pre-ordering (virtual edges)
+// Reported: PRED violation of the emitted history, store-consistency,
+// inconsistent (irrecoverable) cascades, throughput.
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "common/str_util.h"
+#include "core/pred.h"
+#include "core/scheduler.h"
+#include "workload/process_generator.h"
+
+using namespace tpm;
+
+namespace {
+
+struct AblationCase {
+  const char* name;
+  PredAblation ablation;
+};
+
+struct Row {
+  int64_t steps = 0;
+  int64_t commits = 0;
+  int64_t aborts = 0;
+  int64_t irrecoverable = 0;
+  int64_t forced = 0;
+  bool consistent = false;
+  bool pred = false;
+  bool run_ok = false;
+};
+
+Row RunCase(const PredAblation& ablation, uint64_t seed) {
+  SyntheticUniverse universe(3, 4);
+  for (const auto& item : universe.items()) {
+    for (KvSubsystem* subsystem : universe.subsystems()) {
+      if (subsystem->id() == item.subsystem) {
+        subsystem->SetFailureProbability(item.add, 0.12);
+      }
+    }
+  }
+  ProcessShape shape;
+  shape.items_per_process = 3;
+  shape.nested_probability = 0.4;
+  ProcessGenerator generator(&universe, shape, seed);
+  generator.RestrictItems(0, 6);
+
+  SchedulerOptions options;
+  options.protocol = AdmissionProtocol::kPred;
+  options.ablation = ablation;
+  TransactionalProcessScheduler scheduler(options);
+  (void)universe.RegisterAll(&scheduler);
+  for (int i = 0; i < 16; ++i) {
+    auto def = generator.Generate(StrCat("a", i));
+    if (def.ok()) (void)scheduler.Submit(*def);
+  }
+  Row row;
+  Status run = scheduler.Run();
+  row.run_ok = run.ok();
+  row.steps = scheduler.stats().steps;
+  row.commits = scheduler.stats().processes_committed;
+  row.aborts = scheduler.stats().processes_aborted;
+  row.irrecoverable = scheduler.stats().irrecoverable_cascades;
+  row.forced = scheduler.stats().forced_executions;
+  row.consistent =
+      universe.TotalValue() == scheduler.stats().activities_committed -
+                                   scheduler.stats().compensations;
+  auto pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  row.pred = pred.ok() && *pred;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PredAblation all_on;
+  PredAblation no_lemma1 = all_on;
+  no_lemma1.lemma1_deferral = false;
+  PredAblation no_crossing = all_on;
+  no_crossing.crossing_prevention = false;
+  PredAblation no_compgate = all_on;
+  no_compgate.compensation_gate = false;
+  PredAblation no_preorder = all_on;
+  no_preorder.completion_preorder = false;
+  PredAblation none;
+  none.lemma1_deferral = false;
+  none.crossing_prevention = false;
+  none.compensation_gate = false;
+  none.completion_preorder = false;
+
+  const AblationCase cases[] = {
+      {"full", all_on},          {"-lemma1", no_lemma1},
+      {"-crossing", no_crossing}, {"-compgate", no_compgate},
+      {"-preorder", no_preorder}, {"-all", none},
+  };
+
+  std::cout << "E16 | PRED scheduler guard ablations "
+               "(16 processes, 12% failures, hot pool of 6)\n";
+  std::cout << "  variant     runs  steps  commits  aborts  PRED-ok  "
+               "consistent  irrecov  forced\n";
+  constexpr int kSeeds = 5;
+  for (const AblationCase& c : cases) {
+    int64_t steps = 0, commits = 0, aborts = 0, irrecoverable = 0, forced = 0;
+    int pred_ok = 0, consistent = 0, run_ok = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Row row = RunCase(c.ablation, 100 + s);
+      steps += row.steps;
+      commits += row.commits;
+      aborts += row.aborts;
+      irrecoverable += row.irrecoverable;
+      forced += row.forced;
+      pred_ok += row.pred;
+      consistent += row.consistent;
+      run_ok += row.run_ok;
+    }
+    std::cout << "  " << std::left << std::setw(11) << c.name << std::right
+              << std::setw(5) << run_ok << "/" << kSeeds << std::setw(6)
+              << steps / kSeeds << std::setw(9) << commits << std::setw(8)
+              << aborts << std::setw(7) << pred_ok << "/" << kSeeds
+              << std::setw(9) << consistent << "/" << kSeeds << std::setw(9)
+              << irrecoverable << std::setw(8) << forced << "\n";
+  }
+  std::cout <<
+      "\n  expected: only the full guard set keeps every run PRED;\n"
+      "  dropping lemma1 or the compensation gate reproduces the\n"
+      "  irrecoverable anomalies; dropping crossing prevention trades\n"
+      "  correctness-preserving deferrals for abort storms.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E1 — Figure 1 / §2: the CIM scenario. Reproduces the paper's claims:
+//   * classical concurrency control alone admits the irrecoverable
+//     interleaving (production pivot before the construction test), while
+//   * the PRED scheduler defers the production activity until the
+//     construction process commits, keeping every failure recoverable.
+// Also reports the concurrency each protocol achieves.
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/baseline_schedulers.h"
+#include "core/pred.h"
+#include "workload/cim_workload.h"
+
+using namespace tpm;
+
+namespace {
+
+struct Row {
+  const char* protocol;
+  bool test_fails;
+  int64_t steps = 0;
+  int64_t deferrals = 0;
+  bool consistent = false;
+  bool pred = false;
+  int64_t irrecoverable = 0;
+  int64_t parts = 0;
+  int64_t bom = 0;
+};
+
+Row Run(const char* name,
+        std::unique_ptr<TransactionalProcessScheduler> scheduler,
+        bool test_fails) {
+  CimWorld world;
+  if (test_fails) world.ScheduleTestFailure();
+  (void)world.RegisterAll(scheduler.get());
+  (void)scheduler->Submit(world.construction());
+  for (int i = 0; i < 3; ++i) (void)scheduler->Step();
+  (void)scheduler->Submit(world.production());
+  Status run = scheduler->Run();
+  Row row;
+  row.protocol = name;
+  row.test_fails = test_fails;
+  if (!run.ok()) {
+    std::cerr << "run error: " << run << "\n";
+    return row;
+  }
+  row.steps = scheduler->stats().steps;
+  row.deferrals = scheduler->stats().deferrals;
+  row.consistent = world.Consistent();
+  auto pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  row.pred = pred.ok() && *pred;
+  row.irrecoverable = scheduler->stats().irrecoverable_cascades;
+  row.parts = world.parts_produced();
+  row.bom = world.bom_entries();
+  return row;
+}
+
+void Print(const Row& r) {
+  std::cout << "  " << std::left << std::setw(8) << r.protocol << std::right
+            << std::setw(6) << (r.test_fails ? "fail" : "ok") << std::setw(7)
+            << r.steps << std::setw(10) << r.deferrals << std::setw(6)
+            << r.bom << std::setw(7) << r.parts << std::setw(12)
+            << (r.consistent ? "yes" : "NO") << std::setw(6)
+            << (r.pred ? "yes" : "no") << std::setw(14) << r.irrecoverable
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E1 | Figure 1 / §2.2 — CIM construction || production\n";
+  std::cout << "  proto    test  steps  deferral   bom  parts  consistent"
+               "  PRED  irrecoverable\n";
+  Print(Run("pred", MakePredScheduler(), false));
+  Print(Run("pred", MakePredScheduler(), true));
+  Print(Run("pred2pc", MakePredScheduler(DeferMode::kPrepared2PC), false));
+  Print(Run("pred2pc", MakePredScheduler(DeferMode::kPrepared2PC), true));
+  Print(Run("unsafe", MakeUnsafeScheduler(), false));
+  Print(Run("unsafe", MakeUnsafeScheduler(), true));
+  Print(Run("2pl", MakeLockingScheduler(), false));
+  Print(Run("2pl", MakeLockingScheduler(), true));
+  Print(Run("serial", MakeSerialScheduler(), false));
+  Print(Run("serial", MakeSerialScheduler(), true));
+
+  std::cout <<
+      "\n  paper claim: only a scheduler deferring the non-compensatable\n"
+      "  production activity behind the construction commit stays\n"
+      "  consistent when the test fails; classical CC (unsafe) builds\n"
+      "  parts for a product whose BOM was invalidated.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// E8 — Figure 9 / Example 10: the "quasi-commit" of non-compensatable
+// activities. Verifies the paper's schedule S* is correct while the
+// reversed interleaving is not, then measures how much concurrency the
+// quasi-commit optimization buys the online scheduler.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/figures.h"
+#include "core/flex_structure.h"
+#include "core/pred.h"
+#include "core/scheduler.h"
+#include "subsystem/kv_subsystem.h"
+
+using namespace tpm;
+
+namespace {
+
+// Workload: `pairs` couples of processes. In each couple, process A starts
+// with a pivot on the shared key (entering F-REC immediately — its earlier
+// activities become quasi-committed) followed by private retriables;
+// process B touches the shared key compensatably, then needs its own pivot.
+// Without the Example 10 rule, B's pivot waits for A's commit.
+struct QuasiWorkload {
+  explicit QuasiWorkload(int pairs)
+      : subsystem(SubsystemId(1), "quasi") {
+    for (int i = 0; i < pairs; ++i) {
+      const std::string shared = StrCat("shared", i);
+      ServiceId shared_add(i * 100 + 1), shared_sub(i * 100 + 2);
+      ServiceId priv1(i * 100 + 3), priv2(i * 100 + 4), priv3(i * 100 + 5);
+      ServiceId bpiv(i * 100 + 6), bret(i * 100 + 7);
+      (void)subsystem.RegisterService(
+          MakeAddService(shared_add, StrCat("add/", shared), shared));
+      (void)subsystem.RegisterService(
+          MakeSubService(shared_sub, StrCat("sub/", shared), shared));
+      (void)subsystem.RegisterService(
+          MakeAddService(priv1, StrCat("a_r1/", i), StrCat("a_r1_", i)));
+      (void)subsystem.RegisterService(
+          MakeAddService(priv2, StrCat("a_r2/", i), StrCat("a_r2_", i)));
+      (void)subsystem.RegisterService(
+          MakeAddService(priv3, StrCat("a_r3/", i), StrCat("a_r3_", i)));
+      (void)subsystem.RegisterService(
+          MakeAddService(bpiv, StrCat("b_p/", i), StrCat("b_p_", i)));
+      (void)subsystem.RegisterService(
+          MakeAddService(bret, StrCat("b_r/", i), StrCat("b_r_", i)));
+
+      auto a = std::make_unique<ProcessDef>(StrCat("A", i));
+      ActivityId ap = a->AddActivity("p", ActivityKind::kPivot, shared_add);
+      ActivityId r1 = a->AddActivity("r1", ActivityKind::kRetriable, priv1);
+      ActivityId r2 = a->AddActivity("r2", ActivityKind::kRetriable, priv2);
+      ActivityId r3 = a->AddActivity("r3", ActivityKind::kRetriable, priv3);
+      (void)a->AddEdge(ap, r1);
+      (void)a->AddEdge(r1, r2);
+      (void)a->AddEdge(r2, r3);
+      (void)a->Validate();
+      defs.push_back(std::move(a));
+
+      auto b = std::make_unique<ProcessDef>(StrCat("B", i));
+      ActivityId bc = b->AddActivity("c", ActivityKind::kCompensatable,
+                                     shared_add, shared_sub);
+      ActivityId bp = b->AddActivity("p", ActivityKind::kPivot, bpiv);
+      ActivityId br = b->AddActivity("r", ActivityKind::kRetriable, bret);
+      (void)b->AddEdge(bc, bp);
+      (void)b->AddEdge(bp, br);
+      (void)b->Validate();
+      defs.push_back(std::move(b));
+    }
+  }
+
+  void Register(TransactionalProcessScheduler* scheduler) {
+    (void)scheduler->RegisterSubsystem(&subsystem);
+  }
+  void SubmitAll(TransactionalProcessScheduler* scheduler) {
+    for (const auto& def : defs) (void)scheduler->Submit(def.get());
+  }
+
+  KvSubsystem subsystem;
+  std::vector<std::unique_ptr<ProcessDef>> defs;
+};
+
+}  // namespace
+
+int main() {
+  figures::PaperWorld world;
+  std::cout << "E8 | Figure 9 — quasi-commit of non-compensatable "
+               "activities\n\n";
+  {
+    ProcessSchedule s = figures::MakeScheduleStar(world);
+    auto pred = IsPRED(s, world.spec);
+    std::cout << "  S*       = " << s.ToString() << "\n"
+              << "    paper: correct (P1 in F-REC, a11^-1 unavailable)\n"
+              << "    measured PRED: " << (pred.ok() && *pred ? "yes" : "NO")
+              << "\n";
+  }
+  {
+    ProcessSchedule s = figures::MakeScheduleStarReversed(world);
+    auto pred = IsPRED(s, world.spec);
+    std::cout << "  reversed = " << s.ToString() << "\n"
+              << "    expected: incorrect (P3 must compensate a31 after P1 "
+                 "used it)\n"
+              << "    measured PRED: " << (pred.ok() && *pred ? "YES" : "no")
+              << "\n\n";
+  }
+
+  std::cout << "  online scheduler with/without the quasi-commit "
+               "optimization:\n";
+  for (int pairs : {1, 2, 4, 8}) {
+    auto measure = [&](bool quasi) {
+      QuasiWorkload workload(pairs);
+      SchedulerOptions options;
+      options.protocol = AdmissionProtocol::kPred;
+      options.quasi_commit_optimization = quasi;
+      TransactionalProcessScheduler scheduler(options);
+      workload.Register(&scheduler);
+      workload.SubmitAll(&scheduler);
+      (void)scheduler.Run();
+      return scheduler.stats();
+    };
+    SchedulerStats off = measure(false);
+    SchedulerStats on = measure(true);
+    std::cout << "    pairs=" << pairs << "  steps: " << off.steps << " -> "
+              << on.steps << "  deferrals: " << off.deferrals << " -> "
+              << on.deferrals << "\n";
+  }
+  std::cout << "\n  the optimization admits conflicting activities once the\n"
+               "  blocker is forward-recoverable with a non-conflicting\n"
+               "  remainder (Example 10), cutting deferrals.\n";
+  return 0;
+}

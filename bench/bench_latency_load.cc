@@ -1,0 +1,97 @@
+// E18 — open-loop behaviour: processes arrive over (virtual) time at rate
+// lambda; latency percentiles vs offered load for the PRED scheduler and
+// the serial baseline. The classic saturation curve: flat latency until
+// the knee, then queueing blow-up — with PRED's knee far to the right of
+// serial's.
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/scheduler.h"
+#include "workload/process_generator.h"
+
+using namespace tpm;
+
+namespace {
+
+struct LoadReport {
+  int64_t arrived = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t makespan = 0;
+};
+
+LoadReport RunOpenLoop(AdmissionProtocol protocol, double lambda,
+                       uint64_t seed) {
+  SyntheticUniverse universe(3, 8);
+  ProcessShape shape;
+  shape.items_per_process = 2;
+  ProcessGenerator generator(&universe, shape, seed);
+  SchedulerOptions options;
+  options.protocol = protocol;
+  TransactionalProcessScheduler scheduler(options);
+  (void)universe.RegisterAll(&scheduler);
+
+  Rng rng(seed * 31 + 7);
+  LoadReport report;
+  constexpr int kHorizon = 400;  // arrival window in ticks
+  for (int tick = 0; tick < kHorizon; ++tick) {
+    if (rng.NextBool(lambda)) {
+      auto def = generator.Generate(StrCat("l", tick));
+      if (def.ok() && scheduler.Submit(*def).ok()) ++report.arrived;
+    }
+    auto step = scheduler.Step();
+    if (!step.ok()) {
+      std::cerr << "step failed: " << step.status() << "\n";
+      return report;
+    }
+  }
+  // Drain.
+  (void)scheduler.Run();
+  report.committed = scheduler.stats().processes_committed;
+  report.aborted = scheduler.stats().processes_aborted;
+  report.makespan = scheduler.stats().virtual_time;
+  std::vector<int64_t> latencies;
+  for (const auto& latency : scheduler.latencies()) {
+    latencies.push_back(latency.terminated - latency.submitted);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    report.p50 = latencies[latencies.size() / 2];
+    report.p95 = latencies[latencies.size() * 95 / 100];
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E18 | open-loop latency vs offered load "
+               "(Bernoulli arrivals over 400 ticks)\n";
+  std::cout << "  lambda  protocol  arrived  committed  aborted   p50   "
+               "p95  makespan\n";
+  for (double lambda : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    for (AdmissionProtocol protocol :
+         {AdmissionProtocol::kPred, AdmissionProtocol::kSerial}) {
+      LoadReport r = RunOpenLoop(protocol, lambda, 2026);
+      std::cout << "  " << std::fixed << std::setprecision(2) << std::setw(6)
+                << lambda << "  " << std::left << std::setw(8)
+                << (protocol == AdmissionProtocol::kPred ? "pred" : "serial")
+                << std::right << std::setw(9) << r.arrived << std::setw(11)
+                << r.committed << std::setw(9) << r.aborted << std::setw(6)
+                << r.p50 << std::setw(6) << r.p95 << std::setw(10)
+                << r.makespan << "\n";
+    }
+  }
+  std::cout <<
+      "\n  expected shape: both protocols sit at low flat latency under\n"
+      "  light load; as lambda grows, serial saturates first (queueing\n"
+      "  latency explodes and the drain tail lengthens) while pred keeps\n"
+      "  the knee further right by overlapping independent processes.\n";
+  return 0;
+}

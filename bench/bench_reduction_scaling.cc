@@ -1,0 +1,110 @@
+// E14 — reduction machinery scaling: the polynomial RED decision procedure
+// vs the exhaustive rewrite oracle, and full PRED analysis cost, as
+// schedule size grows.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "core/pred.h"
+#include "core/reduction.h"
+#include "workload/schedule_generator.h"
+
+using namespace tpm;
+
+namespace {
+
+GeneratedSchedule MakeWorkload(int num_processes, double density,
+                               uint64_t seed) {
+  Rng rng(seed);
+  RandomScheduleConfig config;
+  config.num_processes = num_processes;
+  config.conflict_density = density;
+  config.stop_probability = 0.0;
+  auto generated = GenerateRandomSchedule(config, &rng);
+  // Generation of valid configs cannot fail.
+  return std::move(generated).value();
+}
+
+void PrintComparison() {
+  std::cout << "E14 | reduction decision procedures\n";
+  std::cout << "  polynomial checker vs exhaustive rewriter (same "
+               "verdicts, test-validated):\n";
+  for (int n : {2, 3}) {
+    GeneratedSchedule w = MakeWorkload(n, 0.3, 17 + n);
+    auto completed = CompleteSchedule(w.schedule);
+    if (!completed.ok()) continue;
+    std::set<ProcessId> committed;
+    for (const auto& [pid, def] : w.schedule.processes()) {
+      if (w.schedule.IsProcessCommitted(pid)) committed.insert(pid);
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    ReductionOutcome poly =
+        ReduceCompletedSchedule(*completed, w.spec, committed);
+    auto poly_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+    t0 = std::chrono::steady_clock::now();
+    auto oracle = IsReducibleExhaustive(*completed, w.spec, committed,
+                                        /*max_tokens=*/12,
+                                        /*max_states=*/2'000'000);
+    auto oracle_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    std::cout << "    processes=" << n << " events="
+              << completed->size() << "  poly=" << poly_us << "us ("
+              << (poly.reducible ? "RED" : "not RED") << ")  oracle=";
+    if (oracle.ok()) {
+      std::cout << oracle_us << "us (" << (*oracle ? "RED" : "not RED")
+                << ")";
+    } else {
+      std::cout << "skipped (" << oracle.status().message() << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+void BM_PolynomialRed(benchmark::State& state) {
+  GeneratedSchedule w =
+      MakeWorkload(static_cast<int>(state.range(0)), 0.1, 5);
+  for (auto _ : state) {
+    auto outcome = AnalyzeRED(w.schedule, w.spec);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetComplexityN(static_cast<int64_t>(w.schedule.size()));
+}
+BENCHMARK(BM_PolynomialRed)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+void BM_FullPredAnalysis(benchmark::State& state) {
+  GeneratedSchedule w =
+      MakeWorkload(static_cast<int>(state.range(0)), 0.1, 5);
+  for (auto _ : state) {
+    auto outcome = AnalyzePRED(w.schedule, w.spec);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetComplexityN(static_cast<int64_t>(w.schedule.size()));
+}
+BENCHMARK(BM_FullPredAnalysis)->Arg(2)->Arg(4)->Arg(8)->Complexity();
+
+void BM_CompleteSchedule(benchmark::State& state) {
+  GeneratedSchedule w =
+      MakeWorkload(static_cast<int>(state.range(0)), 0.1, 5);
+  for (auto _ : state) {
+    auto completed = CompleteSchedule(w.schedule);
+    benchmark::DoNotOptimize(completed);
+  }
+}
+BENCHMARK(BM_CompleteSchedule)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,279 @@
+// E12 — online scheduler performance (the WISE-style scheduler of §4):
+// throughput (processes and activities per scheduling pass), abort rate
+// and deferral pressure as functions of the conflict rate, for the PRED
+// scheduler (both defer modes, +/- quasi-commit) vs serial, strict 2PL and
+// the unsafe baseline. Also wall-clock microbenchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "common/str_util.h"
+#include "core/baseline_schedulers.h"
+#include "workload/process_generator.h"
+
+using namespace tpm;
+
+namespace {
+
+struct Config {
+  const char* name;
+  AdmissionProtocol protocol;
+  DeferMode defer = DeferMode::kDelayExecution;
+  bool quasi = false;
+};
+
+constexpr int kProcesses = 24;
+
+SchedulerStats RunWorkload(const Config& config, int pool_size,
+                           double failure_rate, uint64_t seed) {
+  SyntheticUniverse universe(3, 6);
+  for (const auto& item : universe.items()) {
+    for (KvSubsystem* subsystem : universe.subsystems()) {
+      if (subsystem->id() == item.subsystem) {
+        subsystem->SetFailureProbability(item.add, failure_rate);
+      }
+    }
+  }
+  ProcessShape shape;
+  shape.items_per_process = 3;  // fixed per-process footprint
+  shape.nested_probability = 0.3;
+  ProcessGenerator generator(&universe, shape, seed);
+  // Contention knob: the smaller the item pool all processes draw from,
+  // the more their footprints overlap.
+  generator.RestrictItems(0, static_cast<size_t>(pool_size));
+  SchedulerOptions options;
+  options.protocol = config.protocol;
+  options.defer_mode = config.defer;
+  options.quasi_commit_optimization = config.quasi;
+  TransactionalProcessScheduler scheduler(options);
+  (void)universe.RegisterAll(&scheduler);
+  // Aborted processes are resubmitted for a few rounds — measuring the
+  // cost of optimistic aborts against the blocking protocols.
+  std::map<ProcessId, const ProcessDef*> in_flight;
+  for (int i = 0; i < kProcesses; ++i) {
+    auto def = generator.Generate(StrCat("p", i));
+    if (!def.ok()) continue;
+    auto pid = scheduler.Submit(*def);
+    if (pid.ok()) in_flight[*pid] = *def;
+  }
+  for (int round = 0; round < 6 && !in_flight.empty(); ++round) {
+    Status run = scheduler.Run();
+    if (!run.ok()) {
+      std::cerr << config.name << ": " << run << "\n";
+      break;
+    }
+    std::map<ProcessId, const ProcessDef*> next;
+    for (const auto& [pid, def] : in_flight) {
+      if (scheduler.OutcomeOf(pid) != ProcessOutcome::kAborted) continue;
+      if (round == 5) continue;
+      auto retry = scheduler.Submit(def);
+      if (retry.ok()) next[*retry] = def;
+    }
+    in_flight = std::move(next);
+  }
+  return scheduler.stats();
+}
+
+void PrintSweep() {
+  const Config configs[] = {
+      {"pred", AdmissionProtocol::kPred},
+      {"pred+2pc", AdmissionProtocol::kPred, DeferMode::kPrepared2PC},
+      {"pred+qc", AdmissionProtocol::kPred, DeferMode::kDelayExecution, true},
+      {"2pl", AdmissionProtocol::kTwoPhaseLocking},
+      {"serial", AdmissionProtocol::kSerial},
+      {"unsafe", AdmissionProtocol::kUnsafe},
+  };
+  std::cout << "E12 | scheduler throughput vs contention ("
+            << kProcesses << " processes, 5% failures)\n";
+  for (int hot : {18, 9, 5, 3}) {
+    std::cout << "\n  contention: item pool = " << hot
+              << (hot == 18 ? " (low)" : hot == 3 ? " (extreme)" : "")
+              << "\n";
+    std::cout << "  protocol     steps  act/step  commits  aborts  "
+                 "deferrals  victims\n";
+    for (const Config& config : configs) {
+      SchedulerStats stats = RunWorkload(config, hot, 0.05, 1234);
+      const double act_per_step =
+          stats.steps == 0
+              ? 0
+              : static_cast<double>(stats.activities_committed) / stats.steps;
+      std::cout << "  " << std::left << std::setw(11) << config.name
+                << std::right << std::setw(7) << stats.steps << std::setw(10)
+                << std::fixed << std::setprecision(2) << act_per_step
+                << std::setw(9) << stats.processes_committed << std::setw(8)
+                << stats.processes_aborted << std::setw(11) << stats.deferrals
+                << std::setw(9) << stats.deadlock_victims << "\n";
+    }
+  }
+  std::cout <<
+      "\n  expected shape: pred > 2pl > serial in activities per pass;\n"
+      "  unsafe is fastest but unsound under failures (see E1);\n"
+      "  quasi-commit and 2PC-deferral reduce deferral stalls.\n\n";
+}
+
+// Makespan under a virtual-time cost model: every service takes 4 ticks.
+// Failure-free, moderate contention — concurrency shows up directly as
+// makespan (the serial baseline approaches the sum of durations).
+void PrintMakespan() {
+  std::cout << "E12b | makespan with a cost model (12 processes, every "
+               "service = 4 ticks)\n";
+  std::cout << "  protocol    makespan  commits\n";
+  const Config configs[] = {
+      {"pred", AdmissionProtocol::kPred},
+      {"pred+2pc", AdmissionProtocol::kPred, DeferMode::kPrepared2PC},
+      {"2pl", AdmissionProtocol::kTwoPhaseLocking},
+      {"serial", AdmissionProtocol::kSerial},
+  };
+  for (const Config& config : configs) {
+    SyntheticUniverse universe(3, 6);
+    ProcessShape shape;
+    shape.items_per_process = 3;
+    ProcessGenerator generator(&universe, shape, 99);
+    generator.RestrictItems(0, 12);
+    SchedulerOptions options;
+    options.protocol = config.protocol;
+    options.defer_mode = config.defer;
+    for (const auto& item : universe.items()) {
+      options.service_durations[item.add] = 4;
+      options.service_durations[item.sub] = 4;
+    }
+    TransactionalProcessScheduler scheduler(options);
+    (void)universe.RegisterAll(&scheduler);
+    std::map<ProcessId, const ProcessDef*> in_flight;
+    for (int i = 0; i < 12; ++i) {
+      auto def = generator.Generate(StrCat("m", i));
+      if (!def.ok()) continue;
+      auto pid = scheduler.Submit(*def);
+      if (pid.ok()) in_flight[*pid] = *def;
+    }
+    bool failed = false;
+    for (int round = 0; round < 6 && !in_flight.empty(); ++round) {
+      Status run = scheduler.Run();
+      if (!run.ok()) {
+        std::cerr << config.name << ": " << run << "\n";
+        failed = true;
+        break;
+      }
+      std::map<ProcessId, const ProcessDef*> next;
+      for (const auto& [pid, def] : in_flight) {
+        if (scheduler.OutcomeOf(pid) != ProcessOutcome::kAborted) continue;
+        if (round == 5) continue;
+        auto retry = scheduler.Submit(def);
+        if (retry.ok()) next[*retry] = def;
+      }
+      in_flight = std::move(next);
+    }
+    if (failed) continue;
+    std::cout << "  " << std::left << std::setw(10) << config.name
+              << std::right << std::setw(10)
+              << scheduler.stats().virtual_time << std::setw(9)
+              << scheduler.stats().processes_committed << "\n";
+  }
+  std::cout << "\n  expected shape: pred makespan ~ critical path; serial\n"
+               "  makespan ~ sum of all activity durations.\n\n";
+}
+
+// Congestion control under extreme contention: sweep the concurrency
+// limit. Low levels behave like serial (few aborts, long queue); unlimited
+// thrashes; the sweet spot sits in between.
+void PrintThrottle() {
+  std::cout << "E12c | admission throttling at extreme contention "
+               "(24 processes, pool of 3)\n";
+  std::cout << "  limit      steps  commits  aborts  victims\n";
+  for (int limit : {1, 2, 4, 8, 0}) {
+    SyntheticUniverse universe(3, 6);
+    for (const auto& item : universe.items()) {
+      for (KvSubsystem* subsystem : universe.subsystems()) {
+        if (subsystem->id() == item.subsystem) {
+          subsystem->SetFailureProbability(item.add, 0.05);
+        }
+      }
+    }
+    ProcessShape shape;
+    shape.items_per_process = 3;
+    ProcessGenerator generator(&universe, shape, 1234);
+    generator.RestrictItems(0, 3);
+    SchedulerOptions options;
+    options.protocol = AdmissionProtocol::kPred;
+    options.max_concurrent_processes = limit;
+    TransactionalProcessScheduler scheduler(options);
+    (void)universe.RegisterAll(&scheduler);
+    std::map<ProcessId, const ProcessDef*> in_flight;
+    for (int i = 0; i < kProcesses; ++i) {
+      auto def = generator.Generate(StrCat("c", i));
+      if (!def.ok()) continue;
+      auto pid = scheduler.Submit(*def);
+      if (pid.ok()) in_flight[*pid] = *def;
+    }
+    bool failed = false;
+    for (int round = 0; round < 6 && !in_flight.empty(); ++round) {
+      Status run = scheduler.Run();
+      if (!run.ok()) {
+        std::cerr << "limit " << limit << ": " << run << "\n";
+        failed = true;
+        break;
+      }
+      std::map<ProcessId, const ProcessDef*> next;
+      for (const auto& [pid, def] : in_flight) {
+        if (scheduler.OutcomeOf(pid) != ProcessOutcome::kAborted) continue;
+        if (round == 5) continue;
+        auto retry = scheduler.Submit(def);
+        if (retry.ok()) next[*retry] = def;
+      }
+      in_flight = std::move(next);
+    }
+    if (failed) continue;
+    std::cout << "  " << std::left << std::setw(9)
+              << (limit == 0 ? std::string("unlim") : std::to_string(limit))
+              << std::right << std::setw(7) << scheduler.stats().steps
+              << std::setw(9) << scheduler.stats().processes_committed
+              << std::setw(8) << scheduler.stats().processes_aborted
+              << std::setw(9) << scheduler.stats().deadlock_victims << "\n";
+  }
+  std::cout << "\n  expected shape: throughput degrades monotonically with\n"
+               "  the admission level at near-total conflict — the optimum\n"
+               "  degenerates to limit 1 (serial), quantifying how hostile\n"
+               "  this regime is to optimistic scheduling; at moderate\n"
+               "  contention (E12) concurrency wins instead.\n\n";
+}
+
+void BM_PredSchedulerLowContention(benchmark::State& state) {
+  for (auto _ : state) {
+    SchedulerStats stats =
+        RunWorkload({"pred", AdmissionProtocol::kPred}, 18, 0.0, 7);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_PredSchedulerLowContention)->Unit(benchmark::kMillisecond);
+
+void BM_PredSchedulerHighContention(benchmark::State& state) {
+  for (auto _ : state) {
+    SchedulerStats stats =
+        RunWorkload({"pred", AdmissionProtocol::kPred}, 3, 0.0, 7);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_PredSchedulerHighContention)->Unit(benchmark::kMillisecond);
+
+void BM_SerialScheduler(benchmark::State& state) {
+  for (auto _ : state) {
+    SchedulerStats stats =
+        RunWorkload({"serial", AdmissionProtocol::kSerial}, 3, 0.0, 7);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_SerialScheduler)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSweep();
+  PrintMakespan();
+  PrintThrottle();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

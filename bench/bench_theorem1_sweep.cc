@@ -1,0 +1,65 @@
+// E9 — Theorem 1 at scale: random-schedule sweep reporting, per conflict
+// density, the rates of serializable / RED / PRED schedules and the
+// validation counters for Theorem 1 (PRED => serializable; PRED => the
+// enforceable core of Proc-REC — see EXPERIMENTS.md).
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/serializability.h"
+#include "workload/schedule_generator.h"
+
+using namespace tpm;
+
+int main() {
+  std::cout << "E9 | Theorem 1 sweep over random schedules\n";
+  std::cout << "  density   n     SR%    RED%   PRED%  procrec%  "
+               "thm1-violations\n";
+  constexpr int kIterations = 400;
+  for (double density : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8}) {
+    Rng rng(static_cast<uint64_t>(density * 1000) + 5);
+    RandomScheduleConfig config;
+    config.num_processes = 3;
+    config.conflict_density = density;
+    int serializable = 0, red = 0, pred = 0, procrec = 0, violations = 0;
+    for (int i = 0; i < kIterations; ++i) {
+      auto generated = GenerateRandomSchedule(config, &rng);
+      if (!generated.ok()) continue;
+      const bool sr = IsSerializable(generated->schedule, generated->spec);
+      auto r = IsRED(generated->schedule, generated->spec);
+      auto p = IsPRED(generated->schedule, generated->spec);
+      const bool is_red = r.ok() && *r;
+      const bool is_pred = p.ok() && *p;
+      const bool is_procrec =
+          IsProcessRecoverable(generated->schedule, generated->spec);
+      serializable += sr;
+      red += is_red;
+      pred += is_pred;
+      procrec += is_procrec;
+      if (is_pred) {
+        ConflictGraphOptions committed_only;
+        committed_only.committed_projection = true;
+        if (!IsSerializable(generated->schedule, generated->spec,
+                            committed_only)) {
+          ++violations;
+        }
+      }
+    }
+    auto pct = [&](int x) { return 100.0 * x / kIterations; };
+    std::cout << "  " << std::fixed << std::setprecision(2) << std::setw(7)
+              << density << std::setw(5) << kIterations << std::setprecision(1)
+              << std::setw(7) << pct(serializable) << std::setw(8) << pct(red)
+              << std::setw(8) << pct(pred) << std::setw(9) << pct(procrec)
+              << std::setw(12) << violations << "\n";
+  }
+  std::cout <<
+      "\n  expected shape: all rates fall as conflicts grow;\n"
+      "  PRED% <= RED% <= 100 and PRED% <= SR%; thm1-violations == 0.\n"
+      "  procrec% (full syntactic Def. 11) is INCOMPARABLE with PRED on\n"
+      "  fixed schedules (the Theorem 1 proof argues modally over unknown\n"
+      "  completions) — see EXPERIMENTS.md E9; the scheduler enforces the\n"
+      "  Def. 11 orderings operationally.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E11 — §3.6: strong vs weak ordering of conflicting activities within a
+// subsystem. Reports makespan for chains and meshes of conflicting local
+// transactions, and the cost of retriable re-invocation cascades under the
+// weak order.
+
+#include <iomanip>
+#include <iostream>
+
+#include "subsystem/weak_order.h"
+
+using namespace tpm;
+
+namespace {
+
+void Table(const char* title, const std::vector<WeakTxSpec>& txs,
+           const std::vector<OrderConstraint>& constraints) {
+  auto strong = SimulateWeakOrder(txs, constraints, OrderMode::kStrong);
+  auto weak = SimulateWeakOrder(txs, constraints, OrderMode::kWeak);
+  if (!strong.ok() || !weak.ok()) return;
+  const double speedup =
+      weak->makespan == 0
+          ? 0.0
+          : static_cast<double>(strong->makespan) / weak->makespan;
+  std::cout << "  " << std::left << std::setw(34) << title << std::right
+            << std::setw(8) << strong->makespan << std::setw(8)
+            << weak->makespan << std::setw(9) << std::fixed
+            << std::setprecision(2) << speedup << std::setw(10)
+            << weak->cascade_restarts << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E11 | §3.6 — strong vs weak order within a subsystem\n";
+  std::cout << "  workload                            strong    weak"
+               "  speedup  cascades\n";
+
+  // Chains of conflicting transactions of equal length.
+  for (int n : {2, 4, 8, 16}) {
+    std::vector<WeakTxSpec> txs(n, WeakTxSpec{100, 0, 0});
+    std::vector<OrderConstraint> constraints;
+    for (int i = 0; i + 1 < n; ++i) {
+      constraints.push_back(
+          {static_cast<size_t>(i), static_cast<size_t>(i + 1)});
+    }
+    Table(("chain n=" + std::to_string(n)).c_str(), txs, constraints);
+  }
+
+  // Fan: one predecessor, many dependents.
+  for (int n : {4, 16}) {
+    std::vector<WeakTxSpec> txs(n + 1, WeakTxSpec{100, 0, 0});
+    std::vector<OrderConstraint> constraints;
+    for (int i = 1; i <= n; ++i) {
+      constraints.push_back({0, static_cast<size_t>(i)});
+    }
+    Table(("fan 1->" + std::to_string(n)).c_str(), txs, constraints);
+  }
+
+  // Retriable predecessor aborting k times: weak order pays cascades.
+  for (int aborts : {0, 1, 2, 4}) {
+    std::vector<WeakTxSpec> txs = {
+        WeakTxSpec{100, aborts, 50},  // predecessor aborts mid-run
+        WeakTxSpec{100, 0, 0},        // dependent restarts with it
+        WeakTxSpec{100, 0, 0},
+    };
+    std::vector<OrderConstraint> constraints = {{0, 1}, {1, 2}};
+    Table(("chain3, predecessor aborts " + std::to_string(aborts) + "x")
+              .c_str(),
+          txs, constraints);
+  }
+
+  std::cout <<
+      "\n  expected shape: weak order turns chain makespan from n*d into\n"
+      "  ~d (commit-order serializability does the sequencing); cascades\n"
+      "  erode but do not eliminate the gain (§3.6 re-invocation rule).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The §2 / Figure 1 CIM scenario end to end: concurrent construction and
+// production processes over eight subsystems, compared across scheduler
+// protocols and failure cases.
+//
+//   ./build/examples/cim_scenario
+
+#include <iostream>
+#include <memory>
+
+#include "core/baseline_schedulers.h"
+#include "core/pred.h"
+#include "workload/cim_workload.h"
+
+using namespace tpm;
+
+namespace {
+
+void RunCase(const char* title,
+             std::unique_ptr<TransactionalProcessScheduler> scheduler,
+             bool test_fails) {
+  CimWorld world;
+  if (test_fails) world.ScheduleTestFailure();
+  (void)world.RegisterAll(scheduler.get());
+
+  auto construction = scheduler->Submit(world.construction());
+  // The production process starts once the BOM exists (its Figure 1 input
+  // dependency): advance three steps (design, approve, pdm_entry).
+  for (int i = 0; i < 3; ++i) (void)scheduler->Step();
+  auto production = scheduler->Submit(world.production());
+  Status run = scheduler->Run();
+
+  auto outcome_name = [&](Result<ProcessId>& pid) {
+    if (!pid.ok()) return "submit-failed";
+    switch (scheduler->OutcomeOf(*pid)) {
+      case ProcessOutcome::kCommitted:
+        return "committed";
+      case ProcessOutcome::kAborted:
+        return "aborted";
+      default:
+        return "active";
+    }
+  };
+
+  auto pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  std::cout << "--- " << title << (test_fails ? " (test fails)" : "")
+            << " ---\n"
+            << "  run: " << run << "\n"
+            << "  construction: " << outcome_name(construction)
+            << ", production: " << outcome_name(production) << "\n"
+            << "  BOM entries: " << world.bom_entries()
+            << ", parts produced: " << world.parts_produced()
+            << ", techdocs: " << world.techdocs()
+            << ", reuse docs: " << world.reuse_docs() << "\n"
+            << "  state consistent: " << (world.Consistent() ? "YES" : "NO")
+            << ", history PRED: " << (pred.ok() && *pred ? "YES" : "NO")
+            << "\n"
+            << "  deferrals: " << scheduler->stats().deferrals
+            << ", cascading aborts: " << scheduler->stats().cascading_aborts
+            << ", irrecoverable: "
+            << scheduler->stats().irrecoverable_cascades << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== CIM scenario (paper §2, Figure 1) ==\n\n";
+  std::cout << "Construction: design << approve << {pdm_entry << prototype\n"
+               "  << calibrate << test << techdoc | alternative: reuse_doc}\n"
+               "Production:   read_bom << order << schedule << produce^pivot\n"
+               "  << update_db   (produce has no inverse!)\n\n";
+
+  RunCase("PRED scheduler", MakePredScheduler(), /*test_fails=*/false);
+  RunCase("PRED scheduler", MakePredScheduler(), /*test_fails=*/true);
+  RunCase("Unsafe (classical CC only)", MakeUnsafeScheduler(),
+          /*test_fails=*/true);
+  RunCase("Strict 2PL", MakeLockingScheduler(), /*test_fails=*/true);
+  RunCase("Serial", MakeSerialScheduler(), /*test_fails=*/true);
+
+  std::cout
+      << "Takeaway: the unsafe scheduler produces parts for a product whose\n"
+         "BOM was invalidated (the §2.2 inconsistency); the PRED scheduler\n"
+         "defers the production pivot until the construction process\n"
+         "commits, so the failure cascades cleanly instead.\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Order fulfillment at scale: a stream of concurrent order processes over
+// shared inventory, comparing the PRED scheduler against the serial and
+// strict-2PL baselines, with crash recovery in the middle of the run.
+//
+//   ./build/examples/order_fulfillment
+
+#include <iomanip>
+#include <iostream>
+
+#include "common/str_util.h"
+#include "core/baseline_schedulers.h"
+#include "core/pred.h"
+#include "workload/process_generator.h"
+
+using namespace tpm;
+
+namespace {
+
+struct Report {
+  int64_t steps = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t retries = 0;
+  int64_t deferrals = 0;
+  bool consistent = false;
+  bool pred = false;
+};
+
+// Runs `num_orders` order processes; aborted orders are resubmitted (what
+// a workflow engine does), up to a few rounds.
+Report RunFleet(AdmissionProtocol protocol, int num_orders, int hot_items,
+                double failure_rate) {
+  SyntheticUniverse universe(/*num_subsystems=*/3, /*keys_per_subsystem=*/4);
+  for (const auto& item : universe.items()) {
+    for (KvSubsystem* subsystem : universe.subsystems()) {
+      if (subsystem->id() == item.subsystem) {
+        subsystem->SetFailureProbability(item.add, failure_rate);
+      }
+    }
+  }
+  ProcessShape shape;
+  shape.items_per_process = hot_items;
+  shape.nested_probability = 0.35;
+  ProcessGenerator generator(&universe, shape, /*seed=*/4711);
+
+  SchedulerOptions options;
+  options.protocol = protocol;
+  TransactionalProcessScheduler scheduler(options);
+  (void)universe.RegisterAll(&scheduler);
+
+  Report report;
+  std::map<ProcessId, const ProcessDef*> in_flight;
+  for (int i = 0; i < num_orders; ++i) {
+    auto def = generator.Generate(StrCat("order", i));
+    if (!def.ok()) continue;
+    auto pid = scheduler.Submit(*def);
+    if (pid.ok()) in_flight[*pid] = *def;
+  }
+  for (int round = 0; round < 6 && !in_flight.empty(); ++round) {
+    Status run = scheduler.Run();
+    if (!run.ok()) {
+      std::cerr << "run failed: " << run << "\n";
+      return report;
+    }
+    std::map<ProcessId, const ProcessDef*> next;
+    for (const auto& [pid, def] : in_flight) {
+      if (scheduler.OutcomeOf(pid) != ProcessOutcome::kAborted) continue;
+      if (round == 5) continue;  // give up
+      auto retry = scheduler.Submit(def);
+      if (retry.ok()) {
+        next[*retry] = def;
+        ++report.retries;
+      }
+    }
+    in_flight = std::move(next);
+  }
+  report.steps = scheduler.stats().steps;
+  report.committed = scheduler.stats().processes_committed;
+  report.aborted = scheduler.stats().processes_aborted;
+  report.deferrals = scheduler.stats().deferrals;
+  report.consistent =
+      universe.TotalValue() == scheduler.stats().activities_committed -
+                                   scheduler.stats().compensations;
+  auto pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  report.pred = pred.ok() && *pred;
+  return report;
+}
+
+void PrintRow(const char* name, const Report& r) {
+  std::cout << "  " << std::left << std::setw(10) << name << std::right
+            << std::setw(7) << r.steps << std::setw(11) << r.committed
+            << std::setw(9) << r.aborted << std::setw(9) << r.retries
+            << std::setw(11) << r.deferrals << std::setw(13)
+            << (r.consistent ? "yes" : "NO") << std::setw(7)
+            << (r.pred ? "yes" : "NO") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== order fulfillment fleet ==\n\n";
+  std::cout << "20 order processes over shared inventory (12 items), 10%\n"
+               "transient failure rate; aborted orders are resubmitted.\n"
+               "items/order controls contention.\n";
+
+  for (int items_per_order : {1, 2, 3}) {
+    std::cout << "\n-- " << items_per_order << " item(s) per order --\n";
+    std::cout << "  protocol    steps  committed  aborted  retries"
+                 "  deferrals  consistent   PRED\n";
+    PrintRow("pred",
+             RunFleet(AdmissionProtocol::kPred, 20, items_per_order, 0.10));
+    PrintRow("2pl", RunFleet(AdmissionProtocol::kTwoPhaseLocking, 20,
+                             items_per_order, 0.10));
+    PrintRow("serial",
+             RunFleet(AdmissionProtocol::kSerial, 20, items_per_order, 0.10));
+  }
+  std::cout <<
+      "\nNote: the 2PL baseline serializes executed conflicts but is blind\n"
+      "to conflicts introduced by completions (forward recovery paths), so\n"
+      "its histories are not generally PRED — the §3.5 argument for why\n"
+      "criteria that only look at S cannot work.\n";
+
+  // Crash in the middle of a fleet, then recover.
+  std::cout << "\n-- crash/recovery drill --\n";
+  SyntheticUniverse universe(2, 4);
+  ProcessShape shape;
+  shape.items_per_process = 2;
+  ProcessGenerator generator(&universe, shape, 99);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  (void)universe.RegisterAll(&scheduler);
+  std::map<std::string, const ProcessDef*> defs;
+  for (int i = 0; i < 6; ++i) {
+    auto def = generator.Generate(StrCat("c", i));
+    if (!def.ok()) continue;
+    defs[(*def)->name()] = *def;
+    (void)scheduler.Submit(*def);
+  }
+  for (int i = 0; i < 4; ++i) (void)scheduler.Step();
+  std::cout << "  crash after 4 scheduling passes ("
+            << scheduler.stats().activities_committed
+            << " activities committed)...\n";
+  scheduler.Crash();
+  Status recovered = scheduler.Recover(defs);
+  std::cout << "  recovery: " << recovered << "\n"
+            << "  compensations during recovery: "
+            << scheduler.stats().compensations << "\n"
+            << "  store total after recovery: " << universe.TotalValue()
+            << " (0 = every in-flight process rolled back or completed "
+               "forward cleanly)\n";
+  return 0;
+}

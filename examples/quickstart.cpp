@@ -1,0 +1,109 @@
+// Quickstart: define a transactional process, run it on a simulated
+// subsystem, inspect the emitted schedule, and see failure handling by
+// alternative execution paths.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/flex_structure.h"
+#include "core/pred.h"
+#include "core/scheduler.h"
+#include "subsystem/kv_subsystem.h"
+
+using namespace tpm;
+
+int main() {
+  std::cout << "== tpm quickstart ==\n\n";
+
+  // 1. A transactional subsystem offering a few services. Conflicts are
+  //    derived automatically from read/write sets.
+  KvSubsystem store(SubsystemId(1), "shop");
+  (void)store.RegisterService(
+      MakeAddService(ServiceId(1), "reserve_item", "stock"));
+  (void)store.RegisterService(
+      MakeSubService(ServiceId(2), "release_item", "stock"));
+  (void)store.RegisterService(
+      MakeAddService(ServiceId(3), "charge_card", "charges"));
+  (void)store.RegisterService(
+      MakeAddService(ServiceId(4), "ship", "shipments"));
+  (void)store.RegisterService(
+      MakeAddService(ServiceId(5), "notify", "notifications"));
+
+  // 2. A process with guaranteed termination (well-formed flex structure):
+  //    reserve (compensatable) << charge (pivot) << ship, notify
+  //    (retriable).
+  ProcessDef order("order");
+  ActivityId reserve = order.AddActivity(
+      "reserve", ActivityKind::kCompensatable, ServiceId(1), ServiceId(2));
+  ActivityId charge =
+      order.AddActivity("charge", ActivityKind::kPivot, ServiceId(3));
+  ActivityId ship =
+      order.AddActivity("ship", ActivityKind::kRetriable, ServiceId(4));
+  ActivityId notify =
+      order.AddActivity("notify", ActivityKind::kRetriable, ServiceId(5));
+  (void)order.AddEdge(reserve, charge);
+  (void)order.AddEdge(charge, ship);
+  (void)order.AddEdge(ship, notify);
+  Status valid = order.Validate();
+  if (!valid.ok()) {
+    std::cerr << "process invalid: " << valid << "\n";
+    return 1;
+  }
+  valid = ValidateWellFormedFlex(order);
+  std::cout << "process definition:\n" << order.ToString() << "\n"
+            << "well-formed flex structure: "
+            << (valid.ok() ? "yes (guaranteed termination)" : valid.ToString())
+            << "\n\n";
+
+  // 3. Run it through the transactional process scheduler.
+  TransactionalProcessScheduler scheduler;
+  (void)scheduler.RegisterSubsystem(&store);
+  auto pid = scheduler.Submit(&order);
+  if (!pid.ok()) {
+    std::cerr << "submit failed: " << pid.status() << "\n";
+    return 1;
+  }
+  Status run = scheduler.Run();
+  std::cout << "run 1 (no failures): " << run << "\n"
+            << "  emitted schedule: " << scheduler.history().ToString()
+            << "\n"
+            << "  stock=" << store.store().Get("stock")
+            << " charges=" << store.store().Get("charges")
+            << " shipments=" << store.store().Get("shipments") << "\n\n";
+
+  // 4. Now make the pivot fail: the scheduler performs backward recovery —
+  //    the reservation is compensated and the store is untouched.
+  store.ScheduleFailures(ServiceId(3), 1);
+  auto pid2 = scheduler.Submit(&order);
+  run = scheduler.Run();
+  std::cout << "run 2 (charge fails): " << run << "\n"
+            << "  outcome: "
+            << (scheduler.OutcomeOf(*pid2) == ProcessOutcome::kAborted
+                    ? "aborted (backward recovery)"
+                    : "committed")
+            << "\n"
+            << "  stock=" << store.store().Get("stock")
+            << " (reservation compensated)\n\n";
+
+  // 5. Retriable activities survive transient failures (Def. 3).
+  store.ScheduleFailures(ServiceId(4), 2);  // ship aborts twice
+  auto pid3 = scheduler.Submit(&order);
+  run = scheduler.Run();
+  std::cout << "run 3 (ship fails twice, then succeeds): " << run << "\n"
+            << "  outcome: "
+            << (scheduler.OutcomeOf(*pid3) == ProcessOutcome::kCommitted
+                    ? "committed"
+                    : "aborted")
+            << ", failed invocations so far: "
+            << scheduler.stats().failed_invocations << "\n\n";
+
+  // 6. The emitted history satisfies the paper's PRED criterion.
+  auto pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  std::cout << "history is prefix-reducible (PRED): "
+            << (pred.ok() && *pred ? "yes" : "NO") << "\n";
+  return 0;
+}

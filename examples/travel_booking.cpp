@@ -1,0 +1,138 @@
+// Travel booking — the classic flexible-transaction scenario (and the
+// e-commerce setting of the WISE project the paper's conclusion mentions):
+// book flight and hotel (compensatable), pay (pivot), then issue tickets
+// and confirmations (retriable); with a cheaper alternative itinerary if
+// the preferred one falls through, and a legacy fax gateway wrapped by a
+// transactional coordination agent (§2.3).
+//
+//   ./build/examples/travel_booking
+
+#include <iostream>
+
+#include "agent/coordination_agent.h"
+#include "core/flex_structure.h"
+#include "core/scheduler.h"
+#include "subsystem/kv_subsystem.h"
+
+using namespace tpm;
+
+int main() {
+  std::cout << "== travel booking over flex processes ==\n\n";
+
+  // Subsystems: airline, hotel chain, payment provider...
+  KvSubsystem airline(SubsystemId(1), "airline");
+  KvSubsystem hotel(SubsystemId(2), "hotel");
+  KvSubsystem payments(SubsystemId(3), "payments");
+  (void)airline.RegisterService(
+      MakeAddService(ServiceId(11), "book_direct_flight", "direct_seats"));
+  (void)airline.RegisterService(
+      MakeSubService(ServiceId(12), "cancel_direct_flight", "direct_seats"));
+  (void)airline.RegisterService(
+      MakeAddService(ServiceId(13), "book_connecting", "connecting_seats"));
+  (void)airline.RegisterService(
+      MakeSubService(ServiceId(14), "cancel_connecting", "connecting_seats"));
+  (void)hotel.RegisterService(
+      MakeAddService(ServiceId(21), "book_room", "rooms"));
+  (void)hotel.RegisterService(
+      MakeSubService(ServiceId(22), "cancel_room", "rooms"));
+  (void)payments.RegisterService(
+      MakeAddService(ServiceId(31), "charge", "charges"));
+  (void)payments.RegisterService(
+      MakeAddService(ServiceId(32), "authorize", "authorizations"));
+
+  // ... and a legacy fax-based tour operator that is NOT transactional:
+  // the coordination agent wraps it (§2.3), adding atomicity and 2PC.
+  NonTransactionalApp fax_machine;
+  CoordinationAgent tour_operator(SubsystemId(4), "tour-operator",
+                                  &fax_machine);
+  {
+    CoordinationAgent::AgentService confirm;
+    confirm.id = ServiceId(41);
+    confirm.name = "fax_confirmation";
+    confirm.resource = "fax-line";
+    confirm.make_op = [](const ServiceRequest& r) {
+      return "CONFIRM booking for customer " + std::to_string(r.param);
+    };
+    (void)tour_operator.RegisterAgentService(confirm);
+  }
+
+  // The trip process:
+  //   book_room^c << {book_direct^c << charge_premium... } with the
+  //   connecting itinerary as alternative, then pay (pivot) and fax the
+  //   confirmation (retriable).
+  ProcessDef trip("trip");
+  ActivityId room = trip.AddActivity("book_room", ActivityKind::kCompensatable,
+                                     ServiceId(21), ServiceId(22));
+  ActivityId gate = trip.AddActivity("authorize_payment",
+                                     ActivityKind::kPivot, ServiceId(32));
+  ActivityId direct = trip.AddActivity(
+      "book_direct", ActivityKind::kCompensatable, ServiceId(11),
+      ServiceId(12));
+  ActivityId pay_direct =
+      trip.AddActivity("pay_direct", ActivityKind::kPivot, ServiceId(31));
+  ActivityId fax_direct = trip.AddActivity(
+      "fax_confirmation", ActivityKind::kRetriable, ServiceId(41));
+  ActivityId connecting = trip.AddActivity(
+      "book_connecting", ActivityKind::kRetriable, ServiceId(13));
+  ActivityId fax_fallback = trip.AddActivity(
+      "fax_fallback", ActivityKind::kRetriable, ServiceId(41));
+  (void)trip.AddEdge(room, gate);
+  (void)trip.AddEdge(gate, direct, /*preference=*/0);
+  (void)trip.AddEdge(direct, pay_direct);
+  (void)trip.AddEdge(pay_direct, fax_direct);
+  (void)trip.AddEdge(gate, connecting, /*preference=*/1);
+  (void)trip.AddEdge(connecting, fax_fallback);
+  if (!trip.Validate().ok() || !ValidateWellFormedFlex(trip).ok()) {
+    std::cerr << "trip process malformed\n";
+    return 1;
+  }
+
+  std::cout << "valid executions of the trip process:\n";
+  auto executions = EnumerateValidExecutions(trip);
+  if (executions.ok()) {
+    for (const auto& exec : *executions) {
+      std::cout << "  " << exec.ToString() << "\n";
+    }
+  }
+  std::cout << "\n";
+
+  TransactionalProcessScheduler scheduler;
+  (void)scheduler.RegisterSubsystem(&airline);
+  (void)scheduler.RegisterSubsystem(&hotel);
+  (void)scheduler.RegisterSubsystem(&payments);
+  (void)scheduler.RegisterSubsystem(&tour_operator);
+
+  // Trip 1: everything works — the direct itinerary is taken.
+  auto t1 = scheduler.Submit(&trip, /*param=*/1001);
+  (void)scheduler.Run();
+  std::cout << "trip 1: direct seats=" << airline.store().Get("direct_seats")
+            << " connecting=" << airline.store().Get("connecting_seats")
+            << " rooms=" << hotel.store().Get("rooms")
+            << " faxes=" << fax_machine.size() << "\n";
+
+  // Trip 2: paying for the direct itinerary fails -> the direct booking is
+  // compensated and the connecting itinerary (all retriable) is taken.
+  payments.ScheduleFailures(ServiceId(31), 1);  // fails pay_direct
+  auto t2 = scheduler.Submit(&trip, /*param=*/1002);
+  (void)scheduler.Run();
+  std::cout << "trip 2 (payment for direct fails):\n"
+            << "  direct seats=" << airline.store().Get("direct_seats")
+            << " (compensated back)\n"
+            << "  connecting seats="
+            << airline.store().Get("connecting_seats")
+            << " (alternative taken)\n"
+            << "  rooms=" << hotel.store().Get("rooms")
+            << ", faxes sent=" << fax_machine.size() << "\n";
+  for (const auto& line : fax_machine.journal()) {
+    std::cout << "    fax: " << line << "\n";
+  }
+
+  std::cout << "\nscheduler stats: alternatives="
+            << scheduler.stats().alternatives_taken
+            << " compensations=" << scheduler.stats().compensations
+            << " failed invocations=" << scheduler.stats().failed_invocations
+            << "\n";
+  (void)t1;
+  (void)t2;
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "agent/coordination_agent.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+CoordinationAgent::CoordinationAgent(SubsystemId id, std::string name,
+                                     NonTransactionalApp* app)
+    : id_(id), name_(std::move(name)), app_(app) {}
+
+Status CoordinationAgent::RegisterAgentService(AgentService service) {
+  if (service.make_op == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("agent service ", service.name, " lacks an operation"));
+  }
+  // Mirror the agent service into a ServiceRegistry entry so that conflict
+  // derivation (per resource) works exactly as for KV subsystems.
+  ServiceDef mirror;
+  mirror.id = service.id;
+  mirror.name = service.name;
+  mirror.read_set = {service.resource};
+  mirror.write_set = {service.resource};
+  mirror.body = [](KvStore*, const ServiceRequest&, int64_t* ret) {
+    *ret = 0;
+    return Status::OK();
+  };
+  TPM_RETURN_IF_ERROR(registry_.Register(std::move(mirror)));
+  ServiceId sid = service.id;
+  agent_services_.emplace(sid, std::move(service));
+  return Status::OK();
+}
+
+Result<InvocationOutcome> CoordinationAgent::Invoke(
+    ServiceId service, const ServiceRequest& request) {
+  auto it = agent_services_.find(service);
+  if (it == agent_services_.end()) {
+    return Status::NotFound(StrCat("unknown agent service ", service));
+  }
+  if (WouldBlock(service)) {
+    return Status::Unavailable(
+        StrCat("resource ", it->second.resource, " locked"));
+  }
+  app_->Apply(it->second.make_op(request));
+  return InvocationOutcome{static_cast<int64_t>(app_->size())};
+}
+
+Result<PreparedHandle> CoordinationAgent::InvokePrepared(
+    ServiceId service, const ServiceRequest& request) {
+  auto it = agent_services_.find(service);
+  if (it == agent_services_.end()) {
+    return Status::NotFound(StrCat("unknown agent service ", service));
+  }
+  if (WouldBlock(service)) {
+    return Status::Unavailable(
+        StrCat("resource ", it->second.resource, " locked"));
+  }
+  TxId tx(next_tx_++);
+  prepared_[tx] = Prepared{it->second.make_op(request), it->second.resource};
+  ++locked_resources_[it->second.resource];
+  return PreparedHandle{tx, static_cast<int64_t>(app_->size())};
+}
+
+Status CoordinationAgent::CommitPrepared(TxId tx) {
+  auto it = prepared_.find(tx);
+  if (it == prepared_.end()) {
+    return Status::NotFound(StrCat("unknown prepared transaction ", tx));
+  }
+  app_->Apply(it->second.buffered_op);
+  if (--locked_resources_[it->second.resource] == 0) {
+    locked_resources_.erase(it->second.resource);
+  }
+  prepared_.erase(it);
+  return Status::OK();
+}
+
+Status CoordinationAgent::AbortPrepared(TxId tx) {
+  auto it = prepared_.find(tx);
+  if (it == prepared_.end()) {
+    return Status::NotFound(StrCat("unknown prepared transaction ", tx));
+  }
+  if (--locked_resources_[it->second.resource] == 0) {
+    locked_resources_.erase(it->second.resource);
+  }
+  prepared_.erase(it);
+  return Status::OK();
+}
+
+Status CoordinationAgent::AbortAllPrepared() {
+  prepared_.clear();
+  locked_resources_.clear();
+  return Status::OK();
+}
+
+bool CoordinationAgent::WouldBlock(ServiceId service) const {
+  auto it = agent_services_.find(service);
+  if (it == agent_services_.end()) return false;
+  return locked_resources_.count(it->second.resource) > 0;
+}
+
+}  // namespace tpm

@@ -1,0 +1,96 @@
+#ifndef TPM_AGENT_COORDINATION_AGENT_H_
+#define TPM_AGENT_COORDINATION_AGENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+
+/// A non-transactional application: arbitrary operations over a mutable
+/// string journal, with no atomicity, no isolation, and no undo of its own.
+/// Stands in for the legacy applications of the CIM scenario (§2).
+class NonTransactionalApp {
+ public:
+  /// Applies an operation; the app offers no way to undo it.
+  void Apply(const std::string& op) { journal_.push_back(op); }
+
+  const std::vector<std::string>& journal() const { return journal_; }
+  size_t size() const { return journal_.size(); }
+
+  /// Used only by the agent's undo implementation.
+  void Truncate(size_t size) {
+    if (size < journal_.size()) journal_.resize(size);
+  }
+
+ private:
+  std::vector<std::string> journal_;
+};
+
+/// Transactional coordination agent (§2.3): wraps a non-transactional
+/// application so it can participate as a transactional subsystem —
+/// providing atomic service invocations, compensation, and the prepared
+/// state of a two-phase commit protocol.
+///
+/// Atomicity is implemented by deferred application: a prepared invocation
+/// buffers the operation inside the agent and locks the touched application
+/// resource; only CommitPrepared forwards the operation to the app, and
+/// AbortPrepared simply discards the buffer — the app never sees
+/// uncommitted effects. Compensation is expressed as ordinary (forward)
+/// agent services that semantically undo earlier ones. This works because
+/// the agent is the application's only client and serializes access per
+/// resource.
+class CoordinationAgent : public Subsystem {
+ public:
+  /// An operation the agent can execute against the wrapped app.
+  struct AgentService {
+    ServiceId id;
+    std::string name;
+    /// Produces the journal entry (the "effect") for a request.
+    std::function<std::string(const ServiceRequest&)> make_op;
+    /// Services that touch the same application resource conflict.
+    std::string resource;
+  };
+
+  CoordinationAgent(SubsystemId id, std::string name, NonTransactionalApp* app);
+
+  SubsystemId id() const override { return id_; }
+  const std::string& name() const override { return name_; }
+  const ServiceRegistry& services() const override { return registry_; }
+
+  Status RegisterAgentService(AgentService service);
+
+  Result<InvocationOutcome> Invoke(ServiceId service,
+                                   const ServiceRequest& request) override;
+  Result<PreparedHandle> InvokePrepared(ServiceId service,
+                                        const ServiceRequest& request) override;
+  Status CommitPrepared(TxId tx) override;
+  Status AbortPrepared(TxId tx) override;
+  bool WouldBlock(ServiceId service) const override;
+  Status AbortAllPrepared() override;
+
+ private:
+  struct Prepared {
+    std::string buffered_op;  // applied to the app only on commit
+    std::string resource;
+  };
+
+  SubsystemId id_;
+  std::string name_;
+  NonTransactionalApp* app_;
+  ServiceRegistry registry_;  // mirrors agent services for conflict derivation
+  std::map<ServiceId, AgentService> agent_services_;
+  std::map<TxId, Prepared> prepared_;  // insertion-ordered by TxId
+  std::map<std::string, int> locked_resources_;
+  int64_t next_tx_ = 1;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_AGENT_COORDINATION_AGENT_H_

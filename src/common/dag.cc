@@ -1,0 +1,195 @@
+#include "common/dag.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace tpm {
+
+Dag::Dag(int num_nodes) : adj_(num_nodes), radj_(num_nodes) {}
+
+void Dag::AddEdge(int from, int to) {
+  if (HasEdge(from, to)) return;
+  adj_[from].push_back(to);
+  radj_[to].push_back(from);
+  ++num_edges_;
+}
+
+bool Dag::HasEdge(int from, int to) const {
+  const auto& succ = adj_[from];
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+namespace {
+
+enum class Color : uint8_t { kWhite, kGray, kBlack };
+
+// Iterative DFS that records a back edge (cycle witness) if one exists.
+bool DfsFindCycle(const std::vector<std::vector<int>>& adj,
+                  std::vector<int>* cycle_out) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<int> parent(n, -1);
+
+  for (int root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack of (node, next-successor-index).
+    std::vector<std::pair<int, size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx < adj[node].size()) {
+        int next = adj[node][idx++];
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          parent[next] = node;
+          stack.emplace_back(next, 0);
+        } else if (color[next] == Color::kGray) {
+          if (cycle_out != nullptr) {
+            // Reconstruct the cycle next -> ... -> node -> next.
+            std::vector<int> cycle;
+            cycle.push_back(next);
+            for (int v = node; v != next && v != -1; v = parent[v]) {
+              cycle.push_back(v);
+            }
+            cycle.push_back(next);
+            std::reverse(cycle.begin(), cycle.end());
+            *cycle_out = std::move(cycle);
+          }
+          return true;
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Dag::HasCycle() const { return DfsFindCycle(adj_, nullptr); }
+
+std::vector<int> Dag::FindCycle() const {
+  std::vector<int> cycle;
+  DfsFindCycle(adj_, &cycle);
+  return cycle;
+}
+
+Result<std::vector<int>> Dag::TopologicalOrder() const {
+  const int n = num_nodes();
+  std::vector<int> indegree(n, 0);
+  for (int v = 0; v < n; ++v) {
+    indegree[v] = static_cast<int>(radj_[v].size());
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    int v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (int w : adj_[v]) {
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument("graph contains a cycle");
+  }
+  return order;
+}
+
+bool Dag::Reachable(int from, int to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<int> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int w : adj_[v]) {
+      if (w == to) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<bool>> Dag::TransitiveClosure() const {
+  const int n = num_nodes();
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  for (int start = 0; start < n; ++start) {
+    std::vector<int> stack = {start};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int w : adj_[v]) {
+        if (!closure[start][w]) {
+          closure[start][w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+Result<std::vector<std::pair<int, int>>> Dag::TransitiveReduction() const {
+  if (HasCycle()) {
+    return Status::InvalidArgument(
+        "transitive reduction requires an acyclic graph");
+  }
+  auto closure = TransitiveClosure();
+  std::vector<std::pair<int, int>> reduced;
+  for (int u = 0; u < num_nodes(); ++u) {
+    for (int v : adj_[u]) {
+      // Edge u->v is redundant if some other successor w of u reaches v.
+      bool redundant = false;
+      for (int w : adj_[u]) {
+        if (w != v && closure[w][v]) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) reduced.emplace_back(u, v);
+    }
+  }
+  return reduced;
+}
+
+uint64_t Dag::CountLinearExtensions(uint64_t cap) const {
+  const int n = num_nodes();
+  std::vector<int> indegree(n, 0);
+  for (int v = 0; v < n; ++v) {
+    indegree[v] = static_cast<int>(radj_[v].size());
+  }
+  uint64_t count = 0;
+  std::vector<bool> placed(n, false);
+  // Backtracking enumeration of linear extensions; fine for test-sized DAGs.
+  std::function<void(int)> recurse = [&](int depth) {
+    if (count >= cap) return;
+    if (depth == n) {
+      ++count;
+      return;
+    }
+    for (int v = 0; v < n && count < cap; ++v) {
+      if (placed[v] || indegree[v] != 0) continue;
+      placed[v] = true;
+      for (int w : adj_[v]) --indegree[w];
+      recurse(depth + 1);
+      for (int w : adj_[v]) ++indegree[w];
+      placed[v] = false;
+    }
+  };
+  recurse(0);
+  return count;
+}
+
+}  // namespace tpm

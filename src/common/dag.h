@@ -1,0 +1,62 @@
+#ifndef TPM_COMMON_DAG_H_
+#define TPM_COMMON_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpm {
+
+/// A small directed-graph toolkit used for the partial orders of the paper
+/// (the precedence order of a process, the conflict/serialization graph of a
+/// schedule). Nodes are dense integers [0, num_nodes).
+class Dag {
+ public:
+  explicit Dag(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds the edge from -> to. Duplicate edges are ignored.
+  void AddEdge(int from, int to);
+
+  bool HasEdge(int from, int to) const;
+
+  const std::vector<int>& Successors(int node) const { return adj_[node]; }
+  const std::vector<int>& Predecessors(int node) const { return radj_[node]; }
+
+  /// Returns true iff the graph contains a directed cycle.
+  bool HasCycle() const;
+
+  /// Returns one directed cycle (sequence of nodes, first == last) or an
+  /// empty vector if the graph is acyclic.
+  std::vector<int> FindCycle() const;
+
+  /// Returns a topological order of all nodes, or an error if cyclic.
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  /// Returns true iff `to` is reachable from `from` via directed edges.
+  bool Reachable(int from, int to) const;
+
+  /// Returns the transitive closure as an adjacency matrix:
+  /// result[i][j] == true iff j is reachable from i (i != j).
+  std::vector<std::vector<bool>> TransitiveClosure() const;
+
+  /// Returns the edges of the transitive reduction (requires acyclic graph).
+  Result<std::vector<std::pair<int, int>>> TransitiveReduction() const;
+
+  /// Counts the number of distinct topological orders (linear extensions).
+  /// Exponential in general; intended for small graphs in tests. `cap`
+  /// bounds the count to avoid blowups: counting stops at cap.
+  uint64_t CountLinearExtensions(uint64_t cap = 1'000'000) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<int>> radj_;
+  int num_edges_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_COMMON_DAG_H_

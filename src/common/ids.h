@@ -1,0 +1,74 @@
+#ifndef TPM_COMMON_IDS_H_
+#define TPM_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace tpm {
+
+/// Strongly typed integral identifier. `Tag` makes distinct id families
+/// (process ids, activity ids, ...) non-interchangeable at compile time.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(int64_t value) : value_(value) {}
+
+  constexpr int64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id a, Id b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Id a, Id b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(Id a, Id b) {
+    return a.value_ >= b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  int64_t value_ = -1;
+};
+
+struct ProcessIdTag {};
+struct ActivityIdTag {};
+struct ServiceIdTag {};
+struct SubsystemIdTag {};
+struct TxIdTag {};
+
+/// Identifies a process instance (P_i in the paper).
+using ProcessId = Id<ProcessIdTag>;
+/// Identifies an activity within one process definition (the j of a_{i_j}).
+using ActivityId = Id<ActivityIdTag>;
+/// Identifies a service offered by some subsystem; conflicts are declared at
+/// service granularity.
+using ServiceId = Id<ServiceIdTag>;
+/// Identifies a transactional subsystem.
+using SubsystemId = Id<SubsystemIdTag>;
+/// Identifies a local transaction inside a subsystem.
+using TxId = Id<TxIdTag>;
+
+}  // namespace tpm
+
+namespace std {
+template <typename Tag>
+struct hash<tpm::Id<Tag>> {
+  size_t operator()(tpm::Id<Tag> id) const noexcept {
+    return std::hash<int64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // TPM_COMMON_IDS_H_

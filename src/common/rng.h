@@ -1,0 +1,51 @@
+#ifndef TPM_COMMON_RNG_H_
+#define TPM_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpm {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). All
+/// randomized components (failure injection, workload generation, latency
+/// models) draw from an explicitly seeded Rng so experiments are exactly
+/// reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index for a container of `size`.
+  size_t NextIndex(size_t size) { return NextBounded(size); }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace tpm
+
+#endif  // TPM_COMMON_RNG_H_

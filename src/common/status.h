@@ -1,0 +1,180 @@
+#ifndef TPM_COMMON_STATUS_H_
+#define TPM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tpm {
+
+/// Error codes used across the library. Modeled after the Arrow/RocksDB
+/// convention: library boundaries never throw; fallible operations return a
+/// Status (or Result<T>) that the caller must inspect.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed a malformed argument (e.g., a cyclic precedence order).
+  kInvalidArgument,
+  /// Operation is structurally valid but not allowed in the current state
+  /// (e.g., invoking an activity whose predecessors have not committed).
+  kFailedPrecondition,
+  /// A referenced entity (process, activity, service, key) does not exist.
+  kNotFound,
+  /// An entity with the same identifier already exists.
+  kAlreadyExists,
+  /// A transaction or activity invocation terminated with abort.
+  kAborted,
+  /// The request was rejected by the scheduler because admitting it would
+  /// violate the PRED correctness criterion.
+  kRejected,
+  /// Internal invariant violation; indicates a bug in the library.
+  kInternal,
+  /// The component is (simulated) crashed or otherwise unavailable.
+  kUnavailable,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status carries either success (OK) or an error code plus message.
+///
+/// Cheap to copy in the OK case (no allocation); error statuses allocate the
+/// message string. Use the TPM_RETURN_IF_ERROR / TPM_ASSIGN_OR_RETURN macros
+/// to propagate errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result<T> holds either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts the program (assert), so
+/// callers must check ok() first or use TPM_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tpm
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define TPM_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::tpm::Status _tpm_status = (expr);             \
+    if (!_tpm_status.ok()) return _tpm_status;      \
+  } while (false)
+
+#define TPM_CONCAT_IMPL_(x, y) x##y
+#define TPM_CONCAT_(x, y) TPM_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define TPM_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto TPM_CONCAT_(_tpm_result_, __LINE__) = (rexpr);          \
+  if (!TPM_CONCAT_(_tpm_result_, __LINE__).ok())               \
+    return TPM_CONCAT_(_tpm_result_, __LINE__).status();       \
+  lhs = std::move(TPM_CONCAT_(_tpm_result_, __LINE__)).value()
+
+#endif  // TPM_COMMON_STATUS_H_

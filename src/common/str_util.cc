@@ -1,0 +1,20 @@
+#include "common/str_util.h"
+
+namespace tpm {
+
+std::vector<std::string> StrSplit(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace tpm

@@ -1,0 +1,36 @@
+#ifndef TPM_COMMON_STR_UTIL_H_
+#define TPM_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tpm {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  ((oss << args), ...);
+  return oss.str();
+}
+
+/// Joins the stream representations of `items` with `sep` between elements.
+template <typename Container>
+std::string StrJoin(const Container& items, const std::string& sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) oss << sep;
+    first = false;
+    oss << item;
+  }
+  return oss.str();
+}
+
+/// Splits `s` on the separator character, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+}  // namespace tpm
+
+#endif  // TPM_COMMON_STR_UTIL_H_

@@ -1,0 +1,32 @@
+#include "core/activity.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+const char* ActivityKindToString(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kCompensatable:
+      return "compensatable";
+    case ActivityKind::kPivot:
+      return "pivot";
+    case ActivityKind::kRetriable:
+      return "retriable";
+    case ActivityKind::kCompensatableRetriable:
+      return "compensatable-retriable";
+  }
+  return "unknown";
+}
+
+std::string ActivityInstanceToString(const ActivityInstance& inst) {
+  std::string s = StrCat("a", inst.process.value(), "_",
+                         inst.activity.value());
+  if (inst.inverse) s += "^-1";
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const ActivityInstance& inst) {
+  return os << ActivityInstanceToString(inst);
+}
+
+}  // namespace tpm

@@ -1,0 +1,87 @@
+#ifndef TPM_CORE_ACTIVITY_H_
+#define TPM_CORE_ACTIVITY_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/ids.h"
+
+namespace tpm {
+
+/// Termination guarantee of an activity (flex transaction model, §3.1).
+///
+/// * kCompensatable — a compensating activity a^-1 exists such that
+///   <a a^-1> is effect-free (Def. 2). The compensating activity itself is
+///   retriable and not compensatable.
+/// * kPivot — neither compensatable nor retriable: once committed its effect
+///   is permanent, and an invocation may fail for good (Def. 4).
+/// * kRetriable — guaranteed to terminate with commit after finitely many
+///   invocations (Def. 3). Retriable activities are not compensatable.
+/// * kCompensatableRetriable — the extension of the paper's footnote 2:
+///   guaranteed to commit like a retriable AND equipped with a compensating
+///   activity, "to give a scheduler more options for executing alternatives
+///   in case of failures". Not part of the strict flex model; opt-in.
+enum class ActivityKind {
+  kCompensatable,
+  kPivot,
+  kRetriable,
+  kCompensatableRetriable,
+};
+
+/// Returns "compensatable", "pivot", "retriable", or
+/// "compensatable-retriable".
+const char* ActivityKindToString(ActivityKind kind);
+
+/// True for pivot and (plain) retriable activities; these are the
+/// "state-determining" candidates of §3.1 — once one commits, the process
+/// can no longer be rolled back and enters F-REC. A
+/// compensatable-retriable activity IS compensatable, so it never
+/// determines state.
+inline bool IsNonCompensatable(ActivityKind kind) {
+  return kind == ActivityKind::kPivot || kind == ActivityKind::kRetriable;
+}
+
+/// True for activities with the Def. 3 guarantee (they never fail).
+inline bool IsRetriableKind(ActivityKind kind) {
+  return kind == ActivityKind::kRetriable ||
+         kind == ActivityKind::kCompensatableRetriable;
+}
+
+/// True for activities with a compensating activity (Def. 2).
+inline bool IsCompensatableKind(ActivityKind kind) {
+  return kind == ActivityKind::kCompensatable ||
+         kind == ActivityKind::kCompensatableRetriable;
+}
+
+/// One activity occurrence inside a schedule: the activity `activity` of
+/// process `process`, either the original activity or its compensating
+/// activity (a^-1) when `inverse` is true.
+struct ActivityInstance {
+  ProcessId process;
+  ActivityId activity;
+  bool inverse = false;
+
+  friend bool operator==(const ActivityInstance& a,
+                         const ActivityInstance& b) {
+    return a.process == b.process && a.activity == b.activity &&
+           a.inverse == b.inverse;
+  }
+  friend bool operator!=(const ActivityInstance& a,
+                         const ActivityInstance& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ActivityInstance& a, const ActivityInstance& b) {
+    if (a.process != b.process) return a.process < b.process;
+    if (a.activity != b.activity) return a.activity < b.activity;
+    return a.inverse < b.inverse;
+  }
+};
+
+/// Paper-style rendering, e.g. "a1_3" or "a1_3^-1".
+std::string ActivityInstanceToString(const ActivityInstance& inst);
+
+std::ostream& operator<<(std::ostream& os, const ActivityInstance& inst);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_ACTIVITY_H_

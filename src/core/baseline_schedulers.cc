@@ -1,0 +1,35 @@
+#include "core/baseline_schedulers.h"
+
+namespace tpm {
+
+std::unique_ptr<TransactionalProcessScheduler> MakePredScheduler(
+    DeferMode defer_mode, bool quasi_commit_optimization, RecoveryLog* log) {
+  SchedulerOptions options;
+  options.protocol = AdmissionProtocol::kPred;
+  options.defer_mode = defer_mode;
+  options.quasi_commit_optimization = quasi_commit_optimization;
+  return std::make_unique<TransactionalProcessScheduler>(options, log);
+}
+
+std::unique_ptr<TransactionalProcessScheduler> MakeSerialScheduler(
+    RecoveryLog* log) {
+  SchedulerOptions options;
+  options.protocol = AdmissionProtocol::kSerial;
+  return std::make_unique<TransactionalProcessScheduler>(options, log);
+}
+
+std::unique_ptr<TransactionalProcessScheduler> MakeLockingScheduler(
+    RecoveryLog* log) {
+  SchedulerOptions options;
+  options.protocol = AdmissionProtocol::kTwoPhaseLocking;
+  return std::make_unique<TransactionalProcessScheduler>(options, log);
+}
+
+std::unique_ptr<TransactionalProcessScheduler> MakeUnsafeScheduler(
+    RecoveryLog* log) {
+  SchedulerOptions options;
+  options.protocol = AdmissionProtocol::kUnsafe;
+  return std::make_unique<TransactionalProcessScheduler>(options, log);
+}
+
+}  // namespace tpm

@@ -1,0 +1,40 @@
+#ifndef TPM_CORE_BASELINE_SCHEDULERS_H_
+#define TPM_CORE_BASELINE_SCHEDULERS_H_
+
+#include <memory>
+
+#include "core/scheduler.h"
+
+namespace tpm {
+
+/// Convenience factories for the scheduler configurations compared in the
+/// experiments. All return a TransactionalProcessScheduler — the protocols
+/// differ only in their admission policy — so benchmark code can treat
+/// them uniformly.
+
+/// The paper's PRED scheduler (§3, Lemma 1 deferral; optionally with the
+/// 2PC deferred-commit realization and the quasi-commit optimization of
+/// Example 10).
+std::unique_ptr<TransactionalProcessScheduler> MakePredScheduler(
+    DeferMode defer_mode = DeferMode::kDelayExecution,
+    bool quasi_commit_optimization = false, RecoveryLog* log = nullptr);
+
+/// One process at a time. Maximal safety, zero inter-process parallelism.
+std::unique_ptr<TransactionalProcessScheduler> MakeSerialScheduler(
+    RecoveryLog* log = nullptr);
+
+/// Strict two-phase locking at service granularity: conflicting services
+/// are mutually exclusive until process commit. Correct but blind to the
+/// distinctions PRED exploits (compensatable overlap, quasi-commit).
+std::unique_ptr<TransactionalProcessScheduler> MakeLockingScheduler(
+    RecoveryLog* log = nullptr);
+
+/// Classical concurrency control without unified recovery: conflicts are
+/// ordered (serializability) but non-compensatable activities are never
+/// deferred — reproducing the irrecoverable executions of §2.2/Figure 1.
+std::unique_ptr<TransactionalProcessScheduler> MakeUnsafeScheduler(
+    RecoveryLog* log = nullptr);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_BASELINE_SCHEDULERS_H_

@@ -1,0 +1,108 @@
+#include "core/completed_schedule.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+#include "core/completion.h"
+
+namespace tpm {
+
+namespace {
+
+// Appends the merged completions of `pids` (computed against the current
+// state of `completed`) followed by the C_i events.
+Status ExpandAbort(const std::vector<ProcessId>& pids,
+                   ProcessSchedule* completed) {
+  // Position of the (latest effective) commit event of each original
+  // activity, used for the global reverse compensation order (Lemma 2).
+  std::map<ActivityInstance, size_t> commit_pos;
+  const auto& events = completed->events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == EventType::kActivity &&
+        !events[i].aborted_invocation && !events[i].act.inverse) {
+      commit_pos[events[i].act] = i;
+    }
+  }
+
+  struct BackwardStep {
+    ActivityInstance inst;  // the inverse instance to emit
+    size_t original_pos;    // position of the original activity in S
+  };
+  std::vector<BackwardStep> backward;
+  std::vector<ActivityInstance> forward;
+
+  for (ProcessId pid : pids) {
+    const ProcessExecutionState* state = completed->StateOf(pid);
+    if (state == nullptr) {
+      return Status::NotFound(StrCat("unknown process P", pid));
+    }
+    TPM_ASSIGN_OR_RETURN(Completion completion, ComputeCompletion(*state));
+    for (const CompletionStep& step : completion.steps) {
+      ActivityInstance inst{pid, step.activity, step.inverse};
+      if (step.inverse) {
+        ActivityInstance original{pid, step.activity, false};
+        auto it = commit_pos.find(original);
+        size_t pos = it == commit_pos.end() ? 0 : it->second;
+        backward.push_back({inst, pos});
+      } else {
+        forward.push_back(inst);
+      }
+    }
+  }
+
+  // Compensations in reverse order of the original activities (Lemma 2);
+  // stable sort keeps deterministic output when positions tie.
+  std::stable_sort(backward.begin(), backward.end(),
+                   [](const BackwardStep& a, const BackwardStep& b) {
+                     return a.original_pos > b.original_pos;
+                   });
+
+  for (const BackwardStep& step : backward) {
+    TPM_RETURN_IF_ERROR(
+        completed->Append(ScheduleEvent::Activity(step.inst)));
+  }
+  // All compensations precede all forward steps (Lemma 3). Forward steps
+  // keep per-process completion order; `pids` iteration order fixes the
+  // inter-process order required by Def. 8 3(d).
+  for (const ActivityInstance& inst : forward) {
+    TPM_RETURN_IF_ERROR(completed->Append(ScheduleEvent::Activity(inst)));
+  }
+  for (ProcessId pid : pids) {
+    TPM_RETURN_IF_ERROR(completed->Append(ScheduleEvent::Commit(pid)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ProcessSchedule> CompleteSchedule(const ProcessSchedule& schedule) {
+  ProcessSchedule completed;
+  for (const auto& [pid, def] : schedule.processes()) {
+    TPM_RETURN_IF_ERROR(completed.AddProcess(pid, def));
+  }
+
+  for (const ScheduleEvent& event : schedule.events()) {
+    switch (event.type) {
+      case EventType::kActivity:
+      case EventType::kCommit:
+        TPM_RETURN_IF_ERROR(completed.Append(event, /*enforce_legal=*/false));
+        break;
+      case EventType::kAbort:
+        TPM_RETURN_IF_ERROR(ExpandAbort({event.process}, &completed));
+        break;
+      case EventType::kGroupAbort:
+        TPM_RETURN_IF_ERROR(ExpandAbort(event.group, &completed));
+        break;
+    }
+  }
+
+  // Def. 8 2(b): all still-active processes are aborted jointly at the end.
+  std::vector<ProcessId> active = completed.ActiveProcesses();
+  if (!active.empty()) {
+    TPM_RETURN_IF_ERROR(ExpandAbort(active, &completed));
+  }
+  return completed;
+}
+
+}  // namespace tpm

@@ -1,0 +1,42 @@
+#ifndef TPM_CORE_COMPLETED_SCHEDULE_H_
+#define TPM_CORE_COMPLETED_SCHEDULE_H_
+
+#include "common/status.h"
+#include "core/schedule.h"
+
+namespace tpm {
+
+/// Builds the completed process schedule S̃ of S (Def. 8):
+///
+/// 1. All active processes are aborted jointly: a group abort
+///    A(P_{n_1},...,P_{n_s}) is appended at the end of S (Def. 8 2b).
+/// 2. Every abort activity A_i (individual or within a group abort) is
+///    replaced by the activities of the completion C(P_i) followed by C_i
+///    (Def. 8 2c: the abort is changed into a commit once the completion is
+///    executed).
+/// 3. The ordering constraints of Def. 8 3(a)-(f) are satisfied
+///    constructively:
+///    * original orders are preserved (3a) — completions are expanded in
+///      place;
+///    * intra-completion order is preserved (3b) and completions follow the
+///      process's original activities, preceding C_i (3c);
+///    * within a group abort, the completions are merged into one total
+///      order (satisfying 3d): all compensating steps first, globally in
+///      *reverse order of their original activities' schedule positions*
+///      (the only order admissible by Lemma 2), then all forward
+///      (retriable) steps — placing compensations before the retriable
+///      steps of other completions as required by Lemma 3;
+///    * completions are inserted at the abort's position in the sequence,
+///      so activities ordered after the abort in S follow the completion
+///      (3e) and completions of earlier aborts precede completions of later
+///      aborts (3f).
+///
+/// Unlike the expanded schedule of the traditional unified theory, S̃ may
+/// contain activities that never appeared in S (the forward recovery path
+/// of processes in F-REC), which is why correctness reasoning must always
+/// use S̃ (§3.5).
+Result<ProcessSchedule> CompleteSchedule(const ProcessSchedule& schedule);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_COMPLETED_SCHEDULE_H_

@@ -1,0 +1,34 @@
+#include "core/conflict.h"
+
+#include <algorithm>
+
+namespace tpm {
+
+namespace {
+std::pair<ServiceId, ServiceId> Normalize(ServiceId a, ServiceId b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+void ConflictSpec::AddConflict(ServiceId a, ServiceId b) {
+  conflicts_.insert(Normalize(a, b));
+}
+
+void ConflictSpec::MarkEffectFree(ServiceId service) {
+  effect_free_.insert(service);
+}
+
+bool ConflictSpec::ServicesConflict(ServiceId a, ServiceId b) const {
+  return conflicts_.count(Normalize(a, b)) > 0;
+}
+
+bool ConflictSpec::IsEffectFreeService(ServiceId service) const {
+  return effect_free_.count(service) > 0;
+}
+
+std::vector<std::pair<ServiceId, ServiceId>> ConflictSpec::ConflictPairs()
+    const {
+  return {conflicts_.begin(), conflicts_.end()};
+}
+
+}  // namespace tpm

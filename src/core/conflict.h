@@ -1,0 +1,59 @@
+#ifndef TPM_CORE_CONFLICT_H_
+#define TPM_CORE_CONFLICT_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/activity.h"
+
+namespace tpm {
+
+/// Commutativity / conflict specification (Def. 6).
+///
+/// Def. 6 defines commutativity semantically via return values over all
+/// contexts, which is not decidable from syntax. As in practical schedulers
+/// built on the unified theory, conflicts are *declared* at service
+/// granularity: every activity is bound to a ServiceId, and two activity
+/// instances conflict iff their services are related in the conflict
+/// relation (and they belong to different processes — intra-process order is
+/// fixed by the precedence order anyway).
+///
+/// Perfect commutativity (§3.2) is built in: the inverse flag of an
+/// ActivityInstance is ignored when testing conflicts, so a^-1 conflicts
+/// with exactly the activities a conflicts with.
+///
+/// A service may additionally be declared *effect-free* (Def. 1): its
+/// executions never change the return values of surrounding activities
+/// (e.g., a pure query). Effect-free activities of non-committed processes
+/// may be removed by reduction rule 3 (Def. 9).
+class ConflictSpec {
+ public:
+  ConflictSpec() = default;
+
+  /// Declares that `a` and `b` do not commute. Symmetric; self-conflict
+  /// (a == b) is allowed and common (a service conflicts with itself).
+  void AddConflict(ServiceId a, ServiceId b);
+
+  /// Declares that every execution of `service` is effect-free.
+  void MarkEffectFree(ServiceId service);
+
+  bool ServicesConflict(ServiceId a, ServiceId b) const;
+  bool IsEffectFreeService(ServiceId service) const;
+
+  /// Number of declared conflicting (unordered) service pairs.
+  size_t num_conflict_pairs() const { return conflicts_.size(); }
+
+  /// All declared conflicting pairs (a <= b normalized).
+  std::vector<std::pair<ServiceId, ServiceId>> ConflictPairs() const;
+
+ private:
+  std::set<std::pair<ServiceId, ServiceId>> conflicts_;  // normalized a <= b
+  std::set<ServiceId> effect_free_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_CONFLICT_H_

@@ -1,0 +1,125 @@
+#include "core/dot_export.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+namespace {
+
+const char* ShapeOf(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kCompensatable:
+      return "box";
+    case ActivityKind::kPivot:
+      return "diamond";
+    case ActivityKind::kRetriable:
+      return "ellipse";
+    case ActivityKind::kCompensatableRetriable:
+      return "doubleoctagon";
+  }
+  return "box";
+}
+
+std::string EventNodeId(size_t index) { return StrCat("e", index); }
+
+}  // namespace
+
+std::string ProcessToDot(const ProcessDef& def) {
+  std::ostringstream dot;
+  dot << "digraph \"" << def.name() << "\" {\n"
+      << "  rankdir=LR;\n"
+      << "  node [fontsize=10];\n";
+  for (const ActivityDecl& decl : def.activities()) {
+    dot << "  a" << decl.id << " [label=\"" << decl.name << "\\n("
+        << ActivityKindToString(decl.kind) << ")\" shape="
+        << ShapeOf(decl.kind) << "];\n";
+  }
+  for (const PrecedenceEdge& e : def.edges()) {
+    dot << "  a" << e.from << " -> a" << e.to;
+    if (e.preference > 0) {
+      dot << " [style=dashed color=gray label=\"alt " << e.preference
+          << "\"]";
+    }
+    dot << ";\n";
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+std::string ScheduleToDot(const ProcessSchedule& schedule,
+                          const ConflictSpec& spec) {
+  std::ostringstream dot;
+  dot << "digraph schedule {\n"
+      << "  rankdir=LR;\n"
+      << "  node [fontsize=10 shape=plaintext];\n";
+  const auto& events = schedule.events();
+
+  // One subgraph (row) per process, events chained left to right.
+  for (const auto& [pid, def] : schedule.processes()) {
+    dot << "  subgraph cluster_p" << pid << " {\n"
+        << "    label=\"P" << pid << " (" << def->name() << ")\";\n";
+    std::string prev;
+    for (size_t i = 0; i < events.size(); ++i) {
+      const ScheduleEvent& e = events[i];
+      const bool mine =
+          (e.type == EventType::kActivity && e.act.process == pid) ||
+          ((e.type == EventType::kCommit || e.type == EventType::kAbort) &&
+           e.process == pid) ||
+          (e.type == EventType::kGroupAbort &&
+           std::find(e.group.begin(), e.group.end(), pid) != e.group.end());
+      if (!mine) continue;
+      dot << "    " << EventNodeId(i) << " [label=\"" << e.ToString()
+          << "\"];\n";
+      if (!prev.empty()) {
+        dot << "    " << prev << " -> " << EventNodeId(i) << ";\n";
+      }
+      prev = EventNodeId(i);
+    }
+    dot << "  }\n";
+  }
+
+  // Dashed conflict arcs (Figure 4 style).
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != EventType::kActivity ||
+        events[i].aborted_invocation) {
+      continue;
+    }
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].type != EventType::kActivity ||
+          events[j].aborted_invocation) {
+        continue;
+      }
+      if (schedule.InstancesConflict(events[i].act, events[j].act, spec)) {
+        dot << "  " << EventNodeId(i) << " -> " << EventNodeId(j)
+            << " [style=dashed color=red constraint=false];\n";
+      }
+    }
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+std::string ConflictGraphToDot(const ProcessSchedule& schedule,
+                               const ConflictSpec& spec) {
+  ConflictGraph cg = BuildConflictGraph(schedule, spec);
+  std::ostringstream dot;
+  dot << "digraph conflicts {\n  node [shape=circle fontsize=10];\n";
+  for (ProcessId pid : cg.process_ids) {
+    dot << "  p" << pid << " [label=\"P" << pid << "\"];\n";
+  }
+  for (size_t from = 0; from < cg.process_ids.size(); ++from) {
+    for (int to : cg.graph.Successors(static_cast<int>(from))) {
+      dot << "  p" << cg.process_ids[from] << " -> p" << cg.process_ids[to]
+          << ";\n";
+    }
+  }
+  if (!cg.IsAcyclic()) {
+    dot << "  label=\"NOT serializable\"; fontcolor=red;\n";
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+}  // namespace tpm

@@ -1,0 +1,35 @@
+#ifndef TPM_CORE_DOT_EXPORT_H_
+#define TPM_CORE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "core/conflict.h"
+#include "core/process.h"
+#include "core/schedule.h"
+#include "core/serializability.h"
+
+namespace tpm {
+
+/// Graphviz (DOT) renderings for documentation and debugging — the same
+/// pictures the paper draws: process graphs with solid precedence edges
+/// and dashed preference (alternative) markers, and schedules with dashed
+/// conflict arcs (Figure 4 style).
+
+/// The process as a digraph: solid edges for the primary precedence order,
+/// dashed gray edges labelled "alt n" for alternatives; node shape encodes
+/// the activity kind (box = compensatable, diamond = pivot,
+/// ellipse = retriable, doubleoctagon = compensatable-retriable).
+std::string ProcessToDot(const ProcessDef& def);
+
+/// The schedule as one row per process in event order, with dashed red
+/// arcs between conflicting activity instances (Figure 4's dashed arcs).
+std::string ScheduleToDot(const ProcessSchedule& schedule,
+                          const ConflictSpec& spec);
+
+/// The process-level serialization graph of the schedule.
+std::string ConflictGraphToDot(const ProcessSchedule& schedule,
+                               const ConflictSpec& spec);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_DOT_EXPORT_H_

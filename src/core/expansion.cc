@@ -1,0 +1,107 @@
+#include "core/expansion.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "core/reduction.h"
+
+namespace tpm {
+
+namespace {
+
+// Appends the classical undo of `pids` (reverse order of their original
+// commits, merged globally) followed by commit markers.
+Status UndoClassically(const std::vector<ProcessId>& pids,
+                       ProcessSchedule* expanded) {
+  struct Undo {
+    ActivityInstance inst;
+    size_t original_pos;
+  };
+  std::vector<Undo> undos;
+  const auto& events = expanded->events();
+  for (ProcessId pid : pids) {
+    const ProcessExecutionState* state = expanded->StateOf(pid);
+    if (state == nullptr) {
+      return Status::NotFound(StrCat("unknown process P", pid));
+    }
+    for (ActivityId act : state->EffectiveCommitted()) {
+      size_t pos = 0;
+      for (size_t i = events.size(); i-- > 0;) {
+        const ScheduleEvent& e = events[i];
+        if (e.type == EventType::kActivity && !e.aborted_invocation &&
+            !e.act.inverse && e.act.process == pid &&
+            e.act.activity == act) {
+          pos = i;
+          break;
+        }
+      }
+      undos.push_back(Undo{ActivityInstance{pid, act, true}, pos});
+    }
+  }
+  std::stable_sort(undos.begin(), undos.end(),
+                   [](const Undo& a, const Undo& b) {
+                     return a.original_pos > b.original_pos;
+                   });
+  for (const Undo& undo : undos) {
+    // Legality is bypassed: the classical model pretends every activity —
+    // pivots and retriables included — has an inverse.
+    TPM_RETURN_IF_ERROR(expanded->Append(ScheduleEvent::Activity(undo.inst),
+                                         /*enforce_legal=*/false));
+  }
+  for (ProcessId pid : pids) {
+    TPM_RETURN_IF_ERROR(expanded->Append(ScheduleEvent::Commit(pid),
+                                         /*enforce_legal=*/false));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ProcessSchedule> ExpandClassically(const ProcessSchedule& schedule) {
+  ProcessSchedule expanded;
+  for (const auto& [pid, def] : schedule.processes()) {
+    TPM_RETURN_IF_ERROR(expanded.AddProcess(pid, def));
+  }
+  for (const ScheduleEvent& event : schedule.events()) {
+    switch (event.type) {
+      case EventType::kActivity:
+      case EventType::kCommit:
+        TPM_RETURN_IF_ERROR(expanded.Append(event, /*enforce_legal=*/false));
+        break;
+      case EventType::kAbort:
+        TPM_RETURN_IF_ERROR(UndoClassically({event.process}, &expanded));
+        break;
+      case EventType::kGroupAbort:
+        TPM_RETURN_IF_ERROR(UndoClassically(event.group, &expanded));
+        break;
+    }
+  }
+  std::vector<ProcessId> active = expanded.ActiveProcesses();
+  if (!active.empty()) {
+    TPM_RETURN_IF_ERROR(UndoClassically(active, &expanded));
+  }
+  return expanded;
+}
+
+Result<bool> IsClassicallyReducible(const ProcessSchedule& schedule,
+                                    const ConflictSpec& spec) {
+  TPM_ASSIGN_OR_RETURN(ProcessSchedule expanded,
+                       ExpandClassically(schedule));
+  std::set<ProcessId> committed;
+  for (const auto& [pid, def] : schedule.processes()) {
+    if (schedule.IsProcessCommitted(pid)) committed.insert(pid);
+  }
+  return ReduceCompletedSchedule(expanded, spec, committed).reducible;
+}
+
+Result<bool> IsClassicallyPrefixReducible(const ProcessSchedule& schedule,
+                                          const ConflictSpec& spec) {
+  for (size_t n = 1; n <= schedule.size(); ++n) {
+    TPM_ASSIGN_OR_RETURN(bool red,
+                         IsClassicallyReducible(schedule.Prefix(n), spec));
+    if (!red) return false;
+  }
+  return true;
+}
+
+}  // namespace tpm

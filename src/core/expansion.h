@@ -1,0 +1,40 @@
+#ifndef TPM_CORE_EXPANSION_H_
+#define TPM_CORE_EXPANSION_H_
+
+#include "common/status.h"
+#include "core/schedule.h"
+
+namespace tpm {
+
+/// The *expanded schedule* of the traditional unified theory
+/// [SWY93, AVA+94, VHYBS98], provided for comparison with the completed
+/// process schedule of Def. 8 (§3.3 contrasts the two).
+///
+/// Classical expansion assumes every activity has an inverse: the abort of
+/// a transaction is replaced by the compensations of ALL its executed
+/// activities, in reverse order — there are no termination classes, no
+/// forward recovery paths, and no alternatives. Under that assumption the
+/// paper remarks (§3.4, after Example 8) that the prefix S_t1 of S_t2
+/// *would* be reducible: every pair (a, a^-1) cancels and the reduced
+/// schedule consists only of C_1 and C_2.
+///
+/// ExpandClassically models exactly that hypothetical: each non-committed
+/// process's executed activities are undone in reverse order (pretending
+/// pivots and retriables were compensatable, with their own service as the
+/// inverse's service — perfect commutativity), appended per abort position
+/// or at the end for still-active processes.
+Result<ProcessSchedule> ExpandClassically(const ProcessSchedule& schedule);
+
+/// Reducibility of the classically expanded schedule: the traditional
+/// unified theory's RED. Used to demonstrate where process structures make
+/// a difference (activities without inverses, forward recovery).
+Result<bool> IsClassicallyReducible(const ProcessSchedule& schedule,
+                                    const ConflictSpec& spec);
+
+/// Prefix-closed variant (the traditional PRED).
+Result<bool> IsClassicallyPrefixReducible(const ProcessSchedule& schedule,
+                                          const ConflictSpec& spec);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_EXPANSION_H_

@@ -1,0 +1,160 @@
+#include "core/figures.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpm {
+namespace figures {
+
+namespace {
+
+// Service ids: activity a_{i_j} uses service 10*i + j; its compensation
+// service (when compensatable) uses 100 + 10*i + j.
+ServiceId Svc(int process, int index) { return ServiceId(10 * process + index); }
+ServiceId CompSvc(int process, int index) {
+  return ServiceId(100 + 10 * process + index);
+}
+
+// Aborts on failure regardless of NDEBUG: these constructions are static
+// paper fixtures whose failure is a programming error.
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "fixture construction failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+PaperWorld::PaperWorld() {
+  // P1 (Figure 2).
+  ActivityId a11 = p1.AddActivity("a11", ActivityKind::kCompensatable,
+                                  Svc(1, 1), CompSvc(1, 1));
+  ActivityId a12 = p1.AddActivity("a12", ActivityKind::kPivot, Svc(1, 2));
+  ActivityId a13 = p1.AddActivity("a13", ActivityKind::kCompensatable,
+                                  Svc(1, 3), CompSvc(1, 3));
+  ActivityId a14 = p1.AddActivity("a14", ActivityKind::kPivot, Svc(1, 4));
+  ActivityId a15 = p1.AddActivity("a15", ActivityKind::kRetriable, Svc(1, 5));
+  ActivityId a16 = p1.AddActivity("a16", ActivityKind::kRetriable, Svc(1, 6));
+  Check(p1.AddEdge(a11, a12));
+  Check(p1.AddEdge(a12, a13, /*preference=*/0));
+  Check(p1.AddEdge(a12, a15, /*preference=*/1));
+  Check(p1.AddEdge(a13, a14));
+  Check(p1.AddEdge(a15, a16));
+  Check(p1.Validate());
+
+  // P2 (Figure 4).
+  ActivityId a21 = p2.AddActivity("a21", ActivityKind::kCompensatable,
+                                  Svc(2, 1), CompSvc(2, 1));
+  ActivityId a22 = p2.AddActivity("a22", ActivityKind::kCompensatable,
+                                  Svc(2, 2), CompSvc(2, 2));
+  ActivityId a23 = p2.AddActivity("a23", ActivityKind::kPivot, Svc(2, 3));
+  ActivityId a24 = p2.AddActivity("a24", ActivityKind::kRetriable, Svc(2, 4));
+  ActivityId a25 = p2.AddActivity("a25", ActivityKind::kRetriable, Svc(2, 5));
+  Check(p2.AddEdge(a21, a22));
+  Check(p2.AddEdge(a22, a23));
+  Check(p2.AddEdge(a23, a24));
+  Check(p2.AddEdge(a24, a25));
+  Check(p2.Validate());
+
+  // P3 (Figure 9).
+  ActivityId a31 = p3.AddActivity("a31", ActivityKind::kCompensatable,
+                                  Svc(3, 1), CompSvc(3, 1));
+  ActivityId a32 = p3.AddActivity("a32", ActivityKind::kPivot, Svc(3, 2));
+  ActivityId a33 = p3.AddActivity("a33", ActivityKind::kRetriable, Svc(3, 3));
+  Check(p3.AddEdge(a31, a32));
+  Check(p3.AddEdge(a32, a33));
+  Check(p3.Validate());
+
+  // The conflicting pairs of Figures 4 and 9.
+  spec.AddConflict(Svc(1, 1), Svc(2, 1));  // (a11, a21)
+  spec.AddConflict(Svc(1, 2), Svc(2, 4));  // (a12, a24)
+  spec.AddConflict(Svc(1, 5), Svc(2, 5));  // (a15, a25)
+  spec.AddConflict(Svc(1, 1), Svc(3, 1));  // (a11, a31)
+}
+
+namespace {
+
+ProcessSchedule MakeBase12(const PaperWorld& world) {
+  ProcessSchedule s;
+  Check(s.AddProcess(kP1, &world.p1));
+  Check(s.AddProcess(kP2, &world.p2));
+  return s;
+}
+
+void Act(ProcessSchedule* s, ProcessId pid, int64_t activity,
+         bool inverse = false) {
+  Check(s->Append(ScheduleEvent::Activity(
+      ActivityInstance{pid, ActivityId(activity), inverse})));
+}
+
+}  // namespace
+
+ProcessSchedule MakeScheduleSt1(const PaperWorld& world) {
+  ProcessSchedule s = MakeBase12(world);
+  Act(&s, kP1, 1);  // a11
+  Act(&s, kP2, 1);  // a21
+  Act(&s, kP2, 2);  // a22
+  Act(&s, kP2, 3);  // a23 (pivot -> P2 enters F-REC)
+  return s;
+}
+
+ProcessSchedule MakeScheduleSt2(const PaperWorld& world) {
+  ProcessSchedule s = MakeScheduleSt1(world);
+  Act(&s, kP1, 2);  // a12
+  Act(&s, kP1, 3);  // a13
+  Act(&s, kP2, 4);  // a24
+  return s;
+}
+
+ProcessSchedule MakeSchedulePrimeT2(const PaperWorld& world) {
+  ProcessSchedule s = MakeBase12(world);
+  Act(&s, kP1, 1);  // a11
+  Act(&s, kP2, 1);  // a21
+  Act(&s, kP2, 2);  // a22
+  Act(&s, kP2, 3);  // a23
+  Act(&s, kP2, 4);  // a24  (before a12 -> cyclic dependency)
+  Act(&s, kP1, 2);  // a12
+  Act(&s, kP1, 3);  // a13
+  return s;
+}
+
+ProcessSchedule MakeScheduleDoublePrimeT1(const PaperWorld& world) {
+  ProcessSchedule s = MakeBase12(world);
+  Act(&s, kP1, 1);  // a11
+  Act(&s, kP1, 2);  // a12
+  Act(&s, kP2, 1);  // a21
+  Act(&s, kP1, 3);  // a13
+  Act(&s, kP2, 2);  // a22
+  Act(&s, kP1, 4);  // a14
+  Check(s.Append(ScheduleEvent::Commit(kP1)));
+  Act(&s, kP2, 3);  // a23 (deferred until C1 per Lemma 1)
+  Act(&s, kP2, 4);  // a24
+  Act(&s, kP2, 5);  // a25
+  Check(s.Append(ScheduleEvent::Commit(kP2)));
+  return s;
+}
+
+ProcessSchedule MakeScheduleStar(const PaperWorld& world) {
+  ProcessSchedule s;
+  Check(s.AddProcess(kP1, &world.p1));
+  Check(s.AddProcess(kP3, &world.p3));
+  Act(&s, kP1, 1);  // a11
+  Act(&s, kP1, 2);  // a12 (pivot: quasi-commit of a11)
+  Act(&s, kP3, 1);  // a31 conflicts with a11, but a11^-1 is gone
+  return s;
+}
+
+ProcessSchedule MakeScheduleStarReversed(const PaperWorld& world) {
+  ProcessSchedule s;
+  Check(s.AddProcess(kP1, &world.p1));
+  Check(s.AddProcess(kP3, &world.p3));
+  Act(&s, kP3, 1);  // a31
+  Act(&s, kP1, 1);  // a11
+  Act(&s, kP1, 2);  // a12 (P1 in F-REC while conflicting P3 is in B-REC)
+  return s;
+}
+
+}  // namespace figures
+}  // namespace tpm

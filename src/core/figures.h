@@ -1,0 +1,73 @@
+#ifndef TPM_CORE_FIGURES_H_
+#define TPM_CORE_FIGURES_H_
+
+#include "core/conflict.h"
+#include "core/process.h"
+#include "core/schedule.h"
+
+namespace tpm {
+namespace figures {
+
+/// The processes and conflict relation of the paper's running example
+/// (Figures 2-9):
+///
+/// * P1 (Figure 2): a11^c << a12^p << { a13^c << a14^p  |alt|  a15^r <<
+///   a16^r } — the preference order makes (a15, a16) the alternative taken
+///   when a13 fails or a14 fails after compensating a13.
+/// * P2 (Figure 4): a21^c << a22^c << a23^p << a24^r << a25^r.
+/// * P3 (Figure 9): a31^c << a32^p << a33^r.
+///
+/// Conflicting activity pairs (dashed arcs of Figure 4 / Figure 9):
+/// (a11, a21), (a12, a24), (a15, a25), (a11, a31).
+///
+/// The world owns the process definitions; schedules built from it hold
+/// pointers into it, so the world must outlive them.
+struct PaperWorld {
+  ProcessDef p1{"P1"};
+  ProcessDef p2{"P2"};
+  ProcessDef p3{"P3"};
+  ConflictSpec spec;
+
+  PaperWorld(const PaperWorld&) = delete;
+  PaperWorld& operator=(const PaperWorld&) = delete;
+  PaperWorld(PaperWorld&&) = delete;
+  PaperWorld& operator=(PaperWorld&&) = delete;
+
+  PaperWorld();
+};
+
+/// Process ids used by the schedules below.
+inline constexpr ProcessId kP1{1};
+inline constexpr ProcessId kP2{2};
+inline constexpr ProcessId kP3{3};
+
+/// Figure 4(a) at time t1: <a11 a21 a22 a23>. P1 is in B-REC, P2 in F-REC;
+/// this prefix is NOT reducible (Example 8).
+ProcessSchedule MakeScheduleSt1(const PaperWorld& world);
+
+/// Figure 4(a) at time t2: <a11 a21 a22 a23 a12 a13 a24>. Serializable
+/// (Example 4) and RED (Example 6), but not PRED because of its prefix S_t1
+/// (Example 8).
+ProcessSchedule MakeScheduleSt2(const PaperWorld& world);
+
+/// Figure 4(b) at time t2: <a11 a21 a22 a23 a24 a12 a13>. Cyclic
+/// dependencies between P1 and P2 — not serializable (Example 3).
+ProcessSchedule MakeSchedulePrimeT2(const PaperWorld& world);
+
+/// Figure 7: <a11 a12 a21 a13 a22 a14 C1 a23 a24 a25 C2>. A complete,
+/// prefix-reducible execution of P1 and P2 (Examples 7 and 9).
+ProcessSchedule MakeScheduleDoublePrimeT1(const PaperWorld& world);
+
+/// Figure 9: <a11 a12 a31>. P1 is already in F-REC when the conflicting
+/// a31 executes — the "quasi-commit" of the pivot a12 makes this
+/// interleaving correct (Example 10).
+ProcessSchedule MakeScheduleStar(const PaperWorld& world);
+
+/// The reversed variant of Figure 9 (a31 executed before a11 while P3 is
+/// active): irrecoverable, used as the negative control in experiments.
+ProcessSchedule MakeScheduleStarReversed(const PaperWorld& world);
+
+}  // namespace figures
+}  // namespace tpm
+
+#endif  // TPM_CORE_FIGURES_H_

@@ -1,0 +1,360 @@
+#include "core/flex_structure.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+namespace {
+
+// Walks the compensatable prefix of a substructure starting at `starts`:
+// follows preference-0 edges through compensatable activities. Outputs the
+// set of compensatable activities visited and the set of non-compensatable
+// activities reached (candidate pivots). Returns an error if an alternative
+// edge leaves a compensatable activity.
+Status WalkCompensatablePrefix(const ProcessDef& def,
+                               const std::vector<ActivityId>& starts,
+                               std::set<ActivityId>* comp_prefix,
+                               std::set<ActivityId>* non_comp_frontier) {
+  std::vector<ActivityId> worklist(starts.begin(), starts.end());
+  std::set<ActivityId> seen;
+  while (!worklist.empty()) {
+    ActivityId a = worklist.back();
+    worklist.pop_back();
+    if (!seen.insert(a).second) continue;
+    if (IsNonCompensatable(def.KindOf(a))) {
+      non_comp_frontier->insert(a);
+      continue;
+    }
+    comp_prefix->insert(a);
+    auto groups = def.SuccessorGroups(a);
+    if (groups.size() > 1) {
+      return Status::InvalidArgument(
+          StrCat("well-formed flex structure: alternative edges may not "
+                 "leave compensatable activity a",
+                 a));
+    }
+    if (!groups.empty()) {
+      for (ActivityId s : groups[0]) worklist.push_back(s);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FlexValidator::Validate() const {
+  if (!def_->validated()) {
+    return Status::FailedPrecondition(
+        "ProcessDef::Validate() must succeed before flex validation");
+  }
+  return ValidateStructure(def_->Roots());
+}
+
+Status FlexValidator::ValidateStructure(
+    const std::vector<ActivityId>& starts) const {
+  const ProcessDef& def = *def_;
+  std::set<ActivityId> comp_prefix;
+  std::set<ActivityId> frontier;
+  TPM_RETURN_IF_ERROR(
+      WalkCompensatablePrefix(def, starts, &comp_prefix, &frontier));
+
+  if (frontier.empty()) {
+    // Pure compensatable structure: trivially terminable via full backward
+    // recovery.
+    return Status::OK();
+  }
+  if (frontier.size() > 1) {
+    return Status::InvalidArgument(StrCat(
+        "well-formed flex structure: the compensatable prefix must converge "
+        "on a single non-compensatable activity, found ",
+        frontier.size()));
+  }
+  const ActivityId p = *frontier.begin();
+
+  if (IsRetriableKind(def.KindOf(p))) {
+    // Retriable continuation: the whole remainder must be retriable with no
+    // alternatives (it can never fail, so no alternatives are needed or
+    // allowed by the basic structure).
+    if (!def.SubtreeAllRetriable({p})) {
+      return Status::InvalidArgument(
+          StrCat("well-formed flex structure: retriable activity a", p,
+                 " must be followed only by retriable activities"));
+    }
+    return Status::OK();
+  }
+
+  // p is a pivot.
+  auto groups = def.SuccessorGroups(p);
+  if (groups.empty()) return Status::OK();
+  if (groups.size() == 1) {
+    // No alternatives: the continuation must be all retriable (the basic
+    // well-formed structure "pivot followed by retriable activities").
+    if (!def.SubtreeAllRetriable(groups[0])) {
+      return Status::InvalidArgument(StrCat(
+          "well-formed flex structure: pivot a", p,
+          " has no alternative, so its continuation must be all retriable"));
+    }
+    return Status::OK();
+  }
+  // Alternatives exist: the last alternative must be all retriable
+  // (guaranteeing termination), every earlier one must itself be a
+  // well-formed flex structure.
+  if (!def.SubtreeAllRetriable(groups.back())) {
+    return Status::InvalidArgument(
+        StrCat("well-formed flex structure: the last alternative of pivot a",
+               p, " must consist only of retriable activities"));
+  }
+  for (size_t g = 0; g + 1 < groups.size(); ++g) {
+    TPM_RETURN_IF_ERROR(ValidateStructure(groups[g]));
+  }
+  return Status::OK();
+}
+
+Status ValidateWellFormedFlex(const ProcessDef& def) {
+  return FlexValidator(&def).Validate();
+}
+
+Result<ActivityId> StateDeterminingActivity(const ProcessDef& def) {
+  if (!def.validated()) {
+    return Status::FailedPrecondition("process definition not validated");
+  }
+  std::set<ActivityId> comp_prefix;
+  std::set<ActivityId> frontier;
+  TPM_RETURN_IF_ERROR(
+      WalkCompensatablePrefix(def, def.Roots(), &comp_prefix, &frontier));
+  if (frontier.empty()) {
+    return Status::NotFound(
+        "process is purely compensatable; no state-determining activity");
+  }
+  if (frontier.size() > 1) {
+    return Status::InvalidArgument(
+        "process does not have well-formed flex structure");
+  }
+  return *frontier.begin();
+}
+
+std::string ValidExecution::ToString() const {
+  std::ostringstream oss;
+  oss << "<";
+  bool first = true;
+  for (const auto& step : steps) {
+    if (!first) oss << " ";
+    first = false;
+    oss << "a" << step.activity;
+    if (step.inverse) oss << "^-1";
+    if (step.failed) oss << "(abort)";
+  }
+  oss << "> " << (committed ? "[commit]" : "[backward recovery]");
+  return oss.str();
+}
+
+namespace {
+
+constexpr size_t kMaxExecutions = 4096;
+
+// Recursive execution simulator used by EnumerateValidExecutions.
+class ExecutionEnumerator {
+ public:
+  explicit ExecutionEnumerator(const ProcessDef& def) : def_(def) {}
+
+  Status Run(std::vector<ValidExecution>* out) {
+    State initial;
+    for (ActivityId r : def_.Roots()) initial.ready.insert(r);
+    TPM_RETURN_IF_ERROR(Step(initial));
+    *out = std::move(results_);
+    return Status::OK();
+  }
+
+ private:
+  struct State {
+    std::vector<ValidExecution::Step> steps;
+    std::vector<ActivityId> committed;  // commit order
+    std::set<ActivityId> committed_set;
+    std::set<ActivityId> ready;
+    // Per branching activity: index of the currently active successor group.
+    std::map<ActivityId, int> active_group;
+  };
+
+  Status Step(State state) {
+    if (results_.size() >= kMaxExecutions) {
+      return Status::InvalidArgument(
+          "too many valid executions to enumerate");
+    }
+    if (state.ready.empty()) {
+      Emit(std::move(state), /*committed=*/true);
+      return Status::OK();
+    }
+    // Deterministic order: smallest ready activity first.
+    ActivityId a = *state.ready.begin();
+    state.ready.erase(a);
+
+    if (IsRetriableKind(def_.KindOf(a))) {
+      // Retriable: guaranteed to commit (Def. 3); no failure branch.
+      Commit(&state, a);
+      return Step(std::move(state));
+    }
+    // Branch: the success case ...
+    {
+      State success = state;
+      Commit(&success, a);
+      TPM_RETURN_IF_ERROR(Step(std::move(success)));
+    }
+    // ... and the failure case (Def. 4).
+    State failure = std::move(state);
+    failure.steps.push_back({a, /*inverse=*/false, /*failed=*/true});
+    return HandleFailure(std::move(failure), a);
+  }
+
+  void Commit(State* state, ActivityId a) {
+    state->steps.push_back({a, false, false});
+    state->committed.push_back(a);
+    state->committed_set.insert(a);
+    auto groups = def_.SuccessorGroups(a);
+    if (!groups.empty()) {
+      state->active_group[a] = 0;
+      for (ActivityId s : groups[0]) MaybeReady(state, s);
+    }
+    // An activity with multiple predecessors becomes ready only once all of
+    // them committed; re-check successors of all committed activities.
+  }
+
+  // `s` becomes ready if all its predecessors along active branches have
+  // committed.
+  void MaybeReady(State* state, ActivityId s) {
+    if (state->committed_set.count(s) > 0) return;
+    for (ActivityId p : def_.Predecessors(s)) {
+      // Only predecessors on the active branch bind: the edge p -> s must be
+      // in p's active group and p must be committed.
+      auto pref = def_.EdgePreference(p, s);
+      int active = 0;
+      auto it = state->active_group.find(p);
+      if (it != state->active_group.end()) active = it->second;
+      if (*pref != active) continue;  // edge not on the active branch
+      if (state->committed_set.count(p) == 0) return;
+    }
+    state->ready.insert(s);
+  }
+
+  // Failure handling (§3.1): find the nearest committed ancestor with an
+  // untried alternative whose active subtree contains no committed
+  // non-compensatable activity; compensate the abandoned branch; activate
+  // the next alternative. With no such ancestor, perform full backward
+  // recovery.
+  Status HandleFailure(State state, ActivityId failed) {
+    ActivityId branch_point;
+    int next_group = -1;
+    // Search ancestors of `failed` bottom-up (BFS over predecessors).
+    std::vector<ActivityId> worklist = {failed};
+    std::set<ActivityId> seen;
+    while (!worklist.empty() && !branch_point.valid()) {
+      ActivityId cur = worklist.front();
+      worklist.erase(worklist.begin());
+      if (!seen.insert(cur).second) continue;
+      for (ActivityId p : def_.Predecessors(cur)) {
+        if (state.committed_set.count(p) == 0) continue;
+        auto groups = def_.SuccessorGroups(p);
+        int active = state.active_group.count(p) ? state.active_group[p] : 0;
+        if (active + 1 < static_cast<int>(groups.size()) &&
+            AlternativeAvailable(state, groups, active)) {
+          branch_point = p;
+          next_group = active + 1;
+          break;
+        }
+        worklist.push_back(p);
+      }
+    }
+    if (branch_point.valid()) {
+      // Compensate committed descendants of the branch point, reverse order.
+      for (auto it = state.committed.rbegin(); it != state.committed.rend();
+           ++it) {
+        if (def_.Precedes(branch_point, *it) &&
+            state.committed_set.count(*it) > 0) {
+          state.steps.push_back({*it, /*inverse=*/true, /*failed=*/false});
+          state.committed_set.erase(*it);
+        }
+      }
+      std::vector<ActivityId> still_committed;
+      for (ActivityId a : state.committed) {
+        if (state.committed_set.count(a) > 0) still_committed.push_back(a);
+      }
+      state.committed = std::move(still_committed);
+      // Clear ready activities that belonged to the abandoned branch.
+      std::set<ActivityId> new_ready;
+      for (ActivityId r : state.ready) {
+        if (!def_.Precedes(branch_point, r)) new_ready.insert(r);
+      }
+      state.ready = std::move(new_ready);
+      state.active_group[branch_point] = next_group;
+      const std::vector<ActivityId> next_members =
+          def_.SuccessorsInGroup(branch_point, next_group);
+      for (ActivityId s : next_members) {
+        MaybeReady(&state, s);
+      }
+      return Step(std::move(state));
+    }
+    // Full backward recovery: every committed activity must be
+    // compensatable (guaranteed by the well-formed flex structure).
+    for (auto it = state.committed.rbegin(); it != state.committed.rend();
+         ++it) {
+      if (IsNonCompensatable(def_.KindOf(*it))) {
+        return Status::Internal(
+            StrCat("backward recovery reached non-compensatable activity a",
+                   *it, "; process lacks guaranteed termination"));
+      }
+      state.steps.push_back({*it, /*inverse=*/true, /*failed=*/false});
+    }
+    const bool anything_executed = !state.committed.empty();
+    state.committed.clear();
+    state.committed_set.clear();
+    if (anything_executed) {
+      Emit(std::move(state), /*committed=*/false);
+    }
+    // Executions where nothing was ever executed are not counted (see
+    // header).
+    return Status::OK();
+  }
+
+  // An alternative of `p` is available only if no committed
+  // non-compensatable activity lies in p's active subtree (those cannot be
+  // undone, pinning the branch).
+  bool AlternativeAvailable(const State& state,
+                            const std::vector<std::vector<ActivityId>>& groups,
+                            int active) const {
+    for (ActivityId a : def_.Subtree(groups[active])) {
+      if (state.committed_set.count(a) > 0 &&
+          IsNonCompensatable(def_.KindOf(a))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Emit(State state, bool committed) {
+    ValidExecution exec;
+    exec.steps = std::move(state.steps);
+    exec.committed = committed;
+    results_.push_back(std::move(exec));
+  }
+
+  const ProcessDef& def_;
+  std::vector<ValidExecution> results_;
+};
+
+}  // namespace
+
+Result<std::vector<ValidExecution>> EnumerateValidExecutions(
+    const ProcessDef& def) {
+  if (!def.validated()) {
+    return Status::FailedPrecondition("process definition not validated");
+  }
+  TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(def));
+  std::vector<ValidExecution> result;
+  TPM_RETURN_IF_ERROR(ExecutionEnumerator(def).Run(&result));
+  return result;
+}
+
+}  // namespace tpm

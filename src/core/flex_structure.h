@@ -1,0 +1,89 @@
+#ifndef TPM_CORE_FLEX_STRUCTURE_H_
+#define TPM_CORE_FLEX_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/process.h"
+
+namespace tpm {
+
+/// Structural validation of the well-formed flex structure (§3.1,
+/// [ZNBB94]) and derived queries.
+///
+/// A basic well-formed flex structure is a set of compensatable activities
+/// followed by one pivot activity which is followed by a set of retriable
+/// activities. Recursively, the pivot may instead be succeeded by a complete
+/// well-formed flex structure, provided an alternative consisting only of
+/// retriable activities exists for it. Processes with this structure have
+/// the *guaranteed termination* property: at least one execution path
+/// completes with effects, all others leave no effects.
+///
+/// The grammar checked here (the ZNBB94 sufficient condition):
+///
+///   WF(starts) :=
+///     a partial order of compensatable activities (no alternative edges
+///     may leave a compensatable activity), converging on at most one
+///     non-compensatable successor `p`;
+///     - no `p`               -> OK (pure compensatable structure)
+///     - `p` retriable        -> its entire remainder must be retriable
+///                               with no alternatives
+///     - `p` pivot, successor groups g0 < g1 < ... < gk:
+///         k == 0: subtree(g0) must be all retriable,
+///                 or WF(g0) if followed by an all-retriable alternative
+///                 is impossible -> then g0 itself must be all retriable
+///         k >= 1: subtree(gk) all retriable, and WF(gi) for i < k.
+class FlexValidator {
+ public:
+  explicit FlexValidator(const ProcessDef* def) : def_(def) {}
+
+  /// Returns OK iff the process has well-formed flex structure (and hence
+  /// guaranteed termination).
+  Status Validate() const;
+
+ private:
+  Status ValidateStructure(const std::vector<ActivityId>& starts) const;
+
+  const ProcessDef* def_;
+};
+
+/// Convenience wrapper around FlexValidator.
+Status ValidateWellFormedFlex(const ProcessDef& def);
+
+/// Returns the state-determining activity s_{i_0}: the first
+/// non-compensatable activity of a process with guaranteed termination (the
+/// activity whose commit moves the process from B-REC to F-REC). Error if
+/// the process is purely compensatable (no such activity).
+Result<ActivityId> StateDeterminingActivity(const ProcessDef& def);
+
+/// One terminal execution of a process: the activity invocations in order,
+/// including failed invocations and compensations.
+struct ValidExecution {
+  /// Activity steps in execution order.
+  struct Step {
+    ActivityId activity;
+    bool inverse = false;  // compensation step
+    bool failed = false;   // invocation terminated with abort
+  };
+  std::vector<Step> steps;
+  /// True if the execution reaches well-defined (committing) termination,
+  /// false if it ends in backward recovery (overall abort, effect-free).
+  bool committed = true;
+
+  std::string ToString() const;
+};
+
+/// Enumerates the distinct valid executions of a process (Example 1 /
+/// Figure 3): for every non-retriable activity we branch on
+/// success/failure; executions that leave an identical committed state are
+/// merged; the execution in which nothing at all was executed (very first
+/// activity fails) is not counted, matching the four executions of P_1 in
+/// Figure 3. Retriable activities are taken as committing (their failed
+/// invocations do not create new outcomes).
+Result<std::vector<ValidExecution>> EnumerateValidExecutions(
+    const ProcessDef& def);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_FLEX_STRUCTURE_H_

@@ -1,0 +1,99 @@
+#include "core/lint.h"
+
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+#include "core/flex_structure.h"
+
+namespace tpm {
+
+std::string LintDiagnostic::ToString() const {
+  return StrCat(severity == Severity::kError ? "error: " : "warning: ",
+                message);
+}
+
+std::vector<LintDiagnostic> LintProcess(const ProcessDef& def,
+                                        const ConflictSpec* spec) {
+  std::vector<LintDiagnostic> diagnostics;
+  auto error = [&](std::string message) {
+    diagnostics.push_back(
+        {LintDiagnostic::Severity::kError, std::move(message)});
+  };
+  auto warn = [&](std::string message) {
+    diagnostics.push_back(
+        {LintDiagnostic::Severity::kWarning, std::move(message)});
+  };
+
+  if (!def.validated()) {
+    error("process definition not validated");
+    return diagnostics;
+  }
+
+  // Guaranteed termination.
+  Status flex = ValidateWellFormedFlex(def);
+  if (!flex.ok()) {
+    error(StrCat("no guaranteed termination: ", flex.message()));
+  }
+
+  // Reachability from the roots.
+  std::set<ActivityId> reachable;
+  for (ActivityId a : def.Subtree(def.Roots())) reachable.insert(a);
+  for (const ActivityDecl& decl : def.activities()) {
+    if (reachable.count(decl.id) == 0) {
+      error(StrCat("activity '", decl.name, "' is unreachable"));
+    }
+  }
+
+  // Compensation service hygiene.
+  std::map<ServiceId, std::vector<std::string>> comp_users;
+  for (const ActivityDecl& decl : def.activities()) {
+    if (!decl.compensation_service.valid()) continue;
+    comp_users[decl.compensation_service].push_back(decl.name);
+    if (decl.compensation_service == decl.service) {
+      warn(StrCat("activity '", decl.name,
+                  "' uses its own service as compensation — the \"inverse\" "
+                  "repeats the action"));
+    }
+  }
+  for (const auto& [service, users] : comp_users) {
+    if (users.size() > 1) {
+      warn(StrCat("activities {", StrJoin(users, ", "),
+                  "} share compensation service ", service,
+                  " — ensure it is parameterized per activity"));
+    }
+  }
+
+  // Unreachable alternatives: an alternative of a branch point whose
+  // primary subtree is all retriable can never fire (retriables cannot
+  // fail, Def. 3).
+  for (const ActivityDecl& decl : def.activities()) {
+    auto groups = def.SuccessorGroups(decl.id);
+    if (groups.size() < 2) continue;
+    if (def.SubtreeAllRetriable(groups[0])) {
+      warn(StrCat("the alternatives of '", decl.name,
+                  "' are unreachable: its primary continuation is all "
+                  "retriable and cannot fail"));
+    }
+  }
+
+  // Intra-process conflicting services (only meaningful with a spec).
+  if (spec != nullptr) {
+    const auto& activities = def.activities();
+    for (size_t i = 0; i < activities.size(); ++i) {
+      for (size_t j = i + 1; j < activities.size(); ++j) {
+        if (activities[i].service == activities[j].service) continue;
+        if (spec->ServicesConflict(activities[i].service,
+                                   activities[j].service)) {
+          warn(StrCat("activities '", activities[i].name, "' and '",
+                      activities[j].name,
+                      "' use conflicting services — concurrent instances "
+                      "of this process will serialize on them"));
+        }
+      }
+    }
+  }
+  return diagnostics;
+}
+
+}  // namespace tpm

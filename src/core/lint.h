@@ -1,0 +1,46 @@
+#ifndef TPM_CORE_LINT_H_
+#define TPM_CORE_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/conflict.h"
+#include "core/process.h"
+
+namespace tpm {
+
+/// A diagnostic produced by the process linter.
+struct LintDiagnostic {
+  enum class Severity { kWarning, kError };
+  Severity severity = Severity::kWarning;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Static analysis of a process definition beyond structural validity —
+/// the checks a process designer wants before deployment:
+///
+///  errors:
+///   * not a well-formed flex structure (no guaranteed termination);
+///   * activity unreachable from the roots;
+///  warnings:
+///   * two activities share a compensation service (compensating one may
+///     undo the other's effect if the service is not idempotent per
+///     activity);
+///   * an activity's compensation service equals its own service (the
+///     "inverse" repeats the action);
+///   * self-conflicting process: two activities of the process use
+///     conflicting services with the later one positioned before the
+///     earlier could be compensated — combined with concurrency this
+///     invites crossings (needs the conflict spec);
+///   * an alternative branch that can never be reached (its branch point
+///     has an all-retriable primary subtree, which cannot fail);
+///   * a pivot with alternatives whose primary group is all-retriable
+///     (same reachability problem, stated from the pivot's perspective).
+std::vector<LintDiagnostic> LintProcess(const ProcessDef& def,
+                                        const ConflictSpec* spec = nullptr);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_LINT_H_

@@ -1,0 +1,45 @@
+#include "core/pred.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+std::string PredOutcome::ToString() const {
+  if (prefix_reducible) return "PRED";
+  std::ostringstream oss;
+  oss << "not PRED: prefix of length " << violating_prefix
+      << " is not reducible";
+  if (!cycle.empty()) {
+    oss << " (cycle:";
+    for (ProcessId pid : cycle) oss << " P" << pid;
+    oss << ")";
+  }
+  return oss.str();
+}
+
+Result<PredOutcome> AnalyzePRED(const ProcessSchedule& schedule,
+                                const ConflictSpec& spec) {
+  PredOutcome outcome;
+  // Every prefix, including the empty one and the full schedule, must be
+  // reducible. Empty prefixes are trivially reducible; start at length 1.
+  for (size_t n = 1; n <= schedule.size(); ++n) {
+    ProcessSchedule prefix = schedule.Prefix(n);
+    TPM_ASSIGN_OR_RETURN(ReductionOutcome red, AnalyzeRED(prefix, spec));
+    if (!red.reducible) {
+      outcome.prefix_reducible = false;
+      outcome.violating_prefix = n;
+      outcome.cycle = red.cycle;
+      return outcome;
+    }
+  }
+  outcome.prefix_reducible = true;
+  return outcome;
+}
+
+Result<bool> IsPRED(const ProcessSchedule& schedule,
+                    const ConflictSpec& spec) {
+  TPM_ASSIGN_OR_RETURN(PredOutcome outcome, AnalyzePRED(schedule, spec));
+  return outcome.prefix_reducible;
+}
+
+}  // namespace tpm

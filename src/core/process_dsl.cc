@@ -1,0 +1,248 @@
+#include "core/process_dsl.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+namespace {
+
+// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string token;
+  while (iss >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+Result<int64_t> ParseInt(const std::string& s, const std::string& what) {
+  try {
+    size_t consumed = 0;
+    int64_t value = std::stoll(s, &consumed);
+    if (consumed != s.size()) {
+      return Status::InvalidArgument(StrCat("bad ", what, ": ", s));
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument(StrCat("bad ", what, ": ", s));
+  }
+}
+
+// Parses "key=value" and returns the value; error if the key mismatches.
+Result<std::string> KeyValue(const std::string& token,
+                             const std::string& key) {
+  auto parts = StrSplit(token, '=');
+  if (parts.size() != 2 || parts[0] != key) {
+    return Status::InvalidArgument(
+        StrCat("expected ", key, "=<value>, got: ", token));
+  }
+  return parts[1];
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ParsedWorld>> ParseWorld(const std::string& text) {
+  auto world = std::make_unique<ParsedWorld>();
+  std::istringstream input(text);
+  std::string line;
+  int line_no = 0;
+
+  ProcessDef* current = nullptr;
+  std::map<std::string, ActivityId> current_activities;
+  // Deferred: activity names per process for schedule resolution.
+  std::map<std::string, std::map<std::string, ActivityId>> activities_by_def;
+  std::vector<std::pair<std::vector<std::string>, bool>> schedule_lines;
+
+  auto error = [&](const std::string& message) {
+    return Status::InvalidArgument(
+        StrCat("line ", line_no, ": ", message));
+  };
+
+  while (std::getline(input, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "process") {
+      if (current != nullptr) return error("nested process definition");
+      if (tokens.size() != 2) return error("usage: process <name>");
+      if (world->def_by_name.count(tokens[1]) > 0) {
+        return error(StrCat("duplicate process ", tokens[1]));
+      }
+      world->defs.push_back(std::make_unique<ProcessDef>(tokens[1]));
+      current = world->defs.back().get();
+      current_activities.clear();
+      continue;
+    }
+    if (keyword == "end") {
+      if (current == nullptr) return error("'end' outside process");
+      Status valid = current->Validate();
+      if (!valid.ok()) return error(valid.ToString());
+      world->def_by_name[current->name()] = current;
+      activities_by_def[current->name()] = current_activities;
+      current = nullptr;
+      continue;
+    }
+    if (keyword == "activity") {
+      if (current == nullptr) return error("'activity' outside process");
+      if (tokens.size() < 4) {
+        return error("usage: activity <name> <c|p|r> service=<id> [comp=<id>]");
+      }
+      ActivityKind kind;
+      if (tokens[2] == "c") {
+        kind = ActivityKind::kCompensatable;
+      } else if (tokens[2] == "p") {
+        kind = ActivityKind::kPivot;
+      } else if (tokens[2] == "r") {
+        kind = ActivityKind::kRetriable;
+      } else if (tokens[2] == "cr") {
+        kind = ActivityKind::kCompensatableRetriable;
+      } else {
+        return error(StrCat("unknown activity kind: ", tokens[2]));
+      }
+      TPM_ASSIGN_OR_RETURN(std::string service_str,
+                           KeyValue(tokens[3], "service"));
+      TPM_ASSIGN_OR_RETURN(int64_t service, ParseInt(service_str, "service"));
+      ServiceId comp;
+      if (tokens.size() >= 5) {
+        TPM_ASSIGN_OR_RETURN(std::string comp_str, KeyValue(tokens[4], "comp"));
+        TPM_ASSIGN_OR_RETURN(int64_t comp_id, ParseInt(comp_str, "comp"));
+        comp = ServiceId(comp_id);
+      }
+      if (current_activities.count(tokens[1]) > 0) {
+        return error(StrCat("duplicate activity ", tokens[1]));
+      }
+      current_activities[tokens[1]] =
+          current->AddActivity(tokens[1], kind, ServiceId(service), comp);
+      continue;
+    }
+    if (keyword == "edge") {
+      if (current == nullptr) return error("'edge' outside process");
+      if (tokens.size() < 3) return error("usage: edge <from> <to> [alt=<n>]");
+      auto from = current_activities.find(tokens[1]);
+      auto to = current_activities.find(tokens[2]);
+      if (from == current_activities.end() || to == current_activities.end()) {
+        return error("edge references unknown activity");
+      }
+      int preference = 0;
+      if (tokens.size() >= 4) {
+        TPM_ASSIGN_OR_RETURN(std::string alt, KeyValue(tokens[3], "alt"));
+        TPM_ASSIGN_OR_RETURN(int64_t p, ParseInt(alt, "alt"));
+        preference = static_cast<int>(p);
+      }
+      Status s = current->AddEdge(from->second, to->second, preference);
+      if (!s.ok()) return error(s.ToString());
+      continue;
+    }
+    if (keyword == "conflict") {
+      if (tokens.size() != 3) return error("usage: conflict <svc> <svc>");
+      TPM_ASSIGN_OR_RETURN(int64_t a, ParseInt(tokens[1], "service"));
+      TPM_ASSIGN_OR_RETURN(int64_t b, ParseInt(tokens[2], "service"));
+      world->spec.AddConflict(ServiceId(a), ServiceId(b));
+      continue;
+    }
+    if (keyword == "effectfree") {
+      if (tokens.size() != 2) return error("usage: effectfree <svc>");
+      TPM_ASSIGN_OR_RETURN(int64_t a, ParseInt(tokens[1], "service"));
+      world->spec.MarkEffectFree(ServiceId(a));
+      continue;
+    }
+    if (keyword == "schedule" || keyword == "schedule!") {
+      schedule_lines.emplace_back(
+          std::vector<std::string>(tokens.begin() + 1, tokens.end()),
+          keyword == "schedule!");
+      continue;
+    }
+    return error(StrCat("unknown keyword: ", keyword));
+  }
+  if (current != nullptr) {
+    return Status::InvalidArgument("unterminated process definition");
+  }
+
+  // Register every process with the schedule (pids in definition order).
+  int64_t next_pid = 1;
+  for (const auto& def : world->defs) {
+    ProcessId pid(next_pid++);
+    world->pid_by_name[def->name()] = pid;
+    TPM_RETURN_IF_ERROR(world->schedule.AddProcess(pid, def.get()));
+  }
+
+  // Replay schedule tokens.
+  for (const auto& [tokens, lenient] : schedule_lines) {
+    world->has_schedule = true;
+    for (const std::string& raw : tokens) {
+      std::string token = raw;
+      // Group abort: GA(p,q,...)
+      if (token.rfind("GA(", 0) == 0 && token.back() == ')') {
+        std::vector<ProcessId> group;
+        for (const std::string& name :
+             StrSplit(token.substr(3, token.size() - 4), ',')) {
+          auto pid = world->pid_by_name.find(name);
+          if (pid == world->pid_by_name.end()) {
+            return Status::InvalidArgument(
+                StrCat("group abort of unknown process: ", name));
+          }
+          group.push_back(pid->second);
+        }
+        TPM_RETURN_IF_ERROR(world->schedule.Append(
+            ScheduleEvent::GroupAbort(group), !lenient));
+        continue;
+      }
+      // Terminal events: C<proc> or A<proc>.
+      if ((token[0] == 'C' || token[0] == 'A') &&
+          world->pid_by_name.count(token.substr(1)) > 0) {
+        ProcessId pid = world->pid_by_name[token.substr(1)];
+        TPM_RETURN_IF_ERROR(world->schedule.Append(
+            token[0] == 'C' ? ScheduleEvent::Commit(pid)
+                            : ScheduleEvent::Abort(pid),
+            !lenient));
+        continue;
+      }
+      // Activity: Proc.activity[^-1][!]
+      bool aborted_invocation = false;
+      bool inverse = false;
+      if (!token.empty() && token.back() == '!') {
+        aborted_invocation = true;
+        token.pop_back();
+      }
+      if (token.size() > 3 && token.substr(token.size() - 3) == "^-1") {
+        inverse = true;
+        token = token.substr(0, token.size() - 3);
+      }
+      auto parts = StrSplit(token, '.');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument(
+            StrCat("malformed schedule token: ", raw));
+      }
+      auto pid = world->pid_by_name.find(parts[0]);
+      if (pid == world->pid_by_name.end()) {
+        return Status::InvalidArgument(
+            StrCat("unknown process in schedule: ", parts[0]));
+      }
+      auto names = activities_by_def.find(parts[0]);
+      auto act = names->second.find(parts[1]);
+      if (act == names->second.end()) {
+        return Status::InvalidArgument(
+            StrCat("unknown activity in schedule: ", raw));
+      }
+      Status s = world->schedule.Append(
+          ScheduleEvent::Activity(
+              ActivityInstance{pid->second, act->second, inverse},
+              aborted_invocation),
+          !lenient);
+      if (!s.ok()) {
+        return Status::InvalidArgument(
+            StrCat("illegal schedule event ", raw, ": ", s.ToString()));
+      }
+    }
+  }
+  return world;
+}
+
+}  // namespace tpm

@@ -1,0 +1,56 @@
+#ifndef TPM_CORE_PROCESS_DSL_H_
+#define TPM_CORE_PROCESS_DSL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/conflict.h"
+#include "core/process.h"
+#include "core/schedule.h"
+
+namespace tpm {
+
+/// A small text format for process definitions, conflict relations and
+/// schedules — used by the schedule analyzer example and handy in tests.
+///
+/// ```
+/// # comments start with '#'
+/// process P1
+///   activity a1 c service=11 comp=111   # c = compensatable
+///   activity a2 p service=12            # p = pivot
+///   activity a3 r service=13            # r = retriable
+///   # cr = compensatable-retriable (footnote 2 extension), needs comp=
+///   edge a1 a2
+///   edge a2 a3 alt=1                    # preference group 1 (alternative)
+/// end
+///
+/// conflict 11 21                        # services 11 and 21 conflict
+/// effectfree 13                         # service 13 is effect-free
+///
+/// schedule P1.a1 P2.a1 P1.a1^-1 P2.a2! C1 A2 GA(P1,P2)
+/// ```
+///
+/// Schedule tokens: `Proc.activity` executes an activity, `^-1` marks the
+/// compensating activity, a trailing `!` marks an aborted invocation,
+/// `C<proc>` / `A<proc>` are terminal events, `GA(p,q,...)` a group abort.
+struct ParsedWorld {
+  std::vector<std::unique_ptr<ProcessDef>> defs;
+  std::map<std::string, const ProcessDef*> def_by_name;
+  std::map<std::string, ProcessId> pid_by_name;
+  ConflictSpec spec;
+  ProcessSchedule schedule;
+  bool has_schedule = false;
+};
+
+/// Parses the DSL. Schedule legality is enforced (illegal schedules are
+/// rejected with a position-annotated error) unless a line reads
+/// `schedule! ...` (trailing bang), which bypasses legality for building
+/// counterexamples.
+Result<std::unique_ptr<ParsedWorld>> ParseWorld(const std::string& text);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_PROCESS_DSL_H_

@@ -1,0 +1,85 @@
+#include "core/recoverability.h"
+
+#include <map>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+std::string ProcRecViolation::ToString() const {
+  return StrCat("Proc-REC clause ", clause, " violated by ",
+                ActivityInstanceToString(earlier), " <<_S ",
+                ActivityInstanceToString(later));
+}
+
+ProcRecOutcome AnalyzeProcessRecoverability(const ProcessSchedule& schedule,
+                                            const ConflictSpec& spec) {
+  ProcRecOutcome outcome;
+  const auto& events = schedule.events();
+
+  // Commit event position per process.
+  std::map<ProcessId, size_t> commit_pos;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == EventType::kCommit) {
+      commit_pos[events[i].process] = i;
+    }
+  }
+
+  // Position of the next non-compensatable original activity of `pid`
+  // strictly after position `from`, or SIZE_MAX.
+  auto next_non_comp = [&](ProcessId pid, size_t from) -> size_t {
+    const ProcessDef* def = schedule.DefOf(pid);
+    for (size_t k = from + 1; k < events.size(); ++k) {
+      const ScheduleEvent& e = events[k];
+      if (e.type != EventType::kActivity || e.aborted_invocation) continue;
+      if (e.act.process != pid || e.act.inverse) continue;
+      if (IsNonCompensatable(def->KindOf(e.act.activity))) return k;
+    }
+    return SIZE_MAX;
+  };
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != EventType::kActivity ||
+        events[i].aborted_invocation) {
+      continue;
+    }
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].type != EventType::kActivity ||
+          events[j].aborted_invocation) {
+        continue;
+      }
+      if (!schedule.InstancesConflict(events[i].act, events[j].act, spec)) {
+        continue;
+      }
+      const ProcessId pi = events[i].act.process;
+      const ProcessId pj = events[j].act.process;
+
+      // Clause 1: C_i <<_S C_j.
+      auto ci = commit_pos.find(pi);
+      auto cj = commit_pos.find(pj);
+      if (cj != commit_pos.end() &&
+          (ci == commit_pos.end() || ci->second > cj->second)) {
+        outcome.violations.push_back(
+            ProcRecViolation{events[i].act, events[j].act, 1});
+      }
+
+      // Clause 2: next non-compensatable of P_j after j must succeed the
+      // next non-compensatable of P_i after i.
+      size_t a_jm = next_non_comp(pj, j);
+      size_t a_in = next_non_comp(pi, i);
+      if (a_jm != SIZE_MAX && a_in != SIZE_MAX && a_jm < a_in) {
+        outcome.violations.push_back(
+            ProcRecViolation{events[i].act, events[j].act, 2});
+      }
+    }
+  }
+  outcome.process_recoverable = outcome.violations.empty();
+  return outcome;
+}
+
+bool IsProcessRecoverable(const ProcessSchedule& schedule,
+                          const ConflictSpec& spec) {
+  return AnalyzeProcessRecoverability(schedule, spec).process_recoverable;
+}
+
+}  // namespace tpm

@@ -1,0 +1,252 @@
+#include "core/reduction.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+namespace {
+
+struct Token {
+  ActivityInstance act;
+  ServiceId service;  // base service (perfect commutativity)
+};
+
+bool TokensConflict(const Token& a, const Token& b, const ConflictSpec& spec) {
+  if (a.act.process == b.act.process) return false;
+  return spec.ServicesConflict(a.service, b.service);
+}
+
+// Extracts the residual token list: activity events minus aborted
+// invocations and effect-free activities of non-committed processes
+// (reduction rule 3).
+std::vector<Token> ExtractTokens(const ProcessSchedule& completed,
+                                 const ConflictSpec& spec,
+                                 const std::set<ProcessId>& committed) {
+  std::vector<Token> tokens;
+  for (const ScheduleEvent& e : completed.events()) {
+    if (e.type != EventType::kActivity) continue;
+    const bool process_committed = committed.count(e.act.process) > 0;
+    if (e.aborted_invocation) {
+      // Aborted local transactions are effect-free. For non-committed
+      // processes rule 3 removes them; for committed processes they remain
+      // but never conflict (see header) — dropping them from the conflict
+      // analysis is equivalent.
+      continue;
+    }
+    ServiceId service = completed.ServiceOf(e.act);
+    if (!process_committed && spec.IsEffectFreeService(service)) {
+      continue;  // rule 3
+    }
+    tokens.push_back(Token{e.act, service});
+  }
+  return tokens;
+}
+
+// Cancels compensation pairs (rule 2 together with rule 1) to a fixpoint:
+// a pair (a, a^-1) of the same activity cancels when no surviving token
+// conflicting with it lies between the two.
+void CancelCompensationPairs(std::vector<Token>* tokens,
+                             const ConflictSpec& spec) {
+  bool changed = true;
+  std::vector<bool> removed(tokens->size(), false);
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < tokens->size(); ++i) {
+      if (removed[i] || (*tokens)[i].act.inverse) continue;
+      // Find the matching inverse occurrence after i.
+      for (size_t j = i + 1; j < tokens->size(); ++j) {
+        if (removed[j]) continue;
+        const Token& tj = (*tokens)[j];
+        if (tj.act.process == (*tokens)[i].act.process &&
+            tj.act.activity == (*tokens)[i].act.activity) {
+          if (!tj.act.inverse) break;  // re-execution: a later original
+          // Check for conflicting tokens strictly between i and j.
+          bool blocked = false;
+          for (size_t k = i + 1; k < j; ++k) {
+            if (removed[k]) continue;
+            if (TokensConflict((*tokens)[i], (*tokens)[k], spec)) {
+              blocked = true;
+              break;
+            }
+          }
+          if (!blocked) {
+            removed[i] = true;
+            removed[j] = true;
+            changed = true;
+          }
+          break;
+        }
+      }
+    }
+  }
+  std::vector<Token> surviving;
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    if (!removed[i]) surviving.push_back((*tokens)[i]);
+  }
+  *tokens = std::move(surviving);
+}
+
+}  // namespace
+
+ReductionOutcome ReduceCompletedSchedule(
+    const ProcessSchedule& completed, const ConflictSpec& spec,
+    const std::set<ProcessId>& committed_in_original) {
+  ReductionOutcome outcome;
+  std::vector<Token> tokens =
+      ExtractTokens(completed, spec, committed_in_original);
+  CancelCompensationPairs(&tokens, spec);
+
+  for (const Token& t : tokens) outcome.residual.push_back(t.act);
+
+  // The residual can be commuted into a serial schedule iff the
+  // process-level conflict graph over the residual is acyclic.
+  std::map<ProcessId, int> node_of;
+  std::vector<ProcessId> ids;
+  for (const auto& [pid, def] : completed.processes()) {
+    node_of[pid] = static_cast<int>(ids.size());
+    ids.push_back(pid);
+  }
+  Dag graph(static_cast<int>(ids.size()));
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      if (TokensConflict(tokens[i], tokens[j], spec)) {
+        graph.AddEdge(node_of[tokens[i].act.process],
+                      node_of[tokens[j].act.process]);
+      }
+    }
+  }
+  if (graph.HasCycle()) {
+    outcome.reducible = false;
+    for (int node : graph.FindCycle()) outcome.cycle.push_back(ids[node]);
+  } else {
+    outcome.reducible = true;
+    auto order = graph.TopologicalOrder();
+    for (int node : *order) outcome.serialization_order.push_back(ids[node]);
+  }
+  return outcome;
+}
+
+namespace {
+
+// --- Exhaustive oracle -----------------------------------------------------
+
+// Compact token encoding for memoization.
+uint64_t EncodeToken(const Token& t) {
+  return (static_cast<uint64_t>(t.act.process.value()) << 40) |
+         (static_cast<uint64_t>(t.act.activity.value()) << 8) |
+         (t.act.inverse ? 1u : 0u);
+}
+
+bool IsSerialSequence(const std::vector<size_t>& seq,
+                      const std::vector<Token>& tokens) {
+  // Serial: each process's tokens form one contiguous block.
+  std::set<int64_t> closed;
+  int64_t current = -1;
+  for (size_t idx : seq) {
+    int64_t pid = tokens[idx].act.process.value();
+    if (pid == current) continue;
+    if (closed.count(pid) > 0) return false;
+    if (current >= 0) closed.insert(current);
+    current = pid;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> IsReducibleExhaustive(
+    const ProcessSchedule& completed, const ConflictSpec& spec,
+    const std::set<ProcessId>& committed_in_original, size_t max_tokens,
+    size_t max_states) {
+  std::vector<Token> tokens =
+      ExtractTokens(completed, spec, committed_in_original);
+  if (tokens.size() > max_tokens) {
+    return Status::InvalidArgument(
+        StrCat("schedule too large for exhaustive reduction: ",
+               tokens.size(), " tokens"));
+  }
+
+  // States are sequences of indices into `tokens`; moves are the three
+  // reduction rules.
+  std::vector<size_t> initial(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) initial[i] = i;
+
+  auto key_of = [&](const std::vector<size_t>& seq) {
+    std::vector<uint64_t> key;
+    key.reserve(seq.size());
+    for (size_t idx : seq) key.push_back(EncodeToken(tokens[idx]));
+    return key;
+  };
+
+  std::set<std::vector<uint64_t>> visited;
+  std::deque<std::vector<size_t>> frontier;
+  visited.insert(key_of(initial));
+  frontier.push_back(std::move(initial));
+
+  while (!frontier.empty()) {
+    if (visited.size() > max_states) {
+      return Status::InvalidArgument("exhaustive reduction state cap hit");
+    }
+    std::vector<size_t> seq = std::move(frontier.front());
+    frontier.pop_front();
+    if (IsSerialSequence(seq, tokens)) return true;
+
+    // Rule 1: swap adjacent commuting tokens.
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      const Token& a = tokens[seq[i]];
+      const Token& b = tokens[seq[i + 1]];
+      bool commute;
+      if (a.act.process == b.act.process) {
+        // Same-process tokens: the commutativity rule still applies when
+        // their services commute.
+        commute = !spec.ServicesConflict(a.service, b.service);
+      } else {
+        commute = !TokensConflict(a, b, spec);
+      }
+      if (commute) {
+        std::vector<size_t> next = seq;
+        std::swap(next[i], next[i + 1]);
+        auto key = key_of(next);
+        if (visited.insert(key).second) frontier.push_back(std::move(next));
+      }
+    }
+    // Rule 2: remove adjacent compensation pairs.
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      const Token& a = tokens[seq[i]];
+      const Token& b = tokens[seq[i + 1]];
+      if (a.act.process == b.act.process &&
+          a.act.activity == b.act.activity && !a.act.inverse &&
+          b.act.inverse) {
+        std::vector<size_t> next;
+        for (size_t k = 0; k < seq.size(); ++k) {
+          if (k != i && k != i + 1) next.push_back(seq[k]);
+        }
+        auto key = key_of(next);
+        if (visited.insert(key).second) frontier.push_back(std::move(next));
+      }
+    }
+  }
+  return false;
+}
+
+Result<bool> IsRED(const ProcessSchedule& schedule, const ConflictSpec& spec) {
+  TPM_ASSIGN_OR_RETURN(ReductionOutcome outcome,
+                       AnalyzeRED(schedule, spec));
+  return outcome.reducible;
+}
+
+Result<ReductionOutcome> AnalyzeRED(const ProcessSchedule& schedule,
+                                    const ConflictSpec& spec) {
+  TPM_ASSIGN_OR_RETURN(ProcessSchedule completed, CompleteSchedule(schedule));
+  std::set<ProcessId> committed;
+  for (const auto& [pid, def] : schedule.processes()) {
+    if (schedule.IsProcessCommitted(pid)) committed.insert(pid);
+  }
+  return ReduceCompletedSchedule(completed, spec, committed);
+}
+
+}  // namespace tpm

@@ -1,0 +1,243 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+ScheduleEvent ScheduleEvent::Activity(ActivityInstance inst,
+                                      bool aborted_invocation) {
+  ScheduleEvent e;
+  e.type = EventType::kActivity;
+  e.act = inst;
+  e.aborted_invocation = aborted_invocation;
+  e.process = inst.process;
+  return e;
+}
+
+ScheduleEvent ScheduleEvent::Commit(ProcessId pid) {
+  ScheduleEvent e;
+  e.type = EventType::kCommit;
+  e.process = pid;
+  return e;
+}
+
+ScheduleEvent ScheduleEvent::Abort(ProcessId pid) {
+  ScheduleEvent e;
+  e.type = EventType::kAbort;
+  e.process = pid;
+  return e;
+}
+
+ScheduleEvent ScheduleEvent::GroupAbort(std::vector<ProcessId> pids) {
+  ScheduleEvent e;
+  e.type = EventType::kGroupAbort;
+  e.group = std::move(pids);
+  return e;
+}
+
+std::string ScheduleEvent::ToString() const {
+  switch (type) {
+    case EventType::kActivity: {
+      std::string s = ActivityInstanceToString(act);
+      if (aborted_invocation) s += "(abort)";
+      return s;
+    }
+    case EventType::kCommit:
+      return StrCat("C", process.value());
+    case EventType::kAbort:
+      return StrCat("A", process.value());
+    case EventType::kGroupAbort: {
+      std::string s = "A(";
+      bool first = true;
+      for (ProcessId p : group) {
+        if (!first) s += ",";
+        first = false;
+        s += StrCat("P", p.value());
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+Status ProcessSchedule::AddProcess(ProcessId pid, const ProcessDef* def) {
+  if (def == nullptr || !def->validated()) {
+    return Status::InvalidArgument("process definition missing or unvalidated");
+  }
+  if (defs_.count(pid) > 0) {
+    return Status::AlreadyExists(StrCat("process P", pid, " already present"));
+  }
+  defs_[pid] = def;
+  states_[pid] = std::make_shared<ProcessExecutionState>(pid, def);
+  return Status::OK();
+}
+
+const ProcessDef* ProcessSchedule::DefOf(ProcessId pid) const {
+  auto it = defs_.find(pid);
+  return it == defs_.end() ? nullptr : it->second;
+}
+
+const ProcessExecutionState* ProcessSchedule::StateOf(ProcessId pid) const {
+  auto it = states_.find(pid);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+// Checks that executing `act` (an original activity) is legal for the
+// process state: all predecessors committed, and all earlier-preference
+// sibling branches resolved (failed or compensated) — the alternative
+// execution semantics of Def. 5.
+Status CheckActivityLegal(const ProcessDef& def,
+                          const ProcessExecutionState& state, ActivityId act) {
+  for (ActivityId pred : def.Predecessors(act)) {
+    if (!state.IsCommitted(pred)) {
+      return Status::FailedPrecondition(
+          StrCat("activity a", act, " requires committed predecessor a",
+                 pred));
+    }
+    auto pref = def.EdgePreference(pred, act);
+    for (int g = 0; g < *pref; ++g) {
+      for (ActivityId sibling : def.SuccessorsInGroup(pred, g)) {
+        for (ActivityId member : def.Subtree(sibling)) {
+          if (state.IsCommitted(member)) {
+            return Status::FailedPrecondition(StrCat(
+                "alternative a", act, " requires prior branch via a", sibling,
+                " to be resolved, but a", member, " is still committed"));
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ProcessSchedule::Append(const ScheduleEvent& event, bool enforce_legal) {
+  switch (event.type) {
+    case EventType::kActivity: {
+      auto it = states_.find(event.act.process);
+      if (it == states_.end()) {
+        return Status::NotFound(
+            StrCat("unknown process P", event.act.process));
+      }
+      ProcessExecutionState& state = *it->second;
+      const ProcessDef& def = *defs_[event.act.process];
+      if (!def.HasActivity(event.act.activity)) {
+        return Status::NotFound(StrCat("unknown activity a", event.act));
+      }
+      if (enforce_legal && !state.IsActive()) {
+        return Status::FailedPrecondition(
+            StrCat("process P", event.act.process, " already terminated"));
+      }
+      if (event.aborted_invocation) {
+        // Aborted invocations leave no trace in the process state.
+        break;
+      }
+      if (event.act.inverse) {
+        Status s = state.RecordCompensation(event.act.activity);
+        if (enforce_legal) TPM_RETURN_IF_ERROR(s);
+      } else {
+        if (enforce_legal) {
+          TPM_RETURN_IF_ERROR(
+              CheckActivityLegal(def, state, event.act.activity));
+        }
+        Status s = state.RecordCommit(event.act.activity);
+        if (enforce_legal) TPM_RETURN_IF_ERROR(s);
+      }
+      break;
+    }
+    case EventType::kCommit:
+    case EventType::kAbort: {
+      auto it = states_.find(event.process);
+      if (it == states_.end()) {
+        return Status::NotFound(StrCat("unknown process P", event.process));
+      }
+      if (enforce_legal && !it->second->IsActive()) {
+        return Status::FailedPrecondition(
+            StrCat("process P", event.process, " already terminated"));
+      }
+      if (event.type == EventType::kCommit) {
+        it->second->RecordCommitProcess();
+      } else {
+        it->second->RecordAbortProcess();
+      }
+      break;
+    }
+    case EventType::kGroupAbort: {
+      for (ProcessId pid : event.group) {
+        auto it = states_.find(pid);
+        if (it == states_.end()) {
+          return Status::NotFound(StrCat("unknown process P", pid));
+        }
+        if (enforce_legal && !it->second->IsActive()) {
+          return Status::FailedPrecondition(
+              StrCat("process P", pid, " already terminated"));
+        }
+        it->second->RecordAbortProcess();
+      }
+      break;
+    }
+  }
+  events_.push_back(event);
+  return Status::OK();
+}
+
+std::vector<ProcessId> ProcessSchedule::ActiveProcesses() const {
+  std::vector<ProcessId> active;
+  for (const auto& [pid, state] : states_) {
+    if (state->IsActive()) active.push_back(pid);
+  }
+  return active;
+}
+
+bool ProcessSchedule::IsProcessCommitted(ProcessId pid) const {
+  const auto* state = StateOf(pid);
+  return state != nullptr && state->outcome() == ProcessOutcome::kCommitted;
+}
+
+ProcessSchedule ProcessSchedule::Prefix(size_t n) const {
+  ProcessSchedule prefix;
+  for (const auto& [pid, def] : defs_) {
+    Status s = prefix.AddProcess(pid, def);
+    (void)s;  // cannot fail: defs were validated on original insertion
+  }
+  const size_t count = std::min(n, events_.size());
+  for (size_t i = 0; i < count; ++i) {
+    // Events were legal in the full schedule; replay without re-checking so
+    // prefixes of deliberately malformed schedules stay representable.
+    Status s = prefix.Append(events_[i], /*enforce_legal=*/false);
+    (void)s;
+  }
+  return prefix;
+}
+
+ServiceId ProcessSchedule::ServiceOf(const ActivityInstance& inst) const {
+  const ProcessDef* def = DefOf(inst.process);
+  if (def == nullptr || !def->HasActivity(inst.activity)) return ServiceId();
+  // Perfect commutativity: a^-1 has exactly the conflicts of a, so conflict
+  // tests use the base service even for inverse instances.
+  return def->activity(inst.activity).service;
+}
+
+bool ProcessSchedule::InstancesConflict(const ActivityInstance& a,
+                                        const ActivityInstance& b,
+                                        const ConflictSpec& spec) const {
+  if (a.process == b.process) return false;
+  ServiceId sa = ServiceOf(a);
+  ServiceId sb = ServiceOf(b);
+  if (!sa.valid() || !sb.valid()) return false;
+  return spec.ServicesConflict(sa, sb);
+}
+
+std::string ProcessSchedule::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(events_.size());
+  for (const auto& e : events_) parts.push_back(e.ToString());
+  return StrCat("<", StrJoin(parts, " "), ">");
+}
+
+}  // namespace tpm

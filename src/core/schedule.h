@@ -1,0 +1,118 @@
+#ifndef TPM_CORE_SCHEDULE_H_
+#define TPM_CORE_SCHEDULE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/activity.h"
+#include "core/conflict.h"
+#include "core/execution_state.h"
+#include "core/process.h"
+
+namespace tpm {
+
+/// Kind of event in a process schedule.
+enum class EventType {
+  kActivity,    // an activity invocation that terminated (commit or abort)
+  kCommit,      // C_i — process commits
+  kAbort,       // A_i — process aborts (individually)
+  kGroupAbort,  // A(P_{n_1},...,P_{n_s}) — set-oriented abort (Def. 8 2b)
+};
+
+/// One event of a process schedule. A schedule is represented as the
+/// sequence of events in the order they were observed; this is one
+/// linearization of the partial order <<_S of Def. 7 — the induced partial
+/// order (program order plus conflict order) is recovered by the analyses.
+struct ScheduleEvent {
+  EventType type = EventType::kActivity;
+
+  /// kActivity: which occurrence.
+  ActivityInstance act;
+  /// kActivity: true if this invocation terminated with abort (e.g., a
+  /// failed invocation a_i(j) of a retriable activity, Def. 3). Aborted
+  /// invocations are effect-free.
+  bool aborted_invocation = false;
+
+  /// kCommit / kAbort: the process. (For kActivity this equals
+  /// act.process.)
+  ProcessId process;
+
+  /// kGroupAbort: the aborted processes.
+  std::vector<ProcessId> group;
+
+  static ScheduleEvent Activity(ActivityInstance inst,
+                                bool aborted_invocation = false);
+  static ScheduleEvent Commit(ProcessId pid);
+  static ScheduleEvent Abort(ProcessId pid);
+  static ScheduleEvent GroupAbort(std::vector<ProcessId> pids);
+
+  std::string ToString() const;
+};
+
+/// A process schedule S = (P_S, A_S, <<_S) of Def. 7, over a set of process
+/// definitions. Events are appended in observation order; per-process legal
+/// execution (Def. 7.1: respecting precedence and preference order) is
+/// enforced on append.
+class ProcessSchedule {
+ public:
+  ProcessSchedule() = default;
+
+  /// Registers a process instance executing `def`. The definition must
+  /// outlive the schedule and be validated.
+  Status AddProcess(ProcessId pid, const ProcessDef* def);
+
+  /// Appends an event, checking process-local legality:
+  /// * an original activity may commit only if all its predecessors on the
+  ///   active branch committed,
+  /// * a compensation may only undo a committed compensatable activity,
+  /// * terminal events must be unique per process.
+  /// Legality checking can be bypassed (`enforce_legal = false`) to build
+  /// deliberately malformed schedules in tests.
+  Status Append(const ScheduleEvent& event, bool enforce_legal = true);
+
+  const std::vector<ScheduleEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  const std::map<ProcessId, const ProcessDef*>& processes() const {
+    return defs_;
+  }
+  const ProcessDef* DefOf(ProcessId pid) const;
+
+  /// Execution state of a process as implied by the appended events.
+  const ProcessExecutionState* StateOf(ProcessId pid) const;
+
+  /// Process ids with no terminal event (active processes).
+  std::vector<ProcessId> ActiveProcesses() const;
+
+  /// True iff the process has a kCommit event.
+  bool IsProcessCommitted(ProcessId pid) const;
+
+  /// The schedule consisting of the first `n` events (same process set).
+  ProcessSchedule Prefix(size_t n) const;
+
+  /// True if instances a (earlier) and b (later, by position) conflict under
+  /// `spec`: different processes and conflicting services, honoring perfect
+  /// commutativity (inverse instances conflict exactly like their
+  /// originals).
+  bool InstancesConflict(const ActivityInstance& a, const ActivityInstance& b,
+                         const ConflictSpec& spec) const;
+
+  /// The service an instance maps to (the original activity's service; the
+  /// compensating instance uses the same service for conflict purposes
+  /// under perfect commutativity).
+  ServiceId ServiceOf(const ActivityInstance& inst) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ScheduleEvent> events_;
+  std::map<ProcessId, const ProcessDef*> defs_;
+  std::map<ProcessId, std::shared_ptr<ProcessExecutionState>> states_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SCHEDULE_H_

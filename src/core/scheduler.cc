@@ -1,0 +1,1446 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "core/flex_structure.h"
+#include "core/pred.h"
+
+namespace tpm {
+
+TransactionalProcessScheduler::TransactionalProcessScheduler(
+    SchedulerOptions options, RecoveryLog* log)
+    : options_(options), log_(log) {}
+
+Status TransactionalProcessScheduler::RegisterSubsystem(Subsystem* subsystem) {
+  if (subsystem == nullptr) {
+    return Status::InvalidArgument("null subsystem");
+  }
+  for (ServiceId service : subsystem->services().AllIds()) {
+    if (routing_.count(service) > 0) {
+      return Status::AlreadyExists(
+          StrCat("service ", service, " already routed"));
+    }
+    routing_[service] = subsystem;
+  }
+  subsystems_.push_back(subsystem);
+  subsystem->services().DeriveConflicts(&spec_);
+  // Rebuild the partner index (registration is rare, scans are hot).
+  conflict_partners_.clear();
+  for (const auto& [a, b] : spec_.ConflictPairs()) {
+    conflict_partners_[a].push_back(b);
+    if (a != b) conflict_partners_[b].push_back(a);
+  }
+  return Status::OK();
+}
+
+void TransactionalProcessScheduler::AddConflict(ServiceId a, ServiceId b) {
+  spec_.AddConflict(a, b);
+  conflict_partners_[a].push_back(b);
+  if (a != b) conflict_partners_[b].push_back(a);
+}
+
+Result<Subsystem*> TransactionalProcessScheduler::RouteService(
+    ServiceId service) const {
+  auto it = routing_.find(service);
+  if (it == routing_.end()) {
+    return Status::NotFound(StrCat("service ", service, " not registered"));
+  }
+  return it->second;
+}
+
+Result<ProcessId> TransactionalProcessScheduler::Submit(
+    const ProcessDef* def, int64_t param,
+    std::vector<ProcessDependency> dependencies) {
+  if (def == nullptr || !def->validated()) {
+    return Status::InvalidArgument("process definition missing/unvalidated");
+  }
+  TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(*def));
+  for (const ActivityDecl& decl : def->activities()) {
+    TPM_RETURN_IF_ERROR(RouteService(decl.service).status());
+    if (decl.compensation_service.valid()) {
+      TPM_RETURN_IF_ERROR(RouteService(decl.compensation_service).status());
+    }
+  }
+  for (const ProcessDependency& dep : dependencies) {
+    auto it = runtimes_.find(dep.process);
+    if (it == runtimes_.end()) {
+      return Status::NotFound(
+          StrCat("dependency on unknown process P", dep.process));
+    }
+    if (!it->second->def->HasActivity(dep.activity)) {
+      return Status::NotFound(StrCat("dependency on unknown activity a",
+                                     dep.activity, " of P", dep.process));
+    }
+  }
+  ProcessId pid(next_pid_++);
+  auto runtime = std::make_unique<ProcessRuntime>(pid, def);
+  runtime->param = param;
+  runtime->dependencies = std::move(dependencies);
+  runtime->submitted_at = clock_;
+  for (ActivityId root : def->Roots()) runtime->ready.insert(root);
+  TPM_RETURN_IF_ERROR(history_.AddProcess(pid, def));
+  if (log_ != nullptr) {
+    log_->Append({SchedulerLogRecord::Kind::kProcessBegin, pid, ActivityId(),
+                  def->name(), param});
+  }
+  runtimes_[pid] = std::move(runtime);
+  return pid;
+}
+
+ProcessOutcome TransactionalProcessScheduler::OutcomeOf(ProcessId pid) const {
+  auto it = runtimes_.find(pid);
+  if (it == runtimes_.end()) return ProcessOutcome::kActive;
+  return it->second->state.outcome();
+}
+
+// ---------------------------------------------------------------------------
+// Conflict bookkeeping.
+
+std::set<ProcessId> TransactionalProcessScheduler::ConflictingPredecessors(
+    const ProcessRuntime& rt, ActivityId act) const {
+  std::set<ProcessId> preds;
+  ServiceId service = rt.def->activity(act).service;
+  auto partners = conflict_partners_.find(service);
+  if (partners == conflict_partners_.end()) return preds;
+  for (ServiceId partner : partners->second) {
+    auto emitters = service_emitters_.find(partner);
+    if (emitters == service_emitters_.end()) continue;
+    for (ProcessId p : emitters->second) {
+      if (p != rt.pid) preds.insert(p);
+    }
+  }
+  return preds;
+}
+
+bool TransactionalProcessScheduler::HasCycleWith(
+    ProcessId pid, const std::set<ProcessId>& new_preds) const {
+  if (new_preds.empty()) return false;
+  // Adding edges p -> pid creates a cycle iff pid already reaches some p.
+  std::set<ProcessId> seen;
+  std::vector<ProcessId> stack = {pid};
+  seen.insert(pid);
+  while (!stack.empty()) {
+    ProcessId v = stack.back();
+    stack.pop_back();
+    auto succ = sg_successors_.find(v);
+    if (succ == sg_successors_.end()) continue;
+    for (ProcessId w : succ->second) {
+      if (new_preds.count(w) > 0) return true;
+      if (seen.insert(w).second) stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+bool TransactionalProcessScheduler::RemainderConflicts(
+    const ProcessRuntime& other, ServiceId service,
+    bool include_compensations) const {
+  // Could `other` still produce an activity conflicting with `service`?
+  // Its remainder consists of not-yet-committed activities (regular
+  // execution, re-execution after compensation, or the forward recovery
+  // path of its completion) and — when `include_compensations` — the
+  // future compensations of its effective committed compensatables (same
+  // service under perfect commutativity).
+  for (const ActivityDecl& decl : other.def->activities()) {
+    const bool relevant =
+        !other.state.IsCommitted(decl.id) ||
+        (include_compensations && IsCompensatableKind(decl.kind));
+    if (relevant && spec_.ServicesConflict(service, decl.service)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TransactionalProcessScheduler::EmittedConflictsWithRemainder(
+    const ProcessRuntime& emitter, const ProcessRuntime& rt,
+    ActivityId exclude) const {
+  // Does some activity `emitter` already executed conflict with an
+  // activity `rt` still has ahead of it (uncommitted, or a future
+  // compensation of a committed compensatable)? `exclude` is the activity
+  // being admitted right now — its direct conflicts are Lemma 1's business.
+  for (const ActivityDecl& decl : rt.def->activities()) {
+    if (decl.id == exclude) continue;
+    const bool pending = !rt.state.IsCommitted(decl.id) ||
+                         IsCompensatableKind(decl.kind);
+    if (!pending) continue;
+    auto partners = conflict_partners_.find(decl.service);
+    if (partners == conflict_partners_.end()) continue;
+    for (ServiceId partner : partners->second) {
+      auto emitters = service_emitters_.find(partner);
+      if (emitters != service_emitters_.end() &&
+          emitters->second.count(emitter.pid) > 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::set<ProcessId> TransactionalProcessScheduler::VirtualCompletionTargets(
+    const ProcessRuntime& rt, ServiceId service) const {
+  std::set<ProcessId> targets;
+  for (const auto& [pid, other] : runtimes_) {
+    if (pid == rt.pid || !other->state.IsActive()) continue;
+    if (RemainderConflicts(*other, service)) targets.insert(pid);
+  }
+  return targets;
+}
+
+bool TransactionalProcessScheduler::SgReaches(ProcessId from,
+                                              ProcessId to) const {
+  if (from == to) return true;
+  std::set<ProcessId> seen;
+  std::vector<ProcessId> stack = {from};
+  seen.insert(from);
+  while (!stack.empty()) {
+    ProcessId v = stack.back();
+    stack.pop_back();
+    auto succ = sg_successors_.find(v);
+    if (succ == sg_successors_.end()) continue;
+    for (ProcessId w : succ->second) {
+      if (w == to) return true;
+      if (seen.insert(w).second) stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+bool TransactionalProcessScheduler::ActiveProcessReachableFrom(
+    ProcessId pid) const {
+  std::set<ProcessId> seen;
+  std::vector<ProcessId> stack = {pid};
+  seen.insert(pid);
+  while (!stack.empty()) {
+    ProcessId v = stack.back();
+    stack.pop_back();
+    auto succ = sg_successors_.find(v);
+    if (succ == sg_successors_.end()) continue;
+    for (ProcessId w : succ->second) {
+      if (w != pid) {
+        auto it = runtimes_.find(w);
+        if (it != runtimes_.end() && it->second->state.IsActive()) {
+          return true;
+        }
+      }
+      if (seen.insert(w).second) stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+void TransactionalProcessScheduler::AddSerializationEdges(
+    ProcessId pid, const std::set<ProcessId>& preds) {
+  for (ProcessId p : preds) {
+    if (p == pid) continue;
+    sg_successors_[p].insert(pid);
+    sg_predecessors_[pid].insert(p);
+  }
+}
+
+void TransactionalProcessScheduler::PruneSerializationGraph() {
+  // A terminated process with no predecessors can never again lie on a
+  // cycle (edges are only ever added toward active requesters), so its
+  // graph bookkeeping can be dropped — recursively, since its removal may
+  // free successors. The runtime itself is kept for outcome queries.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [pid, rt] : runtimes_) {
+      if (rt->state.IsActive() || pruned_.count(pid) > 0 ||
+          !sg_predecessors_[pid].empty()) {
+        continue;
+      }
+      for (ProcessId succ : sg_successors_[pid]) {
+        sg_predecessors_[succ].erase(pid);
+      }
+      sg_successors_.erase(pid);
+      sg_predecessors_.erase(pid);
+      for (auto& [service, emitters] : service_emitters_) {
+        emitters.erase(pid);
+      }
+      pruned_.insert(pid);
+      changed = true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission.
+
+bool TransactionalProcessScheduler::QuasiCommitAdmissible(
+    const ProcessRuntime& blocker, const ProcessRuntime& requester) const {
+  // Example 10: the blocker must be in F-REC (its pre-pivot activities are
+  // quasi-committed: compensation is no longer available), and none of its
+  // remaining activities — uncommitted originals or compensations of
+  // committed compensatables — may conflict with any of the requester's
+  // services.
+  if (blocker.state.recovery_state() != RecoveryState::kForwardRecoverable) {
+    return false;
+  }
+  std::set<ServiceId> remaining;
+  for (const ActivityDecl& decl : blocker.def->activities()) {
+    const bool committed = blocker.state.IsCommitted(decl.id);
+    if (!committed || IsCompensatableKind(decl.kind)) {
+      remaining.insert(decl.service);
+    }
+  }
+  for (const ActivityDecl& decl : requester.def->activities()) {
+    for (ServiceId r : remaining) {
+      if (spec_.ServicesConflict(r, decl.service)) return false;
+    }
+  }
+  return true;
+}
+
+std::set<ProcessId> TransactionalProcessScheduler::ActiveBlockers(
+    const ProcessRuntime& rt, ActivityId act) const {
+  std::set<ProcessId> candidates = ConflictingPredecessors(rt, act);
+  auto preds = sg_predecessors_.find(rt.pid);
+  if (preds != sg_predecessors_.end()) {
+    candidates.insert(preds->second.begin(), preds->second.end());
+  }
+  std::set<ProcessId> blockers;
+  for (ProcessId p : candidates) {
+    auto it = runtimes_.find(p);
+    if (it == runtimes_.end() || !it->second->state.IsActive()) continue;
+    if (options_.quasi_commit_optimization &&
+        QuasiCommitAdmissible(*it->second, rt)) {
+      continue;
+    }
+    blockers.insert(p);
+  }
+  return blockers;
+}
+
+TransactionalProcessScheduler::AdmissionDecision
+TransactionalProcessScheduler::Admit(ProcessRuntime& rt, ActivityId act) {
+  const ActivityDecl& decl = rt.def->activity(act);
+  switch (options_.protocol) {
+    case AdmissionProtocol::kSerial:
+      if (serial_token_.valid() && serial_token_ != rt.pid) {
+        return AdmissionDecision::kDefer;
+      }
+      return AdmissionDecision::kAdmit;
+
+    case AdmissionProtocol::kTwoPhaseLocking:
+      if (!LocksAvailable(rt.pid, decl.service)) {
+        return AdmissionDecision::kDefer;
+      }
+      return AdmissionDecision::kAdmit;
+
+    case AdmissionProtocol::kUnsafe: {
+      std::set<ProcessId> preds = ConflictingPredecessors(rt, act);
+      if (HasCycleWith(rt.pid, preds)) return AdmissionDecision::kFail;
+      return AdmissionDecision::kAdmit;
+    }
+
+    case AdmissionProtocol::kPred: {
+      std::set<ProcessId> preds = ConflictingPredecessors(rt, act);
+      if (HasCycleWith(rt.pid, preds)) {
+        // Admitting now would close a serialization cycle. If an active
+        // process sits on the cycle path it may still abort (its cancelled
+        // pairs then release the edges): wait. If every participant has
+        // terminated the cycle is permanent: fail the activity, triggering
+        // the alternative execution path — except for retriables, which
+        // cannot fail (Def. 3): they execute anyway, trading formal
+        // reducibility for the guaranteed-termination property.
+        if (ActiveProcessReachableFrom(rt.pid)) {
+          return AdmissionDecision::kDefer;
+        }
+        if (IsRetriableKind(decl.kind)) {
+          ++stats_.forced_executions;
+          return AdmissionDecision::kAdmit;
+        }
+        return AdmissionDecision::kFail;
+      }
+      // Crossing prevention: executing after a conflicting activity of an
+      // active P_i that will FORWARD-touch this service again (visible
+      // from its definition) guarantees antisymmetric conflict edges — a
+      // future cycle with a forced abort. Wait for P_i instead. Future
+      // *compensations* of P_i do not count: a later a_ik^-1 is handled
+      // correctly by the reverse-order cascade, not doomed. Processes done
+      // with the service overlap freely (the Figure 7 pipeline
+      // parallelism PRED is about).
+      if (options_.ablation.crossing_prevention) {
+        for (ProcessId p : preds) {
+          auto it = runtimes_.find(p);
+          if (it == runtimes_.end() || !it->second->state.IsActive()) {
+            continue;
+          }
+          if (RemainderConflicts(*it->second, decl.service,
+                                 /*include_compensations=*/false)) {
+            return AdmissionDecision::kDefer;
+          }
+        }
+      }
+      if (IsNonCompensatable(decl.kind) &&
+          options_.ablation.lemma1_deferral) {
+        std::set<ProcessId> blockers = ActiveBlockers(rt, act);
+        if (!blockers.empty()) {
+          if (options_.defer_mode == DeferMode::kDelayExecution) {
+            return AdmissionDecision::kDefer;
+          }
+          // kPrepared2PC: admit into the prepared state; the commit stays
+          // invisible until release, so no pre-ordering hazard arises.
+          return AdmissionDecision::kAdmit;
+        }
+        // No direct blockers: the activity would commit IMMEDIATELY.
+        // §3.5: a committed non-compensatable activity conflicting with the
+        // *potential completion* of an active process P_i pre-orders this
+        // process before P_i (the completion activity would follow it in
+        // every completed schedule). Committing it now is unsafe if P_i
+        // already reaches us in the serialization graph, or if P_i's
+        // emitted activities conflict with our own remainder (the reverse
+        // edge is then inevitable): defer until P_i resolves.
+        if (options_.ablation.completion_preorder) {
+          for (ProcessId v : VirtualCompletionTargets(rt, decl.service)) {
+            if (SgReaches(v, rt.pid)) return AdmissionDecision::kDefer;
+            if (EmittedConflictsWithRemainder(*runtimes_.at(v), rt, act)) {
+              return AdmissionDecision::kDefer;
+            }
+          }
+        }
+      }
+      return AdmissionDecision::kAdmit;
+    }
+  }
+  return AdmissionDecision::kDefer;
+}
+
+// ---------------------------------------------------------------------------
+// Locks (kTwoPhaseLocking).
+
+bool TransactionalProcessScheduler::LocksAvailable(ProcessId pid,
+                                                   ServiceId service) const {
+  for (const auto& [holder, locks] : service_locks_) {
+    if (holder == pid) continue;
+    auto rt = runtimes_.find(holder);
+    if (rt == runtimes_.end() || !rt->second->state.IsActive()) continue;
+    for (ServiceId held : locks) {
+      if (held == service || spec_.ServicesConflict(held, service)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void TransactionalProcessScheduler::AcquireLock(ProcessId pid,
+                                                ServiceId service) {
+  service_locks_[pid].insert(service);
+}
+
+void TransactionalProcessScheduler::ReleaseLocks(ProcessId pid) {
+  service_locks_.erase(pid);
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+
+Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
+                                                   ActivityId act,
+                                                   bool inverse) {
+  std::set<ProcessId> preds = ConflictingPredecessors(rt, act);
+  AddSerializationEdges(rt.pid, preds);
+  const ActivityDecl& emitted_decl = rt.def->activity(act);
+  if (!inverse && IsNonCompensatable(emitted_decl.kind) &&
+      options_.protocol == AdmissionProtocol::kPred &&
+      options_.ablation.completion_preorder) {
+    // Pre-order this process before every active process whose potential
+    // completion conflicts with the frozen activity (§3.5): in any
+    // completed schedule the conflicting completion activity follows it.
+    for (ProcessId v :
+         VirtualCompletionTargets(rt, emitted_decl.service)) {
+      sg_successors_[rt.pid].insert(v);
+      sg_predecessors_[v].insert(rt.pid);
+    }
+  }
+  ActivityInstance inst{rt.pid, act, inverse};
+  TPM_RETURN_IF_ERROR(history_.Append(ScheduleEvent::Activity(inst)));
+  if (inverse) {
+    TPM_RETURN_IF_ERROR(rt.state.RecordCompensation(act));
+    ++stats_.compensations;
+    if (log_ != nullptr) {
+      log_->Append({SchedulerLogRecord::Kind::kActivityCompensated, rt.pid,
+                    act, "", 0});
+    }
+  } else {
+    TPM_RETURN_IF_ERROR(rt.state.RecordCommit(act));
+    ++stats_.activities_committed;
+    if (log_ != nullptr) {
+      log_->Append({SchedulerLogRecord::Kind::kActivityCommitted, rt.pid, act,
+                    "", 0});
+    }
+    rt.active_group[act] = 0;
+    RecomputeReadyFrom(rt, act);
+  }
+  service_emitters_[rt.def->activity(act).service].insert(rt.pid);
+  if (!rt.started) rt.started_at = clock_;
+  rt.started = true;
+  for (SchedulerObserver* observer : observers_) {
+    observer->OnActivityCommitted(rt.pid, act, inverse);
+  }
+  {
+    auto duration = options_.service_durations.find(
+        inverse ? rt.def->activity(act).compensation_service
+                : rt.def->activity(act).service);
+    if (duration != options_.service_durations.end()) {
+      rt.busy_until = clock_ + duration->second;
+    }
+  }
+  if (options_.certify_prefixes) {
+    TPM_RETURN_IF_ERROR(CertifyHistory());
+  }
+  return Status::OK();
+}
+
+Result<bool> TransactionalProcessScheduler::GateCompensation(
+    ProcessRuntime& rt, ActivityId compensated) {
+  // Compensating `compensated` invalidates everything a concurrent process
+  // derived from it (§2.2): every process that executed a conflicting
+  // activity after the original must undo it FIRST — Lemma 2 requires
+  // compensations in reverse order of the originals — so such processes
+  // are cascade-aborted and this compensation waits for their conflicting
+  // effects to disappear. Conflicting effects that can no longer be undone
+  // (committed processes, non-compensatable activities) are the Figure 1
+  // anomaly: possible only under kUnsafe, counted and skipped over.
+  ServiceId service = rt.def->activity(compensated).service;
+  const auto& events = history_.events();
+  // Position of the most recent original commit of `compensated`.
+  size_t original_pos = 0;
+  for (size_t i = events.size(); i-- > 0;) {
+    const ScheduleEvent& e = events[i];
+    if (e.type == EventType::kActivity && !e.aborted_invocation &&
+        !e.act.inverse && e.act.process == rt.pid &&
+        e.act.activity == compensated) {
+      original_pos = i;
+      break;
+    }
+  }
+  bool wait = false;
+  for (size_t i = original_pos + 1; i < events.size(); ++i) {
+    const ScheduleEvent& e = events[i];
+    if (e.type != EventType::kActivity || e.aborted_invocation ||
+        e.act.inverse) {
+      continue;
+    }
+    if (e.act.process == rt.pid) continue;
+    if (!spec_.ServicesConflict(service, history_.ServiceOf(e.act))) continue;
+
+    auto it = runtimes_.find(e.act.process);
+    if (it == runtimes_.end()) continue;
+    ProcessRuntime& other = *it->second;
+    const bool still_effective =
+        other.state.IsCommitted(e.act.activity) &&
+        !other.state.IsCompensated(e.act.activity);
+    if (!still_effective) continue;
+
+    const auto key = std::make_pair(rt.pid.value(),
+                                    e.act.process.value());
+    if (!other.state.IsActive()) {
+      // The dependent already terminated with the stale effect frozen in —
+      // unreachable under the PRED protocol (Lemma 1 / commit-order
+      // deferral), the §2.2 inconsistency under kUnsafe.
+      if (cascade_counted_.insert(key).second) {
+        ++stats_.irrecoverable_cascades;
+      }
+      continue;
+    }
+    // Will the dependent's abort actually undo the activity? Yes for any
+    // compensatable in B-REC, and in F-REC for compensatables past the
+    // last state-determining element; no for non-compensatables and for
+    // quasi-committed effects (F-REC, pre-pivot — Example 10).
+    bool will_undo = false;
+    if (IsCompensatableKind(other.def->KindOf(e.act.activity))) {
+      if (other.state.recovery_state() ==
+          RecoveryState::kBackwardRecoverable) {
+        will_undo = true;
+      } else {
+        const std::vector<ActivityId> effective =
+            other.state.EffectiveCommitted();
+        size_t last_noncomp = 0;
+        size_t e_pos = SIZE_MAX;
+        for (size_t k = 0; k < effective.size(); ++k) {
+          if (IsNonCompensatable(other.def->KindOf(effective[k]))) {
+            last_noncomp = k;
+          }
+          if (effective[k] == e.act.activity) e_pos = k;
+        }
+        will_undo = e_pos != SIZE_MAX && e_pos > last_noncomp;
+      }
+    }
+    if (!other.completing() ||
+        other.on_drain == DrainAction::kActivateGroup) {
+      // Abort the dependent process (cascading abort, §2.2). A pending
+      // branch switch is superseded by the full abort.
+      other.pending.clear();
+      other.on_drain = DrainAction::kNone;
+      if (cascade_counted_.insert(key).second) {
+        ++stats_.cascading_aborts;
+        if (!will_undo) ++stats_.irrecoverable_cascades;
+      }
+      TPM_RETURN_IF_ERROR(StartAbort(other));
+    }
+    // Lemma 2: our compensation must follow the dependent's.
+    if (will_undo) wait = true;
+  }
+  return !wait;
+}
+
+void TransactionalProcessScheduler::RecomputeReadyFrom(ProcessRuntime& rt,
+                                                       ActivityId committed) {
+  int group = rt.active_group.count(committed) > 0
+                  ? rt.active_group[committed]
+                  : 0;
+  for (ActivityId s : rt.def->SuccessorsInGroup(committed, group)) {
+    if (rt.state.IsCommitted(s)) continue;
+    bool all_ready = true;
+    for (ActivityId p : rt.def->Predecessors(s)) {
+      auto pref = rt.def->EdgePreference(p, s);
+      int active = rt.active_group.count(p) > 0 ? rt.active_group[p] : 0;
+      if (*pref != active) continue;  // edge not on the active branch
+      if (!rt.state.IsCommitted(p)) {
+        all_ready = false;
+        break;
+      }
+    }
+    if (all_ready) rt.ready.insert(s);
+  }
+}
+
+Result<bool> TransactionalProcessScheduler::ExecuteActivity(ProcessRuntime& rt,
+                                                            ActivityId act) {
+  const ActivityDecl& decl = rt.def->activity(act);
+  TPM_ASSIGN_OR_RETURN(Subsystem * subsystem, RouteService(decl.service));
+  ServiceRequest request{rt.pid, act, rt.param};
+
+  const bool defer_commit =
+      options_.protocol == AdmissionProtocol::kPred &&
+      options_.defer_mode == DeferMode::kPrepared2PC &&
+      options_.ablation.lemma1_deferral &&
+      IsNonCompensatable(decl.kind) && !ActiveBlockers(rt, act).empty();
+
+  if (options_.protocol == AdmissionProtocol::kTwoPhaseLocking) {
+    AcquireLock(rt.pid, decl.service);
+  }
+  if (options_.protocol == AdmissionProtocol::kSerial &&
+      !serial_token_.valid()) {
+    serial_token_ = rt.pid;
+  }
+
+  if (defer_commit) {
+    Result<PreparedHandle> prepared =
+        subsystem->InvokePrepared(decl.service, request);
+    if (!prepared.ok()) {
+      if (prepared.status().IsUnavailable()) {
+        ++stats_.blocked_by_locks;
+        return false;
+      }
+      if (prepared.status().IsAborted()) {
+        TPM_RETURN_IF_ERROR(HandleInvocationAbort(rt, act));
+        return true;
+      }
+      return prepared.status();
+    }
+    rt.ready.erase(act);
+    // The activity happened physically; record its serialization edges now
+    // even though it only becomes visible in the history at release time.
+    AddSerializationEdges(rt.pid, ConflictingPredecessors(rt, act));
+    rt.prepared.push_back(PreparedBranch{act, subsystem, prepared->tx,
+                                         prepared->return_value});
+    rt.started = true;
+    auto duration = options_.service_durations.find(decl.service);
+    if (duration != options_.service_durations.end()) {
+      rt.busy_until = clock_ + duration->second;
+    }
+    ++stats_.prepared_branches;
+    return true;
+  }
+
+  Result<InvocationOutcome> outcome = subsystem->Invoke(decl.service, request);
+  if (!outcome.ok()) {
+    if (outcome.status().IsUnavailable()) {
+      ++stats_.blocked_by_locks;
+      return false;
+    }
+    if (outcome.status().IsAborted()) {
+      TPM_RETURN_IF_ERROR(HandleInvocationAbort(rt, act));
+      return true;
+    }
+    return outcome.status();
+  }
+  rt.ready.erase(act);
+  TPM_RETURN_IF_ERROR(EmitActivity(rt, act, /*inverse=*/false));
+  return true;
+}
+
+Status TransactionalProcessScheduler::HandleInvocationAbort(ProcessRuntime& rt,
+                                                            ActivityId act) {
+  // The local transaction aborted: record the effect-free invocation.
+  ++stats_.failed_invocations;
+  for (SchedulerObserver* observer : observers_) {
+    observer->OnInvocationFailed(rt.pid, act);
+  }
+  TPM_RETURN_IF_ERROR(history_.Append(ScheduleEvent::Activity(
+      ActivityInstance{rt.pid, act, false}, /*aborted_invocation=*/true)));
+  const ActivityDecl& decl = rt.def->activity(act);
+  if (IsRetriableKind(decl.kind)) {
+    // Def. 3: guaranteed to commit after finitely many invocations; keep it
+    // ready and re-invoke on a later pass.
+    if (++rt.retries[act] > options_.max_retries) {
+      return Status::Internal(
+          StrCat("retriable activity a", act, " of P", rt.pid, " exceeded ",
+                 options_.max_retries,
+                 " retries; the subsystem violates Def. 3"));
+    }
+    return Status::OK();
+  }
+  // Pivot or compensatable failure (Def. 4): alternative execution.
+  return HandleActivityFailure(rt, act);
+}
+
+Status TransactionalProcessScheduler::HandleActivityFailure(ProcessRuntime& rt,
+                                                            ActivityId act) {
+  rt.ready.erase(act);
+  // Find the nearest committed ancestor with an untried alternative whose
+  // active subtree holds no committed non-compensatable activity.
+  ActivityId branch_point;
+  int next_group = -1;
+  std::vector<ActivityId> worklist = {act};
+  std::set<ActivityId> seen;
+  while (!worklist.empty() && !branch_point.valid()) {
+    ActivityId cur = worklist.front();
+    worklist.erase(worklist.begin());
+    if (!seen.insert(cur).second) continue;
+    for (ActivityId p : rt.def->Predecessors(cur)) {
+      if (!rt.state.IsCommitted(p)) continue;
+      auto groups = rt.def->SuccessorGroups(p);
+      int active = rt.active_group.count(p) > 0 ? rt.active_group[p] : 0;
+      if (active + 1 < static_cast<int>(groups.size())) {
+        bool pinned = false;
+        for (ActivityId member : rt.def->Subtree(groups[active])) {
+          if (rt.state.IsCommitted(member) &&
+              IsNonCompensatable(rt.def->KindOf(member))) {
+            pinned = true;
+            break;
+          }
+        }
+        if (!pinned) {
+          branch_point = p;
+          next_group = active + 1;
+          break;
+        }
+      }
+      worklist.push_back(p);
+    }
+  }
+  if (!branch_point.valid()) {
+    // No alternative: abort the process (backward recovery — the
+    // well-formed flex structure guarantees everything committed so far is
+    // compensatable, or forward recovery if a pivot already committed).
+    return StartAbort(rt);
+  }
+  ++stats_.alternatives_taken;
+  for (SchedulerObserver* observer : observers_) {
+    observer->OnAlternativeTaken(rt.pid, branch_point, next_group);
+  }
+  return CompensateSubtree(rt, branch_point, next_group);
+}
+
+Status TransactionalProcessScheduler::CompensateSubtree(ProcessRuntime& rt,
+                                                        ActivityId branch_point,
+                                                        int next_group) {
+  // Queue compensations of committed descendants of the branch point in
+  // reverse commit order; activate the alternative once they drain.
+  const std::vector<ActivityId> committed = rt.state.EffectiveCommitted();
+  for (auto it = committed.rbegin(); it != committed.rend(); ++it) {
+    if (rt.def->Precedes(branch_point, *it)) {
+      rt.pending.push_back(CompletionStep{*it, /*inverse=*/true});
+    }
+  }
+  // Drop ready activities of the abandoned branch.
+  std::set<ActivityId> still_ready;
+  for (ActivityId r : rt.ready) {
+    if (!rt.def->Precedes(branch_point, r)) still_ready.insert(r);
+  }
+  rt.ready = std::move(still_ready);
+  rt.on_drain = DrainAction::kActivateGroup;
+  rt.drain_branch_point = branch_point;
+  rt.drain_group = next_group;
+  return Status::OK();
+}
+
+Status TransactionalProcessScheduler::StartAbort(ProcessRuntime& rt) {
+  ++aborts_started_;  // state change: counts as progress for Step()
+  for (SchedulerObserver* observer : observers_) {
+    observer->OnAbortStarted(rt.pid);
+  }
+  // Prepared-but-unreleased branches never became visible; roll them back.
+  if (!rt.prepared.empty()) {
+    std::vector<CommitBranch> branches;
+    for (const PreparedBranch& b : rt.prepared) {
+      branches.push_back(CommitBranch{b.subsystem, b.tx});
+    }
+    TPM_RETURN_IF_ERROR(coordinator_.AbortAll(branches));
+    rt.prepared.clear();
+  }
+  TPM_ASSIGN_OR_RETURN(Completion completion, ComputeCompletion(rt.state));
+  rt.pending = completion.steps;
+  rt.ready.clear();
+  rt.on_drain = DrainAction::kAbortProcess;
+  return Status::OK();
+}
+
+Result<bool> TransactionalProcessScheduler::ExecuteCompletionStep(
+    ProcessRuntime& rt) {
+  if (rt.pending.empty()) {
+    // Drained: apply the action.
+    DrainAction action = rt.on_drain;
+    rt.on_drain = DrainAction::kNone;
+    if (action == DrainAction::kActivateGroup) {
+      rt.active_group[rt.drain_branch_point] = rt.drain_group;
+      for (ActivityId s : rt.def->SuccessorsInGroup(rt.drain_branch_point,
+                                                    rt.drain_group)) {
+        bool all_ready = true;
+        for (ActivityId p : rt.def->Predecessors(s)) {
+          auto pref = rt.def->EdgePreference(p, s);
+          int active = rt.active_group.count(p) > 0 ? rt.active_group[p] : 0;
+          if (*pref != active) continue;
+          if (!rt.state.IsCommitted(p)) {
+            all_ready = false;
+            break;
+          }
+        }
+        if (all_ready) rt.ready.insert(s);
+      }
+    } else if (action == DrainAction::kAbortProcess) {
+      TPM_RETURN_IF_ERROR(FinishProcess(rt, /*committed=*/false));
+    }
+    return true;
+  }
+
+  const CompletionStep step = rt.pending.front();
+  const ActivityDecl& decl = rt.def->activity(step.activity);
+
+  // Deadlock resolution may force one mutually-blocked recovery step
+  // through (liveness of completions over formal reducibility).
+  bool forced = false;
+  auto must_wait = [&]() {
+    if (forced) return false;
+    if (!force_next_completion_) return true;
+    force_next_completion_ = false;
+    forced = true;
+    ++stats_.forced_executions;
+    return false;
+  };
+
+  if (step.inverse && options_.ablation.compensation_gate) {
+    // Lemma 2 gate: dependents must undo their conflicting work first.
+    TPM_ASSIGN_OR_RETURN(bool ready, GateCompensation(rt, step.activity));
+    if (!ready && must_wait()) return false;
+  }
+  if (!step.inverse) {
+    // A forward completion step freezes its effects; emitting it must not
+    // close a serialization cycle (including the virtual completion
+    // pre-orders). Wait — conflicting parties terminate or abort, and
+    // mutual waits are broken by deadlock resolution.
+    if (options_.protocol == AdmissionProtocol::kPred &&
+        options_.ablation.completion_preorder) {
+      std::set<ProcessId> preds = ConflictingPredecessors(rt, step.activity);
+      bool cycle = HasCycleWith(rt.pid, preds);
+      if (!cycle) {
+        for (ProcessId v : VirtualCompletionTargets(rt, decl.service)) {
+          if (SgReaches(v, rt.pid)) {
+            cycle = true;
+            break;
+          }
+        }
+      }
+      if (cycle) {
+        if (ActiveProcessReachableFrom(rt.pid)) {
+          if (must_wait()) return false;
+        } else {
+          // Permanent cycle: the completion must still terminate
+          // (guaranteed termination); proceed and account for it.
+          ++stats_.forced_executions;
+        }
+      }
+    }
+    // Lemma 3, generalized: a forward (retriable) completion step must
+    // wait while any active process still holds a conflicting effect that
+    // an abort would compensate — running first would wedge that future
+    // compensation behind a frozen retriable (the irreducible cycle of
+    // Lemma 3's proof). The other process either commits (conflict order
+    // stays acyclic) or aborts, in which case its compensation correctly
+    // precedes this step; mutual waits are broken by deadlock resolution.
+    for (const auto& [other_pid, other] : runtimes_) {
+      if (other_pid == rt.pid || !other->state.IsActive()) continue;
+      const std::vector<ActivityId> effective =
+          other->state.EffectiveCommitted();
+      size_t last_noncomp = SIZE_MAX;
+      for (size_t k = 0; k < effective.size(); ++k) {
+        if (IsNonCompensatable(other->def->KindOf(effective[k]))) {
+          last_noncomp = k;
+        }
+      }
+      for (size_t k = 0; k < effective.size(); ++k) {
+        if (other->def->KindOf(effective[k]) !=
+            ActivityKind::kCompensatable) {
+          continue;
+        }
+        // Quasi-committed (pre-pivot, F-REC) effects are never undone.
+        if (last_noncomp != SIZE_MAX && k < last_noncomp) continue;
+        ServiceId other_service =
+            other->def->activity(effective[k]).service;
+        if (spec_.ServicesConflict(decl.service, other_service) &&
+            must_wait()) {
+          return false;
+        }
+      }
+    }
+  }
+
+  ServiceId service =
+      step.inverse ? decl.compensation_service : decl.service;
+  TPM_ASSIGN_OR_RETURN(Subsystem * subsystem, RouteService(service));
+  ServiceRequest request{rt.pid, step.activity, rt.param};
+  Result<InvocationOutcome> outcome = subsystem->Invoke(service, request);
+  if (!outcome.ok()) {
+    if (outcome.status().IsUnavailable()) {
+      ++stats_.blocked_by_locks;
+      return false;
+    }
+    if (outcome.status().IsAborted()) {
+      // Compensating activities are retriable by definition (§3.1), and
+      // forward completion steps are retriable by the well-formed flex
+      // structure: re-invoke on a later pass.
+      ++stats_.failed_invocations;
+      if (++rt.retries[step.activity] > options_.max_retries) {
+        return Status::Internal(
+            StrCat("completion step for a", step.activity, " of P", rt.pid,
+                   " exceeded retry cap"));
+      }
+      return true;
+    }
+    return outcome.status();
+  }
+  rt.pending.erase(rt.pending.begin());
+  TPM_RETURN_IF_ERROR(EmitActivity(rt, step.activity, step.inverse));
+  return true;
+}
+
+Status TransactionalProcessScheduler::ReleasePreparedIfUnblocked(
+    ProcessRuntime& rt) {
+  if (rt.prepared.empty()) return Status::OK();
+  // Lemma 1: the deferred commits are released only once no conflicting
+  // predecessor process is active any more — then all branches commit
+  // atomically via 2PC.
+  auto preds = sg_predecessors_.find(rt.pid);
+  if (preds != sg_predecessors_.end()) {
+    for (ProcessId p : preds->second) {
+      auto it = runtimes_.find(p);
+      if (it == runtimes_.end() || !it->second->state.IsActive()) continue;
+      if (options_.quasi_commit_optimization &&
+          QuasiCommitAdmissible(*it->second, rt)) {
+        continue;
+      }
+      return Status::OK();  // still blocked
+    }
+  }
+  std::vector<CommitBranch> branches;
+  for (const PreparedBranch& b : rt.prepared) {
+    branches.push_back(CommitBranch{b.subsystem, b.tx});
+  }
+  TPM_RETURN_IF_ERROR(coordinator_.CommitAll(branches));
+  std::vector<PreparedBranch> released = std::move(rt.prepared);
+  rt.prepared.clear();
+  for (const PreparedBranch& b : released) {
+    TPM_RETURN_IF_ERROR(EmitActivity(rt, b.activity, /*inverse=*/false));
+  }
+  return Status::OK();
+}
+
+// True iff the aborted process left no trace: everything it committed was
+// compensated, and no conflicting activity of another process was emitted
+// between any original and its compensation — then all its pairs cancel
+// under the compensation rule and the process contributes nothing to any
+// future completed schedule.
+bool TransactionalProcessScheduler::AbortedProcessLeavesNoTrace(
+    const ProcessRuntime& rt) const {
+  if (!rt.state.EffectiveCommitted().empty()) return false;
+  const auto& events = history_.events();
+  // Open compensation spans per activity of rt.pid.
+  std::map<int64_t, size_t> open_span;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ScheduleEvent& e = events[i];
+    if (e.type != EventType::kActivity || e.aborted_invocation) continue;
+    if (e.act.process != rt.pid) continue;
+    if (!e.act.inverse) {
+      open_span[e.act.activity.value()] = i;
+      continue;
+    }
+    auto span = open_span.find(e.act.activity.value());
+    if (span == open_span.end()) return false;  // inconsistent history
+    ServiceId service = rt.def->activity(e.act.activity).service;
+    for (size_t k = span->second + 1; k < i; ++k) {
+      const ScheduleEvent& mid = events[k];
+      if (mid.type != EventType::kActivity || mid.aborted_invocation) {
+        continue;
+      }
+      if (mid.act.process == rt.pid) continue;
+      if (spec_.ServicesConflict(service, history_.ServiceOf(mid.act))) {
+        return false;
+      }
+    }
+    open_span.erase(span);
+  }
+  return open_span.empty();
+}
+
+Status TransactionalProcessScheduler::FinishProcess(ProcessRuntime& rt,
+                                                    bool committed) {
+  TPM_RETURN_IF_ERROR(history_.Append(committed
+                                          ? ScheduleEvent::Commit(rt.pid)
+                                          : ScheduleEvent::Abort(rt.pid)));
+  if (committed) {
+    rt.state.RecordCommitProcess();
+    ++stats_.processes_committed;
+  } else {
+    rt.state.RecordAbortProcess();
+    ++stats_.processes_aborted;
+  }
+  if (log_ != nullptr) {
+    log_->Append({committed ? SchedulerLogRecord::Kind::kProcessCommitted
+                            : SchedulerLogRecord::Kind::kProcessAborted,
+                  rt.pid, ActivityId(), "", 0});
+  }
+  latencies_.push_back(ProcessLatency{rt.pid, rt.submitted_at,
+                                      rt.started_at, clock_,
+                                      rt.state.outcome()});
+  for (SchedulerObserver* observer : observers_) {
+    observer->OnProcessTerminated(rt.pid, rt.state.outcome());
+  }
+  ReleaseLocks(rt.pid);
+  if (serial_token_ == rt.pid) serial_token_ = ProcessId();
+  if (!committed && AbortedProcessLeavesNoTrace(rt)) {
+    // The process reduced away entirely: release its conflict footprint so
+    // it no longer constrains (or cycles with) future activities.
+    for (ProcessId succ : sg_successors_[rt.pid]) {
+      sg_predecessors_[succ].erase(rt.pid);
+    }
+    for (ProcessId pred : sg_predecessors_[rt.pid]) {
+      sg_successors_[pred].erase(rt.pid);
+    }
+    sg_successors_.erase(rt.pid);
+    sg_predecessors_.erase(rt.pid);
+    for (auto& [service, emitters] : service_emitters_) {
+      emitters.erase(rt.pid);
+    }
+    pruned_.insert(rt.pid);
+  }
+  PruneSerializationGraph();
+  return Status::OK();
+}
+
+Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
+    ProcessRuntime& rt) {
+  if (rt.completing()) {
+    return ExecuteCompletionStep(rt);
+  }
+  // Congestion control: unstarted processes wait for a concurrency slot.
+  if (!rt.started && options_.max_concurrent_processes > 0) {
+    int started_active = 0;
+    for (const auto& [pid, other] : runtimes_) {
+      if (other->state.IsActive() && other->started) ++started_active;
+    }
+    if (started_active >= options_.max_concurrent_processes) {
+      return false;  // queued
+    }
+  }
+  // Inter-process start dependencies: stay dormant until every dependency
+  // activity committed; abort cleanly once one becomes unsatisfiable.
+  if (!rt.dependencies.empty()) {
+    std::vector<ProcessDependency> unmet;
+    for (const ProcessDependency& dep : rt.dependencies) {
+      const ProcessRuntime& other = *runtimes_.at(dep.process);
+      const bool committed = other.state.IsCommitted(dep.activity) &&
+                             !other.state.IsCompensated(dep.activity);
+      if (committed) continue;
+      const bool hopeless = !other.state.IsActive() ||
+                            other.state.IsCompensated(dep.activity);
+      if (hopeless) {
+        rt.dependencies.clear();
+        TPM_RETURN_IF_ERROR(StartAbort(rt));
+        return true;
+      }
+      unmet.push_back(dep);
+    }
+    rt.dependencies = std::move(unmet);
+    if (!rt.dependencies.empty()) return false;  // still dormant
+  }
+  if (rt.ready.empty()) {
+    if (!rt.prepared.empty()) {
+      return false;  // waiting for prepared release
+    }
+    // Def. 11 clause 1: a process must not commit before an active process
+    // it conflicts with (edge P_i -> P_j requires C_i << C_j). kUnsafe
+    // ignores this, reproducing the classical behaviour.
+    if (options_.protocol != AdmissionProtocol::kUnsafe) {
+      auto preds = sg_predecessors_.find(rt.pid);
+      if (preds != sg_predecessors_.end()) {
+        for (ProcessId p : preds->second) {
+          auto it = runtimes_.find(p);
+          if (it != runtimes_.end() && it->second->state.IsActive()) {
+            ++stats_.commit_waits;
+            return false;
+          }
+        }
+      }
+    }
+    TPM_RETURN_IF_ERROR(FinishProcess(rt, /*committed=*/true));
+    return true;
+  }
+  bool deferred_any = false;
+  // Snapshot: execution mutates rt.ready.
+  const std::vector<ActivityId> candidates(rt.ready.begin(), rt.ready.end());
+  for (ActivityId act : candidates) {
+    switch (Admit(rt, act)) {
+      case AdmissionDecision::kAdmit: {
+        TPM_ASSIGN_OR_RETURN(bool progress, ExecuteActivity(rt, act));
+        if (progress) return true;
+        break;  // blocked by subsystem locks; try a sibling
+      }
+      case AdmissionDecision::kDefer:
+        deferred_any = true;
+        break;
+      case AdmissionDecision::kFail:
+        // Admitting the activity would create an unresolvable conflict
+        // cycle: treat as a failed invocation, triggering the alternative
+        // execution path (or abort).
+        ++stats_.failed_invocations;
+        TPM_RETURN_IF_ERROR(history_.Append(ScheduleEvent::Activity(
+            ActivityInstance{rt.pid, act, false},
+            /*aborted_invocation=*/true)));
+        TPM_RETURN_IF_ERROR(HandleActivityFailure(rt, act));
+        return true;
+    }
+  }
+  if (deferred_any) ++stats_.deferrals;
+  return false;
+}
+
+Status TransactionalProcessScheduler::ResolveDeadlock() {
+  // Pick a victim among active, non-completing processes: prefer processes
+  // still in B-REC (cheap backward recovery), then the one with the least
+  // committed work to undo, then the youngest.
+  ProcessRuntime* victim = nullptr;
+  auto cost = [](const ProcessRuntime& rt) {
+    return rt.state.EffectiveCommitted().size();
+  };
+  for (auto& [pid, rt] : runtimes_) {
+    if (!rt->state.IsActive() || rt->completing()) continue;
+    if (victim == nullptr) {
+      victim = rt.get();
+      continue;
+    }
+    const bool rt_brec = rt->state.recovery_state() ==
+                         RecoveryState::kBackwardRecoverable;
+    const bool victim_brec = victim->state.recovery_state() ==
+                             RecoveryState::kBackwardRecoverable;
+    if (rt_brec != victim_brec) {
+      if (rt_brec) victim = rt.get();
+      continue;
+    }
+    if (cost(*rt) != cost(*victim)) {
+      if (cost(*rt) < cost(*victim)) victim = rt.get();
+      continue;
+    }
+    if (rt->pid > victim->pid) victim = rt.get();
+  }
+  if (victim == nullptr) {
+    // Every active process is already completing and they block each
+    // other's recovery steps. Completions must terminate (guaranteed
+    // termination): force one blocked step through on the next pass.
+    for (auto& [pid, rt] : runtimes_) {
+      if (rt->state.IsActive() && rt->completing()) {
+        force_next_completion_ = true;
+        return Status::OK();
+      }
+    }
+    std::string detail;
+    for (auto& [pid, rt] : runtimes_) {
+      if (!rt->state.IsActive()) continue;
+      detail += StrCat(" P", pid, "(completing=", rt->completing() ? 1 : 0,
+                       ",pending=", rt->pending.size(),
+                       ",ready=", rt->ready.size(),
+                       ",prepared=", rt->prepared.size(),
+                       ",drain=", static_cast<int>(rt->on_drain));
+      for (const CompletionStep& s : rt->pending) {
+        detail += StrCat(" a", s.activity, s.inverse ? "^-1" : "");
+      }
+      detail += ")";
+    }
+    return Status::Internal(
+        StrCat("scheduler stalled with no abortable process:", detail));
+  }
+  ++stats_.deadlock_victims;
+  return StartAbort(*victim);
+}
+
+Result<bool> TransactionalProcessScheduler::Step() {
+  ++stats_.steps;
+  ++clock_;
+  stats_.virtual_time = clock_;
+  bool progress = false;
+  const int64_t aborts_before = aborts_started_;
+
+  // Release deferred commits whose blockers are gone (Lemma 1).
+  for (auto& [pid, rt] : runtimes_) {
+    if (!rt->state.IsActive() || rt->prepared.empty()) continue;
+    size_t before = rt->prepared.size();
+    TPM_RETURN_IF_ERROR(ReleasePreparedIfUnblocked(*rt));
+    if (rt->prepared.size() != before) progress = true;
+  }
+
+  // One execution attempt per active process, in pid order.
+  std::vector<ProcessId> active;
+  for (auto& [pid, rt] : runtimes_) {
+    if (rt->state.IsActive()) active.push_back(pid);
+  }
+  bool any_busy = false;
+  for (ProcessId pid : active) {
+    auto it = runtimes_.find(pid);
+    if (it == runtimes_.end() || !it->second->state.IsActive()) continue;
+    if (it->second->busy_until > clock_) {
+      any_busy = true;  // a long-running activity is in flight
+      continue;
+    }
+    TPM_ASSIGN_OR_RETURN(bool p, TryExecuteProcess(*it->second));
+    progress = progress || p;
+  }
+
+  bool any_active = false;
+  for (auto& [pid, rt] : runtimes_) {
+    if (rt->state.IsActive()) {
+      any_active = true;
+      break;
+    }
+  }
+  if (!any_active) return false;
+  // Cascade aborts initiated inside admission/compensation gates changed
+  // scheduler state even if no activity executed this pass; time passing
+  // for a long-running activity is progress too.
+  progress = progress || aborts_started_ != aborts_before || any_busy;
+  if (!progress) {
+    TPM_RETURN_IF_ERROR(ResolveDeadlock());
+  }
+  return true;
+}
+
+Status TransactionalProcessScheduler::Run(int64_t max_steps) {
+  for (int64_t i = 0; i < max_steps; ++i) {
+    TPM_ASSIGN_OR_RETURN(bool more, Step());
+    if (!more) return Status::OK();
+  }
+  return Status::Internal("Run() exceeded max_steps");
+}
+
+Status TransactionalProcessScheduler::CertifyHistory() {
+  TPM_ASSIGN_OR_RETURN(bool pred, IsPRED(history_, spec_));
+  if (!pred) {
+    ++stats_.certified_violations;
+    if (options_.protocol == AdmissionProtocol::kPred ||
+        options_.protocol == AdmissionProtocol::kSerial ||
+        options_.protocol == AdmissionProtocol::kTwoPhaseLocking) {
+      return Status::Internal(
+          StrCat("emitted history is not PRED under a safe protocol: ",
+                 history_.ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Crash and recovery.
+
+Status TransactionalProcessScheduler::Checkpoint() {
+  if (log_ == nullptr) {
+    return Status::FailedPrecondition("checkpoint requires a recovery log");
+  }
+  std::vector<SchedulerLogRecord> compact;
+  for (const auto& [pid, rt] : runtimes_) {
+    if (!rt->state.IsActive()) continue;  // effects are durable; drop
+    compact.push_back({SchedulerLogRecord::Kind::kProcessBegin, pid,
+                       ActivityId(), rt->def->name(), rt->param});
+    // The effective committed activities in commit order reconstruct the
+    // state recovery needs (already-compensated work is equivalent to
+    // never-executed work for the completion computation).
+    for (ActivityId act : rt->state.EffectiveCommitted()) {
+      compact.push_back({SchedulerLogRecord::Kind::kActivityCommitted, pid,
+                         act, "", 0});
+    }
+  }
+  log_->ReplaceAll(compact);
+  return Status::OK();
+}
+
+void TransactionalProcessScheduler::Crash() {
+  runtimes_.clear();
+  pruned_.clear();
+  cascade_counted_.clear();
+  force_next_completion_ = false;
+  clock_ = 0;
+  latencies_.clear();
+  history_ = ProcessSchedule();
+  sg_successors_.clear();
+  sg_predecessors_.clear();
+  service_emitters_.clear();
+  service_locks_.clear();
+  serial_token_ = ProcessId();
+}
+
+Status TransactionalProcessScheduler::Recover(
+    const std::map<std::string, const ProcessDef*>& defs_by_name) {
+  if (log_ == nullptr) {
+    return Status::FailedPrecondition("recovery requires a recovery log");
+  }
+  Crash();
+  // Presumed abort: prepared branches whose commit was never decided are
+  // rolled back in every subsystem.
+  for (Subsystem* subsystem : subsystems_) {
+    TPM_RETURN_IF_ERROR(subsystem->AbortAllPrepared());
+  }
+  TPM_ASSIGN_OR_RETURN(std::vector<SchedulerLogRecord> records,
+                       log_->Records());
+
+  // Rebuild process execution states.
+  for (const SchedulerLogRecord& record : records) {
+    switch (record.kind) {
+      case SchedulerLogRecord::Kind::kProcessBegin: {
+        auto def_it = defs_by_name.find(record.def_name);
+        if (def_it == defs_by_name.end()) {
+          return Status::NotFound(
+              StrCat("unknown process definition: ", record.def_name));
+        }
+        auto rt = std::make_unique<ProcessRuntime>(record.pid, def_it->second);
+        rt->param = record.param;
+        TPM_RETURN_IF_ERROR(history_.AddProcess(record.pid, def_it->second));
+        next_pid_ = std::max(next_pid_, record.pid.value() + 1);
+        runtimes_[record.pid] = std::move(rt);
+        break;
+      }
+      case SchedulerLogRecord::Kind::kActivityCommitted: {
+        auto it = runtimes_.find(record.pid);
+        if (it == runtimes_.end()) {
+          return Status::Internal("ACT record for unknown process");
+        }
+        TPM_RETURN_IF_ERROR(it->second->state.RecordCommit(record.activity));
+        TPM_RETURN_IF_ERROR(history_.Append(
+            ScheduleEvent::Activity(
+                ActivityInstance{record.pid, record.activity, false}),
+            /*enforce_legal=*/false));
+        break;
+      }
+      case SchedulerLogRecord::Kind::kActivityCompensated: {
+        auto it = runtimes_.find(record.pid);
+        if (it == runtimes_.end()) {
+          return Status::Internal("COMP record for unknown process");
+        }
+        TPM_RETURN_IF_ERROR(
+            it->second->state.RecordCompensation(record.activity));
+        TPM_RETURN_IF_ERROR(history_.Append(
+            ScheduleEvent::Activity(
+                ActivityInstance{record.pid, record.activity, true}),
+            /*enforce_legal=*/false));
+        break;
+      }
+      case SchedulerLogRecord::Kind::kProcessCommitted: {
+        auto it = runtimes_.find(record.pid);
+        if (it != runtimes_.end()) it->second->state.RecordCommitProcess();
+        TPM_RETURN_IF_ERROR(history_.Append(
+            ScheduleEvent::Commit(record.pid), /*enforce_legal=*/false));
+        break;
+      }
+      case SchedulerLogRecord::Kind::kProcessAborted: {
+        auto it = runtimes_.find(record.pid);
+        if (it != runtimes_.end()) it->second->state.RecordAbortProcess();
+        TPM_RETURN_IF_ERROR(history_.Append(
+            ScheduleEvent::Abort(record.pid), /*enforce_legal=*/false));
+        break;
+      }
+    }
+  }
+
+  // Group abort of all in-flight processes (Def. 8 2b): compensations of
+  // all completions first, in global reverse order of the original commits
+  // (Lemma 2), then the forward recovery paths (Lemma 3).
+  struct BackwardItem {
+    ProcessId pid;
+    ActivityId activity;
+    size_t log_pos;
+  };
+  std::vector<BackwardItem> backward;
+  std::vector<std::pair<ProcessId, ActivityId>> forward;
+  std::vector<ProcessId> aborting;
+
+  // Position of each original commit in the log for Lemma 2 ordering.
+  std::map<std::pair<int64_t, int64_t>, size_t> act_pos;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].kind == SchedulerLogRecord::Kind::kActivityCommitted) {
+      act_pos[{records[i].pid.value(), records[i].activity.value()}] = i;
+    }
+  }
+
+  for (auto& [pid, rt] : runtimes_) {
+    if (!rt->state.IsActive()) continue;
+    aborting.push_back(pid);
+    TPM_ASSIGN_OR_RETURN(Completion completion, ComputeCompletion(rt->state));
+    for (const CompletionStep& step : completion.steps) {
+      if (step.inverse) {
+        auto pos = act_pos.find({pid.value(), step.activity.value()});
+        backward.push_back(BackwardItem{
+            pid, step.activity,
+            pos == act_pos.end() ? size_t{0} : pos->second});
+      } else {
+        forward.emplace_back(pid, step.activity);
+      }
+    }
+  }
+  std::stable_sort(backward.begin(), backward.end(),
+                   [](const BackwardItem& a, const BackwardItem& b) {
+                     return a.log_pos > b.log_pos;
+                   });
+
+  auto execute_step = [&](ProcessId pid, ActivityId activity,
+                          bool inverse) -> Status {
+    ProcessRuntime& rt = *runtimes_[pid];
+    const ActivityDecl& decl = rt.def->activity(activity);
+    ServiceId service = inverse ? decl.compensation_service : decl.service;
+    TPM_ASSIGN_OR_RETURN(Subsystem * subsystem, RouteService(service));
+    ServiceRequest request{pid, activity, rt.param};
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      Result<InvocationOutcome> outcome =
+          subsystem->Invoke(service, request);
+      if (outcome.ok()) {
+        return EmitActivity(rt, activity, inverse);
+      }
+      if (!outcome.status().IsAborted()) return outcome.status();
+    }
+    return Status::Internal("recovery step exceeded retry cap");
+  };
+
+  for (const BackwardItem& item : backward) {
+    TPM_RETURN_IF_ERROR(execute_step(item.pid, item.activity, true));
+  }
+  for (const auto& [pid, activity] : forward) {
+    TPM_RETURN_IF_ERROR(execute_step(pid, activity, false));
+  }
+  for (ProcessId pid : aborting) {
+    TPM_RETURN_IF_ERROR(FinishProcess(*runtimes_[pid], /*committed=*/false));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpm

@@ -1,0 +1,416 @@
+#ifndef TPM_CORE_SCHEDULER_H_
+#define TPM_CORE_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/completion.h"
+#include "core/conflict.h"
+#include "core/execution_state.h"
+#include "core/process.h"
+#include "core/schedule.h"
+#include "log/recovery_log.h"
+#include "subsystem/kv_subsystem.h"
+#include "subsystem/two_phase_commit.h"
+
+namespace tpm {
+
+/// Admission protocol run by the scheduler.
+enum class AdmissionProtocol {
+  /// The paper's protocol: serialization-graph testing plus the Lemma 1
+  /// deferral of non-compensatable activities, guaranteeing every emitted
+  /// prefix is reducible (PRED).
+  kPred,
+  /// One process at a time; trivially correct, no inter-process
+  /// parallelism. Baseline.
+  kSerial,
+  /// Strict two-phase locking at service granularity: an activity waits
+  /// until no conflicting service lock is held by another active process;
+  /// locks are released at process termination. Correct but pessimistic —
+  /// it forbids the compensatable-phase overlap and the quasi-commit
+  /// concurrency PRED allows. Baseline.
+  kTwoPhaseLocking,
+  /// Classical concurrency control only (serializability, no unified
+  /// recovery reasoning): non-compensatable activities are never deferred.
+  /// Produces the irrecoverable interleavings of §2.2/Figure 1; used as
+  /// the negative control.
+  kUnsafe,
+};
+
+/// How the Lemma 1 deferral of non-compensatable activities is realized.
+enum class DeferMode {
+  /// The activity is not invoked until the blockers commit.
+  kDelayExecution,
+  /// The activity is executed immediately but left in the prepared state of
+  /// its subsystem (2PC phase one); all prepared branches of the process
+  /// are committed atomically once the blockers are gone (Lemma 1's
+  /// "deferred commit ... performed atomically by exploiting a two phase
+  /// commit protocol"). Overlaps activity execution with the wait.
+  kPrepared2PC,
+};
+
+/// Toggles for the individual guard mechanisms of the kPred protocol —
+/// used by the ablation experiments (each knob corresponds to one design
+/// element derived from the paper; disabling it shows which anomalies that
+/// element prevents). All default to on; production use should not touch
+/// these.
+struct PredAblation {
+  /// Lemma 1: defer non-compensatable activities behind conflicting active
+  /// predecessors.
+  bool lemma1_deferral = true;
+  /// Defer an activity when a conflicting active process will forward-touch
+  /// the service again (prevents doomed antisymmetric interleavings).
+  bool crossing_prevention = true;
+  /// Lemma 2 / §2.2: gate compensations behind dependents' undo, with
+  /// cascading aborts.
+  bool compensation_gate = true;
+  /// §3.5: pre-order frozen non-compensatables before potential completion
+  /// conflicts (virtual serialization edges) and check forward recovery
+  /// steps against them.
+  bool completion_preorder = true;
+};
+
+struct SchedulerOptions {
+  AdmissionProtocol protocol = AdmissionProtocol::kPred;
+  DeferMode defer_mode = DeferMode::kDelayExecution;
+  PredAblation ablation;
+  /// Example 10: allow an activity of P_j conflicting with an earlier
+  /// activity of an active P_i when P_i is in F-REC and none of P_i's
+  /// remaining or completion activities can conflict with P_j.
+  bool quasi_commit_optimization = false;
+  /// Re-check PRED on the emitted history after every event (O(n^4) —
+  /// tests/small workloads only).
+  bool certify_prefixes = false;
+  /// Safety cap on re-invocations of a retriable activity.
+  int max_retries = 1000;
+  /// Virtual-time cost model: how many clock ticks an invocation of each
+  /// service occupies its process (default 1 for unlisted services). The
+  /// scheduler's clock advances one tick per pass; a process busy with a
+  /// long-running activity skips its turns, so concurrency shows up as
+  /// makespan (stats.virtual_time) < sum of durations.
+  std::map<ServiceId, int64_t> service_durations;
+  /// Congestion control: at most this many processes execute concurrently;
+  /// further submissions queue until a slot frees (0 = unlimited). Under
+  /// extreme contention a small level avoids the abort storms optimistic
+  /// scheduling is prone to (experiment E12c).
+  int max_concurrent_processes = 0;
+};
+
+struct SchedulerStats {
+  int64_t steps = 0;
+  /// Virtual clock at the end of the run (== steps unless a cost model
+  /// makes activities span multiple ticks — then it is the makespan).
+  int64_t virtual_time = 0;
+  int64_t activities_committed = 0;
+  int64_t failed_invocations = 0;
+  int64_t compensations = 0;
+  int64_t deferrals = 0;
+  int64_t blocked_by_locks = 0;
+  int64_t alternatives_taken = 0;
+  int64_t processes_committed = 0;
+  int64_t processes_aborted = 0;
+  int64_t deadlock_victims = 0;
+  int64_t prepared_branches = 0;
+  int64_t quasi_commit_admissions = 0;
+  /// Processes aborted because a compensation of another process
+  /// invalidated data they had consumed (§2.2: the production process must
+  /// be compensated when the BOM it read is invalidated).
+  int64_t cascading_aborts = 0;
+  /// Cascading aborts that hit a process already in F-REC — its pivot had
+  /// committed, so the inconsistency cannot be undone (only possible under
+  /// kUnsafe; the Lemma 1 deferral prevents it).
+  int64_t irrecoverable_cascades = 0;
+  /// Commits delayed to enforce the commit order of Def. 11 clause 1.
+  int64_t commit_waits = 0;
+  /// Retriable activities / forward recovery steps executed although they
+  /// close a serialization cycle whose other participants have all
+  /// terminated: guaranteed termination (liveness) takes precedence over
+  /// formal prefix-reducibility in these corner cases, which only arise in
+  /// extreme-contention abort storms.
+  int64_t forced_executions = 0;
+  /// kUnsafe only: prefixes detected non-reducible when certifying.
+  int64_t certified_violations = 0;
+};
+
+/// Observer interface for scheduler events — tracing, metrics, UIs. All
+/// callbacks default to no-ops; observers must outlive the scheduler and
+/// must not call back into it.
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+  /// An activity (or, with `inverse`, a compensating activity) committed
+  /// and became visible in the history.
+  virtual void OnActivityCommitted(ProcessId pid, ActivityId act,
+                                   bool inverse) {
+    (void)pid;
+    (void)act;
+    (void)inverse;
+  }
+  /// A local transaction terminated with abort (failed invocation).
+  virtual void OnInvocationFailed(ProcessId pid, ActivityId act) {
+    (void)pid;
+    (void)act;
+  }
+  /// The process switched to the alternative `group` at `branch_point`
+  /// (preference order ◁).
+  virtual void OnAlternativeTaken(ProcessId pid, ActivityId branch_point,
+                                  int group) {
+    (void)pid;
+    (void)branch_point;
+    (void)group;
+  }
+  /// The process began aborting (its completion will now execute).
+  virtual void OnAbortStarted(ProcessId pid) { (void)pid; }
+  /// The process reached a terminal state.
+  virtual void OnProcessTerminated(ProcessId pid, ProcessOutcome outcome) {
+    (void)pid;
+    (void)outcome;
+  }
+};
+
+/// The transactional process scheduler (§3): executes processes with
+/// guaranteed termination on top of transactional subsystems, ensuring
+/// serializability and process-recoverability of the emitted schedule via
+/// the PRED criterion, and handling failures by alternative execution
+/// paths, backward/forward recovery and (after a crash) group abort.
+class TransactionalProcessScheduler {
+ public:
+  explicit TransactionalProcessScheduler(SchedulerOptions options = {},
+                                         RecoveryLog* log = nullptr);
+
+  TransactionalProcessScheduler(const TransactionalProcessScheduler&) = delete;
+  TransactionalProcessScheduler& operator=(
+      const TransactionalProcessScheduler&) = delete;
+
+  /// Registers a subsystem; its services become invocable and their derived
+  /// conflicts are added to the scheduler's conflict relation. Subsystems
+  /// must outlive the scheduler.
+  Status RegisterSubsystem(Subsystem* subsystem);
+
+  /// Adds a conflict beyond those derived from read/write sets.
+  void AddConflict(ServiceId a, ServiceId b);
+
+  /// Registers an observer (must outlive the scheduler).
+  void AddObserver(SchedulerObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  const ConflictSpec& conflict_spec() const { return spec_; }
+
+  /// An explicit inter-process order constraint (the inter-process part of
+  /// <<_S, Def. 7): the submitted process may start only after `activity`
+  /// of `process` committed — e.g., Figure 1's "the BOM generated by the
+  /// construction process provides the necessary input of the production
+  /// process".
+  struct ProcessDependency {
+    ProcessId process;
+    ActivityId activity;
+  };
+
+  /// Admits a process instance. The definition must be validated, have
+  /// well-formed flex structure, and reference only registered services.
+  /// `param` is forwarded to every service invocation of the process.
+  /// The process stays dormant until all `dependencies` are met; if a
+  /// dependency becomes unsatisfiable (its process terminates without the
+  /// activity committed, or compensates it before the dependent started),
+  /// the dependent process is aborted (it has not executed anything, so
+  /// the abort is clean).
+  Result<ProcessId> Submit(const ProcessDef* def, int64_t param = 0,
+                           std::vector<ProcessDependency> dependencies = {});
+
+  /// Executes one scheduling pass over all active processes. Returns true
+  /// while work remains.
+  Result<bool> Step();
+
+  /// Runs until all processes terminated (or `max_steps` passes elapsed).
+  Status Run(int64_t max_steps = 1'000'000);
+
+  /// The emitted process schedule (activities, commits, aborts) — the S the
+  /// correctness criteria are evaluated on.
+  const ProcessSchedule& history() const { return history_; }
+
+  /// Per-process latency record (virtual-time ticks).
+  struct ProcessLatency {
+    ProcessId pid;
+    int64_t submitted = 0;   // clock at Submit
+    int64_t started = -1;    // clock of the first executed activity
+    int64_t terminated = -1; // clock of the terminal event
+    ProcessOutcome outcome = ProcessOutcome::kActive;
+  };
+
+  /// Latencies of all terminated processes, in termination order. Queueing
+  /// delay = started - submitted; service time = terminated - started.
+  const std::vector<ProcessLatency>& latencies() const { return latencies_; }
+
+  ProcessOutcome OutcomeOf(ProcessId pid) const;
+
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Simulates a scheduler crash: all volatile state (runtimes, history,
+  /// serialization graph) is lost. Subsystems and the recovery log survive.
+  void Crash();
+
+  /// Rebuilds process states from the recovery log and performs the group
+  /// abort of all in-flight processes (Def. 8 2b): compensations first in
+  /// global reverse order, then the forward recovery paths (Lemma 3). The
+  /// executed recovery actions are emitted into a fresh history.
+  /// `defs_by_name` resolves the definitions referenced by the log.
+  Status Recover(const std::map<std::string, const ProcessDef*>& defs_by_name);
+
+  /// Log compaction: atomically rewrites the recovery log to the minimal
+  /// set of records describing the current in-flight processes (terminated
+  /// processes vanish — their effects are durable in the subsystems).
+  /// Bounds the log, and hence recovery replay time, for long-running
+  /// schedulers. Requires a recovery log.
+  Status Checkpoint();
+
+ private:
+  struct PreparedBranch {
+    ActivityId activity;
+    Subsystem* subsystem = nullptr;
+    TxId tx;
+    int64_t return_value = 0;
+  };
+
+  /// What happens once a runtime's pending recovery/branch-switch steps
+  /// have drained.
+  enum class DrainAction {
+    kNone,
+    kAbortProcess,    // the pending steps were the completion C(P): abort
+    kActivateGroup,   // branch switch: activate the next alternative
+  };
+
+  struct ProcessRuntime {
+    ProcessId pid;
+    const ProcessDef* def = nullptr;
+    ProcessExecutionState state;
+    std::set<ActivityId> ready;
+    std::map<ActivityId, int> active_group;
+    std::map<ActivityId, int> retries;
+    std::vector<PreparedBranch> prepared;
+    /// Compensation / recovery steps to execute with priority (front
+    /// first). While non-empty the process executes only these.
+    std::vector<CompletionStep> pending;
+    DrainAction on_drain = DrainAction::kNone;
+    ActivityId drain_branch_point;
+    int drain_group = 0;
+    int64_t param = 0;
+    /// Unmet inter-process start dependencies (Def. 7 inter-process order).
+    std::vector<ProcessDependency> dependencies;
+    /// Virtual-clock tick until which the process is occupied by its
+    /// currently running activity.
+    int64_t busy_until = 0;
+    /// True once the process executed (or prepared) its first activity —
+    /// it then holds one of the concurrency slots.
+    bool started = false;
+    int64_t submitted_at = 0;
+    int64_t started_at = -1;
+
+    bool completing() const {
+      return !pending.empty() || on_drain != DrainAction::kNone;
+    }
+
+    ProcessRuntime(ProcessId p, const ProcessDef* d)
+        : pid(p), def(d), state(p, d) {}
+  };
+
+  enum class AdmissionDecision { kAdmit, kDefer, kFail };
+
+  Result<Subsystem*> RouteService(ServiceId service) const;
+
+  // Guard evaluation for executing original activity `act` of `rt` now.
+  AdmissionDecision Admit(ProcessRuntime& rt, ActivityId act);
+  bool HasCycleWith(ProcessId pid, const std::set<ProcessId>& new_preds) const;
+  bool ActiveProcessReachableFrom(ProcessId pid) const;
+  bool RemainderConflicts(const ProcessRuntime& other, ServiceId service,
+                          bool include_compensations = true) const;
+  std::set<ProcessId> VirtualCompletionTargets(const ProcessRuntime& rt,
+                                               ServiceId service) const;
+  bool EmittedConflictsWithRemainder(const ProcessRuntime& emitter,
+                                     const ProcessRuntime& rt,
+                                     ActivityId exclude) const;
+  bool SgReaches(ProcessId from, ProcessId to) const;
+  std::set<ProcessId> ConflictingPredecessors(const ProcessRuntime& rt,
+                                              ActivityId act) const;
+  std::set<ProcessId> ActiveBlockers(const ProcessRuntime& rt,
+                                     ActivityId act) const;
+  bool QuasiCommitAdmissible(const ProcessRuntime& blocker,
+                             const ProcessRuntime& requester) const;
+
+  // Execution steps.
+  Result<bool> TryExecuteProcess(ProcessRuntime& rt);
+  Result<bool> ExecuteActivity(ProcessRuntime& rt, ActivityId act);
+  Result<bool> ExecuteCompletionStep(ProcessRuntime& rt);
+  Status HandleInvocationAbort(ProcessRuntime& rt, ActivityId act);
+  Status HandleActivityFailure(ProcessRuntime& rt, ActivityId act);
+  Status StartAbort(ProcessRuntime& rt);
+  bool AbortedProcessLeavesNoTrace(const ProcessRuntime& rt) const;
+  Status FinishProcess(ProcessRuntime& rt, bool committed);
+  Status ReleasePreparedIfUnblocked(ProcessRuntime& rt);
+  Status EmitActivity(ProcessRuntime& rt, ActivityId act, bool inverse);
+  Result<bool> GateCompensation(ProcessRuntime& rt, ActivityId compensated);
+  Status CompensateSubtree(ProcessRuntime& rt, ActivityId branch_point,
+                           int next_group);
+  void RecomputeReadyFrom(ProcessRuntime& rt, ActivityId committed);
+  void AddSerializationEdges(ProcessId pid, const std::set<ProcessId>& preds);
+  void PruneSerializationGraph();
+  Status ResolveDeadlock();
+  Status CertifyHistory();
+
+  // Lock table for the kTwoPhaseLocking protocol.
+  bool LocksAvailable(ProcessId pid, ServiceId service) const;
+  void AcquireLock(ProcessId pid, ServiceId service);
+  void ReleaseLocks(ProcessId pid);
+
+  SchedulerOptions options_;
+  RecoveryLog* log_;  // may be null (no durability)
+  ConflictSpec spec_;
+  std::map<ServiceId, Subsystem*> routing_;
+  std::vector<Subsystem*> subsystems_;
+
+  std::map<ProcessId, std::unique_ptr<ProcessRuntime>> runtimes_;
+  /// Terminated processes whose serialization-graph bookkeeping was
+  /// reclaimed.
+  std::set<ProcessId> pruned_;
+  /// (compensating pid, dependent pid) pairs already counted in the
+  /// cascade statistics (the compensation gate re-evaluates every pass).
+  std::set<std::pair<int64_t, int64_t>> cascade_counted_;
+  ProcessSchedule history_;
+  int64_t next_pid_ = 1;
+
+  // Serialization graph: adjacency over process ids (SGT).
+  std::map<ProcessId, std::set<ProcessId>> sg_successors_;
+  std::map<ProcessId, std::set<ProcessId>> sg_predecessors_;
+
+  // Conflict indices: service -> conflicting services, and service ->
+  // processes that emitted an instance of it.
+  std::map<ServiceId, std::vector<ServiceId>> conflict_partners_;
+  std::map<ServiceId, std::set<ProcessId>> service_emitters_;
+
+  // kSerial: the process currently holding the execution token.
+  ProcessId serial_token_;
+
+  // kTwoPhaseLocking: service locks held per process.
+  std::map<ProcessId, std::set<ServiceId>> service_locks_;
+
+  std::vector<ProcessLatency> latencies_;
+  std::vector<SchedulerObserver*> observers_;
+  TwoPhaseCommitCoordinator coordinator_;
+  SchedulerStats stats_;
+  /// Virtual clock: one tick per scheduling pass.
+  int64_t clock_ = 0;
+  /// Monotone counter of StartAbort calls, used for progress detection.
+  int64_t aborts_started_ = 0;
+  /// Set by deadlock resolution when every active process is completing
+  /// and mutually blocked: lets exactly one blocked recovery step proceed.
+  bool force_next_completion_ = false;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SCHEDULER_H_

@@ -1,0 +1,56 @@
+#ifndef TPM_CORE_SERIALIZABILITY_H_
+#define TPM_CORE_SERIALIZABILITY_H_
+
+#include <map>
+#include <vector>
+
+#include "common/dag.h"
+#include "common/status.h"
+#include "core/conflict.h"
+#include "core/schedule.h"
+
+namespace tpm {
+
+/// The process-level conflict (serialization) graph of a schedule: nodes are
+/// processes, and there is an edge P_i -> P_j iff some activity instance of
+/// P_i precedes (by schedule position) a conflicting activity instance of
+/// P_j. A process schedule is serializable iff this graph is acyclic
+/// (§3.2, [BHG87]).
+struct ConflictGraph {
+  std::vector<ProcessId> process_ids;          // node index -> process id
+  std::map<ProcessId, int> node_of;            // process id -> node index
+  Dag graph{0};
+
+  bool IsAcyclic() const { return !graph.HasCycle(); }
+
+  /// A cycle as process ids (first == last), empty if acyclic.
+  std::vector<ProcessId> FindCycle() const;
+
+  /// A serialization order of the processes (topological order), or an
+  /// error if the graph is cyclic.
+  Result<std::vector<ProcessId>> SerializationOrder() const;
+};
+
+/// Options for conflict-graph construction.
+struct ConflictGraphOptions {
+  /// If true, only activities of committed processes are considered (the
+  /// committed projection used in the serializability proof of Theorem 1).
+  bool committed_projection = false;
+  /// If true, aborted invocations (effect-free) are ignored. They never
+  /// produce effects, so they induce no real conflicts.
+  bool ignore_aborted_invocations = true;
+};
+
+/// Builds the conflict graph of `schedule` under `spec`.
+ConflictGraph BuildConflictGraph(const ProcessSchedule& schedule,
+                                 const ConflictSpec& spec,
+                                 const ConflictGraphOptions& options = {});
+
+/// True iff the schedule is (conflict-)serializable: conflict equivalent to
+/// a serial execution of all processes.
+bool IsSerializable(const ProcessSchedule& schedule, const ConflictSpec& spec,
+                    const ConflictGraphOptions& options = {});
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SERIALIZABILITY_H_

@@ -1,0 +1,54 @@
+#include "core/sot.h"
+
+#include <map>
+
+#include "core/serializability.h"
+
+namespace tpm {
+
+bool IsSOT(const ProcessSchedule& schedule, const ConflictSpec& spec) {
+  if (!IsSerializable(schedule, spec)) return false;
+
+  // Position of each process's terminal event (commit, abort, or group
+  // abort membership).
+  std::map<ProcessId, size_t> terminal_pos;
+  const auto& events = schedule.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    switch (events[i].type) {
+      case EventType::kCommit:
+      case EventType::kAbort:
+        terminal_pos[events[i].process] = i;
+        break;
+      case EventType::kGroupAbort:
+        for (ProcessId pid : events[i].group) terminal_pos[pid] = i;
+        break;
+      case EventType::kActivity:
+        break;
+    }
+  }
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != EventType::kActivity ||
+        events[i].aborted_invocation) {
+      continue;
+    }
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].type != EventType::kActivity ||
+          events[j].aborted_invocation) {
+        continue;
+      }
+      if (!schedule.InstancesConflict(events[i].act, events[j].act, spec)) {
+        continue;
+      }
+      auto ti = terminal_pos.find(events[i].act.process);
+      auto tj = terminal_pos.find(events[j].act.process);
+      if (ti != terminal_pos.end() && tj != terminal_pos.end() &&
+          ti->second > tj->second) {
+        return false;  // terminations against the conflict order
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tpm

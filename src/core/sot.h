@@ -1,0 +1,33 @@
+#ifndef TPM_CORE_SOT_H_
+#define TPM_CORE_SOT_H_
+
+#include "common/status.h"
+#include "core/conflict.h"
+#include "core/schedule.h"
+
+namespace tpm {
+
+/// SOT — "serializable with ordered termination" [AVA+94]: the traditional
+/// unified theory's criterion that can be evaluated on the schedule S alone
+/// (without building the expanded schedule): S must be conflict
+/// serializable and the termination events of conflicting transactions
+/// must follow the conflict order.
+///
+/// §3.5 argues that no SOT-like criterion exists for transactional
+/// processes: the completion of an aborted process contains activities
+/// (the forward recovery path) that are not in S, so correctness cannot be
+/// decided from S alone. This implementation exists to demonstrate that
+/// gap: the experiments exhibit schedules that satisfy SOT but are not
+/// prefix-reducible (e.g., S_t1 of Example 8), and vice versa.
+///
+/// Checked clauses:
+///  1. S (all activities, aborted invocations ignored) is conflict
+///     serializable.
+///  2. For every pair of conflicting activities a_ik <<_S a_jl, the
+///     terminal event of P_i precedes the terminal event of P_j whenever
+///     both are present in S.
+bool IsSOT(const ProcessSchedule& schedule, const ConflictSpec& spec);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SOT_H_

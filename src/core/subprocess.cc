@@ -1,0 +1,99 @@
+#include "core/subprocess.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "core/flex_structure.h"
+
+namespace tpm {
+
+Result<ActivityKind> ClassifySubprocessGuarantee(const ProcessDef& child) {
+  if (!child.validated()) {
+    return Status::FailedPrecondition("child process not validated");
+  }
+  TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(child));
+  bool all_compensatable = true;
+  bool all_retriable = true;
+  bool all_cr = true;
+  for (const ActivityDecl& decl : child.activities()) {
+    if (!IsCompensatableKind(decl.kind)) all_compensatable = false;
+    if (!IsRetriableKind(decl.kind)) all_retriable = false;
+    if (decl.kind != ActivityKind::kCompensatableRetriable) all_cr = false;
+  }
+  if (all_cr) return ActivityKind::kCompensatableRetriable;
+  if (all_compensatable) return ActivityKind::kCompensatable;
+  if (all_retriable) return ActivityKind::kRetriable;
+  return ActivityKind::kPivot;
+}
+
+Result<ProcessDef> InlineSubprocess(const ProcessDef& parent, ActivityId slot,
+                                    const ProcessDef& child) {
+  if (!parent.validated() || !child.validated()) {
+    return Status::FailedPrecondition("definitions must be validated");
+  }
+  if (!parent.HasActivity(slot)) {
+    return Status::NotFound(StrCat("parent has no activity a", slot));
+  }
+  TPM_ASSIGN_OR_RETURN(ActivityKind guarantee,
+                       ClassifySubprocessGuarantee(child));
+  if (parent.activity(slot).kind != guarantee) {
+    return Status::InvalidArgument(StrCat(
+        "slot a", slot, " is declared ",
+        ActivityKindToString(parent.activity(slot).kind),
+        " but the subprocess guarantees ", ActivityKindToString(guarantee)));
+  }
+
+  ProcessDef result(parent.name());
+  std::map<ActivityId, ActivityId> parent_map;  // old parent id -> new id
+  std::map<ActivityId, ActivityId> child_map;   // child id -> new id
+
+  for (const ActivityDecl& decl : parent.activities()) {
+    if (decl.id == slot) continue;
+    parent_map[decl.id] = result.AddActivity(decl.name, decl.kind,
+                                             decl.service,
+                                             decl.compensation_service);
+  }
+  for (const ActivityDecl& decl : child.activities()) {
+    child_map[decl.id] = result.AddActivity(
+        StrCat(child.name(), "/", decl.name), decl.kind, decl.service,
+        decl.compensation_service);
+  }
+
+  // Child-internal edges.
+  for (const PrecedenceEdge& e : child.edges()) {
+    TPM_RETURN_IF_ERROR(
+        result.AddEdge(child_map[e.from], child_map[e.to], e.preference));
+  }
+
+  // Child roots and leaves (activities without predecessors / successors).
+  std::vector<ActivityId> roots = child.Roots();
+  std::vector<ActivityId> leaves;
+  for (const ActivityDecl& decl : child.activities()) {
+    if (child.SuccessorGroups(decl.id).empty()) leaves.push_back(decl.id);
+  }
+
+  // Parent edges, rerouted around the slot.
+  for (const PrecedenceEdge& e : parent.edges()) {
+    if (e.from == slot && e.to == slot) continue;  // cannot happen (no self)
+    if (e.to == slot) {
+      for (ActivityId r : roots) {
+        TPM_RETURN_IF_ERROR(
+            result.AddEdge(parent_map[e.from], child_map[r], e.preference));
+      }
+    } else if (e.from == slot) {
+      for (ActivityId l : leaves) {
+        TPM_RETURN_IF_ERROR(
+            result.AddEdge(child_map[l], parent_map[e.to], e.preference));
+      }
+    } else {
+      TPM_RETURN_IF_ERROR(
+          result.AddEdge(parent_map[e.from], parent_map[e.to], e.preference));
+    }
+  }
+
+  TPM_RETURN_IF_ERROR(result.Validate());
+  TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(result));
+  return result;
+}
+
+}  // namespace tpm

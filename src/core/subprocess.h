@@ -1,0 +1,58 @@
+#ifndef TPM_CORE_SUBPROCESS_H_
+#define TPM_CORE_SUBPROCESS_H_
+
+#include "common/status.h"
+#include "core/process.h"
+
+namespace tpm {
+
+/// Subprocess composition — the future work announced in the paper's
+/// conclusion ("expand the framework ... to identify transactional
+/// execution guarantees of subprocesses").
+///
+/// A process with guaranteed termination, used as a single step of a parent
+/// process, offers the parent a termination guarantee derivable from its
+/// structure:
+///
+///  * all activities compensatable            -> kCompensatable
+///    (the whole subprocess can be undone by compensating in reverse);
+///  * all activities retriable                -> kRetriable
+///    (no step can fail, so the subprocess always commits);
+///  * all activities compensatable-retriable  -> kCompensatableRetriable;
+///  * otherwise (it contains a pivot, or mixes compensatable and plain
+///    retriable stages)                       -> kPivot:
+///    before its state-determining activity it may fail for good, and
+///    after it its effects are permanent — exactly the pivot contract.
+///
+/// ClassifySubprocessGuarantee computes that guarantee;
+/// InlineSubprocess splices the subprocess's activity graph into a parent,
+/// replacing a placeholder activity, so the flat scheduler can execute the
+/// hierarchy while the classification tells designers what structure the
+/// parent needs around it (e.g., a pivot-guarantee subprocess needs an
+/// all-retriable alternative or must sit in pivot position).
+
+/// Returns the termination guarantee `child` offers as a single step.
+/// Requires well-formed flex structure.
+Result<ActivityKind> ClassifySubprocessGuarantee(const ProcessDef& child);
+
+/// Returns a new validated process in which activity `slot` of `parent` is
+/// replaced by the whole of `child`:
+///
+///  * every edge u -> slot becomes u -> r for each root r of child (same
+///    preference),
+///  * every edge slot -> v becomes l -> v for each leaf l of child (same
+///    preference),
+///  * child-internal activities, edges and preferences are copied
+///    verbatim; activity ids are renumbered, names prefixed with
+///    "<child-name>/".
+///
+/// The declared kind of `slot` must match ClassifySubprocessGuarantee(child)
+/// — the parent's structural guarantees (well-formedness) were established
+/// against that contract. The result is re-validated, including the
+/// well-formed flex structure.
+Result<ProcessDef> InlineSubprocess(const ProcessDef& parent, ActivityId slot,
+                                    const ProcessDef& child);
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SUBPROCESS_H_

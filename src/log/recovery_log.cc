@@ -1,0 +1,78 @@
+#include "log/recovery_log.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+namespace {
+
+const char* KindToken(SchedulerLogRecord::Kind kind) {
+  switch (kind) {
+    case SchedulerLogRecord::Kind::kProcessBegin:
+      return "BEGIN";
+    case SchedulerLogRecord::Kind::kActivityCommitted:
+      return "ACT";
+    case SchedulerLogRecord::Kind::kActivityCompensated:
+      return "COMP";
+    case SchedulerLogRecord::Kind::kProcessCommitted:
+      return "COMMIT";
+    case SchedulerLogRecord::Kind::kProcessAborted:
+      return "ABORT";
+  }
+  return "?";
+}
+
+Result<SchedulerLogRecord::Kind> ParseKind(const std::string& token) {
+  if (token == "BEGIN") return SchedulerLogRecord::Kind::kProcessBegin;
+  if (token == "ACT") return SchedulerLogRecord::Kind::kActivityCommitted;
+  if (token == "COMP") return SchedulerLogRecord::Kind::kActivityCompensated;
+  if (token == "COMMIT") return SchedulerLogRecord::Kind::kProcessCommitted;
+  if (token == "ABORT") return SchedulerLogRecord::Kind::kProcessAborted;
+  return Status::InvalidArgument(StrCat("unknown log record kind: ", token));
+}
+
+}  // namespace
+
+std::string SchedulerLogRecord::Serialize() const {
+  return StrCat(KindToken(kind), "|", pid.value(), "|", activity.value(), "|",
+                param, "|", def_name);
+}
+
+Result<SchedulerLogRecord> SchedulerLogRecord::Parse(const std::string& line) {
+  std::vector<std::string> parts = StrSplit(line, '|');
+  if (parts.size() < 5) {
+    return Status::InvalidArgument(StrCat("malformed log record: ", line));
+  }
+  SchedulerLogRecord record;
+  TPM_ASSIGN_OR_RETURN(record.kind, ParseKind(parts[0]));
+  record.pid = ProcessId(std::stoll(parts[1]));
+  record.activity = ActivityId(std::stoll(parts[2]));
+  record.param = std::stoll(parts[3]);
+  // The def name may itself contain '|'-free text; rejoin defensively.
+  record.def_name = parts[4];
+  for (size_t i = 5; i < parts.size(); ++i) {
+    record.def_name += "|" + parts[i];
+  }
+  return record;
+}
+
+void RecoveryLog::ReplaceAll(const std::vector<SchedulerLogRecord>& records) {
+  wal_.Clear();
+  for (const SchedulerLogRecord& record : records) {
+    wal_.Append(record.Serialize());
+  }
+  wal_.Flush();
+}
+
+Result<std::vector<SchedulerLogRecord>> RecoveryLog::Records() const {
+  std::vector<SchedulerLogRecord> records;
+  const auto& lines = wal_.records();
+  for (size_t i = 0; i < wal_.durable_size(); ++i) {
+    TPM_ASSIGN_OR_RETURN(SchedulerLogRecord record,
+                         SchedulerLogRecord::Parse(lines[i]));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace tpm

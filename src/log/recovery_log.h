@@ -1,0 +1,73 @@
+#ifndef TPM_LOG_RECOVERY_LOG_H_
+#define TPM_LOG_RECOVERY_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "log/wal.h"
+
+namespace tpm {
+
+/// One record of the process scheduler's recovery log. The log captures
+/// exactly the information needed to recompute every process's execution
+/// state (and hence its completion C(P), §3.1) after a scheduler crash.
+struct SchedulerLogRecord {
+  enum class Kind {
+    kProcessBegin,        // process admitted (def identified by name)
+    kActivityCommitted,   // original activity committed in its subsystem
+    kActivityCompensated, // compensating activity executed
+    kProcessCommitted,    // C_i
+    kProcessAborted,      // A_i (its completion has been fully executed)
+  };
+
+  Kind kind = Kind::kProcessBegin;
+  ProcessId pid;
+  ActivityId activity;     // for activity records
+  std::string def_name;    // for kProcessBegin
+  int64_t param = 0;       // for kProcessBegin: the process's parameter
+
+  std::string Serialize() const;
+  static Result<SchedulerLogRecord> Parse(const std::string& line);
+
+  friend bool operator==(const SchedulerLogRecord& a,
+                         const SchedulerLogRecord& b) {
+    return a.kind == b.kind && a.pid == b.pid && a.activity == b.activity &&
+           a.def_name == b.def_name && a.param == b.param;
+  }
+};
+
+/// Typed wrapper over the WAL used by the scheduler. Synchronous by
+/// default: a record is durable once Append returns, which is what the
+/// correctness argument for crash recovery assumes (an activity is never
+/// committed in a subsystem before its log record is durable).
+class RecoveryLog {
+ public:
+  explicit RecoveryLog(bool synchronous = true) : wal_(synchronous) {}
+
+  void Append(const SchedulerLogRecord& record) {
+    wal_.Append(record.Serialize());
+  }
+  void Flush() { wal_.Flush(); }
+  void Crash() { wal_.Crash(); }
+  void Clear() { wal_.Clear(); }
+
+  /// Log compaction: atomically replaces the whole log with `records` (a
+  /// checkpoint of the live state written by the scheduler). Modeled after
+  /// the write-new-file-then-rename idiom: the replacement is durable as a
+  /// unit.
+  void ReplaceAll(const std::vector<SchedulerLogRecord>& records);
+
+  size_t size() const { return wal_.size(); }
+
+  /// Parses all durable records.
+  Result<std::vector<SchedulerLogRecord>> Records() const;
+
+ private:
+  Wal wal_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_LOG_RECOVERY_LOG_H_

@@ -1,0 +1,10 @@
+#include "log/wal.h"
+
+namespace tpm {
+
+void Wal::Append(std::string record) {
+  records_.push_back(std::move(record));
+  if (synchronous_) durable_size_ = records_.size();
+}
+
+}  // namespace tpm

@@ -1,0 +1,47 @@
+#ifndef TPM_LOG_WAL_H_
+#define TPM_LOG_WAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpm {
+
+/// Append-only write-ahead log with an explicit durability boundary.
+///
+/// Records are strings (serialization is the caller's concern). In
+/// synchronous mode every append is immediately durable; in asynchronous
+/// mode appends stay volatile until Flush(), and Crash() discards the
+/// unflushed tail — modeling the usual WAL trade-off between commit latency
+/// and loss window.
+class Wal {
+ public:
+  explicit Wal(bool synchronous = true) : synchronous_(synchronous) {}
+
+  void Append(std::string record);
+  void Flush() { durable_size_ = records_.size(); }
+
+  /// Simulates a crash of the logging component: the unflushed tail is
+  /// lost; durable records survive.
+  void Crash() { records_.resize(durable_size_); }
+
+  /// All records, durable prefix first.
+  const std::vector<std::string>& records() const { return records_; }
+  size_t durable_size() const { return durable_size_; }
+  size_t size() const { return records_.size(); }
+
+  void Clear() {
+    records_.clear();
+    durable_size_ = 0;
+  }
+
+ private:
+  bool synchronous_;
+  std::vector<std::string> records_;
+  size_t durable_size_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_LOG_WAL_H_

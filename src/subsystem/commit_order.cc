@@ -1,0 +1,99 @@
+#include "subsystem/commit_order.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+Result<TxId> CommitOrderedTxManager::Begin(int64_t order_position) {
+  if (order_position <= last_committed_position_) {
+    return Status::InvalidArgument(
+        StrCat("order position ", order_position,
+               " already passed (last committed: ",
+               last_committed_position_, ")"));
+  }
+  for (const auto& [tx, state] : txs_) {
+    if (state.order_position == order_position) {
+      return Status::AlreadyExists(
+          StrCat("order position ", order_position, " already taken"));
+    }
+  }
+  TxId tx(next_tx_++);
+  Tx state;
+  state.order_position = order_position;
+  state.begin_version = store_->version();
+  txs_[tx] = std::move(state);
+  return tx;
+}
+
+Status CommitOrderedTxManager::Execute(TxId tx, const ServiceDef& service,
+                                       const ServiceRequest& request,
+                                       int64_t* return_value) {
+  auto it = txs_.find(tx);
+  if (it == txs_.end()) {
+    return Status::NotFound(StrCat("unknown transaction ", tx));
+  }
+  Tx& state = it->second;
+  // Sandbox with snapshot + read-your-writes semantics over the declared
+  // key sets.
+  KvStore sandbox;
+  auto read_through = [&](const std::string& key) {
+    auto write = state.writes.find(key);
+    if (write != state.writes.end()) return write->second;
+    int64_t value = store_->Get(key);
+    state.reads.emplace(key, value);  // first read wins (snapshot record)
+    return value;
+  };
+  for (const auto& key : service.read_set) sandbox.Put(key, read_through(key));
+  for (const auto& key : service.write_set) {
+    sandbox.Put(key, read_through(key));
+  }
+  int64_t ret = 0;
+  TPM_RETURN_IF_ERROR(service.body(&sandbox, request, &ret));
+  for (const auto& key : service.write_set) {
+    state.writes[key] = sandbox.Get(key);
+  }
+  if (return_value != nullptr) *return_value = ret;
+  return Status::OK();
+}
+
+Status CommitOrderedTxManager::Commit(TxId tx) {
+  auto it = txs_.find(tx);
+  if (it == txs_.end()) {
+    return Status::NotFound(StrCat("unknown transaction ", tx));
+  }
+  Tx& state = it->second;
+  // Commit-order gate: every live transaction with a lower position must
+  // commit first.
+  for (const auto& [other, other_state] : txs_) {
+    if (other != tx && other_state.order_position < state.order_position) {
+      return Status::FailedPrecondition(
+          StrCat("transaction at position ", other_state.order_position,
+                 " must commit before position ", state.order_position));
+    }
+  }
+  // Read validation: a read is stale if the key's current value differs
+  // from what this transaction observed (someone ordered before us
+  // committed a conflicting write after our begin).
+  for (const auto& [key, observed] : state.reads) {
+    if (store_->Get(key) != observed) {
+      txs_.erase(it);
+      return Status::Aborted(
+          StrCat("stale read of '", key, "': restart required (§3.6)"));
+    }
+  }
+  for (const auto& [key, value] : state.writes) {
+    store_->Put(key, value);
+  }
+  last_committed_position_ = state.order_position;
+  txs_.erase(it);
+  return Status::OK();
+}
+
+Status CommitOrderedTxManager::Abort(TxId tx) {
+  if (txs_.erase(tx) == 0) {
+    return Status::NotFound(StrCat("unknown transaction ", tx));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpm

@@ -1,0 +1,71 @@
+#ifndef TPM_SUBSYSTEM_COMMIT_ORDER_H_
+#define TPM_SUBSYSTEM_COMMIT_ORDER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "subsystem/kv_store.h"
+#include "subsystem/service.h"
+
+namespace tpm {
+
+/// Commit-order serializability [BBG89] inside a subsystem — the mechanism
+/// §3.6 requires for executing weakly ordered conflicting activities in
+/// parallel: multiple local transactions run concurrently against the
+/// store; the subsystem guarantees that the overall effect equals the
+/// serial execution in the declared (weak) order by controlling commit
+/// order and validating reads.
+///
+/// Model: each local transaction buffers its writes; reads see the store
+/// as of its begin plus its own writes (snapshot + read-your-writes).
+/// Commit is only allowed in the declared order; at commit, the
+/// transaction's read set is validated against writes committed after its
+/// begin by transactions ordered before it — on conflict the transaction
+/// is aborted and must be re-invoked (the §3.6 restart), exactly the
+/// cascade the weak-order simulator models in time.
+class CommitOrderedTxManager {
+ public:
+  explicit CommitOrderedTxManager(KvStore* store) : store_(store) {}
+
+  /// Starts a local transaction with the given commit-order position
+  /// (lower positions must commit first). Positions must be unique among
+  /// live transactions.
+  Result<TxId> Begin(int64_t order_position);
+
+  /// Executes a service body inside the transaction (buffered).
+  Status Execute(TxId tx, const ServiceDef& service,
+                 const ServiceRequest& request, int64_t* return_value);
+
+  /// Commits the transaction. Fails with kFailedPrecondition if a
+  /// lower-positioned live transaction has not committed yet (the caller
+  /// retries later), and with kAborted if read validation fails (stale
+  /// snapshot) — the transaction is then rolled back and must be restarted
+  /// via Begin/Execute.
+  Status Commit(TxId tx);
+
+  /// Discards the transaction.
+  Status Abort(TxId tx);
+
+  size_t live() const { return txs_.size(); }
+
+ private:
+  struct Tx {
+    int64_t order_position = 0;
+    uint64_t begin_version = 0;
+    std::map<std::string, int64_t> writes;
+    std::map<std::string, int64_t> reads;  // key -> value observed
+  };
+
+  KvStore* store_;
+  std::map<TxId, Tx> txs_;
+  int64_t next_tx_ = 1;
+  int64_t last_committed_position_ = -1;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_SUBSYSTEM_COMMIT_ORDER_H_

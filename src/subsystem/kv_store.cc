@@ -1,0 +1,35 @@
+#include "subsystem/kv_store.h"
+
+namespace tpm {
+
+int64_t KvStore::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second;
+}
+
+void KvStore::Put(const std::string& key, int64_t value) {
+  ++version_;
+  if (value == 0) {
+    data_.erase(key);
+  } else {
+    data_[key] = value;
+  }
+}
+
+void KvStore::Add(const std::string& key, int64_t delta) {
+  Put(key, Get(key) + delta);
+}
+
+void KvStore::Erase(const std::string& key) { Put(key, 0); }
+
+bool KvStore::Exists(const std::string& key) const {
+  return data_.count(key) > 0;
+}
+
+std::map<std::string, int64_t> KvStore::Snapshot() const { return data_; }
+
+bool KvStore::SameContents(const KvStore& other) const {
+  return data_ == other.data_;
+}
+
+}  // namespace tpm

@@ -1,0 +1,47 @@
+#ifndef TPM_SUBSYSTEM_KV_STORE_H_
+#define TPM_SUBSYSTEM_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpm {
+
+/// The state of a simulated transactional subsystem: a versioned key-value
+/// store over string keys and int64 values.
+///
+/// Absent keys read as 0, so services can be written without existence
+/// checks (a key holding 0 and an absent key are indistinguishable; Erase
+/// is equivalent to Put 0 plus garbage collection). Each mutation bumps a
+/// global version counter used by tests to detect effect-freeness of
+/// compensation sequences.
+class KvStore {
+ public:
+  KvStore() = default;
+
+  int64_t Get(const std::string& key) const;
+  void Put(const std::string& key, int64_t value);
+  void Add(const std::string& key, int64_t delta);
+  void Erase(const std::string& key);
+  bool Exists(const std::string& key) const;
+
+  uint64_t version() const { return version_; }
+  size_t size() const { return data_.size(); }
+
+  /// Full state snapshot, used by tests to compare effects.
+  std::map<std::string, int64_t> Snapshot() const;
+
+  /// True iff both stores hold the same live (non-zero) entries.
+  bool SameContents(const KvStore& other) const;
+
+ private:
+  std::map<std::string, int64_t> data_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_SUBSYSTEM_KV_STORE_H_

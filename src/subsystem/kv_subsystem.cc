@@ -1,0 +1,82 @@
+#include "subsystem/kv_subsystem.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+KvSubsystem::KvSubsystem(SubsystemId id, std::string name, uint64_t seed)
+    : id_(id), name_(std::move(name)), rng_(seed) {}
+
+Status KvSubsystem::RegisterService(ServiceDef def) {
+  return registry_.Register(std::move(def));
+}
+
+Status KvSubsystem::MaybeInjectFailure(ServiceId service) {
+  auto scripted = scripted_failures_.find(service);
+  if (scripted != scripted_failures_.end() && scripted->second > 0) {
+    --scripted->second;
+    ++injected_aborts_;
+    return Status::Aborted(
+        StrCat("scripted failure of service ", service, " in ", name_));
+  }
+  auto prob = failure_probability_.find(service);
+  if (prob != failure_probability_.end() && rng_.NextBool(prob->second)) {
+    ++injected_aborts_;
+    return Status::Aborted(
+        StrCat("random failure of service ", service, " in ", name_));
+  }
+  return Status::OK();
+}
+
+Result<InvocationOutcome> KvSubsystem::Invoke(ServiceId service,
+                                              const ServiceRequest& request) {
+  TPM_ASSIGN_OR_RETURN(const ServiceDef* def, registry_.Lookup(service));
+  if (tx_manager_.WouldBlock(*def)) {
+    return Status::Unavailable(
+        StrCat("service ", def->name, " blocked by prepared transaction"));
+  }
+  ++invocations_;
+  TPM_RETURN_IF_ERROR(MaybeInjectFailure(service));
+  return tx_manager_.InvokeImmediate(*def, request);
+}
+
+Result<PreparedHandle> KvSubsystem::InvokePrepared(
+    ServiceId service, const ServiceRequest& request) {
+  TPM_ASSIGN_OR_RETURN(const ServiceDef* def, registry_.Lookup(service));
+  if (tx_manager_.WouldBlock(*def)) {
+    return Status::Unavailable(
+        StrCat("service ", def->name, " blocked by prepared transaction"));
+  }
+  ++invocations_;
+  TPM_RETURN_IF_ERROR(MaybeInjectFailure(service));
+  return tx_manager_.InvokePrepared(*def, request);
+}
+
+Status KvSubsystem::CommitPrepared(TxId tx) {
+  return tx_manager_.CommitPrepared(tx);
+}
+
+Status KvSubsystem::AbortPrepared(TxId tx) {
+  return tx_manager_.AbortPrepared(tx);
+}
+
+Status KvSubsystem::AbortAllPrepared() {
+  tx_manager_.AbortAllPrepared();
+  return Status::OK();
+}
+
+bool KvSubsystem::WouldBlock(ServiceId service) const {
+  auto def = registry_.Lookup(service);
+  if (!def.ok()) return false;
+  return tx_manager_.WouldBlock(**def);
+}
+
+void KvSubsystem::ScheduleFailures(ServiceId service, int count) {
+  scripted_failures_[service] += count;
+}
+
+void KvSubsystem::SetFailureProbability(ServiceId service, double p) {
+  failure_probability_[service] = p;
+}
+
+}  // namespace tpm

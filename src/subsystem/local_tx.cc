@@ -1,0 +1,100 @@
+#include "subsystem/local_tx.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+bool LocalTxManager::WouldBlock(const ServiceDef& service) const {
+  auto locked = [this](const std::string& key) {
+    return locks_.count(key) > 0;
+  };
+  for (const auto& key : service.read_set) {
+    if (locked(key)) return true;
+  }
+  for (const auto& key : service.write_set) {
+    if (locked(key)) return true;
+  }
+  return false;
+}
+
+Result<int64_t> LocalTxManager::RunBody(
+    const ServiceDef& service, const ServiceRequest& request,
+    std::map<std::string, int64_t>* write_buffer) const {
+  // Run the body against a private store seeded with the declared key set —
+  // the body may only touch declared keys, so this is an exact sandbox.
+  KvStore sandbox;
+  for (const auto& key : service.read_set) {
+    sandbox.Put(key, store_->Get(key));
+  }
+  for (const auto& key : service.write_set) {
+    sandbox.Put(key, store_->Get(key));
+  }
+  int64_t ret = 0;
+  TPM_RETURN_IF_ERROR(service.body(&sandbox, request, &ret));
+  for (const auto& key : service.write_set) {
+    (*write_buffer)[key] = sandbox.Get(key);
+  }
+  return ret;
+}
+
+Result<InvocationOutcome> LocalTxManager::InvokeImmediate(
+    const ServiceDef& service, const ServiceRequest& request) {
+  if (WouldBlock(service)) {
+    return Status::Unavailable(
+        StrCat("service ", service.name, " blocked by prepared transaction"));
+  }
+  std::map<std::string, int64_t> writes;
+  TPM_ASSIGN_OR_RETURN(int64_t ret, RunBody(service, request, &writes));
+  for (const auto& [key, value] : writes) {
+    store_->Put(key, value);
+  }
+  return InvocationOutcome{ret};
+}
+
+Result<PreparedHandle> LocalTxManager::InvokePrepared(
+    const ServiceDef& service, const ServiceRequest& request) {
+  if (WouldBlock(service)) {
+    return Status::Unavailable(
+        StrCat("service ", service.name, " blocked by prepared transaction"));
+  }
+  std::map<std::string, int64_t> writes;
+  TPM_ASSIGN_OR_RETURN(int64_t ret, RunBody(service, request, &writes));
+  TxId tx(next_tx_++);
+  PreparedTx prepared;
+  prepared.write_buffer = std::move(writes);
+  for (const auto& key : service.read_set) prepared.locked_keys.insert(key);
+  for (const auto& key : service.write_set) prepared.locked_keys.insert(key);
+  for (const auto& key : prepared.locked_keys) locks_[key] = tx;
+  prepared_[tx] = std::move(prepared);
+  return PreparedHandle{tx, ret};
+}
+
+Status LocalTxManager::CommitPrepared(TxId tx) {
+  auto it = prepared_.find(tx);
+  if (it == prepared_.end()) {
+    return Status::NotFound(StrCat("unknown prepared transaction ", tx));
+  }
+  for (const auto& [key, value] : it->second.write_buffer) {
+    store_->Put(key, value);
+  }
+  for (const auto& key : it->second.locked_keys) locks_.erase(key);
+  prepared_.erase(it);
+  return Status::OK();
+}
+
+void LocalTxManager::AbortAllPrepared() {
+  prepared_.clear();
+  locks_.clear();
+}
+
+Status LocalTxManager::AbortPrepared(TxId tx) {
+  auto it = prepared_.find(tx);
+  if (it == prepared_.end()) {
+    return Status::NotFound(StrCat("unknown prepared transaction ", tx));
+  }
+  for (const auto& key : it->second.locked_keys) locks_.erase(key);
+  prepared_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace tpm

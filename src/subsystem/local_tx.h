@@ -1,0 +1,85 @@
+#ifndef TPM_SUBSYSTEM_LOCAL_TX_H_
+#define TPM_SUBSYSTEM_LOCAL_TX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "subsystem/kv_store.h"
+#include "subsystem/service.h"
+
+namespace tpm {
+
+/// Result of an immediately committed local transaction.
+struct InvocationOutcome {
+  int64_t return_value = 0;
+};
+
+/// A prepared (phase-one) local transaction: effects are buffered and the
+/// touched keys are locked until CommitPrepared/AbortPrepared.
+struct PreparedHandle {
+  TxId tx;
+  int64_t return_value = 0;
+};
+
+/// Executes service invocations as atomic local transactions against a
+/// KvStore.
+///
+/// Isolation: a service body runs against a private copy of its declared
+/// key set; effects reach the shared store only at commit. Prepared
+/// transactions (the phase-one state of the two-phase commit protocol
+/// required for deferred commits, Lemma 1) keep their write buffer and hold
+/// locks on their read and write sets; conflicting invocations are refused
+/// with kUnavailable until the prepared transaction resolves.
+class LocalTxManager {
+ public:
+  explicit LocalTxManager(KvStore* store) : store_(store) {}
+
+  /// True iff an invocation of `service` would block on locks held by
+  /// prepared transactions.
+  bool WouldBlock(const ServiceDef& service) const;
+
+  /// Runs the service as an atomic local transaction and commits it.
+  Result<InvocationOutcome> InvokeImmediate(const ServiceDef& service,
+                                            const ServiceRequest& request);
+
+  /// Runs the service and leaves the local transaction prepared: effects
+  /// buffered, locks held.
+  Result<PreparedHandle> InvokePrepared(const ServiceDef& service,
+                                        const ServiceRequest& request);
+
+  /// Applies a prepared transaction's buffered effects and releases its
+  /// locks.
+  Status CommitPrepared(TxId tx);
+
+  /// Discards a prepared transaction and releases its locks. The shared
+  /// store was never touched, so no undo is needed.
+  Status AbortPrepared(TxId tx);
+
+  /// Discards every prepared transaction (presumed abort on recovery).
+  void AbortAllPrepared();
+
+  size_t num_prepared() const { return prepared_.size(); }
+
+ private:
+  struct PreparedTx {
+    std::map<std::string, int64_t> write_buffer;
+    std::set<std::string> locked_keys;
+  };
+
+  Result<int64_t> RunBody(const ServiceDef& service,
+                          const ServiceRequest& request,
+                          std::map<std::string, int64_t>* write_buffer) const;
+
+  KvStore* store_;
+  std::map<TxId, PreparedTx> prepared_;
+  std::map<std::string, TxId> locks_;
+  int64_t next_tx_ = 1;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_SUBSYSTEM_LOCAL_TX_H_

@@ -1,0 +1,139 @@
+#include "subsystem/service.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+Status ServiceRegistry::Register(ServiceDef def) {
+  if (!def.id.valid()) {
+    return Status::InvalidArgument("service id invalid");
+  }
+  if (def.body == nullptr) {
+    return Status::InvalidArgument(StrCat("service ", def.name, " lacks a body"));
+  }
+  if (services_.count(def.id) > 0) {
+    return Status::AlreadyExists(StrCat("service ", def.id, " already registered"));
+  }
+  services_.emplace(def.id, std::move(def));
+  return Status::OK();
+}
+
+Result<const ServiceDef*> ServiceRegistry::Lookup(ServiceId id) const {
+  auto it = services_.find(id);
+  if (it == services_.end()) {
+    return Status::NotFound(StrCat("unknown service ", id));
+  }
+  return &it->second;
+}
+
+std::vector<ServiceId> ServiceRegistry::AllIds() const {
+  std::vector<ServiceId> ids;
+  ids.reserve(services_.size());
+  for (const auto& [id, def] : services_) ids.push_back(id);
+  return ids;
+}
+
+namespace {
+
+bool SetsIntersect(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  for (const auto& key : a) {
+    if (std::find(b.begin(), b.end(), key) != b.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ServiceRegistry::DeriveConflicts(ConflictSpec* spec) const {
+  for (const auto& [id_a, a] : services_) {
+    if (a.effect_free) spec->MarkEffectFree(id_a);
+    for (const auto& [id_b, b] : services_) {
+      if (id_b < id_a) continue;
+      // Conflict iff one's writes intersect the other's reads or writes.
+      const bool conflict = SetsIntersect(a.write_set, b.write_set) ||
+                            SetsIntersect(a.write_set, b.read_set) ||
+                            SetsIntersect(a.read_set, b.write_set);
+      if (conflict) spec->AddConflict(id_a, id_b);
+    }
+  }
+}
+
+ServiceDef MakePutService(ServiceId id, std::string name, std::string key) {
+  ServiceDef def;
+  def.id = id;
+  def.name = std::move(name);
+  def.read_set = {key};
+  def.write_set = {key};
+  def.body = [key](KvStore* store, const ServiceRequest& request,
+                   int64_t* ret) {
+    *ret = store->Get(key);
+    store->Put(key, request.param);
+    return Status::OK();
+  };
+  return def;
+}
+
+namespace {
+
+ServiceDef MakeDeltaService(ServiceId id, std::string name, std::string key,
+                            int64_t sign) {
+  ServiceDef def;
+  def.id = id;
+  def.name = std::move(name);
+  def.read_set = {key};
+  def.write_set = {key};
+  def.body = [key, sign](KvStore* store, const ServiceRequest& request,
+                         int64_t* ret) {
+    const int64_t amount = request.param == 0 ? 1 : request.param;
+    store->Add(key, sign * amount);
+    *ret = store->Get(key);
+    return Status::OK();
+  };
+  return def;
+}
+
+}  // namespace
+
+ServiceDef MakeAddService(ServiceId id, std::string name, std::string key) {
+  return MakeDeltaService(id, std::move(name), std::move(key), +1);
+}
+
+ServiceDef MakeSubService(ServiceId id, std::string name, std::string key) {
+  return MakeDeltaService(id, std::move(name), std::move(key), -1);
+}
+
+ServiceDef MakeReadService(ServiceId id, std::string name, std::string key) {
+  ServiceDef def;
+  def.id = id;
+  def.name = std::move(name);
+  def.read_set = {key};
+  def.effect_free = true;
+  def.body = [key](KvStore* store, const ServiceRequest& request,
+                   int64_t* ret) {
+    (void)request;
+    *ret = store->Get(key);
+    return Status::OK();
+  };
+  return def;
+}
+
+ServiceDef MakeEraseService(ServiceId id, std::string name, std::string key) {
+  ServiceDef def;
+  def.id = id;
+  def.name = std::move(name);
+  def.read_set = {key};
+  def.write_set = {key};
+  def.body = [key](KvStore* store, const ServiceRequest& request,
+                   int64_t* ret) {
+    (void)request;
+    *ret = store->Get(key);
+    store->Erase(key);
+    return Status::OK();
+  };
+  return def;
+}
+
+}  // namespace tpm

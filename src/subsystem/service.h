@@ -1,0 +1,82 @@
+#ifndef TPM_SUBSYSTEM_SERVICE_H_
+#define TPM_SUBSYSTEM_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/conflict.h"
+#include "subsystem/kv_store.h"
+
+namespace tpm {
+
+/// Parameters of one service invocation.
+struct ServiceRequest {
+  ProcessId process;
+  ActivityId activity;
+  /// Generic scalar parameter interpreted by the service body.
+  int64_t param = 0;
+};
+
+/// A transactional service offered by a subsystem. The body reads and
+/// writes only the declared key sets; the registry derives the
+/// commutativity relation (Def. 6) from them: two services conflict iff one
+/// writes a key the other reads or writes.
+struct ServiceDef {
+  ServiceId id;
+  std::string name;
+  std::vector<std::string> read_set;
+  std::vector<std::string> write_set;
+  /// Executes the service against the store. `ret` receives the service's
+  /// return value (used to observe commutativity in tests). Returning a
+  /// non-OK status aborts the local transaction.
+  std::function<Status(KvStore* store, const ServiceRequest& request,
+                       int64_t* ret)>
+      body;
+  /// Declared effect-free (pure query): reduction rule 3 applies.
+  bool effect_free = false;
+};
+
+/// Registry of all services of one subsystem.
+class ServiceRegistry {
+ public:
+  Status Register(ServiceDef def);
+  bool Has(ServiceId id) const { return services_.count(id) > 0; }
+  Result<const ServiceDef*> Lookup(ServiceId id) const;
+  std::vector<ServiceId> AllIds() const;
+
+  /// Adds to `spec` the conflicts among this registry's services derived
+  /// from their read/write sets, and marks declared effect-free services.
+  void DeriveConflicts(ConflictSpec* spec) const;
+
+ private:
+  std::map<ServiceId, ServiceDef> services_;
+};
+
+/// Convenience constructors for common service shapes.
+
+/// Writes `param` into `key` (previous value is the return value).
+ServiceDef MakePutService(ServiceId id, std::string name, std::string key);
+
+/// Adds `param` (default 1 when param == 0) to `key`; returns the new
+/// value.
+ServiceDef MakeAddService(ServiceId id, std::string name, std::string key);
+
+/// Subtracts `param` (default 1 when param == 0) from `key`; the exact
+/// inverse of MakeAddService, so <add sub> is effect-free (Def. 2).
+ServiceDef MakeSubService(ServiceId id, std::string name, std::string key);
+
+/// Reads `key` (effect-free); returns its value.
+ServiceDef MakeReadService(ServiceId id, std::string name, std::string key);
+
+/// Erases `key`; returns the previous value. The natural compensation for a
+/// put.
+ServiceDef MakeEraseService(ServiceId id, std::string name, std::string key);
+
+}  // namespace tpm
+
+#endif  // TPM_SUBSYSTEM_SERVICE_H_

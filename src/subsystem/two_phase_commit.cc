@@ -1,0 +1,58 @@
+#include "subsystem/two_phase_commit.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+Status TwoPhaseCommitCoordinator::CommitAll(
+    const std::vector<CommitBranch>& branches) {
+  // Voting round: all branches are prepared already; a branch whose
+  // subsystem is missing is a "no" vote.
+  for (const CommitBranch& branch : branches) {
+    if (branch.subsystem == nullptr) {
+      TPM_RETURN_IF_ERROR(AbortAll(branches));
+      return Status::Aborted("2PC: branch voted no (missing subsystem)");
+    }
+  }
+  // Decision is logged before phase two (presumed-nothing protocol): a
+  // coordinator crash after this point must complete the commit.
+  log_.push_back(LogEntry{LogEntry::Decision::kCommit, branches, false});
+  LogEntry* entry = &log_.back();
+  if (crash_before_phase_two_) {
+    crash_before_phase_two_ = false;
+    return Status::Unavailable("2PC coordinator crashed before phase two");
+  }
+  return DrivePhaseTwo(entry);
+}
+
+Status TwoPhaseCommitCoordinator::AbortAll(
+    const std::vector<CommitBranch>& branches) {
+  log_.push_back(LogEntry{LogEntry::Decision::kAbort, branches, false});
+  return DrivePhaseTwo(&log_.back());
+}
+
+Status TwoPhaseCommitCoordinator::DrivePhaseTwo(LogEntry* entry) {
+  Status first_error;
+  for (const CommitBranch& branch : entry->branches) {
+    if (branch.subsystem == nullptr) continue;
+    Status s = entry->decision == LogEntry::Decision::kCommit
+                   ? branch.subsystem->CommitPrepared(branch.tx)
+                   : branch.subsystem->AbortPrepared(branch.tx);
+    // Idempotent completion: an already-resolved branch (NotFound) is fine
+    // when re-driving phase two after a crash.
+    if (!s.ok() && !s.IsNotFound() && first_error.ok()) first_error = s;
+  }
+  entry->completed = true;
+  return first_error;
+}
+
+Status TwoPhaseCommitCoordinator::RecoverInDoubt() {
+  for (LogEntry& entry : log_) {
+    if (!entry.completed) {
+      TPM_RETURN_IF_ERROR(DrivePhaseTwo(&entry));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpm

@@ -1,0 +1,64 @@
+#ifndef TPM_SUBSYSTEM_TWO_PHASE_COMMIT_H_
+#define TPM_SUBSYSTEM_TWO_PHASE_COMMIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+
+/// One branch of a distributed atomic commit: a prepared local transaction
+/// in some subsystem.
+struct CommitBranch {
+  Subsystem* subsystem = nullptr;
+  TxId tx;
+};
+
+/// Two-phase commit coordinator used to atomically commit the deferred
+/// non-compensatable activities of a process (Lemma 1: "the commitment of
+/// all non-compensatable activities of P_j has to be performed atomically
+/// by exploiting a two phase commit protocol").
+///
+/// Branches are already in the prepared state (phase one happened at
+/// invocation time via Subsystem::InvokePrepared); the coordinator performs
+/// the voting round over the prepared handles and then drives phase two.
+/// A coordinator log records the decision before phase two so that a
+/// crashed coordinator can complete in-doubt transactions on recovery.
+class TwoPhaseCommitCoordinator {
+ public:
+  struct LogEntry {
+    enum class Decision { kCommit, kAbort };
+    Decision decision;
+    std::vector<CommitBranch> branches;
+    bool completed = false;
+  };
+
+  /// Commits all branches atomically. Every branch must be prepared; a
+  /// missing branch (e.g., already resolved) votes "no", aborting the rest.
+  Status CommitAll(const std::vector<CommitBranch>& branches);
+
+  /// Aborts all branches.
+  Status AbortAll(const std::vector<CommitBranch>& branches);
+
+  /// Completes any logged decisions whose phase two did not finish
+  /// (coordinator crash simulation: call after SimulateCrashBeforePhaseTwo).
+  Status RecoverInDoubt();
+
+  /// Testing hook: the next CommitAll logs its decision but "crashes"
+  /// before phase two, leaving branches in doubt until RecoverInDoubt().
+  void SimulateCrashBeforePhaseTwo() { crash_before_phase_two_ = true; }
+
+  const std::vector<LogEntry>& log() const { return log_; }
+
+ private:
+  Status DrivePhaseTwo(LogEntry* entry);
+
+  std::vector<LogEntry> log_;
+  bool crash_before_phase_two_ = false;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_SUBSYSTEM_TWO_PHASE_COMMIT_H_

@@ -1,0 +1,93 @@
+#include "subsystem/weak_order.h"
+
+#include <algorithm>
+
+#include "common/dag.h"
+
+namespace tpm {
+
+namespace {
+
+// Absolute times at which the transaction's failing attempts abort, given
+// its (re)start time.
+std::vector<int64_t> AbortTimes(const WeakTxSpec& tx, int64_t start) {
+  std::vector<int64_t> times;
+  int64_t t = start;
+  for (int k = 0; k < tx.aborts; ++k) {
+    t += tx.abort_after;
+    times.push_back(t);
+  }
+  return times;
+}
+
+// Time of the committing attempt's completion, given the (re)start time:
+// failing attempts each burn `abort_after`, the final attempt burns
+// `duration`.
+int64_t FinishTime(const WeakTxSpec& tx, int64_t start) {
+  return start + static_cast<int64_t>(tx.aborts) * tx.abort_after +
+         tx.duration;
+}
+
+}  // namespace
+
+Result<WeakOrderReport> SimulateWeakOrder(
+    const std::vector<WeakTxSpec>& txs,
+    const std::vector<OrderConstraint>& constraints, OrderMode mode) {
+  const int n = static_cast<int>(txs.size());
+  Dag dag(n);
+  for (const OrderConstraint& c : constraints) {
+    if (c.before >= txs.size() || c.after >= txs.size()) {
+      return Status::InvalidArgument("constraint index out of range");
+    }
+    dag.AddEdge(static_cast<int>(c.before), static_cast<int>(c.after));
+  }
+  TPM_ASSIGN_OR_RETURN(std::vector<int> topo, dag.TopologicalOrder());
+
+  WeakOrderReport report;
+  std::vector<int64_t> start(n, 0);
+  std::vector<int64_t> finish(n, 0);
+  std::vector<int64_t> commit(n, 0);
+  std::vector<std::vector<int64_t>> abort_times(n);
+
+  for (int v : topo) {
+    const WeakTxSpec& tx = txs[v];
+    if (mode == OrderMode::kStrong) {
+      // Strong order: invoke only after every predecessor terminated.
+      int64_t s = 0;
+      for (int p : dag.Predecessors(v)) s = std::max(s, commit[p]);
+      start[v] = s;
+    } else {
+      // Weak order: start immediately, but restart whenever a predecessor
+      // running in parallel aborts (§3.6 cascade).
+      int64_t s = 0;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (int p : dag.Predecessors(v)) {
+          for (int64_t t : abort_times[p]) {
+            // A predecessor abort at time t kills this transaction if it is
+            // already running and not yet past the predecessor's commit.
+            if (t > s && s < finish[p]) {
+              s = t;  // restart together with the predecessor's re-invocation
+              ++report.cascade_restarts;
+              changed = true;
+            }
+          }
+        }
+      }
+      start[v] = s;
+    }
+    abort_times[v] = AbortTimes(tx, start[v]);
+    finish[v] = FinishTime(tx, start[v]);
+    // Commit-order serializability: commit after all predecessors.
+    int64_t c = finish[v];
+    for (int p : dag.Predecessors(v)) c = std::max(c, commit[p]);
+    commit[v] = c;
+  }
+
+  report.commit_times = commit;
+  for (int64_t c : commit) report.makespan = std::max(report.makespan, c);
+  return report;
+}
+
+}  // namespace tpm

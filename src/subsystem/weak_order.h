@@ -1,0 +1,63 @@
+#ifndef TPM_SUBSYSTEM_WEAK_ORDER_H_
+#define TPM_SUBSYSTEM_WEAK_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpm {
+
+/// Simulation of strong vs. weak ordering of conflicting local transactions
+/// within one subsystem (§3.6, composite systems theory [ABFS97]).
+///
+/// Under the *strong* order an activity is invoked only after the previous
+/// conflicting one has terminated; under the *weak* order both execute in
+/// parallel as long as the overall effect matches the strong order — the
+/// subsystem guarantees this with commit-order serializability [BBG89]
+/// (commits happen in the weak-order sequence).
+///
+/// The §3.6 cascade is modeled too: when a retriable local transaction
+/// T_ik aborts after partial execution, a weakly-ordered dependent T_jl
+/// running in parallel must abort and restart with it — without raising an
+/// exception in P_j.
+
+/// One local transaction in the simulation.
+struct WeakTxSpec {
+  /// Work units (virtual time) for one successful attempt.
+  int64_t duration = 1;
+  /// Number of aborting attempts before the committing one (retriable
+  /// re-invocation, Def. 3).
+  int aborts = 0;
+  /// Work units into an attempt at which an aborting attempt fails.
+  int64_t abort_after = 0;
+};
+
+/// Weak (or strong) order constraint: transaction `before` must commit
+/// before transaction `after` (indices into the spec vector).
+struct OrderConstraint {
+  size_t before = 0;
+  size_t after = 0;
+};
+
+enum class OrderMode {
+  kStrong,  // sequential execution of constrained transactions
+  kWeak,    // parallel execution, commit order enforced by the subsystem
+};
+
+struct WeakOrderReport {
+  int64_t makespan = 0;
+  /// Restarts of dependent transactions caused by predecessor aborts (only
+  /// occurs in weak mode).
+  int64_t cascade_restarts = 0;
+  std::vector<int64_t> commit_times;
+};
+
+/// Runs the simulation. Constraints must form a DAG over the transactions.
+Result<WeakOrderReport> SimulateWeakOrder(
+    const std::vector<WeakTxSpec>& txs,
+    const std::vector<OrderConstraint>& constraints, OrderMode mode);
+
+}  // namespace tpm
+
+#endif  // TPM_SUBSYSTEM_WEAK_ORDER_H_

@@ -1,0 +1,231 @@
+#include "workload/cim_workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/flex_structure.h"
+
+namespace tpm {
+
+namespace {
+
+// Service ids for the CIM scenario (disjoint from generated universes).
+enum CimService : int64_t {
+  kDesign = 9001,
+  kDesignUndo = 9002,
+  kApprove = 9003,
+  kPdmEntry = 9004,
+  kPdmEntryUndo = 9005,
+  kReadBom = 9006,
+  kNoop = 9007,
+  kTest = 9008,
+  kPrototype = 9017,
+  kPrototypeUndo = 9018,
+  kCalibrate = 9019,
+  kCalibrateUndo = 9020,
+  kTechdoc = 9009,
+  kReuseDoc = 9010,
+  kOrderMaterials = 9011,
+  kCancelOrder = 9012,
+  kSchedule = 9013,
+  kUnschedule = 9014,
+  kProduce = 9015,
+  kUpdateProductDb = 9016,
+};
+
+ServiceDef NoopService(ServiceId id, std::string name) {
+  ServiceDef def;
+  def.id = id;
+  def.name = std::move(name);
+  def.effect_free = true;
+  def.body = [](KvStore*, const ServiceRequest&, int64_t* ret) {
+    *ret = 0;
+    return Status::OK();
+  };
+  return def;
+}
+
+// Aborts on failure regardless of NDEBUG: these constructions are static
+// paper fixtures whose failure is a programming error.
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "fixture construction failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+CimWorld::CimWorld(uint64_t seed) {
+  cad_ = std::make_unique<KvSubsystem>(SubsystemId(91), "CAD", seed);
+  pdm_ = std::make_unique<KvSubsystem>(SubsystemId(92), "PDM", seed + 1);
+  testdb_ = std::make_unique<KvSubsystem>(SubsystemId(93), "TestDB", seed + 2);
+  docrepo_ =
+      std::make_unique<KvSubsystem>(SubsystemId(94), "DocRepo", seed + 3);
+  erp_ = std::make_unique<KvSubsystem>(SubsystemId(95), "ERP", seed + 4);
+  sched_ =
+      std::make_unique<KvSubsystem>(SubsystemId(96), "ProgRepo", seed + 5);
+  floor_ = std::make_unique<KvSubsystem>(SubsystemId(97), "Floor", seed + 6);
+  productdb_ =
+      std::make_unique<KvSubsystem>(SubsystemId(98), "ProductDB", seed + 7);
+
+  // --- CAD ---
+  Check(cad_->RegisterService(
+      MakeAddService(ServiceId(kDesign), "design", "drawing")));
+  Check(cad_->RegisterService(
+      MakeSubService(ServiceId(kDesignUndo), "design_undo", "drawing")));
+  // --- PDM ---
+  Check(pdm_->RegisterService(
+      MakePutService(ServiceId(kApprove), "approve", "design_frozen")));
+  Check(pdm_->RegisterService(
+      MakeAddService(ServiceId(kPdmEntry), "pdm_entry", "bom")));
+  Check(pdm_->RegisterService(
+      MakeSubService(ServiceId(kPdmEntryUndo), "pdm_entry_undo", "bom")));
+  // Reading the BOM fails when no (uncompensated) BOM exists — the
+  // production process cannot even start without valid construction data.
+  // Although a pure read, it is deliberately NOT declared effect-free:
+  // §2.2 treats the BOM read as a real dependency (the production process
+  // must be compensated when the BOM is invalidated), so it must not be
+  // removable from completed schedules by reduction rule 3.
+  {
+    ServiceDef read_bom;
+    read_bom.id = ServiceId(kReadBom);
+    read_bom.name = "read_bom";
+    read_bom.read_set = {"bom"};
+    read_bom.body = [](KvStore* store, const ServiceRequest&, int64_t* ret) {
+      if (store->Get("bom") == 0) {
+        return Status::Aborted("no valid BOM in the PDM");
+      }
+      *ret = store->Get("bom");
+      return Status::OK();
+    };
+    Check(pdm_->RegisterService(std::move(read_bom)));
+  }
+  Check(pdm_->RegisterService(NoopService(ServiceId(kNoop), "noop")));
+  // --- TestDB ---
+  Check(testdb_->RegisterService(
+      MakeAddService(ServiceId(kTest), "test", "test_result")));
+  Check(testdb_->RegisterService(
+      MakeAddService(ServiceId(kPrototype), "prototype", "proto")));
+  Check(testdb_->RegisterService(
+      MakeSubService(ServiceId(kPrototypeUndo), "prototype_undo", "proto")));
+  Check(testdb_->RegisterService(
+      MakeAddService(ServiceId(kCalibrate), "calibrate", "calib")));
+  Check(testdb_->RegisterService(
+      MakeSubService(ServiceId(kCalibrateUndo), "calibrate_undo", "calib")));
+  test_service_ = ServiceId(kTest);
+  // --- DocRepo ---
+  Check(docrepo_->RegisterService(
+      MakeAddService(ServiceId(kTechdoc), "techdoc", "techdoc")));
+  Check(docrepo_->RegisterService(
+      MakeAddService(ServiceId(kReuseDoc), "reuse_doc", "reuse_doc")));
+  // --- ERP ---
+  Check(erp_->RegisterService(MakeAddService(
+      ServiceId(kOrderMaterials), "order_materials", "materials")));
+  Check(erp_->RegisterService(
+      MakeSubService(ServiceId(kCancelOrder), "cancel_order", "materials")));
+  // --- Scheduling ---
+  Check(sched_->RegisterService(
+      MakeAddService(ServiceId(kSchedule), "schedule", "slot")));
+  Check(sched_->RegisterService(
+      MakeSubService(ServiceId(kUnschedule), "unschedule", "slot")));
+  // --- Production floor ---
+  Check(floor_->RegisterService(
+      MakeAddService(ServiceId(kProduce), "produce", "parts")));
+  // --- Product DBMS ---
+  Check(productdb_->RegisterService(MakeAddService(
+      ServiceId(kUpdateProductDb), "update_db", "products")));
+
+  // Construction process.
+  ActivityId design = construction_.AddActivity(
+      "design", ActivityKind::kCompensatable, ServiceId(kDesign),
+      ServiceId(kDesignUndo));
+  ActivityId approve = construction_.AddActivity(
+      "approve", ActivityKind::kPivot, ServiceId(kApprove));
+  ActivityId pdm_entry = construction_.AddActivity(
+      "pdm_entry", ActivityKind::kCompensatable, ServiceId(kPdmEntry),
+      ServiceId(kPdmEntryUndo));
+  // The "final test" phase is long: prototype assembly and calibration
+  // precede the actual test, which is why production can overlap so much
+  // construction work (§2.2).
+  ActivityId prototype = construction_.AddActivity(
+      "prototype", ActivityKind::kCompensatable, ServiceId(kPrototype),
+      ServiceId(kPrototypeUndo));
+  ActivityId calibrate = construction_.AddActivity(
+      "calibrate", ActivityKind::kCompensatable, ServiceId(kCalibrate),
+      ServiceId(kCalibrateUndo));
+  ActivityId test = construction_.AddActivity("test", ActivityKind::kPivot,
+                                              ServiceId(kTest));
+  ActivityId techdoc = construction_.AddActivity(
+      "techdoc", ActivityKind::kRetriable, ServiceId(kTechdoc));
+  ActivityId reuse_doc = construction_.AddActivity(
+      "reuse_doc", ActivityKind::kRetriable, ServiceId(kReuseDoc));
+  Check(construction_.AddEdge(design, approve));
+  Check(construction_.AddEdge(approve, pdm_entry, /*preference=*/0));
+  Check(construction_.AddEdge(approve, reuse_doc, /*preference=*/1));
+  Check(construction_.AddEdge(pdm_entry, prototype));
+  Check(construction_.AddEdge(prototype, calibrate));
+  Check(construction_.AddEdge(calibrate, test));
+  Check(construction_.AddEdge(test, techdoc));
+  Check(construction_.Validate());
+  Check(ValidateWellFormedFlex(construction_));
+
+  // Production process.
+  ActivityId read_bom = production_.AddActivity(
+      "read_bom", ActivityKind::kCompensatable, ServiceId(kReadBom),
+      ServiceId(kNoop));
+  ActivityId order = production_.AddActivity(
+      "order_materials", ActivityKind::kCompensatable,
+      ServiceId(kOrderMaterials), ServiceId(kCancelOrder));
+  ActivityId schedule = production_.AddActivity(
+      "schedule", ActivityKind::kCompensatable, ServiceId(kSchedule),
+      ServiceId(kUnschedule));
+  ActivityId produce = production_.AddActivity(
+      "produce", ActivityKind::kPivot, ServiceId(kProduce));
+  ActivityId update = production_.AddActivity(
+      "update_db", ActivityKind::kRetriable, ServiceId(kUpdateProductDb));
+  Check(production_.AddEdge(read_bom, order));
+  Check(production_.AddEdge(order, schedule));
+  Check(production_.AddEdge(schedule, produce));
+  Check(production_.AddEdge(produce, update));
+  Check(production_.Validate());
+  Check(ValidateWellFormedFlex(production_));
+}
+
+Status CimWorld::RegisterAll(TransactionalProcessScheduler* scheduler) {
+  for (KvSubsystem* subsystem : subsystems()) {
+    TPM_RETURN_IF_ERROR(scheduler->RegisterSubsystem(subsystem));
+  }
+  return Status::OK();
+}
+
+void CimWorld::ScheduleTestFailure(int count) {
+  testdb_->ScheduleFailures(test_service_, count);
+}
+
+int64_t CimWorld::Value(const std::string& key) const {
+  int64_t total = 0;
+  for (const KvSubsystem* subsystem :
+       {cad_.get(), pdm_.get(), testdb_.get(), docrepo_.get(), erp_.get(),
+        sched_.get(), floor_.get(), productdb_.get()}) {
+    total += subsystem->store().Get(key);
+  }
+  return total;
+}
+
+int64_t CimWorld::bom_entries() const { return pdm_->store().Get("bom"); }
+int64_t CimWorld::parts_produced() const {
+  return floor_->store().Get("parts");
+}
+int64_t CimWorld::techdocs() const { return docrepo_->store().Get("techdoc"); }
+int64_t CimWorld::reuse_docs() const {
+  return docrepo_->store().Get("reuse_doc");
+}
+
+std::vector<KvSubsystem*> CimWorld::subsystems() {
+  return {cad_.get(),  pdm_.get(),   testdb_.get(), docrepo_.get(),
+          erp_.get(),  sched_.get(), floor_.get(),  productdb_.get()};
+}
+
+}  // namespace tpm

@@ -1,0 +1,76 @@
+#ifndef TPM_WORKLOAD_CIM_WORKLOAD_H_
+#define TPM_WORKLOAD_CIM_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/process.h"
+#include "core/scheduler.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+
+/// The Computer Integrated Manufacturing scenario of §2 / Figure 1.
+///
+/// Subsystems: CAD, PDM (product data management), test database, technical
+/// documentation repository, business application (ERP), program
+/// repository/scheduling, production floor, product DBMS.
+///
+/// Construction process:
+///   design^c (CAD)  <<  approve^p (PDM design freeze)
+///     << [primary]  pdm_entry^c (PDM, writes the BOM)  <<  test^p (TestDB)
+///                   <<  techdoc^r (DocRepo)
+///     << [alternative] reuse_doc^r (DocRepo) — taken when the test fails:
+///        the PDM entry is compensated and the CAD drawing is documented
+///        for later reuse instead (§2.1).
+///
+/// Production process:
+///   read_bom^c (PDM, reads the BOM — the Figure 1 conflict)
+///     << order_materials^c (ERP) << schedule^c (ProgRepo)
+///     << produce^p (production floor — no inverse exists, §2.2)
+///     << update_db^r (Product DBMS).
+class CimWorld {
+ public:
+  explicit CimWorld(uint64_t seed = 11);
+
+  CimWorld(const CimWorld&) = delete;
+  CimWorld& operator=(const CimWorld&) = delete;
+
+  const ProcessDef* construction() const { return &construction_; }
+  const ProcessDef* production() const { return &production_; }
+
+  Status RegisterAll(TransactionalProcessScheduler* scheduler);
+
+  /// Makes the next `count` test activities fail (the §2.2 scenario).
+  void ScheduleTestFailure(int count = 1);
+
+  /// Value of `key` summed across all subsystems (keys are unique to one
+  /// subsystem in this world).
+  int64_t Value(const std::string& key) const;
+
+  /// State probes for consistency checks.
+  int64_t bom_entries() const;      // live BOM entries in the PDM
+  int64_t parts_produced() const;   // parts built on the production floor
+  int64_t techdocs() const;         // technical documentation entries
+  int64_t reuse_docs() const;       // reuse documentation entries
+
+  /// True iff the post-run state is consistent: parts were only produced
+  /// if a valid (uncompensated) BOM exists.
+  bool Consistent() const {
+    return parts_produced() == 0 || bom_entries() > 0;
+  }
+
+  std::vector<KvSubsystem*> subsystems();
+
+ private:
+  std::unique_ptr<KvSubsystem> cad_, pdm_, testdb_, docrepo_, erp_, sched_,
+      floor_, productdb_;
+  ProcessDef construction_{"cim-construction"};
+  ProcessDef production_{"cim-production"};
+  ServiceId test_service_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_WORKLOAD_CIM_WORKLOAD_H_

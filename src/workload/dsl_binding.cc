@@ -1,0 +1,93 @@
+#include "workload/dsl_binding.h"
+
+#include <set>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+Result<std::unique_ptr<BoundWorld>> BoundWorld::Bind(
+    const ParsedWorld* world) {
+  if (world == nullptr) {
+    return Status::InvalidArgument("null world");
+  }
+  auto bound = std::unique_ptr<BoundWorld>(new BoundWorld(world));
+  bound->subsystem_ =
+      std::make_unique<KvSubsystem>(SubsystemId(1), "dsl-world");
+
+  // Collect service roles: ids used as compensation services become
+  // subtracting; every id gets its own key so derived conflicts stay
+  // disjoint and the declared relation is authoritative.
+  std::set<ServiceId> forward;
+  std::set<ServiceId> inverse;
+  for (const auto& def : world->defs) {
+    for (const ActivityDecl& decl : def->activities()) {
+      forward.insert(decl.service);
+      if (decl.compensation_service.valid()) {
+        inverse.insert(decl.compensation_service);
+      }
+      bound->service_of_[def->name()][decl.name] = decl.service;
+    }
+  }
+  for (ServiceId id : forward) {
+    // A compensation service may double as a forward service in another
+    // activity; forward registration wins and the inverse set skips it.
+    TPM_RETURN_IF_ERROR(bound->subsystem_->RegisterService(MakeAddService(
+        id, StrCat("svc", id), StrCat("svc",
+                                      // the FORWARD partner's key:
+                                      id))));
+  }
+  for (ServiceId id : inverse) {
+    if (forward.count(id) > 0) continue;
+    // The inverse subtracts on the key of... it must undo the activity it
+    // compensates. Find the activity whose compensation_service == id and
+    // subtract on that activity's service key.
+    ServiceId target;
+    for (const auto& def : world->defs) {
+      for (const ActivityDecl& decl : def->activities()) {
+        if (decl.compensation_service == id) target = decl.service;
+      }
+    }
+    TPM_RETURN_IF_ERROR(bound->subsystem_->RegisterService(MakeSubService(
+        id, StrCat("svc", id, "^-1"), StrCat("svc", target))));
+  }
+  return bound;
+}
+
+Status BoundWorld::Attach(TransactionalProcessScheduler* scheduler) {
+  TPM_RETURN_IF_ERROR(scheduler->RegisterSubsystem(subsystem_.get()));
+  for (const auto& [a, b] : world_->spec.ConflictPairs()) {
+    scheduler->AddConflict(a, b);
+  }
+  return Status::OK();
+}
+
+Result<std::map<std::string, ProcessId>> BoundWorld::SubmitAll(
+    TransactionalProcessScheduler* scheduler, int64_t param) {
+  std::map<std::string, ProcessId> pids;
+  for (const auto& def : world_->defs) {
+    TPM_ASSIGN_OR_RETURN(ProcessId pid, scheduler->Submit(def.get(), param));
+    pids[def->name()] = pid;
+  }
+  return pids;
+}
+
+Status BoundWorld::InjectFailure(const std::string& process,
+                                 const std::string& activity, int count) {
+  auto proc = service_of_.find(process);
+  if (proc == service_of_.end()) {
+    return Status::NotFound(StrCat("unknown process ", process));
+  }
+  auto act = proc->second.find(activity);
+  if (act == proc->second.end()) {
+    return Status::NotFound(StrCat("unknown activity ", activity));
+  }
+  subsystem_->ScheduleFailures(act->second, count);
+  return Status::OK();
+}
+
+int64_t BoundWorld::ValueOf(ServiceId service) const {
+  return subsystem_->store().Get(StrCat("svc", service));
+}
+
+}  // namespace tpm

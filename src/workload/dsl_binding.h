@@ -1,0 +1,60 @@
+#ifndef TPM_WORKLOAD_DSL_BINDING_H_
+#define TPM_WORKLOAD_DSL_BINDING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/process_dsl.h"
+#include "core/scheduler.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+
+/// Makes a parsed DSL world executable: every service id referenced by the
+/// world's processes is materialized as a synthetic counter service
+/// (add +param on key "svc<id>"; compensation services subtract) in one
+/// simulated subsystem, and the world's *declared* conflicts are installed
+/// on the scheduler in addition to the (trivially disjoint) derived ones.
+///
+/// This turns the analyzer's static worlds into runnable workloads: write
+/// a .tpm file, execute it under any protocol, inject failures per
+/// activity, and inspect the store afterwards.
+class BoundWorld {
+ public:
+  /// Binds `world` (which must outlive the result). Compensation service
+  /// ids referenced by activities are bound as inverse (subtracting)
+  /// services; all others add.
+  static Result<std::unique_ptr<BoundWorld>> Bind(const ParsedWorld* world);
+
+  /// Registers the subsystem and the declared conflicts.
+  Status Attach(TransactionalProcessScheduler* scheduler);
+
+  /// Submits every process of the world (in definition order), returning
+  /// name -> pid.
+  Result<std::map<std::string, ProcessId>> SubmitAll(
+      TransactionalProcessScheduler* scheduler, int64_t param = 0);
+
+  /// Makes the next `count` invocations of the named activity's service
+  /// fail (targets the service, so same-service activities share fate).
+  Status InjectFailure(const std::string& process,
+                       const std::string& activity, int count = 1);
+
+  /// Value of the synthetic key behind `service`.
+  int64_t ValueOf(ServiceId service) const;
+
+  KvSubsystem* subsystem() { return subsystem_.get(); }
+  const ParsedWorld& world() const { return *world_; }
+
+ private:
+  explicit BoundWorld(const ParsedWorld* world) : world_(world) {}
+
+  const ParsedWorld* world_;
+  std::unique_ptr<KvSubsystem> subsystem_;
+  std::map<std::string, std::map<std::string, ServiceId>> service_of_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_WORKLOAD_DSL_BINDING_H_

@@ -1,0 +1,211 @@
+#include "workload/process_generator.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "core/flex_structure.h"
+
+namespace tpm {
+
+namespace {
+
+ServiceDef MakeAddDelta(ServiceId id, std::string name, std::string key,
+                        int64_t sign) {
+  ServiceDef def;
+  def.id = id;
+  def.name = std::move(name);
+  def.read_set = {key};
+  def.write_set = {key};
+  def.body = [key, sign](KvStore* store, const ServiceRequest& request,
+                         int64_t* ret) {
+    const int64_t amount = request.param == 0 ? 1 : request.param;
+    store->Add(key, sign * amount);
+    *ret = store->Get(key);
+    return Status::OK();
+  };
+  return def;
+}
+
+}  // namespace
+
+SyntheticUniverse::SyntheticUniverse(int num_subsystems,
+                                     int keys_per_subsystem, uint64_t seed) {
+  for (int s = 0; s < num_subsystems; ++s) {
+    auto subsystem = std::make_unique<KvSubsystem>(
+        SubsystemId(s + 1), StrCat("subsystem", s + 1), seed + s);
+    for (int k = 0; k < keys_per_subsystem; ++k) {
+      const std::string key = StrCat("k", k);
+      const int64_t base = (s * keys_per_subsystem + k) * 10;
+      Item item;
+      item.add = ServiceId(base + 1);
+      item.sub = ServiceId(base + 2);
+      item.check = ServiceId(base + 3);
+      item.subsystem = subsystem->id();
+      item.key = key;
+      Status st = subsystem->RegisterService(
+          MakeAddDelta(item.add, StrCat("add/", s, "/", key), key, +1));
+      if (st.ok()) {
+        st = subsystem->RegisterService(
+            MakeAddDelta(item.sub, StrCat("sub/", s, "/", key), key, -1));
+      }
+      if (st.ok()) {
+        st = subsystem->RegisterService(
+            MakeReadService(item.check, StrCat("check/", s, "/", key), key));
+      }
+      // Registration of fresh ids into a fresh subsystem cannot fail.
+      (void)st;
+      items_.push_back(std::move(item));
+    }
+    subsystems_.push_back(std::move(subsystem));
+  }
+}
+
+std::vector<KvSubsystem*> SyntheticUniverse::subsystems() {
+  std::vector<KvSubsystem*> result;
+  result.reserve(subsystems_.size());
+  for (auto& s : subsystems_) result.push_back(s.get());
+  return result;
+}
+
+Status SyntheticUniverse::RegisterAll(
+    TransactionalProcessScheduler* scheduler) {
+  for (auto& subsystem : subsystems_) {
+    TPM_RETURN_IF_ERROR(scheduler->RegisterSubsystem(subsystem.get()));
+  }
+  return Status::OK();
+}
+
+void SyntheticUniverse::ScheduleFailures(size_t item, int count) {
+  const Item& it = items_.at(item);
+  for (auto& subsystem : subsystems_) {
+    if (subsystem->id() == it.subsystem) {
+      subsystem->ScheduleFailures(it.add, count);
+      return;
+    }
+  }
+}
+
+int64_t SyntheticUniverse::TotalValue() const {
+  int64_t total = 0;
+  for (const auto& subsystem : subsystems_) {
+    for (const auto& [key, value] : subsystem->store().Snapshot()) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+ProcessGenerator::ProcessGenerator(const SyntheticUniverse* universe,
+                                   ProcessShape shape, uint64_t seed)
+    : universe_(universe), shape_(shape), rng_(seed) {}
+
+void ProcessGenerator::RestrictItems(size_t first, size_t count) {
+  item_first_ = first;
+  item_count_ = count;
+}
+
+Result<const ProcessDef*> ProcessGenerator::Generate(const std::string& name) {
+  const size_t pool_first = item_first_;
+  const size_t pool_count =
+      item_count_ == 0 ? universe_->num_items() : item_count_;
+  if (pool_first + pool_count > universe_->num_items() || pool_count == 0) {
+    return Status::InvalidArgument("item restriction out of range");
+  }
+
+  auto def = std::make_unique<ProcessDef>(name);
+  // Each process works on a small random subset of the available items —
+  // `items_per_process` is the contention knob: the smaller the subsets
+  // relative to the pool, the fewer processes overlap.
+  const size_t footprint = std::min<size_t>(
+      std::max(1, shape_.items_per_process), pool_count);
+  std::vector<size_t> my_items;
+  while (my_items.size() < footprint) {
+    size_t candidate = pool_first + rng_.NextIndex(pool_count);
+    if (std::find(my_items.begin(), my_items.end(), candidate) ==
+        my_items.end()) {
+      my_items.push_back(candidate);
+    }
+  }
+  auto pick_item = [&]() -> const SyntheticUniverse::Item& {
+    return universe_->items()[my_items[rng_.NextIndex(my_items.size())]];
+  };
+
+  // Builds one stage (compensatables, pivot, continuation); returns OK or
+  // the first edge error (which cannot happen for a fresh chain).
+  // Implemented iteratively over a stack of (parent activity, depth,
+  // preference) continuation requests.
+  struct StageRequest {
+    ActivityId parent;  // invalid for the root stage
+    int preference = 0;
+    int depth = 0;
+  };
+  std::vector<StageRequest> stages;
+  stages.push_back(StageRequest{ActivityId(), 0, 0});
+  int activity_counter = 0;
+
+  while (!stages.empty()) {
+    StageRequest request = stages.back();
+    stages.pop_back();
+    ActivityId prev = request.parent;
+    int pref = request.preference;
+
+    const int n_comp = static_cast<int>(rng_.NextInRange(
+        shape_.min_compensatable, shape_.max_compensatable));
+    for (int i = 0; i < n_comp; ++i) {
+      const auto& item = pick_item();
+      ActivityId id = def->AddActivity(StrCat("c", ++activity_counter),
+                                       ActivityKind::kCompensatable, item.add,
+                                       item.sub);
+      if (prev.valid()) {
+        TPM_RETURN_IF_ERROR(def->AddEdge(prev, id, pref));
+      }
+      prev = id;
+      pref = 0;  // only the stage's first edge carries the preference
+    }
+
+    const auto& pivot_item = pick_item();
+    ActivityId pivot = def->AddActivity(StrCat("p", ++activity_counter),
+                                        ActivityKind::kPivot, pivot_item.add);
+    if (prev.valid()) {
+      TPM_RETURN_IF_ERROR(def->AddEdge(prev, pivot, pref));
+    }
+
+    const bool nest = request.depth < shape_.max_nesting_depth &&
+                      rng_.NextBool(shape_.nested_probability);
+    if (nest) {
+      // Primary continuation: a nested well-formed stage; alternative: an
+      // all-retriable tail (guaranteeing termination).
+      stages.push_back(StageRequest{pivot, 0, request.depth + 1});
+      ActivityId alt_prev = pivot;
+      int alt_pref = 1;
+      const int n_ret = static_cast<int>(
+          rng_.NextInRange(shape_.min_retriable, shape_.max_retriable));
+      for (int i = 0; i < std::max(1, n_ret); ++i) {
+        const auto& item = pick_item();
+        ActivityId id = def->AddActivity(StrCat("r", ++activity_counter),
+                                         ActivityKind::kRetriable, item.add);
+        TPM_RETURN_IF_ERROR(def->AddEdge(alt_prev, id, alt_pref));
+        alt_prev = id;
+        alt_pref = 0;
+      }
+    } else {
+      ActivityId tail_prev = pivot;
+      const int n_ret = static_cast<int>(
+          rng_.NextInRange(shape_.min_retriable, shape_.max_retriable));
+      for (int i = 0; i < n_ret; ++i) {
+        const auto& item = pick_item();
+        ActivityId id = def->AddActivity(StrCat("r", ++activity_counter),
+                                         ActivityKind::kRetriable, item.add);
+        TPM_RETURN_IF_ERROR(def->AddEdge(tail_prev, id, 0));
+        tail_prev = id;
+      }
+    }
+  }
+
+  TPM_RETURN_IF_ERROR(def->Validate());
+  TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(*def));
+  owned_.push_back(std::move(def));
+  return owned_.back().get();
+}
+
+}  // namespace tpm

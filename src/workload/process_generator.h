@@ -1,0 +1,107 @@
+#ifndef TPM_WORKLOAD_PROCESS_GENERATOR_H_
+#define TPM_WORKLOAD_PROCESS_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/process.h"
+#include "core/scheduler.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+
+/// A pool of simulated transactional subsystems with generated services,
+/// used by the synthetic workloads. For every data item (key) the universe
+/// offers:
+///   * an `add` service (compensatable: its inverse subtracts the same
+///     amount, so <add add^-1> is effect-free),
+///   * the matching `sub` compensation service,
+///   * a `check` read service (effect-free).
+/// Two services conflict iff they touch the same key (derived from
+/// read/write sets).
+class SyntheticUniverse {
+ public:
+  SyntheticUniverse(int num_subsystems, int keys_per_subsystem,
+                    uint64_t seed = 7);
+
+  SyntheticUniverse(const SyntheticUniverse&) = delete;
+  SyntheticUniverse& operator=(const SyntheticUniverse&) = delete;
+
+  /// One data item with its service triple.
+  struct Item {
+    ServiceId add;
+    ServiceId sub;    // compensation of add
+    ServiceId check;  // effect-free read
+    SubsystemId subsystem;
+    std::string key;
+  };
+
+  const std::vector<Item>& items() const { return items_; }
+  size_t num_items() const { return items_.size(); }
+
+  std::vector<KvSubsystem*> subsystems();
+
+  /// Registers every subsystem with the scheduler.
+  Status RegisterAll(TransactionalProcessScheduler* scheduler);
+
+  /// Injects failures: service `item.add` of item index `item` aborts
+  /// `count` times.
+  void ScheduleFailures(size_t item, int count);
+
+  /// Sum of all key values across subsystems (consistency checks: every
+  /// add is either matched by its process's commitment or compensated, so
+  /// the expected total is the sum over committed processes).
+  int64_t TotalValue() const;
+
+ private:
+  std::vector<std::unique_ptr<KvSubsystem>> subsystems_;
+  std::vector<Item> items_;
+};
+
+/// Shape parameters for randomly generated processes with well-formed flex
+/// structure.
+struct ProcessShape {
+  int min_compensatable = 1;
+  int max_compensatable = 3;
+  /// Probability that the pivot is followed by a nested stage with an
+  /// all-retriable alternative (recursion of the well-formed structure).
+  double nested_probability = 0.3;
+  int max_nesting_depth = 2;
+  int min_retriable = 1;
+  int max_retriable = 2;
+  /// Number of distinct items each process draws its activities from; the
+  /// smaller the pool relative to the universe, the higher the conflict
+  /// rate between processes.
+  int items_per_process = 4;
+};
+
+/// Generates random processes with guaranteed termination over a
+/// SyntheticUniverse. Generated definitions are owned by the generator and
+/// must outlive schedulers using them.
+class ProcessGenerator {
+ public:
+  ProcessGenerator(const SyntheticUniverse* universe, ProcessShape shape,
+                   uint64_t seed);
+
+  /// Generates a new process definition (validated, well-formed flex).
+  Result<const ProcessDef*> Generate(const std::string& name);
+
+  /// Restricts item draws to [first, first+count) of the universe's items —
+  /// used to control the conflict footprint ("hot" vs "cold" items).
+  void RestrictItems(size_t first, size_t count);
+
+ private:
+  const SyntheticUniverse* universe_;
+  ProcessShape shape_;
+  Rng rng_;
+  size_t item_first_ = 0;
+  size_t item_count_ = 0;  // 0 = all
+  std::vector<std::unique_ptr<ProcessDef>> owned_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_WORKLOAD_PROCESS_GENERATOR_H_

@@ -1,0 +1,95 @@
+#include "workload/schedule_generator.h"
+
+#include "common/str_util.h"
+#include "core/flex_structure.h"
+
+namespace tpm {
+
+Result<GeneratedSchedule> GenerateRandomSchedule(
+    const RandomScheduleConfig& config, Rng* rng) {
+  GeneratedSchedule result;
+
+  // Service ids: activity j of process p uses service 1000*p + j; its
+  // compensation uses 1000*p + 500 + j.
+  for (int p = 1; p <= config.num_processes; ++p) {
+    auto def = std::make_unique<ProcessDef>(StrCat("R", p));
+    const int n_comp = static_cast<int>(
+        rng->NextInRange(config.min_compensatable, config.max_compensatable));
+    const int n_ret = static_cast<int>(
+        rng->NextInRange(config.min_retriable, config.max_retriable));
+    ActivityId prev;
+    int index = 0;
+    for (int i = 0; i < n_comp; ++i) {
+      ++index;
+      ActivityId id = def->AddActivity(
+          StrCat("c", index), ActivityKind::kCompensatable,
+          ServiceId(1000 * p + index), ServiceId(1000 * p + 500 + index));
+      if (prev.valid()) TPM_RETURN_IF_ERROR(def->AddEdge(prev, id));
+      prev = id;
+    }
+    ++index;
+    ActivityId pivot = def->AddActivity(StrCat("p", index),
+                                        ActivityKind::kPivot,
+                                        ServiceId(1000 * p + index));
+    if (prev.valid()) TPM_RETURN_IF_ERROR(def->AddEdge(prev, pivot));
+    prev = pivot;
+    for (int i = 0; i < n_ret; ++i) {
+      ++index;
+      ActivityId id = def->AddActivity(StrCat("r", index),
+                                       ActivityKind::kRetriable,
+                                       ServiceId(1000 * p + index));
+      TPM_RETURN_IF_ERROR(def->AddEdge(prev, id));
+      prev = id;
+    }
+    TPM_RETURN_IF_ERROR(def->Validate());
+    TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(*def));
+    result.defs.push_back(std::move(def));
+  }
+
+  // Random conflicts across processes.
+  for (int p = 1; p <= config.num_processes; ++p) {
+    for (int q = p + 1; q <= config.num_processes; ++q) {
+      const auto& dp = *result.defs[p - 1];
+      const auto& dq = *result.defs[q - 1];
+      for (const ActivityDecl& a : dp.activities()) {
+        for (const ActivityDecl& b : dq.activities()) {
+          if (rng->NextBool(config.conflict_density)) {
+            result.spec.AddConflict(a.service, b.service);
+          }
+        }
+      }
+    }
+  }
+
+  // Random interleaving of the primary paths.
+  for (int p = 1; p <= config.num_processes; ++p) {
+    TPM_RETURN_IF_ERROR(
+        result.schedule.AddProcess(ProcessId(p), result.defs[p - 1].get()));
+  }
+  std::vector<size_t> next_activity(config.num_processes, 0);
+  std::vector<bool> done(config.num_processes, false);
+  int remaining = config.num_processes;
+  while (remaining > 0) {
+    if (rng->NextBool(config.stop_probability)) break;
+    // Pick a random process that still has activities to run.
+    int candidate = static_cast<int>(rng->NextIndex(config.num_processes));
+    while (done[candidate]) {
+      candidate = (candidate + 1) % config.num_processes;
+    }
+    const ProcessDef& def = *result.defs[candidate];
+    ActivityId act(static_cast<int64_t>(next_activity[candidate]) + 1);
+    TPM_RETURN_IF_ERROR(result.schedule.Append(ScheduleEvent::Activity(
+        ActivityInstance{ProcessId(candidate + 1), act, false})));
+    if (++next_activity[candidate] == def.num_activities()) {
+      done[candidate] = true;
+      --remaining;
+      if (rng->NextBool(config.commit_probability)) {
+        TPM_RETURN_IF_ERROR(result.schedule.Append(
+            ScheduleEvent::Commit(ProcessId(candidate + 1))));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tpm

@@ -1,0 +1,107 @@
+#include "agent/coordination_agent.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t param = 0) {
+  return ServiceRequest{ProcessId(1), ActivityId(1), param};
+}
+
+class CoordinationAgentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CoordinationAgent::AgentService book;
+    book.id = ServiceId(1);
+    book.name = "book";
+    book.resource = "ledger";
+    book.make_op = [](const ServiceRequest& r) {
+      return "book:" + std::to_string(r.param);
+    };
+    ASSERT_TRUE(agent_.RegisterAgentService(book).ok());
+
+    CoordinationAgent::AgentService cancel;
+    cancel.id = ServiceId(2);
+    cancel.name = "cancel";
+    cancel.resource = "ledger";
+    cancel.make_op = [](const ServiceRequest& r) {
+      return "cancel:" + std::to_string(r.param);
+    };
+    ASSERT_TRUE(agent_.RegisterAgentService(cancel).ok());
+
+    CoordinationAgent::AgentService note;
+    note.id = ServiceId(3);
+    note.name = "note";
+    note.resource = "journal";
+    note.make_op = [](const ServiceRequest&) { return std::string("note"); };
+    ASSERT_TRUE(agent_.RegisterAgentService(note).ok());
+  }
+
+  NonTransactionalApp app_;
+  CoordinationAgent agent_{SubsystemId(5), "legacy", &app_};
+};
+
+TEST_F(CoordinationAgentTest, ImmediateInvokeAppliesToApp) {
+  ASSERT_TRUE(agent_.Invoke(ServiceId(1), Req(7)).ok());
+  ASSERT_EQ(app_.journal().size(), 1u);
+  EXPECT_EQ(app_.journal()[0], "book:7");
+}
+
+TEST_F(CoordinationAgentTest, PreparedIsInvisibleUntilCommit) {
+  auto prepared = agent_.InvokePrepared(ServiceId(1), Req(7));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(app_.size(), 0u);  // the app never sees uncommitted work
+  ASSERT_TRUE(agent_.CommitPrepared(prepared->tx).ok());
+  ASSERT_EQ(app_.size(), 1u);
+  EXPECT_EQ(app_.journal()[0], "book:7");
+}
+
+TEST_F(CoordinationAgentTest, PreparedAbortLeavesAppUntouched) {
+  auto prepared = agent_.InvokePrepared(ServiceId(1), Req(7));
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(agent_.AbortPrepared(prepared->tx).ok());
+  EXPECT_EQ(app_.size(), 0u);
+}
+
+TEST_F(CoordinationAgentTest, ResourceLockingBlocksSameResource) {
+  auto prepared = agent_.InvokePrepared(ServiceId(1), Req(1));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(agent_.WouldBlock(ServiceId(2)));   // same resource
+  EXPECT_FALSE(agent_.WouldBlock(ServiceId(3)));  // different resource
+  EXPECT_TRUE(agent_.Invoke(ServiceId(2), Req(1)).status().IsUnavailable());
+  EXPECT_TRUE(agent_.Invoke(ServiceId(3), Req(0)).ok());
+  ASSERT_TRUE(agent_.CommitPrepared(prepared->tx).ok());
+  EXPECT_FALSE(agent_.WouldBlock(ServiceId(2)));
+}
+
+TEST_F(CoordinationAgentTest, ConflictsDerivedPerResource) {
+  ConflictSpec spec;
+  agent_.services().DeriveConflicts(&spec);
+  EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(3)));
+}
+
+TEST_F(CoordinationAgentTest, AbortAllPreparedReleases) {
+  ASSERT_TRUE(agent_.InvokePrepared(ServiceId(1), Req(1)).ok());
+  ASSERT_TRUE(agent_.AbortAllPrepared().ok());
+  EXPECT_FALSE(agent_.WouldBlock(ServiceId(2)));
+  EXPECT_EQ(app_.size(), 0u);
+}
+
+TEST_F(CoordinationAgentTest, UnknownServiceAndTxRejected) {
+  EXPECT_TRUE(agent_.Invoke(ServiceId(99), Req()).status().IsNotFound());
+  EXPECT_TRUE(agent_.CommitPrepared(TxId(99)).IsNotFound());
+  EXPECT_TRUE(agent_.AbortPrepared(TxId(99)).IsNotFound());
+}
+
+TEST_F(CoordinationAgentTest, CompensationAsForwardService) {
+  // The agent realizes compensation as a semantic inverse operation.
+  ASSERT_TRUE(agent_.Invoke(ServiceId(1), Req(7)).ok());
+  ASSERT_TRUE(agent_.Invoke(ServiceId(2), Req(7)).ok());
+  ASSERT_EQ(app_.size(), 2u);
+  EXPECT_EQ(app_.journal()[1], "cancel:7");
+}
+
+}  // namespace
+}  // namespace tpm

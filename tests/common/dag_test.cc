@@ -1,0 +1,132 @@
+#include "common/dag.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(DagTest, EmptyGraphIsAcyclic) {
+  Dag dag(3);
+  EXPECT_FALSE(dag.HasCycle());
+  EXPECT_TRUE(dag.FindCycle().empty());
+  auto topo = dag.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->size(), 3u);
+}
+
+TEST(DagTest, DetectsSimpleCycle) {
+  Dag dag(2);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 0);
+  EXPECT_TRUE(dag.HasCycle());
+  std::vector<int> cycle = dag.FindCycle();
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(DagTest, DetectsSelfLoop) {
+  Dag dag(1);
+  dag.AddEdge(0, 0);
+  EXPECT_TRUE(dag.HasCycle());
+}
+
+TEST(DagTest, DetectsLongerCycle) {
+  Dag dag(5);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(2, 3);
+  dag.AddEdge(3, 1);  // cycle 1 -> 2 -> 3 -> 1
+  EXPECT_TRUE(dag.HasCycle());
+  EXPECT_TRUE(dag.TopologicalOrder().status().IsInvalidArgument());
+}
+
+TEST(DagTest, DuplicateEdgesIgnored) {
+  Dag dag(2);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 1);
+  EXPECT_EQ(dag.num_edges(), 1);
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag(4);
+  dag.AddEdge(3, 1);
+  dag.AddEdge(1, 0);
+  dag.AddEdge(3, 2);
+  dag.AddEdge(2, 0);
+  auto topo = dag.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  auto pos = [&](int v) {
+    return std::find(topo->begin(), topo->end(), v) - topo->begin();
+  };
+  EXPECT_LT(pos(3), pos(1));
+  EXPECT_LT(pos(1), pos(0));
+  EXPECT_LT(pos(3), pos(2));
+  EXPECT_LT(pos(2), pos(0));
+}
+
+TEST(DagTest, Reachability) {
+  Dag dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  EXPECT_TRUE(dag.Reachable(0, 2));
+  EXPECT_TRUE(dag.Reachable(0, 0));
+  EXPECT_FALSE(dag.Reachable(2, 0));
+  EXPECT_FALSE(dag.Reachable(0, 3));
+}
+
+TEST(DagTest, TransitiveClosure) {
+  Dag dag(3);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  auto closure = dag.TransitiveClosure();
+  EXPECT_TRUE(closure[0][1]);
+  EXPECT_TRUE(closure[0][2]);
+  EXPECT_TRUE(closure[1][2]);
+  EXPECT_FALSE(closure[2][0]);
+  EXPECT_FALSE(closure[0][0]);  // no self loop
+}
+
+TEST(DagTest, TransitiveReductionDropsImpliedEdge) {
+  Dag dag(3);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(0, 2);  // implied by 0->1->2
+  auto reduced = dag.TransitiveReduction();
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->size(), 2u);
+  for (const auto& [from, to] : *reduced) {
+    EXPECT_FALSE(from == 0 && to == 2);
+  }
+}
+
+TEST(DagTest, TransitiveReductionRejectsCycle) {
+  Dag dag(2);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 0);
+  EXPECT_FALSE(dag.TransitiveReduction().ok());
+}
+
+TEST(DagTest, CountLinearExtensions) {
+  // Two independent chains of length 2: C(4,2) = 6 interleavings.
+  Dag dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(2, 3);
+  EXPECT_EQ(dag.CountLinearExtensions(), 6u);
+  // A total order has exactly one.
+  Dag chain(3);
+  chain.AddEdge(0, 1);
+  chain.AddEdge(1, 2);
+  EXPECT_EQ(chain.CountLinearExtensions(), 1u);
+  // No edges: n!.
+  Dag free3(3);
+  EXPECT_EQ(free3.CountLinearExtensions(), 6u);
+}
+
+TEST(DagTest, CountLinearExtensionsHonorsCap) {
+  Dag free6(6);  // 720 extensions
+  EXPECT_EQ(free6.CountLinearExtensions(100), 100u);
+}
+
+}  // namespace
+}  // namespace tpm

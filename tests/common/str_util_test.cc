@@ -1,0 +1,28 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  std::vector<std::string> v = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(v, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2}, "-"), "1-2");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, "-"), "");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmptyFields) {
+  EXPECT_EQ(StrSplit("a|b|c", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("|x|", '|'), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(StrSplit("", '|'), (std::vector<std::string>{""}));
+}
+
+}  // namespace
+}  // namespace tpm

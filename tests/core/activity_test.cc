@@ -1,0 +1,40 @@
+#include "core/activity.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(ActivityKindTest, Names) {
+  EXPECT_STREQ(ActivityKindToString(ActivityKind::kCompensatable),
+               "compensatable");
+  EXPECT_STREQ(ActivityKindToString(ActivityKind::kPivot), "pivot");
+  EXPECT_STREQ(ActivityKindToString(ActivityKind::kRetriable), "retriable");
+}
+
+TEST(ActivityKindTest, NonCompensatable) {
+  EXPECT_FALSE(IsNonCompensatable(ActivityKind::kCompensatable));
+  EXPECT_TRUE(IsNonCompensatable(ActivityKind::kPivot));
+  EXPECT_TRUE(IsNonCompensatable(ActivityKind::kRetriable));
+}
+
+TEST(ActivityInstanceTest, EqualityAndOrdering) {
+  ActivityInstance a{ProcessId(1), ActivityId(2), false};
+  ActivityInstance b{ProcessId(1), ActivityId(2), false};
+  ActivityInstance inv{ProcessId(1), ActivityId(2), true};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, inv);
+  EXPECT_LT(a, inv);  // inverse sorts after original
+  ActivityInstance other{ProcessId(2), ActivityId(1), false};
+  EXPECT_LT(a, other);
+}
+
+TEST(ActivityInstanceTest, PaperNotationRendering) {
+  ActivityInstance a{ProcessId(1), ActivityId(3), false};
+  EXPECT_EQ(ActivityInstanceToString(a), "a1_3");
+  ActivityInstance inv{ProcessId(1), ActivityId(3), true};
+  EXPECT_EQ(ActivityInstanceToString(inv), "a1_3^-1");
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,141 @@
+#include "core/completed_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+#include "core/serializability.h"
+
+namespace tpm {
+namespace {
+
+using figures::kP1;
+using figures::kP2;
+using figures::kP3;
+
+class CompletedScheduleTest : public ::testing::Test {
+ protected:
+  static std::vector<std::string> Render(const ProcessSchedule& s) {
+    std::vector<std::string> out;
+    for (const auto& e : s.events()) out.push_back(e.ToString());
+    return out;
+  }
+  figures::PaperWorld world_;
+};
+
+// Example 5: completing S_t2 adds {a13^-1, a15, a16} for P1 and {a25} for
+// P2, compensations before forward steps (Figure 6a).
+TEST_F(CompletedScheduleTest, Example5CompletesSt2) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(Render(*completed),
+            (std::vector<std::string>{
+                "a1_1", "a2_1", "a2_2", "a2_3", "a1_2", "a1_3", "a2_4",
+                // group abort expansion:
+                "a1_3^-1", "a1_5", "a1_6", "a2_5", "C1", "C2"}));
+  // Figure 6(a): the completed schedule is serializable.
+  EXPECT_TRUE(IsSerializable(*completed, world_.spec));
+}
+
+// Example 8: completing the prefix S_t1 produces the conflict cycle
+// a11 << a21 << a11^-1 (Figure 8).
+TEST_F(CompletedScheduleTest, Example8CompletesSt1WithCycle) {
+  ProcessSchedule s = figures::MakeScheduleSt1(world_);
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(Render(*completed),
+            (std::vector<std::string>{
+                "a1_1", "a2_1", "a2_2", "a2_3",
+                "a1_1^-1", "a2_4", "a2_5", "C1", "C2"}));
+  // The completion makes the schedule non-serializable: a11 < a21 < a11^-1.
+  EXPECT_FALSE(IsSerializable(*completed, world_.spec));
+}
+
+// All processes committed: completion changes nothing.
+TEST_F(CompletedScheduleTest, CommittedScheduleUnchanged) {
+  ProcessSchedule s = figures::MakeScheduleDoublePrimeT1(world_);
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(Render(*completed), Render(s));
+}
+
+// An individual abort event is replaced by the completion followed by C_i
+// (Def. 8 2c).
+TEST_F(CompletedScheduleTest, IndividualAbortExpandsInPlace) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(kP1, &world_.p1).ok());
+  ASSERT_TRUE(s.AddProcess(kP2, &world_.p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP1, ActivityId(1), false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Abort(kP1)).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP2, ActivityId(1), false}))
+                  .ok());
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  // a11^-1 and C1 appear *before* a21 (Def. 8 3e), then P2's group abort.
+  EXPECT_EQ(Render(*completed),
+            (std::vector<std::string>{"a1_1", "a1_1^-1", "C1", "a2_1",
+                                      "a2_1^-1", "C2"}));
+}
+
+// Lemma 2: compensations of several processes appear in reverse order of
+// their originals.
+TEST_F(CompletedScheduleTest, GroupAbortCompensatesInReverseGlobalOrder) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(kP1, &world_.p1).ok());
+  ASSERT_TRUE(s.AddProcess(kP2, &world_.p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP1, ActivityId(1), false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP2, ActivityId(1), false}))
+                  .ok());
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(Render(*completed),
+            (std::vector<std::string>{"a1_1", "a2_1", "a2_1^-1", "a1_1^-1",
+                                      "C1", "C2"}));
+}
+
+// Lemma 3: compensations precede forward recovery steps of other
+// completions.
+TEST_F(CompletedScheduleTest, BackwardStepsPrecedeForwardSteps) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  size_t last_backward = 0, first_forward = SIZE_MAX;
+  const auto& events = completed->events();
+  for (size_t i = 7; i < events.size(); ++i) {  // completion region
+    if (events[i].type != EventType::kActivity) continue;
+    if (events[i].act.inverse) {
+      last_backward = i;
+    } else {
+      first_forward = std::min(first_forward, i);
+    }
+  }
+  EXPECT_LT(last_backward, first_forward);
+}
+
+// Figure 9: completing S* cancels P3 cleanly (quasi-commit of P1).
+TEST_F(CompletedScheduleTest, Example10StarCompletes) {
+  ProcessSchedule s = figures::MakeScheduleStar(world_);
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(Render(*completed),
+            (std::vector<std::string>{"a1_1", "a1_2", "a3_1", "a3_1^-1",
+                                      "a1_5", "a1_6", "C1", "C3"}));
+}
+
+TEST_F(CompletedScheduleTest, CompletionIsIdempotentOnCompleted) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  auto once = CompleteSchedule(s);
+  ASSERT_TRUE(once.ok());
+  auto twice = CompleteSchedule(*once);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(Render(*once), Render(*twice));
+}
+
+}  // namespace
+}  // namespace tpm

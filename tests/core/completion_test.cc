@@ -1,0 +1,123 @@
+#include "core/completion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+class CompletionTest : public ::testing::Test {
+ protected:
+  figures::PaperWorld world_;
+};
+
+// Example 2: before a12^p commits, P1 is in B-REC and C(P1) = {a11^-1}.
+TEST_F(CompletionTest, Example2BackwardRecoverable) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion->state, RecoveryState::kBackwardRecoverable);
+  ASSERT_EQ(completion->steps.size(), 1u);
+  EXPECT_EQ(completion->steps[0], (CompletionStep{ActivityId(1), true}));
+  EXPECT_EQ(completion->num_backward_steps(), 1u);
+}
+
+// Example 2: after a13^c commits, C(P1) = {a13^-1 << a15 << a16}.
+TEST_F(CompletionTest, Example2ForwardRecoverable) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(3)).ok());
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion->state, RecoveryState::kForwardRecoverable);
+  ASSERT_EQ(completion->steps.size(), 3u);
+  EXPECT_EQ(completion->steps[0], (CompletionStep{ActivityId(3), true}));
+  EXPECT_EQ(completion->steps[1], (CompletionStep{ActivityId(5), false}));
+  EXPECT_EQ(completion->steps[2], (CompletionStep{ActivityId(6), false}));
+  EXPECT_EQ(completion->num_backward_steps(), 1u);
+}
+
+// Example 5: P2 after a21..a24 has C(P2) = {a25}.
+TEST_F(CompletionTest, Example5P2Completion) {
+  ProcessExecutionState state(ProcessId(2), &world_.p2);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(state.RecordCommit(ActivityId(i)).ok());
+  }
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion->state, RecoveryState::kForwardRecoverable);
+  ASSERT_EQ(completion->steps.size(), 1u);
+  EXPECT_EQ(completion->steps[0], (CompletionStep{ActivityId(5), false}));
+}
+
+TEST_F(CompletionTest, EmptyProcessHasEmptyCompletion) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_TRUE(completion->steps.empty());
+}
+
+// After the pivot only, the completion is the last (all-retriable)
+// alternative: {a15, a16}.
+TEST_F(CompletionTest, AfterPivotTakesLastAlternative) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  ASSERT_EQ(completion->steps.size(), 2u);
+  EXPECT_EQ(completion->steps[0], (CompletionStep{ActivityId(5), false}));
+  EXPECT_EQ(completion->steps[1], (CompletionStep{ActivityId(6), false}));
+}
+
+// A fully executed primary path needs no completion work.
+TEST_F(CompletionTest, FullyExecutedPrimaryPathNeedsNothing) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(state.RecordCommit(ActivityId(i)).ok());
+  }
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_TRUE(completion->steps.empty())
+      << "unexpected: " << completion->ToString();
+}
+
+// Committed a14 pins the primary branch: the completion must NOT take the
+// alternative (a15, a16), and nothing needs compensation.
+TEST_F(CompletionTest, CommittedNestedPivotPinsBranch) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(3)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(4)).ok());  // nested pivot a14
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_TRUE(completion->steps.empty());
+}
+
+// Backward recovery compensates in reverse commit order.
+TEST_F(CompletionTest, BackwardRecoveryReverseOrder) {
+  ProcessExecutionState state(ProcessId(2), &world_.p2);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion->state, RecoveryState::kBackwardRecoverable);
+  ASSERT_EQ(completion->steps.size(), 2u);
+  EXPECT_EQ(completion->steps[0], (CompletionStep{ActivityId(2), true}));
+  EXPECT_EQ(completion->steps[1], (CompletionStep{ActivityId(1), true}));
+}
+
+TEST_F(CompletionTest, ToStringRendersPaperNotation) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_EQ(completion->ToString(), "B-REC {a1^-1}");
+}
+
+}  // namespace
+}  // namespace tpm

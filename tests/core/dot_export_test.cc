@@ -1,0 +1,53 @@
+#include "core/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+class DotExportTest : public ::testing::Test {
+ protected:
+  figures::PaperWorld world_;
+};
+
+TEST_F(DotExportTest, ProcessDotContainsAllActivitiesAndAlternatives) {
+  std::string dot = ProcessToDot(world_.p1);
+  EXPECT_NE(dot.find("digraph \"P1\""), std::string::npos);
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_NE(dot.find("a" + std::to_string(i) + " [label="),
+              std::string::npos);
+  }
+  EXPECT_NE(dot.find("alt 1"), std::string::npos);      // a12 -> a15
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);  // pivots
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // compensatables
+}
+
+TEST_F(DotExportTest, ScheduleDotHasRowsAndConflictArcs) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  std::string dot = ScheduleToDot(s, world_.spec);
+  EXPECT_NE(dot.find("cluster_p1"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p2"), std::string::npos);
+  // Three conflicting pairs are present in S_t2: (a11,a21) and (a12,a24).
+  size_t arcs = 0;
+  for (size_t pos = dot.find("color=red"); pos != std::string::npos;
+       pos = dot.find("color=red", pos + 1)) {
+    ++arcs;
+  }
+  EXPECT_EQ(arcs, 2u);
+}
+
+TEST_F(DotExportTest, ConflictGraphDotMarksCycles) {
+  std::string acyclic =
+      ConflictGraphToDot(figures::MakeScheduleSt2(world_), world_.spec);
+  EXPECT_EQ(acyclic.find("NOT serializable"), std::string::npos);
+  std::string cyclic =
+      ConflictGraphToDot(figures::MakeSchedulePrimeT2(world_), world_.spec);
+  EXPECT_NE(cyclic.find("NOT serializable"), std::string::npos);
+  EXPECT_NE(cyclic.find("p1 -> p2"), std::string::npos);
+  EXPECT_NE(cyclic.find("p2 -> p1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,98 @@
+#include "workload/dsl_binding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pred.h"
+
+namespace tpm {
+namespace {
+
+constexpr char kWorld[] = R"(
+process A
+  activity x c service=1 comp=101
+  activity p p service=2
+  activity r r service=3
+  edge x p
+  edge p r
+end
+process B
+  activity y c service=4 comp=104
+  activity q p service=5
+  edge y q
+end
+conflict 1 4
+)";
+
+TEST(DslBindingTest, RunsWorldEndToEnd) {
+  auto world = ParseWorld(kWorld);
+  ASSERT_TRUE(world.ok());
+  auto bound = BoundWorld::Bind(world->get());
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE((*bound)->Attach(&scheduler).ok());
+  auto pids = (*bound)->SubmitAll(&scheduler);
+  ASSERT_TRUE(pids.ok());
+  ASSERT_EQ(pids->size(), 2u);
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.OutcomeOf(pids->at("A")), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler.OutcomeOf(pids->at("B")), ProcessOutcome::kCommitted);
+  // Every service executed exactly once.
+  for (int svc : {1, 2, 3, 4, 5}) {
+    EXPECT_EQ((*bound)->ValueOf(ServiceId(svc)), 1) << "service " << svc;
+  }
+  // Declared conflicts were installed.
+  EXPECT_TRUE(scheduler.conflict_spec().ServicesConflict(ServiceId(1),
+                                                         ServiceId(4)));
+}
+
+TEST(DslBindingTest, InjectedFailureTriggersBackwardRecovery) {
+  auto world = ParseWorld(kWorld);
+  ASSERT_TRUE(world.ok());
+  auto bound = BoundWorld::Bind(world->get());
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE((*bound)->InjectFailure("A", "p").ok());
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE((*bound)->Attach(&scheduler).ok());
+  auto pids = (*bound)->SubmitAll(&scheduler);
+  ASSERT_TRUE(pids.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.OutcomeOf(pids->at("A")), ProcessOutcome::kAborted);
+  // A's x was compensated: its synthetic counter returned to zero.
+  EXPECT_EQ((*bound)->ValueOf(ServiceId(1)), 0);
+  EXPECT_EQ((*bound)->ValueOf(ServiceId(2)), 0);
+  // B consumed conflicting data (y conflicts with x) after A's x, so A's
+  // compensation cascade-aborted it first (§2.2) — its work is undone too.
+  EXPECT_EQ(scheduler.OutcomeOf(pids->at("B")), ProcessOutcome::kAborted);
+  EXPECT_EQ((*bound)->ValueOf(ServiceId(4)), 0);
+  EXPECT_GE(scheduler.stats().cascading_aborts, 1);
+  auto pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+TEST(DslBindingTest, FailureInjectionValidatesNames) {
+  auto world = ParseWorld(kWorld);
+  ASSERT_TRUE(world.ok());
+  auto bound = BoundWorld::Bind(world->get());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE((*bound)->InjectFailure("Nope", "x").IsNotFound());
+  EXPECT_TRUE((*bound)->InjectFailure("A", "nope").IsNotFound());
+}
+
+TEST(DslBindingTest, SharedCompensationServiceBindsOnce) {
+  // Two activities sharing a compensation service id: binding must not
+  // register it twice.
+  auto world = ParseWorld(R"(
+process P
+  activity a c service=1 comp=100
+  activity b c service=2 comp=100
+  edge a b
+end
+)");
+  ASSERT_TRUE(world.ok());
+  auto bound = BoundWorld::Bind(world->get());
+  ASSERT_TRUE(bound.ok()) << bound.status();
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,99 @@
+#include "core/execution_state.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+class ExecutionStateTest : public ::testing::Test {
+ protected:
+  figures::PaperWorld world_;
+};
+
+TEST_F(ExecutionStateTest, FreshStateIsActiveAndBRec) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  EXPECT_TRUE(state.IsActive());
+  EXPECT_EQ(state.recovery_state(), RecoveryState::kBackwardRecoverable);
+  EXPECT_TRUE(state.EffectiveCommitted().empty());
+  EXPECT_TRUE(state.LastStateDetermining().status().IsNotFound());
+}
+
+TEST_F(ExecutionStateTest, CommitTracksOrder) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());
+  EXPECT_EQ(state.EffectiveCommitted(),
+            (std::vector<ActivityId>{ActivityId(1), ActivityId(2)}));
+  EXPECT_TRUE(state.IsCommitted(ActivityId(1)));
+  EXPECT_FALSE(state.IsCommitted(ActivityId(3)));
+}
+
+TEST_F(ExecutionStateTest, PivotCommitMovesToFRec) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  EXPECT_EQ(state.recovery_state(), RecoveryState::kBackwardRecoverable);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());  // a12^p
+  EXPECT_EQ(state.recovery_state(), RecoveryState::kForwardRecoverable);
+  auto last = state.LastStateDetermining();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(*last, ActivityId(2));
+}
+
+TEST_F(ExecutionStateTest, DuplicateCommitRejected) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  EXPECT_EQ(state.RecordCommit(ActivityId(1)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ExecutionStateTest, UnknownActivityRejected) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  EXPECT_TRUE(state.RecordCommit(ActivityId(99)).IsNotFound());
+}
+
+TEST_F(ExecutionStateTest, CompensationRemovesEffect) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(3)).ok());
+  ASSERT_TRUE(state.RecordCompensation(ActivityId(3)).ok());
+  EXPECT_TRUE(state.IsCompensated(ActivityId(3)));
+  EXPECT_EQ(state.EffectiveCommitted(),
+            (std::vector<ActivityId>{ActivityId(1), ActivityId(2)}));
+}
+
+TEST_F(ExecutionStateTest, CompensationRequiresCommit) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  EXPECT_TRUE(state.RecordCompensation(ActivityId(1)).IsFailedPrecondition());
+}
+
+TEST_F(ExecutionStateTest, CompensationRejectsNonCompensatable) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(2)).ok());  // pivot
+  EXPECT_TRUE(state.RecordCompensation(ActivityId(2)).IsInvalidArgument());
+}
+
+TEST_F(ExecutionStateTest, ReExecutionAfterCompensation) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCompensation(ActivityId(1)).ok());
+  ASSERT_TRUE(state.RecordCommit(ActivityId(1)).ok());
+  EXPECT_FALSE(state.IsCompensated(ActivityId(1)));
+  EXPECT_EQ(state.EffectiveCommitted(),
+            (std::vector<ActivityId>{ActivityId(1)}));
+}
+
+TEST_F(ExecutionStateTest, TerminalEvents) {
+  ProcessExecutionState state(ProcessId(1), &world_.p1);
+  state.RecordCommitProcess();
+  EXPECT_EQ(state.outcome(), ProcessOutcome::kCommitted);
+  ProcessExecutionState state2(ProcessId(2), &world_.p2);
+  state2.RecordAbortProcess();
+  EXPECT_EQ(state2.outcome(), ProcessOutcome::kAborted);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,131 @@
+#include "core/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+#include "core/pred.h"
+
+namespace tpm {
+namespace {
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  static std::vector<std::string> Render(const ProcessSchedule& s) {
+    std::vector<std::string> out;
+    for (const auto& e : s.events()) out.push_back(e.ToString());
+    return out;
+  }
+  figures::PaperWorld world_;
+};
+
+// §3.4, remark after Example 8: "If all inverses were available and the
+// classical undo procedure of recovery could be applied, the prefix S_t1
+// of S_t2 would be reducible" — the expanded schedule compensates
+// a23, a22, a21 and a11 and everything cancels.
+TEST_F(ExpansionTest, St1IsClassicallyReducible) {
+  ProcessSchedule s = figures::MakeScheduleSt1(world_);
+  auto expanded = ExpandClassically(s);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(Render(*expanded),
+            (std::vector<std::string>{
+                "a1_1", "a2_1", "a2_2", "a2_3",
+                "a2_3^-1", "a2_2^-1", "a2_1^-1", "a1_1^-1", "C1", "C2"}));
+  auto red = IsClassicallyReducible(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+  // Whereas under the process model the same prefix is NOT reducible:
+  auto process_red = IsRED(s, world_.spec);
+  ASSERT_TRUE(process_red.ok());
+  EXPECT_FALSE(*process_red);
+}
+
+// "As reduction would be possible for all prefixes of S_t2 in this
+// classical sense, S_t2 would be in PRED."
+TEST_F(ExpansionTest, St2IsClassicallyPrefixReducible) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  auto classical = IsClassicallyPrefixReducible(s, world_.spec);
+  ASSERT_TRUE(classical.ok());
+  EXPECT_TRUE(*classical);
+  auto process = IsPRED(s, world_.spec);
+  ASSERT_TRUE(process.ok());
+  EXPECT_FALSE(*process);
+}
+
+// A genuinely non-serializable schedule of COMMITTED processes is
+// irreducible under both models (nothing can be undone). When the same
+// schedule is left active, the classical theory happily reduces it — every
+// activity is undone — while the process model still rejects it.
+TEST_F(ExpansionTest, NonSerializableIrreducibleInBothModelsOnceCommitted) {
+  ProcessSchedule s = figures::MakeSchedulePrimeT2(world_);
+  // Still active: classical expansion undoes everything and reduces.
+  auto classical_active = IsClassicallyReducible(s, world_.spec);
+  ASSERT_TRUE(classical_active.ok());
+  EXPECT_TRUE(*classical_active);
+  auto process_active = IsRED(s, world_.spec);
+  ASSERT_TRUE(process_active.ok());
+  EXPECT_FALSE(*process_active);
+  // Committed: irreducible in both models.
+  ASSERT_TRUE(s.Append(ScheduleEvent::Commit(figures::kP1)).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Commit(figures::kP2)).ok());
+  auto classical = IsClassicallyReducible(s, world_.spec);
+  ASSERT_TRUE(classical.ok());
+  EXPECT_FALSE(*classical);
+  auto process = IsRED(s, world_.spec);
+  ASSERT_TRUE(process.ok());
+  EXPECT_FALSE(*process);
+}
+
+// Committed processes keep their effects under classical expansion.
+TEST_F(ExpansionTest, CommittedProcessesNotUndone) {
+  ProcessSchedule s = figures::MakeScheduleDoublePrimeT1(world_);
+  auto expanded = ExpandClassically(s);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(Render(*expanded), Render(s));  // nothing to undo
+}
+
+// Individual aborts expand in place, like Def. 8 but undo-only.
+TEST_F(ExpansionTest, IndividualAbortExpandsInPlace) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(figures::kP2, &world_.p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{figures::kP2, ActivityId(1),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{figures::kP2, ActivityId(2),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Abort(figures::kP2)).ok());
+  auto expanded = ExpandClassically(s);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(Render(*expanded),
+            (std::vector<std::string>{"a2_1", "a2_2", "a2_2^-1", "a2_1^-1",
+                                      "C2"}));
+}
+
+// The classical model even "undoes" pivots — exactly the unrealistic
+// assumption the process model drops (§1: "we cannot impose the strong
+// requirements used in other models ... where the inverses of all process
+// steps have to exist").
+TEST_F(ExpansionTest, ClassicalExpansionUndoesPivots) {
+  ProcessSchedule s = figures::MakeScheduleStarReversed(world_);
+  auto expanded = ExpandClassically(s);
+  ASSERT_TRUE(expanded.ok());
+  bool undoes_pivot = false;
+  for (const auto& e : expanded->events()) {
+    if (e.type == EventType::kActivity && e.act.inverse &&
+        e.act.process == figures::kP1 && e.act.activity == ActivityId(2)) {
+      undoes_pivot = true;  // a12^p "compensated"
+    }
+  }
+  EXPECT_TRUE(undoes_pivot);
+  auto classical = IsClassicallyReducible(s, world_.spec);
+  ASSERT_TRUE(classical.ok());
+  EXPECT_TRUE(*classical);  // trivially: everything cancels
+  auto process = IsRED(s, world_.spec);
+  ASSERT_TRUE(process.ok());
+  EXPECT_FALSE(*process);  // the process model knows a12 cannot be undone
+}
+
+}  // namespace
+}  // namespace tpm

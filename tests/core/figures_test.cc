@@ -1,0 +1,114 @@
+// End-to-end verification of every claim the paper makes about its worked
+// examples (Figures 2-9, Examples 1-10). This is the "paper conformance"
+// suite; the per-module tests cover the same machinery in isolation.
+
+#include "core/figures.h"
+
+#include <gtest/gtest.h>
+
+#include "core/completed_schedule.h"
+#include "core/flex_structure.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/reduction.h"
+#include "core/serializability.h"
+
+namespace tpm {
+namespace figures {
+namespace {
+
+class PaperClaimsTest : public ::testing::Test {
+ protected:
+  PaperWorld world_;
+};
+
+// Figure 2 / Example 1: P1 is well defined and has 4 valid executions.
+TEST_F(PaperClaimsTest, Figure2) {
+  EXPECT_TRUE(ValidateWellFormedFlex(world_.p1).ok());
+  auto executions = EnumerateValidExecutions(world_.p1);
+  ASSERT_TRUE(executions.ok());
+  EXPECT_EQ(executions->size(), 4u);
+}
+
+// Example 2: state-determining activity and completions of P1.
+TEST_F(PaperClaimsTest, Example2) {
+  auto s = StateDeterminingActivity(world_.p1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, ActivityId(2));
+}
+
+// Figure 4(a) / Example 4: S_t2 serializable.
+TEST_F(PaperClaimsTest, Figure4aSerializable) {
+  EXPECT_TRUE(IsSerializable(MakeScheduleSt2(world_), world_.spec));
+}
+
+// Figure 4(b) / Example 3: S'_t2 not serializable.
+TEST_F(PaperClaimsTest, Figure4bNotSerializable) {
+  EXPECT_FALSE(IsSerializable(MakeSchedulePrimeT2(world_), world_.spec));
+}
+
+// Figure 6 / Examples 5-6: completed S_t2 serializable; S_t2 is RED.
+TEST_F(PaperClaimsTest, Figure6CompletedAndReduced) {
+  ProcessSchedule s = MakeScheduleSt2(world_);
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_TRUE(IsSerializable(*completed, world_.spec));
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+}
+
+// Figure 7 / Examples 7, 9: S'' is RED and PRED.
+TEST_F(PaperClaimsTest, Figure7Pred) {
+  ProcessSchedule s = MakeScheduleDoublePrimeT1(world_);
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+  auto pred = IsPRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+// Figure 8 / Example 8: S_t1 not reducible => S_t2 not PRED.
+TEST_F(PaperClaimsTest, Figure8NotPred) {
+  auto red_t1 = IsRED(MakeScheduleSt1(world_), world_.spec);
+  ASSERT_TRUE(red_t1.ok());
+  EXPECT_FALSE(*red_t1);
+  auto pred_t2 = IsPRED(MakeScheduleSt2(world_), world_.spec);
+  ASSERT_TRUE(pred_t2.ok());
+  EXPECT_FALSE(*pred_t2);
+}
+
+// Figure 9 / Example 10: the quasi-commit interleaving is correct.
+TEST_F(PaperClaimsTest, Figure9QuasiCommit) {
+  auto pred = IsPRED(MakeScheduleStar(world_), world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+  auto reversed = IsPRED(MakeScheduleStarReversed(world_), world_.spec);
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_FALSE(*reversed);
+}
+
+// Theorem 1 on the paper's own schedules: PRED => serializable and
+// process-recoverable.
+TEST_F(PaperClaimsTest, Theorem1OnPaperSchedules) {
+  ProcessSchedule pred_schedule = MakeScheduleDoublePrimeT1(world_);
+  EXPECT_TRUE(IsSerializable(pred_schedule, world_.spec));
+  EXPECT_TRUE(IsProcessRecoverable(pred_schedule, world_.spec));
+
+  ProcessSchedule star = MakeScheduleStar(world_);
+  EXPECT_TRUE(IsSerializable(star, world_.spec));
+  EXPECT_TRUE(IsProcessRecoverable(star, world_.spec));
+}
+
+// Structural sanity of the shared world.
+TEST_F(PaperClaimsTest, WorldShape) {
+  EXPECT_EQ(world_.p1.num_activities(), 6u);
+  EXPECT_EQ(world_.p2.num_activities(), 5u);
+  EXPECT_EQ(world_.p3.num_activities(), 3u);
+  EXPECT_EQ(world_.spec.num_conflict_pairs(), 4u);
+}
+
+}  // namespace
+}  // namespace figures
+}  // namespace tpm

@@ -1,0 +1,197 @@
+#include "core/flex_structure.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+// c1 -> p -> r1 -> r2: the basic well-formed flex structure.
+ProcessDef BasicFlex() {
+  ProcessDef def("basic");
+  ActivityId c = def.AddActivity("c", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(101));
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  ActivityId r1 = def.AddActivity("r1", ActivityKind::kRetriable,
+                                  ServiceId(3));
+  ActivityId r2 = def.AddActivity("r2", ActivityKind::kRetriable,
+                                  ServiceId(4));
+  EXPECT_TRUE(def.AddEdge(c, p).ok());
+  EXPECT_TRUE(def.AddEdge(p, r1).ok());
+  EXPECT_TRUE(def.AddEdge(r1, r2).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  return def;
+}
+
+TEST(FlexValidatorTest, BasicStructureIsWellFormed) {
+  ProcessDef def = BasicFlex();
+  EXPECT_TRUE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(FlexValidatorTest, PaperProcessesAreWellFormed) {
+  figures::PaperWorld world;
+  EXPECT_TRUE(ValidateWellFormedFlex(world.p1).ok());
+  EXPECT_TRUE(ValidateWellFormedFlex(world.p2).ok());
+  EXPECT_TRUE(ValidateWellFormedFlex(world.p3).ok());
+}
+
+TEST(FlexValidatorTest, PureCompensatableIsWellFormed) {
+  ProcessDef def("pure");
+  ActivityId a = def.AddActivity("a", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(101));
+  ActivityId b = def.AddActivity("b", ActivityKind::kCompensatable,
+                                 ServiceId(2), ServiceId(102));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(FlexValidatorTest, PureRetriableIsWellFormed) {
+  ProcessDef def("retries");
+  ActivityId a = def.AddActivity("a", ActivityKind::kRetriable, ServiceId(1));
+  ActivityId b = def.AddActivity("b", ActivityKind::kRetriable, ServiceId(2));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(FlexValidatorTest, RejectsPivotAfterRetriable) {
+  ProcessDef def("bad");
+  ActivityId r = def.AddActivity("r", ActivityKind::kRetriable, ServiceId(1));
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  EXPECT_TRUE(def.AddEdge(r, p).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_FALSE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(FlexValidatorTest, RejectsCompensatableAfterPivotWithoutAlternative) {
+  // p followed by c: if c's continuation fails there is no way to terminate.
+  ProcessDef def("bad");
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(1));
+  ActivityId c = def.AddActivity("c", ActivityKind::kCompensatable,
+                                 ServiceId(2), ServiceId(102));
+  EXPECT_TRUE(def.AddEdge(p, c).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_FALSE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(FlexValidatorTest, RejectsTwoParallelPivots) {
+  ProcessDef def("bad");
+  ActivityId c = def.AddActivity("c", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(101));
+  ActivityId p1 = def.AddActivity("p1", ActivityKind::kPivot, ServiceId(2));
+  ActivityId p2 = def.AddActivity("p2", ActivityKind::kPivot, ServiceId(3));
+  EXPECT_TRUE(def.AddEdge(c, p1).ok());
+  EXPECT_TRUE(def.AddEdge(c, p2).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_FALSE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(FlexValidatorTest, RejectsAlternativeLeavingCompensatable) {
+  ProcessDef def("bad");
+  ActivityId c = def.AddActivity("c", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(101));
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  ActivityId r = def.AddActivity("r", ActivityKind::kRetriable, ServiceId(3));
+  EXPECT_TRUE(def.AddEdge(c, p, 0).ok());
+  EXPECT_TRUE(def.AddEdge(c, r, 1).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_FALSE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(FlexValidatorTest, RejectsNonRetriableLastAlternative) {
+  ProcessDef def("bad");
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(1));
+  ActivityId c1 = def.AddActivity("c1", ActivityKind::kCompensatable,
+                                  ServiceId(2), ServiceId(102));
+  ActivityId p1 = def.AddActivity("p1", ActivityKind::kPivot, ServiceId(3));
+  ActivityId c2 = def.AddActivity("c2", ActivityKind::kCompensatable,
+                                  ServiceId(4), ServiceId(104));
+  EXPECT_TRUE(def.AddEdge(p, c1, 0).ok());
+  EXPECT_TRUE(def.AddEdge(c1, p1, 0).ok());
+  EXPECT_TRUE(def.AddEdge(p, c2, 1).ok());  // last alternative not retriable
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_FALSE(ValidateWellFormedFlex(def).ok());
+}
+
+TEST(StateDeterminingTest, FindsFirstNonCompensatable) {
+  figures::PaperWorld world;
+  auto s = StateDeterminingActivity(world.p1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, ActivityId(2));  // a12^p (Example 2)
+  auto s2 = StateDeterminingActivity(world.p2);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, ActivityId(3));  // a23^p
+}
+
+TEST(StateDeterminingTest, PureCompensatableHasNone) {
+  ProcessDef def("pure");
+  def.AddActivity("a", ActivityKind::kCompensatable, ServiceId(1),
+                  ServiceId(101));
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(StateDeterminingActivity(def).status().IsNotFound());
+}
+
+// --- Example 1 / Figure 3: the four valid executions of P1. ---
+
+TEST(EnumerateExecutionsTest, P1HasExactlyFourValidExecutions) {
+  figures::PaperWorld world;
+  auto executions = EnumerateValidExecutions(world.p1);
+  ASSERT_TRUE(executions.ok());
+  EXPECT_EQ(executions->size(), 4u);
+
+  int committing = 0, backward = 0;
+  for (const auto& exec : *executions) {
+    if (exec.committed) {
+      ++committing;
+    } else {
+      ++backward;
+    }
+  }
+  // Three committing variants (success; a13 fails -> alternative; a14 fails
+  // -> compensate a13, alternative) and one backward recovery (the pivot
+  // a12 fails after a11 committed).
+  EXPECT_EQ(committing, 3);
+  EXPECT_EQ(backward, 1);
+}
+
+TEST(EnumerateExecutionsTest, P1ExecutionShapes) {
+  figures::PaperWorld world;
+  auto executions = EnumerateValidExecutions(world.p1);
+  ASSERT_TRUE(executions.ok());
+  std::set<std::string> rendered;
+  for (const auto& exec : *executions) rendered.insert(exec.ToString());
+  // The all-success path.
+  EXPECT_TRUE(rendered.count("<a1 a2 a3 a4> [commit]") == 1)
+      << "have: " << *rendered.begin();
+  // a13 fails -> alternative a15 a16.
+  EXPECT_EQ(rendered.count("<a1 a2 a3(abort) a5 a6> [commit]"), 1u);
+  // a14 fails -> compensate a13 -> alternative.
+  EXPECT_EQ(rendered.count("<a1 a2 a3 a4(abort) a3^-1 a5 a6> [commit]"), 1u);
+  // pivot a12 fails -> backward recovery of a11.
+  EXPECT_EQ(rendered.count("<a1 a2(abort) a1^-1> [backward recovery]"), 1u);
+}
+
+TEST(EnumerateExecutionsTest, LinearProcessHasSuccessAndFailures) {
+  ProcessDef def = BasicFlex();
+  auto executions = EnumerateValidExecutions(def);
+  ASSERT_TRUE(executions.ok());
+  // c fails -> nothing executed (not counted); p fails -> backward; all ok.
+  EXPECT_EQ(executions->size(), 2u);
+}
+
+TEST(EnumerateExecutionsTest, RetriablesNeverBranch) {
+  ProcessDef def("r");
+  ActivityId a = def.AddActivity("a", ActivityKind::kRetriable, ServiceId(1));
+  ActivityId b = def.AddActivity("b", ActivityKind::kRetriable, ServiceId(2));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  auto executions = EnumerateValidExecutions(def);
+  ASSERT_TRUE(executions.ok());
+  EXPECT_EQ(executions->size(), 1u);
+  EXPECT_TRUE((*executions)[0].committed);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,146 @@
+// The footnote 2 extension: compensatable-retriable activities ("we could
+// also consider retriable activities to be as well compensatable in order
+// to give a scheduler more options for executing alternatives").
+
+#include <gtest/gtest.h>
+
+#include "core/completion.h"
+#include "core/flex_structure.h"
+#include "core/scheduler.h"
+#include "testing/mini_world.h"
+
+namespace tpm {
+namespace {
+
+TEST(Footnote2Test, KindPredicates) {
+  EXPECT_TRUE(IsRetriableKind(ActivityKind::kCompensatableRetriable));
+  EXPECT_TRUE(IsCompensatableKind(ActivityKind::kCompensatableRetriable));
+  EXPECT_FALSE(IsNonCompensatable(ActivityKind::kCompensatableRetriable));
+  EXPECT_STREQ(ActivityKindToString(ActivityKind::kCompensatableRetriable),
+               "compensatable-retriable");
+}
+
+TEST(Footnote2Test, RequiresCompensationService) {
+  ProcessDef def("p");
+  def.AddActivity("x", ActivityKind::kCompensatableRetriable, ServiceId(1));
+  EXPECT_TRUE(def.Validate().IsInvalidArgument());
+}
+
+TEST(Footnote2Test, ValidInCompensatablePrefixAndRetriableTail) {
+  // cr in the prefix (it is compensatable) and in the tail (it is
+  // retriable): both positions are well formed.
+  ProcessDef def("p");
+  ActivityId cr1 = def.AddActivity(
+      "cr1", ActivityKind::kCompensatableRetriable, ServiceId(1),
+      ServiceId(101));
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  ActivityId cr2 = def.AddActivity(
+      "cr2", ActivityKind::kCompensatableRetriable, ServiceId(3),
+      ServiceId(103));
+  ActivityId r = def.AddActivity("r", ActivityKind::kRetriable, ServiceId(4));
+  ASSERT_TRUE(def.AddEdge(cr1, p).ok());
+  ASSERT_TRUE(def.AddEdge(p, cr2).ok());
+  ASSERT_TRUE(def.AddEdge(cr2, r).ok());
+  ASSERT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(ValidateWellFormedFlex(def).ok());
+  // The pivot is the state-determining activity; cr never determines state.
+  auto s = StateDeterminingActivity(def);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, p);
+}
+
+TEST(Footnote2Test, CrNeverFailsInEnumeration) {
+  ProcessDef def("p");
+  ActivityId cr = def.AddActivity(
+      "cr", ActivityKind::kCompensatableRetriable, ServiceId(1),
+      ServiceId(101));
+  ActivityId piv = def.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  ASSERT_TRUE(def.AddEdge(cr, piv).ok());
+  ASSERT_TRUE(def.Validate().ok());
+  auto executions = EnumerateValidExecutions(def);
+  ASSERT_TRUE(executions.ok());
+  // Only the pivot branches: success and backward recovery (cr compensated).
+  EXPECT_EQ(executions->size(), 2u);
+}
+
+TEST(Footnote2Test, CompletionCompensatesCrPastThePivot) {
+  ProcessDef def("p");
+  ActivityId c = def.AddActivity("c", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(101));
+  ActivityId piv = def.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  ActivityId cr = def.AddActivity(
+      "cr", ActivityKind::kCompensatableRetriable, ServiceId(3),
+      ServiceId(103));
+  ActivityId r = def.AddActivity("r", ActivityKind::kRetriable, ServiceId(4));
+  ASSERT_TRUE(def.AddEdge(c, piv).ok());
+  ASSERT_TRUE(def.AddEdge(piv, cr).ok());
+  ASSERT_TRUE(def.AddEdge(cr, r).ok());
+  ASSERT_TRUE(def.Validate().ok());
+
+  ProcessExecutionState state(ProcessId(1), &def);
+  ASSERT_TRUE(state.RecordCommit(c).ok());
+  ASSERT_TRUE(state.RecordCommit(piv).ok());
+  ASSERT_TRUE(state.RecordCommit(cr).ok());
+  auto completion = ComputeCompletion(state);
+  ASSERT_TRUE(completion.ok());
+  // F-REC: cr (after the pivot) is compensated, then the forward path
+  // re-runs cr and r.
+  ASSERT_GE(completion->steps.size(), 3u);
+  EXPECT_EQ(completion->steps[0], (CompletionStep{cr, true}));
+  EXPECT_EQ(completion->num_backward_steps(), 1u);
+}
+
+TEST(Footnote2Test, SchedulerDoesNotDeferCrBehindConflicts) {
+  // A cr activity conflicting with an active predecessor is admitted
+  // (compensatable ⇒ no Lemma 1 deferral) — the concurrency gain of the
+  // footnote.
+  testing::MiniWorld world;
+  // P1 occupies "s" and stays active for a while.
+  const ProcessDef* p1 = world.MakeChain("p1", "c:s c:x1 c:x2 p:y");
+  ASSERT_NE(p1, nullptr);
+  // P2's second activity is a cr on "s".
+  ProcessDef p2("p2");
+  ActivityId w = p2.AddActivity("w", ActivityKind::kCompensatable,
+                                world.AddServiceFor("w"),
+                                world.SubServiceFor("w"));
+  ActivityId crs = p2.AddActivity("crs",
+                                  ActivityKind::kCompensatableRetriable,
+                                  world.AddServiceFor("s"),
+                                  world.SubServiceFor("s"));
+  ActivityId piv = p2.AddActivity("p", ActivityKind::kPivot,
+                                  world.AddServiceFor("z"));
+  ASSERT_TRUE(p2.AddEdge(w, crs).ok());
+  ASSERT_TRUE(p2.AddEdge(crs, piv).ok());
+  ASSERT_TRUE(p2.Validate().ok());
+  ASSERT_TRUE(ValidateWellFormedFlex(p2).ok());
+
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  auto pid1 = scheduler.Submit(p1);
+  auto pid2 = scheduler.Submit(&p2);
+  ASSERT_TRUE(pid1.ok());
+  ASSERT_TRUE(pid2.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.OutcomeOf(*pid1), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler.OutcomeOf(*pid2), ProcessOutcome::kCommitted);
+  // The cr on "s" executed while P1 was still active: it appears before C1
+  // in the emitted history.
+  const auto& events = scheduler.history().events();
+  size_t c1 = SIZE_MAX, crs_pos = SIZE_MAX;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == EventType::kCommit && events[i].process == *pid1) {
+      c1 = i;
+    }
+    if (events[i].type == EventType::kActivity &&
+        events[i].act.process == *pid2 && events[i].act.activity == crs &&
+        !events[i].aborted_invocation) {
+      crs_pos = i;
+    }
+  }
+  ASSERT_NE(c1, SIZE_MAX);
+  ASSERT_NE(crs_pos, SIZE_MAX);
+  EXPECT_LT(crs_pos, c1);
+}
+
+}  // namespace
+}  // namespace tpm

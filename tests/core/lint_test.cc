@@ -1,0 +1,100 @@
+#include "core/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+bool HasDiagnostic(const std::vector<LintDiagnostic>& diagnostics,
+                   const std::string& fragment,
+                   LintDiagnostic::Severity severity) {
+  for (const auto& d : diagnostics) {
+    if (d.severity == severity &&
+        d.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(LintTest, CleanProcessHasNoDiagnostics) {
+  figures::PaperWorld world;
+  EXPECT_TRUE(LintProcess(world.p1).empty());
+  EXPECT_TRUE(LintProcess(world.p2).empty());
+}
+
+TEST(LintTest, UnvalidatedProcessIsAnError) {
+  ProcessDef def("raw");
+  def.AddActivity("a", ActivityKind::kRetriable, ServiceId(1));
+  auto diagnostics = LintProcess(def);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].severity, LintDiagnostic::Severity::kError);
+  EXPECT_NE(diagnostics[0].ToString().find("error:"), std::string::npos);
+}
+
+TEST(LintTest, MalformedFlexIsAnError) {
+  ProcessDef def("bad");
+  ActivityId r = def.AddActivity("r", ActivityKind::kRetriable, ServiceId(1));
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  ASSERT_TRUE(def.AddEdge(r, p).ok());
+  ASSERT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(HasDiagnostic(LintProcess(def), "guaranteed termination",
+                            LintDiagnostic::Severity::kError));
+}
+
+TEST(LintTest, SharedCompensationServiceWarns) {
+  ProcessDef def("shared");
+  ActivityId a = def.AddActivity("a", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(100));
+  ActivityId b = def.AddActivity("b", ActivityKind::kCompensatable,
+                                 ServiceId(2), ServiceId(100));
+  ASSERT_TRUE(def.AddEdge(a, b).ok());
+  ASSERT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(HasDiagnostic(LintProcess(def), "share compensation service",
+                            LintDiagnostic::Severity::kWarning));
+}
+
+TEST(LintTest, SelfCompensationWarns) {
+  ProcessDef def("selfcomp");
+  def.AddActivity("a", ActivityKind::kCompensatable, ServiceId(1),
+                  ServiceId(1));
+  ASSERT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(HasDiagnostic(LintProcess(def), "repeats the action",
+                            LintDiagnostic::Severity::kWarning));
+}
+
+TEST(LintTest, UnreachableAlternativeWarns) {
+  ProcessDef def("deadalt");
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(1));
+  ActivityId r1 = def.AddActivity("r1", ActivityKind::kRetriable,
+                                  ServiceId(2));
+  ActivityId r2 = def.AddActivity("r2", ActivityKind::kRetriable,
+                                  ServiceId(3));
+  ASSERT_TRUE(def.AddEdge(p, r1, 0).ok());
+  ASSERT_TRUE(def.AddEdge(p, r2, 1).ok());  // can never fire
+  ASSERT_TRUE(def.Validate().ok());
+  EXPECT_TRUE(HasDiagnostic(LintProcess(def), "unreachable",
+                            LintDiagnostic::Severity::kWarning));
+}
+
+TEST(LintTest, IntraProcessConflictsWarnWithSpec) {
+  figures::PaperWorld world;
+  ProcessDef def("selfconflict");
+  ActivityId a = def.AddActivity("a", ActivityKind::kCompensatable,
+                                 ServiceId(11), ServiceId(111));
+  ActivityId b = def.AddActivity("b", ActivityKind::kPivot, ServiceId(21));
+  ASSERT_TRUE(def.AddEdge(a, b).ok());
+  ASSERT_TRUE(def.Validate().ok());
+  // (11, 21) conflict in the paper world's spec.
+  EXPECT_TRUE(HasDiagnostic(LintProcess(def, &world.spec),
+                            "conflicting services",
+                            LintDiagnostic::Severity::kWarning));
+  // Without a spec the check is skipped.
+  EXPECT_FALSE(HasDiagnostic(LintProcess(def), "conflicting services",
+                             LintDiagnostic::Severity::kWarning));
+}
+
+}  // namespace
+}  // namespace tpm

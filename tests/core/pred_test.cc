@@ -1,0 +1,87 @@
+#include "core/pred.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+class PredTest : public ::testing::Test {
+ protected:
+  figures::PaperWorld world_;
+};
+
+// Example 8: S_t2 is RED but not PRED — its prefix S_t1 is not reducible.
+TEST_F(PredTest, Example8St2IsRedButNotPred) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+
+  auto pred = AnalyzePRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_FALSE(pred->prefix_reducible);
+  // The violation appears exactly when P2's pivot a23 commits while the
+  // conflicting P1 is still backward-recoverable (event 4 = a23).
+  EXPECT_EQ(pred->violating_prefix, 4u);
+  EXPECT_FALSE(pred->cycle.empty());
+  EXPECT_NE(pred->ToString().find("not PRED"), std::string::npos);
+}
+
+// Examples 7 and 9: the Figure 7 execution is PRED.
+TEST_F(PredTest, Example9DoublePrimeIsPred) {
+  ProcessSchedule s = figures::MakeScheduleDoublePrimeT1(world_);
+  auto pred = AnalyzePRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(pred->prefix_reducible);
+  EXPECT_EQ(pred->ToString(), "PRED");
+}
+
+// Example 10: the quasi-commit interleaving is PRED.
+TEST_F(PredTest, Example10StarIsPred) {
+  ProcessSchedule s = figures::MakeScheduleStar(world_);
+  auto pred = IsPRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+TEST_F(PredTest, StarReversedIsNotPred) {
+  ProcessSchedule s = figures::MakeScheduleStarReversed(world_);
+  auto pred = AnalyzePRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_FALSE(pred->prefix_reducible);
+  // The cycle appears once P1's pivot commits (event 3 = a12).
+  EXPECT_EQ(pred->violating_prefix, 3u);
+}
+
+// The non-serializable Figure 4(b) schedule is also not PRED.
+TEST_F(PredTest, NonSerializableIsNotPred) {
+  ProcessSchedule s = figures::MakeSchedulePrimeT2(world_);
+  auto pred = IsPRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_FALSE(*pred);
+}
+
+// PRED is prefix closed by construction: every prefix of a PRED schedule
+// is PRED.
+TEST_F(PredTest, PredIsPrefixClosed) {
+  ProcessSchedule s = figures::MakeScheduleDoublePrimeT1(world_);
+  for (size_t n = 0; n <= s.size(); ++n) {
+    auto pred = IsPRED(s.Prefix(n), world_.spec);
+    ASSERT_TRUE(pred.ok());
+    EXPECT_TRUE(*pred) << "prefix " << n << " not PRED";
+  }
+}
+
+// Empty schedules are trivially PRED.
+TEST_F(PredTest, EmptyScheduleIsPred) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(figures::kP1, &world_.p1).ok());
+  auto pred = IsPRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,156 @@
+#include "core/process_dsl.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flex_structure.h"
+#include "core/pred.h"
+#include "core/serializability.h"
+
+namespace tpm {
+namespace {
+
+constexpr char kPaperWorld[] = R"(
+# P1 of Figure 2 and P2 of Figure 4.
+process P1
+  activity a1 c service=11 comp=111
+  activity a2 p service=12
+  activity a3 c service=13 comp=113
+  activity a4 p service=14
+  activity a5 r service=15
+  activity a6 r service=16
+  edge a1 a2
+  edge a2 a3
+  edge a2 a5 alt=1
+  edge a3 a4
+  edge a5 a6
+end
+
+process P2
+  activity a1 c service=21 comp=121
+  activity a2 c service=22 comp=122
+  activity a3 p service=23
+  activity a4 r service=24
+  activity a5 r service=25
+  edge a1 a2
+  edge a2 a3
+  edge a3 a4
+  edge a4 a5
+end
+
+conflict 11 21
+conflict 12 24
+conflict 15 25
+
+schedule P1.a1 P2.a1 P2.a2 P2.a3 P1.a2 P1.a3 P2.a4
+)";
+
+TEST(ProcessDslTest, ParsesThePaperWorld) {
+  auto world = ParseWorld(kPaperWorld);
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_EQ((*world)->defs.size(), 2u);
+  const ProcessDef* p1 = (*world)->def_by_name.at("P1");
+  EXPECT_EQ(p1->num_activities(), 6u);
+  EXPECT_TRUE(ValidateWellFormedFlex(*p1).ok());
+  EXPECT_EQ((*world)->spec.num_conflict_pairs(), 3u);
+  ASSERT_TRUE((*world)->has_schedule);
+  EXPECT_EQ((*world)->schedule.size(), 7u);
+
+  // The parsed schedule is S_t2: serializable, RED, not PRED (Example 8).
+  EXPECT_TRUE(IsSerializable((*world)->schedule, (*world)->spec));
+  auto pred = IsPRED((*world)->schedule, (*world)->spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_FALSE(*pred);
+}
+
+TEST(ProcessDslTest, ScheduleTokensWithModifiers) {
+  auto world = ParseWorld(R"(
+process P
+  activity x c service=1 comp=2
+  activity y p service=3
+  edge x y
+end
+schedule P.x P.y! P.x^-1 AP
+)");
+  ASSERT_TRUE(world.ok()) << world.status();
+  const auto& events = (*world)->schedule.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_FALSE(events[0].act.inverse);
+  EXPECT_TRUE(events[1].aborted_invocation);
+  EXPECT_TRUE(events[2].act.inverse);
+  EXPECT_EQ(events[3].type, EventType::kAbort);
+}
+
+TEST(ProcessDslTest, GroupAbortToken) {
+  auto world = ParseWorld(R"(
+process A
+  activity x r service=1
+end
+process B
+  activity y r service=2
+end
+schedule A.x B.y GA(A,B)
+)");
+  ASSERT_TRUE(world.ok()) << world.status();
+  const auto& events = (*world)->schedule.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].type, EventType::kGroupAbort);
+  EXPECT_EQ(events[2].group.size(), 2u);
+}
+
+TEST(ProcessDslTest, LegalityEnforcedUnlessBang) {
+  // y before its predecessor x: rejected...
+  auto strict = ParseWorld(R"(
+process P
+  activity x c service=1 comp=2
+  activity y p service=3
+  edge x y
+end
+schedule P.y
+)");
+  EXPECT_FALSE(strict.ok());
+  // ...unless the schedule line opts out.
+  auto lenient = ParseWorld(R"(
+process P
+  activity x c service=1 comp=2
+  activity y p service=3
+  edge x y
+end
+schedule! P.y
+)");
+  EXPECT_TRUE(lenient.ok()) << lenient.status();
+}
+
+TEST(ProcessDslTest, Errors) {
+  EXPECT_FALSE(ParseWorld("bogus line").ok());
+  EXPECT_FALSE(ParseWorld("process P\nactivity a q service=1\nend").ok());
+  EXPECT_FALSE(ParseWorld("process P\nactivity a c service=x comp=2\nend").ok());
+  EXPECT_FALSE(ParseWorld("process P").ok());           // unterminated
+  EXPECT_FALSE(ParseWorld("end").ok());                 // stray end
+  EXPECT_FALSE(ParseWorld("edge a b").ok());            // outside process
+  EXPECT_FALSE(ParseWorld(
+      "process P\nactivity a r service=1\nend\nschedule Q.a").ok());
+  EXPECT_FALSE(ParseWorld(
+      "process P\nactivity a r service=1\nend\nschedule P.zz").ok());
+  EXPECT_FALSE(ParseWorld(
+      "process P\nactivity a r service=1\nactivity a r service=2\nend").ok());
+  EXPECT_FALSE(ParseWorld("conflict 1").ok());
+  // Duplicate process name.
+  EXPECT_FALSE(ParseWorld(
+      "process P\nactivity a r service=1\nend\n"
+      "process P\nactivity a r service=2\nend").ok());
+}
+
+TEST(ProcessDslTest, CommentsAndBlankLinesIgnored) {
+  auto world = ParseWorld(R"(
+# a comment line
+process P   # trailing comment
+  activity a r service=1
+
+end
+)");
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_EQ((*world)->defs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,125 @@
+#include "core/process.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ProcessDef MakeChain() {
+  ProcessDef def("chain");
+  ActivityId a = def.AddActivity("a", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(101));
+  ActivityId b = def.AddActivity("b", ActivityKind::kPivot, ServiceId(2));
+  ActivityId c = def.AddActivity("c", ActivityKind::kRetriable, ServiceId(3));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_TRUE(def.AddEdge(b, c).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  return def;
+}
+
+TEST(ProcessDefTest, ActivityIdsAreOneBased) {
+  ProcessDef def("p");
+  EXPECT_EQ(def.AddActivity("x", ActivityKind::kPivot, ServiceId(1)),
+            ActivityId(1));
+  EXPECT_EQ(def.AddActivity("y", ActivityKind::kPivot, ServiceId(2)),
+            ActivityId(2));
+}
+
+TEST(ProcessDefTest, ValidateRejectsEmptyProcess) {
+  ProcessDef def("empty");
+  EXPECT_TRUE(def.Validate().IsInvalidArgument());
+}
+
+TEST(ProcessDefTest, ValidateRequiresCompensationServiceOnCompensatable) {
+  ProcessDef def("p");
+  def.AddActivity("a", ActivityKind::kCompensatable, ServiceId(1));
+  EXPECT_TRUE(def.Validate().IsInvalidArgument());
+}
+
+TEST(ProcessDefTest, ValidateRejectsCompensationOnPivot) {
+  ProcessDef def("p");
+  def.AddActivity("a", ActivityKind::kPivot, ServiceId(1), ServiceId(2));
+  EXPECT_TRUE(def.Validate().IsInvalidArgument());
+}
+
+TEST(ProcessDefTest, EdgesRejectUnknownAndSelf) {
+  ProcessDef def("p");
+  ActivityId a = def.AddActivity("a", ActivityKind::kPivot, ServiceId(1));
+  EXPECT_TRUE(def.AddEdge(a, ActivityId(9)).IsInvalidArgument());
+  EXPECT_TRUE(def.AddEdge(a, a).IsInvalidArgument());
+}
+
+TEST(ProcessDefTest, DuplicateEdgeRejected) {
+  ProcessDef def("p");
+  ActivityId a = def.AddActivity("a", ActivityKind::kPivot, ServiceId(1));
+  ActivityId b = def.AddActivity("b", ActivityKind::kPivot, ServiceId(2));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_EQ(def.AddEdge(a, b).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ProcessDefTest, ValidateRejectsCyclicPrecedence) {
+  ProcessDef def("p");
+  ActivityId a = def.AddActivity("a", ActivityKind::kPivot, ServiceId(1));
+  ActivityId b = def.AddActivity("b", ActivityKind::kPivot, ServiceId(2));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_TRUE(def.AddEdge(b, a).ok());
+  EXPECT_TRUE(def.Validate().IsInvalidArgument());
+}
+
+TEST(ProcessDefTest, ValidateRejectsNonContiguousPreferences) {
+  ProcessDef def("p");
+  ActivityId a = def.AddActivity("a", ActivityKind::kPivot, ServiceId(1));
+  ActivityId b = def.AddActivity("b", ActivityKind::kPivot, ServiceId(2));
+  EXPECT_TRUE(def.AddEdge(a, b, /*preference=*/2).ok());
+  EXPECT_TRUE(def.Validate().IsInvalidArgument());
+}
+
+TEST(ProcessDefTest, SuccessorGroupsOrderedByPreference) {
+  ProcessDef def("p");
+  ActivityId a = def.AddActivity("a", ActivityKind::kPivot, ServiceId(1));
+  ActivityId b = def.AddActivity("b", ActivityKind::kPivot, ServiceId(2));
+  ActivityId c = def.AddActivity("c", ActivityKind::kRetriable, ServiceId(3));
+  EXPECT_TRUE(def.AddEdge(a, b, 0).ok());
+  EXPECT_TRUE(def.AddEdge(a, c, 1).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  auto groups = def.SuccessorGroups(a);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], std::vector<ActivityId>{b});
+  EXPECT_EQ(groups[1], std::vector<ActivityId>{c});
+  EXPECT_EQ(*def.EdgePreference(a, c), 1);
+  EXPECT_TRUE(def.EdgePreference(b, c).status().IsNotFound());
+}
+
+TEST(ProcessDefTest, RootsPredecessorsSubtree) {
+  ProcessDef def = MakeChain();
+  EXPECT_EQ(def.Roots(), std::vector<ActivityId>{ActivityId(1)});
+  EXPECT_EQ(def.Predecessors(ActivityId(2)),
+            std::vector<ActivityId>{ActivityId(1)});
+  auto subtree = def.Subtree(ActivityId(2));
+  EXPECT_EQ(subtree,
+            (std::vector<ActivityId>{ActivityId(2), ActivityId(3)}));
+}
+
+TEST(ProcessDefTest, Precedes) {
+  ProcessDef def = MakeChain();
+  EXPECT_TRUE(def.Precedes(ActivityId(1), ActivityId(3)));
+  EXPECT_FALSE(def.Precedes(ActivityId(3), ActivityId(1)));
+  EXPECT_FALSE(def.Precedes(ActivityId(1), ActivityId(1)));
+}
+
+TEST(ProcessDefTest, SubtreeAllRetriable) {
+  ProcessDef def = MakeChain();
+  EXPECT_TRUE(def.SubtreeAllRetriable({ActivityId(3)}));
+  EXPECT_FALSE(def.SubtreeAllRetriable({ActivityId(2)}));
+}
+
+TEST(ProcessDefTest, ToStringMentionsActivitiesAndEdges) {
+  ProcessDef def = MakeChain();
+  std::string s = def.ToString();
+  EXPECT_NE(s.find("chain"), std::string::npos);
+  EXPECT_NE(s.find("pivot"), std::string::npos);
+  EXPECT_NE(s.find("<<"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,218 @@
+#include "core/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+using figures::kP1;
+using figures::kP2;
+using figures::kP3;
+
+class ReductionTest : public ::testing::Test {
+ protected:
+  figures::PaperWorld world_;
+};
+
+// Example 6: S_t2 is RED; the compensation rule removes (a13, a13^-1) and
+// the residual serializes P1 before P2.
+TEST_F(ReductionTest, Example6St2IsRED) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  auto outcome = AnalyzeRED(s, world_.spec);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->reducible);
+  EXPECT_EQ(outcome->serialization_order,
+            (std::vector<ProcessId>{kP1, kP2}));
+  // a13 and a13^-1 were cancelled.
+  for (const ActivityInstance& inst : outcome->residual) {
+    EXPECT_FALSE(inst.process == kP1 && inst.activity == ActivityId(3))
+        << "a13 should have been cancelled";
+  }
+}
+
+// Example 8: the prefix S_t1 is not reducible — compensation of a21 is not
+// available, so the cycle a11 << a21 << a11^-1 cannot be eliminated.
+TEST_F(ReductionTest, Example8St1IsNotRED) {
+  ProcessSchedule s = figures::MakeScheduleSt1(world_);
+  auto outcome = AnalyzeRED(s, world_.spec);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->reducible);
+  ASSERT_GE(outcome->cycle.size(), 3u);
+  EXPECT_EQ(outcome->cycle.front(), outcome->cycle.back());
+}
+
+// Example 7/9: the Figure 7 execution is RED.
+TEST_F(ReductionTest, Example7DoublePrimeIsRED) {
+  ProcessSchedule s = figures::MakeScheduleDoublePrimeT1(world_);
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+}
+
+// Figure 4(b): non-serializable committed activities can never reduce.
+TEST_F(ReductionTest, NonSerializableIsNotRED) {
+  ProcessSchedule s = figures::MakeSchedulePrimeT2(world_);
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_FALSE(*red);
+}
+
+// Figure 9: quasi-commit — S* is RED.
+TEST_F(ReductionTest, Example10StarIsRED) {
+  ProcessSchedule s = figures::MakeScheduleStar(world_);
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+}
+
+// Reversed Figure 9: a31 before a11 with P3 active is NOT reducible —
+// P3's completion compensates a31 after P1 used the conflicting service.
+TEST_F(ReductionTest, StarReversedIsNotRED) {
+  ProcessSchedule s = figures::MakeScheduleStarReversed(world_);
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_FALSE(*red);
+}
+
+// B-REC/B-REC conflicting processes reduce: both compensations cancel.
+TEST_F(ReductionTest, TwoBackwardRecoverableProcessesReduce) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(kP1, &world_.p1).ok());
+  ASSERT_TRUE(s.AddProcess(kP3, &world_.p3).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP1, ActivityId(1), false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP3, ActivityId(1), false}))
+                  .ok());
+  auto red = IsRED(s, world_.spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+}
+
+// The exhaustive rewriter agrees with the polynomial checker on the paper
+// examples.
+TEST_F(ReductionTest, ExhaustiveOracleAgreesOnPaperExamples) {
+  struct Case {
+    ProcessSchedule schedule;
+    bool expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({figures::MakeScheduleSt1(world_), false});
+  cases.push_back({figures::MakeScheduleSt2(world_), true});
+  cases.push_back({figures::MakeSchedulePrimeT2(world_), false});
+  cases.push_back({figures::MakeScheduleStar(world_), true});
+  cases.push_back({figures::MakeScheduleStarReversed(world_), false});
+
+  for (const Case& c : cases) {
+    auto completed = CompleteSchedule(c.schedule);
+    ASSERT_TRUE(completed.ok());
+    std::set<ProcessId> committed;
+    for (const auto& [pid, def] : c.schedule.processes()) {
+      if (c.schedule.IsProcessCommitted(pid)) committed.insert(pid);
+    }
+    auto poly = ReduceCompletedSchedule(*completed, world_.spec, committed);
+    EXPECT_EQ(poly.reducible, c.expected)
+        << "polynomial checker wrong on " << c.schedule.ToString();
+    // The oracle explores the full rewrite space; skip instances whose
+    // state space exceeds its budget (irreducible schedules require
+    // exhausting every permutation).
+    auto oracle = IsReducibleExhaustive(*completed, world_.spec, committed,
+                                        /*max_tokens=*/10,
+                                        /*max_states=*/500'000);
+    if (oracle.ok()) {
+      EXPECT_EQ(*oracle, c.expected)
+          << "oracle wrong on " << c.schedule.ToString();
+    }
+  }
+}
+
+// Effect-free rule: an effect-free activity of an aborted process is
+// removed, letting an otherwise-blocked compensation pair cancel.
+TEST_F(ReductionTest, EffectFreeRuleUnblocksCancellation) {
+  // P1: a^c with service 1; P2: read r with service 2 (effect-free).
+  // Conflict (1,2). Schedule: a, r, then both abort.
+  ProcessDef p1("E1");
+  ActivityId a = p1.AddActivity("a", ActivityKind::kCompensatable,
+                                ServiceId(1), ServiceId(101));
+  (void)a;
+  ASSERT_TRUE(p1.Validate().ok());
+  ProcessDef p2("E2");
+  p2.AddActivity("r", ActivityKind::kCompensatable, ServiceId(2),
+                 ServiceId(102));
+  ASSERT_TRUE(p2.Validate().ok());
+  ConflictSpec spec;
+  spec.AddConflict(ServiceId(1), ServiceId(2));
+  spec.MarkEffectFree(ServiceId(2));
+
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(ProcessId(1), &p1).ok());
+  ASSERT_TRUE(s.AddProcess(ProcessId(2), &p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{ProcessId(1), ActivityId(1),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{ProcessId(2), ActivityId(1),
+                                            false}))
+                  .ok());
+  auto red = IsRED(s, spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(*red);
+
+  // Control: with a non-effect-free service the same shape still reduces
+  // via reverse-order compensation (r^-1 then a^-1)...
+  ConflictSpec spec2;
+  spec2.AddConflict(ServiceId(1), ServiceId(2));
+  auto red2 = IsRED(s, spec2);
+  ASSERT_TRUE(red2.ok());
+  EXPECT_TRUE(*red2);
+}
+
+// A committed process's activities are never removed by the effect-free
+// rule.
+TEST_F(ReductionTest, EffectFreeRuleRequiresNonCommitted) {
+  ProcessDef p1("E1");
+  p1.AddActivity("a", ActivityKind::kCompensatable, ServiceId(1),
+                 ServiceId(101));
+  ASSERT_TRUE(p1.Validate().ok());
+  ProcessDef p2("E2");
+  ActivityId r = p2.AddActivity("r", ActivityKind::kPivot, ServiceId(2));
+  (void)r;
+  ASSERT_TRUE(p2.Validate().ok());
+  ConflictSpec spec;
+  spec.AddConflict(ServiceId(1), ServiceId(2));
+  spec.MarkEffectFree(ServiceId(2));
+
+  // a (P1), r (P2), r commits with P2; P1 stays active and must compensate
+  // a — cycle a < r < a^-1 with r frozen by P2's commit.
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(ProcessId(1), &p1).ok());
+  ASSERT_TRUE(s.AddProcess(ProcessId(2), &p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{ProcessId(1), ActivityId(1),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{ProcessId(2), ActivityId(1),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Commit(ProcessId(2))).ok());
+  auto red = IsRED(s, spec);
+  ASSERT_TRUE(red.ok());
+  EXPECT_FALSE(*red);
+}
+
+TEST_F(ReductionTest, ExhaustiveOracleRejectsOversizedInput) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  auto completed = CompleteSchedule(s);
+  ASSERT_TRUE(completed.ok());
+  auto oracle = IsReducibleExhaustive(*completed, world_.spec, {},
+                                      /*max_tokens=*/2);
+  EXPECT_TRUE(oracle.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tpm

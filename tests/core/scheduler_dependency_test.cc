@@ -1,0 +1,141 @@
+// Inter-process start dependencies (the inter-process part of <<_S,
+// Def. 7): a process stays dormant until a named activity of another
+// process commits; it aborts cleanly if the dependency becomes
+// unsatisfiable. This is the Figure 1 BOM dependency as a first-class
+// feature.
+
+#include <gtest/gtest.h>
+
+#include "core/pred.h"
+#include "core/scheduler.h"
+#include "testing/mini_world.h"
+#include "workload/cim_workload.h"
+
+namespace tpm {
+namespace {
+
+using testing::MiniWorld;
+using ProcessDependency = TransactionalProcessScheduler::ProcessDependency;
+
+TEST(SchedulerDependencyTest, DependentWaitsForActivity) {
+  MiniWorld world;
+  const ProcessDef* producer = world.MakeChain("prod", "c:a c:b p:c");
+  const ProcessDef* consumer = world.MakeChain("cons", "c:x p:y");
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(consumer, nullptr);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  auto prod = scheduler.Submit(producer);
+  ASSERT_TRUE(prod.ok());
+  // Consumer starts only after the producer's SECOND activity (b).
+  auto cons = scheduler.Submit(consumer, 0,
+                               {ProcessDependency{*prod, ActivityId(2)}});
+  ASSERT_TRUE(cons.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.OutcomeOf(*prod), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler.OutcomeOf(*cons), ProcessOutcome::kCommitted);
+  // In the history the consumer's first activity follows the producer's b.
+  const auto& events = scheduler.history().events();
+  size_t b_pos = SIZE_MAX, x_pos = SIZE_MAX;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != EventType::kActivity ||
+        events[i].aborted_invocation) {
+      continue;
+    }
+    if (events[i].act.process == *prod &&
+        events[i].act.activity == ActivityId(2)) {
+      b_pos = i;
+    }
+    if (events[i].act.process == *cons && x_pos == SIZE_MAX) x_pos = i;
+  }
+  ASSERT_NE(b_pos, SIZE_MAX);
+  ASSERT_NE(x_pos, SIZE_MAX);
+  EXPECT_LT(b_pos, x_pos);
+}
+
+TEST(SchedulerDependencyTest, DependentAbortsWhenProducerFails) {
+  MiniWorld world;
+  const ProcessDef* producer = world.MakeChain("prod", "c:a p:boom");
+  const ProcessDef* consumer = world.MakeChain("cons", "c:x p:y");
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(consumer, nullptr);
+  // The producer's pivot fails: it aborts backward, never committing it.
+  world.subsystem()->ScheduleFailures(world.AddServiceFor("boom"), 1);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  auto prod = scheduler.Submit(producer);
+  ASSERT_TRUE(prod.ok());
+  auto cons = scheduler.Submit(consumer, 0,
+                               {ProcessDependency{*prod, ActivityId(2)}});
+  ASSERT_TRUE(cons.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.OutcomeOf(*prod), ProcessOutcome::kAborted);
+  EXPECT_EQ(scheduler.OutcomeOf(*cons), ProcessOutcome::kAborted);
+  // The consumer never executed anything.
+  EXPECT_EQ(world.Value("x"), 0);
+  EXPECT_EQ(world.Value("y"), 0);
+}
+
+TEST(SchedulerDependencyTest, RejectsUnknownDependencies) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  EXPECT_TRUE(scheduler
+                  .Submit(def, 0, {ProcessDependency{ProcessId(77),
+                                                     ActivityId(1)}})
+                  .status()
+                  .IsNotFound());
+  auto pid = scheduler.Submit(def);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(scheduler
+                  .Submit(def, 0, {ProcessDependency{*pid, ActivityId(99)}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(SchedulerDependencyTest, CimBomDependencyEndToEnd) {
+  // The Figure 1 scenario without staggered submission: production simply
+  // depends on the construction's pdm_entry (activity 3).
+  CimWorld world;
+  auto scheduler = std::make_unique<TransactionalProcessScheduler>();
+  ASSERT_TRUE(world.RegisterAll(scheduler.get()).ok());
+  auto construction = scheduler->Submit(world.construction());
+  ASSERT_TRUE(construction.ok());
+  auto production = scheduler->Submit(
+      world.production(), 0,
+      {ProcessDependency{*construction, ActivityId(3)}});
+  ASSERT_TRUE(production.ok());
+  ASSERT_TRUE(scheduler->Run().ok());
+  EXPECT_EQ(scheduler->OutcomeOf(*construction), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler->OutcomeOf(*production), ProcessOutcome::kCommitted);
+  EXPECT_TRUE(world.Consistent());
+  EXPECT_EQ(world.parts_produced(), 1);
+  auto pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+TEST(SchedulerDependencyTest, CimBomDependencyWithTestFailure) {
+  CimWorld world;
+  world.ScheduleTestFailure();
+  auto scheduler = std::make_unique<TransactionalProcessScheduler>();
+  ASSERT_TRUE(world.RegisterAll(scheduler.get()).ok());
+  auto construction = scheduler->Submit(world.construction());
+  ASSERT_TRUE(construction.ok());
+  auto production = scheduler->Submit(
+      world.production(), 0,
+      {ProcessDependency{*construction, ActivityId(3)}});
+  ASSERT_TRUE(production.ok());
+  ASSERT_TRUE(scheduler->Run().ok());
+  // Construction commits via the reuse alternative; the BOM is compensated
+  // so production (whether it started or not) ends aborted with no parts.
+  EXPECT_EQ(scheduler->OutcomeOf(*construction), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler->OutcomeOf(*production), ProcessOutcome::kAborted);
+  EXPECT_TRUE(world.Consistent());
+  EXPECT_EQ(world.parts_produced(), 0);
+}
+
+}  // namespace
+}  // namespace tpm

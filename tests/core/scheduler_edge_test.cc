@@ -1,0 +1,243 @@
+// Edge cases of the online scheduler: prepared-branch rollback when the
+// blocker aborts, manual conflict declarations, step budgets, and misc
+// accessors.
+
+#include <gtest/gtest.h>
+
+#include "core/pred.h"
+#include "core/scheduler.h"
+#include "testing/mini_world.h"
+
+namespace tpm {
+namespace {
+
+using testing::MiniWorld;
+
+TEST(SchedulerEdgeTest, PreparedBranchRolledBackWhenBlockerAborts) {
+  MiniWorld world;
+  // P1 touches "s" then fails its pivot -> aborts and must compensate "s".
+  const ProcessDef* p1 = world.MakeChain("p1", "c:s c:x1 c:x2 p:boom");
+  // P2's pivot on "s" gets prepared behind active P1.
+  const ProcessDef* p2 = world.MakeChain("p2", "c:w p:s r:z");
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  world.subsystem()->ScheduleFailures(world.AddServiceFor("boom"), 1);
+  SchedulerOptions options;
+  options.defer_mode = DeferMode::kPrepared2PC;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  auto pid1 = scheduler.Submit(p1);
+  auto pid2 = scheduler.Submit(p2);
+  ASSERT_TRUE(pid1.ok());
+  ASSERT_TRUE(pid2.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  // P1 aborted; its compensation of "s" required P2's prepared branch to be
+  // rolled back (locks released). Everything balances.
+  EXPECT_EQ(scheduler.OutcomeOf(*pid1), ProcessOutcome::kAborted);
+  EXPECT_EQ(world.Value("s") + world.Value("x1") + world.Value("x2"), 0);
+  auto pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+TEST(SchedulerEdgeTest, ManualConflictsExtendDerivedOnes) {
+  MiniWorld world;
+  const ProcessDef* p1 = world.MakeChain("p1", "c:a c:a2 p:b");
+  const ProcessDef* p2 = world.MakeChain("p2", "c:c p:d");
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  // Declare a cross-key conflict (e.g., an application-level constraint).
+  scheduler.AddConflict(world.AddServiceFor("a"), world.AddServiceFor("d"));
+  EXPECT_TRUE(scheduler.conflict_spec().ServicesConflict(
+      world.AddServiceFor("a"), world.AddServiceFor("d")));
+  auto pid1 = scheduler.Submit(p1);
+  auto pid2 = scheduler.Submit(p2);
+  ASSERT_TRUE(pid1.ok());
+  ASSERT_TRUE(pid2.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  // P2's pivot d conflicts with P1's earlier a: it must commit after C1.
+  const auto& events = scheduler.history().events();
+  size_t c1 = SIZE_MAX, d_pos = SIZE_MAX;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == EventType::kCommit && events[i].process == *pid1) {
+      c1 = i;
+    }
+    if (events[i].type == EventType::kActivity &&
+        events[i].act.process == *pid2 &&
+        events[i].act.activity == ActivityId(2) &&
+        !events[i].aborted_invocation) {
+      d_pos = i;
+    }
+  }
+  ASSERT_NE(c1, SIZE_MAX);
+  ASSERT_NE(d_pos, SIZE_MAX);
+  EXPECT_LT(c1, d_pos);
+}
+
+TEST(SchedulerEdgeTest, RunHonorsStepBudget) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a c:b c:c p:d r:e");
+  ASSERT_NE(def, nullptr);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  EXPECT_TRUE(scheduler.Run(/*max_steps=*/1).code() ==
+              StatusCode::kInternal);
+  // Finishing afterwards works.
+  EXPECT_TRUE(scheduler.Run().ok());
+}
+
+TEST(SchedulerEdgeTest, OutcomeOfUnknownProcessIsActive) {
+  TransactionalProcessScheduler scheduler;
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(99)), ProcessOutcome::kActive);
+}
+
+TEST(SchedulerEdgeTest, RegisterSubsystemRejectsNullAndDuplicates) {
+  MiniWorld world;
+  (void)world.MakeChain("p", "c:a p:b");  // materialize services
+  TransactionalProcessScheduler scheduler;
+  EXPECT_TRUE(scheduler.RegisterSubsystem(nullptr).IsInvalidArgument());
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  EXPECT_EQ(scheduler.RegisterSubsystem(world.subsystem()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchedulerEdgeTest, StatsAccumulateAcrossProcesses) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b r:c");
+  ASSERT_NE(def, nullptr);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(scheduler.Submit(def).ok());
+    ASSERT_TRUE(scheduler.Run().ok());
+  }
+  EXPECT_EQ(scheduler.stats().processes_committed, 3);
+  EXPECT_EQ(scheduler.stats().activities_committed, 9);
+  EXPECT_EQ(world.Value("a"), 3);
+}
+
+TEST(SchedulerEdgeTest, SubmittedParamReachesServices) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def, /*param=*/5).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(world.Value("a"), 5);
+  EXPECT_EQ(world.Value("b"), 5);
+}
+
+TEST(SchedulerEdgeTest, FailedCompensatableWithoutAlternativesAborts) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a c:b p:c");
+  ASSERT_NE(def, nullptr);
+  // The second compensatable fails: backward recovery of the first.
+  world.subsystem()->ScheduleFailures(world.AddServiceFor("b"), 1);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  auto pid = scheduler.Submit(def);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.OutcomeOf(*pid), ProcessOutcome::kAborted);
+  EXPECT_EQ(world.Value("a"), 0);
+  EXPECT_EQ(world.Value("c"), 0);
+}
+
+TEST(SchedulerEdgeTest, CostModelOverlapsLongActivities) {
+  // Two independent processes whose pivots take 10 ticks each: the
+  // scheduler overlaps them, so the makespan is far below the serial sum.
+  auto run = [](AdmissionProtocol protocol) {
+    MiniWorld world;
+    const ProcessDef* p1 = world.MakeChain("p1", "c:a1 p:b1 r:c1");
+    const ProcessDef* p2 = world.MakeChain("p2", "c:a2 p:b2 r:c2");
+    EXPECT_NE(p1, nullptr);
+    EXPECT_NE(p2, nullptr);
+    SchedulerOptions options;
+    options.protocol = protocol;
+    options.service_durations[world.AddServiceFor("b1")] = 10;
+    options.service_durations[world.AddServiceFor("b2")] = 10;
+    TransactionalProcessScheduler scheduler(options);
+    EXPECT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+    EXPECT_TRUE(scheduler.Submit(p1).ok());
+    EXPECT_TRUE(scheduler.Submit(p2).ok());
+    EXPECT_TRUE(scheduler.Run().ok());
+    EXPECT_EQ(scheduler.stats().processes_committed, 2);
+    return scheduler.stats().virtual_time;
+  };
+  int64_t pred_makespan = run(AdmissionProtocol::kPred);
+  int64_t serial_makespan = run(AdmissionProtocol::kSerial);
+  // PRED overlaps the two 10-tick pivots; serial cannot.
+  EXPECT_LT(pred_makespan, serial_makespan);
+  EXPECT_GE(serial_makespan, 20);
+}
+
+TEST(SchedulerEdgeTest, CostModelOccupiesSingleProcess) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+  SchedulerOptions options;
+  options.service_durations[world.AddServiceFor("a")] = 7;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  // a occupies 7 ticks, then b and the commit.
+  EXPECT_GE(scheduler.stats().virtual_time, 8);
+}
+
+TEST(SchedulerEdgeTest, ConcurrencyThrottleQueuesSubmissions) {
+  MiniWorld world;
+  std::vector<const ProcessDef*> defs;
+  for (int i = 0; i < 4; ++i) {
+    defs.push_back(world.MakeChain(StrCat("t", i),
+                                   StrCat("c:k", i, " p:m", i)));
+    ASSERT_NE(defs.back(), nullptr);
+  }
+  SchedulerOptions options;
+  options.max_concurrent_processes = 2;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  std::vector<ProcessId> pids;
+  for (const ProcessDef* def : defs) {
+    auto pid = scheduler.Submit(def);
+    ASSERT_TRUE(pid.ok());
+    pids.push_back(*pid);
+  }
+  // After one pass only two processes have started.
+  ASSERT_TRUE(scheduler.Step().ok());
+  int started = 0;
+  for (const auto& e : scheduler.history().events()) {
+    if (e.type == EventType::kActivity) ++started;
+  }
+  EXPECT_EQ(started, 2);
+  // Everyone still finishes.
+  ASSERT_TRUE(scheduler.Run().ok());
+  for (ProcessId pid : pids) {
+    EXPECT_EQ(scheduler.OutcomeOf(pid), ProcessOutcome::kCommitted);
+  }
+}
+
+TEST(SchedulerEdgeTest, LatenciesRecorded) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b r:c");
+  ASSERT_NE(def, nullptr);
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  auto pid = scheduler.Submit(def);
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  ASSERT_EQ(scheduler.latencies().size(), 1u);
+  const auto& latency = scheduler.latencies()[0];
+  EXPECT_EQ(latency.pid, *pid);
+  EXPECT_EQ(latency.outcome, ProcessOutcome::kCommitted);
+  EXPECT_EQ(latency.submitted, 0);
+  EXPECT_GE(latency.started, 1);
+  EXPECT_GT(latency.terminated, latency.started);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "core/scheduler.h"
+#include "testing/mini_world.h"
+
+namespace tpm {
+namespace {
+
+using testing::MiniWorld;
+
+// Records every callback as a readable line.
+class RecordingObserver : public SchedulerObserver {
+ public:
+  void OnActivityCommitted(ProcessId pid, ActivityId act,
+                           bool inverse) override {
+    events.push_back(StrCat("commit P", pid, " a", act,
+                            inverse ? "^-1" : ""));
+  }
+  void OnInvocationFailed(ProcessId pid, ActivityId act) override {
+    events.push_back(StrCat("fail P", pid, " a", act));
+  }
+  void OnAlternativeTaken(ProcessId pid, ActivityId branch_point,
+                          int group) override {
+    events.push_back(StrCat("alt P", pid, " @a", branch_point, " g", group));
+  }
+  void OnAbortStarted(ProcessId pid) override {
+    events.push_back(StrCat("aborting P", pid));
+  }
+  void OnProcessTerminated(ProcessId pid, ProcessOutcome outcome) override {
+    events.push_back(StrCat(
+        "done P", pid, " ",
+        outcome == ProcessOutcome::kCommitted ? "committed" : "aborted"));
+  }
+
+  std::vector<std::string> events;
+};
+
+TEST(SchedulerObserverTest, HappyPathEvents) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+  TransactionalProcessScheduler scheduler;
+  RecordingObserver observer;
+  scheduler.AddObserver(&observer);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(observer.events,
+            (std::vector<std::string>{"commit P1 a1", "commit P1 a2",
+                                      "done P1 committed"}));
+}
+
+TEST(SchedulerObserverTest, FailureAndBackwardRecoveryEvents) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+  world.subsystem()->ScheduleFailures(world.AddServiceFor("b"), 1);
+  TransactionalProcessScheduler scheduler;
+  RecordingObserver observer;
+  scheduler.AddObserver(&observer);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(observer.events,
+            (std::vector<std::string>{"commit P1 a1", "fail P1 a2",
+                                      "aborting P1", "commit P1 a1^-1",
+                                      "done P1 aborted"}));
+}
+
+TEST(SchedulerObserverTest, AlternativeEvents) {
+  MiniWorld world;
+  const ProcessDef* def =
+      world.MakeBranching("p", "pre", "piv", "mid", "deep", "alt");
+  ASSERT_NE(def, nullptr);
+  world.subsystem()->ScheduleFailures(world.AddServiceFor("deep"), 1);
+  TransactionalProcessScheduler scheduler;
+  RecordingObserver observer;
+  scheduler.AddObserver(&observer);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  // The alternative at the pivot (activity 2) group 1 was taken.
+  bool saw_alternative = false;
+  for (const std::string& e : observer.events) {
+    if (e == "alt P1 @a2 g1") saw_alternative = true;
+  }
+  EXPECT_TRUE(saw_alternative)
+      << StrJoin(observer.events, " | ");
+}
+
+TEST(SchedulerObserverTest, NullObserverIgnored) {
+  TransactionalProcessScheduler scheduler;
+  scheduler.AddObserver(nullptr);  // no crash
+  SUCCEED();
+}
+
+TEST(SchedulerObserverTest, MultipleObserversAllNotified) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+  TransactionalProcessScheduler scheduler;
+  RecordingObserver a, b;
+  scheduler.AddObserver(&a);
+  scheduler.AddObserver(&b);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_FALSE(a.events.empty());
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "testing/mini_world.h"
+
+namespace tpm {
+namespace {
+
+using testing::MiniWorld;
+
+TEST(SchedulerRecoveryTest, RecoverWithoutLogFails) {
+  TransactionalProcessScheduler scheduler;
+  EXPECT_TRUE(scheduler.Recover({}).IsFailedPrecondition());
+}
+
+TEST(SchedulerRecoveryTest, CrashBeforeAnythingIsHarmless) {
+  MiniWorld world;
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  EXPECT_TRUE(scheduler.history().events().empty());
+}
+
+TEST(SchedulerRecoveryTest, BackwardRecoveryAfterCrash) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a c:b c:d p:x r:y");
+  ASSERT_NE(def, nullptr);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  // Execute two activities, then crash before the pivot.
+  ASSERT_TRUE(scheduler.Step().ok());
+  ASSERT_TRUE(scheduler.Step().ok());
+  EXPECT_EQ(world.Value("a"), 1);
+  EXPECT_EQ(world.Value("b"), 1);
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  // The in-flight process was group-aborted: all effects compensated.
+  EXPECT_EQ(world.Value("a"), 0);
+  EXPECT_EQ(world.Value("b"), 0);
+  EXPECT_EQ(world.Value("x"), 0);
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(1)), ProcessOutcome::kAborted);
+}
+
+TEST(SchedulerRecoveryTest, ForwardRecoveryAfterCrash) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:x r:y r:z");
+  ASSERT_NE(def, nullptr);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  // Run until the pivot committed (a, x), then crash.
+  ASSERT_TRUE(scheduler.Step().ok());
+  ASSERT_TRUE(scheduler.Step().ok());
+  EXPECT_EQ(world.Value("x"), 1);
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  // F-REC: the forward recovery path (y, z) was executed; effects stay.
+  EXPECT_EQ(world.Value("a"), 1);
+  EXPECT_EQ(world.Value("x"), 1);
+  EXPECT_EQ(world.Value("y"), 1);
+  EXPECT_EQ(world.Value("z"), 1);
+}
+
+TEST(SchedulerRecoveryTest, CommittedProcessesUntouchedByRecovery) {
+  MiniWorld world;
+  const ProcessDef* done = world.MakeChain("done", "c:a p:b");
+  const ProcessDef* inflight = world.MakeChain("inflight", "c:d c:e p:f");
+  ASSERT_NE(done, nullptr);
+  ASSERT_NE(inflight, nullptr);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(done).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  ASSERT_TRUE(scheduler.Submit(inflight).ok());
+  ASSERT_TRUE(scheduler.Step().ok());  // executes d only
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  // The committed process's effects persist...
+  EXPECT_EQ(world.Value("a"), 1);
+  EXPECT_EQ(world.Value("b"), 1);
+  // ...the in-flight one was rolled back.
+  EXPECT_EQ(world.Value("d"), 0);
+  EXPECT_EQ(world.Value("e"), 0);
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(1)), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(2)), ProcessOutcome::kAborted);
+}
+
+TEST(SchedulerRecoveryTest, GroupAbortOrdersCompensationsReverse) {
+  MiniWorld world;
+  const ProcessDef* p1 = world.MakeChain("p1", "c:a c:b p:x");
+  const ProcessDef* p2 = world.MakeChain("p2", "c:d c:e p:y");
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(p1).ok());
+  ASSERT_TRUE(scheduler.Submit(p2).ok());
+  ASSERT_TRUE(scheduler.Step().ok());  // a, d
+  ASSERT_TRUE(scheduler.Step().ok());  // b, e
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  // All four compensations executed; Lemma 2: reverse order of originals.
+  const auto& events = scheduler.history().events();
+  std::vector<std::string> inverses;
+  for (const auto& e : events) {
+    if (e.type == EventType::kActivity && e.act.inverse) {
+      inverses.push_back(e.ToString());
+    }
+  }
+  ASSERT_EQ(inverses.size(), 4u);
+  // Log order of originals: a(P1), d(P2), b(P1), e(P2) -> reverse:
+  // e(P2), b(P1), d(P2), a(P1) = activities 2,2,1,1 of processes 2,1,2,1.
+  EXPECT_EQ(inverses[0], "a2_2^-1");
+  EXPECT_EQ(inverses[1], "a1_2^-1");
+  EXPECT_EQ(inverses[2], "a2_1^-1");
+  EXPECT_EQ(inverses[3], "a1_1^-1");
+  EXPECT_EQ(world.Value("a") + world.Value("b") + world.Value("d") +
+                world.Value("e"),
+            0);
+}
+
+TEST(SchedulerRecoveryTest, PreparedBranchesPresumedAborted) {
+  MiniWorld world;
+  const ProcessDef* p1 = world.MakeChain("p1", "c:s c:q1 c:q2 p:t r:u");
+  const ProcessDef* p2 = world.MakeChain("p2", "c:w p:s r:v");
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  RecoveryLog log;
+  SchedulerOptions options;
+  options.defer_mode = DeferMode::kPrepared2PC;
+  TransactionalProcessScheduler scheduler(options, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(p1).ok());
+  ASSERT_TRUE(scheduler.Submit(p2).ok());
+  // Run a few steps so P2's pivot on "s" is prepared but not released
+  // (blocked on active P1).
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(scheduler.Step().ok());
+  EXPECT_GT(scheduler.stats().prepared_branches, 0);
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  // The prepared pivot never committed: presumed abort wiped it, and the
+  // compensations of both processes went through (locks were released).
+  EXPECT_EQ(world.Value("s"), 0);
+  EXPECT_EQ(world.Value("w"), 0);
+}
+
+TEST(SchedulerRecoveryTest, SchedulerContinuesAfterRecovery) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a c:b p:x");
+  ASSERT_NE(def, nullptr);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  ASSERT_TRUE(scheduler.Step().ok());
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  // New work after recovery proceeds normally with a fresh pid.
+  auto pid = scheduler.Submit(def);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_GT(pid->value(), 1);
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(scheduler.OutcomeOf(*pid), ProcessOutcome::kCommitted);
+  EXPECT_EQ(world.Value("a"), 1);
+  EXPECT_EQ(world.Value("b"), 1);
+  EXPECT_EQ(world.Value("x"), 1);
+}
+
+TEST(SchedulerRecoveryTest, CheckpointCompactsLog) {
+  MiniWorld world;
+  const ProcessDef* quick = world.MakeChain("quick", "c:a p:b");
+  const ProcessDef* slow = world.MakeChain("slow", "c:d c:e c:f p:g");
+  ASSERT_NE(quick, nullptr);
+  ASSERT_NE(slow, nullptr);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  // Run several quick processes to completion, then leave one in flight.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(scheduler.Submit(quick).ok());
+    ASSERT_TRUE(scheduler.Run().ok());
+  }
+  ASSERT_TRUE(scheduler.Submit(slow).ok());
+  ASSERT_TRUE(scheduler.Step().ok());  // d
+  ASSERT_TRUE(scheduler.Step().ok());  // e
+  size_t before = log.size();
+  ASSERT_TRUE(scheduler.Checkpoint().ok());
+  // Compacted: 1 BEGIN + 2 ACT records instead of the full run history.
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_LT(log.size(), before);
+  // Recovery from the compact log still rolls the in-flight process back.
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  EXPECT_EQ(world.Value("d"), 0);
+  EXPECT_EQ(world.Value("e"), 0);
+  // The committed quick processes' effects are untouched.
+  EXPECT_EQ(world.Value("a"), 5);
+  EXPECT_EQ(world.Value("b"), 5);
+}
+
+TEST(SchedulerRecoveryTest, CheckpointPreservesCompensatedState) {
+  // A process that compensated some work (branch switch) checkpoints to an
+  // equivalent compact state: recovery must not re-compensate.
+  MiniWorld world;
+  const ProcessDef* def =
+      world.MakeBranching("p", "pre", "piv", "mid", "deep", "alt");
+  ASSERT_NE(def, nullptr);
+  world.subsystem()->ScheduleFailures(world.AddServiceFor("deep"), 1);
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+  ASSERT_TRUE(scheduler.Submit(def).ok());
+  // Run until the branch switch compensated "mid" (pre, piv, mid, deep
+  // fails, mid^-1): 5 passes is plenty.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(scheduler.Step().ok());
+  ASSERT_EQ(world.Value("mid"), 0);
+  ASSERT_TRUE(scheduler.Checkpoint().ok());
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok());
+  // F-REC group abort: pre/piv stay, mid stays compensated (not negative!).
+  EXPECT_EQ(world.Value("pre"), 1);
+  EXPECT_EQ(world.Value("piv"), 1);
+  EXPECT_EQ(world.Value("mid"), 0);
+  EXPECT_EQ(world.Value("alt"), 1);  // forward recovery ran the alternative
+}
+
+TEST(SchedulerRecoveryTest, CheckpointWithoutLogFails) {
+  TransactionalProcessScheduler scheduler;
+  EXPECT_TRUE(scheduler.Checkpoint().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace tpm

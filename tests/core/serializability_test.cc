@@ -1,0 +1,99 @@
+#include "core/serializability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace tpm {
+namespace {
+
+using figures::kP1;
+using figures::kP2;
+
+class SerializabilityTest : public ::testing::Test {
+ protected:
+  figures::PaperWorld world_;
+};
+
+// Example 4: the Figure 4(a) schedule at t2 is serializable.
+TEST_F(SerializabilityTest, Example4SerializableSchedule) {
+  ProcessSchedule s = figures::MakeScheduleSt2(world_);
+  ConflictGraph cg = BuildConflictGraph(s, world_.spec);
+  EXPECT_TRUE(cg.IsAcyclic());
+  EXPECT_TRUE(IsSerializable(s, world_.spec));
+  auto order = cg.SerializationOrder();
+  ASSERT_TRUE(order.ok());
+  // All conflicts point P1 -> P2... in fact a11 < a21 gives P1 -> P2 and
+  // a12 < a24 gives P1 -> P2, so P1 serializes first.
+  EXPECT_EQ(*order, (std::vector<ProcessId>{kP1, kP2}));
+}
+
+// Example 3: the Figure 4(b) schedule has cyclic dependencies.
+TEST_F(SerializabilityTest, Example3NonSerializableSchedule) {
+  ProcessSchedule s = figures::MakeSchedulePrimeT2(world_);
+  ConflictGraph cg = BuildConflictGraph(s, world_.spec);
+  EXPECT_FALSE(cg.IsAcyclic());
+  EXPECT_FALSE(IsSerializable(s, world_.spec));
+  auto cycle = cg.FindCycle();
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+  EXPECT_TRUE(cg.SerializationOrder().status().IsInvalidArgument());
+}
+
+TEST_F(SerializabilityTest, EmptyScheduleIsSerializable) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(kP1, &world_.p1).ok());
+  EXPECT_TRUE(IsSerializable(s, world_.spec));
+}
+
+TEST_F(SerializabilityTest, CommittedProjectionIgnoresActiveProcesses) {
+  ProcessSchedule s = figures::MakeSchedulePrimeT2(world_);
+  // Neither process committed: the committed projection is empty, hence
+  // trivially serializable.
+  ConflictGraphOptions options;
+  options.committed_projection = true;
+  EXPECT_TRUE(IsSerializable(s, world_.spec, options));
+}
+
+TEST_F(SerializabilityTest, AbortedInvocationsInduceNoConflicts) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(kP1, &world_.p1).ok());
+  ASSERT_TRUE(s.AddProcess(kP2, &world_.p2).ok());
+  // A failed invocation of a21 between a11 and ... would otherwise order
+  // P2 before P1's later conflicting use.
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP2, ActivityId(1), false},
+                           /*aborted_invocation=*/true))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP1, ActivityId(1), false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP2, ActivityId(1), false}))
+                  .ok());
+  ConflictGraph cg = BuildConflictGraph(s, world_.spec);
+  // Only the real executions conflict: P1 -> P2.
+  EXPECT_TRUE(cg.IsAcyclic());
+  auto order = cg.SerializationOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<ProcessId>{kP1, kP2}));
+}
+
+TEST_F(SerializabilityTest, ConflictGraphEdgeDirectionFollowsPosition) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(kP1, &world_.p1).ok());
+  ASSERT_TRUE(s.AddProcess(kP2, &world_.p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP2, ActivityId(1), false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{kP1, ActivityId(1), false}))
+                  .ok());
+  ConflictGraph cg = BuildConflictGraph(s, world_.spec);
+  auto order = cg.SerializationOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<ProcessId>{kP2, kP1}));
+}
+
+}  // namespace
+}  // namespace tpm

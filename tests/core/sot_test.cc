@@ -1,0 +1,95 @@
+#include "core/sot.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+#include "core/pred.h"
+#include "workload/schedule_generator.h"
+
+namespace tpm {
+namespace {
+
+class SotTest : public ::testing::Test {
+ protected:
+  figures::PaperWorld world_;
+};
+
+TEST_F(SotTest, NonSerializableIsNotSOT) {
+  EXPECT_FALSE(IsSOT(figures::MakeSchedulePrimeT2(world_), world_.spec));
+}
+
+TEST_F(SotTest, OrderedTerminationsAreSOT) {
+  EXPECT_TRUE(IsSOT(figures::MakeScheduleDoublePrimeT1(world_), world_.spec));
+}
+
+TEST_F(SotTest, ReversedTerminationsViolateSOT) {
+  // a11 << a21 conflict but P2 commits before P1.
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(figures::kP1, &world_.p1).ok());
+  ASSERT_TRUE(s.AddProcess(figures::kP2, &world_.p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{figures::kP1, ActivityId(1),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{figures::kP2, ActivityId(1),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Commit(figures::kP2)).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Commit(figures::kP1)).ok());
+  EXPECT_FALSE(IsSOT(s, world_.spec));
+}
+
+// §3.5's central claim: SOT-like criteria (deciding from S alone) do not
+// work for transactional processes. S_t1 of Example 8 is the paper's own
+// witness: serializable, terminations unordered (none present) — SOT
+// accepts it — yet its completion is irreducible.
+TEST_F(SotTest, Example8IsSotButNotPred) {
+  ProcessSchedule s = figures::MakeScheduleSt1(world_);
+  EXPECT_TRUE(IsSOT(s, world_.spec));
+  auto pred = IsPRED(s, world_.spec);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_FALSE(*pred);
+}
+
+// The reverse direction also fails on random schedules: the criteria are
+// incomparable for processes.
+TEST_F(SotTest, SotAndPredAreIncomparableOnRandomSchedules) {
+  Rng rng(31337);
+  RandomScheduleConfig config;
+  config.num_processes = 2;
+  config.conflict_density = 0.3;
+  int sot_not_pred = 0;
+  int pred_not_sot = 0;
+  for (int i = 0; i < 600; ++i) {
+    auto generated = GenerateRandomSchedule(config, &rng);
+    ASSERT_TRUE(generated.ok());
+    const bool sot = IsSOT(generated->schedule, generated->spec);
+    auto pred = IsPRED(generated->schedule, generated->spec);
+    ASSERT_TRUE(pred.ok());
+    if (sot && !*pred) ++sot_not_pred;
+    if (*pred && !sot) ++pred_not_sot;
+  }
+  EXPECT_GT(sot_not_pred, 0);
+  EXPECT_GT(pred_not_sot, 0);
+}
+
+TEST_F(SotTest, AbortedInvocationsDoNotAffectSOT) {
+  ProcessSchedule s;
+  ASSERT_TRUE(s.AddProcess(figures::kP1, &world_.p1).ok());
+  ASSERT_TRUE(s.AddProcess(figures::kP2, &world_.p2).ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{figures::kP1, ActivityId(1),
+                                            false},
+                           /*aborted_invocation=*/true))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Activity(
+                           ActivityInstance{figures::kP2, ActivityId(1),
+                                            false}))
+                  .ok());
+  ASSERT_TRUE(s.Append(ScheduleEvent::Commit(figures::kP2)).ok());
+  EXPECT_TRUE(IsSOT(s, world_.spec));
+}
+
+}  // namespace
+}  // namespace tpm

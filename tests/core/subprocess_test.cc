@@ -1,0 +1,183 @@
+#include "core/subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flex_structure.h"
+
+namespace tpm {
+namespace {
+
+ProcessDef AllCompensatable() {
+  ProcessDef def("book");
+  ActivityId a = def.AddActivity("a", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(101));
+  ActivityId b = def.AddActivity("b", ActivityKind::kCompensatable,
+                                 ServiceId(2), ServiceId(102));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  return def;
+}
+
+ProcessDef AllRetriable() {
+  ProcessDef def("notify");
+  ActivityId a = def.AddActivity("a", ActivityKind::kRetriable, ServiceId(3));
+  ActivityId b = def.AddActivity("b", ActivityKind::kRetriable, ServiceId(4));
+  EXPECT_TRUE(def.AddEdge(a, b).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  return def;
+}
+
+ProcessDef WithPivot() {
+  ProcessDef def("pay");
+  ActivityId a = def.AddActivity("a", ActivityKind::kCompensatable,
+                                 ServiceId(5), ServiceId(105));
+  ActivityId p = def.AddActivity("p", ActivityKind::kPivot, ServiceId(6));
+  ActivityId r = def.AddActivity("r", ActivityKind::kRetriable, ServiceId(7));
+  EXPECT_TRUE(def.AddEdge(a, p).ok());
+  EXPECT_TRUE(def.AddEdge(p, r).ok());
+  EXPECT_TRUE(def.Validate().ok());
+  return def;
+}
+
+TEST(SubprocessGuaranteeTest, Classification) {
+  ProcessDef comp = AllCompensatable();
+  ProcessDef ret = AllRetriable();
+  ProcessDef piv = WithPivot();
+  EXPECT_EQ(*ClassifySubprocessGuarantee(comp),
+            ActivityKind::kCompensatable);
+  EXPECT_EQ(*ClassifySubprocessGuarantee(ret), ActivityKind::kRetriable);
+  EXPECT_EQ(*ClassifySubprocessGuarantee(piv), ActivityKind::kPivot);
+
+  ProcessDef cr("cr");
+  ActivityId a = cr.AddActivity("a", ActivityKind::kCompensatableRetriable,
+                                ServiceId(8), ServiceId(108));
+  (void)a;
+  ASSERT_TRUE(cr.Validate().ok());
+  EXPECT_EQ(*ClassifySubprocessGuarantee(cr),
+            ActivityKind::kCompensatableRetriable);
+}
+
+TEST(SubprocessGuaranteeTest, RejectsMalformedChild) {
+  ProcessDef bad("bad");
+  ActivityId r = bad.AddActivity("r", ActivityKind::kRetriable, ServiceId(1));
+  ActivityId p = bad.AddActivity("p", ActivityKind::kPivot, ServiceId(2));
+  ASSERT_TRUE(bad.AddEdge(r, p).ok());
+  ASSERT_TRUE(bad.Validate().ok());
+  EXPECT_FALSE(ClassifySubprocessGuarantee(bad).ok());
+}
+
+class InlineTest : public ::testing::Test {
+ protected:
+  // Parent: c0 << slot(p) << r9, with an all-retriable alternative from
+  // the slot... kept simple: c0 << slot << r9.
+  ProcessDef MakeParent(ActivityKind slot_kind) {
+    ProcessDef parent("parent");
+    c0_ = parent.AddActivity("c0", ActivityKind::kCompensatable,
+                             ServiceId(10), ServiceId(110));
+    slot_ = parent.AddActivity(
+        "sub", slot_kind, ServiceId(11),
+        IsCompensatableKind(slot_kind) ? ServiceId(111) : ServiceId());
+    r9_ = parent.AddActivity("r9", ActivityKind::kRetriable, ServiceId(12));
+    EXPECT_TRUE(parent.AddEdge(c0_, slot_).ok());
+    EXPECT_TRUE(parent.AddEdge(slot_, r9_).ok());
+    EXPECT_TRUE(parent.Validate().ok());
+    return parent;
+  }
+  ActivityId c0_, slot_, r9_;
+};
+
+TEST_F(InlineTest, InlinesPivotGuaranteeChild) {
+  ProcessDef parent = MakeParent(ActivityKind::kPivot);
+  ProcessDef child = WithPivot();
+  auto inlined = InlineSubprocess(parent, slot_, child);
+  ASSERT_TRUE(inlined.ok()) << inlined.status();
+  // 2 parent activities + 3 child activities.
+  EXPECT_EQ(inlined->num_activities(), 5u);
+  EXPECT_TRUE(ValidateWellFormedFlex(*inlined).ok());
+  // Child names are prefixed.
+  bool found = false;
+  for (const ActivityDecl& decl : inlined->activities()) {
+    if (decl.name == "pay/p") found = true;
+  }
+  EXPECT_TRUE(found);
+  // The state-determining activity of the flattened process is the child's
+  // pivot (the parent prefix is compensatable).
+  auto s = StateDeterminingActivity(*inlined);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(inlined->activity(*s).name, "pay/p");
+}
+
+TEST_F(InlineTest, InlinesCompensatableChildIntoPrefix) {
+  // Parent where the slot sits in the compensatable prefix:
+  // slot(c) << p << r.
+  ProcessDef parent("parent");
+  ActivityId slot = parent.AddActivity("sub", ActivityKind::kCompensatable,
+                                       ServiceId(20), ServiceId(120));
+  ActivityId p = parent.AddActivity("p", ActivityKind::kPivot, ServiceId(21));
+  ActivityId r = parent.AddActivity("r", ActivityKind::kRetriable,
+                                    ServiceId(22));
+  ASSERT_TRUE(parent.AddEdge(slot, p).ok());
+  ASSERT_TRUE(parent.AddEdge(p, r).ok());
+  ASSERT_TRUE(parent.Validate().ok());
+
+  ProcessDef child = AllCompensatable();
+  auto inlined = InlineSubprocess(parent, slot, child);
+  ASSERT_TRUE(inlined.ok()) << inlined.status();
+  EXPECT_EQ(inlined->num_activities(), 4u);
+  EXPECT_TRUE(ValidateWellFormedFlex(*inlined).ok());
+}
+
+TEST_F(InlineTest, InlinesRetriableChildIntoTail) {
+  ProcessDef parent("parent");
+  ActivityId c = parent.AddActivity("c", ActivityKind::kCompensatable,
+                                    ServiceId(30), ServiceId(130));
+  ActivityId p = parent.AddActivity("p", ActivityKind::kPivot, ServiceId(31));
+  ActivityId slot = parent.AddActivity("sub", ActivityKind::kRetriable,
+                                       ServiceId(32));
+  ASSERT_TRUE(parent.AddEdge(c, p).ok());
+  ASSERT_TRUE(parent.AddEdge(p, slot).ok());
+  ASSERT_TRUE(parent.Validate().ok());
+
+  ProcessDef child = AllRetriable();
+  auto inlined = InlineSubprocess(parent, slot, child);
+  ASSERT_TRUE(inlined.ok()) << inlined.status();
+  EXPECT_TRUE(ValidateWellFormedFlex(*inlined).ok());
+}
+
+TEST_F(InlineTest, RejectsGuaranteeMismatch) {
+  // Slot declared retriable, child only guarantees pivot.
+  ProcessDef parent("parent");
+  ActivityId c = parent.AddActivity("c", ActivityKind::kCompensatable,
+                                    ServiceId(40), ServiceId(140));
+  ActivityId slot = parent.AddActivity("sub", ActivityKind::kRetriable,
+                                       ServiceId(41));
+  ASSERT_TRUE(parent.AddEdge(c, slot).ok());
+  ASSERT_TRUE(parent.Validate().ok());
+  ProcessDef child = WithPivot();
+  auto inlined = InlineSubprocess(parent, slot, child);
+  EXPECT_TRUE(inlined.status().IsInvalidArgument());
+}
+
+TEST_F(InlineTest, RejectsUnknownSlot) {
+  ProcessDef parent = MakeParent(ActivityKind::kPivot);
+  ProcessDef child = WithPivot();
+  EXPECT_TRUE(
+      InlineSubprocess(parent, ActivityId(99), child).status().IsNotFound());
+}
+
+TEST_F(InlineTest, InlinedProcessExecutesLikeTheHierarchy) {
+  // Enumerate executions: the flattened process has the composite failure
+  // surface (parent's c0 + the child's compensatable and pivot).
+  ProcessDef parent = MakeParent(ActivityKind::kPivot);
+  ProcessDef child = WithPivot();
+  auto inlined = InlineSubprocess(parent, slot_, child);
+  ASSERT_TRUE(inlined.ok());
+  auto executions = EnumerateValidExecutions(*inlined);
+  ASSERT_TRUE(executions.ok());
+  // Branch points: c0, pay/a, pay/p -> success + 2 backward recoveries
+  // (c0 ok then pay/a fails; ... then pay/p fails).
+  EXPECT_EQ(executions->size(), 3u);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,143 @@
+// End-to-end reproduction of the §2 / Figure 1 CIM scenario: concurrent
+// construction and production processes, with and without failures, under
+// the PRED scheduler and the unsafe (classical concurrency-control-only)
+// baseline. The production process is submitted once the BOM exists in the
+// PDM (its input dependency, Figure 1).
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_schedulers.h"
+#include "core/pred.h"
+#include "workload/cim_workload.h"
+
+namespace tpm {
+namespace {
+
+struct CimRun {
+  ProcessId construction;
+  ProcessId production;
+};
+
+// Submits construction, advances until the BOM is written (3 steps:
+// design, approve, pdm_entry), then submits production and runs to
+// completion.
+CimRun RunScenario(TransactionalProcessScheduler* scheduler, CimWorld* world) {
+  EXPECT_TRUE(world->RegisterAll(scheduler).ok());
+  auto construction = scheduler->Submit(world->construction());
+  EXPECT_TRUE(construction.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(scheduler->Step().ok());
+  }
+  EXPECT_EQ(world->bom_entries(), 1);
+  auto production = scheduler->Submit(world->production());
+  EXPECT_TRUE(production.ok());
+  EXPECT_TRUE(scheduler->Run().ok());
+  return CimRun{*construction, *production};
+}
+
+TEST(CimIntegrationTest, FailureFreeRunCommitsBothProcesses) {
+  CimWorld world;
+  auto scheduler = MakePredScheduler();
+  CimRun run = RunScenario(scheduler.get(), &world);
+  EXPECT_EQ(scheduler->OutcomeOf(run.construction),
+            ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler->OutcomeOf(run.production), ProcessOutcome::kCommitted);
+  EXPECT_EQ(world.bom_entries(), 1);
+  EXPECT_EQ(world.parts_produced(), 1);
+  EXPECT_EQ(world.techdocs(), 1);
+  EXPECT_EQ(world.reuse_docs(), 0);
+  EXPECT_TRUE(world.Consistent());
+  // The production pivot was deferred behind the construction process
+  // (Lemma 1).
+  EXPECT_GT(scheduler->stats().deferrals, 0);
+  auto pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+TEST(CimIntegrationTest, TestFailureTakesReuseAlternativeAndCascades) {
+  CimWorld world;
+  world.ScheduleTestFailure();
+  auto scheduler = MakePredScheduler();
+  CimRun run = RunScenario(scheduler.get(), &world);
+
+  // §2.1: the construction process commits via its alternative — the PDM
+  // entry is compensated and the CAD drawing documented for reuse.
+  EXPECT_EQ(scheduler->OutcomeOf(run.construction),
+            ProcessOutcome::kCommitted);
+  EXPECT_EQ(world.bom_entries(), 0);
+  EXPECT_EQ(world.techdocs(), 0);
+  EXPECT_EQ(world.reuse_docs(), 1);
+
+  // §2.2: the BOM the production process read was invalidated, so all its
+  // activities were compensated — crucially, nothing was produced because
+  // the produce pivot had been deferred (Lemma 1).
+  EXPECT_EQ(scheduler->OutcomeOf(run.production), ProcessOutcome::kAborted);
+  EXPECT_EQ(world.parts_produced(), 0);
+  EXPECT_TRUE(world.Consistent());
+  EXPECT_GE(scheduler->stats().cascading_aborts, 1);
+  EXPECT_EQ(scheduler->stats().irrecoverable_cascades, 0);
+}
+
+TEST(CimIntegrationTest, UnsafeSchedulerProducesFigure1Anomaly) {
+  CimWorld world;
+  world.ScheduleTestFailure();
+  auto scheduler = MakeUnsafeScheduler();
+  RunScenario(scheduler.get(), &world);
+
+  // The unsafe scheduler let the production pivot commit before the test
+  // outcome was known: parts exist although the BOM was invalidated —
+  // exactly the inconsistency §2.2 warns about.
+  EXPECT_EQ(world.bom_entries(), 0);
+  EXPECT_GT(world.parts_produced(), 0);
+  EXPECT_FALSE(world.Consistent());
+  EXPECT_GE(scheduler->stats().irrecoverable_cascades, 1);
+  // The formal criterion agrees: the emitted history is not PRED.
+  auto pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_FALSE(*pred);
+}
+
+TEST(CimIntegrationTest, LockingSchedulerIsSafe) {
+  CimWorld world;
+  world.ScheduleTestFailure();
+  auto scheduler = MakeLockingScheduler();
+  CimRun run = RunScenario(scheduler.get(), &world);
+  EXPECT_TRUE(world.Consistent());
+  EXPECT_EQ(world.parts_produced(), 0);
+  (void)run;
+}
+
+TEST(CimIntegrationTest, SerialSchedulerIsSafeButSequential) {
+  CimWorld world;
+  world.ScheduleTestFailure();
+  auto scheduler = MakeSerialScheduler();
+  CimRun run = RunScenario(scheduler.get(), &world);
+  EXPECT_TRUE(world.Consistent());
+  // Construction (failing its test) commits via the reuse alternative;
+  // production then finds no BOM and aborts before doing anything.
+  EXPECT_EQ(scheduler->OutcomeOf(run.construction),
+            ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler->OutcomeOf(run.production), ProcessOutcome::kAborted);
+  EXPECT_EQ(world.parts_produced(), 0);
+}
+
+TEST(CimIntegrationTest, RepeatedRunsAccumulateConsistently) {
+  CimWorld world;
+  auto scheduler = MakePredScheduler();
+  ASSERT_TRUE(world.RegisterAll(scheduler.get()).ok());
+  for (int round = 0; round < 3; ++round) {
+    auto c = scheduler->Submit(world.construction());
+    ASSERT_TRUE(c.ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(scheduler->Step().ok());
+    auto p = scheduler->Submit(world.production());
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(scheduler->Run().ok());
+  }
+  EXPECT_EQ(world.bom_entries(), 3);
+  EXPECT_EQ(world.parts_produced(), 3);
+  EXPECT_TRUE(world.Consistent());
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,169 @@
+// Crash/recovery integration: scheduler crashes at every possible step of
+// the CIM scenario; after recovery the subsystems must always be in a
+// consistent state (group abort with backward/forward recovery, Def. 8).
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_schedulers.h"
+#include "core/scheduler.h"
+#include "workload/cim_workload.h"
+
+namespace tpm {
+namespace {
+
+TEST(CrashRecoveryIntegrationTest, CrashAtEveryStepRecoversConsistently) {
+  // First measure how many steps a full run takes.
+  int64_t total_steps = 0;
+  {
+    CimWorld world;
+    RecoveryLog log;
+    TransactionalProcessScheduler scheduler({}, &log);
+    ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+    ASSERT_TRUE(scheduler.Submit(world.construction()).ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(scheduler.Step().ok());
+    ASSERT_TRUE(scheduler.Submit(world.production()).ok());
+    ASSERT_TRUE(scheduler.Run().ok());
+    total_steps = scheduler.stats().steps;
+  }
+  ASSERT_GT(total_steps, 5);
+
+  for (int crash_at = 1; crash_at < total_steps; ++crash_at) {
+    CimWorld world;
+    RecoveryLog log;
+    TransactionalProcessScheduler scheduler({}, &log);
+    ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+    std::map<std::string, const ProcessDef*> defs = {
+        {world.construction()->name(), world.construction()},
+        {world.production()->name(), world.production()},
+    };
+    ASSERT_TRUE(scheduler.Submit(world.construction()).ok());
+    int steps = 0;
+    bool more = true;
+    bool production_submitted = false;
+    while (more && steps < crash_at) {
+      auto result = scheduler.Step();
+      ASSERT_TRUE(result.ok());
+      more = *result;
+      ++steps;
+      if (steps == 3 && world.bom_entries() > 0) {
+        ASSERT_TRUE(scheduler.Submit(world.production()).ok());
+        production_submitted = true;
+        more = true;
+      }
+    }
+    scheduler.Crash();
+    ASSERT_TRUE(scheduler.Recover(defs).ok()) << "crash_at=" << crash_at;
+
+    // Invariants after recovery: parts only exist with a valid BOM, no key
+    // ever goes negative (every compensation matched a real execution),
+    // and the construction terminated through exactly one documentation
+    // path (techdoc on success, reuse_doc on abort after the design
+    // froze, or neither if it rolled back before the approve pivot).
+    EXPECT_TRUE(world.Consistent()) << "crash_at=" << crash_at;
+    for (KvSubsystem* subsystem : world.subsystems()) {
+      for (const auto& [key, value] : subsystem->store().Snapshot()) {
+        EXPECT_GE(value, 0) << "crash_at=" << crash_at << " key=" << key;
+      }
+    }
+    EXPECT_LE(world.techdocs() + world.reuse_docs(), 1)
+        << "crash_at=" << crash_at;
+    (void)production_submitted;
+  }
+}
+
+TEST(CrashRecoveryIntegrationTest, DoubleCrashIsIdempotent) {
+  CimWorld world;
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+  std::map<std::string, const ProcessDef*> defs = {
+      {world.construction()->name(), world.construction()},
+  };
+  ASSERT_TRUE(scheduler.Submit(world.construction()).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(scheduler.Step().ok());
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(defs).ok());
+  // The approve pivot had committed (F-REC): recovery compensates the PDM
+  // entry and terminates through the all-retriable reuse alternative; the
+  // quasi-committed design survives.
+  EXPECT_EQ(world.bom_entries(), 0);
+  EXPECT_EQ(world.Value("drawing"), 1);
+  EXPECT_EQ(world.reuse_docs(), 1);
+  // Crash again immediately: recovery must be a no-op (the process is
+  // already recorded aborted; its compensations are not re-run).
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(defs).ok());
+  EXPECT_EQ(world.bom_entries(), 0);
+  EXPECT_EQ(world.Value("drawing"), 1);
+  EXPECT_EQ(world.reuse_docs(), 1);
+}
+
+TEST(CrashRecoveryIntegrationTest, RecoveryAfterForwardState) {
+  // Crash after the construction test committed: forward recovery must
+  // finish the documentation instead of undoing the work.
+  CimWorld world;
+  RecoveryLog log;
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+  std::map<std::string, const ProcessDef*> defs = {
+      {world.construction()->name(), world.construction()},
+  };
+  ASSERT_TRUE(scheduler.Submit(world.construction()).ok());
+  // design, approve, pdm, prototype, calibrate, test = 6 steps.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(scheduler.Step().ok());
+  ASSERT_EQ(world.Value("test_result"), 1);
+  ASSERT_EQ(world.techdocs(), 0);
+  scheduler.Crash();
+  ASSERT_TRUE(scheduler.Recover(defs).ok());
+  // Forward recovery executed techdoc; nothing was compensated.
+  EXPECT_EQ(world.techdocs(), 1);
+  EXPECT_EQ(world.bom_entries(), 1);
+  EXPECT_EQ(world.Value("drawing"), 1);
+}
+
+// Why the WAL rule matters: with an asynchronous (unflushed) log, a crash
+// can lose records for activities whose effects already reached the
+// subsystems — recovery then cannot know to compensate them and the store
+// is left inconsistent. The library defaults to a synchronous log; this
+// test documents the failure mode of weakening it.
+TEST(CrashRecoveryIntegrationTest, AsynchronousLogLosesCompensations) {
+  CimWorld world;
+  RecoveryLog log(/*synchronous=*/false);
+  TransactionalProcessScheduler scheduler({}, &log);
+  ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+  std::map<std::string, const ProcessDef*> defs = {
+      {world.construction()->name(), world.construction()},
+  };
+  ASSERT_TRUE(scheduler.Submit(world.construction()).ok());
+  // BEGIN is flushed, then the activity records stay volatile.
+  log.Flush();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(scheduler.Step().ok());
+  ASSERT_EQ(world.Value("drawing"), 1);
+  ASSERT_EQ(world.bom_entries(), 1);
+  scheduler.Crash();
+  log.Crash();  // the unflushed tail is gone
+  ASSERT_TRUE(scheduler.Recover(defs).ok());
+  // Recovery believed the process had executed nothing: the drawing and
+  // the BOM survive as orphaned effects — the documented inconsistency.
+  EXPECT_EQ(world.Value("drawing"), 1);
+  EXPECT_EQ(world.bom_entries(), 1);
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(1)), ProcessOutcome::kAborted);
+
+  // Control: the synchronous default cleans up the same crash.
+  CimWorld world2;
+  RecoveryLog log2;  // synchronous
+  TransactionalProcessScheduler scheduler2({}, &log2);
+  ASSERT_TRUE(world2.RegisterAll(&scheduler2).ok());
+  std::map<std::string, const ProcessDef*> defs2 = {
+      {world2.construction()->name(), world2.construction()},
+  };
+  ASSERT_TRUE(scheduler2.Submit(world2.construction()).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(scheduler2.Step().ok());
+  scheduler2.Crash();
+  log2.Crash();
+  ASSERT_TRUE(scheduler2.Recover(defs2).ok());
+  EXPECT_EQ(world2.bom_entries(), 0);  // compensated (F-REC via approve)
+}
+
+}  // namespace
+}  // namespace tpm

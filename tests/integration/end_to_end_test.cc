@@ -1,0 +1,130 @@
+// End-to-end tests over generated workloads: many concurrent processes,
+// failure injection, all four protocols — checking global consistency
+// invariants of the synthetic universe.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_schedulers.h"
+#include "core/pred.h"
+#include "common/str_util.h"
+#include "workload/process_generator.h"
+
+namespace tpm {
+namespace {
+
+// The synthetic universe's invariant: each process adds its parameter to a
+// few items; a committed process contributes exactly (#activities on its
+// executed path) * param; an aborted one contributes 0 (everything
+// compensated or never executed). With param = 1 per process, the total
+// value equals the number of committed activity executions minus
+// compensations — which the scheduler already tracks — so we cross-check
+// store state against scheduler stats.
+void CheckUniverseConsistency(const SyntheticUniverse& universe,
+                              const TransactionalProcessScheduler& scheduler) {
+  EXPECT_EQ(universe.TotalValue(),
+            scheduler.stats().activities_committed -
+                scheduler.stats().compensations);
+}
+
+TEST(EndToEndTest, GeneratedWorkloadUnderPredScheduler) {
+  SyntheticUniverse universe(3, 4);
+  ProcessShape shape;
+  shape.items_per_process = 3;
+  ProcessGenerator generator(&universe, shape, /*seed=*/21);
+  auto scheduler = MakePredScheduler();
+  ASSERT_TRUE(universe.RegisterAll(scheduler.get()).ok());
+  std::vector<ProcessId> pids;
+  for (int i = 0; i < 12; ++i) {
+    auto def = generator.Generate(StrCat("w", i));
+    ASSERT_TRUE(def.ok()) << def.status();
+    auto pid = scheduler->Submit(*def);
+    ASSERT_TRUE(pid.ok());
+    pids.push_back(*pid);
+  }
+  ASSERT_TRUE(scheduler->Run().ok());
+  for (ProcessId pid : pids) {
+    EXPECT_NE(scheduler->OutcomeOf(pid), ProcessOutcome::kActive);
+  }
+  CheckUniverseConsistency(universe, *scheduler);
+}
+
+TEST(EndToEndTest, GeneratedWorkloadWithFailures) {
+  SyntheticUniverse universe(2, 6);
+  // Inject failures on several items so retriables retry and pivots
+  // sometimes fail into alternatives/aborts.
+  for (size_t item = 0; item < universe.num_items(); item += 2) {
+    universe.ScheduleFailures(item, 1);
+  }
+  ProcessShape shape;
+  shape.items_per_process = 4;
+  shape.nested_probability = 0.5;
+  ProcessGenerator generator(&universe, shape, /*seed=*/33);
+  auto scheduler = MakePredScheduler();
+  ASSERT_TRUE(universe.RegisterAll(scheduler.get()).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto def = generator.Generate(StrCat("f", i));
+    ASSERT_TRUE(def.ok());
+    ASSERT_TRUE(scheduler->Submit(*def).ok());
+  }
+  ASSERT_TRUE(scheduler->Run().ok());
+  CheckUniverseConsistency(universe, *scheduler);
+}
+
+TEST(EndToEndTest, AllSafeProtocolsReachConsistentStates) {
+  for (int variant = 0; variant < 3; ++variant) {
+    SyntheticUniverse universe(2, 3);
+    ProcessShape shape;
+    shape.items_per_process = 2;  // high conflict rate
+    ProcessGenerator generator(&universe, shape, /*seed=*/55);
+    std::unique_ptr<TransactionalProcessScheduler> scheduler;
+    switch (variant) {
+      case 0:
+        scheduler = MakePredScheduler();
+        break;
+      case 1:
+        scheduler = MakeSerialScheduler();
+        break;
+      default:
+        scheduler = MakeLockingScheduler();
+        break;
+    }
+    ASSERT_TRUE(universe.RegisterAll(scheduler.get()).ok());
+    for (int i = 0; i < 8; ++i) {
+      auto def = generator.Generate(StrCat("v", variant, "_", i));
+      ASSERT_TRUE(def.ok());
+      ASSERT_TRUE(scheduler->Submit(*def).ok());
+    }
+    ASSERT_TRUE(scheduler->Run().ok()) << "variant " << variant;
+    CheckUniverseConsistency(universe, *scheduler);
+  }
+}
+
+TEST(EndToEndTest, Prepared2PCModeMatchesDelayModeOutcomes) {
+  auto run = [](DeferMode mode) {
+    SyntheticUniverse universe(2, 3);
+    ProcessShape shape;
+    shape.items_per_process = 2;
+    ProcessGenerator generator(&universe, shape, /*seed=*/77);
+    auto scheduler = MakePredScheduler(mode);
+    EXPECT_TRUE(universe.RegisterAll(scheduler.get()).ok());
+    for (int i = 0; i < 6; ++i) {
+      auto def = generator.Generate(StrCat("m", i));
+      EXPECT_TRUE(def.ok());
+      EXPECT_TRUE(scheduler->Submit(*def).ok());
+    }
+    EXPECT_TRUE(scheduler->Run().ok());
+    EXPECT_EQ(universe.TotalValue(),
+              scheduler->stats().activities_committed -
+                  scheduler->stats().compensations);
+    return universe.TotalValue();
+  };
+  // Both defer realizations produce a consistent world (identical
+  // generator seeds produce identical process mixes).
+  int64_t delay_total = run(DeferMode::kDelayExecution);
+  int64_t prepared_total = run(DeferMode::kPrepared2PC);
+  EXPECT_GE(delay_total, 0);
+  EXPECT_GE(prepared_total, 0);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,127 @@
+// Multi-subsystem integration: one process spanning several subsystems,
+// with Lemma 1's deferred commits realized as prepared branches in TWO
+// different subsystems and released atomically by one 2PC round.
+
+#include <gtest/gtest.h>
+
+#include "core/flex_structure.h"
+#include "core/pred.h"
+#include "core/scheduler.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+namespace {
+
+class MultiSubsystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        alpha_.RegisterService(MakeAddService(ServiceId(1), "a", "a")).ok());
+    ASSERT_TRUE(
+        alpha_.RegisterService(MakeSubService(ServiceId(2), "a-", "a")).ok());
+    ASSERT_TRUE(
+        alpha_.RegisterService(MakeAddService(ServiceId(3), "w", "w")).ok());
+    ASSERT_TRUE(
+        alpha_.RegisterService(MakeSubService(ServiceId(4), "w-", "w")).ok());
+    ASSERT_TRUE(
+        alpha_.RegisterService(MakeAddService(ServiceId(5), "x", "x")).ok());
+    ASSERT_TRUE(
+        alpha_.RegisterService(MakeAddService(ServiceId(6), "y1", "y1")).ok());
+    ASSERT_TRUE(
+        beta_.RegisterService(MakeAddService(ServiceId(7), "y2", "y2")).ok());
+    ASSERT_TRUE(
+        beta_.RegisterService(MakeAddService(ServiceId(8), "pv", "pv")).ok());
+  }
+
+  KvSubsystem alpha_{SubsystemId(1), "alpha"};
+  KvSubsystem beta_{SubsystemId(2), "beta"};
+};
+
+TEST_F(MultiSubsystemTest, AtomicCrossSubsystemRelease) {
+  // P1: a long-lived process on service 1.
+  ProcessDef p1("p1");
+  ActivityId a1 = p1.AddActivity("a1", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(2));
+  ActivityId a2 = p1.AddActivity("a2", ActivityKind::kCompensatable,
+                                 ServiceId(3), ServiceId(4));
+  ActivityId a3 = p1.AddActivity("a3", ActivityKind::kPivot, ServiceId(5));
+  ASSERT_TRUE(p1.AddEdge(a1, a2).ok());
+  ASSERT_TRUE(p1.AddEdge(a2, a3).ok());
+  ASSERT_TRUE(p1.Validate().ok());
+
+  // P2: pivot then two PARALLEL retriables, one per subsystem, both
+  // conflicting (by declaration) with P1's first service.
+  ProcessDef p2("p2");
+  ActivityId piv = p2.AddActivity("piv", ActivityKind::kPivot, ServiceId(8));
+  ActivityId y1 = p2.AddActivity("y1", ActivityKind::kRetriable,
+                                 ServiceId(6));
+  ActivityId y2 = p2.AddActivity("y2", ActivityKind::kRetriable,
+                                 ServiceId(7));
+  ASSERT_TRUE(p2.AddEdge(piv, y1).ok());
+  ASSERT_TRUE(p2.AddEdge(piv, y2).ok());
+  ASSERT_TRUE(p2.Validate().ok());
+  ASSERT_TRUE(ValidateWellFormedFlex(p2).ok());
+
+  SchedulerOptions options;
+  options.defer_mode = DeferMode::kPrepared2PC;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(&alpha_).ok());
+  ASSERT_TRUE(scheduler.RegisterSubsystem(&beta_).ok());
+  scheduler.AddConflict(ServiceId(1), ServiceId(6));
+  scheduler.AddConflict(ServiceId(1), ServiceId(7));
+
+  auto pid1 = scheduler.Submit(&p1);
+  auto pid2 = scheduler.Submit(&p2);
+  ASSERT_TRUE(pid1.ok());
+  ASSERT_TRUE(pid2.ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+
+  EXPECT_EQ(scheduler.OutcomeOf(*pid1), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler.OutcomeOf(*pid2), ProcessOutcome::kCommitted);
+  // Both parallel retriables were prepared (deferred commits) and landed.
+  EXPECT_GE(scheduler.stats().prepared_branches, 2);
+  EXPECT_EQ(alpha_.store().Get("y1"), 1);
+  EXPECT_EQ(beta_.store().Get("y2"), 1);
+
+  // In the emitted history both appear after C1 (Lemma 1), and the
+  // schedule is PRED.
+  const auto& events = scheduler.history().events();
+  size_t c1 = SIZE_MAX, y1_pos = SIZE_MAX, y2_pos = SIZE_MAX;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type == EventType::kCommit && events[i].process == *pid1) {
+      c1 = i;
+    }
+    if (events[i].type == EventType::kActivity &&
+        events[i].act.process == *pid2 && !events[i].aborted_invocation) {
+      if (events[i].act.activity == y1) y1_pos = i;
+      if (events[i].act.activity == y2) y2_pos = i;
+    }
+  }
+  ASSERT_NE(c1, SIZE_MAX);
+  ASSERT_NE(y1_pos, SIZE_MAX);
+  ASSERT_NE(y2_pos, SIZE_MAX);
+  EXPECT_LT(c1, y1_pos);
+  EXPECT_LT(c1, y2_pos);
+  auto pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+}
+
+TEST_F(MultiSubsystemTest, ServicesRouteToTheirSubsystems) {
+  TransactionalProcessScheduler scheduler;
+  ASSERT_TRUE(scheduler.RegisterSubsystem(&alpha_).ok());
+  ASSERT_TRUE(scheduler.RegisterSubsystem(&beta_).ok());
+  ProcessDef def("both");
+  ActivityId a = def.AddActivity("a", ActivityKind::kCompensatable,
+                                 ServiceId(1), ServiceId(2));
+  ActivityId b = def.AddActivity("b", ActivityKind::kPivot, ServiceId(7));
+  ASSERT_TRUE(def.AddEdge(a, b).ok());
+  ASSERT_TRUE(def.Validate().ok());
+  ASSERT_TRUE(scheduler.Submit(&def).ok());
+  ASSERT_TRUE(scheduler.Run().ok());
+  EXPECT_EQ(alpha_.store().Get("a"), 1);
+  EXPECT_EQ(beta_.store().Get("y2"), 1);  // service 7 writes beta's key
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,61 @@
+#include "log/recovery_log.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(SchedulerLogRecordTest, RoundTripsAllKinds) {
+  std::vector<SchedulerLogRecord> records = {
+      {SchedulerLogRecord::Kind::kProcessBegin, ProcessId(3), ActivityId(),
+       "my-process", 42},
+      {SchedulerLogRecord::Kind::kActivityCommitted, ProcessId(3),
+       ActivityId(2), "", 0},
+      {SchedulerLogRecord::Kind::kActivityCompensated, ProcessId(3),
+       ActivityId(2), "", 0},
+      {SchedulerLogRecord::Kind::kProcessCommitted, ProcessId(3),
+       ActivityId(), "", 0},
+      {SchedulerLogRecord::Kind::kProcessAborted, ProcessId(3), ActivityId(),
+       "", 0},
+  };
+  for (const auto& record : records) {
+    auto parsed = SchedulerLogRecord::Parse(record.Serialize());
+    ASSERT_TRUE(parsed.ok()) << record.Serialize();
+    EXPECT_EQ(*parsed, record);
+  }
+}
+
+TEST(SchedulerLogRecordTest, MalformedLineRejected) {
+  EXPECT_FALSE(SchedulerLogRecord::Parse("garbage").ok());
+  EXPECT_FALSE(SchedulerLogRecord::Parse("WHAT|1|2|0|x").ok());
+}
+
+TEST(RecoveryLogTest, AppendAndReadBack) {
+  RecoveryLog log;
+  log.Append({SchedulerLogRecord::Kind::kProcessBegin, ProcessId(1),
+              ActivityId(), "p", 7});
+  log.Append({SchedulerLogRecord::Kind::kActivityCommitted, ProcessId(1),
+              ActivityId(1), "", 0});
+  auto records = log.Records();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].kind, SchedulerLogRecord::Kind::kProcessBegin);
+  EXPECT_EQ((*records)[0].param, 7);
+  EXPECT_EQ((*records)[1].activity, ActivityId(1));
+}
+
+TEST(RecoveryLogTest, AsynchronousLosesTailOnCrash) {
+  RecoveryLog log(/*synchronous=*/false);
+  log.Append({SchedulerLogRecord::Kind::kProcessBegin, ProcessId(1),
+              ActivityId(), "p", 0});
+  log.Flush();
+  log.Append({SchedulerLogRecord::Kind::kActivityCommitted, ProcessId(1),
+              ActivityId(1), "", 0});
+  log.Crash();
+  auto records = log.Records();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+}  // namespace
+}  // namespace tpm

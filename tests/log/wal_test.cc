@@ -1,0 +1,45 @@
+#include "log/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(WalTest, SynchronousAppendsAreDurable) {
+  Wal wal(/*synchronous=*/true);
+  wal.Append("a");
+  wal.Append("b");
+  EXPECT_EQ(wal.durable_size(), 2u);
+  wal.Crash();
+  EXPECT_EQ(wal.size(), 2u);
+}
+
+TEST(WalTest, AsynchronousAppendsLostOnCrash) {
+  Wal wal(/*synchronous=*/false);
+  wal.Append("a");
+  wal.Flush();
+  wal.Append("b");
+  wal.Append("c");
+  EXPECT_EQ(wal.durable_size(), 1u);
+  wal.Crash();
+  EXPECT_EQ(wal.size(), 1u);
+  EXPECT_EQ(wal.records()[0], "a");
+}
+
+TEST(WalTest, FlushMakesTailDurable) {
+  Wal wal(/*synchronous=*/false);
+  wal.Append("a");
+  wal.Flush();
+  EXPECT_EQ(wal.durable_size(), 1u);
+}
+
+TEST(WalTest, ClearResets) {
+  Wal wal;
+  wal.Append("a");
+  wal.Clear();
+  EXPECT_EQ(wal.size(), 0u);
+  EXPECT_EQ(wal.durable_size(), 0u);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,99 @@
+// Cross-cutting structural invariants over random inputs.
+
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "core/completed_schedule.h"
+#include "core/dot_export.h"
+#include "core/pred.h"
+#include "workload/process_generator.h"
+#include "workload/schedule_generator.h"
+
+namespace tpm {
+namespace {
+
+// PRED is prefix closed by definition; the checker must agree on every
+// prefix of every PRED schedule.
+TEST(InvariantsPropertyTest, PredIsPrefixClosed) {
+  Rng rng(808);
+  RandomScheduleConfig config;
+  config.num_processes = 2;
+  config.conflict_density = 0.25;
+  int checked = 0;
+  for (int i = 0; i < 150 && checked < 30; ++i) {
+    auto generated = GenerateRandomSchedule(config, &rng);
+    ASSERT_TRUE(generated.ok());
+    auto pred = IsPRED(generated->schedule, generated->spec);
+    ASSERT_TRUE(pred.ok());
+    if (!*pred) continue;
+    ++checked;
+    for (size_t n = 0; n < generated->schedule.size(); ++n) {
+      auto prefix_pred = IsPRED(generated->schedule.Prefix(n),
+                                generated->spec);
+      ASSERT_TRUE(prefix_pred.ok());
+      EXPECT_TRUE(*prefix_pred)
+          << "prefix " << n << " of " << generated->schedule.ToString();
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// Completing a completed schedule is a fixpoint (all processes already
+// committed, nothing to expand).
+TEST(InvariantsPropertyTest, CompletionIsIdempotent) {
+  Rng rng(909);
+  RandomScheduleConfig config;
+  config.num_processes = 3;
+  config.conflict_density = 0.2;
+  for (int i = 0; i < 100; ++i) {
+    auto generated = GenerateRandomSchedule(config, &rng);
+    ASSERT_TRUE(generated.ok());
+    auto once = CompleteSchedule(generated->schedule);
+    ASSERT_TRUE(once.ok());
+    auto twice = CompleteSchedule(*once);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(once->ToString(), twice->ToString());
+  }
+}
+
+// DOT exports mention every activity / process of the input.
+TEST(InvariantsPropertyTest, DotExportsAreComplete) {
+  SyntheticUniverse universe(2, 5);
+  ProcessShape shape;
+  shape.nested_probability = 0.5;
+  ProcessGenerator generator(&universe, shape, 1010);
+  for (int i = 0; i < 25; ++i) {
+    auto def = generator.Generate(StrCat("d", i));
+    ASSERT_TRUE(def.ok());
+    std::string dot = ProcessToDot(**def);
+    for (const ActivityDecl& decl : (*def)->activities()) {
+      EXPECT_NE(dot.find(StrCat("a", decl.id, " [label=")),
+                std::string::npos);
+    }
+    for (const PrecedenceEdge& e : (*def)->edges()) {
+      EXPECT_NE(dot.find(StrCat("a", e.from, " -> a", e.to)),
+                std::string::npos);
+    }
+  }
+}
+
+// The reduction verdict is stable across repeated analysis (purity).
+TEST(InvariantsPropertyTest, AnalysisIsDeterministic) {
+  Rng rng(111);
+  RandomScheduleConfig config;
+  config.num_processes = 3;
+  config.conflict_density = 0.3;
+  for (int i = 0; i < 50; ++i) {
+    auto generated = GenerateRandomSchedule(config, &rng);
+    ASSERT_TRUE(generated.ok());
+    auto first = AnalyzeRED(generated->schedule, generated->spec);
+    auto second = AnalyzeRED(generated->schedule, generated->spec);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first->reducible, second->reducible);
+    EXPECT_EQ(first->residual.size(), second->residual.size());
+  }
+}
+
+}  // namespace
+}  // namespace tpm

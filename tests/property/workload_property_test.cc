@@ -1,0 +1,144 @@
+// Properties of the workload generators themselves.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/flex_structure.h"
+#include "common/str_util.h"
+#include "workload/process_generator.h"
+#include "workload/schedule_generator.h"
+
+namespace tpm {
+namespace {
+
+TEST(ProcessGeneratorTest, AlwaysProducesWellFormedFlexProcesses) {
+  SyntheticUniverse universe(3, 5);
+  ProcessShape shape;
+  shape.nested_probability = 0.6;
+  shape.max_nesting_depth = 3;
+  ProcessGenerator generator(&universe, shape, 7);
+  for (int i = 0; i < 100; ++i) {
+    auto def = generator.Generate(StrCat("g", i));
+    ASSERT_TRUE(def.ok()) << def.status();
+    EXPECT_TRUE((*def)->validated());
+    EXPECT_TRUE(ValidateWellFormedFlex(**def).ok());
+    // Every generated process has at least one pivot and enumerable
+    // executions.
+    auto executions = EnumerateValidExecutions(**def);
+    ASSERT_TRUE(executions.ok());
+    EXPECT_GE(executions->size(), 1u);
+  }
+}
+
+TEST(ProcessGeneratorTest, NestedProcessesHaveAlternatives) {
+  SyntheticUniverse universe(2, 4);
+  ProcessShape shape;
+  shape.nested_probability = 1.0;  // force nesting
+  shape.max_nesting_depth = 2;
+  ProcessGenerator generator(&universe, shape, 11);
+  auto def = generator.Generate("nested");
+  ASSERT_TRUE(def.ok());
+  bool has_alternative = false;
+  for (const PrecedenceEdge& e : (*def)->edges()) {
+    if (e.preference > 0) has_alternative = true;
+  }
+  EXPECT_TRUE(has_alternative);
+  // More than one valid execution: alternatives create extra outcomes.
+  auto executions = EnumerateValidExecutions(**def);
+  ASSERT_TRUE(executions.ok());
+  EXPECT_GT(executions->size(), 1u);
+}
+
+TEST(ProcessGeneratorTest, RestrictItemsLimitsFootprint) {
+  SyntheticUniverse universe(1, 10);
+  ProcessShape shape;
+  ProcessGenerator generator(&universe, shape, 13);
+  generator.RestrictItems(0, 2);
+  auto def = generator.Generate("restricted");
+  ASSERT_TRUE(def.ok());
+  std::set<ServiceId> allowed;
+  for (size_t i = 0; i < 2; ++i) {
+    allowed.insert(universe.items()[i].add);
+    allowed.insert(universe.items()[i].sub);
+  }
+  for (const ActivityDecl& decl : (*def)->activities()) {
+    EXPECT_TRUE(allowed.count(decl.service) > 0);
+  }
+  generator.RestrictItems(5, 100);
+  EXPECT_FALSE(generator.Generate("bad").ok());
+}
+
+TEST(ProcessGeneratorTest, DeterministicForSeed) {
+  SyntheticUniverse universe(2, 4);
+  ProcessShape shape;
+  ProcessGenerator g1(&universe, shape, 99);
+  ProcessGenerator g2(&universe, shape, 99);
+  for (int i = 0; i < 10; ++i) {
+    auto d1 = g1.Generate("a");
+    auto d2 = g2.Generate("a");
+    ASSERT_TRUE(d1.ok());
+    ASSERT_TRUE(d2.ok());
+    EXPECT_EQ((*d1)->ToString(), (*d2)->ToString());
+  }
+}
+
+TEST(SyntheticUniverseTest, ItemsAndServicesWellFormed) {
+  SyntheticUniverse universe(3, 4);
+  EXPECT_EQ(universe.num_items(), 12u);
+  EXPECT_EQ(universe.subsystems().size(), 3u);
+  EXPECT_EQ(universe.TotalValue(), 0);
+  std::set<ServiceId> all_services;
+  for (const auto& item : universe.items()) {
+    all_services.insert(item.add);
+    all_services.insert(item.sub);
+    all_services.insert(item.check);
+  }
+  EXPECT_EQ(all_services.size(), 36u);  // globally unique ids
+}
+
+TEST(ScheduleGeneratorTest, SchedulesAreLegalAndWellFormed) {
+  Rng rng(17);
+  RandomScheduleConfig config;
+  config.num_processes = 3;
+  config.conflict_density = 0.4;
+  for (int i = 0; i < 100; ++i) {
+    auto generated = GenerateRandomSchedule(config, &rng);
+    ASSERT_TRUE(generated.ok());
+    EXPECT_EQ(generated->defs.size(), 3u);
+    for (const auto& def : generated->defs) {
+      EXPECT_TRUE(ValidateWellFormedFlex(*def).ok());
+    }
+    // The schedule replays legally (it was built with legality checks on).
+    for (const auto& e : generated->schedule.events()) {
+      EXPECT_TRUE(e.type == EventType::kActivity ||
+                  e.type == EventType::kCommit);
+    }
+  }
+}
+
+TEST(ScheduleGeneratorTest, StopProbabilityLeavesProcessesActive) {
+  Rng rng(19);
+  RandomScheduleConfig config;
+  config.num_processes = 3;
+  config.stop_probability = 0.5;
+  int saw_active = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto generated = GenerateRandomSchedule(config, &rng);
+    ASSERT_TRUE(generated.ok());
+    if (!generated->schedule.ActiveProcesses().empty()) ++saw_active;
+  }
+  EXPECT_GT(saw_active, 0);
+}
+
+TEST(ScheduleGeneratorTest, ZeroConflictDensityYieldsNoConflicts) {
+  Rng rng(23);
+  RandomScheduleConfig config;
+  config.conflict_density = 0.0;
+  auto generated = GenerateRandomSchedule(config, &rng);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->spec.num_conflict_pairs(), 0u);
+}
+
+}  // namespace
+}  // namespace tpm

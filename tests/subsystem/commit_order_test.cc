@@ -1,0 +1,123 @@
+#include "subsystem/commit_order.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t param = 0) {
+  return ServiceRequest{ProcessId(1), ActivityId(1), param};
+}
+
+class CommitOrderTest : public ::testing::Test {
+ protected:
+  KvStore store_;
+  CommitOrderedTxManager mgr_{&store_};
+};
+
+TEST_F(CommitOrderTest, SerialEquivalenceOfParallelNonConflicting) {
+  auto add_a = MakeAddService(ServiceId(1), "a", "a");
+  auto add_b = MakeAddService(ServiceId(2), "b", "b");
+  auto t1 = mgr_.Begin(0);
+  auto t2 = mgr_.Begin(1);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(mgr_.Execute(*t1, add_a, Req(1), nullptr).ok());
+  ASSERT_TRUE(mgr_.Execute(*t2, add_b, Req(2), nullptr).ok());
+  ASSERT_TRUE(mgr_.Commit(*t1).ok());
+  ASSERT_TRUE(mgr_.Commit(*t2).ok());
+  EXPECT_EQ(store_.Get("a"), 1);
+  EXPECT_EQ(store_.Get("b"), 2);
+}
+
+TEST_F(CommitOrderTest, CommitOrderGateBlocksOutOfOrderCommit) {
+  auto add_a = MakeAddService(ServiceId(1), "a", "a");
+  auto t1 = mgr_.Begin(0);
+  auto t2 = mgr_.Begin(1);
+  ASSERT_TRUE(mgr_.Execute(*t2, add_a, Req(1), nullptr).ok());
+  // t2 cannot commit before t1 (commit-order serializability).
+  EXPECT_TRUE(mgr_.Commit(*t2).IsFailedPrecondition());
+  ASSERT_TRUE(mgr_.Commit(*t1).ok());
+  EXPECT_TRUE(mgr_.Commit(*t2).ok());
+}
+
+TEST_F(CommitOrderTest, StaleReadForcesRestart) {
+  auto add = MakeAddService(ServiceId(1), "k", "k");
+  auto t1 = mgr_.Begin(0);
+  auto t2 = mgr_.Begin(1);
+  // Both read "k" = 0 and add; t2's read becomes stale once t1 commits.
+  ASSERT_TRUE(mgr_.Execute(*t1, add, Req(5), nullptr).ok());
+  ASSERT_TRUE(mgr_.Execute(*t2, add, Req(7), nullptr).ok());
+  ASSERT_TRUE(mgr_.Commit(*t1).ok());
+  EXPECT_TRUE(mgr_.Commit(*t2).IsAborted());
+  EXPECT_EQ(mgr_.live(), 0u);
+  // Restart t2 (the §3.6 re-invocation); now it sees t1's effect.
+  auto t2r = mgr_.Begin(2);
+  int64_t ret = 0;
+  ASSERT_TRUE(mgr_.Execute(*t2r, add, Req(7), &ret).ok());
+  ASSERT_TRUE(mgr_.Commit(*t2r).ok());
+  EXPECT_EQ(store_.Get("k"), 12);  // 5 + 7: serial-order equivalent
+}
+
+TEST_F(CommitOrderTest, ReadYourOwnWrites) {
+  auto add = MakeAddService(ServiceId(1), "k", "k");
+  auto t = mgr_.Begin(0);
+  int64_t ret = 0;
+  ASSERT_TRUE(mgr_.Execute(*t, add, Req(3), &ret).ok());
+  EXPECT_EQ(ret, 3);
+  ASSERT_TRUE(mgr_.Execute(*t, add, Req(4), &ret).ok());
+  EXPECT_EQ(ret, 7);  // sees its own prior write
+  ASSERT_TRUE(mgr_.Commit(*t).ok());
+  EXPECT_EQ(store_.Get("k"), 7);
+}
+
+TEST_F(CommitOrderTest, AbortDiscardsBufferedWrites) {
+  auto add = MakeAddService(ServiceId(1), "k", "k");
+  auto t = mgr_.Begin(0);
+  ASSERT_TRUE(mgr_.Execute(*t, add, Req(3), nullptr).ok());
+  ASSERT_TRUE(mgr_.Abort(*t).ok());
+  EXPECT_FALSE(store_.Exists("k"));
+  EXPECT_TRUE(mgr_.Abort(*t).IsNotFound());
+}
+
+TEST_F(CommitOrderTest, PositionBookkeeping) {
+  auto t1 = mgr_.Begin(0);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_TRUE(mgr_.Begin(0).status().code() == StatusCode::kAlreadyExists);
+  ASSERT_TRUE(mgr_.Commit(*t1).ok());
+  EXPECT_TRUE(mgr_.Begin(0).status().IsInvalidArgument());  // passed
+  EXPECT_TRUE(mgr_.Begin(1).ok());
+}
+
+TEST_F(CommitOrderTest, EffectEqualsStrongOrderExecution) {
+  // Weakly ordered execution of three conflicting add transactions, with
+  // interleaved Execute calls, must equal the serial (strong-order) run.
+  KvStore strong;
+  for (int i = 0; i < 3; ++i) strong.Add("k", i + 1);
+
+  auto add = MakeAddService(ServiceId(1), "k", "k");
+  auto t1 = mgr_.Begin(0);
+  auto t2 = mgr_.Begin(1);
+  auto t3 = mgr_.Begin(2);
+  ASSERT_TRUE(mgr_.Execute(*t1, add, Req(1), nullptr).ok());
+  ASSERT_TRUE(mgr_.Execute(*t2, add, Req(2), nullptr).ok());
+  ASSERT_TRUE(mgr_.Execute(*t3, add, Req(3), nullptr).ok());
+  ASSERT_TRUE(mgr_.Commit(*t1).ok());
+  // t2 and t3 read stale snapshots: restart them, keeping their relative
+  // weak-order positions (a restart re-enters at its old slot, §3.6).
+  ASSERT_TRUE(mgr_.Commit(*t2).IsAborted());
+  auto t2r = mgr_.Begin(1);
+  ASSERT_TRUE(t2r.ok()) << t2r.status();
+  ASSERT_TRUE(mgr_.Execute(*t2r, add, Req(2), nullptr).ok());
+  ASSERT_TRUE(mgr_.Commit(*t2r).ok());
+  ASSERT_TRUE(mgr_.Commit(*t3).IsAborted());
+  auto t3r = mgr_.Begin(2);
+  ASSERT_TRUE(t3r.ok()) << t3r.status();
+  ASSERT_TRUE(mgr_.Execute(*t3r, add, Req(3), nullptr).ok());
+  ASSERT_TRUE(mgr_.Commit(*t3r).ok());
+
+  EXPECT_TRUE(store_.SameContents(strong));
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,76 @@
+#include "subsystem/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(KvStoreTest, AbsentKeyReadsZero) {
+  KvStore store;
+  EXPECT_EQ(store.Get("missing"), 0);
+  EXPECT_FALSE(store.Exists("missing"));
+}
+
+TEST(KvStoreTest, PutGet) {
+  KvStore store;
+  store.Put("a", 5);
+  EXPECT_EQ(store.Get("a"), 5);
+  EXPECT_TRUE(store.Exists("a"));
+}
+
+TEST(KvStoreTest, PutZeroErases) {
+  KvStore store;
+  store.Put("a", 5);
+  store.Put("a", 0);
+  EXPECT_FALSE(store.Exists("a"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStoreTest, AddAccumulates) {
+  KvStore store;
+  store.Add("a", 3);
+  store.Add("a", -1);
+  EXPECT_EQ(store.Get("a"), 2);
+  store.Add("a", -2);
+  EXPECT_FALSE(store.Exists("a"));
+}
+
+TEST(KvStoreTest, EraseRemoves) {
+  KvStore store;
+  store.Put("a", 1);
+  store.Erase("a");
+  EXPECT_FALSE(store.Exists("a"));
+}
+
+TEST(KvStoreTest, VersionBumpsOnMutation) {
+  KvStore store;
+  uint64_t v0 = store.version();
+  store.Put("a", 1);
+  EXPECT_GT(store.version(), v0);
+  uint64_t v1 = store.version();
+  store.Get("a");  // reads do not bump
+  EXPECT_EQ(store.version(), v1);
+}
+
+TEST(KvStoreTest, SameContentsIgnoresVersion) {
+  KvStore a, b;
+  a.Put("x", 1);
+  a.Put("x", 2);
+  b.Put("x", 2);
+  EXPECT_TRUE(a.SameContents(b));
+  b.Put("y", 1);
+  EXPECT_FALSE(a.SameContents(b));
+}
+
+TEST(KvStoreTest, SnapshotMatchesState) {
+  KvStore store;
+  store.Put("a", 1);
+  store.Put("b", 2);
+  auto snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot["a"], 1);
+  EXPECT_EQ(snapshot["b"], 2);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,77 @@
+#include "subsystem/kv_subsystem.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t param = 0) {
+  return ServiceRequest{ProcessId(1), ActivityId(1), param};
+}
+
+class KvSubsystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        sub_.RegisterService(MakeAddService(ServiceId(1), "add", "k")).ok());
+    ASSERT_TRUE(
+        sub_.RegisterService(MakeSubService(ServiceId(2), "sub", "k")).ok());
+  }
+  KvSubsystem sub_{SubsystemId(1), "test", /*seed=*/3};
+};
+
+TEST_F(KvSubsystemTest, InvokeAppliesService) {
+  auto outcome = sub_.Invoke(ServiceId(1), Req(4));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(sub_.store().Get("k"), 4);
+  EXPECT_EQ(sub_.invocations(), 1);
+}
+
+TEST_F(KvSubsystemTest, UnknownServiceRejected) {
+  EXPECT_TRUE(sub_.Invoke(ServiceId(9), Req()).status().IsNotFound());
+}
+
+TEST_F(KvSubsystemTest, ScriptedFailuresAbortThenSucceed) {
+  sub_.ScheduleFailures(ServiceId(1), 2);
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).status().IsAborted());
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).status().IsAborted());
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).ok());
+  EXPECT_EQ(sub_.injected_aborts(), 2);
+  EXPECT_EQ(sub_.store().Get("k"), 1);  // only the successful one applied
+}
+
+TEST_F(KvSubsystemTest, ProbabilisticFailures) {
+  sub_.SetFailureProbability(ServiceId(1), 1.0);
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).status().IsAborted());
+  sub_.SetFailureProbability(ServiceId(1), 0.0);
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).ok());
+}
+
+TEST_F(KvSubsystemTest, PreparedFlowAndBlocking) {
+  auto prepared = sub_.InvokePrepared(ServiceId(1), Req(2));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(sub_.store().Exists("k"));
+  EXPECT_TRUE(sub_.WouldBlock(ServiceId(2)));  // same key
+  EXPECT_TRUE(sub_.Invoke(ServiceId(2), Req(1)).status().IsUnavailable());
+  ASSERT_TRUE(sub_.CommitPrepared(prepared->tx).ok());
+  EXPECT_EQ(sub_.store().Get("k"), 2);
+  EXPECT_FALSE(sub_.WouldBlock(ServiceId(2)));
+}
+
+TEST_F(KvSubsystemTest, AbortAllPreparedImplementsPresumedAbort) {
+  ASSERT_TRUE(sub_.InvokePrepared(ServiceId(1), Req(2)).ok());
+  ASSERT_TRUE(sub_.AbortAllPrepared().ok());
+  EXPECT_FALSE(sub_.WouldBlock(ServiceId(2)));
+  EXPECT_FALSE(sub_.store().Exists("k"));
+}
+
+TEST_F(KvSubsystemTest, CompensationPairIsEffectFreeOnStore) {
+  // <add sub> with the same parameter leaves the store unchanged (Def. 2).
+  auto before = sub_.store().Snapshot();
+  ASSERT_TRUE(sub_.Invoke(ServiceId(1), Req(7)).ok());
+  ASSERT_TRUE(sub_.Invoke(ServiceId(2), Req(7)).ok());
+  EXPECT_EQ(sub_.store().Snapshot(), before);
+}
+
+}  // namespace
+}  // namespace tpm

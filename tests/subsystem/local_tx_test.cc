@@ -1,0 +1,100 @@
+#include "subsystem/local_tx.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t param = 0) {
+  return ServiceRequest{ProcessId(1), ActivityId(1), param};
+}
+
+class LocalTxTest : public ::testing::Test {
+ protected:
+  KvStore store_;
+  LocalTxManager mgr_{&store_};
+};
+
+TEST_F(LocalTxTest, ImmediateInvocationApplies) {
+  auto put = MakePutService(ServiceId(1), "put", "k");
+  auto outcome = mgr_.InvokeImmediate(put, Req(5));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(store_.Get("k"), 5);
+}
+
+TEST_F(LocalTxTest, FailingBodyLeavesNoEffects) {
+  ServiceDef failing;
+  failing.id = ServiceId(1);
+  failing.name = "failing";
+  failing.write_set = {"k"};
+  failing.body = [](KvStore* store, const ServiceRequest&, int64_t*) {
+    store->Put("k", 99);  // partial work, then abort
+    return Status::Aborted("boom");
+  };
+  auto outcome = mgr_.InvokeImmediate(failing, Req());
+  EXPECT_TRUE(outcome.status().IsAborted());
+  EXPECT_FALSE(store_.Exists("k"));  // atomicity: nothing leaked
+}
+
+TEST_F(LocalTxTest, PreparedBuffersUntilCommit) {
+  auto put = MakePutService(ServiceId(1), "put", "k");
+  auto prepared = mgr_.InvokePrepared(put, Req(5));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(store_.Exists("k"));  // not visible yet
+  EXPECT_EQ(mgr_.num_prepared(), 1u);
+  ASSERT_TRUE(mgr_.CommitPrepared(prepared->tx).ok());
+  EXPECT_EQ(store_.Get("k"), 5);
+  EXPECT_EQ(mgr_.num_prepared(), 0u);
+}
+
+TEST_F(LocalTxTest, PreparedAbortDiscards) {
+  auto put = MakePutService(ServiceId(1), "put", "k");
+  auto prepared = mgr_.InvokePrepared(put, Req(5));
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(mgr_.AbortPrepared(prepared->tx).ok());
+  EXPECT_FALSE(store_.Exists("k"));
+}
+
+TEST_F(LocalTxTest, PreparedLocksBlockConflicts) {
+  auto put = MakePutService(ServiceId(1), "put", "k");
+  auto put2 = MakePutService(ServiceId(2), "put2", "k");
+  auto read = MakeReadService(ServiceId(3), "read", "k");
+  auto other = MakePutService(ServiceId(4), "other", "j");
+  auto prepared = mgr_.InvokePrepared(put, Req(5));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(mgr_.WouldBlock(put2));
+  EXPECT_TRUE(mgr_.WouldBlock(read));
+  EXPECT_FALSE(mgr_.WouldBlock(other));
+  EXPECT_TRUE(mgr_.InvokeImmediate(put2, Req(1)).status().IsUnavailable());
+  EXPECT_TRUE(mgr_.InvokePrepared(read, Req()).status().IsUnavailable());
+  ASSERT_TRUE(mgr_.CommitPrepared(prepared->tx).ok());
+  EXPECT_FALSE(mgr_.WouldBlock(put2));
+}
+
+TEST_F(LocalTxTest, UnknownPreparedTxRejected) {
+  EXPECT_TRUE(mgr_.CommitPrepared(TxId(7)).IsNotFound());
+  EXPECT_TRUE(mgr_.AbortPrepared(TxId(7)).IsNotFound());
+}
+
+TEST_F(LocalTxTest, AbortAllPreparedReleasesEverything) {
+  auto put = MakePutService(ServiceId(1), "put", "k");
+  auto other = MakePutService(ServiceId(2), "put2", "j");
+  ASSERT_TRUE(mgr_.InvokePrepared(put, Req(1)).ok());
+  ASSERT_TRUE(mgr_.InvokePrepared(other, Req(2)).ok());
+  mgr_.AbortAllPrepared();
+  EXPECT_EQ(mgr_.num_prepared(), 0u);
+  EXPECT_FALSE(mgr_.WouldBlock(put));
+  EXPECT_FALSE(store_.Exists("k"));
+  EXPECT_FALSE(store_.Exists("j"));
+}
+
+TEST_F(LocalTxTest, ReturnValueComesFromSandbox) {
+  store_.Put("k", 42);
+  auto put = MakePutService(ServiceId(1), "put", "k");
+  auto outcome = mgr_.InvokeImmediate(put, Req(1));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->return_value, 42);  // previous value
+}
+
+}  // namespace
+}  // namespace tpm

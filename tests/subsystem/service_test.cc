@@ -1,0 +1,104 @@
+#include "subsystem/service.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t param = 0) {
+  return ServiceRequest{ProcessId(1), ActivityId(1), param};
+}
+
+TEST(ServiceRegistryTest, RegisterAndLookup) {
+  ServiceRegistry registry;
+  ASSERT_TRUE(registry.Register(MakePutService(ServiceId(1), "put", "k")).ok());
+  EXPECT_TRUE(registry.Has(ServiceId(1)));
+  auto def = registry.Lookup(ServiceId(1));
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ((*def)->name, "put");
+  EXPECT_TRUE(registry.Lookup(ServiceId(9)).status().IsNotFound());
+}
+
+TEST(ServiceRegistryTest, DuplicateAndInvalidRejected) {
+  ServiceRegistry registry;
+  ASSERT_TRUE(registry.Register(MakePutService(ServiceId(1), "put", "k")).ok());
+  EXPECT_EQ(registry.Register(MakePutService(ServiceId(1), "put2", "k")).code(),
+            StatusCode::kAlreadyExists);
+  ServiceDef no_body;
+  no_body.id = ServiceId(2);
+  EXPECT_TRUE(registry.Register(no_body).IsInvalidArgument());
+  ServiceDef bad_id = MakePutService(ServiceId(3), "x", "k");
+  bad_id.id = ServiceId();
+  EXPECT_TRUE(registry.Register(bad_id).IsInvalidArgument());
+}
+
+TEST(ServiceRegistryTest, DeriveConflictsFromReadWriteSets) {
+  ServiceRegistry registry;
+  ASSERT_TRUE(registry.Register(MakePutService(ServiceId(1), "w1", "k")).ok());
+  ASSERT_TRUE(registry.Register(MakeReadService(ServiceId(2), "r1", "k")).ok());
+  ASSERT_TRUE(
+      registry.Register(MakeReadService(ServiceId(3), "r2", "k")).ok());
+  ASSERT_TRUE(
+      registry.Register(MakePutService(ServiceId(4), "w2", "other")).ok());
+  ConflictSpec spec;
+  registry.DeriveConflicts(&spec);
+  // Writer conflicts with itself, both readers; readers do not conflict
+  // with each other; the other-key writer conflicts with nobody else.
+  EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(1)));
+  EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+  EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(3)));
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(2), ServiceId(3)));
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(4)));
+  // Effect-free marking of read services propagates.
+  EXPECT_TRUE(spec.IsEffectFreeService(ServiceId(2)));
+  EXPECT_FALSE(spec.IsEffectFreeService(ServiceId(1)));
+}
+
+TEST(ServiceBodiesTest, PutReturnsPreviousValue) {
+  KvStore store;
+  store.Put("k", 7);
+  auto def = MakePutService(ServiceId(1), "put", "k");
+  int64_t ret = 0;
+  ASSERT_TRUE(def.body(&store, Req(9), &ret).ok());
+  EXPECT_EQ(ret, 7);
+  EXPECT_EQ(store.Get("k"), 9);
+}
+
+TEST(ServiceBodiesTest, AddAndSubAreInverse) {
+  KvStore store;
+  auto add = MakeAddService(ServiceId(1), "add", "k");
+  auto sub = MakeSubService(ServiceId(2), "sub", "k");
+  int64_t ret = 0;
+  ASSERT_TRUE(add.body(&store, Req(5), &ret).ok());
+  EXPECT_EQ(store.Get("k"), 5);
+  ASSERT_TRUE(sub.body(&store, Req(5), &ret).ok());
+  EXPECT_EQ(store.Get("k"), 0);
+  // Default amount is 1 when param == 0.
+  ASSERT_TRUE(add.body(&store, Req(0), &ret).ok());
+  EXPECT_EQ(store.Get("k"), 1);
+}
+
+TEST(ServiceBodiesTest, ReadIsEffectFree) {
+  KvStore store;
+  store.Put("k", 3);
+  auto read = MakeReadService(ServiceId(1), "read", "k");
+  EXPECT_TRUE(read.effect_free);
+  uint64_t version = store.version();
+  int64_t ret = 0;
+  ASSERT_TRUE(read.body(&store, Req(), &ret).ok());
+  EXPECT_EQ(ret, 3);
+  EXPECT_EQ(store.version(), version);
+}
+
+TEST(ServiceBodiesTest, EraseReturnsPrevious) {
+  KvStore store;
+  store.Put("k", 4);
+  auto erase = MakeEraseService(ServiceId(1), "erase", "k");
+  int64_t ret = 0;
+  ASSERT_TRUE(erase.body(&store, Req(), &ret).ok());
+  EXPECT_EQ(ret, 4);
+  EXPECT_FALSE(store.Exists("k"));
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,81 @@
+#include "subsystem/two_phase_commit.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t param) {
+  return ServiceRequest{ProcessId(1), ActivityId(1), param};
+}
+
+class TwoPhaseCommitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        a_.RegisterService(MakeAddService(ServiceId(1), "add", "x")).ok());
+    ASSERT_TRUE(
+        b_.RegisterService(MakeAddService(ServiceId(2), "add", "y")).ok());
+  }
+
+  std::vector<CommitBranch> PrepareBoth() {
+    auto pa = a_.InvokePrepared(ServiceId(1), Req(1));
+    auto pb = b_.InvokePrepared(ServiceId(2), Req(2));
+    EXPECT_TRUE(pa.ok());
+    EXPECT_TRUE(pb.ok());
+    return {{&a_, pa->tx}, {&b_, pb->tx}};
+  }
+
+  KvSubsystem a_{SubsystemId(1), "A"};
+  KvSubsystem b_{SubsystemId(2), "B"};
+  TwoPhaseCommitCoordinator coord_;
+};
+
+TEST_F(TwoPhaseCommitTest, CommitAllAppliesAtomically) {
+  auto branches = PrepareBoth();
+  ASSERT_TRUE(coord_.CommitAll(branches).ok());
+  EXPECT_EQ(a_.store().Get("x"), 1);
+  EXPECT_EQ(b_.store().Get("y"), 2);
+  ASSERT_EQ(coord_.log().size(), 1u);
+  EXPECT_TRUE(coord_.log()[0].completed);
+}
+
+TEST_F(TwoPhaseCommitTest, AbortAllDiscards) {
+  auto branches = PrepareBoth();
+  ASSERT_TRUE(coord_.AbortAll(branches).ok());
+  EXPECT_FALSE(a_.store().Exists("x"));
+  EXPECT_FALSE(b_.store().Exists("y"));
+}
+
+TEST_F(TwoPhaseCommitTest, MissingSubsystemVotesNo) {
+  auto branches = PrepareBoth();
+  branches.push_back(CommitBranch{nullptr, TxId(9)});
+  EXPECT_TRUE(coord_.CommitAll(branches).IsAborted());
+  // The healthy branches were rolled back, not committed.
+  EXPECT_FALSE(a_.store().Exists("x"));
+  EXPECT_FALSE(b_.store().Exists("y"));
+}
+
+TEST_F(TwoPhaseCommitTest, CoordinatorCrashLeavesInDoubtThenRecovers) {
+  auto branches = PrepareBoth();
+  coord_.SimulateCrashBeforePhaseTwo();
+  EXPECT_TRUE(coord_.CommitAll(branches).IsUnavailable());
+  // In doubt: nothing applied yet, locks still held.
+  EXPECT_FALSE(a_.store().Exists("x"));
+  EXPECT_TRUE(a_.WouldBlock(ServiceId(1)));
+  // Recovery completes the logged decision.
+  ASSERT_TRUE(coord_.RecoverInDoubt().ok());
+  EXPECT_EQ(a_.store().Get("x"), 1);
+  EXPECT_EQ(b_.store().Get("y"), 2);
+  EXPECT_FALSE(a_.WouldBlock(ServiceId(1)));
+}
+
+TEST_F(TwoPhaseCommitTest, RecoverIsIdempotent) {
+  auto branches = PrepareBoth();
+  ASSERT_TRUE(coord_.CommitAll(branches).ok());
+  ASSERT_TRUE(coord_.RecoverInDoubt().ok());
+  EXPECT_EQ(a_.store().Get("x"), 1);  // not applied twice
+}
+
+}  // namespace
+}  // namespace tpm

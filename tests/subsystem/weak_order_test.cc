@@ -1,0 +1,99 @@
+#include "subsystem/weak_order.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(WeakOrderTest, StrongOrderSerializesConstrainedTxs) {
+  std::vector<WeakTxSpec> txs = {{10, 0, 0}, {10, 0, 0}};
+  std::vector<OrderConstraint> constraints = {{0, 1}};
+  auto report = SimulateWeakOrder(txs, constraints, OrderMode::kStrong);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->makespan, 20);
+  EXPECT_EQ(report->commit_times, (std::vector<int64_t>{10, 20}));
+}
+
+TEST(WeakOrderTest, WeakOrderOverlapsExecution) {
+  std::vector<WeakTxSpec> txs = {{10, 0, 0}, {10, 0, 0}};
+  std::vector<OrderConstraint> constraints = {{0, 1}};
+  auto report = SimulateWeakOrder(txs, constraints, OrderMode::kWeak);
+  ASSERT_TRUE(report.ok());
+  // Both run in parallel; commits in order, both at t=10.
+  EXPECT_EQ(report->makespan, 10);
+  EXPECT_EQ(report->commit_times, (std::vector<int64_t>{10, 10}));
+  EXPECT_EQ(report->cascade_restarts, 0);
+}
+
+TEST(WeakOrderTest, CommitOrderEnforcedUnderWeakOrder) {
+  // The successor is much shorter but must commit after its predecessor.
+  std::vector<WeakTxSpec> txs = {{10, 0, 0}, {2, 0, 0}};
+  std::vector<OrderConstraint> constraints = {{0, 1}};
+  auto report = SimulateWeakOrder(txs, constraints, OrderMode::kWeak);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->commit_times[1], 10);  // held back to the commit order
+}
+
+TEST(WeakOrderTest, PredecessorAbortCascades) {
+  // Predecessor aborts once at t=5, restarts, finishes at 15. The
+  // dependent running in parallel must restart with it (§3.6).
+  std::vector<WeakTxSpec> txs = {{10, 1, 5}, {10, 0, 0}};
+  std::vector<OrderConstraint> constraints = {{0, 1}};
+  auto report = SimulateWeakOrder(txs, constraints, OrderMode::kWeak);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cascade_restarts, 1);
+  EXPECT_EQ(report->commit_times[0], 15);
+  EXPECT_EQ(report->commit_times[1], 15);  // restarted at 5, ran 10
+}
+
+TEST(WeakOrderTest, StrongOrderHasNoCascades) {
+  std::vector<WeakTxSpec> txs = {{10, 1, 5}, {10, 0, 0}};
+  std::vector<OrderConstraint> constraints = {{0, 1}};
+  auto report = SimulateWeakOrder(txs, constraints, OrderMode::kStrong);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cascade_restarts, 0);
+  EXPECT_EQ(report->commit_times[0], 15);  // 5 wasted + 10
+  EXPECT_EQ(report->commit_times[1], 25);
+}
+
+TEST(WeakOrderTest, UnconstrainedTxsAlwaysParallel) {
+  std::vector<WeakTxSpec> txs = {{10, 0, 0}, {10, 0, 0}, {10, 0, 0}};
+  auto strong = SimulateWeakOrder(txs, {}, OrderMode::kStrong);
+  ASSERT_TRUE(strong.ok());
+  EXPECT_EQ(strong->makespan, 10);
+}
+
+TEST(WeakOrderTest, RejectsCyclicConstraints) {
+  std::vector<WeakTxSpec> txs = {{1, 0, 0}, {1, 0, 0}};
+  std::vector<OrderConstraint> constraints = {{0, 1}, {1, 0}};
+  EXPECT_FALSE(SimulateWeakOrder(txs, constraints, OrderMode::kWeak).ok());
+}
+
+TEST(WeakOrderTest, RejectsOutOfRangeConstraint) {
+  std::vector<WeakTxSpec> txs = {{1, 0, 0}};
+  std::vector<OrderConstraint> constraints = {{0, 5}};
+  EXPECT_TRUE(SimulateWeakOrder(txs, constraints, OrderMode::kWeak)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WeakOrderTest, ChainGainGrowsWithLength) {
+  // Weak order turns a chain's makespan from n*d into ~d.
+  for (int n : {2, 4, 8}) {
+    std::vector<WeakTxSpec> txs(n, WeakTxSpec{10, 0, 0});
+    std::vector<OrderConstraint> constraints;
+    for (int i = 0; i + 1 < n; ++i) {
+      constraints.push_back({static_cast<size_t>(i),
+                             static_cast<size_t>(i + 1)});
+    }
+    auto strong = SimulateWeakOrder(txs, constraints, OrderMode::kStrong);
+    auto weak = SimulateWeakOrder(txs, constraints, OrderMode::kWeak);
+    ASSERT_TRUE(strong.ok());
+    ASSERT_TRUE(weak.ok());
+    EXPECT_EQ(strong->makespan, n * 10);
+    EXPECT_EQ(weak->makespan, 10);
+  }
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,148 @@
+#ifndef TPM_TESTS_TESTING_MINI_WORLD_H_
+#define TPM_TESTS_TESTING_MINI_WORLD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/flex_structure.h"
+#include "core/process.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+namespace testing {
+
+/// A small world for scheduler tests: one KV subsystem offering an
+/// add/sub/read service triple per key, plus helpers to assemble chain
+/// processes compactly.
+///
+/// Chain specs are strings like "c:a c:b p:c r:d": kind (c/p/r) and key.
+/// Every activity of kind c uses add(key) with compensation sub(key); p and
+/// r use add(key).
+class MiniWorld {
+ public:
+  explicit MiniWorld(uint64_t seed = 5)
+      : subsystem_(SubsystemId(1), "mini", seed) {}
+
+  KvSubsystem* subsystem() { return &subsystem_; }
+
+  ServiceId AddServiceFor(const std::string& key) {
+    EnsureKey(key);
+    return keys_[key].add;
+  }
+  ServiceId SubServiceFor(const std::string& key) {
+    EnsureKey(key);
+    return keys_[key].sub;
+  }
+  ServiceId ReadServiceFor(const std::string& key) {
+    EnsureKey(key);
+    return keys_[key].read;
+  }
+
+  /// Parses a chain spec (see class comment) into a validated process.
+  const ProcessDef* MakeChain(const std::string& name,
+                              const std::string& spec) {
+    auto def = std::make_unique<ProcessDef>(name);
+    ActivityId prev;
+    for (const std::string& token : StrSplit(spec, ' ')) {
+      if (token.empty()) continue;
+      std::vector<std::string> parts = StrSplit(token, ':');
+      const std::string& kind = parts[0];
+      const std::string& key = parts[1];
+      ActivityId id;
+      if (kind == "c") {
+        id = def->AddActivity(token, ActivityKind::kCompensatable,
+                              AddServiceFor(key), SubServiceFor(key));
+      } else if (kind == "p") {
+        id = def->AddActivity(token, ActivityKind::kPivot, AddServiceFor(key));
+      } else {  // "r"
+        id = def->AddActivity(token, ActivityKind::kRetriable,
+                              AddServiceFor(key));
+      }
+      if (prev.valid()) {
+        Status s = def->AddEdge(prev, id);
+        if (!s.ok()) return nullptr;
+      }
+      prev = id;
+    }
+    if (!def->Validate().ok()) return nullptr;
+    if (!ValidateWellFormedFlex(*def).ok()) return nullptr;
+    defs_.push_back(std::move(def));
+    return defs_.back().get();
+  }
+
+  /// A P1-shaped process: c:prefix, pivot, then primary branch
+  /// (c:mid p:deep) with an all-retriable alternative (r:alt1 r:alt2).
+  const ProcessDef* MakeBranching(const std::string& name,
+                                  const std::string& prefix_key,
+                                  const std::string& pivot_key,
+                                  const std::string& mid_key,
+                                  const std::string& deep_key,
+                                  const std::string& alt_key) {
+    auto def = std::make_unique<ProcessDef>(name);
+    ActivityId c = def->AddActivity("c", ActivityKind::kCompensatable,
+                                    AddServiceFor(prefix_key),
+                                    SubServiceFor(prefix_key));
+    ActivityId p = def->AddActivity("p", ActivityKind::kPivot,
+                                    AddServiceFor(pivot_key));
+    ActivityId mid = def->AddActivity("mid", ActivityKind::kCompensatable,
+                                      AddServiceFor(mid_key),
+                                      SubServiceFor(mid_key));
+    ActivityId deep = def->AddActivity("deep", ActivityKind::kPivot,
+                                       AddServiceFor(deep_key));
+    ActivityId alt = def->AddActivity("alt", ActivityKind::kRetriable,
+                                      AddServiceFor(alt_key));
+    if (!def->AddEdge(c, p).ok() || !def->AddEdge(p, mid, 0).ok() ||
+        !def->AddEdge(mid, deep).ok() || !def->AddEdge(p, alt, 1).ok()) {
+      return nullptr;
+    }
+    if (!def->Validate().ok()) return nullptr;
+    if (!ValidateWellFormedFlex(*def).ok()) return nullptr;
+    defs_.push_back(std::move(def));
+    return defs_.back().get();
+  }
+
+  /// Definitions by name, as needed by scheduler recovery.
+  std::map<std::string, const ProcessDef*> DefsByName() const {
+    std::map<std::string, const ProcessDef*> result;
+    for (const auto& def : defs_) result[def->name()] = def.get();
+    return result;
+  }
+
+  int64_t Value(const std::string& key) const {
+    return subsystem_.store().Get(key);
+  }
+
+ private:
+  struct KeyServices {
+    ServiceId add, sub, read;
+  };
+
+  void EnsureKey(const std::string& key) {
+    if (keys_.count(key) > 0) return;
+    int64_t base = static_cast<int64_t>(keys_.size()) * 10 + 100;
+    KeyServices ks{ServiceId(base + 1), ServiceId(base + 2),
+                   ServiceId(base + 3)};
+    Status s = subsystem_.RegisterService(
+        MakeAddService(ks.add, "add/" + key, key));
+    if (s.ok()) {
+      s = subsystem_.RegisterService(MakeSubService(ks.sub, "sub/" + key, key));
+    }
+    if (s.ok()) {
+      s = subsystem_.RegisterService(
+          MakeReadService(ks.read, "read/" + key, key));
+    }
+    keys_[key] = ks;
+  }
+
+  KvSubsystem subsystem_;
+  std::map<std::string, KeyServices> keys_;
+  std::vector<std::unique_ptr<ProcessDef>> defs_;
+};
+
+}  // namespace testing
+}  // namespace tpm
+
+#endif  // TPM_TESTS_TESTING_MINI_WORLD_H_
