@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_cim.dir/bench_fig1_cim.cc.o"
+  "CMakeFiles/bench_fig1_cim.dir/bench_fig1_cim.cc.o.d"
+  "bench_fig1_cim"
+  "bench_fig1_cim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_executions.dir/bench_fig2_executions.cc.o"
+  "CMakeFiles/bench_fig2_executions.dir/bench_fig2_executions.cc.o.d"
+  "bench_fig2_executions"
+  "bench_fig2_executions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_executions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

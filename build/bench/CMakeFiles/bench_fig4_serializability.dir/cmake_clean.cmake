@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_serializability.dir/bench_fig4_serializability.cc.o"
+  "CMakeFiles/bench_fig4_serializability.dir/bench_fig4_serializability.cc.o.d"
+  "bench_fig4_serializability"
+  "bench_fig4_serializability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_serializability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

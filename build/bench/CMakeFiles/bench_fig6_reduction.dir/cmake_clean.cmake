@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_reduction.dir/bench_fig6_reduction.cc.o"
+  "CMakeFiles/bench_fig6_reduction.dir/bench_fig6_reduction.cc.o.d"
+  "bench_fig6_reduction"
+  "bench_fig6_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pred.dir/bench_fig7_pred.cc.o"
+  "CMakeFiles/bench_fig7_pred.dir/bench_fig7_pred.cc.o.d"
+  "bench_fig7_pred"
+  "bench_fig7_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_quasicommit.dir/bench_fig9_quasicommit.cc.o"
+  "CMakeFiles/bench_fig9_quasicommit.dir/bench_fig9_quasicommit.cc.o.d"
+  "bench_fig9_quasicommit"
+  "bench_fig9_quasicommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_quasicommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

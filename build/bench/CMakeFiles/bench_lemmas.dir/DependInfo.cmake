@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lemmas.cc" "bench/CMakeFiles/bench_lemmas.dir/bench_lemmas.cc.o" "gcc" "bench/CMakeFiles/bench_lemmas.dir/bench_lemmas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_subsystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

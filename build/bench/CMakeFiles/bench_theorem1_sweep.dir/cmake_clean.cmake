@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1_sweep.dir/bench_theorem1_sweep.cc.o"
+  "CMakeFiles/bench_theorem1_sweep.dir/bench_theorem1_sweep.cc.o.d"
+  "bench_theorem1_sweep"
+  "bench_theorem1_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weak_order.dir/bench_weak_order.cc.o"
+  "CMakeFiles/bench_weak_order.dir/bench_weak_order.cc.o.d"
+  "bench_weak_order"
+  "bench_weak_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weak_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

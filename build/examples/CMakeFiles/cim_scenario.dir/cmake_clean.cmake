@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_scenario.dir/cim_scenario.cpp.o"
+  "CMakeFiles/cim_scenario.dir/cim_scenario.cpp.o.d"
+  "cim_scenario"
+  "cim_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_world.dir/run_world.cpp.o"
+  "CMakeFiles/run_world.dir/run_world.cpp.o.d"
+  "run_world"
+  "run_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

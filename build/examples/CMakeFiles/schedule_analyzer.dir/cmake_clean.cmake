@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_analyzer.dir/schedule_analyzer.cpp.o"
+  "CMakeFiles/schedule_analyzer.dir/schedule_analyzer.cpp.o.d"
+  "schedule_analyzer"
+  "schedule_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_agent.dir/agent/coordination_agent.cc.o"
+  "CMakeFiles/tpm_agent.dir/agent/coordination_agent.cc.o.d"
+  "libtpm_agent.a"
+  "libtpm_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

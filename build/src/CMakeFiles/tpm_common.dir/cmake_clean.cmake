@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_common.dir/common/dag.cc.o"
+  "CMakeFiles/tpm_common.dir/common/dag.cc.o.d"
+  "CMakeFiles/tpm_common.dir/common/rng.cc.o"
+  "CMakeFiles/tpm_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/tpm_common.dir/common/status.cc.o"
+  "CMakeFiles/tpm_common.dir/common/status.cc.o.d"
+  "CMakeFiles/tpm_common.dir/common/str_util.cc.o"
+  "CMakeFiles/tpm_common.dir/common/str_util.cc.o.d"
+  "libtpm_common.a"
+  "libtpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

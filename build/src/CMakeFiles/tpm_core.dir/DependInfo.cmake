@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity.cc" "src/CMakeFiles/tpm_core.dir/core/activity.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/activity.cc.o.d"
+  "/root/repo/src/core/baseline_schedulers.cc" "src/CMakeFiles/tpm_core.dir/core/baseline_schedulers.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/baseline_schedulers.cc.o.d"
+  "/root/repo/src/core/completed_schedule.cc" "src/CMakeFiles/tpm_core.dir/core/completed_schedule.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/completed_schedule.cc.o.d"
+  "/root/repo/src/core/completion.cc" "src/CMakeFiles/tpm_core.dir/core/completion.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/completion.cc.o.d"
+  "/root/repo/src/core/conflict.cc" "src/CMakeFiles/tpm_core.dir/core/conflict.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/conflict.cc.o.d"
+  "/root/repo/src/core/dot_export.cc" "src/CMakeFiles/tpm_core.dir/core/dot_export.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/dot_export.cc.o.d"
+  "/root/repo/src/core/execution_state.cc" "src/CMakeFiles/tpm_core.dir/core/execution_state.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/execution_state.cc.o.d"
+  "/root/repo/src/core/expansion.cc" "src/CMakeFiles/tpm_core.dir/core/expansion.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/expansion.cc.o.d"
+  "/root/repo/src/core/figures.cc" "src/CMakeFiles/tpm_core.dir/core/figures.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/figures.cc.o.d"
+  "/root/repo/src/core/flex_structure.cc" "src/CMakeFiles/tpm_core.dir/core/flex_structure.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/flex_structure.cc.o.d"
+  "/root/repo/src/core/lint.cc" "src/CMakeFiles/tpm_core.dir/core/lint.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/lint.cc.o.d"
+  "/root/repo/src/core/pred.cc" "src/CMakeFiles/tpm_core.dir/core/pred.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/pred.cc.o.d"
+  "/root/repo/src/core/process.cc" "src/CMakeFiles/tpm_core.dir/core/process.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/process.cc.o.d"
+  "/root/repo/src/core/process_dsl.cc" "src/CMakeFiles/tpm_core.dir/core/process_dsl.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/process_dsl.cc.o.d"
+  "/root/repo/src/core/recoverability.cc" "src/CMakeFiles/tpm_core.dir/core/recoverability.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/recoverability.cc.o.d"
+  "/root/repo/src/core/reduction.cc" "src/CMakeFiles/tpm_core.dir/core/reduction.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/reduction.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/CMakeFiles/tpm_core.dir/core/schedule.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/schedule.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/tpm_core.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/serializability.cc" "src/CMakeFiles/tpm_core.dir/core/serializability.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/serializability.cc.o.d"
+  "/root/repo/src/core/sot.cc" "src/CMakeFiles/tpm_core.dir/core/sot.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/sot.cc.o.d"
+  "/root/repo/src/core/subprocess.cc" "src/CMakeFiles/tpm_core.dir/core/subprocess.cc.o" "gcc" "src/CMakeFiles/tpm_core.dir/core/subprocess.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_subsystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_agent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

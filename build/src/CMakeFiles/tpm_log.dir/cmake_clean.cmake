@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_log.dir/log/recovery_log.cc.o"
+  "CMakeFiles/tpm_log.dir/log/recovery_log.cc.o.d"
+  "CMakeFiles/tpm_log.dir/log/wal.cc.o"
+  "CMakeFiles/tpm_log.dir/log/wal.cc.o.d"
+  "libtpm_log.a"
+  "libtpm_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subsystem/commit_order.cc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/commit_order.cc.o" "gcc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/commit_order.cc.o.d"
+  "/root/repo/src/subsystem/kv_store.cc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/kv_store.cc.o" "gcc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/kv_store.cc.o.d"
+  "/root/repo/src/subsystem/kv_subsystem.cc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/kv_subsystem.cc.o" "gcc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/kv_subsystem.cc.o.d"
+  "/root/repo/src/subsystem/local_tx.cc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/local_tx.cc.o" "gcc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/local_tx.cc.o.d"
+  "/root/repo/src/subsystem/service.cc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/service.cc.o" "gcc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/service.cc.o.d"
+  "/root/repo/src/subsystem/two_phase_commit.cc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/two_phase_commit.cc.o" "gcc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/two_phase_commit.cc.o.d"
+  "/root/repo/src/subsystem/weak_order.cc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/weak_order.cc.o" "gcc" "src/CMakeFiles/tpm_subsystem.dir/subsystem/weak_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_subsystem.dir/subsystem/commit_order.cc.o"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/commit_order.cc.o.d"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/kv_store.cc.o"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/kv_store.cc.o.d"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/kv_subsystem.cc.o"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/kv_subsystem.cc.o.d"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/local_tx.cc.o"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/local_tx.cc.o.d"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/service.cc.o"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/service.cc.o.d"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/two_phase_commit.cc.o"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/two_phase_commit.cc.o.d"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/weak_order.cc.o"
+  "CMakeFiles/tpm_subsystem.dir/subsystem/weak_order.cc.o.d"
+  "libtpm_subsystem.a"
+  "libtpm_subsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_subsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

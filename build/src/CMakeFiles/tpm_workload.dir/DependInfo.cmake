@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cim_workload.cc" "src/CMakeFiles/tpm_workload.dir/workload/cim_workload.cc.o" "gcc" "src/CMakeFiles/tpm_workload.dir/workload/cim_workload.cc.o.d"
+  "/root/repo/src/workload/dsl_binding.cc" "src/CMakeFiles/tpm_workload.dir/workload/dsl_binding.cc.o" "gcc" "src/CMakeFiles/tpm_workload.dir/workload/dsl_binding.cc.o.d"
+  "/root/repo/src/workload/process_generator.cc" "src/CMakeFiles/tpm_workload.dir/workload/process_generator.cc.o" "gcc" "src/CMakeFiles/tpm_workload.dir/workload/process_generator.cc.o.d"
+  "/root/repo/src/workload/schedule_generator.cc" "src/CMakeFiles/tpm_workload.dir/workload/schedule_generator.cc.o" "gcc" "src/CMakeFiles/tpm_workload.dir/workload/schedule_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_subsystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_workload.dir/workload/cim_workload.cc.o"
+  "CMakeFiles/tpm_workload.dir/workload/cim_workload.cc.o.d"
+  "CMakeFiles/tpm_workload.dir/workload/dsl_binding.cc.o"
+  "CMakeFiles/tpm_workload.dir/workload/dsl_binding.cc.o.d"
+  "CMakeFiles/tpm_workload.dir/workload/process_generator.cc.o"
+  "CMakeFiles/tpm_workload.dir/workload/process_generator.cc.o.d"
+  "CMakeFiles/tpm_workload.dir/workload/schedule_generator.cc.o"
+  "CMakeFiles/tpm_workload.dir/workload/schedule_generator.cc.o.d"
+  "libtpm_workload.a"
+  "libtpm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/activity_test.cc" "tests/CMakeFiles/model_test.dir/core/activity_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/core/activity_test.cc.o.d"
+  "/root/repo/tests/core/completion_test.cc" "tests/CMakeFiles/model_test.dir/core/completion_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/core/completion_test.cc.o.d"
+  "/root/repo/tests/core/execution_state_test.cc" "tests/CMakeFiles/model_test.dir/core/execution_state_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/core/execution_state_test.cc.o.d"
+  "/root/repo/tests/core/flex_structure_test.cc" "tests/CMakeFiles/model_test.dir/core/flex_structure_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/core/flex_structure_test.cc.o.d"
+  "/root/repo/tests/core/footnote2_test.cc" "tests/CMakeFiles/model_test.dir/core/footnote2_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/core/footnote2_test.cc.o.d"
+  "/root/repo/tests/core/process_test.cc" "tests/CMakeFiles/model_test.dir/core/process_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/core/process_test.cc.o.d"
+  "/root/repo/tests/core/subprocess_test.cc" "tests/CMakeFiles/model_test.dir/core/subprocess_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/core/subprocess_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_subsystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/core/activity_test.cc.o"
+  "CMakeFiles/model_test.dir/core/activity_test.cc.o.d"
+  "CMakeFiles/model_test.dir/core/completion_test.cc.o"
+  "CMakeFiles/model_test.dir/core/completion_test.cc.o.d"
+  "CMakeFiles/model_test.dir/core/execution_state_test.cc.o"
+  "CMakeFiles/model_test.dir/core/execution_state_test.cc.o.d"
+  "CMakeFiles/model_test.dir/core/flex_structure_test.cc.o"
+  "CMakeFiles/model_test.dir/core/flex_structure_test.cc.o.d"
+  "CMakeFiles/model_test.dir/core/footnote2_test.cc.o"
+  "CMakeFiles/model_test.dir/core/footnote2_test.cc.o.d"
+  "CMakeFiles/model_test.dir/core/process_test.cc.o"
+  "CMakeFiles/model_test.dir/core/process_test.cc.o.d"
+  "CMakeFiles/model_test.dir/core/subprocess_test.cc.o"
+  "CMakeFiles/model_test.dir/core/subprocess_test.cc.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

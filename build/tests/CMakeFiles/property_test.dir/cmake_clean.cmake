@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test.dir/property/commit_order_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/commit_order_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/invariants_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/invariants_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/reduction_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/reduction_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/scheduler_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/scheduler_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/theorem1_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/theorem1_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/workload_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/workload_property_test.cc.o.d"
+  "property_test"
+  "property_test.pdb"
+  "property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_schedulers_test.cc" "tests/CMakeFiles/scheduler_test.dir/core/baseline_schedulers_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/core/baseline_schedulers_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_ablation_test.cc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_ablation_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_ablation_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_dependency_test.cc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_dependency_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_dependency_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_edge_test.cc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_edge_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_edge_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_observer_test.cc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_observer_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_observer_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_recovery_test.cc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_recovery_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_recovery_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_test.cc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/scheduler_test.dir/core/scheduler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_subsystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

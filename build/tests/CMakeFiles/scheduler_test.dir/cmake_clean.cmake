@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_test.dir/core/baseline_schedulers_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/core/baseline_schedulers_test.cc.o.d"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_ablation_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_ablation_test.cc.o.d"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_dependency_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_dependency_test.cc.o.d"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_edge_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_edge_test.cc.o.d"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_observer_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_observer_test.cc.o.d"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_recovery_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_recovery_test.cc.o.d"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/core/scheduler_test.cc.o.d"
+  "scheduler_test"
+  "scheduler_test.pdb"
+  "scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/agent/coordination_agent_test.cc" "tests/CMakeFiles/subsystem_test.dir/agent/coordination_agent_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/agent/coordination_agent_test.cc.o.d"
+  "/root/repo/tests/log/recovery_log_test.cc" "tests/CMakeFiles/subsystem_test.dir/log/recovery_log_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/log/recovery_log_test.cc.o.d"
+  "/root/repo/tests/log/wal_test.cc" "tests/CMakeFiles/subsystem_test.dir/log/wal_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/log/wal_test.cc.o.d"
+  "/root/repo/tests/subsystem/commit_order_test.cc" "tests/CMakeFiles/subsystem_test.dir/subsystem/commit_order_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/subsystem/commit_order_test.cc.o.d"
+  "/root/repo/tests/subsystem/kv_store_test.cc" "tests/CMakeFiles/subsystem_test.dir/subsystem/kv_store_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/subsystem/kv_store_test.cc.o.d"
+  "/root/repo/tests/subsystem/kv_subsystem_test.cc" "tests/CMakeFiles/subsystem_test.dir/subsystem/kv_subsystem_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/subsystem/kv_subsystem_test.cc.o.d"
+  "/root/repo/tests/subsystem/local_tx_test.cc" "tests/CMakeFiles/subsystem_test.dir/subsystem/local_tx_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/subsystem/local_tx_test.cc.o.d"
+  "/root/repo/tests/subsystem/service_test.cc" "tests/CMakeFiles/subsystem_test.dir/subsystem/service_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/subsystem/service_test.cc.o.d"
+  "/root/repo/tests/subsystem/two_phase_commit_test.cc" "tests/CMakeFiles/subsystem_test.dir/subsystem/two_phase_commit_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/subsystem/two_phase_commit_test.cc.o.d"
+  "/root/repo/tests/subsystem/weak_order_test.cc" "tests/CMakeFiles/subsystem_test.dir/subsystem/weak_order_test.cc.o" "gcc" "tests/CMakeFiles/subsystem_test.dir/subsystem/weak_order_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_subsystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

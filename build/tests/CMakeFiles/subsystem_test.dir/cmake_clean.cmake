@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsystem_test.dir/agent/coordination_agent_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/agent/coordination_agent_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/log/recovery_log_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/log/recovery_log_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/log/wal_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/log/wal_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/subsystem/commit_order_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/subsystem/commit_order_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/subsystem/kv_store_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/subsystem/kv_store_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/subsystem/kv_subsystem_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/subsystem/kv_subsystem_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/subsystem/local_tx_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/subsystem/local_tx_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/subsystem/service_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/subsystem/service_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/subsystem/two_phase_commit_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/subsystem/two_phase_commit_test.cc.o.d"
+  "CMakeFiles/subsystem_test.dir/subsystem/weak_order_test.cc.o"
+  "CMakeFiles/subsystem_test.dir/subsystem/weak_order_test.cc.o.d"
+  "subsystem_test"
+  "subsystem_test.pdb"
+  "subsystem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsystem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/completed_schedule_test.cc" "tests/CMakeFiles/theory_test.dir/core/completed_schedule_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/completed_schedule_test.cc.o.d"
+  "/root/repo/tests/core/dot_export_test.cc" "tests/CMakeFiles/theory_test.dir/core/dot_export_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/dot_export_test.cc.o.d"
+  "/root/repo/tests/core/dsl_binding_test.cc" "tests/CMakeFiles/theory_test.dir/core/dsl_binding_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/dsl_binding_test.cc.o.d"
+  "/root/repo/tests/core/dsl_corpus_test.cc" "tests/CMakeFiles/theory_test.dir/core/dsl_corpus_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/dsl_corpus_test.cc.o.d"
+  "/root/repo/tests/core/expansion_test.cc" "tests/CMakeFiles/theory_test.dir/core/expansion_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/expansion_test.cc.o.d"
+  "/root/repo/tests/core/figures_test.cc" "tests/CMakeFiles/theory_test.dir/core/figures_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/figures_test.cc.o.d"
+  "/root/repo/tests/core/lint_test.cc" "tests/CMakeFiles/theory_test.dir/core/lint_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/lint_test.cc.o.d"
+  "/root/repo/tests/core/pred_test.cc" "tests/CMakeFiles/theory_test.dir/core/pred_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/pred_test.cc.o.d"
+  "/root/repo/tests/core/process_dsl_test.cc" "tests/CMakeFiles/theory_test.dir/core/process_dsl_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/process_dsl_test.cc.o.d"
+  "/root/repo/tests/core/recoverability_test.cc" "tests/CMakeFiles/theory_test.dir/core/recoverability_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/recoverability_test.cc.o.d"
+  "/root/repo/tests/core/reduction_test.cc" "tests/CMakeFiles/theory_test.dir/core/reduction_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/reduction_test.cc.o.d"
+  "/root/repo/tests/core/schedule_test.cc" "tests/CMakeFiles/theory_test.dir/core/schedule_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/schedule_test.cc.o.d"
+  "/root/repo/tests/core/serializability_test.cc" "tests/CMakeFiles/theory_test.dir/core/serializability_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/serializability_test.cc.o.d"
+  "/root/repo/tests/core/sot_test.cc" "tests/CMakeFiles/theory_test.dir/core/sot_test.cc.o" "gcc" "tests/CMakeFiles/theory_test.dir/core/sot_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_subsystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_test.dir/core/completed_schedule_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/completed_schedule_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/dot_export_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/dot_export_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/dsl_binding_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/dsl_binding_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/dsl_corpus_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/dsl_corpus_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/expansion_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/expansion_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/figures_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/figures_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/lint_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/lint_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/pred_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/pred_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/process_dsl_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/process_dsl_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/recoverability_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/recoverability_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/reduction_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/reduction_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/schedule_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/schedule_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/serializability_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/serializability_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/core/sot_test.cc.o"
+  "CMakeFiles/theory_test.dir/core/sot_test.cc.o.d"
+  "theory_test"
+  "theory_test.pdb"
+  "theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
