@@ -6,9 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/str_util.h"
 #include "core/baseline_schedulers.h"
@@ -27,8 +32,8 @@ struct Config {
 
 constexpr int kProcesses = 24;
 
-SchedulerStats RunWorkload(const Config& config, int pool_size,
-                           double failure_rate, uint64_t seed) {
+SchedulerStats RunWorkload(const Config& config, int num_processes,
+                           int pool_size, double failure_rate, uint64_t seed) {
   SyntheticUniverse universe(3, 6);
   for (const auto& item : universe.items()) {
     for (KvSubsystem* subsystem : universe.subsystems()) {
@@ -53,7 +58,7 @@ SchedulerStats RunWorkload(const Config& config, int pool_size,
   // Aborted processes are resubmitted for a few rounds — measuring the
   // cost of optimistic aborts against the blocking protocols.
   std::map<ProcessId, const ProcessDef*> in_flight;
-  for (int i = 0; i < kProcesses; ++i) {
+  for (int i = 0; i < num_processes; ++i) {
     auto def = generator.Generate(StrCat("p", i));
     if (!def.ok()) continue;
     auto pid = scheduler.Submit(*def);
@@ -95,7 +100,7 @@ void PrintSweep() {
     std::cout << "  protocol     steps  act/step  commits  aborts  "
                  "deferrals  victims\n";
     for (const Config& config : configs) {
-      SchedulerStats stats = RunWorkload(config, hot, 0.05, 1234);
+      SchedulerStats stats = RunWorkload(config, kProcesses, hot, 0.05, 1234);
       const double act_per_step =
           stats.steps == 0
               ? 0
@@ -243,7 +248,7 @@ void PrintThrottle() {
 void BM_PredSchedulerLowContention(benchmark::State& state) {
   for (auto _ : state) {
     SchedulerStats stats =
-        RunWorkload({"pred", AdmissionProtocol::kPred}, 18, 0.0, 7);
+        RunWorkload({"pred", AdmissionProtocol::kPred}, kProcesses, 18, 0.0, 7);
     benchmark::DoNotOptimize(stats);
   }
 }
@@ -252,7 +257,7 @@ BENCHMARK(BM_PredSchedulerLowContention)->Unit(benchmark::kMillisecond);
 void BM_PredSchedulerHighContention(benchmark::State& state) {
   for (auto _ : state) {
     SchedulerStats stats =
-        RunWorkload({"pred", AdmissionProtocol::kPred}, 3, 0.0, 7);
+        RunWorkload({"pred", AdmissionProtocol::kPred}, kProcesses, 3, 0.0, 7);
     benchmark::DoNotOptimize(stats);
   }
 }
@@ -260,19 +265,96 @@ BENCHMARK(BM_PredSchedulerHighContention)->Unit(benchmark::kMillisecond);
 
 void BM_SerialScheduler(benchmark::State& state) {
   for (auto _ : state) {
-    SchedulerStats stats =
-        RunWorkload({"serial", AdmissionProtocol::kSerial}, 3, 0.0, 7);
+    SchedulerStats stats = RunWorkload({"serial", AdmissionProtocol::kSerial},
+                                       kProcesses, 3, 0.0, 7);
     benchmark::DoNotOptimize(stats);
   }
 }
 BENCHMARK(BM_SerialScheduler)->Unit(benchmark::kMillisecond);
 
+// E12d — the hot-path sweep: 200 processes per protocol, wall-clock timed.
+// This is the workload the scheduler-core layering (serialization graph,
+// dense conflict indices, admission guard) is measured against; pass
+// --json=<path> to record the numbers machine-readably.
+struct LargeSweepResult {
+  std::string name;
+  double ms = 0;
+  SchedulerStats stats;
+};
+
+std::vector<LargeSweepResult> RunLargeSweep() {
+  constexpr int kLargeProcesses = 200;
+  const Config configs[] = {
+      {"pred", AdmissionProtocol::kPred},
+      {"pred+2pc", AdmissionProtocol::kPred, DeferMode::kPrepared2PC},
+      {"pred+qc", AdmissionProtocol::kPred, DeferMode::kDelayExecution, true},
+      {"2pl", AdmissionProtocol::kTwoPhaseLocking},
+      {"serial", AdmissionProtocol::kSerial},
+      {"unsafe", AdmissionProtocol::kUnsafe},
+  };
+  std::vector<LargeSweepResult> results;
+  std::cout << "E12d | large sweep wall clock (" << kLargeProcesses
+            << " processes, pool of 18, no failures)\n";
+  std::cout << "  protocol       ms    steps  commits  aborts\n";
+  for (const Config& config : configs) {
+    auto start = std::chrono::steady_clock::now();
+    SchedulerStats stats =
+        RunWorkload(config, kLargeProcesses, 18, 0.0, 7);
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count() /
+        1000.0;
+    results.push_back(LargeSweepResult{config.name, ms, stats});
+    std::cout << "  " << std::left << std::setw(11) << config.name
+              << std::right << std::setw(8) << std::fixed
+              << std::setprecision(1) << ms << std::setw(9) << stats.steps
+              << std::setw(9) << stats.processes_committed << std::setw(8)
+              << stats.processes_aborted << "\n";
+  }
+  double total = 0;
+  for (const LargeSweepResult& r : results) total += r.ms;
+  std::cout << "  total " << std::fixed << std::setprecision(1) << total
+            << " ms\n\n";
+  return results;
+}
+
+void WriteSweepJson(const std::vector<LargeSweepResult>& results,
+                    const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"bench_scheduler_throughput E12d "
+         "(200 processes, pool 18)\",\n  \"configs\": {\n";
+  double total = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const LargeSweepResult& r = results[i];
+    total += r.ms;
+    out << "    \"" << r.name << "\": {\"ms\": " << std::fixed
+        << std::setprecision(3) << r.ms << ", \"steps\": " << r.stats.steps
+        << ", \"commits\": " << r.stats.processes_committed
+        << ", \"aborts\": " << r.stats.processes_aborted << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"total_ms\": " << std::fixed << std::setprecision(3)
+      << total << "\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (!json_path.empty()) {
+    // JSON mode: only the timed large sweep (warm-up run first).
+    (void)RunLargeSweep();
+    WriteSweepJson(RunLargeSweep(), json_path);
+    return 0;
+  }
   PrintSweep();
   PrintMakespan();
   PrintThrottle();
+  (void)RunLargeSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

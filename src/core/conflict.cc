@@ -5,30 +5,81 @@
 namespace tpm {
 
 namespace {
-std::pair<ServiceId, ServiceId> Normalize(ServiceId a, ServiceId b) {
-  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
-}
+const std::vector<ServiceId> kNoPartners;
 }  // namespace
 
+int ConflictSpec::RegisterService(ServiceId service) {
+  auto it = index_of_.find(service);
+  if (it != index_of_.end()) return it->second;
+  int index = static_cast<int>(services_.size());
+  index_of_.emplace(service, index);
+  services_.push_back(service);
+  rows_.emplace_back();
+  partners_.emplace_back();
+  effect_free_.push_back(false);
+  return index;
+}
+
+bool ConflictSpec::TestBit(int a, int b) const {
+  const std::vector<uint64_t>& row = rows_[a];
+  size_t word = static_cast<size_t>(b) / 64;
+  if (word >= row.size()) return false;
+  return (row[word] >> (b % 64)) & 1;
+}
+
+void ConflictSpec::SetBit(int a, int b) {
+  std::vector<uint64_t>& row = rows_[a];
+  size_t word = static_cast<size_t>(b) / 64;
+  if (word >= row.size()) row.resize(word + 1, 0);
+  row[word] |= uint64_t{1} << (b % 64);
+}
+
 void ConflictSpec::AddConflict(ServiceId a, ServiceId b) {
-  conflicts_.insert(Normalize(a, b));
+  int ia = RegisterService(a);
+  int ib = RegisterService(b);
+  if (TestBit(ia, ib)) return;
+  SetBit(ia, ib);
+  SetBit(ib, ia);
+  partners_[ia].push_back(b);
+  if (ia != ib) partners_[ib].push_back(a);
+  ++num_pairs_;
 }
 
 void ConflictSpec::MarkEffectFree(ServiceId service) {
-  effect_free_.insert(service);
+  effect_free_[RegisterService(service)] = true;
 }
 
 bool ConflictSpec::ServicesConflict(ServiceId a, ServiceId b) const {
-  return conflicts_.count(Normalize(a, b)) > 0;
+  int ia = IndexOf(a);
+  if (ia < 0) return false;
+  int ib = IndexOf(b);
+  if (ib < 0) return false;
+  return TestBit(ia, ib);
 }
 
 bool ConflictSpec::IsEffectFreeService(ServiceId service) const {
-  return effect_free_.count(service) > 0;
+  int index = IndexOf(service);
+  return index >= 0 && effect_free_[index];
+}
+
+const std::vector<ServiceId>& ConflictSpec::PartnersOf(
+    ServiceId service) const {
+  int index = IndexOf(service);
+  return index < 0 ? kNoPartners : partners_[index];
 }
 
 std::vector<std::pair<ServiceId, ServiceId>> ConflictSpec::ConflictPairs()
     const {
-  return {conflicts_.begin(), conflicts_.end()};
+  std::vector<std::pair<ServiceId, ServiceId>> pairs;
+  pairs.reserve(num_pairs_);
+  for (size_t i = 0; i < services_.size(); ++i) {
+    for (ServiceId partner : partners_[i]) {
+      // Each unordered pair once, normalized a <= b.
+      if (services_[i] <= partner) pairs.emplace_back(services_[i], partner);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
 }
 
 }  // namespace tpm

@@ -1,7 +1,8 @@
 #ifndef TPM_CORE_CONFLICT_H_
 #define TPM_CORE_CONFLICT_H_
 
-#include <set>
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,9 +30,18 @@ namespace tpm {
 /// executions never change the return values of surrounding activities
 /// (e.g., a pure query). Effect-free activities of non-committed processes
 /// may be removed by reduction rule 3 (Def. 9).
+///
+/// Services are interned into a dense index (RegisterService / IndexOf) and
+/// the relation is stored as bitset adjacency rows plus per-service partner
+/// lists, so `ServicesConflict` is O(1) and schedulers can keep their own
+/// per-service side tables as flat vectors over the dense index.
 class ConflictSpec {
  public:
   ConflictSpec() = default;
+
+  /// Interns `service` into the dense index without declaring any conflict.
+  /// Idempotent; returns the service's dense index.
+  int RegisterService(ServiceId service);
 
   /// Declares that `a` and `b` do not commute. Symmetric; self-conflict
   /// (a == b) is allowed and common (a service conflicts with itself).
@@ -43,15 +53,39 @@ class ConflictSpec {
   bool ServicesConflict(ServiceId a, ServiceId b) const;
   bool IsEffectFreeService(ServiceId service) const;
 
-  /// Number of declared conflicting (unordered) service pairs.
-  size_t num_conflict_pairs() const { return conflicts_.size(); }
+  /// Number of interned services (dense indices are [0, NumServices())).
+  size_t NumServices() const { return services_.size(); }
 
-  /// All declared conflicting pairs (a <= b normalized).
+  /// Dense index of `service`, or -1 if never interned.
+  int IndexOf(ServiceId service) const {
+    auto it = index_of_.find(service);
+    return it == index_of_.end() ? -1 : it->second;
+  }
+
+  ServiceId ServiceAt(size_t index) const { return services_[index]; }
+
+  /// Services conflicting with `service` (including `service` itself when
+  /// self-conflicting); empty for services with no declared conflicts.
+  const std::vector<ServiceId>& PartnersOf(ServiceId service) const;
+
+  /// Number of declared conflicting (unordered) service pairs.
+  size_t num_conflict_pairs() const { return num_pairs_; }
+
+  /// All declared conflicting pairs (a <= b normalized, sorted).
   std::vector<std::pair<ServiceId, ServiceId>> ConflictPairs() const;
 
  private:
-  std::set<std::pair<ServiceId, ServiceId>> conflicts_;  // normalized a <= b
-  std::set<ServiceId> effect_free_;
+  bool TestBit(int a, int b) const;
+  void SetBit(int a, int b);
+
+  std::unordered_map<ServiceId, int> index_of_;
+  std::vector<ServiceId> services_;
+  /// Bitset adjacency: rows_[i] holds a bit per dense service index. Rows
+  /// grow lazily to the highest partner index set.
+  std::vector<std::vector<uint64_t>> rows_;
+  std::vector<std::vector<ServiceId>> partners_;
+  std::vector<bool> effect_free_;
+  size_t num_pairs_ = 0;
 };
 
 }  // namespace tpm

@@ -109,11 +109,10 @@ std::string ConflictGraphToDot(const ProcessSchedule& schedule,
   for (ProcessId pid : cg.process_ids) {
     dot << "  p" << pid << " [label=\"P" << pid << "\"];\n";
   }
-  for (size_t from = 0; from < cg.process_ids.size(); ++from) {
-    for (int to : cg.graph.Successors(static_cast<int>(from))) {
-      dot << "  p" << cg.process_ids[from] << " -> p" << cg.process_ids[to]
-          << ";\n";
-    }
+  for (ProcessId from : cg.process_ids) {
+    cg.graph.ForEachSuccessor(from, [&](ProcessId to) {
+      dot << "  p" << from << " -> p" << to << ";\n";
+    });
   }
   if (!cg.IsAcyclic()) {
     dot << "  label=\"NOT serializable\"; fontcolor=red;\n";

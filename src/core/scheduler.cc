@@ -10,7 +10,9 @@ namespace tpm {
 
 TransactionalProcessScheduler::TransactionalProcessScheduler(
     SchedulerOptions options, RecoveryLog* log)
-    : options_(options), log_(log) {}
+    : options_(options), log_(log) {
+  guard_ = MakeAdmissionGuard(*this, &stats_);
+}
 
 Status TransactionalProcessScheduler::RegisterSubsystem(Subsystem* subsystem) {
   if (subsystem == nullptr) {
@@ -25,19 +27,18 @@ Status TransactionalProcessScheduler::RegisterSubsystem(Subsystem* subsystem) {
   }
   subsystems_.push_back(subsystem);
   subsystem->services().DeriveConflicts(&spec_);
-  // Rebuild the partner index (registration is rare, scans are hot).
-  conflict_partners_.clear();
-  for (const auto& [a, b] : spec_.ConflictPairs()) {
-    conflict_partners_[a].push_back(b);
-    if (a != b) conflict_partners_[b].push_back(a);
+  // Intern every routed service so the emitter index has a dense row for
+  // it even before any conflict mentions it.
+  for (ServiceId service : subsystem->services().AllIds()) {
+    spec_.RegisterService(service);
   }
+  EnsureEmitterRows();
   return Status::OK();
 }
 
 void TransactionalProcessScheduler::AddConflict(ServiceId a, ServiceId b) {
   spec_.AddConflict(a, b);
-  conflict_partners_[a].push_back(b);
-  if (a != b) conflict_partners_[b].push_back(a);
+  EnsureEmitterRows();
 }
 
 Result<Subsystem*> TransactionalProcessScheduler::RouteService(
@@ -48,6 +49,87 @@ Result<Subsystem*> TransactionalProcessScheduler::RouteService(
   }
   return it->second;
 }
+
+// ---------------------------------------------------------------------------
+// Dense runtime table / emitter index / SchedulerView.
+
+TransactionalProcessScheduler::ProcessRuntime*
+TransactionalProcessScheduler::FindRuntime(ProcessId pid) {
+  if (pid.value() < 1) return nullptr;
+  size_t slot = static_cast<size_t>(pid.value()) - 1;
+  return slot < runtimes_.size() ? runtimes_[slot].get() : nullptr;
+}
+
+const TransactionalProcessScheduler::ProcessRuntime*
+TransactionalProcessScheduler::FindRuntime(ProcessId pid) const {
+  if (pid.value() < 1) return nullptr;
+  size_t slot = static_cast<size_t>(pid.value()) - 1;
+  return slot < runtimes_.size() ? runtimes_[slot].get() : nullptr;
+}
+
+void TransactionalProcessScheduler::EmplaceRuntime(
+    ProcessId pid, std::unique_ptr<ProcessRuntime> rt) {
+  size_t slot = static_cast<size_t>(pid.value()) - 1;
+  if (slot >= runtimes_.size()) runtimes_.resize(slot + 1);
+  runtimes_[slot] = std::move(rt);
+}
+
+void TransactionalProcessScheduler::EnsureEmitterRows() {
+  if (service_emitters_.size() < spec_.NumServices()) {
+    service_emitters_.resize(spec_.NumServices());
+  }
+}
+
+void TransactionalProcessScheduler::AddEmitter(ServiceId service,
+                                               ProcessId pid) {
+  int index = spec_.RegisterService(service);
+  EnsureEmitterRows();
+  std::vector<ProcessId>& row = service_emitters_[index];
+  auto it = std::lower_bound(row.begin(), row.end(), pid);
+  if (it == row.end() || *it != pid) row.insert(it, pid);
+}
+
+void TransactionalProcessScheduler::RemoveEmitter(ProcessId pid) {
+  for (std::vector<ProcessId>& row : service_emitters_) {
+    auto it = std::lower_bound(row.begin(), row.end(), pid);
+    if (it != row.end() && *it == pid) row.erase(it);
+  }
+}
+
+std::optional<SchedulerView::ProcessView>
+TransactionalProcessScheduler::FindProcess(ProcessId pid) const {
+  const ProcessRuntime* rt = FindRuntime(pid);
+  if (rt == nullptr) return std::nullopt;
+  return ViewOf(*rt);
+}
+
+void TransactionalProcessScheduler::ForEachProcess(
+    const std::function<void(const ProcessView&)>& fn) const {
+  for (const auto& rt : runtimes_) {
+    if (rt != nullptr) fn(ViewOf(*rt));
+  }
+}
+
+bool TransactionalProcessScheduler::HasEmitted(ProcessId pid,
+                                               ServiceId service) const {
+  int index = spec_.IndexOf(service);
+  if (index < 0 || static_cast<size_t>(index) >= service_emitters_.size()) {
+    return false;
+  }
+  const std::vector<ProcessId>& row = service_emitters_[index];
+  return std::binary_search(row.begin(), row.end(), pid);
+}
+
+void TransactionalProcessScheduler::ForEachEmitter(
+    ServiceId service, const std::function<void(ProcessId)>& fn) const {
+  int index = spec_.IndexOf(service);
+  if (index < 0 || static_cast<size_t>(index) >= service_emitters_.size()) {
+    return;
+  }
+  for (ProcessId pid : service_emitters_[index]) fn(pid);
+}
+
+// ---------------------------------------------------------------------------
 
 Result<ProcessId> TransactionalProcessScheduler::Submit(
     const ProcessDef* def, int64_t param,
@@ -63,12 +145,12 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
     }
   }
   for (const ProcessDependency& dep : dependencies) {
-    auto it = runtimes_.find(dep.process);
-    if (it == runtimes_.end()) {
+    const ProcessRuntime* other = FindRuntime(dep.process);
+    if (other == nullptr) {
       return Status::NotFound(
           StrCat("dependency on unknown process P", dep.process));
     }
-    if (!it->second->def->HasActivity(dep.activity)) {
+    if (!other->def->HasActivity(dep.activity)) {
       return Status::NotFound(StrCat("dependency on unknown activity a",
                                      dep.activity, " of P", dep.process));
     }
@@ -84,159 +166,22 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
     log_->Append({SchedulerLogRecord::Kind::kProcessBegin, pid, ActivityId(),
                   def->name(), param});
   }
-  runtimes_[pid] = std::move(runtime);
+  EmplaceRuntime(pid, std::move(runtime));
   return pid;
 }
 
 ProcessOutcome TransactionalProcessScheduler::OutcomeOf(ProcessId pid) const {
-  auto it = runtimes_.find(pid);
-  if (it == runtimes_.end()) return ProcessOutcome::kActive;
-  return it->second->state.outcome();
+  const ProcessRuntime* rt = FindRuntime(pid);
+  if (rt == nullptr) return ProcessOutcome::kActive;
+  return rt->state.outcome();
 }
 
 // ---------------------------------------------------------------------------
-// Conflict bookkeeping.
-
-std::set<ProcessId> TransactionalProcessScheduler::ConflictingPredecessors(
-    const ProcessRuntime& rt, ActivityId act) const {
-  std::set<ProcessId> preds;
-  ServiceId service = rt.def->activity(act).service;
-  auto partners = conflict_partners_.find(service);
-  if (partners == conflict_partners_.end()) return preds;
-  for (ServiceId partner : partners->second) {
-    auto emitters = service_emitters_.find(partner);
-    if (emitters == service_emitters_.end()) continue;
-    for (ProcessId p : emitters->second) {
-      if (p != rt.pid) preds.insert(p);
-    }
-  }
-  return preds;
-}
-
-bool TransactionalProcessScheduler::HasCycleWith(
-    ProcessId pid, const std::set<ProcessId>& new_preds) const {
-  if (new_preds.empty()) return false;
-  // Adding edges p -> pid creates a cycle iff pid already reaches some p.
-  std::set<ProcessId> seen;
-  std::vector<ProcessId> stack = {pid};
-  seen.insert(pid);
-  while (!stack.empty()) {
-    ProcessId v = stack.back();
-    stack.pop_back();
-    auto succ = sg_successors_.find(v);
-    if (succ == sg_successors_.end()) continue;
-    for (ProcessId w : succ->second) {
-      if (new_preds.count(w) > 0) return true;
-      if (seen.insert(w).second) stack.push_back(w);
-    }
-  }
-  return false;
-}
-
-bool TransactionalProcessScheduler::RemainderConflicts(
-    const ProcessRuntime& other, ServiceId service,
-    bool include_compensations) const {
-  // Could `other` still produce an activity conflicting with `service`?
-  // Its remainder consists of not-yet-committed activities (regular
-  // execution, re-execution after compensation, or the forward recovery
-  // path of its completion) and — when `include_compensations` — the
-  // future compensations of its effective committed compensatables (same
-  // service under perfect commutativity).
-  for (const ActivityDecl& decl : other.def->activities()) {
-    const bool relevant =
-        !other.state.IsCommitted(decl.id) ||
-        (include_compensations && IsCompensatableKind(decl.kind));
-    if (relevant && spec_.ServicesConflict(service, decl.service)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool TransactionalProcessScheduler::EmittedConflictsWithRemainder(
-    const ProcessRuntime& emitter, const ProcessRuntime& rt,
-    ActivityId exclude) const {
-  // Does some activity `emitter` already executed conflict with an
-  // activity `rt` still has ahead of it (uncommitted, or a future
-  // compensation of a committed compensatable)? `exclude` is the activity
-  // being admitted right now — its direct conflicts are Lemma 1's business.
-  for (const ActivityDecl& decl : rt.def->activities()) {
-    if (decl.id == exclude) continue;
-    const bool pending = !rt.state.IsCommitted(decl.id) ||
-                         IsCompensatableKind(decl.kind);
-    if (!pending) continue;
-    auto partners = conflict_partners_.find(decl.service);
-    if (partners == conflict_partners_.end()) continue;
-    for (ServiceId partner : partners->second) {
-      auto emitters = service_emitters_.find(partner);
-      if (emitters != service_emitters_.end() &&
-          emitters->second.count(emitter.pid) > 0) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-std::set<ProcessId> TransactionalProcessScheduler::VirtualCompletionTargets(
-    const ProcessRuntime& rt, ServiceId service) const {
-  std::set<ProcessId> targets;
-  for (const auto& [pid, other] : runtimes_) {
-    if (pid == rt.pid || !other->state.IsActive()) continue;
-    if (RemainderConflicts(*other, service)) targets.insert(pid);
-  }
-  return targets;
-}
-
-bool TransactionalProcessScheduler::SgReaches(ProcessId from,
-                                              ProcessId to) const {
-  if (from == to) return true;
-  std::set<ProcessId> seen;
-  std::vector<ProcessId> stack = {from};
-  seen.insert(from);
-  while (!stack.empty()) {
-    ProcessId v = stack.back();
-    stack.pop_back();
-    auto succ = sg_successors_.find(v);
-    if (succ == sg_successors_.end()) continue;
-    for (ProcessId w : succ->second) {
-      if (w == to) return true;
-      if (seen.insert(w).second) stack.push_back(w);
-    }
-  }
-  return false;
-}
-
-bool TransactionalProcessScheduler::ActiveProcessReachableFrom(
-    ProcessId pid) const {
-  std::set<ProcessId> seen;
-  std::vector<ProcessId> stack = {pid};
-  seen.insert(pid);
-  while (!stack.empty()) {
-    ProcessId v = stack.back();
-    stack.pop_back();
-    auto succ = sg_successors_.find(v);
-    if (succ == sg_successors_.end()) continue;
-    for (ProcessId w : succ->second) {
-      if (w != pid) {
-        auto it = runtimes_.find(w);
-        if (it != runtimes_.end() && it->second->state.IsActive()) {
-          return true;
-        }
-      }
-      if (seen.insert(w).second) stack.push_back(w);
-    }
-  }
-  return false;
-}
+// Serialization-graph bookkeeping.
 
 void TransactionalProcessScheduler::AddSerializationEdges(
-    ProcessId pid, const std::set<ProcessId>& preds) {
-  for (ProcessId p : preds) {
-    if (p == pid) continue;
-    sg_successors_[p].insert(pid);
-    sg_predecessors_[pid].insert(p);
-  }
+    ProcessId pid, const std::vector<ProcessId>& preds) {
+  for (ProcessId p : preds) sg_.AddEdge(p, pid);
 }
 
 void TransactionalProcessScheduler::PruneSerializationGraph() {
@@ -247,193 +192,18 @@ void TransactionalProcessScheduler::PruneSerializationGraph() {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (auto& [pid, rt] : runtimes_) {
-      if (rt->state.IsActive() || pruned_.count(pid) > 0 ||
-          !sg_predecessors_[pid].empty()) {
+    for (const auto& rt : runtimes_) {
+      if (rt == nullptr) continue;
+      if (rt->state.IsActive() || pruned_.count(rt->pid) > 0 ||
+          sg_.HasPredecessors(rt->pid)) {
         continue;
       }
-      for (ProcessId succ : sg_successors_[pid]) {
-        sg_predecessors_[succ].erase(pid);
-      }
-      sg_successors_.erase(pid);
-      sg_predecessors_.erase(pid);
-      for (auto& [service, emitters] : service_emitters_) {
-        emitters.erase(pid);
-      }
-      pruned_.insert(pid);
+      sg_.RemoveNode(rt->pid);
+      RemoveEmitter(rt->pid);
+      pruned_.insert(rt->pid);
       changed = true;
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-// Admission.
-
-bool TransactionalProcessScheduler::QuasiCommitAdmissible(
-    const ProcessRuntime& blocker, const ProcessRuntime& requester) const {
-  // Example 10: the blocker must be in F-REC (its pre-pivot activities are
-  // quasi-committed: compensation is no longer available), and none of its
-  // remaining activities — uncommitted originals or compensations of
-  // committed compensatables — may conflict with any of the requester's
-  // services.
-  if (blocker.state.recovery_state() != RecoveryState::kForwardRecoverable) {
-    return false;
-  }
-  std::set<ServiceId> remaining;
-  for (const ActivityDecl& decl : blocker.def->activities()) {
-    const bool committed = blocker.state.IsCommitted(decl.id);
-    if (!committed || IsCompensatableKind(decl.kind)) {
-      remaining.insert(decl.service);
-    }
-  }
-  for (const ActivityDecl& decl : requester.def->activities()) {
-    for (ServiceId r : remaining) {
-      if (spec_.ServicesConflict(r, decl.service)) return false;
-    }
-  }
-  return true;
-}
-
-std::set<ProcessId> TransactionalProcessScheduler::ActiveBlockers(
-    const ProcessRuntime& rt, ActivityId act) const {
-  std::set<ProcessId> candidates = ConflictingPredecessors(rt, act);
-  auto preds = sg_predecessors_.find(rt.pid);
-  if (preds != sg_predecessors_.end()) {
-    candidates.insert(preds->second.begin(), preds->second.end());
-  }
-  std::set<ProcessId> blockers;
-  for (ProcessId p : candidates) {
-    auto it = runtimes_.find(p);
-    if (it == runtimes_.end() || !it->second->state.IsActive()) continue;
-    if (options_.quasi_commit_optimization &&
-        QuasiCommitAdmissible(*it->second, rt)) {
-      continue;
-    }
-    blockers.insert(p);
-  }
-  return blockers;
-}
-
-TransactionalProcessScheduler::AdmissionDecision
-TransactionalProcessScheduler::Admit(ProcessRuntime& rt, ActivityId act) {
-  const ActivityDecl& decl = rt.def->activity(act);
-  switch (options_.protocol) {
-    case AdmissionProtocol::kSerial:
-      if (serial_token_.valid() && serial_token_ != rt.pid) {
-        return AdmissionDecision::kDefer;
-      }
-      return AdmissionDecision::kAdmit;
-
-    case AdmissionProtocol::kTwoPhaseLocking:
-      if (!LocksAvailable(rt.pid, decl.service)) {
-        return AdmissionDecision::kDefer;
-      }
-      return AdmissionDecision::kAdmit;
-
-    case AdmissionProtocol::kUnsafe: {
-      std::set<ProcessId> preds = ConflictingPredecessors(rt, act);
-      if (HasCycleWith(rt.pid, preds)) return AdmissionDecision::kFail;
-      return AdmissionDecision::kAdmit;
-    }
-
-    case AdmissionProtocol::kPred: {
-      std::set<ProcessId> preds = ConflictingPredecessors(rt, act);
-      if (HasCycleWith(rt.pid, preds)) {
-        // Admitting now would close a serialization cycle. If an active
-        // process sits on the cycle path it may still abort (its cancelled
-        // pairs then release the edges): wait. If every participant has
-        // terminated the cycle is permanent: fail the activity, triggering
-        // the alternative execution path — except for retriables, which
-        // cannot fail (Def. 3): they execute anyway, trading formal
-        // reducibility for the guaranteed-termination property.
-        if (ActiveProcessReachableFrom(rt.pid)) {
-          return AdmissionDecision::kDefer;
-        }
-        if (IsRetriableKind(decl.kind)) {
-          ++stats_.forced_executions;
-          return AdmissionDecision::kAdmit;
-        }
-        return AdmissionDecision::kFail;
-      }
-      // Crossing prevention: executing after a conflicting activity of an
-      // active P_i that will FORWARD-touch this service again (visible
-      // from its definition) guarantees antisymmetric conflict edges — a
-      // future cycle with a forced abort. Wait for P_i instead. Future
-      // *compensations* of P_i do not count: a later a_ik^-1 is handled
-      // correctly by the reverse-order cascade, not doomed. Processes done
-      // with the service overlap freely (the Figure 7 pipeline
-      // parallelism PRED is about).
-      if (options_.ablation.crossing_prevention) {
-        for (ProcessId p : preds) {
-          auto it = runtimes_.find(p);
-          if (it == runtimes_.end() || !it->second->state.IsActive()) {
-            continue;
-          }
-          if (RemainderConflicts(*it->second, decl.service,
-                                 /*include_compensations=*/false)) {
-            return AdmissionDecision::kDefer;
-          }
-        }
-      }
-      if (IsNonCompensatable(decl.kind) &&
-          options_.ablation.lemma1_deferral) {
-        std::set<ProcessId> blockers = ActiveBlockers(rt, act);
-        if (!blockers.empty()) {
-          if (options_.defer_mode == DeferMode::kDelayExecution) {
-            return AdmissionDecision::kDefer;
-          }
-          // kPrepared2PC: admit into the prepared state; the commit stays
-          // invisible until release, so no pre-ordering hazard arises.
-          return AdmissionDecision::kAdmit;
-        }
-        // No direct blockers: the activity would commit IMMEDIATELY.
-        // §3.5: a committed non-compensatable activity conflicting with the
-        // *potential completion* of an active process P_i pre-orders this
-        // process before P_i (the completion activity would follow it in
-        // every completed schedule). Committing it now is unsafe if P_i
-        // already reaches us in the serialization graph, or if P_i's
-        // emitted activities conflict with our own remainder (the reverse
-        // edge is then inevitable): defer until P_i resolves.
-        if (options_.ablation.completion_preorder) {
-          for (ProcessId v : VirtualCompletionTargets(rt, decl.service)) {
-            if (SgReaches(v, rt.pid)) return AdmissionDecision::kDefer;
-            if (EmittedConflictsWithRemainder(*runtimes_.at(v), rt, act)) {
-              return AdmissionDecision::kDefer;
-            }
-          }
-        }
-      }
-      return AdmissionDecision::kAdmit;
-    }
-  }
-  return AdmissionDecision::kDefer;
-}
-
-// ---------------------------------------------------------------------------
-// Locks (kTwoPhaseLocking).
-
-bool TransactionalProcessScheduler::LocksAvailable(ProcessId pid,
-                                                   ServiceId service) const {
-  for (const auto& [holder, locks] : service_locks_) {
-    if (holder == pid) continue;
-    auto rt = runtimes_.find(holder);
-    if (rt == runtimes_.end() || !rt->second->state.IsActive()) continue;
-    for (ServiceId held : locks) {
-      if (held == service || spec_.ServicesConflict(held, service)) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-void TransactionalProcessScheduler::AcquireLock(ProcessId pid,
-                                                ServiceId service) {
-  service_locks_[pid].insert(service);
-}
-
-void TransactionalProcessScheduler::ReleaseLocks(ProcessId pid) {
-  service_locks_.erase(pid);
 }
 
 // ---------------------------------------------------------------------------
@@ -442,9 +212,9 @@ void TransactionalProcessScheduler::ReleaseLocks(ProcessId pid) {
 Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
                                                    ActivityId act,
                                                    bool inverse) {
-  std::set<ProcessId> preds = ConflictingPredecessors(rt, act);
-  AddSerializationEdges(rt.pid, preds);
   const ActivityDecl& emitted_decl = rt.def->activity(act);
+  AddSerializationEdges(
+      rt.pid, ConflictingPredecessors(*this, rt.pid, emitted_decl.service));
   if (!inverse && IsNonCompensatable(emitted_decl.kind) &&
       options_.protocol == AdmissionProtocol::kPred &&
       options_.ablation.completion_preorder) {
@@ -452,9 +222,8 @@ Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
     // completion conflicts with the frozen activity (§3.5): in any
     // completed schedule the conflicting completion activity follows it.
     for (ProcessId v :
-         VirtualCompletionTargets(rt, emitted_decl.service)) {
-      sg_successors_[rt.pid].insert(v);
-      sg_predecessors_[v].insert(rt.pid);
+         VirtualCompletionTargets(*this, rt.pid, emitted_decl.service)) {
+      sg_.AddEdge(rt.pid, v);
     }
   }
   ActivityInstance inst{rt.pid, act, inverse};
@@ -476,7 +245,7 @@ Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
     rt.active_group[act] = 0;
     RecomputeReadyFrom(rt, act);
   }
-  service_emitters_[rt.def->activity(act).service].insert(rt.pid);
+  AddEmitter(emitted_decl.service, rt.pid);
   if (!rt.started) rt.started_at = clock_;
   rt.started = true;
   for (SchedulerObserver* observer : observers_) {
@@ -484,8 +253,7 @@ Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
   }
   {
     auto duration = options_.service_durations.find(
-        inverse ? rt.def->activity(act).compensation_service
-                : rt.def->activity(act).service);
+        inverse ? emitted_decl.compensation_service : emitted_decl.service);
     if (duration != options_.service_durations.end()) {
       rt.busy_until = clock_ + duration->second;
     }
@@ -529,9 +297,9 @@ Result<bool> TransactionalProcessScheduler::GateCompensation(
     if (e.act.process == rt.pid) continue;
     if (!spec_.ServicesConflict(service, history_.ServiceOf(e.act))) continue;
 
-    auto it = runtimes_.find(e.act.process);
-    if (it == runtimes_.end()) continue;
-    ProcessRuntime& other = *it->second;
+    ProcessRuntime* other_rt = FindRuntime(e.act.process);
+    if (other_rt == nullptr) continue;
+    ProcessRuntime& other = *other_rt;
     const bool still_effective =
         other.state.IsCommitted(e.act.activity) &&
         !other.state.IsCompensated(e.act.activity);
@@ -620,15 +388,10 @@ Result<bool> TransactionalProcessScheduler::ExecuteActivity(ProcessRuntime& rt,
       options_.protocol == AdmissionProtocol::kPred &&
       options_.defer_mode == DeferMode::kPrepared2PC &&
       options_.ablation.lemma1_deferral &&
-      IsNonCompensatable(decl.kind) && !ActiveBlockers(rt, act).empty();
+      IsNonCompensatable(decl.kind) &&
+      !ActiveBlockers(*this, ViewOf(rt), act).empty();
 
-  if (options_.protocol == AdmissionProtocol::kTwoPhaseLocking) {
-    AcquireLock(rt.pid, decl.service);
-  }
-  if (options_.protocol == AdmissionProtocol::kSerial &&
-      !serial_token_.valid()) {
-    serial_token_ = rt.pid;
-  }
+  guard_->OnExecute(rt.pid, decl.service);
 
   if (defer_commit) {
     Result<PreparedHandle> prepared =
@@ -647,7 +410,8 @@ Result<bool> TransactionalProcessScheduler::ExecuteActivity(ProcessRuntime& rt,
     rt.ready.erase(act);
     // The activity happened physically; record its serialization edges now
     // even though it only becomes visible in the history at release time.
-    AddSerializationEdges(rt.pid, ConflictingPredecessors(rt, act));
+    AddSerializationEdges(
+        rt.pid, ConflictingPredecessors(*this, rt.pid, decl.service));
     rt.prepared.push_back(PreparedBranch{act, subsystem, prepared->tx,
                                          prepared->return_value});
     rt.started = true;
@@ -848,18 +612,20 @@ Result<bool> TransactionalProcessScheduler::ExecuteCompletionStep(
     // mutual waits are broken by deadlock resolution.
     if (options_.protocol == AdmissionProtocol::kPred &&
         options_.ablation.completion_preorder) {
-      std::set<ProcessId> preds = ConflictingPredecessors(rt, step.activity);
-      bool cycle = HasCycleWith(rt.pid, preds);
+      std::vector<ProcessId> preds =
+          ConflictingPredecessors(*this, rt.pid, decl.service);
+      bool cycle = sg_.WouldCycle(rt.pid, preds);
       if (!cycle) {
-        for (ProcessId v : VirtualCompletionTargets(rt, decl.service)) {
-          if (SgReaches(v, rt.pid)) {
+        for (ProcessId v :
+             VirtualCompletionTargets(*this, rt.pid, decl.service)) {
+          if (sg_.Reaches(v, rt.pid)) {
             cycle = true;
             break;
           }
         }
       }
       if (cycle) {
-        if (ActiveProcessReachableFrom(rt.pid)) {
+        if (ActiveProcessReachableFrom(*this, rt.pid)) {
           if (must_wait()) return false;
         } else {
           // Permanent cycle: the completion must still terminate
@@ -875,8 +641,9 @@ Result<bool> TransactionalProcessScheduler::ExecuteCompletionStep(
     // Lemma 3's proof). The other process either commits (conflict order
     // stays acyclic) or aborts, in which case its compensation correctly
     // precedes this step; mutual waits are broken by deadlock resolution.
-    for (const auto& [other_pid, other] : runtimes_) {
-      if (other_pid == rt.pid || !other->state.IsActive()) continue;
+    for (const auto& other : runtimes_) {
+      if (other == nullptr) continue;
+      if (other->pid == rt.pid || !other->state.IsActive()) continue;
       const std::vector<ActivityId> effective =
           other->state.EffectiveCommitted();
       size_t last_noncomp = SIZE_MAX;
@@ -937,18 +704,18 @@ Status TransactionalProcessScheduler::ReleasePreparedIfUnblocked(
   // Lemma 1: the deferred commits are released only once no conflicting
   // predecessor process is active any more — then all branches commit
   // atomically via 2PC.
-  auto preds = sg_predecessors_.find(rt.pid);
-  if (preds != sg_predecessors_.end()) {
-    for (ProcessId p : preds->second) {
-      auto it = runtimes_.find(p);
-      if (it == runtimes_.end() || !it->second->state.IsActive()) continue;
-      if (options_.quasi_commit_optimization &&
-          QuasiCommitAdmissible(*it->second, rt)) {
-        continue;
-      }
-      return Status::OK();  // still blocked
+  bool blocked = false;
+  sg_.ForEachPredecessor(rt.pid, [&](ProcessId p) {
+    if (blocked) return;
+    const ProcessRuntime* other = FindRuntime(p);
+    if (other == nullptr || !other->state.IsActive()) return;
+    if (options_.quasi_commit_optimization &&
+        QuasiCommitAdmissible(*this, ViewOf(*other), ViewOf(rt))) {
+      return;
     }
-  }
+    blocked = true;
+  });
+  if (blocked) return Status::OK();
   std::vector<CommitBranch> branches;
   for (const PreparedBranch& b : rt.prepared) {
     branches.push_back(CommitBranch{b.subsystem, b.tx});
@@ -1022,22 +789,12 @@ Status TransactionalProcessScheduler::FinishProcess(ProcessRuntime& rt,
   for (SchedulerObserver* observer : observers_) {
     observer->OnProcessTerminated(rt.pid, rt.state.outcome());
   }
-  ReleaseLocks(rt.pid);
-  if (serial_token_ == rt.pid) serial_token_ = ProcessId();
+  guard_->OnProcessTerminated(rt.pid);
   if (!committed && AbortedProcessLeavesNoTrace(rt)) {
     // The process reduced away entirely: release its conflict footprint so
     // it no longer constrains (or cycles with) future activities.
-    for (ProcessId succ : sg_successors_[rt.pid]) {
-      sg_predecessors_[succ].erase(rt.pid);
-    }
-    for (ProcessId pred : sg_predecessors_[rt.pid]) {
-      sg_successors_[pred].erase(rt.pid);
-    }
-    sg_successors_.erase(rt.pid);
-    sg_predecessors_.erase(rt.pid);
-    for (auto& [service, emitters] : service_emitters_) {
-      emitters.erase(rt.pid);
-    }
+    sg_.RemoveNode(rt.pid);
+    RemoveEmitter(rt.pid);
     pruned_.insert(rt.pid);
   }
   PruneSerializationGraph();
@@ -1052,8 +809,10 @@ Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
   // Congestion control: unstarted processes wait for a concurrency slot.
   if (!rt.started && options_.max_concurrent_processes > 0) {
     int started_active = 0;
-    for (const auto& [pid, other] : runtimes_) {
-      if (other->state.IsActive() && other->started) ++started_active;
+    for (const auto& other : runtimes_) {
+      if (other != nullptr && other->state.IsActive() && other->started) {
+        ++started_active;
+      }
     }
     if (started_active >= options_.max_concurrent_processes) {
       return false;  // queued
@@ -1064,7 +823,7 @@ Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
   if (!rt.dependencies.empty()) {
     std::vector<ProcessDependency> unmet;
     for (const ProcessDependency& dep : rt.dependencies) {
-      const ProcessRuntime& other = *runtimes_.at(dep.process);
+      const ProcessRuntime& other = *FindRuntime(dep.process);
       const bool committed = other.state.IsCommitted(dep.activity) &&
                              !other.state.IsCompensated(dep.activity);
       if (committed) continue;
@@ -1088,15 +847,15 @@ Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
     // it conflicts with (edge P_i -> P_j requires C_i << C_j). kUnsafe
     // ignores this, reproducing the classical behaviour.
     if (options_.protocol != AdmissionProtocol::kUnsafe) {
-      auto preds = sg_predecessors_.find(rt.pid);
-      if (preds != sg_predecessors_.end()) {
-        for (ProcessId p : preds->second) {
-          auto it = runtimes_.find(p);
-          if (it != runtimes_.end() && it->second->state.IsActive()) {
-            ++stats_.commit_waits;
-            return false;
-          }
-        }
+      bool wait = false;
+      sg_.ForEachPredecessor(rt.pid, [&](ProcessId p) {
+        if (wait) return;
+        const ProcessRuntime* other = FindRuntime(p);
+        if (other != nullptr && other->state.IsActive()) wait = true;
+      });
+      if (wait) {
+        ++stats_.commit_waits;
+        return false;
       }
     }
     TPM_RETURN_IF_ERROR(FinishProcess(rt, /*committed=*/true));
@@ -1106,7 +865,7 @@ Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
   // Snapshot: execution mutates rt.ready.
   const std::vector<ActivityId> candidates(rt.ready.begin(), rt.ready.end());
   for (ActivityId act : candidates) {
-    switch (Admit(rt, act)) {
+    switch (guard_->Admit(ViewOf(rt), act)) {
       case AdmissionDecision::kAdmit: {
         TPM_ASSIGN_OR_RETURN(bool progress, ExecuteActivity(rt, act));
         if (progress) return true;
@@ -1139,7 +898,8 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
   auto cost = [](const ProcessRuntime& rt) {
     return rt.state.EffectiveCommitted().size();
   };
-  for (auto& [pid, rt] : runtimes_) {
+  for (const auto& rt : runtimes_) {
+    if (rt == nullptr) continue;
     if (!rt->state.IsActive() || rt->completing()) continue;
     if (victim == nullptr) {
       victim = rt.get();
@@ -1163,16 +923,16 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
     // Every active process is already completing and they block each
     // other's recovery steps. Completions must terminate (guaranteed
     // termination): force one blocked step through on the next pass.
-    for (auto& [pid, rt] : runtimes_) {
-      if (rt->state.IsActive() && rt->completing()) {
+    for (const auto& rt : runtimes_) {
+      if (rt != nullptr && rt->state.IsActive() && rt->completing()) {
         force_next_completion_ = true;
         return Status::OK();
       }
     }
     std::string detail;
-    for (auto& [pid, rt] : runtimes_) {
-      if (!rt->state.IsActive()) continue;
-      detail += StrCat(" P", pid, "(completing=", rt->completing() ? 1 : 0,
+    for (const auto& rt : runtimes_) {
+      if (rt == nullptr || !rt->state.IsActive()) continue;
+      detail += StrCat(" P", rt->pid, "(completing=", rt->completing() ? 1 : 0,
                        ",pending=", rt->pending.size(),
                        ",ready=", rt->ready.size(),
                        ",prepared=", rt->prepared.size(),
@@ -1197,8 +957,10 @@ Result<bool> TransactionalProcessScheduler::Step() {
   const int64_t aborts_before = aborts_started_;
 
   // Release deferred commits whose blockers are gone (Lemma 1).
-  for (auto& [pid, rt] : runtimes_) {
-    if (!rt->state.IsActive() || rt->prepared.empty()) continue;
+  for (const auto& rt : runtimes_) {
+    if (rt == nullptr || !rt->state.IsActive() || rt->prepared.empty()) {
+      continue;
+    }
     size_t before = rt->prepared.size();
     TPM_RETURN_IF_ERROR(ReleasePreparedIfUnblocked(*rt));
     if (rt->prepared.size() != before) progress = true;
@@ -1206,24 +968,24 @@ Result<bool> TransactionalProcessScheduler::Step() {
 
   // One execution attempt per active process, in pid order.
   std::vector<ProcessId> active;
-  for (auto& [pid, rt] : runtimes_) {
-    if (rt->state.IsActive()) active.push_back(pid);
+  for (const auto& rt : runtimes_) {
+    if (rt != nullptr && rt->state.IsActive()) active.push_back(rt->pid);
   }
   bool any_busy = false;
   for (ProcessId pid : active) {
-    auto it = runtimes_.find(pid);
-    if (it == runtimes_.end() || !it->second->state.IsActive()) continue;
-    if (it->second->busy_until > clock_) {
+    ProcessRuntime* rt = FindRuntime(pid);
+    if (rt == nullptr || !rt->state.IsActive()) continue;
+    if (rt->busy_until > clock_) {
       any_busy = true;  // a long-running activity is in flight
       continue;
     }
-    TPM_ASSIGN_OR_RETURN(bool p, TryExecuteProcess(*it->second));
+    TPM_ASSIGN_OR_RETURN(bool p, TryExecuteProcess(*rt));
     progress = progress || p;
   }
 
   bool any_active = false;
-  for (auto& [pid, rt] : runtimes_) {
-    if (rt->state.IsActive()) {
+  for (const auto& rt : runtimes_) {
+    if (rt != nullptr && rt->state.IsActive()) {
       any_active = true;
       break;
     }
@@ -1270,16 +1032,18 @@ Status TransactionalProcessScheduler::Checkpoint() {
     return Status::FailedPrecondition("checkpoint requires a recovery log");
   }
   std::vector<SchedulerLogRecord> compact;
-  for (const auto& [pid, rt] : runtimes_) {
-    if (!rt->state.IsActive()) continue;  // effects are durable; drop
-    compact.push_back({SchedulerLogRecord::Kind::kProcessBegin, pid,
+  for (const auto& rt : runtimes_) {
+    if (rt == nullptr || !rt->state.IsActive()) {
+      continue;  // effects are durable; drop
+    }
+    compact.push_back({SchedulerLogRecord::Kind::kProcessBegin, rt->pid,
                        ActivityId(), rt->def->name(), rt->param});
     // The effective committed activities in commit order reconstruct the
     // state recovery needs (already-compensated work is equivalent to
     // never-executed work for the completion computation).
     for (ActivityId act : rt->state.EffectiveCommitted()) {
-      compact.push_back({SchedulerLogRecord::Kind::kActivityCommitted, pid,
-                         act, "", 0});
+      compact.push_back({SchedulerLogRecord::Kind::kActivityCommitted,
+                         rt->pid, act, "", 0});
     }
   }
   log_->ReplaceAll(compact);
@@ -1294,11 +1058,9 @@ void TransactionalProcessScheduler::Crash() {
   clock_ = 0;
   latencies_.clear();
   history_ = ProcessSchedule();
-  sg_successors_.clear();
-  sg_predecessors_.clear();
-  service_emitters_.clear();
-  service_locks_.clear();
-  serial_token_ = ProcessId();
+  sg_.Clear();
+  for (std::vector<ProcessId>& row : service_emitters_) row.clear();
+  guard_->Reset();
 }
 
 Status TransactionalProcessScheduler::Recover(
@@ -1328,15 +1090,15 @@ Status TransactionalProcessScheduler::Recover(
         rt->param = record.param;
         TPM_RETURN_IF_ERROR(history_.AddProcess(record.pid, def_it->second));
         next_pid_ = std::max(next_pid_, record.pid.value() + 1);
-        runtimes_[record.pid] = std::move(rt);
+        EmplaceRuntime(record.pid, std::move(rt));
         break;
       }
       case SchedulerLogRecord::Kind::kActivityCommitted: {
-        auto it = runtimes_.find(record.pid);
-        if (it == runtimes_.end()) {
+        ProcessRuntime* rt = FindRuntime(record.pid);
+        if (rt == nullptr) {
           return Status::Internal("ACT record for unknown process");
         }
-        TPM_RETURN_IF_ERROR(it->second->state.RecordCommit(record.activity));
+        TPM_RETURN_IF_ERROR(rt->state.RecordCommit(record.activity));
         TPM_RETURN_IF_ERROR(history_.Append(
             ScheduleEvent::Activity(
                 ActivityInstance{record.pid, record.activity, false}),
@@ -1344,12 +1106,11 @@ Status TransactionalProcessScheduler::Recover(
         break;
       }
       case SchedulerLogRecord::Kind::kActivityCompensated: {
-        auto it = runtimes_.find(record.pid);
-        if (it == runtimes_.end()) {
+        ProcessRuntime* rt = FindRuntime(record.pid);
+        if (rt == nullptr) {
           return Status::Internal("COMP record for unknown process");
         }
-        TPM_RETURN_IF_ERROR(
-            it->second->state.RecordCompensation(record.activity));
+        TPM_RETURN_IF_ERROR(rt->state.RecordCompensation(record.activity));
         TPM_RETURN_IF_ERROR(history_.Append(
             ScheduleEvent::Activity(
                 ActivityInstance{record.pid, record.activity, true}),
@@ -1357,15 +1118,15 @@ Status TransactionalProcessScheduler::Recover(
         break;
       }
       case SchedulerLogRecord::Kind::kProcessCommitted: {
-        auto it = runtimes_.find(record.pid);
-        if (it != runtimes_.end()) it->second->state.RecordCommitProcess();
+        ProcessRuntime* rt = FindRuntime(record.pid);
+        if (rt != nullptr) rt->state.RecordCommitProcess();
         TPM_RETURN_IF_ERROR(history_.Append(
             ScheduleEvent::Commit(record.pid), /*enforce_legal=*/false));
         break;
       }
       case SchedulerLogRecord::Kind::kProcessAborted: {
-        auto it = runtimes_.find(record.pid);
-        if (it != runtimes_.end()) it->second->state.RecordAbortProcess();
+        ProcessRuntime* rt = FindRuntime(record.pid);
+        if (rt != nullptr) rt->state.RecordAbortProcess();
         TPM_RETURN_IF_ERROR(history_.Append(
             ScheduleEvent::Abort(record.pid), /*enforce_legal=*/false));
         break;
@@ -1393,18 +1154,18 @@ Status TransactionalProcessScheduler::Recover(
     }
   }
 
-  for (auto& [pid, rt] : runtimes_) {
-    if (!rt->state.IsActive()) continue;
-    aborting.push_back(pid);
+  for (const auto& rt : runtimes_) {
+    if (rt == nullptr || !rt->state.IsActive()) continue;
+    aborting.push_back(rt->pid);
     TPM_ASSIGN_OR_RETURN(Completion completion, ComputeCompletion(rt->state));
     for (const CompletionStep& step : completion.steps) {
       if (step.inverse) {
-        auto pos = act_pos.find({pid.value(), step.activity.value()});
+        auto pos = act_pos.find({rt->pid.value(), step.activity.value()});
         backward.push_back(BackwardItem{
-            pid, step.activity,
+            rt->pid, step.activity,
             pos == act_pos.end() ? size_t{0} : pos->second});
       } else {
-        forward.emplace_back(pid, step.activity);
+        forward.emplace_back(rt->pid, step.activity);
       }
     }
   }
@@ -1415,7 +1176,7 @@ Status TransactionalProcessScheduler::Recover(
 
   auto execute_step = [&](ProcessId pid, ActivityId activity,
                           bool inverse) -> Status {
-    ProcessRuntime& rt = *runtimes_[pid];
+    ProcessRuntime& rt = *FindRuntime(pid);
     const ActivityDecl& decl = rt.def->activity(activity);
     ServiceId service = inverse ? decl.compensation_service : decl.service;
     TPM_ASSIGN_OR_RETURN(Subsystem * subsystem, RouteService(service));
@@ -1438,7 +1199,7 @@ Status TransactionalProcessScheduler::Recover(
     TPM_RETURN_IF_ERROR(execute_step(pid, activity, false));
   }
   for (ProcessId pid : aborting) {
-    TPM_RETURN_IF_ERROR(FinishProcess(*runtimes_[pid], /*committed=*/false));
+    TPM_RETURN_IF_ERROR(FinishProcess(*FindRuntime(pid), /*committed=*/false));
   }
   return Status::OK();
 }

@@ -1,0 +1,130 @@
+#ifndef TPM_CORE_SCHEDULER_OPTIONS_H_
+#define TPM_CORE_SCHEDULER_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.h"
+
+namespace tpm {
+
+/// Admission protocol run by the scheduler.
+enum class AdmissionProtocol {
+  /// The paper's protocol: serialization-graph testing plus the Lemma 1
+  /// deferral of non-compensatable activities, guaranteeing every emitted
+  /// prefix is reducible (PRED).
+  kPred,
+  /// One process at a time; trivially correct, no inter-process
+  /// parallelism. Baseline.
+  kSerial,
+  /// Strict two-phase locking at service granularity: an activity waits
+  /// until no conflicting service lock is held by another active process;
+  /// locks are released at process termination. Correct but pessimistic —
+  /// it forbids the compensatable-phase overlap and the quasi-commit
+  /// concurrency PRED allows. Baseline.
+  kTwoPhaseLocking,
+  /// Classical concurrency control only (serializability, no unified
+  /// recovery reasoning): non-compensatable activities are never deferred.
+  /// Produces the irrecoverable interleavings of §2.2/Figure 1; used as
+  /// the negative control.
+  kUnsafe,
+};
+
+/// How the Lemma 1 deferral of non-compensatable activities is realized.
+enum class DeferMode {
+  /// The activity is not invoked until the blockers commit.
+  kDelayExecution,
+  /// The activity is executed immediately but left in the prepared state of
+  /// its subsystem (2PC phase one); all prepared branches of the process
+  /// are committed atomically once the blockers are gone (Lemma 1's
+  /// "deferred commit ... performed atomically by exploiting a two phase
+  /// commit protocol"). Overlaps activity execution with the wait.
+  kPrepared2PC,
+};
+
+/// Toggles for the individual guard mechanisms of the kPred protocol —
+/// used by the ablation experiments (each knob corresponds to one design
+/// element derived from the paper; disabling it shows which anomalies that
+/// element prevents). All default to on; production use should not touch
+/// these.
+struct PredAblation {
+  /// Lemma 1: defer non-compensatable activities behind conflicting active
+  /// predecessors.
+  bool lemma1_deferral = true;
+  /// Defer an activity when a conflicting active process will forward-touch
+  /// the service again (prevents doomed antisymmetric interleavings).
+  bool crossing_prevention = true;
+  /// Lemma 2 / §2.2: gate compensations behind dependents' undo, with
+  /// cascading aborts.
+  bool compensation_gate = true;
+  /// §3.5: pre-order frozen non-compensatables before potential completion
+  /// conflicts (virtual serialization edges) and check forward recovery
+  /// steps against them.
+  bool completion_preorder = true;
+};
+
+struct SchedulerOptions {
+  AdmissionProtocol protocol = AdmissionProtocol::kPred;
+  DeferMode defer_mode = DeferMode::kDelayExecution;
+  PredAblation ablation;
+  /// Example 10: allow an activity of P_j conflicting with an earlier
+  /// activity of an active P_i when P_i is in F-REC and none of P_i's
+  /// remaining or completion activities can conflict with P_j.
+  bool quasi_commit_optimization = false;
+  /// Re-check PRED on the emitted history after every event (O(n^4) —
+  /// tests/small workloads only).
+  bool certify_prefixes = false;
+  /// Safety cap on re-invocations of a retriable activity.
+  int max_retries = 1000;
+  /// Virtual-time cost model: how many clock ticks an invocation of each
+  /// service occupies its process (default 1 for unlisted services). The
+  /// scheduler's clock advances one tick per pass; a process busy with a
+  /// long-running activity skips its turns, so concurrency shows up as
+  /// makespan (stats.virtual_time) < sum of durations.
+  std::map<ServiceId, int64_t> service_durations;
+  /// Congestion control: at most this many processes execute concurrently;
+  /// further submissions queue until a slot frees (0 = unlimited). Under
+  /// extreme contention a small level avoids the abort storms optimistic
+  /// scheduling is prone to (experiment E12c).
+  int max_concurrent_processes = 0;
+};
+
+struct SchedulerStats {
+  int64_t steps = 0;
+  /// Virtual clock at the end of the run (== steps unless a cost model
+  /// makes activities span multiple ticks — then it is the makespan).
+  int64_t virtual_time = 0;
+  int64_t activities_committed = 0;
+  int64_t failed_invocations = 0;
+  int64_t compensations = 0;
+  int64_t deferrals = 0;
+  int64_t blocked_by_locks = 0;
+  int64_t alternatives_taken = 0;
+  int64_t processes_committed = 0;
+  int64_t processes_aborted = 0;
+  int64_t deadlock_victims = 0;
+  int64_t prepared_branches = 0;
+  int64_t quasi_commit_admissions = 0;
+  /// Processes aborted because a compensation of another process
+  /// invalidated data they had consumed (§2.2: the production process must
+  /// be compensated when the BOM it read is invalidated).
+  int64_t cascading_aborts = 0;
+  /// Cascading aborts that hit a process already in F-REC — its pivot had
+  /// committed, so the inconsistency cannot be undone (only possible under
+  /// kUnsafe; the Lemma 1 deferral prevents it).
+  int64_t irrecoverable_cascades = 0;
+  /// Commits delayed to enforce the commit order of Def. 11 clause 1.
+  int64_t commit_waits = 0;
+  /// Retriable activities / forward recovery steps executed although they
+  /// close a serialization cycle whose other participants have all
+  /// terminated: guaranteed termination (liveness) takes precedence over
+  /// formal prefix-reducibility in these corner cases, which only arise in
+  /// extreme-contention abort storms.
+  int64_t forced_executions = 0;
+  /// kUnsafe only: prefixes detected non-reducible when certifying.
+  int64_t certified_violations = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SCHEDULER_OPTIONS_H_

@@ -2,22 +2,6 @@
 
 namespace tpm {
 
-std::vector<ProcessId> ConflictGraph::FindCycle() const {
-  std::vector<int> cycle = graph.FindCycle();
-  std::vector<ProcessId> result;
-  result.reserve(cycle.size());
-  for (int node : cycle) result.push_back(process_ids[node]);
-  return result;
-}
-
-Result<std::vector<ProcessId>> ConflictGraph::SerializationOrder() const {
-  TPM_ASSIGN_OR_RETURN(std::vector<int> order, graph.TopologicalOrder());
-  std::vector<ProcessId> result;
-  result.reserve(order.size());
-  for (int node : order) result.push_back(process_ids[node]);
-  return result;
-}
-
 ConflictGraph BuildConflictGraph(const ProcessSchedule& schedule,
                                  const ConflictSpec& spec,
                                  const ConflictGraphOptions& options) {
@@ -26,10 +10,9 @@ ConflictGraph BuildConflictGraph(const ProcessSchedule& schedule,
     if (options.committed_projection && !schedule.IsProcessCommitted(pid)) {
       continue;
     }
-    cg.node_of[pid] = static_cast<int>(cg.process_ids.size());
     cg.process_ids.push_back(pid);
+    cg.graph.AddNode(pid);
   }
-  cg.graph = Dag(static_cast<int>(cg.process_ids.size()));
 
   const auto& events = schedule.events();
   for (size_t i = 0; i < events.size(); ++i) {
@@ -37,17 +20,15 @@ ConflictGraph BuildConflictGraph(const ProcessSchedule& schedule,
     if (options.ignore_aborted_invocations && events[i].aborted_invocation) {
       continue;
     }
-    auto it_i = cg.node_of.find(events[i].act.process);
-    if (it_i == cg.node_of.end()) continue;
+    if (!cg.graph.Contains(events[i].act.process)) continue;
     for (size_t j = i + 1; j < events.size(); ++j) {
       if (events[j].type != EventType::kActivity) continue;
       if (options.ignore_aborted_invocations && events[j].aborted_invocation) {
         continue;
       }
-      auto it_j = cg.node_of.find(events[j].act.process);
-      if (it_j == cg.node_of.end()) continue;
+      if (!cg.graph.Contains(events[j].act.process)) continue;
       if (schedule.InstancesConflict(events[i].act, events[j].act, spec)) {
-        cg.graph.AddEdge(it_i->second, it_j->second);
+        cg.graph.AddEdge(events[i].act.process, events[j].act.process);
       }
     }
   }

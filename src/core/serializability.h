@@ -1,13 +1,12 @@
 #ifndef TPM_CORE_SERIALIZABILITY_H_
 #define TPM_CORE_SERIALIZABILITY_H_
 
-#include <map>
 #include <vector>
 
-#include "common/dag.h"
 #include "common/status.h"
 #include "core/conflict.h"
 #include "core/schedule.h"
+#include "core/serialization_graph.h"
 
 namespace tpm {
 
@@ -15,20 +14,22 @@ namespace tpm {
 /// processes, and there is an edge P_i -> P_j iff some activity instance of
 /// P_i precedes (by schedule position) a conflicting activity instance of
 /// P_j. A process schedule is serializable iff this graph is acyclic
-/// (§3.2, [BHG87]).
+/// (§3.2, [BHG87]). Built on the same SerializationGraph engine the online
+/// scheduler maintains incrementally.
 struct ConflictGraph {
-  std::vector<ProcessId> process_ids;          // node index -> process id
-  std::map<ProcessId, int> node_of;            // process id -> node index
-  Dag graph{0};
+  std::vector<ProcessId> process_ids;  // nodes, in interning order
+  SerializationGraph graph;
 
   bool IsAcyclic() const { return !graph.HasCycle(); }
 
   /// A cycle as process ids (first == last), empty if acyclic.
-  std::vector<ProcessId> FindCycle() const;
+  std::vector<ProcessId> FindCycle() const { return graph.FindCycle(); }
 
   /// A serialization order of the processes (topological order), or an
   /// error if the graph is cyclic.
-  Result<std::vector<ProcessId>> SerializationOrder() const;
+  Result<std::vector<ProcessId>> SerializationOrder() const {
+    return graph.TopologicalOrder();
+  }
 };
 
 /// Options for conflict-graph construction.

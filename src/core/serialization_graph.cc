@@ -1,0 +1,221 @@
+#include "core/serialization_graph.h"
+
+#include <algorithm>
+
+namespace tpm {
+
+int SerializationGraph::Intern(ProcessId pid) {
+  auto it = node_of_.find(pid);
+  if (it != node_of_.end()) return it->second;
+  int slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    nodes_[slot].pid = pid;
+  } else {
+    slot = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{pid, {}, {}});
+    mark_.push_back(0);
+  }
+  node_of_.emplace(pid, slot);
+  return slot;
+}
+
+void SerializationGraph::AddNode(ProcessId pid) { Intern(pid); }
+
+void SerializationGraph::AddEdge(ProcessId from, ProcessId to) {
+  if (from == to) return;
+  int f = Intern(from);
+  int t = Intern(to);
+  auto& succ = nodes_[f].succ;
+  if (std::find(succ.begin(), succ.end(), t) != succ.end()) return;
+  succ.push_back(t);
+  nodes_[t].pred.push_back(f);
+  ++num_edges_;
+}
+
+bool SerializationGraph::HasEdge(ProcessId from, ProcessId to) const {
+  int f = SlotOf(from);
+  int t = SlotOf(to);
+  if (f < 0 || t < 0) return false;
+  const auto& succ = nodes_[f].succ;
+  return std::find(succ.begin(), succ.end(), t) != succ.end();
+}
+
+bool SerializationGraph::HasPredecessors(ProcessId pid) const {
+  int slot = SlotOf(pid);
+  return slot >= 0 && !nodes_[slot].pred.empty();
+}
+
+void SerializationGraph::NewGeneration() const {
+  if (++generation_ == 0) {
+    // Wrapped: every stale mark could collide with the new generation.
+    std::fill(mark_.begin(), mark_.end(), 0);
+    generation_ = 1;
+  }
+}
+
+bool SerializationGraph::Reaches(ProcessId from, ProcessId to) const {
+  if (from == to) return true;
+  int f = SlotOf(from);
+  int t = SlotOf(to);
+  if (f < 0 || t < 0) return false;
+  NewGeneration();
+  stack_.clear();
+  stack_.push_back(f);
+  mark_[f] = generation_;
+  while (!stack_.empty()) {
+    int v = stack_.back();
+    stack_.pop_back();
+    for (int w : nodes_[v].succ) {
+      if (w == t) return true;
+      if (mark_[w] != generation_) {
+        mark_[w] = generation_;
+        stack_.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+bool SerializationGraph::WouldCycle(
+    ProcessId pid, const std::vector<ProcessId>& new_preds) const {
+  if (new_preds.empty()) return false;
+  int slot = SlotOf(pid);
+  if (slot < 0) return false;
+  NewGeneration();
+  stack_.clear();
+  stack_.push_back(slot);
+  mark_[slot] = generation_;
+  while (!stack_.empty()) {
+    int v = stack_.back();
+    stack_.pop_back();
+    for (int w : nodes_[v].succ) {
+      if (std::binary_search(new_preds.begin(), new_preds.end(),
+                             nodes_[w].pid)) {
+        return true;
+      }
+      if (mark_[w] != generation_) {
+        mark_[w] = generation_;
+        stack_.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+void SerializationGraph::RemoveNode(ProcessId pid) {
+  int slot = SlotOf(pid);
+  if (slot < 0) return;
+  Node& node = nodes_[slot];
+  for (int s : node.succ) {
+    auto& pred = nodes_[s].pred;
+    pred.erase(std::remove(pred.begin(), pred.end(), slot), pred.end());
+  }
+  for (int p : node.pred) {
+    auto& succ = nodes_[p].succ;
+    succ.erase(std::remove(succ.begin(), succ.end(), slot), succ.end());
+  }
+  num_edges_ -= node.succ.size() + node.pred.size();
+  node.succ.clear();
+  node.pred.clear();
+  node.pid = ProcessId();
+  node_of_.erase(pid);
+  free_.push_back(slot);
+}
+
+void SerializationGraph::Clear() {
+  nodes_.clear();
+  free_.clear();
+  node_of_.clear();
+  num_edges_ = 0;
+  mark_.clear();
+  generation_ = 0;
+  stack_.clear();
+}
+
+// The whole-graph analyses mirror the classical algorithms of common/dag.h
+// (same traversal order over slots) so ConflictGraph results — cycle
+// witnesses, serialization orders — are unchanged by the move to this
+// engine. Free-list slots (pid invalid) are skipped.
+
+namespace {
+enum class Color : uint8_t { kWhite, kGray, kBlack };
+}  // namespace
+
+bool SerializationGraph::DfsFindCycle(std::vector<int>* cycle_out) const {
+  const int n = static_cast<int>(nodes_.size());
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<int> parent(n, -1);
+  for (int root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite || !nodes_[root].pid.valid()) continue;
+    std::vector<std::pair<int, size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx < nodes_[node].succ.size()) {
+        int next = nodes_[node].succ[idx++];
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          parent[next] = node;
+          stack.emplace_back(next, 0);
+        } else if (color[next] == Color::kGray) {
+          if (cycle_out != nullptr) {
+            std::vector<int> cycle;
+            cycle.push_back(next);
+            for (int v = node; v != next && v != -1; v = parent[v]) {
+              cycle.push_back(v);
+            }
+            cycle.push_back(next);
+            std::reverse(cycle.begin(), cycle.end());
+            *cycle_out = std::move(cycle);
+          }
+          return true;
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+bool SerializationGraph::HasCycle() const { return DfsFindCycle(nullptr); }
+
+std::vector<ProcessId> SerializationGraph::FindCycle() const {
+  std::vector<int> cycle;
+  DfsFindCycle(&cycle);
+  std::vector<ProcessId> result;
+  result.reserve(cycle.size());
+  for (int slot : cycle) result.push_back(nodes_[slot].pid);
+  return result;
+}
+
+Result<std::vector<ProcessId>> SerializationGraph::TopologicalOrder() const {
+  const int n = static_cast<int>(nodes_.size());
+  std::vector<int> indegree(n, 0);
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (!nodes_[v].pid.valid()) continue;
+    indegree[v] = static_cast<int>(nodes_[v].pred.size());
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::vector<ProcessId> order;
+  order.reserve(node_of_.size());
+  while (!ready.empty()) {
+    int v = ready.back();
+    ready.pop_back();
+    order.push_back(nodes_[v].pid);
+    for (int w : nodes_[v].succ) {
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != node_of_.size()) {
+    return Status::InvalidArgument("graph contains a cycle");
+  }
+  return order;
+}
+
+}  // namespace tpm

@@ -1,0 +1,135 @@
+#ifndef TPM_CORE_SERIALIZATION_GRAPH_H_
+#define TPM_CORE_SERIALIZATION_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace tpm {
+
+/// The serialization graph (SGT state, §3.5): nodes are processes, edges are
+/// conflict-order constraints P_i -> P_j (real, from emitted conflicting
+/// activities, or virtual, from the completion pre-orders). Shared by the
+/// online scheduler and the offline ConflictGraph analyses so both paths run
+/// on one graph engine.
+///
+/// Storage is dense: every process occupies a slot in a flat node vector,
+/// slots of removed (pruned) processes are recycled through a free list, and
+/// adjacency is flat `std::vector<int>` per slot. Reachability queries run
+/// an iterative DFS over generation-stamped marks, so the scheduler's
+/// hottest path — a reachability test per admission decision — performs no
+/// per-query allocation.
+class SerializationGraph {
+ public:
+  SerializationGraph() = default;
+
+  size_t num_nodes() const { return node_of_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  bool Contains(ProcessId pid) const { return SlotOf(pid) >= 0; }
+
+  /// Interns `pid` as a node, reusing a freed slot if one is available.
+  /// Idempotent.
+  void AddNode(ProcessId pid);
+
+  /// Adds the edge from -> to, interning both endpoints. Duplicate edges
+  /// and self-edges are ignored.
+  void AddEdge(ProcessId from, ProcessId to);
+
+  bool HasEdge(ProcessId from, ProcessId to) const;
+
+  /// True iff `pid` has at least one incoming edge.
+  bool HasPredecessors(ProcessId pid) const;
+
+  /// True iff `to` is reachable from `from` (reflexively: from == to).
+  bool Reaches(ProcessId from, ProcessId to) const;
+
+  /// True iff adding the edges {p -> pid : p in new_preds} would close a
+  /// cycle, i.e. `pid` already reaches some p. `new_preds` must be sorted.
+  bool WouldCycle(ProcessId pid, const std::vector<ProcessId>& new_preds) const;
+
+  /// Invokes fn(ProcessId) for each direct successor / predecessor.
+  template <typename Fn>
+  void ForEachSuccessor(ProcessId pid, Fn fn) const {
+    int slot = SlotOf(pid);
+    if (slot < 0) return;
+    for (int s : nodes_[slot].succ) fn(nodes_[s].pid);
+  }
+  template <typename Fn>
+  void ForEachPredecessor(ProcessId pid, Fn fn) const {
+    int slot = SlotOf(pid);
+    if (slot < 0) return;
+    for (int s : nodes_[slot].pred) fn(nodes_[s].pid);
+  }
+
+  /// True iff some node strictly reachable from `from` (`from` itself is
+  /// skipped, even via a cycle back to it) satisfies `pred`.
+  template <typename Fn>
+  bool AnyReachable(ProcessId from, Fn pred) const {
+    int slot = SlotOf(from);
+    if (slot < 0) return false;
+    NewGeneration();
+    stack_.clear();
+    stack_.push_back(slot);
+    mark_[slot] = generation_;
+    while (!stack_.empty()) {
+      int v = stack_.back();
+      stack_.pop_back();
+      for (int w : nodes_[v].succ) {
+        if (w != slot && pred(nodes_[w].pid)) return true;
+        if (mark_[w] != generation_) {
+          mark_[w] = generation_;
+          stack_.push_back(w);
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Removes the node and all incident edges; the slot is recycled.
+  /// No-op for unknown processes.
+  void RemoveNode(ProcessId pid);
+
+  void Clear();
+
+  // --- Whole-graph analyses (the offline ConflictGraph path). ---
+
+  bool HasCycle() const;
+
+  /// One directed cycle (first == last), empty if acyclic.
+  std::vector<ProcessId> FindCycle() const;
+
+  /// A topological order of all nodes, or an error if cyclic.
+  Result<std::vector<ProcessId>> TopologicalOrder() const;
+
+ private:
+  struct Node {
+    ProcessId pid;               // invalid while the slot is on the free list
+    std::vector<int> succ;
+    std::vector<int> pred;
+  };
+
+  int SlotOf(ProcessId pid) const {
+    auto it = node_of_.find(pid);
+    return it == node_of_.end() ? -1 : it->second;
+  }
+  int Intern(ProcessId pid);
+  void NewGeneration() const;
+  bool DfsFindCycle(std::vector<int>* cycle_out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<int> free_;
+  std::unordered_map<ProcessId, int> node_of_;
+  size_t num_edges_ = 0;
+  // Generation-stamped DFS scratch; queries are logically const.
+  mutable std::vector<uint32_t> mark_;
+  mutable uint32_t generation_ = 0;
+  mutable std::vector<int> stack_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_CORE_SERIALIZATION_GRAPH_H_

@@ -1,0 +1,78 @@
+#include "common/ids.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(IdsTest, DefaultConstructedIsInvalid) {
+  ProcessId pid;
+  EXPECT_FALSE(pid.valid());
+  EXPECT_EQ(pid.value(), -1);
+}
+
+TEST(IdsTest, ExplicitValueIsValid) {
+  ProcessId pid(7);
+  EXPECT_TRUE(pid.valid());
+  EXPECT_EQ(pid.value(), 7);
+  EXPECT_TRUE(ProcessId(0).valid());
+  EXPECT_FALSE(ProcessId(-3).valid());
+}
+
+TEST(IdsTest, Comparisons) {
+  ProcessId a(1), b(2), a2(1);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a2);
+  EXPECT_GE(b, a);
+}
+
+TEST(IdsTest, DistinctTagFamiliesAreDistinctTypes) {
+  static_assert(!std::is_same_v<ProcessId, ActivityId>);
+  static_assert(!std::is_same_v<ServiceId, TxId>);
+}
+
+TEST(IdsTest, StreamInsertion) {
+  std::ostringstream os;
+  os << ProcessId(42);
+  EXPECT_EQ(os.str(), "42");
+}
+
+TEST(IdsTest, StdHashMatchesEquality) {
+  std::hash<ProcessId> h;
+  EXPECT_EQ(h(ProcessId(5)), h(ProcessId(5)));
+  EXPECT_EQ(h(ProcessId(5)), std::hash<int64_t>()(5));
+}
+
+TEST(IdsTest, UsableInUnorderedContainers) {
+  std::unordered_set<ServiceId> set;
+  for (int i = 0; i < 100; ++i) set.insert(ServiceId(i % 10));
+  EXPECT_EQ(set.size(), 10u);
+  EXPECT_TRUE(set.count(ServiceId(3)) > 0);
+  EXPECT_FALSE(set.count(ServiceId(10)) > 0);
+
+  std::unordered_map<ProcessId, int> map;
+  map[ProcessId(1)] = 10;
+  map[ProcessId(2)] = 20;
+  map[ProcessId(1)] = 11;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[ProcessId(1)], 11);
+}
+
+TEST(IdsTest, OrderedContainersSortByValue) {
+  std::set<ActivityId> set{ActivityId(3), ActivityId(1), ActivityId(2)};
+  auto it = set.begin();
+  EXPECT_EQ(*it++, ActivityId(1));
+  EXPECT_EQ(*it++, ActivityId(2));
+  EXPECT_EQ(*it++, ActivityId(3));
+}
+
+}  // namespace
+}  // namespace tpm

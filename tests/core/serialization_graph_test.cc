@@ -1,0 +1,165 @@
+#include "core/serialization_graph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+ProcessId P(int64_t v) { return ProcessId(v); }
+
+TEST(SerializationGraphTest, EmptyGraph) {
+  SerializationGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.Contains(P(1)));
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_TRUE(g.FindCycle().empty());
+}
+
+TEST(SerializationGraphTest, AddNodeIsIdempotent) {
+  SerializationGraph g;
+  g.AddNode(P(1));
+  g.AddNode(P(1));
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_TRUE(g.Contains(P(1)));
+}
+
+TEST(SerializationGraphTest, AddEdgeInternsEndpointsAndDedups) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(1), P(1));  // self-edge ignored
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(P(1), P(2)));
+  EXPECT_FALSE(g.HasEdge(P(2), P(1)));
+  EXPECT_FALSE(g.HasEdge(P(1), P(1)));
+}
+
+TEST(SerializationGraphTest, HasPredecessors) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  EXPECT_FALSE(g.HasPredecessors(P(1)));
+  EXPECT_TRUE(g.HasPredecessors(P(2)));
+  EXPECT_FALSE(g.HasPredecessors(P(99)));
+}
+
+TEST(SerializationGraphTest, ReachesIsTransitiveAndReflexive) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(2), P(3));
+  EXPECT_TRUE(g.Reaches(P(1), P(3)));
+  EXPECT_TRUE(g.Reaches(P(2), P(2)));  // reflexive
+  EXPECT_FALSE(g.Reaches(P(3), P(1)));
+  EXPECT_FALSE(g.Reaches(P(1), P(99)));
+}
+
+TEST(SerializationGraphTest, WouldCycleDetectsBackEdge) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(2), P(3));
+  // Adding 3 -> 1 would close the cycle: 1 already reaches 3.
+  EXPECT_TRUE(g.WouldCycle(P(1), {P(3)}));
+  // Adding 1 -> 3 (3 as the target, preds {1}) closes nothing new... it is
+  // already an implied order. 3 does not reach 1.
+  EXPECT_FALSE(g.WouldCycle(P(3), {P(1)}));
+  // A pred equal to the node itself never cycles (self-edges are ignored).
+  EXPECT_FALSE(g.WouldCycle(P(2), {P(2)}));
+}
+
+TEST(SerializationGraphTest, ForEachSuccessorAndPredecessor) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(1), P(3));
+  g.AddEdge(P(4), P(3));
+  std::vector<ProcessId> succ;
+  g.ForEachSuccessor(P(1), [&](ProcessId p) { succ.push_back(p); });
+  EXPECT_EQ(succ, (std::vector<ProcessId>{P(2), P(3)}));
+  std::vector<ProcessId> pred;
+  g.ForEachPredecessor(P(3), [&](ProcessId p) { pred.push_back(p); });
+  EXPECT_EQ(pred, (std::vector<ProcessId>{P(1), P(4)}));
+}
+
+TEST(SerializationGraphTest, AnyReachableSkipsOrigin) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(2), P(1));  // cycle back to the origin
+  EXPECT_TRUE(g.AnyReachable(P(1), [](ProcessId p) { return p == P(2); }));
+  // The origin itself is never offered to the predicate, even via a cycle.
+  EXPECT_FALSE(g.AnyReachable(P(1), [](ProcessId p) { return p == P(1); }));
+}
+
+TEST(SerializationGraphTest, RemoveNodeDetachesEdgesAndRecyclesSlot) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(2), P(3));
+  g.RemoveNode(P(2));
+  EXPECT_FALSE(g.Contains(P(2)));
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.Reaches(P(1), P(3)));
+  EXPECT_FALSE(g.HasPredecessors(P(3)));
+  // The freed slot is reused without disturbing the survivors.
+  g.AddEdge(P(5), P(3));
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.Reaches(P(5), P(3)));
+  EXPECT_TRUE(g.Reaches(P(1), P(1)));
+}
+
+TEST(SerializationGraphTest, CycleDetectionAndFindCycle) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.AddEdge(P(2), P(3));
+  EXPECT_FALSE(g.HasCycle());
+  g.AddEdge(P(3), P(1));
+  EXPECT_TRUE(g.HasCycle());
+  std::vector<ProcessId> cycle = g.FindCycle();
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(SerializationGraphTest, TopologicalOrderRespectsEdges) {
+  SerializationGraph g;
+  g.AddEdge(P(3), P(1));
+  g.AddEdge(P(1), P(2));
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  const std::vector<ProcessId>& o = *order;
+  ASSERT_EQ(o.size(), 3u);
+  auto index = [&](ProcessId p) {
+    for (size_t i = 0; i < o.size(); ++i) {
+      if (o[i] == p) return i;
+    }
+    return o.size();
+  };
+  EXPECT_LT(index(P(3)), index(P(1)));
+  EXPECT_LT(index(P(1)), index(P(2)));
+  g.AddEdge(P(2), P(3));
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+TEST(SerializationGraphTest, ClearResetsEverything) {
+  SerializationGraph g;
+  g.AddEdge(P(1), P(2));
+  g.Clear();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.Contains(P(1)));
+}
+
+TEST(SerializationGraphTest, ManyQueriesReuseScratchAcrossGenerations) {
+  // Exercises the generation-stamped marks: a long chain queried many times
+  // must stay consistent as generations advance.
+  SerializationGraph g;
+  const int kN = 200;
+  for (int i = 1; i < kN; ++i) g.AddEdge(P(i), P(i + 1));
+  for (int q = 0; q < 1000; ++q) {
+    EXPECT_TRUE(g.Reaches(P(1), P(kN)));
+    EXPECT_FALSE(g.Reaches(P(kN), P(1)));
+  }
+}
+
+}  // namespace
+}  // namespace tpm
