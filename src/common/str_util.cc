@@ -1,5 +1,7 @@
 #include "common/str_util.h"
 
+#include <charconv>
+
 namespace tpm {
 
 std::vector<std::string> StrSplit(const std::string& s, char sep) {
@@ -15,6 +17,20 @@ std::vector<std::string> StrSplit(const std::string& s, char sep) {
   }
   parts.push_back(current);
   return parts;
+}
+
+Result<int64_t> ParseInt64(const std::string& s) {
+  int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument(StrCat("integer out of range: ", s));
+  }
+  if (ec != std::errc() || ptr != end || begin == end) {
+    return Status::InvalidArgument(StrCat("not an integer: ", s));
+  }
+  return value;
 }
 
 }  // namespace tpm

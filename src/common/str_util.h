@@ -1,9 +1,12 @@
 #ifndef TPM_COMMON_STR_UTIL_H_
 #define TPM_COMMON_STR_UTIL_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace tpm {
 
@@ -30,6 +33,13 @@ std::string StrJoin(const Container& items, const std::string& sep) {
 
 /// Splits `s` on the separator character, keeping empty fields.
 std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// Strict base-10 64-bit integer parse: an optional leading '-', then
+/// digits, consuming the whole string; range-checked. Unlike std::stoll it
+/// never throws — corrupted input yields InvalidArgument, which matters on
+/// the recovery path where a bad log field must surface as a Status, not
+/// abort the process.
+Result<int64_t> ParseInt64(const std::string& s);
 
 }  // namespace tpm
 

@@ -14,6 +14,10 @@ namespace tpm {
 struct CompletionStep {
   ActivityId activity;
   bool inverse = false;
+  /// Scheduler bookkeeping, not part of the step's identity: true once the
+  /// write-ahead COMP record for this inverse step is durable, so a retry
+  /// of the invocation does not log a second intention.
+  bool logged = false;
 
   friend bool operator==(const CompletionStep& a, const CompletionStep& b) {
     return a.activity == b.activity && a.inverse == b.inverse;

@@ -163,8 +163,8 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
   for (ActivityId root : def->Roots()) runtime->ready.insert(root);
   TPM_RETURN_IF_ERROR(history_.AddProcess(pid, def));
   if (log_ != nullptr) {
-    log_->Append({SchedulerLogRecord::Kind::kProcessBegin, pid, ActivityId(),
-                  def->name(), param});
+    TPM_RETURN_IF_ERROR(log_->Append({SchedulerLogRecord::Kind::kProcessBegin,
+                                      pid, ActivityId(), def->name(), param}));
   }
   EmplaceRuntime(pid, std::move(runtime));
   return pid;
@@ -229,18 +229,21 @@ Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
   ActivityInstance inst{rt.pid, act, inverse};
   TPM_RETURN_IF_ERROR(history_.Append(ScheduleEvent::Activity(inst)));
   if (inverse) {
+    // The COMP record was already logged write-ahead by the caller (see
+    // LogCompensationIntent): the intention is durable before the inverse
+    // executes, so recovery never re-applies it.
     TPM_RETURN_IF_ERROR(rt.state.RecordCompensation(act));
     ++stats_.compensations;
-    if (log_ != nullptr) {
-      log_->Append({SchedulerLogRecord::Kind::kActivityCompensated, rt.pid,
-                    act, "", 0});
-    }
   } else {
     TPM_RETURN_IF_ERROR(rt.state.RecordCommit(act));
     ++stats_.activities_committed;
+    // Forward activities are logged after the subsystem commit, as facts:
+    // losing the record leaves an orphaned forward effect that recovery
+    // tolerates, which is benign compared to replaying an inverse twice.
     if (log_ != nullptr) {
-      log_->Append({SchedulerLogRecord::Kind::kActivityCommitted, rt.pid, act,
-                    "", 0});
+      TPM_RETURN_IF_ERROR(
+          log_->Append({SchedulerLogRecord::Kind::kActivityCommitted, rt.pid,
+                        act, "", 0}));
     }
     rt.active_group[act] = 0;
     RecomputeReadyFrom(rt, act);
@@ -262,6 +265,17 @@ Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
     TPM_RETURN_IF_ERROR(CertifyHistory());
   }
   return Status::OK();
+}
+
+Status TransactionalProcessScheduler::LogCompensationIntent(
+    ProcessId pid, ActivityId activity) {
+  if (log_ == nullptr) return Status::OK();
+  TPM_RETURN_IF_ERROR(log_->Append(
+      {SchedulerLogRecord::Kind::kActivityCompensated, pid, activity, "", 0}));
+  // In asynchronous mode the append alone is volatile; the intention must
+  // be durable before the inverse runs, or a crash between the two could
+  // make recovery execute the inverse a second time (double-compensation).
+  return log_->Flush();
 }
 
 Result<bool> TransactionalProcessScheduler::GateCompensation(
@@ -673,6 +687,10 @@ Result<bool> TransactionalProcessScheduler::ExecuteCompletionStep(
       step.inverse ? decl.compensation_service : decl.service;
   TPM_ASSIGN_OR_RETURN(Subsystem * subsystem, RouteService(service));
   ServiceRequest request{rt.pid, step.activity, rt.param};
+  if (step.inverse && !rt.pending.front().logged) {
+    TPM_RETURN_IF_ERROR(LogCompensationIntent(rt.pid, step.activity));
+    rt.pending.front().logged = true;
+  }
   Result<InvocationOutcome> outcome = subsystem->Invoke(service, request);
   if (!outcome.ok()) {
     if (outcome.status().IsUnavailable()) {
@@ -779,9 +797,10 @@ Status TransactionalProcessScheduler::FinishProcess(ProcessRuntime& rt,
     ++stats_.processes_aborted;
   }
   if (log_ != nullptr) {
-    log_->Append({committed ? SchedulerLogRecord::Kind::kProcessCommitted
-                            : SchedulerLogRecord::Kind::kProcessAborted,
-                  rt.pid, ActivityId(), "", 0});
+    TPM_RETURN_IF_ERROR(log_->Append(
+        {committed ? SchedulerLogRecord::Kind::kProcessCommitted
+                   : SchedulerLogRecord::Kind::kProcessAborted,
+         rt.pid, ActivityId(), "", 0}));
   }
   latencies_.push_back(ProcessLatency{rt.pid, rt.submitted_at,
                                       rt.started_at, clock_,
@@ -1031,23 +1050,70 @@ Status TransactionalProcessScheduler::Checkpoint() {
   if (log_ == nullptr) {
     return Status::FailedPrecondition("checkpoint requires a recovery log");
   }
+  // Global commit order from the emitted history. The compacted log must
+  // preserve it across processes — recovery sorts the group abort's
+  // compensations by log position (Lemma 2: reverse commit order), and the
+  // replayed history must stay prefix-reducible; records grouped by
+  // process would silently invert inter-process commit order.
+  std::map<std::pair<int64_t, int64_t>, size_t> commit_pos;
+  const auto& events = history_.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ScheduleEvent& e = events[i];
+    if (e.type == EventType::kActivity && !e.aborted_invocation &&
+        !e.act.inverse) {
+      commit_pos[{e.act.process.value(), e.act.activity.value()}] = i;
+    }
+  }
+  auto pos_of = [&](ProcessId pid, ActivityId act) {
+    auto it = commit_pos.find({pid.value(), act.value()});
+    return it == commit_pos.end() ? size_t{0} : it->second;
+  };
+
   std::vector<SchedulerLogRecord> compact;
+  struct Positioned {
+    size_t pos;
+    SchedulerLogRecord record;
+  };
+  std::vector<Positioned> acts;
+  std::vector<Positioned> comps;
   for (const auto& rt : runtimes_) {
     if (rt == nullptr || !rt->state.IsActive()) {
       continue;  // effects are durable; drop
     }
     compact.push_back({SchedulerLogRecord::Kind::kProcessBegin, rt->pid,
                        ActivityId(), rt->def->name(), rt->param});
-    // The effective committed activities in commit order reconstruct the
-    // state recovery needs (already-compensated work is equivalent to
-    // never-executed work for the completion computation).
+    // The effective committed activities reconstruct the state recovery
+    // needs (already-compensated work is equivalent to never-executed work
+    // for the completion computation).
     for (ActivityId act : rt->state.EffectiveCommitted()) {
-      compact.push_back({SchedulerLogRecord::Kind::kActivityCommitted,
-                         rt->pid, act, "", 0});
+      acts.push_back({pos_of(rt->pid, act),
+                      {SchedulerLogRecord::Kind::kActivityCommitted, rt->pid,
+                       act, "", 0}});
+    }
+    // Write-ahead COMP intentions already durable but not yet executed must
+    // survive the compaction: dropping one would let the compensation run
+    // unlogged afterwards (its step is marked `logged`), and a later crash
+    // would re-apply the inverse.
+    for (const CompletionStep& step : rt->pending) {
+      if (step.inverse && step.logged) {
+        comps.push_back({pos_of(rt->pid, step.activity),
+                         {SchedulerLogRecord::Kind::kActivityCompensated,
+                          rt->pid, step.activity, "", 0}});
+      }
     }
   }
-  log_->ReplaceAll(compact);
-  return Status::OK();
+  std::stable_sort(acts.begin(), acts.end(),
+                   [](const Positioned& a, const Positioned& b) {
+                     return a.pos < b.pos;
+                   });
+  // Intentions in reverse order of their originals' commits (Lemma 2).
+  std::stable_sort(comps.begin(), comps.end(),
+                   [](const Positioned& a, const Positioned& b) {
+                     return a.pos > b.pos;
+                   });
+  for (const Positioned& p : acts) compact.push_back(p.record);
+  for (const Positioned& p : comps) compact.push_back(p.record);
+  return log_->ReplaceAll(compact);
 }
 
 void TransactionalProcessScheduler::Crash() {
@@ -1077,7 +1143,13 @@ Status TransactionalProcessScheduler::Recover(
   TPM_ASSIGN_OR_RETURN(std::vector<SchedulerLogRecord> records,
                        log_->Records());
 
-  // Rebuild process execution states.
+  // Rebuild process execution states. Replay is defensive: a crash can
+  // legitimately leave records that no longer apply — a write-ahead COMP
+  // intention whose pending step was superseded by a cascading abort shows
+  // up as a duplicate COMP; a compaction concurrent with the crash can drop
+  // a process that later records still mention. Such records are skipped
+  // and counted (stats.recovered_log_anomalies) rather than failing
+  // recovery.
   for (const SchedulerLogRecord& record : records) {
     switch (record.kind) {
       case SchedulerLogRecord::Kind::kProcessBegin: {
@@ -1095,10 +1167,10 @@ Status TransactionalProcessScheduler::Recover(
       }
       case SchedulerLogRecord::Kind::kActivityCommitted: {
         ProcessRuntime* rt = FindRuntime(record.pid);
-        if (rt == nullptr) {
-          return Status::Internal("ACT record for unknown process");
+        if (rt == nullptr || !rt->state.RecordCommit(record.activity).ok()) {
+          ++stats_.recovered_log_anomalies;
+          break;
         }
-        TPM_RETURN_IF_ERROR(rt->state.RecordCommit(record.activity));
         TPM_RETURN_IF_ERROR(history_.Append(
             ScheduleEvent::Activity(
                 ActivityInstance{record.pid, record.activity, false}),
@@ -1107,10 +1179,11 @@ Status TransactionalProcessScheduler::Recover(
       }
       case SchedulerLogRecord::Kind::kActivityCompensated: {
         ProcessRuntime* rt = FindRuntime(record.pid);
-        if (rt == nullptr) {
-          return Status::Internal("COMP record for unknown process");
+        if (rt == nullptr ||
+            !rt->state.RecordCompensation(record.activity).ok()) {
+          ++stats_.recovered_log_anomalies;
+          break;
         }
-        TPM_RETURN_IF_ERROR(rt->state.RecordCompensation(record.activity));
         TPM_RETURN_IF_ERROR(history_.Append(
             ScheduleEvent::Activity(
                 ActivityInstance{record.pid, record.activity, true}),
@@ -1181,6 +1254,12 @@ Status TransactionalProcessScheduler::Recover(
     ServiceId service = inverse ? decl.compensation_service : decl.service;
     TPM_ASSIGN_OR_RETURN(Subsystem * subsystem, RouteService(service));
     ServiceRequest request{pid, activity, rt.param};
+    // Same write-ahead discipline as normal execution: the COMP intention
+    // is durable before the inverse runs, so a crash during this recovery
+    // never leads a second recovery to re-apply it.
+    if (inverse) {
+      TPM_RETURN_IF_ERROR(LogCompensationIntent(pid, activity));
+    }
     for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
       Result<InvocationOutcome> outcome =
           subsystem->Invoke(service, request);
@@ -1201,7 +1280,12 @@ Status TransactionalProcessScheduler::Recover(
   for (ProcessId pid : aborting) {
     TPM_RETURN_IF_ERROR(FinishProcess(*FindRuntime(pid), /*committed=*/false));
   }
-  return Status::OK();
+  // Make the records appended during recovery (forward ACTs, terminal
+  // ABORTs) durable before declaring recovery complete — in asynchronous
+  // mode an immediate second crash would otherwise replay from the
+  // pre-recovery log and redo work whose effects already reached the
+  // subsystems.
+  return log_->Flush();
 }
 
 }  // namespace tpm

@@ -123,6 +123,12 @@ struct SchedulerStats {
   int64_t forced_executions = 0;
   /// kUnsafe only: prefixes detected non-reducible when certifying.
   int64_t certified_violations = 0;
+  /// Log records skipped during Recover because they did not apply to the
+  /// reconstructed state (duplicate ACT/COMP from a superseded write-ahead
+  /// intention, records of processes a compaction already dropped). A
+  /// crash can legitimately leave such records; recovery tolerates them
+  /// instead of failing, but counts them for observability.
+  int64_t recovered_log_anomalies = 0;
 };
 
 }  // namespace tpm

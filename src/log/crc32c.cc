@@ -1,0 +1,52 @@
+#include "log/crc32c.h"
+
+#include <array>
+
+namespace tpm {
+
+namespace {
+
+// Table for the reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t length, uint32_t seed) {
+  const auto& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < length; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc32c(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xA282EAD8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t UnmaskCrc32c(uint32_t masked) {
+  constexpr uint32_t kMaskDelta = 0xA282EAD8u;
+  uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace tpm

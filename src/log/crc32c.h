@@ -1,0 +1,23 @@
+#ifndef TPM_LOG_CRC32C_H_
+#define TPM_LOG_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tpm {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum used
+/// by the file-backed log's record framing. Software table implementation;
+/// `seed` allows incremental computation over split buffers.
+uint32_t Crc32c(const void* data, size_t length, uint32_t seed = 0);
+
+/// Masked CRC in the LevelDB/RocksDB style: storing the raw CRC of data
+/// that itself embeds CRCs is error-prone (a frame whose payload is a frame
+/// would verify accidentally); the mask makes stored checksums distinct
+/// from computed ones.
+uint32_t MaskCrc32c(uint32_t crc);
+uint32_t UnmaskCrc32c(uint32_t masked);
+
+}  // namespace tpm
+
+#endif  // TPM_LOG_CRC32C_H_

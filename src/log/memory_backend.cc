@@ -1,0 +1,30 @@
+#include "log/memory_backend.h"
+
+#include <utility>
+
+namespace tpm {
+
+Status MemoryStorageBackend::Append(std::string record) {
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status MemoryStorageBackend::Sync() {
+  durable_size_ = records_.size();
+  return Status::OK();
+}
+
+Status MemoryStorageBackend::ReplaceAll(
+    const std::vector<std::string>& records) {
+  // Build-then-swap: the replacement becomes visible (and durable) as one
+  // unit, so a crash during compaction leaves either the old or the new
+  // contents — never a truncated checkpoint.
+  std::vector<std::string> next = records;
+  records_.swap(next);
+  durable_size_ = records_.size();
+  return Status::OK();
+}
+
+void MemoryStorageBackend::SimulateCrash() { records_.resize(durable_size_); }
+
+}  // namespace tpm

@@ -1,0 +1,31 @@
+#ifndef TPM_LOG_MEMORY_BACKEND_H_
+#define TPM_LOG_MEMORY_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "log/storage_backend.h"
+
+namespace tpm {
+
+/// In-memory storage backend: "stable storage" is a second vector holding
+/// the synced prefix length. Used by tests, benchmarks and simulations
+/// where real durability is not needed but the durability *boundary* must
+/// behave exactly like the file backend's.
+class MemoryStorageBackend : public StorageBackend {
+ public:
+  Status Append(std::string record) override;
+  Status Sync() override;
+  Status ReplaceAll(const std::vector<std::string>& records) override;
+  const std::vector<std::string>& records() const override { return records_; }
+  size_t durable_size() const override { return durable_size_; }
+  void SimulateCrash() override;
+
+ private:
+  std::vector<std::string> records_;
+  size_t durable_size_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_LOG_MEMORY_BACKEND_H_

@@ -45,10 +45,12 @@ Result<SchedulerLogRecord> SchedulerLogRecord::Parse(const std::string& line) {
   }
   SchedulerLogRecord record;
   TPM_ASSIGN_OR_RETURN(record.kind, ParseKind(parts[0]));
-  record.pid = ProcessId(std::stoll(parts[1]));
-  record.activity = ActivityId(std::stoll(parts[2]));
-  record.param = std::stoll(parts[3]);
-  // The def name may itself contain '|'-free text; rejoin defensively.
+  TPM_ASSIGN_OR_RETURN(int64_t pid, ParseInt64(parts[1]));
+  TPM_ASSIGN_OR_RETURN(int64_t activity, ParseInt64(parts[2]));
+  TPM_ASSIGN_OR_RETURN(record.param, ParseInt64(parts[3]));
+  record.pid = ProcessId(pid);
+  record.activity = ActivityId(activity);
+  // The def name may itself contain '|'; rejoin the remaining fields.
   record.def_name = parts[4];
   for (size_t i = 5; i < parts.size(); ++i) {
     record.def_name += "|" + parts[i];
@@ -56,12 +58,13 @@ Result<SchedulerLogRecord> SchedulerLogRecord::Parse(const std::string& line) {
   return record;
 }
 
-void RecoveryLog::ReplaceAll(const std::vector<SchedulerLogRecord>& records) {
-  wal_.Clear();
+Status RecoveryLog::ReplaceAll(const std::vector<SchedulerLogRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
   for (const SchedulerLogRecord& record : records) {
-    wal_.Append(record.Serialize());
+    lines.push_back(record.Serialize());
   }
-  wal_.Flush();
+  return wal_.ReplaceAll(lines);
 }
 
 Result<std::vector<SchedulerLogRecord>> RecoveryLog::Records() const {

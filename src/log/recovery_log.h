@@ -1,6 +1,7 @@
 #ifndef TPM_LOG_RECOVERY_LOG_H_
 #define TPM_LOG_RECOVERY_LOG_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@ struct SchedulerLogRecord {
   int64_t param = 0;       // for kProcessBegin: the process's parameter
 
   std::string Serialize() const;
+  /// Parses one serialized record. Never throws: corrupted fields (bad
+  /// kind token, non-numeric or out-of-range ids) yield InvalidArgument.
   static Result<SchedulerLogRecord> Parse(const std::string& line);
 
   friend bool operator==(const SchedulerLogRecord& a,
@@ -39,30 +42,47 @@ struct SchedulerLogRecord {
 };
 
 /// Typed wrapper over the WAL used by the scheduler. Synchronous by
-/// default: a record is durable once Append returns, which is what the
-/// correctness argument for crash recovery assumes (an activity is never
-/// committed in a subsystem before its log record is durable).
+/// default: a record is durable once Append returns OK.
+///
+/// Logging discipline (what the durability boundary actually guarantees —
+/// see DESIGN.md "Durable recovery log"): forward activities are logged
+/// *after* they commit in their subsystem, as accomplished facts, so a
+/// crash can leave a committed-in-subsystem-but-unlogged activity whose
+/// effect recovery cannot see (an orphaned forward effect; in synchronous
+/// mode the window is one in-flight record). Compensations are logged
+/// *write-ahead*, durable before the compensating activity is invoked, so
+/// recovery never re-applies an inverse — the failure mode that, unlike an
+/// orphan, would corrupt subsystem state (double-compensation).
 class RecoveryLog {
  public:
   explicit RecoveryLog(bool synchronous = true) : wal_(synchronous) {}
+  /// A log over explicit stable storage (e.g. a FileStorageBackend opened
+  /// from the on-disk log of a previous incarnation).
+  RecoveryLog(std::unique_ptr<StorageBackend> backend,
+              bool synchronous = true)
+      : wal_(std::move(backend), synchronous) {}
 
-  void Append(const SchedulerLogRecord& record) {
-    wal_.Append(record.Serialize());
+  Status Append(const SchedulerLogRecord& record) {
+    return wal_.Append(record.Serialize());
   }
-  void Flush() { wal_.Flush(); }
+  Status Flush() { return wal_.Flush(); }
   void Crash() { wal_.Crash(); }
-  void Clear() { wal_.Clear(); }
+  Status Clear() { return wal_.Clear(); }
 
   /// Log compaction: atomically replaces the whole log with `records` (a
-  /// checkpoint of the live state written by the scheduler). Modeled after
-  /// the write-new-file-then-rename idiom: the replacement is durable as a
-  /// unit.
-  void ReplaceAll(const std::vector<SchedulerLogRecord>& records);
+  /// checkpoint of the live state written by the scheduler), durable as a
+  /// unit via the backend's build-then-swap / write-new-then-rename path —
+  /// a crash mid-compaction leaves either the complete old log or the
+  /// complete checkpoint, never a truncated mixture.
+  Status ReplaceAll(const std::vector<SchedulerLogRecord>& records);
 
   size_t size() const { return wal_.size(); }
 
   /// Parses all durable records.
   Result<std::vector<SchedulerLogRecord>> Records() const;
+
+  /// The underlying WAL, exposed for fault injection and backend access.
+  Wal* wal() { return &wal_; }
 
  private:
   Wal wal_;

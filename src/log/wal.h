@@ -1,45 +1,90 @@
 #ifndef TPM_LOG_WAL_H_
 #define TPM_LOG_WAL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "log/storage_backend.h"
 
 namespace tpm {
 
-/// Append-only write-ahead log with an explicit durability boundary.
+/// Crash-point site names the WAL reports to a CrashPointListener, in the
+/// order they occur within one operation. A fault-injection sweep arms one
+/// occurrence and asserts recovery from the induced loss.
+inline constexpr const char* kWalCrashSiteAppend = "wal/append";
+inline constexpr const char* kWalCrashSiteSync = "wal/sync";
+inline constexpr const char* kWalCrashSiteSynced = "wal/synced";
+inline constexpr const char* kWalCrashSiteReplace = "wal/replace";
+inline constexpr const char* kWalCrashSiteReplaced = "wal/replaced";
+
+/// Append-only write-ahead log over a StorageBackend, with an explicit
+/// durability boundary.
 ///
 /// Records are strings (serialization is the caller's concern). In
-/// synchronous mode every append is immediately durable; in asynchronous
-/// mode appends stay volatile until Flush(), and Crash() discards the
-/// unflushed tail — modeling the usual WAL trade-off between commit latency
-/// and loss window.
+/// synchronous mode every successful Append is immediately durable; in
+/// asynchronous mode appends stay volatile until Flush() — the usual WAL
+/// trade-off between commit latency and loss window. The default backend
+/// is in-memory (simulated stable storage); construct with a
+/// FileStorageBackend for a log that survives a real process death.
+///
+/// Fault injection: an attached CrashPointListener is consulted before and
+/// after each durability-relevant action. When it triggers, the WAL
+/// simulates a crash at that instant — the pending action is lost, the
+/// volatile tail is dropped, and every subsequent operation fails with
+/// kUnavailable until Crash() is called (modeling the restart that reads
+/// stable storage) or the backend is reopened from disk.
 class Wal {
  public:
-  explicit Wal(bool synchronous = true) : synchronous_(synchronous) {}
+  explicit Wal(bool synchronous = true);
+  Wal(std::unique_ptr<StorageBackend> backend, bool synchronous = true);
 
-  void Append(std::string record);
-  void Flush() { durable_size_ = records_.size(); }
+  /// Appends one record. Durable on return in synchronous mode.
+  Status Append(std::string record);
 
-  /// Simulates a crash of the logging component: the unflushed tail is
-  /// lost; durable records survive.
-  void Crash() { records_.resize(durable_size_); }
+  /// Makes all appended records durable.
+  Status Flush();
+
+  /// Log compaction: atomically replaces the whole contents with `records`,
+  /// durable as a unit — a crash at any point leaves either the complete
+  /// old or the complete new contents.
+  Status ReplaceAll(const std::vector<std::string>& records);
+
+  Status Clear() { return ReplaceAll({}); }
+
+  /// Simulates a crash-and-restart of the logging component: the unflushed
+  /// tail is lost, durable records survive, and the log is usable again
+  /// (an injected crash leaves it unusable until this is called).
+  void Crash();
 
   /// All records, durable prefix first.
-  const std::vector<std::string>& records() const { return records_; }
-  size_t durable_size() const { return durable_size_; }
-  size_t size() const { return records_.size(); }
+  const std::vector<std::string>& records() const {
+    return backend_->records();
+  }
+  size_t durable_size() const { return backend_->durable_size(); }
+  size_t size() const { return backend_->size(); }
+  bool synchronous() const { return synchronous_; }
 
-  void Clear() {
-    records_.clear();
-    durable_size_ = 0;
+  /// True after an injected crash, until Crash() restarts the log.
+  bool crashed() const { return crashed_; }
+
+  void SetCrashPointListener(CrashPointListener* listener) {
+    listener_ = listener;
   }
 
+  StorageBackend* backend() { return backend_.get(); }
+
  private:
+  /// Consults the listener; on trigger performs the crash (`during_sync`
+  /// selects the torn-tail variant) and returns true.
+  bool Hit(const char* site, bool during_sync);
+  Status SyncWithHooks();
+
+  std::unique_ptr<StorageBackend> backend_;
   bool synchronous_;
-  std::vector<std::string> records_;
-  size_t durable_size_ = 0;
+  bool crashed_ = false;
+  CrashPointListener* listener_ = nullptr;
 };
 
 }  // namespace tpm

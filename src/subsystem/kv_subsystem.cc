@@ -28,6 +28,19 @@ Status KvSubsystem::MaybeInjectFailure(ServiceId service) {
   return Status::OK();
 }
 
+Status KvSubsystem::InjectFailureWithRetry(ServiceId service) {
+  Status status = MaybeInjectFailure(service);
+  int attempt = 1;
+  while (!status.ok() && status.IsAborted() &&
+         attempt < retry_policy_.max_attempts) {
+    ++internal_retries_;
+    backoff_ticks_waited_ += retry_policy_.backoff_base_ticks * attempt;
+    ++attempt;
+    status = MaybeInjectFailure(service);
+  }
+  return status;
+}
+
 Result<InvocationOutcome> KvSubsystem::Invoke(ServiceId service,
                                               const ServiceRequest& request) {
   TPM_ASSIGN_OR_RETURN(const ServiceDef* def, registry_.Lookup(service));
@@ -36,7 +49,7 @@ Result<InvocationOutcome> KvSubsystem::Invoke(ServiceId service,
         StrCat("service ", def->name, " blocked by prepared transaction"));
   }
   ++invocations_;
-  TPM_RETURN_IF_ERROR(MaybeInjectFailure(service));
+  TPM_RETURN_IF_ERROR(InjectFailureWithRetry(service));
   return tx_manager_.InvokeImmediate(*def, request);
 }
 
@@ -48,7 +61,7 @@ Result<PreparedHandle> KvSubsystem::InvokePrepared(
         StrCat("service ", def->name, " blocked by prepared transaction"));
   }
   ++invocations_;
-  TPM_RETURN_IF_ERROR(MaybeInjectFailure(service));
+  TPM_RETURN_IF_ERROR(InjectFailureWithRetry(service));
   return tx_manager_.InvokePrepared(*def, request);
 }
 

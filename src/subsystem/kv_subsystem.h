@@ -83,15 +83,31 @@ class KvSubsystem : public Subsystem {
   /// the subsystem's seeded RNG).
   void SetFailureProbability(ServiceId service, double p);
 
+  /// Internal masking of transient failures: failed invocations are
+  /// retried inside the subsystem per `policy` before an abort surfaces to
+  /// the scheduler. Each internal retry consumes one scheduled/random
+  /// failure, so a script of k failures with max_attempts > k commits on
+  /// the first scheduler-visible invocation.
+  void SetRetryPolicy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   KvStore& store() { return store_; }
   const KvStore& store() const { return store_; }
 
   /// Invocation counters for experiments.
   int64_t invocations() const { return invocations_; }
   int64_t injected_aborts() const { return injected_aborts_; }
+  /// Aborted attempts absorbed by the retry policy (never surfaced).
+  int64_t internal_retries() const { return internal_retries_; }
+  /// Total virtual backoff ticks the retry policy charged.
+  int64_t backoff_ticks_waited() const { return backoff_ticks_waited_; }
 
  private:
   Status MaybeInjectFailure(ServiceId service);
+  /// Runs MaybeInjectFailure under the retry policy: retries transient
+  /// aborts internally (charging backoff) until an attempt passes or the
+  /// attempt budget is exhausted.
+  Status InjectFailureWithRetry(ServiceId service);
 
   SubsystemId id_;
   std::string name_;
@@ -100,9 +116,12 @@ class KvSubsystem : public Subsystem {
   LocalTxManager tx_manager_{&store_};
   std::map<ServiceId, int> scripted_failures_;
   std::map<ServiceId, double> failure_probability_;
+  RetryPolicy retry_policy_;
   Rng rng_;
   int64_t invocations_ = 0;
   int64_t injected_aborts_ = 0;
+  int64_t internal_retries_ = 0;
+  int64_t backoff_ticks_waited_ = 0;
 };
 
 }  // namespace tpm

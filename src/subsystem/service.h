@@ -41,6 +41,19 @@ struct ServiceDef {
   bool effect_free = false;
 };
 
+/// Bounded retry of transiently failing invocations inside a subsystem.
+/// With max_attempts == n, an invocation that aborts is retried up to
+/// n - 1 times before the abort is reported to the scheduler; between
+/// attempts the subsystem waits backoff_base_ticks * attempt virtual ticks
+/// (linear backoff, accounted in a counter — the simulation has no real
+/// clock). This models a subsystem that masks its own transient faults,
+/// shrinking the retriable-activity churn the scheduler sees (Def. 3 still
+/// bounds the scheduler-visible retries).
+struct RetryPolicy {
+  int max_attempts = 1;
+  int64_t backoff_base_ticks = 0;
+};
+
 /// Registry of all services of one subsystem.
 class ServiceRegistry {
  public:

@@ -1,0 +1,24 @@
+#include "testing/fault_injector.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace tpm {
+namespace testing {
+
+std::string WriteFailingSeed(const std::string& scenario, int64_t crash_hit,
+                             const std::string& site,
+                             const std::string& detail) {
+  const char* env = std::getenv("TPM_FAULT_SEED_FILE");
+  std::string path = env != nullptr && env[0] != '\0'
+                         ? env
+                         : "fault_injection_failing_seed.txt";
+  std::ofstream out(path, std::ios::app);
+  out << "scenario=" << scenario << " crash_hit=" << crash_hit
+      << " site=" << site << "\n"
+      << detail << "\n";
+  return path;
+}
+
+}  // namespace testing
+}  // namespace tpm

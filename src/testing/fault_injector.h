@@ -1,0 +1,98 @@
+#ifndef TPM_TESTING_FAULT_INJECTOR_H_
+#define TPM_TESTING_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "log/storage_backend.h"
+
+namespace tpm {
+namespace testing {
+
+/// Deterministic crash-point injector for the WAL's fault-injection hooks.
+///
+/// A sweep first performs a dry run with an unarmed injector to count the
+/// crash-point hits T of a scenario, then re-runs the scenario T times,
+/// arming the injector at hit k = 1..T; each armed run crashes the log at
+/// exactly one site, after which the harness recovers and asserts the
+/// correctness criteria. Hits are counted globally across sites unless a
+/// site filter is set.
+class FaultInjector : public CrashPointListener {
+ public:
+  /// Arm: trigger a crash on the `hit`-th crash-point hit (1-based).
+  /// hit <= 0 disarms (count-only mode).
+  void ArmAt(int64_t hit) {
+    arm_at_ = hit;
+    triggered_ = false;
+    triggered_site_.clear();
+  }
+
+  /// Restrict counting (and hence triggering) to one site name; empty
+  /// string removes the filter.
+  void ArmAtSite(const std::string& site, int64_t hit) {
+    site_filter_ = site;
+    ArmAt(hit);
+  }
+
+  /// Resets counters and disarms; per-site statistics are cleared too.
+  void Reset() {
+    arm_at_ = 0;
+    hits_ = 0;
+    triggered_ = false;
+    triggered_site_.clear();
+    site_filter_.clear();
+    site_hits_.clear();
+  }
+
+  bool OnCrashPoint(const char* site) override {
+    if (!site_filter_.empty() && site_filter_ != site) return false;
+    ++hits_;
+    ++site_hits_[site];
+    if (arm_at_ > 0 && !triggered_ && hits_ == arm_at_) {
+      triggered_ = true;
+      triggered_site_ = site;
+      return true;
+    }
+    return false;
+  }
+
+  /// Crash-point hits observed since the last Reset/ArmAt (counting
+  /// continues across triggers, so a dry run measures the full scenario).
+  int64_t hits() const { return hits_; }
+  bool triggered() const { return triggered_; }
+  const std::string& triggered_site() const { return triggered_site_; }
+  const std::map<std::string, int64_t>& site_hits() const {
+    return site_hits_;
+  }
+
+  /// Restarts hit counting without touching the arming state — call
+  /// between the dry run and each armed run.
+  void ResetCounts() {
+    hits_ = 0;
+    triggered_ = false;
+    triggered_site_.clear();
+    site_hits_.clear();
+  }
+
+ private:
+  int64_t arm_at_ = 0;
+  int64_t hits_ = 0;
+  bool triggered_ = false;
+  std::string triggered_site_;
+  std::string site_filter_;
+  std::map<std::string, int64_t> site_hits_;
+};
+
+/// Writes a reproducer description of a failing sweep iteration to the
+/// file named by the TPM_FAULT_SEED_FILE environment variable (default
+/// "fault_injection_failing_seed.txt" in the working directory) so CI can
+/// upload it as an artifact. Returns the path written.
+std::string WriteFailingSeed(const std::string& scenario, int64_t crash_hit,
+                             const std::string& site,
+                             const std::string& detail);
+
+}  // namespace testing
+}  // namespace tpm
+
+#endif  // TPM_TESTING_FAULT_INJECTOR_H_

@@ -24,5 +24,32 @@ TEST(StrSplitTest, SplitsKeepingEmptyFields) {
   EXPECT_EQ(StrSplit("", '|'), (std::vector<std::string>{""}));
 }
 
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  auto check = [](const std::string& s, int64_t expected) {
+    auto parsed = ParseInt64(s);
+    ASSERT_TRUE(parsed.ok()) << s << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, expected) << s;
+  };
+  check("0", 0);
+  check("42", 42);
+  check("-7", -7);
+  check("007", 7);
+  check("9223372036854775807", INT64_MAX);
+  check("-9223372036854775808", INT64_MIN);
+}
+
+TEST(ParseInt64Test, RejectsCorruptInputWithStatus) {
+  const std::string bad[] = {
+      "", " ", "x", "1x", "x1", "1 ", " 1", "+1", "--1", "-", "1.5",
+      "0x10", "1e3", "9223372036854775808", "-9223372036854775809",
+      "99999999999999999999999999",
+  };
+  for (const std::string& s : bad) {
+    auto parsed = ParseInt64(s);
+    EXPECT_FALSE(parsed.ok()) << "accepted: \"" << s << "\"";
+    EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  }
+}
+
 }  // namespace
 }  // namespace tpm

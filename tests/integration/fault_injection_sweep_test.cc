@@ -1,0 +1,353 @@
+// Deterministic fault-injection sweep (the crash-point harness): a crash is
+// injected at every log append/flush/compaction site a workload reaches, in
+// synchronous and asynchronous logging mode and over the in-memory and the
+// file-backed storage backend; transient subsystem failures of retriable
+// activities run underneath. After every injected crash the scheduler must
+// recover to a state whose completed schedule is still prefix-reducible
+// (PRED, Def. 10) and process-recoverable (Proc-REC, Def. 11), no key-value
+// entry may ever go negative (a compensation is never applied twice), and
+// the scheduler must remain operational.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/scheduler.h"
+#include "log/file_backend.h"
+#include "testing/fault_injector.h"
+#include "testing/mini_world.h"
+
+namespace tpm {
+namespace {
+
+using testing::FaultInjector;
+using testing::MiniWorld;
+using testing::WriteFailingSeed;
+
+struct ScenarioDefs {
+  std::vector<const ProcessDef*> workload;
+  /// A one-activity process submitted after recovery to prove the
+  /// scheduler is still operational (built up front so its services are
+  /// registered with the scheduler).
+  const ProcessDef* probe = nullptr;
+};
+
+struct Scenario {
+  std::string name;
+  std::function<ScenarioDefs(MiniWorld*)> build;
+};
+
+struct Flavor {
+  std::string name;
+  bool synchronous;
+  bool file_backed;
+};
+
+/// Workloads chosen to reach every log site: pivot failures force group
+/// aborts (COMP records and compensation gates), an alternative branch
+/// exercises subtree compensation, cross-process conflicts force cascading
+/// aborts, and scripted transient failures of retriable activities run
+/// against the subsystem retry policy.
+std::vector<Scenario> Scenarios() {
+  return {
+      {"cascade",
+       [](MiniWorld* w) {
+         ScenarioDefs d;
+         d.workload.push_back(w->MakeChain("p1", "c:a c:b p:x r:y"));
+         d.workload.push_back(w->MakeChain("p2", "c:b r:y"));
+         d.probe = w->MakeChain("probe", "c:a");
+         // The pivot fails once: p1 aborts, compensating b and a; p2's
+         // conflicting work on b is cascade-aborted first (Lemma 2).
+         w->subsystem()->ScheduleFailures(w->AddServiceFor("x"), 1);
+         // Transient failures of the retriable activity; the subsystem
+         // masks one per invocation, the rest surface as Def. 3 retries.
+         w->subsystem()->ScheduleFailures(w->AddServiceFor("y"), 3);
+         w->subsystem()->SetRetryPolicy(
+             RetryPolicy{/*max_attempts=*/2, /*backoff_base_ticks=*/1});
+         return d;
+       }},
+      {"branching",
+       [](MiniWorld* w) {
+         ScenarioDefs d;
+         d.workload.push_back(
+             w->MakeBranching("b1", "pre", "piv", "mid", "deep", "alt"));
+         d.workload.push_back(w->MakeChain("b2", "c:mid r:alt"));
+         d.probe = w->MakeChain("probe", "c:pre");
+         // The deep pivot fails once: b1 compensates mid and switches to
+         // its all-retriable alternative branch.
+         w->subsystem()->ScheduleFailures(w->AddServiceFor("deep"), 1);
+         w->subsystem()->ScheduleFailures(w->AddServiceFor("alt"), 2);
+         w->subsystem()->SetRetryPolicy(
+             RetryPolicy{/*max_attempts=*/2, /*backoff_base_ticks=*/0});
+         return d;
+       }},
+  };
+}
+
+std::string SweepLogPath(const std::string& tag) {
+  return ::testing::TempDir() + "tpm_sweep_" + tag + "_" + StrCat(::getpid()) +
+         ".log";
+}
+
+Result<std::unique_ptr<RecoveryLog>> MakeLog(const Flavor& flavor,
+                                             const std::string& path) {
+  if (!flavor.file_backed) {
+    return std::make_unique<RecoveryLog>(flavor.synchronous);
+  }
+  TPM_ASSIGN_OR_RETURN(std::unique_ptr<FileStorageBackend> backend,
+                       FileStorageBackend::Open(path));
+  return std::make_unique<RecoveryLog>(std::move(backend),
+                                       flavor.synchronous);
+}
+
+/// Submits the workload, takes a mid-run checkpoint (so the sweep also
+/// reaches the compaction sites), and runs to completion. An injected log
+/// crash surfaces as kUnavailable from Submit, Checkpoint or Run.
+Status DriveWorkload(TransactionalProcessScheduler* scheduler,
+                     const std::vector<const ProcessDef*>& defs) {
+  for (const ProcessDef* def : defs) {
+    if (def == nullptr) {
+      return Status::Internal("scenario def failed to build");
+    }
+    Result<ProcessId> pid = scheduler->Submit(def);
+    if (!pid.ok()) return pid.status();
+  }
+  bool more = true;
+  for (int i = 0; i < 4 && more; ++i) {
+    TPM_ASSIGN_OR_RETURN(more, scheduler->Step());
+  }
+  if (more) {
+    TPM_RETURN_IF_ERROR(scheduler->Checkpoint());
+  }
+  return scheduler->Run(200000);
+}
+
+/// All correctness criteria asserted after each injected crash + recovery.
+/// Returns a failure description, empty on success.
+std::string CheckInvariants(TransactionalProcessScheduler* scheduler,
+                            MiniWorld* world, const ProcessDef* probe) {
+  std::string failures;
+  Result<bool> pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  if (!pred.ok()) {
+    failures += " PRED-check-error:" + pred.status().ToString();
+  } else if (!*pred) {
+    failures += " not-PRED:" + scheduler->history().ToString();
+  }
+  if (!IsProcessRecoverable(scheduler->history(),
+                            scheduler->conflict_spec())) {
+    failures += " not-ProcREC:" + scheduler->history().ToString();
+  }
+  for (const auto& [key, value] : world->subsystem()->store().Snapshot()) {
+    if (value < 0) {
+      failures += StrCat(" negative-value:", key, "=", value);
+    }
+  }
+  // The scheduler must still schedule: run the probe process end to end.
+  Result<ProcessId> pid = scheduler->Submit(probe);
+  if (!pid.ok()) {
+    failures += " probe-submit:" + pid.status().ToString();
+  } else {
+    Status run = scheduler->Run(200000);
+    if (!run.ok()) {
+      failures += " probe-run:" + run.ToString();
+    } else if (scheduler->OutcomeOf(*pid) != ProcessOutcome::kCommitted) {
+      failures += " probe-not-committed";
+    }
+  }
+  return failures;
+}
+
+class FaultInjectionSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+void RunSweep(const Scenario& scenario, const Flavor& flavor) {
+  const std::string tag = scenario.name + "_" + flavor.name;
+  const std::string path = SweepLogPath(tag);
+
+  // Dry run: count the crash-point hits T of the undisturbed workload.
+  FaultInjector injector;
+  int64_t total_hits = 0;
+  {
+    std::remove(path.c_str());
+    MiniWorld world;
+    ScenarioDefs defs = scenario.build(&world);
+    auto log = MakeLog(flavor, path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    (*log)->wal()->SetCrashPointListener(&injector);
+    TransactionalProcessScheduler scheduler({}, log->get());
+    ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+    Status run = DriveWorkload(&scheduler, defs.workload);
+    ASSERT_TRUE(run.ok()) << tag << ": " << run.ToString();
+    total_hits = injector.hits();
+  }
+  ASSERT_GT(total_hits, 0) << tag;
+
+  // The sweep: crash at hit k, recover, assert the criteria.
+  for (int64_t k = 1; k <= total_hits; ++k) {
+    std::remove(path.c_str());
+    MiniWorld world;
+    ScenarioDefs defs = scenario.build(&world);
+    ASSERT_NE(defs.probe, nullptr);
+    auto log_or = MakeLog(flavor, path);
+    ASSERT_TRUE(log_or.ok()) << log_or.status().ToString();
+    std::unique_ptr<RecoveryLog> log = std::move(*log_or);
+    log->wal()->SetCrashPointListener(&injector);
+    injector.ArmAt(k);
+    injector.ResetCounts();
+
+    auto scheduler = std::make_unique<TransactionalProcessScheduler>(
+        SchedulerOptions{}, log.get());
+    ASSERT_TRUE(scheduler->RegisterSubsystem(world.subsystem()).ok());
+
+    Status run = DriveWorkload(scheduler.get(), defs.workload);
+    ASSERT_TRUE(injector.triggered())
+        << tag << " k=" << k << " (deterministic rerun missed the hit): "
+        << run.ToString();
+    ASSERT_TRUE(run.IsUnavailable())
+        << tag << " k=" << k << ": " << run.ToString();
+    const std::string site = injector.triggered_site();
+
+    // Crash-and-restart. The in-memory flavor restarts the log component
+    // in place; the file flavor kills scheduler and log and reopens the
+    // on-disk file, as a restarted process would (the subsystems, being
+    // durable, survive either way).
+    Status recovered;
+    if (flavor.file_backed) {
+      scheduler.reset();
+      log.reset();
+      auto reopened = MakeLog(flavor, path);
+      ASSERT_TRUE(reopened.ok())
+          << tag << " k=" << k << " site=" << site << ": "
+          << reopened.status().ToString();
+      log = std::move(*reopened);
+      scheduler = std::make_unique<TransactionalProcessScheduler>(
+          SchedulerOptions{}, log.get());
+      ASSERT_TRUE(scheduler->RegisterSubsystem(world.subsystem()).ok());
+    } else {
+      log->Crash();
+    }
+    recovered = scheduler->Recover(world.DefsByName());
+    std::string failures;
+    if (!recovered.ok()) {
+      failures = " recover:" + recovered.ToString();
+    } else {
+      failures = CheckInvariants(scheduler.get(), &world, defs.probe);
+    }
+    if (!failures.empty()) {
+      std::string seed_file = WriteFailingSeed(tag, k, site, failures);
+      FAIL() << tag << " crash at hit " << k << " (site " << site
+             << "):" << failures << "\n(reproducer appended to " << seed_file
+             << ")";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionSweep, MemorySynchronous) {
+  for (const Scenario& scenario : Scenarios()) {
+    RunSweep(scenario, Flavor{"mem_sync", /*synchronous=*/true,
+                              /*file_backed=*/false});
+  }
+}
+
+TEST(FaultInjectionSweep, MemoryAsynchronous) {
+  for (const Scenario& scenario : Scenarios()) {
+    RunSweep(scenario, Flavor{"mem_async", /*synchronous=*/false,
+                              /*file_backed=*/false});
+  }
+}
+
+TEST(FaultInjectionSweep, FileSynchronous) {
+  for (const Scenario& scenario : Scenarios()) {
+    RunSweep(scenario, Flavor{"file_sync", /*synchronous=*/true,
+                              /*file_backed=*/true});
+  }
+}
+
+TEST(FaultInjectionSweep, FileAsynchronous) {
+  for (const Scenario& scenario : Scenarios()) {
+    RunSweep(scenario, Flavor{"file_async", /*synchronous=*/false,
+                              /*file_backed=*/true});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-restart determinism: a file-backed scheduler killed after the
+// workload completed and restarted from the on-disk log reaches the same
+// state fingerprint (process outcomes + subsystem stores) as the run that
+// was never interrupted.
+
+uint64_t Fnv1a(uint64_t hash, const std::string& bytes) {
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t StateFingerprint(TransactionalProcessScheduler* scheduler,
+                          MiniWorld* world, int64_t num_pids) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (int64_t p = 1; p <= num_pids; ++p) {
+    hash = Fnv1a(hash, StrCat("P", p, "=",
+                              static_cast<int>(scheduler->OutcomeOf(
+                                  ProcessId(p)))));
+  }
+  for (const auto& [key, value] : world->subsystem()->store().Snapshot()) {
+    hash = Fnv1a(hash, StrCat(key, "=", value));
+  }
+  return hash;
+}
+
+TEST(FaultInjectionSweep, FileBackedRestartMatchesUncrashedFingerprint) {
+  for (const Scenario& scenario : Scenarios()) {
+    // Reference: the run that is never interrupted.
+    uint64_t reference = 0;
+    int64_t num_pids = 0;
+    {
+      MiniWorld world;
+      ScenarioDefs defs = scenario.build(&world);
+      RecoveryLog log;
+      TransactionalProcessScheduler scheduler({}, &log);
+      ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+      ASSERT_TRUE(DriveWorkload(&scheduler, defs.workload).ok());
+      num_pids = static_cast<int64_t>(defs.workload.size());
+      reference = StateFingerprint(&scheduler, &world, num_pids);
+    }
+
+    // Same workload over the file backend; kill everything but the world
+    // (the subsystems are the durable periphery), restart from disk.
+    const std::string path = SweepLogPath(scenario.name + "_fingerprint");
+    std::remove(path.c_str());
+    MiniWorld world;
+    ScenarioDefs defs = scenario.build(&world);
+    {
+      auto backend = FileStorageBackend::Open(path);
+      ASSERT_TRUE(backend.ok());
+      RecoveryLog log(std::move(*backend));
+      TransactionalProcessScheduler scheduler({}, &log);
+      ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+      ASSERT_TRUE(DriveWorkload(&scheduler, defs.workload).ok());
+    }  // kill: scheduler and log destroyed, only the file remains
+    auto backend = FileStorageBackend::Open(path);
+    ASSERT_TRUE(backend.ok());
+    RecoveryLog log(std::move(*backend));
+    TransactionalProcessScheduler scheduler({}, &log);
+    ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+    ASSERT_TRUE(scheduler.Recover(world.DefsByName()).ok()) << scenario.name;
+    EXPECT_EQ(StateFingerprint(&scheduler, &world, num_pids), reference)
+        << scenario.name;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tpm

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/fault_injector.h"
+
 namespace tpm {
 namespace {
+
+using testing::FaultInjector;
 
 TEST(WalTest, SynchronousAppendsAreDurable) {
   Wal wal(/*synchronous=*/true);
@@ -39,6 +43,77 @@ TEST(WalTest, ClearResets) {
   wal.Clear();
   EXPECT_EQ(wal.size(), 0u);
   EXPECT_EQ(wal.durable_size(), 0u);
+}
+
+TEST(WalTest, InjectedCrashBeforeAppendLosesRecordUntilRestart) {
+  Wal wal(/*synchronous=*/true);
+  FaultInjector injector;
+  wal.SetCrashPointListener(&injector);
+  ASSERT_TRUE(wal.Append("a").ok());
+  injector.ArmAtSite(kWalCrashSiteAppend, 1);
+  injector.ResetCounts();
+  Status s = wal.Append("b");
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_TRUE(wal.crashed());
+  EXPECT_EQ(injector.triggered_site(), kWalCrashSiteAppend);
+  // Every operation fails until the restart.
+  EXPECT_TRUE(wal.Append("c").IsUnavailable());
+  EXPECT_TRUE(wal.Flush().IsUnavailable());
+  wal.Crash();
+  EXPECT_FALSE(wal.crashed());
+  EXPECT_EQ(wal.size(), 1u);
+  EXPECT_EQ(wal.records()[0], "a");
+  ASSERT_TRUE(wal.Append("d").ok());
+  EXPECT_EQ(wal.durable_size(), 2u);
+}
+
+TEST(WalTest, InjectedCrashDuringSyncLosesTail) {
+  Wal wal(/*synchronous=*/false);
+  FaultInjector injector;
+  wal.SetCrashPointListener(&injector);
+  ASSERT_TRUE(wal.Append("a").ok());
+  ASSERT_TRUE(wal.Flush().ok());
+  ASSERT_TRUE(wal.Append("b").ok());
+  injector.ArmAtSite(kWalCrashSiteSync, 1);
+  injector.ResetCounts();
+  EXPECT_TRUE(wal.Flush().IsUnavailable());
+  wal.Crash();
+  // The sync never completed: only the previously durable prefix remains.
+  EXPECT_EQ(wal.size(), 1u);
+  EXPECT_EQ(wal.records()[0], "a");
+}
+
+TEST(WalTest, ReplaceAllIsAtomicUnderInjectedCrash) {
+  // Crash before the swap: the old contents survive untouched.
+  {
+    Wal wal(/*synchronous=*/true);
+    FaultInjector injector;
+    wal.SetCrashPointListener(&injector);
+    ASSERT_TRUE(wal.Append("old1").ok());
+    ASSERT_TRUE(wal.Append("old2").ok());
+    injector.ArmAtSite(kWalCrashSiteReplace, 1);
+    injector.ResetCounts();
+    EXPECT_TRUE(wal.ReplaceAll({"new1"}).IsUnavailable());
+    wal.Crash();
+    ASSERT_EQ(wal.size(), 2u);
+    EXPECT_EQ(wal.records()[0], "old1");
+    EXPECT_EQ(wal.records()[1], "old2");
+  }
+  // Crash after the swap: the complete new contents survive. Either way,
+  // never a truncated mixture.
+  {
+    Wal wal(/*synchronous=*/true);
+    FaultInjector injector;
+    wal.SetCrashPointListener(&injector);
+    ASSERT_TRUE(wal.Append("old1").ok());
+    injector.ArmAtSite(kWalCrashSiteReplaced, 1);
+    injector.ResetCounts();
+    EXPECT_TRUE(wal.ReplaceAll({"new1", "new2"}).IsUnavailable());
+    wal.Crash();
+    ASSERT_EQ(wal.size(), 2u);
+    EXPECT_EQ(wal.records()[0], "new1");
+    EXPECT_EQ(wal.records()[1], "new2");
+  }
 }
 
 }  // namespace

@@ -65,6 +65,46 @@ TEST_F(KvSubsystemTest, AbortAllPreparedImplementsPresumedAbort) {
   EXPECT_FALSE(sub_.store().Exists("k"));
 }
 
+TEST_F(KvSubsystemTest, RetryPolicyMasksTransientFailures) {
+  // Three scripted failures, four attempts allowed: the subsystem absorbs
+  // the aborts internally and the scheduler-visible invocation commits.
+  sub_.ScheduleFailures(ServiceId(1), 3);
+  sub_.SetRetryPolicy(RetryPolicy{/*max_attempts=*/4,
+                                  /*backoff_base_ticks=*/2});
+  ASSERT_TRUE(sub_.Invoke(ServiceId(1), Req(5)).ok());
+  EXPECT_EQ(sub_.store().Get("k"), 5);
+  EXPECT_EQ(sub_.internal_retries(), 3);
+  EXPECT_EQ(sub_.injected_aborts(), 3);
+  // Linear backoff: 2*1 + 2*2 + 2*3 virtual ticks charged.
+  EXPECT_EQ(sub_.backoff_ticks_waited(), 12);
+}
+
+TEST_F(KvSubsystemTest, RetryPolicyExhaustionSurfacesAbort) {
+  sub_.ScheduleFailures(ServiceId(1), 7);
+  sub_.SetRetryPolicy(RetryPolicy{/*max_attempts=*/3,
+                                  /*backoff_base_ticks=*/0});
+  // Each scheduler-visible invocation burns up to three scripted failures.
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).status().IsAborted());
+  EXPECT_EQ(sub_.internal_retries(), 2);  // attempts 2 and 3 retried
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).status().IsAborted());
+  // One scripted failure left; the second attempt commits.
+  EXPECT_TRUE(sub_.Invoke(ServiceId(1), Req(1)).ok());
+  EXPECT_EQ(sub_.internal_retries(), 5);
+  EXPECT_EQ(sub_.injected_aborts(), 7);
+}
+
+TEST_F(KvSubsystemTest, RetryPolicyAppliesToPreparedInvocations) {
+  sub_.ScheduleFailures(ServiceId(1), 1);
+  sub_.SetRetryPolicy(RetryPolicy{/*max_attempts=*/2,
+                                  /*backoff_base_ticks=*/1});
+  auto prepared = sub_.InvokePrepared(ServiceId(1), Req(2));
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_TRUE(sub_.CommitPrepared(prepared->tx).ok());
+  EXPECT_EQ(sub_.store().Get("k"), 2);
+  EXPECT_EQ(sub_.internal_retries(), 1);
+  EXPECT_EQ(sub_.backoff_ticks_waited(), 1);
+}
+
 TEST_F(KvSubsystemTest, CompensationPairIsEffectFreeOnStore) {
   // <add sub> with the same parameter leaves the store unchanged (Def. 2).
   auto before = sub_.store().Snapshot();
