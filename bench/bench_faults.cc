@@ -1,0 +1,243 @@
+// E19 — failure domains: committed throughput and degraded-branch rate vs
+// outage severity. Three severities at fixed seeds over the FaultDomainWorld
+// health stack (deadline + circuit breaker + parking + ◁-degradation):
+//
+//   healthy  - no injected faults (baseline throughput, zero degradation)
+//   flaky    - one subsystem with transient aborts + latency spikes
+//   down     - one subsystem in an unrepaired outage for the whole run
+//
+// The paper-shaped claim: with preference orders offering alternative paths
+// around a sick subsystem, severity costs throughput but not termination —
+// committed work degrades gracefully (more ◁-switches, more parking) rather
+// than collapsing. `--json <path>` additionally writes the measured series
+// as BENCH_faults.json for the repo record.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/scheduler.h"
+#include "log/recovery_log.h"
+#include "workload/fault_workload.h"
+
+using namespace tpm;
+
+namespace {
+
+constexpr uint64_t kSeeds[] = {11, 12, 13, 14, 15};
+
+struct SeverityShape {
+  const char* name;
+  bool flaky;
+  bool down;
+};
+
+// Exactly one sick subsystem per severity. "down" deliberately has no
+// transient faults elsewhere: a transient failure of a preferred group can
+// legitimately drive the failure ladder to a ◁-alternative homed on the
+// dead subsystem, and a post-pivot retriable stranded there has no path
+// left — that is a Def. 3 violation of the *workload*, not a scheduler
+// property worth benchmarking (the chaos soak covers flaky+outage with
+// repairable windows instead).
+constexpr SeverityShape kSeverities[] = {
+    {"healthy", false, false},
+    {"flaky", true, false},
+    {"down", false, true},
+};
+
+struct FaultReport {
+  int64_t submitted = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t makespan = 0;
+  int64_t degraded = 0;
+  int64_t parked = 0;
+  int64_t trips = 0;
+  int64_t deadline_failures = 0;
+  bool ok = true;
+};
+
+/// One seeded closed-batch run at the given severity. Victims are fixed
+/// (subsystem 1 flaky, subsystem 2 down) so severity is the only variable
+/// across columns; the seed varies fault draws and workload placement.
+FaultReport RunSeverity(const SeverityShape& severity, uint64_t seed) {
+  FaultReport report;
+  Rng rng(seed * 7919 + 3);
+
+  FaultDomainOptions world_options;
+  world_options.num_subsystems = 3;
+  world_options.seed = seed;
+  world_options.proxy.deadline_ticks = 12;
+  world_options.proxy.window = 6;
+  world_options.proxy.min_samples = 4;
+  world_options.proxy.failure_threshold = 0.5;
+  world_options.proxy.cooldown_ticks = 20;
+  FaultDomainWorld world(world_options);
+
+  if (severity.flaky) {
+    testing::FaultProfile flaky;
+    flaky.transient_abort_probability = 0.2;
+    flaky.latency_ticks = 1;
+    flaky.slow_probability = 0.1;
+    flaky.slow_latency_ticks = 15;  // blows the 12-tick budget when drawn
+    world.faulty(1)->set_profile(flaky);
+  }
+  if (severity.down) {
+    world.faulty(2)->AddOutage(0, 1000000);  // never repaired
+  }
+  for (int i = 0; i < world.num_subsystems(); ++i) {
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.backoff_base_ticks = 1;
+    retry.exponential = true;
+    retry.max_backoff_ticks = 4;
+    retry.full_jitter = true;
+    world.raw(i)->SetRetryPolicy(retry);
+  }
+
+  // Closed batch, variant-disjoint keys: every subsystem serves as home,
+  // primary and degradation target for some process, and no preferred
+  // group routes *around* the down subsystem by construction — survival
+  // under severity "down" has to come from ◁-switches and parking.
+  std::vector<const ProcessDef*> defs;
+  int variant = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int home = 0; home < 3; ++home) {
+      const int primary = static_cast<int>(rng.NextInRange(0, 2));
+      int alt = static_cast<int>(rng.NextInRange(0, 2));
+      if (alt == primary) alt = (alt + 1) % 3;
+      defs.push_back(world.MakeAlternativeProcess(
+          StrCat("alt", variant), home, primary, alt, variant));
+      ++variant;
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    defs.push_back(world.MakeChainProcess(
+        StrCat("chain", c), c % 3, 2 + c % 2, variant++));
+  }
+
+  RecoveryLog log;
+  SchedulerOptions options;
+  options.clock = world.clock();
+  options.park_timeout_ticks = 400;
+  TransactionalProcessScheduler scheduler(options, &log);
+  if (!world.RegisterAll(&scheduler).ok()) {
+    report.ok = false;
+    return report;
+  }
+  for (const ProcessDef* def : defs) {
+    if (def == nullptr || !scheduler.Submit(def).ok()) {
+      report.ok = false;
+      return report;
+    }
+  }
+  report.submitted = static_cast<int64_t>(defs.size());
+  if (!scheduler.Run(500000).ok()) report.ok = false;
+
+  const SchedulerStats& stats = scheduler.stats();
+  report.committed = stats.processes_committed;
+  report.aborted = stats.processes_aborted;
+  report.makespan = stats.virtual_time;
+  report.degraded = stats.degraded_switches;
+  report.parked = stats.parked_activities;
+  report.trips = stats.breaker_trips;
+  report.deadline_failures = stats.deadline_failures;
+  return report;
+}
+
+double ThroughputPerKTick(const FaultReport& r) {
+  return r.makespan > 0 ? 1000.0 * static_cast<double>(r.committed) /
+                              static_cast<double>(r.makespan)
+                        : 0.0;
+}
+
+double DegradedRate(const FaultReport& r) {
+  return r.committed > 0
+             ? static_cast<double>(r.degraded) / static_cast<double>(r.committed)
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+
+  std::cout << "E19 | committed throughput and degraded-branch rate vs "
+               "outage severity\n";
+  std::cout << "     (16 processes/run, fixed seeds "
+            << kSeeds[0] << ".." << kSeeds[4]
+            << "; flaky victim = sub1, down victim = sub2)\n\n";
+  std::cout << "  severity  committed/submitted  aborted  commit/ktick  "
+               "degraded-rate  parked  trips  deadline\n";
+
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"bench_faults E19 severity sweep "
+       << "(16 processes, 3 subsystems, seeds 11..15)\",\n"
+       << "  \"methodology\": \"closed batch on virtual time; victims fixed "
+       << "(flaky=sub1, down=sub2); commit/ktick = committed processes per "
+       << "1000 virtual ticks, degraded_rate = preference-group switches "
+       << "away from sick subsystems per committed process; aggregates are "
+       << "sums over the five seeds\",\n  \"severities\": {\n";
+
+  bool first_severity = true;
+  for (const SeverityShape& severity : kSeverities) {
+    FaultReport total;
+    bool all_ok = true;
+    for (uint64_t seed : kSeeds) {
+      FaultReport r = RunSeverity(severity, seed);
+      all_ok = all_ok && r.ok;
+      total.submitted += r.submitted;
+      total.committed += r.committed;
+      total.aborted += r.aborted;
+      total.makespan += r.makespan;
+      total.degraded += r.degraded;
+      total.parked += r.parked;
+      total.trips += r.trips;
+      total.deadline_failures += r.deadline_failures;
+    }
+    std::cout << "  " << std::left << std::setw(8) << severity.name
+              << std::right << std::setw(10) << total.committed << "/"
+              << total.submitted << std::setw(9) << total.aborted << "  "
+              << std::fixed << std::setprecision(2) << std::setw(12)
+              << ThroughputPerKTick(total) << std::setw(15)
+              << DegradedRate(total) << std::setw(8) << total.parked
+              << std::setw(7) << total.trips << std::setw(10)
+              << total.deadline_failures
+              << (all_ok ? "" : "  [RUN FAILED]") << "\n";
+    if (!first_severity) json << ",\n";
+    first_severity = false;
+    json << "    \"" << severity.name << "\": {\"submitted\": "
+         << total.submitted << ", \"committed\": " << total.committed
+         << ", \"aborted\": " << total.aborted
+         << ", \"makespan_ticks\": " << total.makespan
+         << ", \"commit_per_ktick\": " << std::fixed << std::setprecision(3)
+         << ThroughputPerKTick(total)
+         << ", \"degraded_rate\": " << DegradedRate(total)
+         << ", \"degraded_switches\": " << total.degraded
+         << ", \"parked\": " << total.parked
+         << ", \"breaker_trips\": " << total.trips
+         << ", \"deadline_failures\": " << total.deadline_failures << "}";
+  }
+  json << "\n  }\n}\n";
+
+  std::cout <<
+      "\n  expected shape: healthy commits everything with zero degraded\n"
+      "  switches; flaky keeps commits high while deadline failures and\n"
+      "  breaker trips appear (throughput dips from retry/backoff ticks);\n"
+      "  down still terminates every process — alternative-bearing ones\n"
+      "  commit via ◁-degradation (degraded-rate rises), chains homed on\n"
+      "  the dead subsystem abort via the park timeout.\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str();
+    std::cout << "\n  wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+#ifndef TPM_COMMON_VIRTUAL_CLOCK_H_
+#define TPM_COMMON_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+namespace tpm {
+
+/// The single time base of the simulation: a monotone tick counter shared
+/// by every component that models the passage of time — the scheduler (one
+/// tick per scheduling pass, plus service-duration busy intervals), retry
+/// backoff inside subsystems, injected invocation latency and outage
+/// windows of the fault layer, invocation deadlines and circuit-breaker
+/// cooldowns of the subsystem health layer. Sharing one clock is what
+/// makes these failure shapes compose deterministically: a seeded run
+/// replays tick-for-tick.
+///
+/// The clock also carries the *cooperative invocation deadline* used by
+/// the SubsystemProxy: the proxy brackets an invocation with
+/// BeginDeadline/EndDeadline, and every Advance inside the bracket is
+/// clamped at the deadline with the expired flag raised. Components that
+/// model waiting (injected latency, backoff, outage stalls) check the flag
+/// and abort the invocation before executing any effect, which is how a
+/// timeout can be reported with clean retriable semantics (Def. 3): the
+/// local transaction never ran, so nothing was left behind. The simulation
+/// is single-threaded, so at most one invocation deadline is active at a
+/// time.
+class VirtualClock {
+ public:
+  int64_t now() const { return now_; }
+
+  /// Advances time by `ticks` (non-positive values are ignored). While an
+  /// invocation deadline is active the advance clamps at the deadline and
+  /// raises the expired flag instead of passing it.
+  void Advance(int64_t ticks) {
+    if (ticks <= 0) return;
+    const int64_t target = now_ + ticks;
+    if (deadline_active_ && target >= deadline_) {
+      if (deadline_ > now_) now_ = deadline_;
+      deadline_expired_ = true;
+      return;
+    }
+    now_ = target;
+  }
+
+  /// Advances to absolute tick `t` (no-op if `t` is in the past).
+  void AdvanceTo(int64_t t) { Advance(t - now_); }
+
+  /// Starts the cooperative invocation deadline at absolute tick `at`.
+  void BeginDeadline(int64_t at) {
+    deadline_ = at;
+    deadline_active_ = true;
+    deadline_expired_ = now_ >= at;
+  }
+
+  /// Ends the invocation bracket, clearing the deadline and its flag.
+  void EndDeadline() {
+    deadline_active_ = false;
+    deadline_expired_ = false;
+  }
+
+  /// Jumps straight to the active deadline (a call that would block past
+  /// its budget — e.g. an invocation stalled by an outage — waits the
+  /// budget out and times out).
+  void AdvanceToDeadline() {
+    if (!deadline_active_) return;
+    if (deadline_ > now_) now_ = deadline_;
+    deadline_expired_ = true;
+  }
+
+  bool deadline_active() const { return deadline_active_; }
+  bool deadline_expired() const { return deadline_expired_; }
+  int64_t deadline() const { return deadline_; }
+
+  /// Rewinds to tick 0 (a scheduler-private clock being reset by Crash();
+  /// a shared clock is never rewound — simulation time is global).
+  void Reset() {
+    now_ = 0;
+    EndDeadline();
+  }
+
+ private:
+  int64_t now_ = 0;
+  int64_t deadline_ = 0;
+  bool deadline_active_ = false;
+  bool deadline_expired_ = false;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_COMMON_VIRTUAL_CLOCK_H_

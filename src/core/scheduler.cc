@@ -11,6 +11,7 @@ namespace tpm {
 TransactionalProcessScheduler::TransactionalProcessScheduler(
     SchedulerOptions options, RecoveryLog* log)
     : options_(options), log_(log) {
+  clock_ = options_.clock != nullptr ? options_.clock : &owned_clock_;
   guard_ = MakeAdmissionGuard(*this, &stats_);
 }
 
@@ -159,7 +160,7 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
   auto runtime = std::make_unique<ProcessRuntime>(pid, def);
   runtime->param = param;
   runtime->dependencies = std::move(dependencies);
-  runtime->submitted_at = clock_;
+  runtime->submitted_at = clock_->now();
   for (ActivityId root : def->Roots()) runtime->ready.insert(root);
   TPM_RETURN_IF_ERROR(history_.AddProcess(pid, def));
   if (log_ != nullptr) {
@@ -249,7 +250,7 @@ Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
     RecomputeReadyFrom(rt, act);
   }
   AddEmitter(emitted_decl.service, rt.pid);
-  if (!rt.started) rt.started_at = clock_;
+  if (!rt.started) rt.started_at = clock_->now();
   rt.started = true;
   for (SchedulerObserver* observer : observers_) {
     observer->OnActivityCommitted(rt.pid, act, inverse);
@@ -258,7 +259,7 @@ Status TransactionalProcessScheduler::EmitActivity(ProcessRuntime& rt,
     auto duration = options_.service_durations.find(
         inverse ? emitted_decl.compensation_service : emitted_decl.service);
     if (duration != options_.service_durations.end()) {
-      rt.busy_until = clock_ + duration->second;
+      rt.busy_until = clock_->now() + duration->second;
     }
   }
   if (options_.certify_prefixes) {
@@ -396,6 +397,14 @@ Result<bool> TransactionalProcessScheduler::ExecuteActivity(ProcessRuntime& rt,
                                                             ActivityId act) {
   const ActivityDecl& decl = rt.def->activity(act);
   TPM_ASSIGN_OR_RETURN(Subsystem * subsystem, RouteService(decl.service));
+  // Failure-domain gate: never invoke against an open breaker — degrade to
+  // a reachable ◁-alternative or park (no Def. 3 retry is burned).
+  if (subsystem->breaker_state() == BreakerState::kOpen) {
+    return ParkOrDegrade(rt, act, subsystem);
+  }
+  if (!rt.parked.empty() && rt.parked.erase(act) > 0) {
+    ++stats_.resumed_activities;
+  }
   ServiceRequest request{rt.pid, act, rt.param};
 
   const bool defer_commit =
@@ -431,7 +440,7 @@ Result<bool> TransactionalProcessScheduler::ExecuteActivity(ProcessRuntime& rt,
     rt.started = true;
     auto duration = options_.service_durations.find(decl.service);
     if (duration != options_.service_durations.end()) {
-      rt.busy_until = clock_ + duration->second;
+      rt.busy_until = clock_->now() + duration->second;
     }
     ++stats_.prepared_branches;
     return true;
@@ -479,23 +488,26 @@ Status TransactionalProcessScheduler::HandleInvocationAbort(ProcessRuntime& rt,
   return HandleActivityFailure(rt, act);
 }
 
-Status TransactionalProcessScheduler::HandleActivityFailure(ProcessRuntime& rt,
-                                                            ActivityId act) {
-  rt.ready.erase(act);
-  // Find the nearest committed ancestor with an untried alternative whose
-  // active subtree holds no committed non-compensatable activity.
-  ActivityId branch_point;
-  int next_group = -1;
+std::optional<TransactionalProcessScheduler::AlternativeChoice>
+TransactionalProcessScheduler::FindAlternative(const ProcessRuntime& rt,
+                                               ActivityId act,
+                                               bool avoid_open_breakers) const {
+  // BFS over committed ancestors of `act` for the nearest one with an
+  // untried alternative whose active subtree holds no committed
+  // non-compensatable activity. With `avoid_open_breakers`, the candidate
+  // group (the first such in ◁ order) must also route every activity of
+  // its subtree to a subsystem whose breaker is not open.
   std::vector<ActivityId> worklist = {act};
   std::set<ActivityId> seen;
-  while (!worklist.empty() && !branch_point.valid()) {
+  while (!worklist.empty()) {
     ActivityId cur = worklist.front();
     worklist.erase(worklist.begin());
     if (!seen.insert(cur).second) continue;
     for (ActivityId p : rt.def->Predecessors(cur)) {
       if (!rt.state.IsCommitted(p)) continue;
       auto groups = rt.def->SuccessorGroups(p);
-      int active = rt.active_group.count(p) > 0 ? rt.active_group[p] : 0;
+      auto active_it = rt.active_group.find(p);
+      int active = active_it != rt.active_group.end() ? active_it->second : 0;
       if (active + 1 < static_cast<int>(groups.size())) {
         bool pinned = false;
         for (ActivityId member : rt.def->Subtree(groups[active])) {
@@ -506,15 +518,43 @@ Status TransactionalProcessScheduler::HandleActivityFailure(ProcessRuntime& rt,
           }
         }
         if (!pinned) {
-          branch_point = p;
-          next_group = active + 1;
-          break;
+          if (!avoid_open_breakers) {
+            return AlternativeChoice{p, active + 1};
+          }
+          for (int g = active + 1; g < static_cast<int>(groups.size()); ++g) {
+            if (GroupAvoidsOpenBreakers(rt, groups[g])) {
+              return AlternativeChoice{p, g};
+            }
+          }
+          // Every remaining group here routes into an open breaker; keep
+          // searching upward.
         }
       }
       worklist.push_back(p);
     }
   }
-  if (!branch_point.valid()) {
+  return std::nullopt;
+}
+
+bool TransactionalProcessScheduler::GroupAvoidsOpenBreakers(
+    const ProcessRuntime& rt, const std::vector<ActivityId>& group) const {
+  for (ActivityId member : rt.def->Subtree(group)) {
+    Result<Subsystem*> subsystem =
+        RouteService(rt.def->activity(member).service);
+    if (subsystem.ok() &&
+        (*subsystem)->breaker_state() == BreakerState::kOpen) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status TransactionalProcessScheduler::HandleActivityFailure(ProcessRuntime& rt,
+                                                            ActivityId act) {
+  rt.ready.erase(act);
+  std::optional<AlternativeChoice> alt =
+      FindAlternative(rt, act, /*avoid_open_breakers=*/false);
+  if (!alt.has_value()) {
     // No alternative: abort the process (backward recovery — the
     // well-formed flex structure guarantees everything committed so far is
     // compensatable, or forward recovery if a pivot already committed).
@@ -522,9 +562,48 @@ Status TransactionalProcessScheduler::HandleActivityFailure(ProcessRuntime& rt,
   }
   ++stats_.alternatives_taken;
   for (SchedulerObserver* observer : observers_) {
-    observer->OnAlternativeTaken(rt.pid, branch_point, next_group);
+    observer->OnAlternativeTaken(rt.pid, alt->branch_point, alt->group);
   }
-  return CompensateSubtree(rt, branch_point, next_group);
+  return CompensateSubtree(rt, alt->branch_point, alt->group);
+}
+
+Result<bool> TransactionalProcessScheduler::ParkOrDegrade(
+    ProcessRuntime& rt, ActivityId act, Subsystem* subsystem) {
+  // Forward recovery first (§3.1): when a ◁-alternative avoids every open
+  // breaker, switch proactively instead of waiting out the outage — the
+  // preference order exists precisely to rank degraded-but-available paths.
+  std::optional<AlternativeChoice> alt =
+      FindAlternative(rt, act, /*avoid_open_breakers=*/true);
+  if (alt.has_value()) {
+    ++stats_.degraded_switches;
+    for (SchedulerObserver* observer : observers_) {
+      observer->OnDegradedBranch(rt.pid, alt->branch_point, alt->group,
+                                 subsystem->id());
+    }
+    rt.parked.erase(act);
+    rt.ready.erase(act);
+    TPM_RETURN_IF_ERROR(CompensateSubtree(rt, alt->branch_point, alt->group));
+    return true;
+  }
+  // No reachable alternative: park. The activity stays in `ready` but is
+  // not invoked — no Def. 3 retry burns against the open breaker — and
+  // resumes once the breaker half-opens after its cooldown.
+  auto [parked_it, inserted] = rt.parked.emplace(act, clock_->now());
+  if (inserted) ++stats_.parked_activities;
+  parked_this_pass_ = true;
+  if (options_.park_timeout_ticks > 0 &&
+      clock_->now() - parked_it->second >= options_.park_timeout_ticks) {
+    // Waited long enough: fail the activity through the normal ladder
+    // (alternative search, else abort) so termination stays guaranteed
+    // even when the outage is never repaired.
+    rt.parked.erase(parked_it);
+    ++stats_.failed_invocations;
+    TPM_RETURN_IF_ERROR(history_.Append(ScheduleEvent::Activity(
+        ActivityInstance{rt.pid, act, false}, /*aborted_invocation=*/true)));
+    TPM_RETURN_IF_ERROR(HandleActivityFailure(rt, act));
+    return true;
+  }
+  return false;
 }
 
 Status TransactionalProcessScheduler::CompensateSubtree(ProcessRuntime& rt,
@@ -538,12 +617,21 @@ Status TransactionalProcessScheduler::CompensateSubtree(ProcessRuntime& rt,
       rt.pending.push_back(CompletionStep{*it, /*inverse=*/true});
     }
   }
-  // Drop ready activities of the abandoned branch.
+  // Drop ready activities of the abandoned branch (and their parked
+  // bookkeeping — a parked activity abandoned with its branch never
+  // resumes).
   std::set<ActivityId> still_ready;
   for (ActivityId r : rt.ready) {
     if (!rt.def->Precedes(branch_point, r)) still_ready.insert(r);
   }
   rt.ready = std::move(still_ready);
+  for (auto it = rt.parked.begin(); it != rt.parked.end();) {
+    if (rt.def->Precedes(branch_point, it->first)) {
+      it = rt.parked.erase(it);
+    } else {
+      ++it;
+    }
+  }
   rt.on_drain = DrainAction::kActivateGroup;
   rt.drain_branch_point = branch_point;
   rt.drain_group = next_group;
@@ -551,6 +639,21 @@ Status TransactionalProcessScheduler::CompensateSubtree(ProcessRuntime& rt,
 }
 
 Status TransactionalProcessScheduler::StartAbort(ProcessRuntime& rt) {
+  if (rt.release_in_doubt) {
+    // A commit decision for the prepared branches is already logged; the
+    // process cannot abort past it. Try to resolve first — if some
+    // participant is still unreachable the abort is postponed (the caller's
+    // gate re-evaluates every pass) rather than contradicting the decision.
+    Status resolved = coordinator_.RecoverInDoubt();
+    if (resolved.IsUnavailable()) return Status::OK();
+    TPM_RETURN_IF_ERROR(resolved);
+    rt.release_in_doubt = false;
+    std::vector<PreparedBranch> released = std::move(rt.prepared);
+    rt.prepared.clear();
+    for (const PreparedBranch& b : released) {
+      TPM_RETURN_IF_ERROR(EmitActivity(rt, b.activity, /*inverse=*/false));
+    }
+  }
   ++aborts_started_;  // state change: counts as progress for Step()
   for (SchedulerObserver* observer : observers_) {
     observer->OnAbortStarted(rt.pid);
@@ -567,6 +670,7 @@ Status TransactionalProcessScheduler::StartAbort(ProcessRuntime& rt) {
   TPM_ASSIGN_OR_RETURN(Completion completion, ComputeCompletion(rt.state));
   rt.pending = completion.steps;
   rt.ready.clear();
+  rt.parked.clear();
   rt.on_drain = DrainAction::kAbortProcess;
   return Status::OK();
 }
@@ -719,26 +823,43 @@ Result<bool> TransactionalProcessScheduler::ExecuteCompletionStep(
 Status TransactionalProcessScheduler::ReleasePreparedIfUnblocked(
     ProcessRuntime& rt) {
   if (rt.prepared.empty()) return Status::OK();
-  // Lemma 1: the deferred commits are released only once no conflicting
-  // predecessor process is active any more — then all branches commit
-  // atomically via 2PC.
-  bool blocked = false;
-  sg_.ForEachPredecessor(rt.pid, [&](ProcessId p) {
-    if (blocked) return;
-    const ProcessRuntime* other = FindRuntime(p);
-    if (other == nullptr || !other->state.IsActive()) return;
-    if (options_.quasi_commit_optimization &&
-        QuasiCommitAdmissible(*this, ViewOf(*other), ViewOf(rt))) {
-      return;
+  if (rt.release_in_doubt) {
+    // The commit decision is logged but some participant was unreachable
+    // during phase two. Re-drive it; while still unreachable the process
+    // keeps waiting (a prepared-but-unreachable branch resolves when the
+    // participant heals — it never wedges, and never aborts against the
+    // logged decision).
+    Status resolved = coordinator_.RecoverInDoubt();
+    if (resolved.IsUnavailable()) return Status::OK();
+    TPM_RETURN_IF_ERROR(resolved);
+    rt.release_in_doubt = false;
+  } else {
+    // Lemma 1: the deferred commits are released only once no conflicting
+    // predecessor process is active any more — then all branches commit
+    // atomically via 2PC.
+    bool blocked = false;
+    sg_.ForEachPredecessor(rt.pid, [&](ProcessId p) {
+      if (blocked) return;
+      const ProcessRuntime* other = FindRuntime(p);
+      if (other == nullptr || !other->state.IsActive()) return;
+      if (options_.quasi_commit_optimization &&
+          QuasiCommitAdmissible(*this, ViewOf(*other), ViewOf(rt))) {
+        return;
+      }
+      blocked = true;
+    });
+    if (blocked) return Status::OK();
+    std::vector<CommitBranch> branches;
+    for (const PreparedBranch& b : rt.prepared) {
+      branches.push_back(CommitBranch{b.subsystem, b.tx});
     }
-    blocked = true;
-  });
-  if (blocked) return Status::OK();
-  std::vector<CommitBranch> branches;
-  for (const PreparedBranch& b : rt.prepared) {
-    branches.push_back(CommitBranch{b.subsystem, b.tx});
+    Status committed = coordinator_.CommitAll(branches);
+    if (committed.IsUnavailable()) {
+      rt.release_in_doubt = true;
+      return Status::OK();
+    }
+    TPM_RETURN_IF_ERROR(committed);
   }
-  TPM_RETURN_IF_ERROR(coordinator_.CommitAll(branches));
   std::vector<PreparedBranch> released = std::move(rt.prepared);
   rt.prepared.clear();
   for (const PreparedBranch& b : released) {
@@ -803,7 +924,7 @@ Status TransactionalProcessScheduler::FinishProcess(ProcessRuntime& rt,
          rt.pid, ActivityId(), "", 0}));
   }
   latencies_.push_back(ProcessLatency{rt.pid, rt.submitted_at,
-                                      rt.started_at, clock_,
+                                      rt.started_at, clock_->now(),
                                       rt.state.outcome()});
   for (SchedulerObserver* observer : observers_) {
     observer->OnProcessTerminated(rt.pid, rt.state.outcome());
@@ -968,11 +1089,37 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
   return StartAbort(*victim);
 }
 
+void TransactionalProcessScheduler::PollSubsystemHealth() {
+  if (breaker_seen_.size() < subsystems_.size()) {
+    breaker_seen_.resize(subsystems_.size(), BreakerState::kClosed);
+  }
+  int64_t deadline_failures = 0;
+  int64_t breaker_trips = 0;
+  for (size_t i = 0; i < subsystems_.size(); ++i) {
+    const BreakerState now = subsystems_[i]->breaker_state();
+    if (now != breaker_seen_[i]) {
+      for (SchedulerObserver* observer : observers_) {
+        observer->OnBreakerStateChange(subsystems_[i]->id(), breaker_seen_[i],
+                                       now);
+      }
+      breaker_seen_[i] = now;
+    }
+    const SubsystemHealthCounters counters =
+        subsystems_[i]->health_counters();
+    deadline_failures += counters.deadline_failures;
+    breaker_trips += counters.breaker_trips;
+  }
+  stats_.deadline_failures = deadline_failures;
+  stats_.breaker_trips = breaker_trips;
+}
+
 Result<bool> TransactionalProcessScheduler::Step() {
   ++stats_.steps;
-  ++clock_;
-  stats_.virtual_time = clock_;
+  clock_->Advance(1);
+  stats_.virtual_time = clock_->now();
+  PollSubsystemHealth();
   bool progress = false;
+  parked_this_pass_ = false;
   const int64_t aborts_before = aborts_started_;
 
   // Release deferred commits whose blockers are gone (Lemma 1).
@@ -994,7 +1141,13 @@ Result<bool> TransactionalProcessScheduler::Step() {
   for (ProcessId pid : active) {
     ProcessRuntime* rt = FindRuntime(pid);
     if (rt == nullptr || !rt->state.IsActive()) continue;
-    if (rt->busy_until > clock_) {
+    if (rt->release_in_doubt) {
+      // Waiting for in-doubt 2PC branches to resolve: the commit decision
+      // is logged — the process neither executes nor aborts meanwhile.
+      any_busy = true;
+      continue;
+    }
+    if (rt->busy_until > clock_->now()) {
       any_busy = true;  // a long-running activity is in flight
       continue;
     }
@@ -1012,8 +1165,11 @@ Result<bool> TransactionalProcessScheduler::Step() {
   if (!any_active) return false;
   // Cascade aborts initiated inside admission/compensation gates changed
   // scheduler state even if no activity executed this pass; time passing
-  // for a long-running activity is progress too.
-  progress = progress || aborts_started_ != aborts_before || any_busy;
+  // for a long-running activity is progress too, and so is parking — a
+  // parked activity waits out a breaker cooldown measured on the clock,
+  // which advances every pass.
+  progress = progress || aborts_started_ != aborts_before || any_busy ||
+             parked_this_pass_;
   if (!progress) {
     TPM_RETURN_IF_ERROR(ResolveDeadlock());
   }
@@ -1121,7 +1277,10 @@ void TransactionalProcessScheduler::Crash() {
   pruned_.clear();
   cascade_counted_.clear();
   force_next_completion_ = false;
-  clock_ = 0;
+  parked_this_pass_ = false;
+  // A private clock restarts with the scheduler; a shared clock is global
+  // simulation time and keeps running across the crash.
+  if (clock_ == &owned_clock_) owned_clock_.Reset();
   latencies_.clear();
   history_ = ProcessSchedule();
   sg_.Clear();

@@ -8,6 +8,8 @@
 
 namespace tpm {
 
+class VirtualClock;
+
 /// Admission protocol run by the scheduler.
 enum class AdmissionProtocol {
   /// The paper's protocol: serialization-graph testing plus the Lemma 1
@@ -87,6 +89,17 @@ struct SchedulerOptions {
   /// extreme contention a small level avoids the abort storms optimistic
   /// scheduling is prone to (experiment E12c).
   int max_concurrent_processes = 0;
+  /// Shared simulation time base. When set, the scheduler advances this
+  /// clock one tick per pass instead of a private counter, composing with
+  /// subsystem-side time consumers (injected latency, retry backoff,
+  /// deadlines, breaker cooldowns). Null = scheduler-private clock,
+  /// behaviour identical to before. The clock must outlive the scheduler.
+  VirtualClock* clock = nullptr;
+  /// How long a retriable activity may stay parked behind an open circuit
+  /// breaker before it is treated as a failed invocation (alternative path
+  /// or abort — bounds termination under unrepaired outages). 0 = park
+  /// indefinitely (termination then relies on the outage being repaired).
+  int64_t park_timeout_ticks = 0;
 };
 
 struct SchedulerStats {
@@ -129,6 +142,18 @@ struct SchedulerStats {
   /// crash can legitimately leave such records; recovery tolerates them
   /// instead of failing, but counts them for observability.
   int64_t recovered_log_anomalies = 0;
+  /// Failure-domain layer (subsystem deadlines + circuit breakers):
+  /// breaker open-transitions across all registered subsystems.
+  int64_t breaker_trips = 0;
+  /// Invocations that failed because their deadline budget was exhausted.
+  int64_t deadline_failures = 0;
+  /// Activities parked behind an open breaker instead of retrying, and
+  /// parked activities that later resumed (breaker half-opened/closed).
+  int64_t parked_activities = 0;
+  int64_t resumed_activities = 0;
+  /// Proactive ◁-switches to an alternative group avoiding a subsystem
+  /// with an open breaker (outage-aware graceful degradation).
+  int64_t degraded_switches = 0;
 };
 
 }  // namespace tpm

@@ -34,7 +34,15 @@ Status KvSubsystem::InjectFailureWithRetry(ServiceId service) {
   while (!status.ok() && status.IsAborted() &&
          attempt < retry_policy_.max_attempts) {
     ++internal_retries_;
-    backoff_ticks_waited_ += retry_policy_.backoff_base_ticks * attempt;
+    const int64_t wait = retry_policy_.BackoffTicks(
+        attempt, retry_policy_.full_jitter ? &rng_ : nullptr);
+    backoff_ticks_waited_ += wait;
+    if (clock_ != nullptr) {
+      clock_->Advance(wait);
+      // The caller's invocation budget bounds the retry loop: once the
+      // deadline is hit mid-backoff, stop masking and surface the abort.
+      if (clock_->deadline_expired()) return status;
+    }
     ++attempt;
     status = MaybeInjectFailure(service);
   }

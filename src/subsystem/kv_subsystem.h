@@ -8,6 +8,8 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/virtual_clock.h"
+#include "subsystem/health.h"
 #include "subsystem/kv_store.h"
 #include "subsystem/local_tx.h"
 #include "subsystem/service.h"
@@ -48,6 +50,16 @@ class Subsystem {
   /// scheduler during crash recovery — prepared branches whose commit
   /// decision was never logged are rolled back.
   virtual Status AbortAllPrepared() = 0;
+
+  /// Circuit-breaker state as seen by the scheduler's failure-domain layer.
+  /// Plain subsystems are always healthy; SubsystemProxy overrides this
+  /// with its breaker's state so the scheduler can park retriable
+  /// activities and degrade to ◁-alternatives.
+  virtual BreakerState breaker_state() const { return BreakerState::kClosed; }
+
+  /// Monotone health-event counters (deadline failures, breaker trips) for
+  /// stats aggregation; plain subsystems report zeros.
+  virtual SubsystemHealthCounters health_counters() const { return {}; }
 };
 
 /// Subsystem simulated over an in-memory KvStore, with failure injection
@@ -91,6 +103,12 @@ class KvSubsystem : public Subsystem {
   void SetRetryPolicy(RetryPolicy policy) { retry_policy_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
 
+  /// Attaches the shared simulation clock: internal retry backoff then
+  /// advances it (clamped by an active invocation deadline — a retry loop
+  /// cannot wait past the caller's budget) instead of only charging the
+  /// private backoff_ticks_waited counter. Null detaches.
+  void SetClock(VirtualClock* clock) { clock_ = clock; }
+
   KvStore& store() { return store_; }
   const KvStore& store() const { return store_; }
 
@@ -117,6 +135,7 @@ class KvSubsystem : public Subsystem {
   std::map<ServiceId, int> scripted_failures_;
   std::map<ServiceId, double> failure_probability_;
   RetryPolicy retry_policy_;
+  VirtualClock* clock_ = nullptr;
   Rng rng_;
   int64_t invocations_ = 0;
   int64_t injected_aborts_ = 0;

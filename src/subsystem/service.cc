@@ -1,10 +1,33 @@
 #include "subsystem/service.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/rng.h"
 #include "common/str_util.h"
 
 namespace tpm {
+
+int64_t RetryPolicy::BackoffTicks(int attempt, Rng* rng) const {
+  if (backoff_base_ticks <= 0 || attempt <= 0) return 0;
+  int64_t ticks;
+  if (exponential) {
+    ticks = backoff_base_ticks;
+    for (int i = 1; i < attempt; ++i) {
+      if (ticks > std::numeric_limits<int64_t>::max() / 2) break;
+      ticks *= 2;
+    }
+  } else {
+    ticks = backoff_base_ticks * attempt;
+  }
+  if (max_backoff_ticks > 0 && ticks > max_backoff_ticks) {
+    ticks = max_backoff_ticks;
+  }
+  if (full_jitter && rng != nullptr) {
+    ticks = rng->NextInRange(0, ticks);
+  }
+  return ticks;
+}
 
 Status ServiceRegistry::Register(ServiceDef def) {
   if (!def.id.valid()) {

@@ -41,17 +41,32 @@ struct ServiceDef {
   bool effect_free = false;
 };
 
+class Rng;
+
 /// Bounded retry of transiently failing invocations inside a subsystem.
 /// With max_attempts == n, an invocation that aborts is retried up to
 /// n - 1 times before the abort is reported to the scheduler; between
-/// attempts the subsystem waits backoff_base_ticks * attempt virtual ticks
-/// (linear backoff, accounted in a counter — the simulation has no real
-/// clock). This models a subsystem that masks its own transient faults,
-/// shrinking the retriable-activity churn the scheduler sees (Def. 3 still
-/// bounds the scheduler-visible retries).
+/// attempts the subsystem waits BackoffTicks(attempt) virtual ticks on the
+/// shared VirtualClock (and charges its backoff counter). This models a
+/// subsystem that masks its own transient faults, shrinking the
+/// retriable-activity churn the scheduler sees (Def. 3 still bounds the
+/// scheduler-visible retries).
 struct RetryPolicy {
   int max_attempts = 1;
   int64_t backoff_base_ticks = 0;
+  /// Linear (default): base * attempt. Exponential: base * 2^(attempt-1).
+  bool exponential = false;
+  /// Cap applied to the computed wait; 0 = uncapped.
+  int64_t max_backoff_ticks = 0;
+  /// Full jitter: the wait is drawn uniformly from [0, computed] using the
+  /// caller's seeded RNG (deterministic per seed). Off by default so
+  /// existing schedules stay bit-identical.
+  bool full_jitter = false;
+
+  /// The wait before retry number `attempt` (1-based: the wait between the
+  /// first failure and the second attempt uses attempt == 1). `rng` is
+  /// consulted only when full_jitter is set; null disables jitter.
+  int64_t BackoffTicks(int attempt, Rng* rng = nullptr) const;
 };
 
 /// Registry of all services of one subsystem.

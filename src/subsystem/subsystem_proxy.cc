@@ -1,0 +1,128 @@
+#include "subsystem/subsystem_proxy.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+SubsystemProxy::SubsystemProxy(Subsystem* inner, VirtualClock* clock,
+                               SubsystemProxyOptions options)
+    : inner_(inner), clock_(clock), options_(options) {}
+
+BreakerState SubsystemProxy::breaker_state() const {
+  if (options_.breaker_enabled && state_ == BreakerState::kOpen &&
+      clock_->now() >= opened_at_ + options_.cooldown_ticks) {
+    state_ = BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+void SubsystemProxy::TripOpen() {
+  state_ = BreakerState::kOpen;
+  opened_at_ = clock_->now();
+  window_.clear();
+  ++counters_.breaker_trips;
+}
+
+void SubsystemProxy::RecordSample(bool failure) {
+  window_.push_back(failure);
+  while (static_cast<int>(window_.size()) > options_.window) {
+    window_.pop_front();
+  }
+  if (static_cast<int>(window_.size()) < options_.min_samples) return;
+  int failures = 0;
+  for (bool f : window_) failures += f ? 1 : 0;
+  if (static_cast<double>(failures) >=
+      options_.failure_threshold * static_cast<double>(window_.size())) {
+    TripOpen();
+  }
+}
+
+SubsystemProxy::Gate SubsystemProxy::BeginInvocation() {
+  Gate gate;
+  if (options_.breaker_enabled) {
+    switch (breaker_state()) {
+      case BreakerState::kOpen:
+        ++counters_.rejected_while_open;
+        gate.admitted = false;
+        // kUnavailable: the scheduler's benign-wait path — the rejection
+        // consumes no Def. 3 retry and parks/waits instead.
+        gate.rejection = Status::Unavailable(
+            StrCat("circuit breaker open for subsystem ", inner_->name()));
+        return gate;
+      case BreakerState::kHalfOpen:
+        gate.probe = true;
+        ++counters_.probe_invocations;
+        break;
+      case BreakerState::kClosed:
+        break;
+    }
+  }
+  if (options_.deadline_ticks > 0) {
+    clock_->BeginDeadline(clock_->now() + options_.deadline_ticks);
+  }
+  return gate;
+}
+
+Status SubsystemProxy::FinishInvocation(const Gate& gate, Status inner_status) {
+  bool expired = false;
+  if (options_.deadline_ticks > 0) {
+    expired = clock_->deadline_expired();
+    clock_->EndDeadline();
+  }
+  Status status = std::move(inner_status);
+  // A call that both exceeded its budget and failed is a deadline failure:
+  // the fault layer guarantees the abort happened before the local
+  // transaction ran, so retriable semantics hold (Def. 3). If the inner
+  // call *succeeded* despite blowing the budget, the commit cannot be
+  // taken back — the success stands and only the breaker window records
+  // the slowness as a failure sample.
+  if (expired && !status.ok()) {
+    ++counters_.deadline_failures;
+    status = Status::Aborted(StrCat("deadline of ", options_.deadline_ticks,
+                                    " ticks exceeded invoking subsystem ",
+                                    inner_->name()));
+  }
+  if (!options_.breaker_enabled) return status;
+  // Breaker sampling: aborts and deadline expiries are failures;
+  // kUnavailable (blocked on prepared locks) is congestion, not sickness —
+  // it is not sampled.
+  const bool failure = expired || status.IsAborted();
+  const bool success = status.ok() && !expired;
+  if (gate.probe) {
+    if (failure) {
+      TripOpen();
+    } else if (success) {
+      state_ = BreakerState::kClosed;
+      window_.clear();
+    }
+    return status;
+  }
+  if (failure || success) RecordSample(failure);
+  return status;
+}
+
+Result<InvocationOutcome> SubsystemProxy::Invoke(
+    ServiceId service, const ServiceRequest& request) {
+  Gate gate = BeginInvocation();
+  if (!gate.admitted) return gate.rejection;
+  Result<InvocationOutcome> outcome = inner_->Invoke(service, request);
+  Status status = FinishInvocation(
+      gate, outcome.ok() ? Status::OK() : outcome.status());
+  if (!status.ok()) return status;
+  return outcome;
+}
+
+Result<PreparedHandle> SubsystemProxy::InvokePrepared(
+    ServiceId service, const ServiceRequest& request) {
+  Gate gate = BeginInvocation();
+  if (!gate.admitted) return gate.rejection;
+  Result<PreparedHandle> prepared = inner_->InvokePrepared(service, request);
+  Status status = FinishInvocation(
+      gate, prepared.ok() ? Status::OK() : prepared.status());
+  if (!status.ok()) return status;
+  return prepared;
+}
+
+}  // namespace tpm

@@ -1,0 +1,109 @@
+#ifndef TPM_SUBSYSTEM_SUBSYSTEM_PROXY_H_
+#define TPM_SUBSYSTEM_SUBSYSTEM_PROXY_H_
+
+#include <deque>
+#include <string>
+
+#include "common/virtual_clock.h"
+#include "subsystem/health.h"
+#include "subsystem/kv_subsystem.h"
+
+namespace tpm {
+
+struct SubsystemProxyOptions {
+  /// Invocation budget in virtual ticks; 0 disables the deadline. An
+  /// invocation whose modeled waiting (latency, outage stall, internal
+  /// backoff) exhausts the budget fails with kAborted — the cooperative
+  /// deadline aborts the call *before* the local transaction executes, so
+  /// the failure has clean retriable semantics (Def. 3): nothing happened
+  /// in the subsystem.
+  int64_t deadline_ticks = 0;
+  /// Circuit breaker: sliding window of the last `window` invocation
+  /// outcomes; once at least `min_samples` are present and the failure
+  /// fraction reaches `failure_threshold`, the breaker opens for
+  /// `cooldown_ticks`, then half-opens for a single probe.
+  bool breaker_enabled = true;
+  int window = 8;
+  int min_samples = 4;
+  double failure_threshold = 0.5;
+  int64_t cooldown_ticks = 16;
+};
+
+/// Health layer wrapped around any Subsystem: an invocation deadline on the
+/// shared VirtualClock and a circuit breaker (closed → open on
+/// failure-rate threshold over a sliding window → half-open probe after a
+/// cooldown). The scheduler reads breaker_state() to park retriable
+/// activities and degrade to ◁-alternatives instead of hot-looping retries
+/// against a sick subsystem.
+///
+/// Only first-invocation paths (Invoke, InvokePrepared) are gated. 2PC
+/// phase two (CommitPrepared / AbortPrepared) always passes through: the
+/// participant holds a prepared transaction whose fate is already decided,
+/// and refusing the decision message would wedge the coordinator — a
+/// prepared-but-sick participant must still resolve.
+class SubsystemProxy : public Subsystem {
+ public:
+  SubsystemProxy(Subsystem* inner, VirtualClock* clock,
+                 SubsystemProxyOptions options = {});
+
+  SubsystemProxy(const SubsystemProxy&) = delete;
+  SubsystemProxy& operator=(const SubsystemProxy&) = delete;
+
+  SubsystemId id() const override { return inner_->id(); }
+  const std::string& name() const override { return inner_->name(); }
+  const ServiceRegistry& services() const override {
+    return inner_->services();
+  }
+
+  Result<InvocationOutcome> Invoke(ServiceId service,
+                                   const ServiceRequest& request) override;
+  Result<PreparedHandle> InvokePrepared(ServiceId service,
+                                        const ServiceRequest& request) override;
+  Status CommitPrepared(TxId tx) override { return inner_->CommitPrepared(tx); }
+  Status AbortPrepared(TxId tx) override { return inner_->AbortPrepared(tx); }
+  bool WouldBlock(ServiceId service) const override {
+    return inner_->WouldBlock(service);
+  }
+  Status AbortAllPrepared() override { return inner_->AbortAllPrepared(); }
+
+  /// Current breaker state. Reading it performs the lazy open → half-open
+  /// transition once the cooldown has elapsed on the shared clock.
+  BreakerState breaker_state() const override;
+  SubsystemHealthCounters health_counters() const override {
+    return counters_;
+  }
+
+  Subsystem* inner() { return inner_; }
+  const SubsystemProxyOptions& options() const { return options_; }
+
+ private:
+  /// Pre-invocation admission: breaker rejection or probe designation.
+  struct Gate {
+    bool admitted = true;
+    bool probe = false;
+    Status rejection;
+  };
+  Gate BeginInvocation();
+  /// Post-invocation accounting; returns the (possibly rewritten) status
+  /// the caller must report — a deadline expiry becomes a kAborted with a
+  /// deadline message regardless of how the inner call phrased its abort.
+  Status FinishInvocation(const Gate& gate, Status inner_status);
+
+  void RecordSample(bool failure);
+  void TripOpen();
+
+  Subsystem* inner_;
+  VirtualClock* clock_;
+  SubsystemProxyOptions options_;
+
+  /// breaker_state() transitions open → half-open lazily on reads.
+  mutable BreakerState state_ = BreakerState::kClosed;
+  int64_t opened_at_ = 0;
+  /// Sliding outcome window, true = failure.
+  std::deque<bool> window_;
+  SubsystemHealthCounters counters_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_SUBSYSTEM_SUBSYSTEM_PROXY_H_

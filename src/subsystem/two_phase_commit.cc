@@ -33,6 +33,7 @@ Status TwoPhaseCommitCoordinator::AbortAll(
 
 Status TwoPhaseCommitCoordinator::DrivePhaseTwo(LogEntry* entry) {
   Status first_error;
+  bool in_doubt = false;
   for (const CommitBranch& branch : entry->branches) {
     if (branch.subsystem == nullptr) continue;
     Status s = entry->decision == LogEntry::Decision::kCommit
@@ -40,19 +41,31 @@ Status TwoPhaseCommitCoordinator::DrivePhaseTwo(LogEntry* entry) {
                    : branch.subsystem->AbortPrepared(branch.tx);
     // Idempotent completion: an already-resolved branch (NotFound) is fine
     // when re-driving phase two after a crash.
+    if (s.IsUnavailable()) {
+      // The participant is unreachable (outage, lost decision message):
+      // the decision is logged but not delivered — the entry stays
+      // incomplete so RecoverInDoubt() re-drives it once the participant
+      // is reachable again. Phase two is idempotent, so branches that did
+      // receive the decision resolve to NotFound on the re-drive.
+      in_doubt = true;
+      if (first_error.ok()) first_error = s;
+      continue;
+    }
     if (!s.ok() && !s.IsNotFound() && first_error.ok()) first_error = s;
   }
-  entry->completed = true;
+  entry->completed = !in_doubt;
   return first_error;
 }
 
 Status TwoPhaseCommitCoordinator::RecoverInDoubt() {
+  Status first_error;
   for (LogEntry& entry : log_) {
     if (!entry.completed) {
-      TPM_RETURN_IF_ERROR(DrivePhaseTwo(&entry));
+      Status s = DrivePhaseTwo(&entry);
+      if (!s.ok() && first_error.ok()) first_error = s;
     }
   }
-  return Status::OK();
+  return first_error;
 }
 
 }  // namespace tpm

@@ -42,9 +42,22 @@ class TwoPhaseCommitCoordinator {
   /// Aborts all branches.
   Status AbortAll(const std::vector<CommitBranch>& branches);
 
-  /// Completes any logged decisions whose phase two did not finish
-  /// (coordinator crash simulation: call after SimulateCrashBeforePhaseTwo).
+  /// Completes any logged decisions whose phase two did not finish —
+  /// after a simulated coordinator crash (SimulateCrashBeforePhaseTwo) or
+  /// when a participant was unreachable during phase two (a branch
+  /// returned kUnavailable: the entry stays incomplete and in doubt).
+  /// Returns kUnavailable while some participant is still unreachable;
+  /// call again later — a prepared-but-unreachable branch must eventually
+  /// resolve, never wedge.
   Status RecoverInDoubt();
+
+  /// True iff some logged decision has not fully reached its participants.
+  bool HasInDoubt() const {
+    for (const LogEntry& entry : log_) {
+      if (!entry.completed) return true;
+    }
+    return false;
+  }
 
   /// Testing hook: the next CommitAll logs its decision but "crashes"
   /// before phase two, leaving branches in doubt until RecoverInDoubt().

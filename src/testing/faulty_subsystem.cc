@@ -1,0 +1,79 @@
+#include "testing/faulty_subsystem.h"
+
+#include "common/str_util.h"
+
+namespace tpm {
+namespace testing {
+
+FaultySubsystem::FaultySubsystem(Subsystem* inner, VirtualClock* clock,
+                                 FaultProfile profile, uint64_t seed)
+    : inner_(inner), clock_(clock), profile_(profile), rng_(seed) {}
+
+Status FaultySubsystem::InjectBeforeInvoke(const char* site) {
+  ++attempted_invocations_;
+  if (listener_ != nullptr && listener_->OnCrashPoint(site)) {
+    ++injected_site_faults_;
+    return Status::Aborted(
+        StrCat("injected fault at ", site, " in ", inner_->name()));
+  }
+  if (InOutage(clock_->now())) {
+    ++outage_rejections_;
+    if (clock_->deadline_active()) {
+      // The caller set an invocation budget: the call hangs against the
+      // unreachable subsystem until the budget runs out.
+      clock_->AdvanceToDeadline();
+      return Status::Aborted(
+          StrCat("outage: invocation of ", inner_->name(), " timed out"));
+    }
+    return Status::Aborted(
+        StrCat("outage: connection refused by ", inner_->name()));
+  }
+  // Transport/queueing latency precedes the local transaction; under an
+  // active deadline the advance clamps at the budget and the invocation
+  // aborts before any effect happened.
+  int64_t latency = profile_.latency_ticks;
+  if (profile_.slow_probability > 0 &&
+      rng_.NextBool(profile_.slow_probability)) {
+    latency += profile_.slow_latency_ticks;
+  }
+  if (latency > 0) {
+    clock_->Advance(latency);
+    if (clock_->deadline_expired()) {
+      return Status::Aborted(
+          StrCat("slow invocation of ", inner_->name(), " exceeded deadline"));
+    }
+  }
+  if (profile_.transient_abort_probability > 0 &&
+      rng_.NextBool(profile_.transient_abort_probability)) {
+    ++transient_aborts_;
+    return Status::Aborted(
+        StrCat("transient fault invoking ", inner_->name()));
+  }
+  return Status::OK();
+}
+
+Result<InvocationOutcome> FaultySubsystem::Invoke(
+    ServiceId service, const ServiceRequest& request) {
+  TPM_RETURN_IF_ERROR(InjectBeforeInvoke("subsystem/invoke"));
+  return inner_->Invoke(service, request);
+}
+
+Result<PreparedHandle> FaultySubsystem::InvokePrepared(
+    ServiceId service, const ServiceRequest& request) {
+  TPM_RETURN_IF_ERROR(InjectBeforeInvoke("subsystem/prepare"));
+  return inner_->InvokePrepared(service, request);
+}
+
+Status FaultySubsystem::CommitPrepared(TxId tx) {
+  if (listener_ != nullptr && listener_->OnCrashPoint("subsystem/commit")) {
+    ++injected_site_faults_;
+    // The decision message is lost once; the branch stays prepared and in
+    // doubt until the coordinator re-drives phase two.
+    return Status::Unavailable(
+        StrCat("injected fault at subsystem/commit in ", inner_->name()));
+  }
+  return inner_->CommitPrepared(tx);
+}
+
+}  // namespace testing
+}  // namespace tpm

@@ -1,0 +1,124 @@
+#include "workload/fault_workload.h"
+
+#include "common/str_util.h"
+#include "core/flex_structure.h"
+#include "core/scheduler.h"
+
+namespace tpm {
+
+FaultDomainWorld::FaultDomainWorld(FaultDomainOptions options)
+    : options_(options) {
+  const int n = options_.num_subsystems;
+  keys_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    raw_.push_back(std::make_unique<KvSubsystem>(
+        SubsystemId(i + 1), StrCat("sub", i), options_.seed + i));
+    raw_.back()->SetClock(&clock_);
+    faulty_.push_back(std::make_unique<testing::FaultySubsystem>(
+        raw_.back().get(), &clock_, options_.profile,
+        options_.seed * 1000 + i));
+    proxy_.push_back(std::make_unique<SubsystemProxy>(
+        faulty_.back().get(), &clock_, options_.proxy));
+  }
+}
+
+FaultDomainWorld::~FaultDomainWorld() = default;
+
+Status FaultDomainWorld::RegisterAll(TransactionalProcessScheduler* scheduler) {
+  for (auto& proxy : proxy_) {
+    TPM_RETURN_IF_ERROR(scheduler->RegisterSubsystem(proxy.get()));
+  }
+  return Status::OK();
+}
+
+FaultDomainWorld::KeyServices& FaultDomainWorld::EnsureKey(
+    int i, const std::string& key) {
+  auto it = keys_[i].find(key);
+  if (it != keys_[i].end()) return it->second;
+  KeyServices ks{ServiceId(next_service_id_), ServiceId(next_service_id_ + 1)};
+  next_service_id_ += 2;
+  Status s = raw_[i]->RegisterService(
+      MakeAddService(ks.add, StrCat("add/s", i, "/", key), key));
+  if (s.ok()) {
+    s = raw_[i]->RegisterService(
+        MakeSubService(ks.sub, StrCat("sub/s", i, "/", key), key));
+  }
+  return keys_[i].emplace(key, ks).first->second;
+}
+
+ServiceId FaultDomainWorld::AddServiceOn(int i, const std::string& key) {
+  return EnsureKey(i, key).add;
+}
+
+ServiceId FaultDomainWorld::SubServiceOn(int i, const std::string& key) {
+  return EnsureKey(i, key).sub;
+}
+
+const ProcessDef* FaultDomainWorld::MakeAlternativeProcess(
+    const std::string& name, int home, int primary, int alt, int variant) {
+  auto def = std::make_unique<ProcessDef>(name);
+  const std::string v = StrCat("v", variant);
+  ActivityId c1 = def->AddActivity(
+      "c1", ActivityKind::kCompensatable, AddServiceOn(home, "h" + v),
+      SubServiceOn(home, "h" + v));
+  ActivityId p = def->AddActivity("p", ActivityKind::kPivot,
+                                  AddServiceOn(home, "q" + v));
+  ActivityId ca = def->AddActivity(
+      "ca", ActivityKind::kCompensatable, AddServiceOn(primary, "m" + v),
+      SubServiceOn(primary, "m" + v));
+  ActivityId ra = def->AddActivity("ra", ActivityKind::kRetriable,
+                                   AddServiceOn(primary, "n" + v));
+  ActivityId rb = def->AddActivity("rb", ActivityKind::kRetriable,
+                                   AddServiceOn(alt, "a" + v));
+  if (!def->AddEdge(c1, p).ok() || !def->AddEdge(p, ca, 0).ok() ||
+      !def->AddEdge(ca, ra).ok() || !def->AddEdge(p, rb, 1).ok()) {
+    return nullptr;
+  }
+  if (!def->Validate().ok()) return nullptr;
+  if (!ValidateWellFormedFlex(*def).ok()) return nullptr;
+  defs_.push_back(std::move(def));
+  return defs_.back().get();
+}
+
+const ProcessDef* FaultDomainWorld::MakeChainProcess(const std::string& name,
+                                                     int subsystem, int length,
+                                                     int variant) {
+  auto def = std::make_unique<ProcessDef>(name);
+  const std::string v = StrCat("v", variant);
+  ActivityId prev;
+  for (int j = 0; j < length; ++j) {
+    const std::string key = StrCat("x", v, "_", j % 2);
+    ActivityId id;
+    if (j + 1 < length) {
+      id = def->AddActivity(StrCat("c", j), ActivityKind::kCompensatable,
+                            AddServiceOn(subsystem, key),
+                            SubServiceOn(subsystem, key));
+    } else {
+      id = def->AddActivity(StrCat("r", j), ActivityKind::kRetriable,
+                            AddServiceOn(subsystem, key));
+    }
+    if (prev.valid() && !def->AddEdge(prev, id).ok()) return nullptr;
+    prev = id;
+  }
+  if (!def->Validate().ok()) return nullptr;
+  if (!ValidateWellFormedFlex(*def).ok()) return nullptr;
+  defs_.push_back(std::move(def));
+  return defs_.back().get();
+}
+
+std::map<std::string, const ProcessDef*> FaultDomainWorld::DefsByName() const {
+  std::map<std::string, const ProcessDef*> result;
+  for (const auto& def : defs_) result[def->name()] = def.get();
+  return result;
+}
+
+bool FaultDomainWorld::AnyNegativeValue() const {
+  for (const auto& subsystem : raw_) {
+    for (const auto& [key, value] : subsystem->store().Snapshot()) {
+      if (value < 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tpm

@@ -1,0 +1,100 @@
+#ifndef TPM_WORKLOAD_FAULT_WORKLOAD_H_
+#define TPM_WORKLOAD_FAULT_WORKLOAD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/virtual_clock.h"
+#include "core/process.h"
+#include "subsystem/kv_subsystem.h"
+#include "subsystem/subsystem_proxy.h"
+#include "testing/faulty_subsystem.h"
+
+namespace tpm {
+
+class TransactionalProcessScheduler;
+
+struct FaultDomainOptions {
+  int num_subsystems = 3;
+  uint64_t seed = 1;
+  /// Health layer applied to every subsystem (deadline, breaker).
+  SubsystemProxyOptions proxy;
+  /// Fault model applied to every subsystem (per-subsystem overrides via
+  /// faulty(i)->set_profile and faulty(i)->AddOutage).
+  testing::FaultProfile profile;
+};
+
+/// A multi-subsystem world wired for failure-domain experiments, shared by
+/// the chaos soak test and the fault benchmarks. Each subsystem is a
+/// three-layer stack on one shared VirtualClock:
+///
+///   SubsystemProxy (deadline + circuit breaker)
+///     -> FaultySubsystem (seeded transient aborts, latency, outages)
+///       -> KvSubsystem (the actual store; backoff also on the clock)
+///
+/// plus process-definition factories whose branch points carry
+/// ◁-alternatives routed to *different* subsystems, so an outage of one
+/// subsystem is survivable via degraded branches.
+class FaultDomainWorld {
+ public:
+  explicit FaultDomainWorld(FaultDomainOptions options);
+  ~FaultDomainWorld();
+
+  VirtualClock* clock() { return &clock_; }
+  int num_subsystems() const { return static_cast<int>(raw_.size()); }
+  KvSubsystem* raw(int i) { return raw_[i].get(); }
+  testing::FaultySubsystem* faulty(int i) { return faulty_[i].get(); }
+  SubsystemProxy* proxy(int i) { return proxy_[i].get(); }
+
+  /// Registers every subsystem (through its proxy) with the scheduler.
+  /// The scheduler's options should carry clock() as the shared time base.
+  Status RegisterAll(TransactionalProcessScheduler* scheduler);
+
+  /// add/sub service pair for `key` on subsystem `i` (registered lazily).
+  ServiceId AddServiceOn(int i, const std::string& key);
+  ServiceId SubServiceOn(int i, const std::string& key);
+
+  /// A process with a compensatable+pivot prefix on `home`, then a branch
+  /// point whose preferred group (compensatable + retriable) runs on
+  /// `primary` and whose ◁-alternative (all-retriable, degradable target)
+  /// runs on `alt`. `variant` selects the key set, so processes with equal
+  /// variants conflict while different variants mostly commute.
+  const ProcessDef* MakeAlternativeProcess(const std::string& name, int home,
+                                           int primary, int alt,
+                                           int variant = 0);
+
+  /// A linear chain on one subsystem: (length-1) compensatables, then a
+  /// retriable. No alternatives — under an outage of `subsystem` it either
+  /// waits the outage out or aborts via park timeout.
+  const ProcessDef* MakeChainProcess(const std::string& name, int subsystem,
+                                     int length, int variant = 0);
+
+  std::map<std::string, const ProcessDef*> DefsByName() const;
+
+  /// Store-sanity invariant of the chaos test: forward services only add,
+  /// compensations subtract exactly what was added — a negative value
+  /// means a compensation ran without (or twice per) its original.
+  bool AnyNegativeValue() const;
+
+ private:
+  struct KeyServices {
+    ServiceId add, sub;
+  };
+  KeyServices& EnsureKey(int i, const std::string& key);
+
+  FaultDomainOptions options_;
+  VirtualClock clock_;
+  std::vector<std::unique_ptr<KvSubsystem>> raw_;
+  std::vector<std::unique_ptr<testing::FaultySubsystem>> faulty_;
+  std::vector<std::unique_ptr<SubsystemProxy>> proxy_;
+  std::vector<std::map<std::string, KeyServices>> keys_;
+  std::vector<std::unique_ptr<ProcessDef>> defs_;
+  int64_t next_service_id_ = 1;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_WORKLOAD_FAULT_WORKLOAD_H_

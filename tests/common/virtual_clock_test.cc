@@ -1,0 +1,100 @@
+#include "common/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace tpm {
+namespace {
+
+TEST(VirtualClockTest, AdvanceAccumulatesAndIgnoresNonPositive) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.Advance(3);
+  clock.Advance(2);
+  EXPECT_EQ(clock.now(), 5);
+  clock.Advance(0);
+  clock.Advance(-7);
+  EXPECT_EQ(clock.now(), 5);
+}
+
+TEST(VirtualClockTest, AdvanceToIsMonotone) {
+  VirtualClock clock;
+  clock.AdvanceTo(10);
+  EXPECT_EQ(clock.now(), 10);
+  clock.AdvanceTo(4);  // the past: no-op
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(VirtualClockTest, DeadlineClampsAdvanceAndRaisesExpired) {
+  VirtualClock clock;
+  clock.BeginDeadline(10);
+  EXPECT_TRUE(clock.deadline_active());
+  EXPECT_FALSE(clock.deadline_expired());
+  clock.Advance(4);
+  EXPECT_EQ(clock.now(), 4);
+  EXPECT_FALSE(clock.deadline_expired());
+  // A wait that would overshoot the budget stops at the deadline.
+  clock.Advance(100);
+  EXPECT_EQ(clock.now(), 10);
+  EXPECT_TRUE(clock.deadline_expired());
+  // Further waiting inside the bracket does not pass the deadline either.
+  clock.Advance(5);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(VirtualClockTest, DeadlineAlreadyInThePastExpiresImmediately) {
+  VirtualClock clock;
+  clock.Advance(20);
+  clock.BeginDeadline(10);
+  EXPECT_TRUE(clock.deadline_expired());
+  EXPECT_EQ(clock.now(), 20);
+}
+
+TEST(VirtualClockTest, AdvanceToDeadlineJumpsToBudget) {
+  VirtualClock clock;
+  clock.AdvanceToDeadline();  // no active deadline: no-op
+  EXPECT_EQ(clock.now(), 0);
+  clock.BeginDeadline(7);
+  clock.AdvanceToDeadline();
+  EXPECT_EQ(clock.now(), 7);
+  EXPECT_TRUE(clock.deadline_expired());
+}
+
+TEST(VirtualClockTest, EndDeadlineRestoresUnboundedAdvance) {
+  VirtualClock clock;
+  clock.BeginDeadline(5);
+  clock.Advance(100);
+  EXPECT_EQ(clock.now(), 5);
+  clock.EndDeadline();
+  EXPECT_FALSE(clock.deadline_active());
+  EXPECT_FALSE(clock.deadline_expired());
+  clock.Advance(100);
+  EXPECT_EQ(clock.now(), 105);
+}
+
+TEST(VirtualClockTest, SequentialInvocationBracketsAreIndependent) {
+  VirtualClock clock;
+  clock.BeginDeadline(5);
+  clock.Advance(100);
+  clock.EndDeadline();
+  // Second bracket: a fresh budget relative to the new now.
+  clock.BeginDeadline(clock.now() + 3);
+  clock.Advance(2);
+  EXPECT_FALSE(clock.deadline_expired());
+  clock.Advance(2);
+  EXPECT_TRUE(clock.deadline_expired());
+  EXPECT_EQ(clock.now(), 8);
+  clock.EndDeadline();
+}
+
+TEST(VirtualClockTest, ResetRewindsAndClearsDeadline) {
+  VirtualClock clock;
+  clock.Advance(9);
+  clock.BeginDeadline(100);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_FALSE(clock.deadline_active());
+  EXPECT_FALSE(clock.deadline_expired());
+}
+
+}  // namespace
+}  // namespace tpm

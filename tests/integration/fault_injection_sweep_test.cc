@@ -18,12 +18,14 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "core/flex_structure.h"
 #include "core/pred.h"
 #include "core/recoverability.h"
 #include "core/scheduler.h"
 #include "log/file_backend.h"
 #include "testing/fault_injector.h"
 #include "testing/mini_world.h"
+#include "workload/fault_workload.h"
 
 namespace tpm {
 namespace {
@@ -347,6 +349,229 @@ TEST(FaultInjectionSweep, FileBackedRestartMatchesUncrashedFingerprint) {
         << scenario.name;
     std::remove(path.c_str());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Combined WAL + subsystem sweep: ONE injector is attached to both the
+// log's crash points (wal/*) and the fault layer's invocation sites
+// (subsystem/invoke, subsystem/prepare, subsystem/commit), and armed at
+// every hit the workload reaches. A hit at a wal site crashes the log —
+// recover and assert as above. A hit at a subsystem site is absorbed by
+// the failure-domain machinery (a one-shot aborted invocation, or a lost
+// phase-two decision the coordinator re-drives) — the run must complete
+// on its own, with the same invariants. Runs under kPrepared2PC so the
+// deferral produces prepared branches and the commit site is reached.
+
+struct CombinedWorldRun {
+  std::unique_ptr<FaultDomainWorld> world;
+  std::vector<std::unique_ptr<ProcessDef>> owned_defs;
+  std::vector<const ProcessDef*> workload;
+  const ProcessDef* probe = nullptr;
+
+  std::map<std::string, const ProcessDef*> DefsByName() const {
+    std::map<std::string, const ProcessDef*> defs = world->DefsByName();
+    for (const auto& def : owned_defs) defs[def->name()] = def.get();
+    return defs;
+  }
+};
+
+CombinedWorldRun BuildCombinedWorld(FaultInjector* injector) {
+  CombinedWorldRun r;
+  FaultDomainOptions options;
+  options.num_subsystems = 2;
+  options.seed = 5;
+  r.world = std::make_unique<FaultDomainWorld>(options);
+  for (int i = 0; i < r.world->num_subsystems(); ++i) {
+    r.world->faulty(i)->SetCrashPointListener(injector);
+  }
+  // The cross-process conflict lives on key S, touched only by retriable
+  // activities of processes that cannot abort past it: q1 is all-retriable
+  // (assured commit), q2's retriable consumer of S runs while q1 is still
+  // active — an ActiveBlocker, so under kPrepared2PC the Lemma 1 deferral
+  // turns it into a prepared branch whose release drives CommitPrepared
+  // through the subsystem/commit site. (Aborting processes must not share
+  // keys with committing ones here: the Proc-REC check is syntactic and
+  // does not reduce away compensated work.)
+  auto finish = [&r](std::unique_ptr<ProcessDef> def, bool edges_ok) {
+    const bool ok = edges_ok && def->Validate().ok() &&
+                    ValidateWellFormedFlex(*def).ok();
+    r.workload.push_back(ok ? def.get() : nullptr);
+    r.owned_defs.push_back(std::move(def));
+  };
+  auto q1 = std::make_unique<ProcessDef>("q1");
+  {
+    ActivityId r1 = q1->AddActivity("r1", ActivityKind::kRetriable,
+                                    r.world->AddServiceOn(0, "S"));
+    ActivityId r2 = q1->AddActivity("r2", ActivityKind::kRetriable,
+                                    r.world->AddServiceOn(0, "k1a"));
+    ActivityId r3 = q1->AddActivity("r3", ActivityKind::kRetriable,
+                                    r.world->AddServiceOn(0, "k1b"));
+    const bool edges_ok =
+        q1->AddEdge(r1, r2).ok() && q1->AddEdge(r2, r3).ok();
+    finish(std::move(q1), edges_ok);
+  }
+  auto q2 = std::make_unique<ProcessDef>("q2");
+  {
+    ActivityId c1 = q2->AddActivity("c1", ActivityKind::kCompensatable,
+                                    r.world->AddServiceOn(0, "k2a"),
+                                    r.world->SubServiceOn(0, "k2a"));
+    ActivityId rr = q2->AddActivity("r", ActivityKind::kRetriable,
+                                    r.world->AddServiceOn(0, "S"));
+    const bool edges_ok = q2->AddEdge(c1, rr).ok();
+    finish(std::move(q2), edges_ok);
+  }
+  // Alternative-bearing process on disjoint keys: exercises compensation,
+  // alternative switching and abort paths without clouding the S-conflict.
+  r.workload.push_back(r.world->MakeAlternativeProcess("q3", 0, 1, 0, 7));
+  r.probe = r.world->MakeChainProcess("probe", 1, 1, 8);
+  return r;
+}
+
+SchedulerOptions CombinedSchedulerOptions(FaultDomainWorld* world) {
+  SchedulerOptions options;
+  options.defer_mode = DeferMode::kPrepared2PC;
+  options.clock = world->clock();
+  return options;
+}
+
+std::string CombinedInvariants(TransactionalProcessScheduler* scheduler,
+                               FaultDomainWorld* world,
+                               const ProcessDef* probe) {
+  std::string failures;
+  Result<bool> pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  if (!pred.ok()) {
+    failures += " PRED-check-error:" + pred.status().ToString();
+  } else if (!*pred) {
+    failures += " not-PRED:" + scheduler->history().ToString();
+  }
+  if (!IsProcessRecoverable(scheduler->history(),
+                            scheduler->conflict_spec())) {
+    failures += " not-ProcREC:" + scheduler->history().ToString();
+  }
+  if (world->AnyNegativeValue()) failures += " negative-kv-value";
+  Result<ProcessId> pid = scheduler->Submit(probe);
+  if (!pid.ok()) {
+    failures += " probe-submit:" + pid.status().ToString();
+  } else {
+    Status run = scheduler->Run(200000);
+    if (!run.ok()) {
+      failures += " probe-run:" + run.ToString();
+    } else if (scheduler->OutcomeOf(*pid) != ProcessOutcome::kCommitted) {
+      failures += " probe-not-committed";
+    }
+  }
+  return failures;
+}
+
+void RunCombinedSweep(bool file_backed) {
+  const std::string tag =
+      std::string("combined_") + (file_backed ? "file" : "mem");
+  const std::string path = SweepLogPath(tag);
+  Flavor flavor{tag, /*synchronous=*/true, file_backed};
+  FaultInjector injector;
+
+  // Dry run: count hits across BOTH fault domains.
+  int64_t total_hits = 0;
+  {
+    std::remove(path.c_str());
+    CombinedWorldRun r = BuildCombinedWorld(&injector);
+    auto log = MakeLog(flavor, path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    (*log)->wal()->SetCrashPointListener(&injector);
+    TransactionalProcessScheduler scheduler(
+        CombinedSchedulerOptions(r.world.get()), log->get());
+    ASSERT_TRUE(r.world->RegisterAll(&scheduler).ok());
+    Status run = DriveWorkload(&scheduler, r.workload);
+    ASSERT_TRUE(run.ok()) << tag << ": " << run.ToString();
+    total_hits = injector.hits();
+    // The sweep really spans both domains, including phase two.
+    EXPECT_GT(injector.site_hits().count("subsystem/invoke"), 0u) << tag;
+    EXPECT_GT(injector.site_hits().count("subsystem/prepare"), 0u) << tag;
+    EXPECT_GT(injector.site_hits().count("subsystem/commit"), 0u) << tag;
+  }
+  ASSERT_GT(total_hits, 0) << tag;
+
+  for (int64_t k = 1; k <= total_hits; ++k) {
+    std::remove(path.c_str());
+    FaultInjector armed;
+    CombinedWorldRun r = BuildCombinedWorld(&armed);
+    ASSERT_NE(r.probe, nullptr);
+    auto log_or = MakeLog(flavor, path);
+    ASSERT_TRUE(log_or.ok()) << log_or.status().ToString();
+    std::unique_ptr<RecoveryLog> log = std::move(*log_or);
+    log->wal()->SetCrashPointListener(&armed);
+    armed.ArmAt(k);
+
+    auto scheduler = std::make_unique<TransactionalProcessScheduler>(
+        CombinedSchedulerOptions(r.world.get()), log.get());
+    ASSERT_TRUE(r.world->RegisterAll(scheduler.get()).ok());
+    Status run = DriveWorkload(scheduler.get(), r.workload);
+    ASSERT_TRUE(armed.triggered())
+        << tag << " k=" << k << " (deterministic rerun missed the hit): "
+        << run.ToString();
+    const std::string site = armed.triggered_site();
+
+    std::string failures;
+    if (site.rfind("subsystem/", 0) == 0) {
+      // Absorbed by the failure-domain machinery: no crash, the run
+      // completes and every process reached a terminal state.
+      if (!run.ok()) {
+        failures += " absorbed-run:" + run.ToString();
+      }
+      for (int p = 1; p <= static_cast<int>(r.workload.size()); ++p) {
+        if (scheduler->OutcomeOf(ProcessId(p)) == ProcessOutcome::kActive) {
+          failures += StrCat(" non-terminal:P", p);
+        }
+      }
+      if (failures.empty()) {
+        failures = CombinedInvariants(scheduler.get(), r.world.get(), r.probe);
+      }
+    } else {
+      // A log crash: recover, then assert.
+      if (!run.IsUnavailable()) {
+        failures += " expected-crash:" + run.ToString();
+      } else {
+        if (flavor.file_backed) {
+          scheduler.reset();
+          log.reset();
+          auto reopened = MakeLog(flavor, path);
+          ASSERT_TRUE(reopened.ok())
+              << tag << " k=" << k << ": " << reopened.status().ToString();
+          log = std::move(*reopened);
+          log->wal()->SetCrashPointListener(&armed);
+          armed.ArmAt(0);
+          scheduler = std::make_unique<TransactionalProcessScheduler>(
+              CombinedSchedulerOptions(r.world.get()), log.get());
+          ASSERT_TRUE(r.world->RegisterAll(scheduler.get()).ok());
+        } else {
+          armed.ArmAt(0);
+          log->Crash();
+        }
+        Status recovered = scheduler->Recover(r.DefsByName());
+        if (!recovered.ok()) {
+          failures = " recover:" + recovered.ToString();
+        } else {
+          failures =
+              CombinedInvariants(scheduler.get(), r.world.get(), r.probe);
+        }
+      }
+    }
+    if (!failures.empty()) {
+      std::string seed_file = WriteFailingSeed(tag, k, site, failures);
+      FAIL() << tag << " fault at hit " << k << " (site " << site
+             << "):" << failures << "\n(reproducer appended to " << seed_file
+             << ")";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionSweep, CombinedWalAndSubsystemMemory) {
+  RunCombinedSweep(/*file_backed=*/false);
+}
+
+TEST(FaultInjectionSweep, CombinedWalAndSubsystemFile) {
+  RunCombinedSweep(/*file_backed=*/true);
 }
 
 }  // namespace

@@ -1,0 +1,380 @@
+// Randomized chaos soak across subsystem failure domains: seeded outage
+// schedules, transient faults and latency spikes run against the full
+// health stack (deadlines, circuit breakers, parking, ◁-degradation) over
+// both the in-memory and the file-backed WAL. Every run must terminate,
+// end with every process in a terminal state, keep the emitted history
+// prefix-reducible (PRED, Def. 10) and process-recoverable (Proc-REC,
+// Def. 11), and never drive a key-value entry negative. A violation
+// prints a one-line reproducer:
+//
+//   TPM_CHAOS_SEED_BASE=<seed> TPM_CHAOS_SEEDS=1 ctest -R SubsystemChaos
+//
+// Knobs: TPM_CHAOS_SEED_BASE (first seed, default 1) and TPM_CHAOS_SEEDS
+// (number of seeds, default 34; x3 severities x2 backends = 204 runs).
+// CI's chaos-soak job passes a fresh random base every night.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/scheduler.h"
+#include "log/file_backend.h"
+#include "log/recovery_log.h"
+#include "testing/fault_injector.h"
+#include "workload/fault_workload.h"
+
+namespace tpm {
+namespace {
+
+using testing::WriteFailingSeed;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+/// 0 = healthy, 1 = one flaky subsystem, 2 = flaky + one outage-prone
+/// subsystem (repairable outage windows).
+struct Severity {
+  int level;
+  const char* name;
+};
+
+constexpr Severity kSeverities[] = {
+    {0, "healthy"}, {1, "flaky"}, {2, "outage"}};
+
+struct ChaosRunResult {
+  SchedulerStats stats;
+  std::string failures;  // empty = all invariants held
+};
+
+/// One seeded run: builds a 3-subsystem world, applies the severity's
+/// fault shape to seed-chosen victims, drives a mixed workload (processes
+/// with cross-subsystem ◁-alternatives plus chains without any) to
+/// completion and checks the invariants.
+ChaosRunResult ChaosRun(uint64_t seed, const Severity& severity,
+                        bool file_backed, const std::string& log_path) {
+  ChaosRunResult result;
+  Rng rng(seed * 1000003 + severity.level);
+
+  FaultDomainOptions world_options;
+  world_options.num_subsystems = 3;
+  world_options.seed = seed;
+  world_options.proxy.deadline_ticks = 12;
+  world_options.proxy.window = 6;
+  world_options.proxy.min_samples = 4;
+  world_options.proxy.failure_threshold = 0.5;
+  world_options.proxy.cooldown_ticks = 20;
+  FaultDomainWorld world(world_options);
+
+  if (severity.level >= 1) {
+    // One seed-chosen flaky subsystem; the rest stay healthy so degraded
+    // paths have somewhere to land.
+    testing::FaultProfile flaky;
+    flaky.transient_abort_probability = 0.2;
+    flaky.latency_ticks = 1;
+    flaky.slow_probability = 0.1;
+    flaky.slow_latency_ticks = 15;  // blows the 12-tick budget when drawn
+    world.faulty(static_cast<int>(rng.NextInRange(0, 2)))->set_profile(flaky);
+  }
+  int down = -1;
+  if (severity.level >= 2) {
+    // A second victim suffers repairable outage windows.
+    down = static_cast<int>(rng.NextInRange(0, 2));
+    const int64_t start = rng.NextInRange(2, 30);
+    world.faulty(down)->AddOutage(start, start + rng.NextInRange(40, 120));
+    world.faulty(down)->AddOutage(start + 250, start + 250 + 40);
+  }
+
+  // Subsystem-side retry masking with the satellite backoff policy:
+  // exponential, capped, seeded full jitter — all on the shared clock.
+  for (int i = 0; i < world.num_subsystems(); ++i) {
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.backoff_base_ticks = 1;
+    retry.exponential = true;
+    retry.max_backoff_ticks = 4;
+    retry.full_jitter = true;
+    world.raw(i)->SetRetryPolicy(retry);
+  }
+
+  // Mixed workload: every subsystem is someone's home, someone's primary
+  // and someone's degradation target, so any single outage is survivable
+  // for the alternative-bearing processes; the chains have no alternative
+  // and must park until repair or abort via the park timeout.
+  std::vector<const ProcessDef*> defs;
+  defs.push_back(world.MakeAlternativeProcess("alt0", 0, 1, 2, 0));
+  defs.push_back(world.MakeAlternativeProcess("alt1", 1, 2, 0, 1));
+  defs.push_back(world.MakeAlternativeProcess("alt2", 2, 0, 1, 2));
+  defs.push_back(world.MakeAlternativeProcess(
+      "alt3", static_cast<int>(rng.NextInRange(0, 2)),
+      static_cast<int>(rng.NextInRange(0, 2)),
+      static_cast<int>(rng.NextInRange(0, 2)), 3));
+  defs.push_back(world.MakeChainProcess(
+      "chain0", static_cast<int>(rng.NextInRange(0, 2)), 3, 4));
+  defs.push_back(world.MakeChainProcess(
+      "chain1", static_cast<int>(rng.NextInRange(0, 2)), 2, 5));
+  for (const ProcessDef* def : defs) {
+    if (def == nullptr) {
+      result.failures = " workload-def-failed-to-build";
+      return result;
+    }
+  }
+
+  std::unique_ptr<RecoveryLog> log;
+  if (file_backed) {
+    std::remove(log_path.c_str());
+    auto backend = FileStorageBackend::Open(log_path);
+    if (!backend.ok()) {
+      result.failures = " log-open:" + backend.status().ToString();
+      return result;
+    }
+    log = std::make_unique<RecoveryLog>(std::move(*backend));
+  } else {
+    log = std::make_unique<RecoveryLog>();
+  }
+
+  SchedulerOptions options;
+  options.clock = world.clock();
+  // Bounds termination even if an outage outlasts every retry: a parked
+  // activity falls back to the failure ladder after this long.
+  options.park_timeout_ticks = 400;
+  // Half the seeds run the Lemma 1 deferral as prepared 2PC branches so
+  // the chaos also exercises phase-two resolution under sick subsystems.
+  options.defer_mode =
+      (seed % 2 == 0) ? DeferMode::kPrepared2PC : DeferMode::kDelayExecution;
+  TransactionalProcessScheduler scheduler(options, log.get());
+  Status registered = world.RegisterAll(&scheduler);
+  if (!registered.ok()) {
+    result.failures = " register:" + registered.ToString();
+    return result;
+  }
+
+  for (const ProcessDef* def : defs) {
+    Result<ProcessId> pid = scheduler.Submit(def);
+    if (!pid.ok()) {
+      result.failures = " submit:" + pid.status().ToString();
+      return result;
+    }
+  }
+
+  // Guaranteed termination (§3.1): the run must end on its own.
+  Status run = scheduler.Run(300000);
+  result.stats = scheduler.stats();
+  if (!run.ok()) {
+    result.failures += " run:" + run.ToString();
+  }
+  for (int p = 1; p <= static_cast<int>(defs.size()); ++p) {
+    if (scheduler.OutcomeOf(ProcessId(p)) == ProcessOutcome::kActive) {
+      result.failures += StrCat(" non-terminal:P", p);
+    }
+  }
+  Result<bool> pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  if (!pred.ok()) {
+    result.failures += " PRED-check-error:" + pred.status().ToString();
+  } else if (!*pred) {
+    result.failures += " not-PRED:" + scheduler.history().ToString();
+  }
+  if (!IsProcessRecoverable(scheduler.history(), scheduler.conflict_spec())) {
+    result.failures += " not-ProcREC:" + scheduler.history().ToString();
+  }
+  if (world.AnyNegativeValue()) {
+    result.failures += " negative-kv-value";
+  }
+  if (file_backed) std::remove(log_path.c_str());
+  return result;
+}
+
+TEST(SubsystemChaos, SoakSeededOutageSchedulesAcrossBackends) {
+  const uint64_t seed_base =
+      static_cast<uint64_t>(EnvInt("TPM_CHAOS_SEED_BASE", 1));
+  const int64_t num_seeds = EnvInt("TPM_CHAOS_SEEDS", 34);
+  const std::string log_path = ::testing::TempDir() + "tpm_chaos_" +
+                               StrCat(::getpid()) + ".log";
+  int64_t runs = 0;
+  int64_t committed = 0, aborted = 0, trips = 0, degraded = 0, parked = 0;
+  for (uint64_t seed = seed_base; seed < seed_base + num_seeds; ++seed) {
+    for (const Severity& severity : kSeverities) {
+      for (bool file_backed : {false, true}) {
+        ChaosRunResult r = ChaosRun(seed, severity, file_backed, log_path);
+        ++runs;
+        committed += r.stats.processes_committed;
+        aborted += r.stats.processes_aborted;
+        trips += r.stats.breaker_trips;
+        degraded += r.stats.degraded_switches;
+        parked += r.stats.parked_activities;
+        if (!r.failures.empty()) {
+          const std::string tag =
+              StrCat("chaos_", severity.name, file_backed ? "_file" : "_mem");
+          std::string seed_file = WriteFailingSeed(
+              tag, static_cast<int64_t>(seed), "chaos", r.failures);
+          FAIL() << tag << " seed=" << seed << ":" << r.failures
+                 << "\nreproduce with: TPM_CHAOS_SEED_BASE=" << seed
+                 << " TPM_CHAOS_SEEDS=1 ctest -R SubsystemChaos"
+                 << "\n(reproducer appended to " << seed_file << ")";
+        }
+      }
+    }
+  }
+  // The soak actually exercised the machinery it is soaking.
+  EXPECT_GE(runs, 3 * 2);
+  EXPECT_GT(committed, 0);
+  if (num_seeds >= 20) {
+    EXPECT_GT(trips, 0) << "no breaker ever tripped across the soak";
+    EXPECT_GT(parked + degraded + aborted, 0);
+  }
+  std::printf(
+      "chaos soak: %lld runs, %lld committed, %lld aborted, %lld trips, "
+      "%lld degraded, %lld parked\n",
+      static_cast<long long>(runs), static_cast<long long>(committed),
+      static_cast<long long>(aborted), static_cast<long long>(trips),
+      static_cast<long long>(degraded), static_cast<long long>(parked));
+}
+
+// ---------------------------------------------------------------------------
+// Outage-aware degradation (the acceptance scenario): one subsystem is
+// forced into an unrepaired outage with its breaker pinned open; workloads
+// whose preference order offers paths around it must still commit via
+// degraded branches, and nothing may retry against the open breaker.
+
+TEST(SubsystemChaos, ForcedOutageDegradesToAlternativePaths) {
+  FaultDomainOptions world_options;
+  world_options.num_subsystems = 3;
+  world_options.seed = 7;
+  world_options.proxy.window = 2;
+  world_options.proxy.min_samples = 2;
+  world_options.proxy.cooldown_ticks = 1000000;  // never half-opens
+  FaultDomainWorld world(world_options);
+  const int sick = 1;
+  world.faulty(sick)->AddOutage(0, 1000000);  // never repaired
+
+  // Processes whose preferred group runs on the sick subsystem but whose
+  // ◁-alternative avoids it, plus one that never touches it.
+  std::vector<const ProcessDef*> defs;
+  defs.push_back(world.MakeAlternativeProcess("deg0", 0, sick, 2, 0));
+  defs.push_back(world.MakeAlternativeProcess("deg1", 2, sick, 0, 1));
+  defs.push_back(world.MakeAlternativeProcess("clean", 0, 2, 0, 2));
+
+  // Trip the sick subsystem's breaker before scheduling begins, as a
+  // health prober would: two failed calls are enough for this window.
+  ServiceId probe_service = world.AddServiceOn(sick, "probe");
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(world.proxy(sick)
+                    ->Invoke(probe_service,
+                             ServiceRequest{ProcessId(99), ActivityId(1), 1})
+                    .status()
+                    .IsAborted());
+  }
+  ASSERT_EQ(world.proxy(sick)->breaker_state(), BreakerState::kOpen);
+
+  RecoveryLog log;
+  SchedulerOptions options;
+  options.clock = world.clock();
+  TransactionalProcessScheduler scheduler(options, &log);
+  ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+  for (const ProcessDef* def : defs) {
+    ASSERT_NE(def, nullptr);
+    ASSERT_TRUE(scheduler.Submit(def).ok());
+  }
+  ASSERT_TRUE(scheduler.Run(100000).ok());
+
+  // Every process commits despite the outage: the scheduler switched the
+  // affected ones to their ◁-alternative proactively.
+  EXPECT_EQ(scheduler.stats().processes_committed, 3);
+  EXPECT_GT(scheduler.stats().degraded_switches, 0);
+  for (int p = 1; p <= 3; ++p) {
+    EXPECT_EQ(scheduler.OutcomeOf(ProcessId(p)), ProcessOutcome::kCommitted)
+        << "P" << p;
+  }
+  // "No activity retries against an open breaker": the scheduler never
+  // even invoked the sick proxy — zero rejections beyond our two probes,
+  // zero attempts reaching the fault layer after the trip.
+  EXPECT_EQ(world.proxy(sick)->health_counters().rejected_while_open, 0);
+  EXPECT_EQ(world.faulty(sick)->attempted_invocations(), 2);
+  // The degraded branches really ran elsewhere: nothing committed on the
+  // sick store.
+  EXPECT_TRUE(world.raw(sick)->store().Snapshot().empty());
+  EXPECT_FALSE(world.AnyNegativeValue());
+}
+
+// A process with no alternative parks behind the open breaker and resumes
+// once the outage is repaired and the breaker half-opens — no retry burns
+// while the subsystem is down, and the process still commits.
+TEST(SubsystemChaos, ParkedActivityResumesAfterRepair) {
+  FaultDomainOptions world_options;
+  world_options.num_subsystems = 2;
+  world_options.seed = 11;
+  world_options.proxy.window = 2;
+  world_options.proxy.min_samples = 2;
+  world_options.proxy.cooldown_ticks = 25;
+  FaultDomainWorld world(world_options);
+  world.faulty(0)->AddOutage(0, 60);  // repaired at tick 60
+
+  std::vector<const ProcessDef*> defs;
+  // Single retriable activity on the sick subsystem: no branch point, no
+  // alternative — parking is the only graceful option.
+  defs.push_back(world.MakeChainProcess("lone", 0, 1, 0));
+  defs.push_back(world.MakeChainProcess("peer", 1, 2, 1));
+
+  RecoveryLog log;
+  SchedulerOptions options;
+  options.clock = world.clock();
+  TransactionalProcessScheduler scheduler(options, &log);
+  ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+  for (const ProcessDef* def : defs) {
+    ASSERT_NE(def, nullptr);
+    ASSERT_TRUE(scheduler.Submit(def).ok());
+  }
+  ASSERT_TRUE(scheduler.Run(100000).ok());
+
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(1)), ProcessOutcome::kCommitted);
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(2)), ProcessOutcome::kCommitted);
+  EXPECT_GT(scheduler.stats().breaker_trips, 0);
+  EXPECT_GT(scheduler.stats().parked_activities, 0);
+  EXPECT_GT(scheduler.stats().resumed_activities, 0);
+  EXPECT_EQ(world.proxy(0)->health_counters().rejected_while_open, 0);
+  EXPECT_FALSE(world.AnyNegativeValue());
+}
+
+// With the outage never repaired and no alternative, the park timeout
+// bounds termination: the activity falls back to the failure ladder and
+// the process aborts instead of waiting forever.
+TEST(SubsystemChaos, ParkTimeoutBoundsTerminationUnderUnrepairedOutage) {
+  FaultDomainOptions world_options;
+  world_options.num_subsystems = 2;
+  world_options.seed = 13;
+  world_options.proxy.window = 2;
+  world_options.proxy.min_samples = 2;
+  world_options.proxy.cooldown_ticks = 1000000;
+  FaultDomainWorld world(world_options);
+  world.faulty(0)->AddOutage(0, 1000000);
+
+  std::vector<const ProcessDef*> defs;
+  defs.push_back(world.MakeChainProcess("stuck", 0, 1, 0));
+
+  RecoveryLog log;
+  SchedulerOptions options;
+  options.clock = world.clock();
+  options.park_timeout_ticks = 50;
+  TransactionalProcessScheduler scheduler(options, &log);
+  ASSERT_TRUE(world.RegisterAll(&scheduler).ok());
+  ASSERT_NE(defs[0], nullptr);
+  ASSERT_TRUE(scheduler.Submit(defs[0]).ok());
+  ASSERT_TRUE(scheduler.Run(100000).ok());
+
+  EXPECT_EQ(scheduler.OutcomeOf(ProcessId(1)), ProcessOutcome::kAborted);
+  EXPECT_GT(scheduler.stats().parked_activities, 0);
+  EXPECT_FALSE(world.AnyNegativeValue());
+}
+
+}  // namespace
+}  // namespace tpm

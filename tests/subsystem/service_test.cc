@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/rng.h"
+
 namespace tpm {
 namespace {
 
@@ -88,6 +92,71 @@ TEST(ServiceBodiesTest, ReadIsEffectFree) {
   ASSERT_TRUE(read.body(&store, Req(), &ret).ok());
   EXPECT_EQ(ret, 3);
   EXPECT_EQ(store.version(), version);
+}
+
+TEST(RetryPolicyTest, DefaultScheduleIsLinear) {
+  RetryPolicy policy;
+  policy.backoff_base_ticks = 3;
+  EXPECT_EQ(policy.BackoffTicks(1), 3);
+  EXPECT_EQ(policy.BackoffTicks(2), 6);
+  EXPECT_EQ(policy.BackoffTicks(3), 9);
+}
+
+TEST(RetryPolicyTest, ZeroBaseOrBadAttemptYieldsNoWait) {
+  RetryPolicy policy;
+  EXPECT_EQ(policy.BackoffTicks(1), 0);
+  policy.backoff_base_ticks = 5;
+  EXPECT_EQ(policy.BackoffTicks(0), 0);
+  EXPECT_EQ(policy.BackoffTicks(-1), 0);
+}
+
+TEST(RetryPolicyTest, ExponentialScheduleDoubles) {
+  RetryPolicy policy;
+  policy.backoff_base_ticks = 2;
+  policy.exponential = true;
+  EXPECT_EQ(policy.BackoffTicks(1), 2);
+  EXPECT_EQ(policy.BackoffTicks(2), 4);
+  EXPECT_EQ(policy.BackoffTicks(3), 8);
+  EXPECT_EQ(policy.BackoffTicks(4), 16);
+}
+
+TEST(RetryPolicyTest, CapBoundsBothSchedules) {
+  RetryPolicy policy;
+  policy.backoff_base_ticks = 2;
+  policy.exponential = true;
+  policy.max_backoff_ticks = 10;
+  EXPECT_EQ(policy.BackoffTicks(3), 8);
+  EXPECT_EQ(policy.BackoffTicks(4), 10);
+  EXPECT_EQ(policy.BackoffTicks(40), 10);
+  policy.exponential = false;
+  EXPECT_EQ(policy.BackoffTicks(40), 10);
+}
+
+TEST(RetryPolicyTest, HugeExponentDoesNotOverflow) {
+  RetryPolicy policy;
+  policy.backoff_base_ticks = 3;
+  policy.exponential = true;
+  const int64_t wait = policy.BackoffTicks(500);
+  EXPECT_GT(wait, 0);
+  EXPECT_LE(wait, std::numeric_limits<int64_t>::max());
+}
+
+TEST(RetryPolicyTest, FullJitterDrawsWithinEnvelopeDeterministically) {
+  RetryPolicy policy;
+  policy.backoff_base_ticks = 4;
+  policy.exponential = true;
+  policy.full_jitter = true;
+  Rng rng_a(123), rng_b(123);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const int64_t envelope = 4 * (int64_t{1} << (attempt - 1));
+    const int64_t wait = policy.BackoffTicks(attempt, &rng_a);
+    EXPECT_GE(wait, 0);
+    EXPECT_LE(wait, envelope);
+    // Same seed, same schedule: jitter stays reproducible.
+    EXPECT_EQ(policy.BackoffTicks(attempt, &rng_b), wait);
+  }
+  // Without an RNG the jitter flag is inert.
+  EXPECT_EQ(policy.BackoffTicks(2), 8);
 }
 
 TEST(ServiceBodiesTest, EraseReturnsPrevious) {

@@ -1,0 +1,265 @@
+#include "subsystem/subsystem_proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/virtual_clock.h"
+#include "testing/fault_injector.h"
+#include "testing/faulty_subsystem.h"
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t param = 1) {
+  return ServiceRequest{ProcessId(1), ActivityId(1), param};
+}
+
+/// Three-layer stack under test: proxy -> faulty -> raw KvSubsystem, all
+/// on one shared clock (the same shape FaultDomainWorld wires up).
+class SubsystemProxyTest : public ::testing::Test {
+ protected:
+  void Build(SubsystemProxyOptions options,
+             testing::FaultProfile profile = {}) {
+    raw_ = std::make_unique<KvSubsystem>(SubsystemId(1), "kv", 42);
+    raw_->SetClock(&clock_);
+    ASSERT_TRUE(
+        raw_->RegisterService(MakeAddService(ServiceId(1), "add_x", "x"))
+            .ok());
+    ASSERT_TRUE(
+        raw_->RegisterService(MakeAddService(ServiceId(2), "add_y", "y"))
+            .ok());
+    faulty_ = std::make_unique<testing::FaultySubsystem>(raw_.get(), &clock_,
+                                                         profile, 7);
+    proxy_ =
+        std::make_unique<SubsystemProxy>(faulty_.get(), &clock_, options);
+  }
+
+  /// Breaker tuned to trip after 4 consecutive failures.
+  static SubsystemProxyOptions SmallBreaker() {
+    SubsystemProxyOptions o;
+    o.window = 4;
+    o.min_samples = 4;
+    o.failure_threshold = 0.5;
+    o.cooldown_ticks = 10;
+    return o;
+  }
+
+  /// Every first-phase invocation aborts transiently.
+  static testing::FaultProfile AlwaysAbort() {
+    testing::FaultProfile p;
+    p.transient_abort_probability = 1.0;
+    return p;
+  }
+
+  /// Drives failing invocations until the window trips the breaker (how
+  /// many are needed depends on success samples already in the window).
+  void TripBreaker() {
+    for (int i = 0;
+         i < 16 && proxy_->breaker_state() != BreakerState::kOpen; ++i) {
+      EXPECT_FALSE(proxy_->Invoke(ServiceId(1), Req()).ok());
+    }
+    ASSERT_EQ(proxy_->breaker_state(), BreakerState::kOpen);
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<KvSubsystem> raw_;
+  std::unique_ptr<testing::FaultySubsystem> faulty_;
+  std::unique_ptr<SubsystemProxy> proxy_;
+};
+
+TEST_F(SubsystemProxyTest, HealthyInvocationsPassThrough) {
+  Build(SmallBreaker());
+  auto outcome = proxy_->Invoke(ServiceId(1), Req());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(raw_->store().Get("x"), 1);
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(proxy_->health_counters().breaker_trips, 0);
+}
+
+TEST_F(SubsystemProxyTest, BreakerOpensAtFailureThresholdAndRejects) {
+  Build(SmallBreaker(), AlwaysAbort());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(proxy_->Invoke(ServiceId(1), Req()).status().IsAborted());
+    // Below min_samples the breaker never trips.
+    EXPECT_EQ(proxy_->breaker_state(), BreakerState::kClosed) << i;
+  }
+  EXPECT_TRUE(proxy_->Invoke(ServiceId(1), Req()).status().IsAborted());
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(proxy_->health_counters().breaker_trips, 1);
+
+  // While open: rejected with kUnavailable at the proxy, without reaching
+  // the subsystem below.
+  const int64_t attempts_before = faulty_->attempted_invocations();
+  Status rejected = proxy_->Invoke(ServiceId(1), Req()).status();
+  EXPECT_TRUE(rejected.IsUnavailable()) << rejected.ToString();
+  EXPECT_EQ(faulty_->attempted_invocations(), attempts_before);
+  EXPECT_EQ(proxy_->health_counters().rejected_while_open, 1);
+}
+
+TEST_F(SubsystemProxyTest, CooldownLeadsToHalfOpenProbeThatCloses) {
+  Build(SmallBreaker(), AlwaysAbort());
+  TripBreaker();
+  clock_.Advance(9);
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kOpen);
+  clock_.Advance(1);  // cooldown_ticks = 10 elapsed
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kHalfOpen);
+
+  // The subsystem recovered: the single probe succeeds and closes.
+  faulty_->set_profile(testing::FaultProfile{});
+  ASSERT_TRUE(proxy_->Invoke(ServiceId(1), Req()).ok());
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(proxy_->health_counters().probe_invocations, 1);
+  // Closed again for real: further invocations flow.
+  ASSERT_TRUE(proxy_->Invoke(ServiceId(1), Req()).ok());
+  EXPECT_EQ(raw_->store().Get("x"), 2);
+}
+
+TEST_F(SubsystemProxyTest, FailedProbeReopensForAnotherCooldown) {
+  Build(SmallBreaker(), AlwaysAbort());
+  TripBreaker();
+  clock_.Advance(10);
+  ASSERT_EQ(proxy_->breaker_state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(proxy_->Invoke(ServiceId(1), Req()).status().IsAborted());
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(proxy_->health_counters().breaker_trips, 2);
+  clock_.Advance(10);
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kHalfOpen);
+}
+
+TEST_F(SubsystemProxyTest, DeadlineExpiryBecomesRetriableAbort) {
+  SubsystemProxyOptions options;
+  options.deadline_ticks = 5;
+  testing::FaultProfile profile;
+  profile.latency_ticks = 50;  // every call is slower than the budget
+  Build(options, profile);
+
+  const int64_t before = clock_.now();
+  Status status = proxy_->Invoke(ServiceId(1), Req()).status();
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  // The wait was clamped at the budget, not the full injected latency.
+  EXPECT_EQ(clock_.now(), before + 5);
+  // Aborted before any effect: clean retriable semantics.
+  EXPECT_FALSE(raw_->store().Exists("x"));
+  EXPECT_EQ(proxy_->health_counters().deadline_failures, 1);
+  // The invocation bracket was closed again.
+  EXPECT_FALSE(clock_.deadline_active());
+}
+
+TEST_F(SubsystemProxyTest, FastInvocationMeetsDeadline) {
+  SubsystemProxyOptions options;
+  options.deadline_ticks = 5;
+  testing::FaultProfile profile;
+  profile.latency_ticks = 3;
+  Build(options, profile);
+  ASSERT_TRUE(proxy_->Invoke(ServiceId(1), Req()).ok());
+  EXPECT_EQ(clock_.now(), 3);
+  EXPECT_EQ(proxy_->health_counters().deadline_failures, 0);
+}
+
+TEST_F(SubsystemProxyTest, OutageStallTimesOutAtDeadline) {
+  SubsystemProxyOptions options;
+  options.deadline_ticks = 8;
+  Build(options);
+  faulty_->AddOutage(0, 1000);
+  Status status = proxy_->Invoke(ServiceId(1), Req()).status();
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  // The call hung against the unreachable subsystem for its full budget.
+  EXPECT_EQ(clock_.now(), 8);
+  EXPECT_EQ(faulty_->outage_rejections(), 1);
+}
+
+TEST_F(SubsystemProxyTest, DeadlineAlsoBoundsPreparedInvocations) {
+  SubsystemProxyOptions options;
+  options.deadline_ticks = 5;
+  testing::FaultProfile profile;
+  profile.latency_ticks = 50;
+  Build(options, profile);
+  EXPECT_TRUE(proxy_->InvokePrepared(ServiceId(1), Req()).status().IsAborted());
+  EXPECT_EQ(proxy_->health_counters().deadline_failures, 1);
+}
+
+TEST_F(SubsystemProxyTest, LockCongestionIsNotSampledAsFailure) {
+  Build(SmallBreaker());
+  // Hold the write lock on "x" with a prepared transaction...
+  auto prepared = proxy_->InvokePrepared(ServiceId(1), Req());
+  ASSERT_TRUE(prepared.ok());
+  // ...then hammer the same key: kUnavailable (benign wait), which must
+  // never trip the breaker no matter how often it happens.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(proxy_->Invoke(ServiceId(1), Req()).status().IsUnavailable());
+  }
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(proxy_->health_counters().breaker_trips, 0);
+  ASSERT_TRUE(proxy_->CommitPrepared(prepared->tx).ok());
+}
+
+// Satellite of the 2PC abort-path coverage: a prepared-but-sick
+// participant must still resolve. Phase two is never gated by the health
+// layer — the decision is already logged, refusing it would wedge the
+// coordinator (Lemma 1's deferred-commit machinery).
+TEST_F(SubsystemProxyTest, PhaseTwoPassesThroughOpenBreakerAndOutage) {
+  Build(SmallBreaker());
+  auto commit_me = proxy_->InvokePrepared(ServiceId(1), Req());
+  ASSERT_TRUE(commit_me.ok());
+  auto abort_me = proxy_->InvokePrepared(ServiceId(2), Req());
+  ASSERT_TRUE(abort_me.ok());
+
+  // Now the subsystem goes dark and the breaker trips on another service.
+  faulty_->set_profile(AlwaysAbort());
+  TripBreaker();
+  faulty_->AddOutage(clock_.now(), clock_.now() + 1000);
+
+  // First-phase work is rejected...
+  EXPECT_TRUE(proxy_->Invoke(ServiceId(2), Req()).status().IsUnavailable());
+  // ...but both phase-two decisions pass through and resolve.
+  EXPECT_TRUE(proxy_->CommitPrepared(commit_me->tx).ok());
+  EXPECT_TRUE(proxy_->AbortPrepared(abort_me->tx).ok());
+  EXPECT_EQ(raw_->store().Get("x"), 1);
+  EXPECT_FALSE(raw_->store().Exists("y"));
+  EXPECT_FALSE(raw_->WouldBlock(ServiceId(1)));
+  EXPECT_FALSE(raw_->WouldBlock(ServiceId(2)));
+}
+
+TEST_F(SubsystemProxyTest, DisabledBreakerNeverTrips) {
+  SubsystemProxyOptions options = SmallBreaker();
+  options.breaker_enabled = false;
+  Build(options, AlwaysAbort());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(proxy_->Invoke(ServiceId(1), Req()).status().IsAborted());
+  }
+  EXPECT_EQ(proxy_->breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(proxy_->health_counters().breaker_trips, 0);
+}
+
+TEST_F(SubsystemProxyTest, WindowSlidesOldFailuresOut) {
+  Build(SmallBreaker(), AlwaysAbort());
+  // One failure, then recovery: successes dilute and eventually push the
+  // failure out of the 4-slot window before the threshold is reached.
+  EXPECT_TRUE(proxy_->Invoke(ServiceId(1), Req()).status().IsAborted());
+  faulty_->set_profile(testing::FaultProfile{});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(proxy_->Invoke(ServiceId(1), Req()).ok());
+    EXPECT_EQ(proxy_->breaker_state(), BreakerState::kClosed);
+  }
+}
+
+TEST_F(SubsystemProxyTest, InjectedSiteFaultCountsTowardBreaker) {
+  Build(SmallBreaker());
+  testing::FaultInjector injector;
+  faulty_->SetCrashPointListener(&injector);
+  // Arm far beyond this test so OnCrashPoint never fires, proving the
+  // sites are consulted (hit counting) without changing behavior.
+  injector.ArmAt(1000);
+  ASSERT_TRUE(proxy_->Invoke(ServiceId(1), Req()).ok());
+  ASSERT_TRUE(proxy_->InvokePrepared(ServiceId(2), Req()).ok());
+  EXPECT_EQ(injector.site_hits().at("subsystem/invoke"), 1);
+  EXPECT_EQ(injector.site_hits().at("subsystem/prepare"), 1);
+  // Armed at the next invoke hit: the injected fault surfaces as a
+  // breaker-visible failure sample.
+  injector.ArmAtSite("subsystem/invoke", 1);
+  injector.ResetCounts();
+  EXPECT_TRUE(proxy_->Invoke(ServiceId(1), Req()).status().IsAborted());
+  EXPECT_EQ(faulty_->injected_site_faults(), 1);
+}
+
+}  // namespace
+}  // namespace tpm

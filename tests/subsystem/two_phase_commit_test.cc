@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "common/virtual_clock.h"
+#include "subsystem/subsystem_proxy.h"
+#include "testing/fault_injector.h"
+#include "testing/faulty_subsystem.h"
+
 namespace tpm {
 namespace {
 
@@ -75,6 +82,125 @@ TEST_F(TwoPhaseCommitTest, RecoverIsIdempotent) {
   ASSERT_TRUE(coord_.CommitAll(branches).ok());
   ASSERT_TRUE(coord_.RecoverInDoubt().ok());
   EXPECT_EQ(a_.store().Get("x"), 1);  // not applied twice
+}
+
+// ---------------------------------------------------------------------------
+// Failure-domain coverage: a participant whose health layer has tripped
+// (open breaker, outage, expired budget) is unreachable for new work but
+// must still resolve its prepared branches — Lemma 1's deferred commit
+// would otherwise wedge on the first sick subsystem.
+
+class SickParticipantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    raw_ = std::make_unique<KvSubsystem>(SubsystemId(1), "sick", 42);
+    raw_->SetClock(&clock_);
+    ASSERT_TRUE(
+        raw_->RegisterService(MakeAddService(ServiceId(1), "add_x", "x"))
+            .ok());
+    ASSERT_TRUE(
+        raw_->RegisterService(MakeAddService(ServiceId(2), "add_y", "y"))
+            .ok());
+    faulty_ = std::make_unique<testing::FaultySubsystem>(
+        raw_.get(), &clock_, testing::FaultProfile{}, 7);
+    SubsystemProxyOptions options;
+    options.window = 2;
+    options.min_samples = 2;
+    options.failure_threshold = 0.5;
+    options.cooldown_ticks = 1000;
+    proxy_ = std::make_unique<SubsystemProxy>(faulty_.get(), &clock_, options);
+    ASSERT_TRUE(healthy_
+                    .RegisterService(MakeAddService(ServiceId(3), "add_z", "z"))
+                    .ok());
+  }
+
+  /// Prepares one branch on the sick stack and one on the healthy peer.
+  std::vector<CommitBranch> PrepareAcrossBoth() {
+    auto ps = proxy_->InvokePrepared(ServiceId(1), Req(1));
+    auto ph = healthy_.InvokePrepared(ServiceId(3), Req(2));
+    EXPECT_TRUE(ps.ok());
+    EXPECT_TRUE(ph.ok());
+    return {{proxy_.get(), ps->tx}, {&healthy_, ph->tx}};
+  }
+
+  /// Breaker opens and an outage begins *after* the prepare.
+  void MakeSick() {
+    testing::FaultProfile always;
+    always.transient_abort_probability = 1.0;
+    faulty_->set_profile(always);
+    for (int i = 0;
+         i < 16 && proxy_->breaker_state() != BreakerState::kOpen; ++i) {
+      EXPECT_FALSE(proxy_->Invoke(ServiceId(2), Req(1)).ok());
+    }
+    ASSERT_EQ(proxy_->breaker_state(), BreakerState::kOpen);
+    faulty_->AddOutage(clock_.now(), clock_.now() + 100000);
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<KvSubsystem> raw_;
+  std::unique_ptr<testing::FaultySubsystem> faulty_;
+  std::unique_ptr<SubsystemProxy> proxy_;
+  KvSubsystem healthy_{SubsystemId(2), "healthy"};
+  TwoPhaseCommitCoordinator coord_;
+};
+
+TEST_F(SickParticipantTest, CommitAllResolvesThroughOpenBreaker) {
+  auto branches = PrepareAcrossBoth();
+  MakeSick();
+  ASSERT_TRUE(coord_.CommitAll(branches).ok());
+  EXPECT_EQ(raw_->store().Get("x"), 1);
+  EXPECT_EQ(healthy_.store().Get("z"), 2);
+  EXPECT_FALSE(coord_.HasInDoubt());
+}
+
+TEST_F(SickParticipantTest, AbortAllResolvesThroughOpenBreaker) {
+  auto branches = PrepareAcrossBoth();
+  MakeSick();
+  ASSERT_TRUE(coord_.AbortAll(branches).ok());
+  EXPECT_FALSE(raw_->store().Exists("x"));
+  EXPECT_FALSE(healthy_.store().Exists("z"));
+  // Locks released: the key is writable again (once the fault model
+  // would admit a call — check at the raw layer).
+  EXPECT_FALSE(raw_->WouldBlock(ServiceId(1)));
+}
+
+TEST_F(SickParticipantTest, LostDecisionLeavesBranchInDoubtThenRecovers) {
+  testing::FaultInjector injector;
+  faulty_->SetCrashPointListener(&injector);
+  auto branches = PrepareAcrossBoth();
+  // The commit decision to the sick participant is lost exactly once
+  // (reset the counts the prepare-site hits already advanced).
+  injector.ArmAtSite("subsystem/commit", 1);
+  injector.ResetCounts();
+
+  Status commit = coord_.CommitAll(branches);
+  EXPECT_TRUE(commit.IsUnavailable()) << commit.ToString();
+  EXPECT_TRUE(coord_.HasInDoubt());
+  // The decision is logged and the healthy branch already applied; the
+  // sick branch stays prepared (locks held), not aborted.
+  ASSERT_EQ(coord_.log().size(), 1u);
+  EXPECT_FALSE(coord_.log()[0].completed);
+  EXPECT_EQ(healthy_.store().Get("z"), 2);
+  EXPECT_FALSE(raw_->store().Exists("x"));
+  EXPECT_TRUE(raw_->WouldBlock(ServiceId(1)));
+
+  // Still unreachable: recovery reports kUnavailable and stays in doubt
+  // rather than wedging or dropping the branch.
+  injector.ArmAtSite("subsystem/commit", 1);
+  injector.ResetCounts();
+  EXPECT_TRUE(coord_.RecoverInDoubt().IsUnavailable());
+  EXPECT_TRUE(coord_.HasInDoubt());
+
+  // Participant reachable again: recovery re-drives the logged decision.
+  injector.ArmAt(0);
+  ASSERT_TRUE(coord_.RecoverInDoubt().ok());
+  EXPECT_FALSE(coord_.HasInDoubt());
+  EXPECT_TRUE(coord_.log()[0].completed);
+  EXPECT_EQ(raw_->store().Get("x"), 1);
+  EXPECT_FALSE(raw_->WouldBlock(ServiceId(1)));
+  // Idempotent once resolved.
+  ASSERT_TRUE(coord_.RecoverInDoubt().ok());
+  EXPECT_EQ(raw_->store().Get("x"), 1);
 }
 
 }  // namespace
