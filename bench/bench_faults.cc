@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/json_writer.h"
 #include "common/str_util.h"
 #include "core/scheduler.h"
 #include "log/recovery_log.h"
@@ -177,15 +178,18 @@ int main(int argc, char** argv) {
                "degraded-rate  parked  trips  deadline\n";
 
   std::ostringstream json;
-  json << "{\n  \"benchmark\": \"bench_faults E19 severity sweep "
-       << "(16 processes, 3 subsystems, seeds 11..15)\",\n"
-       << "  \"methodology\": \"closed batch on virtual time; victims fixed "
-       << "(flaky=sub1, down=sub2); commit/ktick = committed processes per "
-       << "1000 virtual ticks, degraded_rate = preference-group switches "
-       << "away from sick subsystems per committed process; aggregates are "
-       << "sums over the five seeds\",\n  \"severities\": {\n";
-
-  bool first_severity = true;
+  bench::JsonWriter writer(json);
+  writer.BeginObject();
+  writer.Field("benchmark",
+               "bench_faults E19 severity sweep (16 processes, 3 subsystems, "
+               "seeds 11..15)");
+  writer.Field("methodology",
+               "closed batch on virtual time; victims fixed (flaky=sub1, "
+               "down=sub2); commit/ktick = committed processes per 1000 "
+               "virtual ticks, degraded_rate = preference-group switches away "
+               "from sick subsystems per committed process; aggregates are "
+               "sums over the five seeds");
+  writer.BeginObject("severities");
   for (const SeverityShape& severity : kSeverities) {
     FaultReport total;
     bool all_ok = true;
@@ -210,21 +214,21 @@ int main(int argc, char** argv) {
               << std::setw(7) << total.trips << std::setw(10)
               << total.deadline_failures
               << (all_ok ? "" : "  [RUN FAILED]") << "\n";
-    if (!first_severity) json << ",\n";
-    first_severity = false;
-    json << "    \"" << severity.name << "\": {\"submitted\": "
-         << total.submitted << ", \"committed\": " << total.committed
-         << ", \"aborted\": " << total.aborted
-         << ", \"makespan_ticks\": " << total.makespan
-         << ", \"commit_per_ktick\": " << std::fixed << std::setprecision(3)
-         << ThroughputPerKTick(total)
-         << ", \"degraded_rate\": " << DegradedRate(total)
-         << ", \"degraded_switches\": " << total.degraded
-         << ", \"parked\": " << total.parked
-         << ", \"breaker_trips\": " << total.trips
-         << ", \"deadline_failures\": " << total.deadline_failures << "}";
+    writer.BeginObject(severity.name);
+    writer.Field("submitted", total.submitted);
+    writer.Field("committed", total.committed);
+    writer.Field("aborted", total.aborted);
+    writer.Field("makespan_ticks", total.makespan);
+    writer.Field("commit_per_ktick", ThroughputPerKTick(total));
+    writer.Field("degraded_rate", DegradedRate(total));
+    writer.Field("degraded_switches", total.degraded);
+    writer.Field("parked", total.parked);
+    writer.Field("breaker_trips", total.trips);
+    writer.Field("deadline_failures", total.deadline_failures);
+    writer.EndObject();
   }
-  json << "\n  }\n}\n";
+  writer.EndObject();
+  writer.EndObject();
 
   std::cout <<
       "\n  expected shape: healthy commits everything with zero degraded\n"

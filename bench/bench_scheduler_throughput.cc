@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/json_writer.h"
 #include "common/str_util.h"
 #include "core/baseline_schedulers.h"
 #include "workload/process_generator.h"
@@ -322,20 +323,24 @@ std::vector<LargeSweepResult> RunLargeSweep() {
 void WriteSweepJson(const std::vector<LargeSweepResult>& results,
                     const std::string& path) {
   std::ofstream out(path);
-  out << "{\n  \"benchmark\": \"bench_scheduler_throughput E12d "
-         "(200 processes, pool 18)\",\n  \"configs\": {\n";
+  bench::JsonWriter writer(out);
+  writer.BeginObject();
+  writer.Field("benchmark",
+               "bench_scheduler_throughput E12d (200 processes, pool 18)");
+  writer.BeginObject("configs");
   double total = 0;
-  for (size_t i = 0; i < results.size(); ++i) {
-    const LargeSweepResult& r = results[i];
+  for (const LargeSweepResult& r : results) {
     total += r.ms;
-    out << "    \"" << r.name << "\": {\"ms\": " << std::fixed
-        << std::setprecision(3) << r.ms << ", \"steps\": " << r.stats.steps
-        << ", \"commits\": " << r.stats.processes_committed
-        << ", \"aborts\": " << r.stats.processes_aborted << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+    writer.BeginObject(r.name);
+    writer.Field("ms", r.ms);
+    writer.Field("steps", r.stats.steps);
+    writer.Field("commits", r.stats.processes_committed);
+    writer.Field("aborts", r.stats.processes_aborted);
+    writer.EndObject();
   }
-  out << "  },\n  \"total_ms\": " << std::fixed << std::setprecision(3)
-      << total << "\n}\n";
+  writer.EndObject();
+  writer.Field("total_ms", total);
+  writer.EndObject();
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+// E20 — semantic ADT commutativity vs read/write conflict modeling. One
+// mixed workload on the SemanticWorld (escrow counters + token queues + KV),
+// run twice with identical seeds: once with the operation-level
+// commutativity tables enabled (inc/inc, inc/dec, inc/withdraw, enq/enq and
+// their Def. 2 compensation closures commute) and once with the same
+// services reduced to their read/write sets (every touch of a shared
+// counter or queue conflicts). Activities cost 4 virtual ticks, so admitted
+// concurrency shows up directly as makespan: the paper's §3.2 claim is that
+// exploiting ADT semantics in the conflict relation (Def. 6) buys real
+// parallelism that read/write analysis cannot see.
+//
+// Headline check (enforced; the process exits non-zero on regression): the
+// ADT mode must achieve >= 1.5x the committed-process throughput of the
+// read/write mode. `--json <path>` writes BENCH_semantic.json; runs are
+// deterministic per seed, so the file is bit-reproducible.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/json_writer.h"
+#include "common/str_util.h"
+#include "core/scheduler.h"
+#include "log/recovery_log.h"
+#include "workload/semantic_world.h"
+
+using namespace tpm;
+
+namespace {
+
+constexpr uint64_t kSeeds[] = {21, 22, 23};
+constexpr int kProducers = 12;
+constexpr int kConsumers = 3;
+constexpr int kRefillers = 3;
+constexpr int64_t kActivityTicks = 4;
+
+struct ModeReport {
+  int64_t submitted = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t makespan = 0;
+  int64_t deferrals = 0;
+  int64_t blocked = 0;
+  int64_t failed_invocations = 0;
+  int64_t exhaustion_aborts = 0;
+  bool ok = true;
+};
+
+/// One seeded closed-batch run. The batch mixes hot-state producers
+/// (enqueue + deposit on shared "orders"/"stock"), a consumer minority
+/// (dequeue + escrow withdraw — genuinely order-sensitive, so they stay
+/// serialized even under ADT semantics) and refillers. Per-variant KV keys
+/// keep the pivots disjoint: the only shared state is the semantic kind.
+ModeReport RunMode(bool use_op_commutativity, uint64_t seed) {
+  ModeReport report;
+
+  SemanticWorldOptions world_options;
+  world_options.seed = seed;
+  world_options.escrow_initial = 50;
+  world_options.queue_initial_tokens = 8;
+  SemanticWorld world(world_options);
+
+  std::vector<const ProcessDef*> defs;
+  int variant = 0;
+  for (int i = 0; i < kProducers; ++i) {
+    defs.push_back(world.MakeOrderProcess(StrCat("order", i), variant++));
+  }
+  for (int i = 0; i < kConsumers; ++i) {
+    defs.push_back(world.MakeConsumeProcess(StrCat("consume", i), variant++));
+  }
+  for (int i = 0; i < kRefillers; ++i) {
+    defs.push_back(world.MakeRefillProcess(StrCat("refill", i), variant++));
+  }
+
+  RecoveryLog log;
+  SchedulerOptions options;
+  options.clock = world.clock();
+  options.use_op_commutativity = use_op_commutativity;
+  // Cost model: every escrow/queue/KV service occupies its process for 4
+  // ticks, so the makespan separates admitted-parallel from serialized.
+  for (int i = 0; i < SemanticWorld::kNumBackends; ++i) {
+    for (ServiceId id : world.proxy(i)->services().AllIds()) {
+      options.service_durations[id] = kActivityTicks;
+    }
+  }
+  TransactionalProcessScheduler scheduler(options, &log);
+  if (!world.RegisterAll(&scheduler).ok()) {
+    report.ok = false;
+    return report;
+  }
+  // Closed batch with resubmission: aborted processes retry until the
+  // whole batch commits (or the round cap hits), so both modes do the same
+  // useful work and the modes differ in *when* they finish, not in which
+  // processes survive. Optimistic contention aborts under rw modeling show
+  // up as extra rounds and a longer makespan.
+  std::map<ProcessId, const ProcessDef*> in_flight;
+  for (const ProcessDef* def : defs) {
+    if (def == nullptr) {
+      report.ok = false;
+      return report;
+    }
+    auto pid = scheduler.Submit(def);
+    if (!pid.ok()) {
+      report.ok = false;
+      return report;
+    }
+    in_flight[*pid] = def;
+  }
+  report.submitted = static_cast<int64_t>(defs.size());
+  for (int round = 0; round < 20 && !in_flight.empty(); ++round) {
+    if (!scheduler.Run(500000).ok()) {
+      report.ok = false;
+      break;
+    }
+    std::map<ProcessId, const ProcessDef*> next;
+    for (const auto& [pid, def] : in_flight) {
+      if (scheduler.OutcomeOf(pid) != ProcessOutcome::kAborted) continue;
+      if (round == 19) continue;
+      auto retry = scheduler.Submit(def);
+      if (retry.ok()) next[*retry] = def;
+    }
+    in_flight = std::move(next);
+  }
+
+  const SchedulerStats& stats = scheduler.stats();
+  report.committed = stats.processes_committed;
+  report.aborted = stats.processes_aborted;
+  report.makespan = stats.virtual_time;
+  report.deferrals = stats.deferrals;
+  report.blocked = stats.blocked_by_locks;
+  report.failed_invocations = stats.failed_invocations;
+  report.exhaustion_aborts = world.escrow()->exhaustion_aborts();
+  if (!world.CheckAdtInvariants().ok()) report.ok = false;
+  return report;
+}
+
+double ThroughputPerKTick(const ModeReport& r) {
+  return r.makespan > 0 ? 1000.0 * static_cast<double>(r.committed) /
+                              static_cast<double>(r.makespan)
+                        : 0.0;
+}
+
+double AbortRate(const ModeReport& r) {
+  return r.submitted > 0
+             ? static_cast<double>(r.aborted) / static_cast<double>(r.submitted)
+             : 0.0;
+}
+
+void EmitMode(bench::JsonWriter& writer, const std::string& name,
+              const ModeReport& r) {
+  writer.BeginObject(name);
+  writer.Field("submitted", r.submitted);
+  writer.Field("committed", r.committed);
+  writer.Field("aborted", r.aborted);
+  writer.Field("abort_rate", AbortRate(r));
+  writer.Field("makespan_ticks", r.makespan);
+  writer.Field("commit_per_ktick", ThroughputPerKTick(r));
+  writer.Field("deferrals", r.deferrals);
+  writer.Field("blocked_by_locks", r.blocked);
+  writer.Field("failed_invocations", r.failed_invocations);
+  writer.Field("escrow_exhaustion_aborts", r.exhaustion_aborts);
+  writer.Field("all_runs_ok", r.ok);
+  writer.EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+
+  std::cout << "E20 | ADT commutativity vs read/write conflict modeling ("
+            << (kProducers + kConsumers + kRefillers)
+            << " processes/run, seeds " << kSeeds[0] << ".." << kSeeds[2]
+            << ", activities = " << kActivityTicks << " ticks)\n\n";
+  std::cout << "  mode  committed/submitted  aborted  makespan  commit/ktick"
+               "  deferrals  blocked\n";
+
+  ModeReport totals[2];
+  const char* names[2] = {"adt", "rw"};
+  for (int mode = 0; mode < 2; ++mode) {
+    ModeReport& total = totals[mode];
+    for (uint64_t seed : kSeeds) {
+      ModeReport r = RunMode(mode == 0, seed);
+      total.ok = total.ok && r.ok;
+      total.submitted += r.submitted;
+      total.committed += r.committed;
+      total.aborted += r.aborted;
+      total.makespan += r.makespan;
+      total.deferrals += r.deferrals;
+      total.blocked += r.blocked;
+      total.failed_invocations += r.failed_invocations;
+      total.exhaustion_aborts += r.exhaustion_aborts;
+    }
+    std::cout << "  " << std::left << std::setw(5) << names[mode] << std::right
+              << std::setw(11) << total.committed << "/" << total.submitted
+              << std::setw(9) << total.aborted << std::setw(10)
+              << total.makespan << "  " << std::fixed << std::setprecision(2)
+              << std::setw(12) << ThroughputPerKTick(total) << std::setw(11)
+              << total.deferrals << std::setw(9) << total.blocked
+              << (total.ok ? "" : "  [RUN FAILED]") << "\n";
+  }
+
+  const double factor = ThroughputPerKTick(totals[1]) > 0
+                            ? ThroughputPerKTick(totals[0]) /
+                                  ThroughputPerKTick(totals[1])
+                            : 0.0;
+  const bool pass = totals[0].ok && totals[1].ok && factor >= 1.5;
+  std::cout << "\n  headline: ADT/rw commit-throughput factor = " << std::fixed
+            << std::setprecision(2) << factor << " (require >= 1.50) "
+            << (pass ? "[OK]" : "[FAIL]") << "\n";
+  std::cout <<
+      "\n  expected shape: with op tables on, producer deposits and\n"
+      "  enqueues on the shared counter/queue commute and overlap, so the\n"
+      "  makespan approaches the critical path; with read/write modeling\n"
+      "  the same services self-conflict and the hot-state phase\n"
+      "  serializes. Consumers (dequeue + withdraw) serialize either way —\n"
+      "  their conflicts are semantic, not an artifact of the modeling.\n";
+
+  std::ostringstream json;
+  bench::JsonWriter writer(json);
+  writer.BeginObject();
+  writer.Field("benchmark",
+               StrCat("bench_semantic E20 ADT commutativity vs read/write "
+                      "modeling (",
+                      kProducers + kConsumers + kRefillers,
+                      " processes, seeds 21..23)"));
+  writer.Field("methodology",
+               "identical seeded closed batches on virtual time, activities "
+               "cost 4 ticks; mode adt uses the operation-level commutativity "
+               "tables (ConflictSpec op layer), mode rw disables them so only "
+               "the read/write-derived service conflicts remain; aggregates "
+               "are sums over the three seeds; commit_per_ktick = committed "
+               "processes per 1000 virtual ticks");
+  writer.BeginObject("modes");
+  EmitMode(writer, "adt", totals[0]);
+  EmitMode(writer, "rw", totals[1]);
+  writer.EndObject();
+  writer.BeginObject("headline");
+  writer.Field("commit_throughput_factor", factor);
+  writer.Field("required_factor", 1.5, 1);
+  writer.Field("pass", pass);
+  writer.EndObject();
+  writer.EndObject();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str();
+    std::cout << "\n  wrote " << json_path << "\n";
+  }
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,160 @@
+#ifndef TPM_BENCH_JSON_WRITER_H_
+#define TPM_BENCH_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tpm {
+namespace bench {
+
+/// Minimal streaming JSON writer shared by the BENCH_*.json emitters, so
+/// every benchmark produces structurally valid, consistently indented JSON
+/// without hand-managed commas. Usage:
+///
+///   JsonWriter w(out);
+///   w.BeginObject();
+///   w.Field("benchmark", "E19 severity sweep");
+///   w.BeginObject("severities");
+///   w.Field("committed", 42);
+///   w.EndObject();
+///   w.EndObject();  // root; emits the final newline
+///
+/// Keys and string values are escaped; doubles print with a fixed,
+/// per-field precision (deterministic output for bit-reproducible runs).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void BeginObject() { BeginContainer(nullptr, '{'); }
+  void BeginObject(const std::string& key) { BeginContainer(&key, '{'); }
+  void EndObject() { EndContainer('}'); }
+
+  void BeginArray() { BeginContainer(nullptr, '['); }
+  void BeginArray(const std::string& key) { BeginContainer(&key, '['); }
+  void EndArray() { EndContainer(']'); }
+
+  void Field(const std::string& key, const std::string& value) {
+    Prefix(&key);
+    out_ << Quote(value);
+  }
+  void Field(const std::string& key, const char* value) {
+    Field(key, std::string(value));
+  }
+  void Field(const std::string& key, int64_t value) {
+    Prefix(&key);
+    out_ << value;
+  }
+  void Field(const std::string& key, int value) {
+    Field(key, static_cast<int64_t>(value));
+  }
+  void Field(const std::string& key, uint64_t value) {
+    Prefix(&key);
+    out_ << value;
+  }
+  void Field(const std::string& key, bool value) {
+    Prefix(&key);
+    out_ << (value ? "true" : "false");
+  }
+  void Field(const std::string& key, double value, int precision = 3) {
+    Prefix(&key);
+    WriteDouble(value, precision);
+  }
+
+  /// Array elements.
+  void Value(const std::string& value) {
+    Prefix(nullptr);
+    out_ << Quote(value);
+  }
+  void Value(int64_t value) {
+    Prefix(nullptr);
+    out_ << value;
+  }
+  void Value(double value, int precision = 3) {
+    Prefix(nullptr);
+    WriteDouble(value, precision);
+  }
+
+ private:
+  void BeginContainer(const std::string* key, char open) {
+    Prefix(key);
+    out_ << open;
+    counts_.push_back(0);
+  }
+
+  void EndContainer(char close) {
+    const bool empty = counts_.back() == 0;
+    counts_.pop_back();
+    if (!empty) {
+      out_ << '\n';
+      Indent();
+    }
+    out_ << close;
+    if (counts_.empty()) out_ << '\n';  // root closed
+  }
+
+  /// Comma/newline/indent before an element, plus the key when given.
+  void Prefix(const std::string* key) {
+    if (!counts_.empty()) {
+      if (counts_.back() > 0) out_ << ',';
+      out_ << '\n';
+      ++counts_.back();
+      Indent();
+    }
+    if (key != nullptr) out_ << Quote(*key) << ": ";
+  }
+
+  void Indent() {
+    for (size_t i = 0; i < counts_.size(); ++i) out_ << "  ";
+  }
+
+  void WriteDouble(double value, int precision) {
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << value;
+    out_ << oss.str();
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string quoted = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          quoted += "\\\"";
+          break;
+        case '\\':
+          quoted += "\\\\";
+          break;
+        case '\n':
+          quoted += "\\n";
+          break;
+        case '\t':
+          quoted += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            quoted += buf;
+          } else {
+            quoted += c;
+          }
+      }
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  std::ostream& out_;
+  /// Element count per open container (also the nesting depth).
+  std::vector<int> counts_;
+};
+
+}  // namespace bench
+}  // namespace tpm
+
+#endif  // TPM_BENCH_JSON_WRITER_H_

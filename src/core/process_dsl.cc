@@ -1,5 +1,6 @@
 #include "core/process_dsl.h"
 
+#include <set>
 #include <sstream>
 
 #include "common/str_util.h"
@@ -57,6 +58,18 @@ Result<std::unique_ptr<ParsedWorld>> ParseWorld(const std::string& text) {
   // Deferred: activity names per process for schedule resolution.
   std::map<std::string, std::map<std::string, ActivityId>> activities_by_def;
   std::vector<std::pair<std::vector<std::string>, bool>> schedule_lines;
+  // Op kinds declared via 'op', by name.
+  std::map<std::string, int> declared_ops;
+  // 'bind' lines validated at end of parse (a service is known once some
+  // activity uses it); (line, service, op name).
+  struct DeferredBind {
+    int line;
+    int64_t service;
+    std::string op;
+  };
+  std::vector<DeferredBind> deferred_binds;
+  // Every service id referenced by an activity (service= or comp=).
+  std::set<int64_t> referenced_services;
 
   auto error = [&](const std::string& message) {
     return Status::InvalidArgument(
@@ -120,6 +133,8 @@ Result<std::unique_ptr<ParsedWorld>> ParseWorld(const std::string& text) {
       }
       current_activities[tokens[1]] =
           current->AddActivity(tokens[1], kind, ServiceId(service), comp);
+      referenced_services.insert(service);
+      if (comp.valid()) referenced_services.insert(comp.value());
       continue;
     }
     if (keyword == "edge") {
@@ -153,6 +168,54 @@ Result<std::unique_ptr<ParsedWorld>> ParseWorld(const std::string& text) {
       world->spec.MarkEffectFree(ServiceId(a));
       continue;
     }
+    if (keyword == "op") {
+      if (tokens.size() != 2) return error("usage: op <name>");
+      if (declared_ops.count(tokens[1]) > 0) {
+        return error(StrCat("duplicate op ", tokens[1]));
+      }
+      declared_ops[tokens[1]] = world->spec.RegisterOpKind(tokens[1]);
+      continue;
+    }
+    if (keyword == "commute" || keyword == "inverse") {
+      if (tokens.size() != 3) {
+        return error(StrCat("usage: ", keyword, " <op> <op>"));
+      }
+      int ops[2];
+      for (int i = 0; i < 2; ++i) {
+        auto it = declared_ops.find(tokens[1 + i]);
+        if (it == declared_ops.end()) {
+          return error(StrCat("unknown op ", tokens[1 + i]));
+        }
+        ops[i] = it->second;
+      }
+      if (keyword == "commute") {
+        world->spec.AddCommutingOps(ops[0], ops[1]);
+      } else {
+        // The inverse pairing is a mutual matching: rebinding an op that
+        // already has a different inverse would silently orphan the old
+        // pairing — reject instead.
+        for (int i = 0; i < 2; ++i) {
+          const int existing = world->spec.InverseOf(ops[i]);
+          if (existing >= 0 && existing != ops[1 - i]) {
+            return error(StrCat("op ", tokens[1 + i], " already has inverse ",
+                                world->spec.OpKindName(existing)));
+          }
+        }
+        world->spec.SetInverseOp(ops[0], ops[1]);
+      }
+      continue;
+    }
+    if (keyword == "bind") {
+      if (tokens.size() != 3) return error("usage: bind <service> <op>");
+      TPM_ASSIGN_OR_RETURN(int64_t service, ParseInt(tokens[1], "service"));
+      auto it = declared_ops.find(tokens[2]);
+      if (it == declared_ops.end()) {
+        return error(StrCat("unknown op ", tokens[2]));
+      }
+      world->spec.BindOp(ServiceId(service), it->second);
+      deferred_binds.push_back(DeferredBind{line_no, service, tokens[2]});
+      continue;
+    }
     if (keyword == "schedule" || keyword == "schedule!") {
       schedule_lines.emplace_back(
           std::vector<std::string>(tokens.begin() + 1, tokens.end()),
@@ -163,6 +226,15 @@ Result<std::unique_ptr<ParsedWorld>> ParseWorld(const std::string& text) {
   }
   if (current != nullptr) {
     return Status::InvalidArgument("unterminated process definition");
+  }
+  // A bind may precede the activities using the service, so unknown-service
+  // references are checked only once every process is parsed.
+  for (const DeferredBind& bind : deferred_binds) {
+    if (referenced_services.count(bind.service) == 0) {
+      return Status::InvalidArgument(
+          StrCat("line ", bind.line, ": bind ", bind.service, " ", bind.op,
+                 " references a service no activity uses"));
+    }
   }
 
   // Register every process with the schedule (pids in definition order).

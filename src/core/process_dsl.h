@@ -30,6 +30,12 @@ namespace tpm {
 /// conflict 11 21                        # services 11 and 21 conflict
 /// effectfree 13                         # service 13 is effect-free
 ///
+/// op inc                                # declare ADT operation kinds
+/// op dec
+/// commute inc inc                       # op-level commutativity table
+/// inverse inc dec                       # Def. 2 pairing (closes the table)
+/// bind 11 inc                           # service 11 executes op `inc`
+///
 /// schedule P1.a1 P2.a1 P1.a1^-1 P2.a2! C1 A2 GA(P1,P2)
 /// ```
 ///

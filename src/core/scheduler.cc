@@ -12,6 +12,7 @@ TransactionalProcessScheduler::TransactionalProcessScheduler(
     SchedulerOptions options, RecoveryLog* log)
     : options_(options), log_(log) {
   clock_ = options_.clock != nullptr ? options_.clock : &owned_clock_;
+  spec_.set_op_commutativity_enabled(options_.use_op_commutativity);
   guard_ = MakeAdmissionGuard(*this, &stats_);
 }
 
@@ -711,7 +712,9 @@ Result<bool> TransactionalProcessScheduler::ExecuteCompletionStep(
   bool forced = false;
   auto must_wait = [&]() {
     if (forced) return false;
-    if (!force_next_completion_) return true;
+    if (!force_next_completion_ || force_completion_target_ != rt.pid) {
+      return true;
+    }
     force_next_completion_ = false;
     forced = true;
     ++stats_.forced_executions;
@@ -930,6 +933,11 @@ Status TransactionalProcessScheduler::FinishProcess(ProcessRuntime& rt,
     observer->OnProcessTerminated(rt.pid, rt.state.outcome());
   }
   guard_->OnProcessTerminated(rt.pid);
+  // Process-resolution hook: subsystems with per-process bookkeeping (e.g.
+  // escrow pending credit) release it now that the process is terminal.
+  for (Subsystem* subsystem : subsystems_) {
+    subsystem->OnProcessResolved(rt.pid, committed);
+  }
   if (!committed && AbortedProcessLeavesNoTrace(rt)) {
     // The process reduced away entirely: release its conflict footprint so
     // it no longer constrains (or cycles with) future activities.
@@ -1060,14 +1068,52 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
     if (rt->pid > victim->pid) victim = rt.get();
   }
   if (victim == nullptr) {
-    // Every active process is already completing and they block each
-    // other's recovery steps. Completions must terminate (guaranteed
-    // termination): force one blocked step through on the next pass.
+    // Every active process is already completing and this pass made no
+    // progress. Completions must terminate (guaranteed termination), so
+    // one blocked step is forced through on the next pass — but which one
+    // matters: Lemma 2 wants compensations in reverse order of their
+    // originals, so the force targets the pending inverse whose original
+    // sits latest in the history. That step is either gate-blocked by a
+    // peer (forcing it there breaks the tie where reduction loses least)
+    // or merely waiting out a repairable subsystem outage, in which case
+    // the forced attempt is a no-op retry and the advancing clock
+    // eventually clears the outage — forcing any OTHER process instead
+    // would cross compensation pairs and spoil reducibility for no
+    // liveness gain.
+    ProcessRuntime* target = nullptr;
+    bool target_is_inverse = false;
+    size_t latest_original = 0;
+    const auto& events = history_.events();
     for (const auto& rt : runtimes_) {
-      if (rt != nullptr && rt->state.IsActive() && rt->completing()) {
-        force_next_completion_ = true;
-        return Status::OK();
+      if (rt == nullptr || !rt->state.IsActive() || !rt->completing()) {
+        continue;
       }
+      if (rt->pending.empty() || !rt->pending.front().inverse) {
+        // Drain or forward step: eligible, but any inverse takes priority.
+        if (target == nullptr) target = rt.get();
+        continue;
+      }
+      // Position of the most recent original commit of the head inverse.
+      size_t pos = 0;
+      for (size_t i = events.size(); i-- > 0;) {
+        const ScheduleEvent& e = events[i];
+        if (e.type == EventType::kActivity && !e.aborted_invocation &&
+            !e.act.inverse && e.act.process == rt->pid &&
+            e.act.activity == rt->pending.front().activity) {
+          pos = i;
+          break;
+        }
+      }
+      if (!target_is_inverse || pos > latest_original) {
+        target = rt.get();
+        target_is_inverse = true;
+        latest_original = pos;
+      }
+    }
+    if (target != nullptr) {
+      force_next_completion_ = true;
+      force_completion_target_ = target->pid;
+      return Status::OK();
     }
     std::string detail;
     for (const auto& rt : runtimes_) {
@@ -1172,6 +1218,11 @@ Result<bool> TransactionalProcessScheduler::Step() {
              parked_this_pass_;
   if (!progress) {
     TPM_RETURN_IF_ERROR(ResolveDeadlock());
+  } else {
+    // Progress dissolved the stall; drop an unconsumed force so it cannot
+    // bypass a gate later under changed circumstances. If the stall
+    // returns, deadlock resolution recomputes a fresh target.
+    force_next_completion_ = false;
   }
   return true;
 }

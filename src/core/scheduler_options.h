@@ -95,6 +95,13 @@ struct SchedulerOptions {
   /// deadlines, breaker cooldowns). Null = scheduler-private clock,
   /// behaviour identical to before. The clock must outlive the scheduler.
   VirtualClock* clock = nullptr;
+  /// Operation-level commutativity (ADT conflict tables): when true
+  /// (default), op-kind pairs declared commuting by the registered
+  /// subsystems downgrade the conservative read/write-derived service
+  /// conflicts (ConflictSpec's op layer). When false, the scheduler sees
+  /// only the read/write modeling of the same services — the ablation the
+  /// semantic-vs-read/write experiment (bench_semantic) flips.
+  bool use_op_commutativity = true;
   /// How long a retriable activity may stay parked behind an open circuit
   /// breaker before it is treated as a failed invocation (alternative path
   /// or abort — bounds termination under unrepaired outages). 0 = park

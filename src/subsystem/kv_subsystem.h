@@ -51,6 +51,14 @@ class Subsystem {
   /// decision was never logged are rolled back.
   virtual Status AbortAllPrepared() = 0;
 
+  /// Process-resolution hook: the scheduler reports every process reaching
+  /// a terminal state (committed or aborted). Semantic subsystems use it to
+  /// release per-process bookkeeping — e.g. the escrow method turns a
+  /// process's unstable deposit credit into stable balance once the process
+  /// can no longer compensate. Default: no-op (the KV subsystem keeps no
+  /// per-process state).
+  virtual void OnProcessResolved(ProcessId /*process*/, bool /*committed*/) {}
+
   /// Circuit-breaker state as seen by the scheduler's failure-domain layer.
   /// Plain subsystems are always healthy; SubsystemProxy overrides this
   /// with its breaker's state so the scheduler can park retriable

@@ -82,6 +82,20 @@ void ServiceRegistry::DeriveConflicts(ConflictSpec* spec) const {
       if (conflict) spec->AddConflict(id_a, id_b);
     }
   }
+  // Op-kind metadata: bind services to interned op kinds and declare the
+  // commuting pairs / inverse pairings, downgrading the conservative
+  // read/write conflicts where the ADT semantics admit more concurrency.
+  for (const auto& [id, def] : services_) {
+    if (def.op_kind.empty()) continue;
+    const int op = spec->RegisterOpKind(def.op_kind);
+    spec->BindOp(id, op);
+    if (!def.inverse_op_kind.empty()) {
+      spec->SetInverseOp(op, spec->RegisterOpKind(def.inverse_op_kind));
+    }
+    for (const std::string& other : def.commutes_with) {
+      spec->AddCommutingOps(op, spec->RegisterOpKind(other));
+    }
+  }
 }
 
 ServiceDef MakePutService(ServiceId id, std::string name, std::string key) {

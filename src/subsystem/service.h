@@ -39,6 +39,18 @@ struct ServiceDef {
       body;
   /// Declared effect-free (pure query): reduction rule 3 applies.
   bool effect_free = false;
+  /// Operation kind of this service for ADT-level commutativity (e.g.
+  /// "escrow.inc"); empty = no op binding, the derived read/write conflicts
+  /// stand unrefined.
+  std::string op_kind;
+  /// Op kinds this service's op commutes with (include op_kind itself for
+  /// self-commuting ops like escrow increments). The registry interns these
+  /// into the ConflictSpec op table, which downgrades the matching
+  /// service-level conflicts.
+  std::vector<std::string> commutes_with;
+  /// Op kind of the compensating operation (Def. 2 pairing); the op table
+  /// is closed so the inverse commutes wherever the original does.
+  std::string inverse_op_kind;
 };
 
 class Rng;
@@ -78,7 +90,9 @@ class ServiceRegistry {
   std::vector<ServiceId> AllIds() const;
 
   /// Adds to `spec` the conflicts among this registry's services derived
-  /// from their read/write sets, and marks declared effect-free services.
+  /// from their read/write sets, marks declared effect-free services, and
+  /// threads the op-kind metadata (bindings, commuting pairs, inverse
+  /// pairings) into the spec's operation-level commutativity table.
   void DeriveConflicts(ConflictSpec* spec) const;
 
  private:

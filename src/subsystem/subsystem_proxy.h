@@ -65,6 +65,9 @@ class SubsystemProxy : public Subsystem {
     return inner_->WouldBlock(service);
   }
   Status AbortAllPrepared() override { return inner_->AbortAllPrepared(); }
+  void OnProcessResolved(ProcessId process, bool committed) override {
+    inner_->OnProcessResolved(process, committed);
+  }
 
   /// Current breaker state. Reading it performs the lazy open → half-open
   /// transition once the cooldown has elapsed on the shared clock.

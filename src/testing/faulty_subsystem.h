@@ -92,6 +92,9 @@ class FaultySubsystem : public Subsystem {
     return inner_->WouldBlock(service);
   }
   Status AbortAllPrepared() override { return inner_->AbortAllPrepared(); }
+  void OnProcessResolved(ProcessId process, bool committed) override {
+    inner_->OnProcessResolved(process, committed);
+  }
 
   Subsystem* inner() { return inner_; }
   int64_t transient_aborts() const { return transient_aborts_; }

@@ -1,0 +1,141 @@
+#ifndef TPM_WORKLOAD_SEMANTIC_WORLD_H_
+#define TPM_WORKLOAD_SEMANTIC_WORLD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "core/process.h"
+#include "subsystem/escrow_subsystem.h"
+#include "subsystem/kv_subsystem.h"
+#include "subsystem/queue_subsystem.h"
+#include "subsystem/subsystem_proxy.h"
+#include "testing/faulty_subsystem.h"
+
+namespace tpm {
+
+class TransactionalProcessScheduler;
+
+struct SemanticWorldOptions {
+  uint64_t seed = 1;
+  /// Health layer applied to every backend (deadline, breaker).
+  SubsystemProxyOptions proxy;
+  /// Fault model applied to every backend (per-backend overrides via
+  /// faulty(i)->set_profile and faulty(i)->AddOutage).
+  testing::FaultProfile profile;
+  /// Initial balance of every escrow counter created on demand.
+  int64_t escrow_initial = 1000;
+  /// Initial token count of every queue created on demand.
+  int queue_initial_tokens = 8;
+};
+
+/// A mixed-ADT world: one KV subsystem, one escrow-counter subsystem and
+/// one token-queue subsystem, each wrapped in the standard failure-domain
+/// stack on one shared VirtualClock:
+///
+///   SubsystemProxy (deadline + circuit breaker)
+///     -> FaultySubsystem (seeded transient aborts, latency, outages)
+///       -> KvSubsystem | EscrowSubsystem | QueueSubsystem
+///
+/// plus process factories whose activities span all three backends with
+/// ◁-alternatives, so the same workload exercises read/write conflicts, op
+/// commutativity tables, Def. 2 compensation pairs across ADTs, and
+/// degraded branches. Shared by bench_semantic, the chaos soak and the WAL
+/// crash-point sweep.
+class SemanticWorld {
+ public:
+  /// Backend indices for faulty(i)/proxy(i).
+  enum Backend { kKv = 0, kEscrow = 1, kQueue = 2, kNumBackends = 3 };
+
+  explicit SemanticWorld(SemanticWorldOptions options);
+  ~SemanticWorld();
+
+  VirtualClock* clock() { return &clock_; }
+  KvSubsystem* kv() { return kv_.get(); }
+  EscrowSubsystem* escrow() { return escrow_.get(); }
+  QueueSubsystem* queue() { return queue_.get(); }
+  testing::FaultySubsystem* faulty(int i) { return faulty_[i].get(); }
+  SubsystemProxy* proxy(int i) { return proxy_[i].get(); }
+
+  /// Registers all three backends (through their proxies) with the
+  /// scheduler. The scheduler's options should carry clock() as the shared
+  /// time base.
+  Status RegisterAll(TransactionalProcessScheduler* scheduler);
+
+  /// Lazily registered services. Escrow counters start at
+  /// options.escrow_initial; queues are pre-seeded with
+  /// options.queue_initial_tokens tokens.
+  ServiceId KvAdd(const std::string& key);
+  ServiceId KvSub(const std::string& key);
+  ServiceId EscrowInc(const std::string& counter);
+  ServiceId EscrowDec(const std::string& counter);
+  ServiceId EscrowWithdraw(const std::string& counter);
+  ServiceId Enqueue(const std::string& queue);
+  ServiceId Dequeue(const std::string& queue);
+  ServiceId Remove(const std::string& queue);
+  ServiceId Requeue(const std::string& queue);
+
+  /// Producer: enqueue an order token, deposit into the shared stock
+  /// counter, pivot an audit write on a per-variant KV key, then prefer
+  /// booking revenue (escrow inc) with a KV deferred-booking
+  /// ◁-alternative. The escrow and queue touches land on *shared* hot
+  /// state, so with op commutativity off these processes serialize and
+  /// with it on they run in parallel.
+  const ProcessDef* MakeOrderProcess(const std::string& name, int variant = 0);
+
+  /// Consumer: dequeue an order (compensated by requeue-at-front),
+  /// withdraw stock under the escrow test (compensated by a deposit —
+  /// a Def. 2 pair that is *not* the op table's inverse), pivot a
+  /// fulfillment write, then prefer an escrow shipped-counter inc with a
+  /// KV backlog ◁-alternative.
+  const ProcessDef* MakeConsumeProcess(const std::string& name,
+                                       int variant = 0);
+
+  /// Refiller: deposit stock, pivot an audit write, then retriably
+  /// enqueue a fresh order token.
+  const ProcessDef* MakeRefillProcess(const std::string& name,
+                                      int variant = 0);
+
+  std::map<std::string, const ProcessDef*> DefsByName() const;
+
+  /// The combined ADT invariants checked after every chaos/crash recovery:
+  /// escrow safety envelope (non-negative stable balances) and queue token
+  /// consistency, plus the KV negative-value probe.
+  Status CheckAdtInvariants() const;
+  bool AnyNegativeKvValue() const;
+
+ private:
+  struct EscrowServices {
+    ServiceId inc, dec, withdraw;
+  };
+  struct QueueServices {
+    ServiceId enq, deq, rm, req;
+  };
+  struct KvServices {
+    ServiceId add, sub;
+  };
+
+  EscrowServices& EnsureCounter(const std::string& counter);
+  QueueServices& EnsureQueue(const std::string& queue);
+  KvServices& EnsureKvKey(const std::string& key);
+  const ProcessDef* Finish(std::unique_ptr<ProcessDef> def);
+
+  SemanticWorldOptions options_;
+  VirtualClock clock_;
+  std::unique_ptr<KvSubsystem> kv_;
+  std::unique_ptr<EscrowSubsystem> escrow_;
+  std::unique_ptr<QueueSubsystem> queue_;
+  std::vector<std::unique_ptr<testing::FaultySubsystem>> faulty_;
+  std::vector<std::unique_ptr<SubsystemProxy>> proxy_;
+  std::map<std::string, EscrowServices> counters_;
+  std::map<std::string, QueueServices> queues_;
+  std::map<std::string, KvServices> kv_keys_;
+  std::vector<std::unique_ptr<ProcessDef>> defs_;
+  int64_t next_service_id_ = 1;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_WORKLOAD_SEMANTIC_WORLD_H_

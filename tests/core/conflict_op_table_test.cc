@@ -1,0 +1,203 @@
+// The operation-level commutativity layer of ConflictSpec (§3.2 semantic
+// conflicts): interned op kinds, the symmetric commuting table closed under
+// compensation pairing (perfect commutativity, Def. 2), service bindings
+// that downgrade service-level conflicts, and the ablation toggle.
+
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+
+namespace tpm {
+namespace {
+
+TEST(ConflictOpTable, RegisterOpKindInternsIdempotently) {
+  ConflictSpec spec;
+  const int inc = spec.RegisterOpKind("escrow.inc");
+  const int dec = spec.RegisterOpKind("escrow.dec");
+  EXPECT_NE(inc, dec);
+  EXPECT_EQ(spec.RegisterOpKind("escrow.inc"), inc);
+  EXPECT_EQ(spec.NumOpKinds(), 2u);
+  EXPECT_EQ(spec.OpKindIndexOf("escrow.dec"), dec);
+  EXPECT_EQ(spec.OpKindIndexOf("never.registered"), -1);
+  EXPECT_EQ(spec.OpKindName(inc), "escrow.inc");
+}
+
+TEST(ConflictOpTable, BindOpAssociatesServiceWithKind) {
+  ConflictSpec spec;
+  const int inc = spec.RegisterOpKind("escrow.inc");
+  EXPECT_EQ(spec.OpOf(ServiceId(1)), -1);  // unbound (and uninterned)
+  spec.BindOp(ServiceId(1), inc);
+  EXPECT_EQ(spec.OpOf(ServiceId(1)), inc);
+  // Rebinding overwrites.
+  const int deq = spec.RegisterOpKind("queue.deq");
+  spec.BindOp(ServiceId(1), deq);
+  EXPECT_EQ(spec.OpOf(ServiceId(1)), deq);
+}
+
+TEST(ConflictOpTable, AddCommutingOpsIsSymmetric) {
+  ConflictSpec spec;
+  const int a = spec.RegisterOpKind("a");
+  const int b = spec.RegisterOpKind("b");
+  EXPECT_FALSE(spec.OpsCommute(a, b));
+  spec.AddCommutingOps(a, b);
+  EXPECT_TRUE(spec.OpsCommute(a, b));
+  EXPECT_TRUE(spec.OpsCommute(b, a));
+  EXPECT_FALSE(spec.OpsCommute(a, a));  // self-commuting must be declared
+  spec.AddCommutingOps(a, a);
+  EXPECT_TRUE(spec.OpsCommute(a, a));
+}
+
+TEST(ConflictOpTable, SetInverseOpIsMutual) {
+  ConflictSpec spec;
+  const int inc = spec.RegisterOpKind("inc");
+  const int dec = spec.RegisterOpKind("dec");
+  EXPECT_EQ(spec.InverseOf(inc), -1);
+  spec.SetInverseOp(inc, dec);
+  EXPECT_EQ(spec.InverseOf(inc), dec);
+  EXPECT_EQ(spec.InverseOf(dec), inc);
+}
+
+// Declaring (inc, inc) commuting with inc^-1 = dec must close the table
+// over the pairing: (inc, dec) and (dec, dec) commute too (Def. 2 requires
+// the compensation to commute wherever its forward op does).
+TEST(ConflictOpTable, CommutingTableClosesUnderInversePairing) {
+  ConflictSpec spec;
+  const int inc = spec.RegisterOpKind("inc");
+  const int dec = spec.RegisterOpKind("dec");
+  spec.SetInverseOp(inc, dec);
+  spec.AddCommutingOps(inc, inc);
+  EXPECT_TRUE(spec.OpsCommute(inc, dec));
+  EXPECT_TRUE(spec.OpsCommute(dec, inc));
+  EXPECT_TRUE(spec.OpsCommute(dec, dec));
+  EXPECT_TRUE(spec.VerifyOpTableClosure().ok());
+}
+
+// The closure also re-runs when the inverse arrives AFTER the commuting
+// declaration — declaration order must not matter.
+TEST(ConflictOpTable, ClosureAppliesToInversesRegisteredLater) {
+  ConflictSpec spec;
+  const int enq = spec.RegisterOpKind("enq");
+  const int rm = spec.RegisterOpKind("rm");
+  spec.AddCommutingOps(enq, enq);
+  EXPECT_FALSE(spec.OpsCommute(enq, rm));
+  spec.SetInverseOp(enq, rm);
+  EXPECT_TRUE(spec.OpsCommute(enq, rm));
+  EXPECT_TRUE(spec.OpsCommute(rm, rm));
+  EXPECT_TRUE(spec.VerifyOpTableClosure().ok());
+}
+
+TEST(ConflictOpTable, ClosureChainsAcrossPairings) {
+  // a commutes with b; a^-1 = c; b^-1 = d. The fixpoint must reach all
+  // four combinations.
+  ConflictSpec spec;
+  const int a = spec.RegisterOpKind("a");
+  const int b = spec.RegisterOpKind("b");
+  const int c = spec.RegisterOpKind("c");
+  const int d = spec.RegisterOpKind("d");
+  spec.SetInverseOp(a, c);
+  spec.SetInverseOp(b, d);
+  spec.AddCommutingOps(a, b);
+  EXPECT_TRUE(spec.OpsCommute(c, b));
+  EXPECT_TRUE(spec.OpsCommute(a, d));
+  EXPECT_TRUE(spec.OpsCommute(c, d));
+  EXPECT_TRUE(spec.VerifyOpTableClosure().ok());
+  const auto pairs = spec.CommutingOpPairs();
+  EXPECT_EQ(pairs.size(), 4u);  // (a,b) (a,d) (b,c) (c,d), normalized
+}
+
+TEST(ConflictOpTable, CommutingPairDowngradesServiceConflict) {
+  ConflictSpec spec;
+  spec.AddConflict(ServiceId(1), ServiceId(2));
+  spec.AddConflict(ServiceId(1), ServiceId(1));
+  ASSERT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+  const int inc = spec.RegisterOpKind("inc");
+  spec.AddCommutingOps(inc, inc);
+  spec.BindOp(ServiceId(1), inc);
+  spec.BindOp(ServiceId(2), inc);
+  // Both the cross-service pair and the self-conflict downgrade.
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(1)));
+  // The raw service-level relation is untouched.
+  EXPECT_EQ(spec.num_conflict_pairs(), 2u);
+  EXPECT_EQ(spec.ConflictPairs().size(), 2u);
+}
+
+TEST(ConflictOpTable, UnboundServiceKeepsItsConflicts) {
+  ConflictSpec spec;
+  spec.AddConflict(ServiceId(1), ServiceId(2));
+  const int inc = spec.RegisterOpKind("inc");
+  spec.AddCommutingOps(inc, inc);
+  spec.BindOp(ServiceId(1), inc);
+  // ServiceId(2) has no op kind: the pair stays conservative.
+  EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+}
+
+TEST(ConflictOpTable, OpLayerOnlyRemovesConflicts) {
+  // Commuting ops on services that never conflicted at service level must
+  // not create a conflict.
+  ConflictSpec spec;
+  spec.RegisterService(ServiceId(1));
+  spec.RegisterService(ServiceId(2));
+  const int a = spec.RegisterOpKind("a");
+  const int b = spec.RegisterOpKind("b");
+  spec.AddCommutingOps(a, b);
+  spec.BindOp(ServiceId(1), a);
+  spec.BindOp(ServiceId(2), b);
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+}
+
+TEST(ConflictOpTable, DisablingTheLayerRestoresReadWriteRelation) {
+  ConflictSpec spec;
+  spec.AddConflict(ServiceId(1), ServiceId(2));
+  const int inc = spec.RegisterOpKind("inc");
+  spec.AddCommutingOps(inc, inc);
+  spec.BindOp(ServiceId(1), inc);
+  spec.BindOp(ServiceId(2), inc);
+  ASSERT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+  spec.set_op_commutativity_enabled(false);
+  EXPECT_FALSE(spec.op_commutativity_enabled());
+  EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+  spec.set_op_commutativity_enabled(true);
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+}
+
+TEST(ConflictOpTable, PartnersOfTracksTheEffectiveRelation) {
+  ConflictSpec spec;
+  spec.AddConflict(ServiceId(1), ServiceId(2));
+  spec.AddConflict(ServiceId(1), ServiceId(3));
+  const int inc = spec.RegisterOpKind("inc");
+  spec.AddCommutingOps(inc, inc);
+  spec.BindOp(ServiceId(1), inc);
+  spec.BindOp(ServiceId(2), inc);
+
+  // The (1,2) pair is downgraded; (1,3) survives.
+  const std::vector<ServiceId>& partners = spec.PartnersOf(ServiceId(1));
+  ASSERT_EQ(partners.size(), 1u);
+  EXPECT_EQ(partners[0], ServiceId(3));
+
+  // PartnersOf must agree with ServicesConflict after a toggle, too.
+  spec.set_op_commutativity_enabled(false);
+  EXPECT_EQ(spec.PartnersOf(ServiceId(1)).size(), 2u);
+  for (ServiceId partner : spec.PartnersOf(ServiceId(1))) {
+    EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), partner));
+  }
+}
+
+TEST(ConflictOpTable, InverseFlagOfInstancesStaysIgnored) {
+  // Perfect commutativity at the instance level: a^-1 conflicts exactly
+  // where a does, independent of the op table.
+  ConflictSpec spec;
+  spec.AddConflict(ServiceId(1), ServiceId(2));
+  const int inc = spec.RegisterOpKind("inc");
+  spec.AddCommutingOps(inc, inc);
+  spec.BindOp(ServiceId(1), inc);
+  spec.BindOp(ServiceId(2), inc);
+  // The spec exposes service-granular tests only; the instance inverse
+  // flag never reaches ServicesConflict. Equality of the two directions
+  // is the observable contract here.
+  EXPECT_EQ(spec.ServicesConflict(ServiceId(1), ServiceId(2)),
+            spec.ServicesConflict(ServiceId(2), ServiceId(1)));
+}
+
+}  // namespace
+}  // namespace tpm

@@ -272,6 +272,57 @@ schedule A.x B.y C.z CB CC
         // its clauses are vacuous) — another SOT/PRED gap witness.
         {true, false, false, true},
     },
+    {
+        "op-commuting services dissolve the frozen-pivot trap",
+        R"(
+op t.inc
+op t.dec
+inverse t.inc t.dec
+commute t.inc t.inc
+bind 1 t.inc
+bind 101 t.dec
+bind 2 t.inc
+process A
+  activity x c service=1 comp=101
+end
+process B
+  activity y p service=2
+end
+conflict 1 2
+schedule A.x B.y CB
+)",
+        // Identical shape to the earlier frozen-pivot case, but both
+        // services are escrow-style commuting increments: the service-level
+        // conflict is downgraded, so A's eventual compensation no longer
+        // has to cross a frozen conflicting event.
+        {true, true, true, true},
+    },
+    {
+        "perfect-closure lets wrong-order compensations cancel",
+        R"(
+op t.inc
+op t.dec
+inverse t.inc t.dec
+commute t.inc t.inc
+bind 1 t.inc
+bind 101 t.dec
+bind 102 t.dec
+process A
+  activity x c service=1 comp=101
+end
+process B
+  activity y c service=1 comp=102
+end
+conflict 1 1
+schedule! A.x B.y A.x^-1 B.y^-1
+)",
+        // The same event order violates Lemma 2 under read/write
+        // modeling (see the earlier case); with inc self-commuting and the
+        // table closed over <inc dec>, nothing conflicts and both pairs
+        // cancel in either order (SOT holds vacuously: no conflicts means
+        // no serialization-order constraints to violate).
+        {true, true, true, true},
+    },
 };
 
 class DslCorpusTest : public ::testing::TestWithParam<Case> {};

@@ -140,6 +140,116 @@ TEST(ProcessDslTest, Errors) {
       "process P\nactivity a r service=2\nend").ok());
 }
 
+TEST(ProcessDslTest, OpTableKeywordsBuildTheSpec) {
+  auto world = ParseWorld(R"(
+op esc.inc
+op esc.dec
+op esc.withdraw
+inverse esc.inc esc.dec
+commute esc.inc esc.inc
+commute esc.inc esc.withdraw
+bind 1 esc.inc
+bind 101 esc.dec
+bind 2 esc.withdraw
+
+process A
+  activity x c service=1 comp=101
+end
+process B
+  activity y p service=2
+end
+conflict 1 2
+conflict 1 1
+conflict 101 2
+)");
+  ASSERT_TRUE(world.ok()) << world.status();
+  ConflictSpec& spec = (*world)->spec;
+
+  const int inc = spec.OpKindIndexOf("esc.inc");
+  const int dec = spec.OpKindIndexOf("esc.dec");
+  const int wd = spec.OpKindIndexOf("esc.withdraw");
+  ASSERT_GE(inc, 0);
+  ASSERT_GE(dec, 0);
+  ASSERT_GE(wd, 0);
+  EXPECT_EQ(spec.InverseOf(inc), dec);
+  EXPECT_EQ(spec.OpOf(ServiceId(1)), inc);
+  EXPECT_EQ(spec.OpOf(ServiceId(101)), dec);
+  // Perfect-closure: dec inherited inc's commuting pairs.
+  EXPECT_TRUE(spec.OpsCommute(dec, wd));
+  EXPECT_TRUE(spec.VerifyOpTableClosure().ok());
+
+  // The declared service conflicts are downgraded by the bound ops...
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(1), ServiceId(1)));
+  EXPECT_FALSE(spec.ServicesConflict(ServiceId(101), ServiceId(2)));
+  // ...but only while the layer is enabled.
+  spec.set_op_commutativity_enabled(false);
+  EXPECT_TRUE(spec.ServicesConflict(ServiceId(1), ServiceId(2)));
+}
+
+TEST(ProcessDslTest, OpKeywordErrorsCarryLineNumbers) {
+  // Duplicate op name (the duplicate is on line 3 — line 1 is the leading
+  // newline of the raw string).
+  auto dup = ParseWorld("\nop a\nop a\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().ToString().find("line 3"), std::string::npos)
+      << dup.status().ToString();
+  EXPECT_NE(dup.status().ToString().find("duplicate op a"), std::string::npos);
+
+  // commute/inverse/bind referencing an undeclared op.
+  auto unknown_commute = ParseWorld("op a\ncommute a b\n");
+  ASSERT_FALSE(unknown_commute.ok());
+  EXPECT_NE(unknown_commute.status().ToString().find("line 2"),
+            std::string::npos);
+  EXPECT_NE(unknown_commute.status().ToString().find("unknown op b"),
+            std::string::npos);
+  EXPECT_FALSE(ParseWorld("op a\ninverse b a\n").ok());
+  EXPECT_FALSE(ParseWorld("bind 1 a\n").ok());
+
+  // Rebinding an inverse pairing is rejected, not silently overwritten.
+  auto rebind = ParseWorld("op a\nop b\nop c\ninverse a b\ninverse a c\n");
+  ASSERT_FALSE(rebind.ok());
+  EXPECT_NE(rebind.status().ToString().find("line 5"), std::string::npos);
+  EXPECT_NE(rebind.status().ToString().find("already has inverse b"),
+            std::string::npos) << rebind.status().ToString();
+
+  // Usage errors.
+  EXPECT_FALSE(ParseWorld("op\n").ok());
+  EXPECT_FALSE(ParseWorld("op a b\n").ok());
+  EXPECT_FALSE(ParseWorld("op a\ncommute a\n").ok());
+  EXPECT_FALSE(ParseWorld("op a\nbind 1\n").ok());
+  EXPECT_FALSE(ParseWorld("op a\nbind x a\n").ok());
+}
+
+TEST(ProcessDslTest, BindToUnusedServiceIsRejectedWithItsLine) {
+  // The bind on line 2 names service 7, which no activity references.
+  auto world = ParseWorld(R"(op a
+bind 7 a
+process P
+  activity x r service=1
+end
+)");
+  ASSERT_FALSE(world.ok());
+  EXPECT_NE(world.status().ToString().find("line 2"), std::string::npos)
+      << world.status().ToString();
+  EXPECT_NE(world.status().ToString().find("service no activity uses"),
+            std::string::npos);
+}
+
+TEST(ProcessDslTest, BindMayPrecedeTheActivityUsingTheService) {
+  // Comp services count as used, and binds resolve even when declared
+  // before the process body.
+  auto world = ParseWorld(R"(op a
+commute a a
+bind 101 a
+process P
+  activity x c service=1 comp=101
+end
+)");
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_GE((*world)->spec.OpOf(ServiceId(101)), 0);
+}
+
 TEST(ProcessDslTest, CommentsAndBlankLinesIgnored) {
   auto world = ParseWorld(R"(
 # a comment line

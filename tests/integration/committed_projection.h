@@ -1,0 +1,38 @@
+#ifndef TPM_TESTS_INTEGRATION_COMMITTED_PROJECTION_H_
+#define TPM_TESTS_INTEGRATION_COMMITTED_PROJECTION_H_
+
+#include "core/schedule.h"
+
+namespace tpm {
+namespace testing {
+
+/// The committed projection of a history: the events of exactly those
+/// processes that reached commit.
+///
+/// Workloads whose processes hammer the SAME hot ADT state routinely have
+/// aborted processes conflict-preceding later-committed ones. The
+/// syntactic Proc-REC checker (Def. 11) does not reduce away compensated
+/// work, so on such histories it would flag every such abort even when the
+/// compensations were emitted perfectly. The meaningful split is: check
+/// Proc-REC on the committed projection (commit order must agree with
+/// conflict order among the survivors) and PRED on the FULL history (the
+/// reduction-aware criterion that vets the compensations themselves).
+inline ProcessSchedule CommittedProjection(const ProcessSchedule& s) {
+  ProcessSchedule out;
+  for (const auto& [pid, def] : s.processes()) {
+    if (s.IsProcessCommitted(pid)) (void)out.AddProcess(pid, def);
+  }
+  for (const ScheduleEvent& e : s.events()) {
+    if (e.type == EventType::kGroupAbort) continue;
+    const ProcessId pid =
+        e.type == EventType::kActivity ? e.act.process : e.process;
+    if (!s.IsProcessCommitted(pid)) continue;
+    (void)out.Append(e, /*enforce_legal=*/false);
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace tpm
+
+#endif  // TPM_TESTS_INTEGRATION_COMMITTED_PROJECTION_H_

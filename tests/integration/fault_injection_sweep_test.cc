@@ -22,10 +22,12 @@
 #include "core/pred.h"
 #include "core/recoverability.h"
 #include "core/scheduler.h"
+#include "integration/committed_projection.h"
 #include "log/file_backend.h"
 #include "testing/fault_injector.h"
 #include "testing/mini_world.h"
 #include "workload/fault_workload.h"
+#include "workload/semantic_world.h"
 
 namespace tpm {
 namespace {
@@ -572,6 +574,168 @@ TEST(FaultInjectionSweep, CombinedWalAndSubsystemMemory) {
 
 TEST(FaultInjectionSweep, CombinedWalAndSubsystemFile) {
   RunCombinedSweep(/*file_backed=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic-ADT WAL sweep: the mixed SemanticWorld (escrow counters + token
+// queue + KV behind the full failure-domain stack, fault-free so the hit
+// sequence is deterministic) is driven through every WAL crash point it
+// reaches, in both conflict modes — op commutativity tables on (adt) and
+// reduced to read/write conflicts (rw) — under kPrepared2PC so the sweep
+// also crashes between the prepare and commit of the ADTs' local
+// transactions. After every crash + recovery: PRED on the full history,
+// Proc-REC on the committed projection (the workload shares hot ADT state,
+// see committed_projection.h), the combined ADT invariants (escrow safety
+// envelope, queue token consistency, no negative KV value), and a fresh
+// order probe must still run to commit.
+
+struct SemanticRun {
+  std::unique_ptr<SemanticWorld> world;
+  std::vector<const ProcessDef*> workload;
+  const ProcessDef* probe = nullptr;
+};
+
+SemanticRun BuildSemanticRun() {
+  SemanticRun r;
+  SemanticWorldOptions options;
+  options.seed = 11;
+  options.escrow_initial = 40;
+  // More seeded tokens than committed dequeues (one consumer): an aborting
+  // producer's fresh token can never have reached the queue head, so its
+  // remove-compensation always finds the token it enqueued.
+  options.queue_initial_tokens = 6;
+  r.world = std::make_unique<SemanticWorld>(options);
+  for (int i = 0; i < 3; ++i) {
+    r.workload.push_back(r.world->MakeOrderProcess(StrCat("order", i), i));
+  }
+  r.workload.push_back(r.world->MakeConsumeProcess("consume", 3));
+  r.workload.push_back(r.world->MakeRefillProcess("refill", 4));
+  r.probe = r.world->MakeOrderProcess("probe", 9);
+  return r;
+}
+
+SchedulerOptions SemanticSchedulerOptions(SemanticWorld* world, bool use_op) {
+  SchedulerOptions options;
+  options.defer_mode = DeferMode::kPrepared2PC;
+  options.clock = world->clock();
+  options.use_op_commutativity = use_op;
+  return options;
+}
+
+std::string SemanticInvariants(TransactionalProcessScheduler* scheduler,
+                               SemanticWorld* world, const ProcessDef* probe) {
+  std::string failures;
+  Result<bool> pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  if (!pred.ok()) {
+    failures += " PRED-check-error:" + pred.status().ToString();
+  } else if (!*pred) {
+    failures += " not-PRED:" + scheduler->history().ToString();
+  }
+  if (!IsProcessRecoverable(testing::CommittedProjection(scheduler->history()),
+                            scheduler->conflict_spec())) {
+    failures += " not-ProcREC:" + scheduler->history().ToString();
+  }
+  Status adt = world->CheckAdtInvariants();
+  if (!adt.ok()) failures += " adt:" + adt.ToString();
+  Result<ProcessId> pid = scheduler->Submit(probe);
+  if (!pid.ok()) {
+    failures += " probe-submit:" + pid.status().ToString();
+  } else {
+    Status run = scheduler->Run(200000);
+    if (!run.ok()) {
+      failures += " probe-run:" + run.ToString();
+    } else if (scheduler->OutcomeOf(*pid) != ProcessOutcome::kCommitted) {
+      failures += " probe-not-committed";
+    }
+  }
+  return failures;
+}
+
+void RunSemanticSweep(bool file_backed, bool use_op) {
+  const std::string tag = StrCat("semantic_", file_backed ? "file" : "mem",
+                                 use_op ? "_adt" : "_rw");
+  const std::string path = SweepLogPath(tag);
+  Flavor flavor{tag, /*synchronous=*/true, file_backed};
+
+  // Dry run: count the crash-point hits of the undisturbed workload.
+  FaultInjector injector;
+  int64_t total_hits = 0;
+  {
+    std::remove(path.c_str());
+    SemanticRun r = BuildSemanticRun();
+    auto log = MakeLog(flavor, path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    (*log)->wal()->SetCrashPointListener(&injector);
+    TransactionalProcessScheduler scheduler(
+        SemanticSchedulerOptions(r.world.get(), use_op), log->get());
+    ASSERT_TRUE(r.world->RegisterAll(&scheduler).ok());
+    Status run = DriveWorkload(&scheduler, r.workload);
+    ASSERT_TRUE(run.ok()) << tag << ": " << run.ToString();
+    total_hits = injector.hits();
+  }
+  ASSERT_GT(total_hits, 0) << tag;
+
+  for (int64_t k = 1; k <= total_hits; ++k) {
+    std::remove(path.c_str());
+    FaultInjector armed;
+    SemanticRun r = BuildSemanticRun();
+    ASSERT_NE(r.probe, nullptr);
+    auto log_or = MakeLog(flavor, path);
+    ASSERT_TRUE(log_or.ok()) << log_or.status().ToString();
+    std::unique_ptr<RecoveryLog> log = std::move(*log_or);
+    log->wal()->SetCrashPointListener(&armed);
+    armed.ArmAt(k);
+
+    auto scheduler = std::make_unique<TransactionalProcessScheduler>(
+        SemanticSchedulerOptions(r.world.get(), use_op), log.get());
+    ASSERT_TRUE(r.world->RegisterAll(scheduler.get()).ok());
+    Status run = DriveWorkload(scheduler.get(), r.workload);
+    ASSERT_TRUE(armed.triggered())
+        << tag << " k=" << k << " (deterministic rerun missed the hit): "
+        << run.ToString();
+    ASSERT_TRUE(run.IsUnavailable())
+        << tag << " k=" << k << ": " << run.ToString();
+    const std::string site = armed.triggered_site();
+
+    if (flavor.file_backed) {
+      scheduler.reset();
+      log.reset();
+      auto reopened = MakeLog(flavor, path);
+      ASSERT_TRUE(reopened.ok())
+          << tag << " k=" << k << " site=" << site << ": "
+          << reopened.status().ToString();
+      log = std::move(*reopened);
+      scheduler = std::make_unique<TransactionalProcessScheduler>(
+          SemanticSchedulerOptions(r.world.get(), use_op), log.get());
+      ASSERT_TRUE(r.world->RegisterAll(scheduler.get()).ok());
+    } else {
+      log->Crash();
+    }
+    Status recovered = scheduler->Recover(r.world->DefsByName());
+    std::string failures;
+    if (!recovered.ok()) {
+      failures = " recover:" + recovered.ToString();
+    } else {
+      failures = SemanticInvariants(scheduler.get(), r.world.get(), r.probe);
+    }
+    if (!failures.empty()) {
+      std::string seed_file = WriteFailingSeed(tag, k, site, failures);
+      FAIL() << tag << " crash at hit " << k << " (site " << site
+             << "):" << failures << "\n(reproducer appended to " << seed_file
+             << ")";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionSweep, SemanticAdtMemory) {
+  RunSemanticSweep(/*file_backed=*/false, /*use_op=*/true);
+  RunSemanticSweep(/*file_backed=*/false, /*use_op=*/false);
+}
+
+TEST(FaultInjectionSweep, SemanticAdtFile) {
+  RunSemanticSweep(/*file_backed=*/true, /*use_op=*/true);
+  RunSemanticSweep(/*file_backed=*/true, /*use_op=*/false);
 }
 
 }  // namespace

@@ -28,12 +28,15 @@
 #include "core/scheduler.h"
 #include "log/file_backend.h"
 #include "log/recovery_log.h"
+#include "integration/committed_projection.h"
 #include "testing/fault_injector.h"
 #include "workload/fault_workload.h"
+#include "workload/semantic_world.h"
 
 namespace tpm {
 namespace {
 
+using testing::CommittedProjection;
 using testing::WriteFailingSeed;
 
 int64_t EnvInt(const char* name, int64_t fallback) {
@@ -238,6 +241,174 @@ TEST(SubsystemChaos, SoakSeededOutageSchedulesAcrossBackends) {
       static_cast<long long>(runs), static_cast<long long>(committed),
       static_cast<long long>(aborted), static_cast<long long>(trips),
       static_cast<long long>(degraded), static_cast<long long>(parked));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic-ADT chaos soak: the same severity ladder and health stack, but
+// over the mixed SemanticWorld (escrow counters + token queues + KV) whose
+// processes lean on op-level commutativity and Def. 2 compensation pairs
+// across ADTs. On top of the schedule-level invariants, every run must
+// leave the escrow safety envelope intact (no stable balance below its
+// bound) and the token queue consistent (no duplicated or lost token) —
+// CheckAdtInvariants.
+//
+// Unlike the disjoint-key chaos workload above, every process here hammers
+// the SAME counter and queue, so aborted processes routinely conflict-
+// precede committed ones: Proc-REC is checked on the committed projection
+// and PRED on the full history (see committed_projection.h).
+//
+// Reproduce failures with:
+//   TPM_CHAOS_SEED_BASE=<seed> TPM_SEMANTIC_CHAOS_SEEDS=1 ctest -R SemanticChaos
+
+ChaosRunResult SemanticChaosRun(uint64_t seed, const Severity& severity,
+                                bool file_backed,
+                                const std::string& log_path) {
+  ChaosRunResult result;
+  Rng rng(seed * 1000003 + 17 * severity.level);
+
+  SemanticWorldOptions world_options;
+  world_options.seed = seed;
+  world_options.escrow_initial = 50;
+  // Consumers are the bound here: with at most 2 committed dequeues per
+  // run against 6 seeded tokens, a producer's fresh token never reaches
+  // the queue head, so an aborting producer's remove-compensation always
+  // finds its token still queued.
+  world_options.queue_initial_tokens = 6;
+  world_options.proxy.deadline_ticks = 12;
+  world_options.proxy.window = 6;
+  world_options.proxy.min_samples = 4;
+  world_options.proxy.failure_threshold = 0.5;
+  world_options.proxy.cooldown_ticks = 20;
+  SemanticWorld world(world_options);
+
+  if (severity.level >= 1) {
+    testing::FaultProfile flaky;
+    flaky.transient_abort_probability = 0.2;
+    flaky.latency_ticks = 1;
+    flaky.slow_probability = 0.1;
+    flaky.slow_latency_ticks = 15;  // blows the 12-tick budget when drawn
+    world.faulty(static_cast<int>(rng.NextInRange(0, 2)))->set_profile(flaky);
+  }
+  if (severity.level >= 2) {
+    const int down = static_cast<int>(rng.NextInRange(0, 2));
+    const int64_t start = rng.NextInRange(2, 30);
+    world.faulty(down)->AddOutage(start, start + rng.NextInRange(40, 120));
+    world.faulty(down)->AddOutage(start + 250, start + 250 + 40);
+  }
+
+  std::vector<const ProcessDef*> defs;
+  int variant = 0;
+  for (int i = 0; i < 3; ++i) {
+    defs.push_back(world.MakeOrderProcess(StrCat("order", i), variant++));
+  }
+  for (int i = 0; i < 2; ++i) {
+    defs.push_back(world.MakeConsumeProcess(StrCat("consume", i), variant++));
+  }
+  defs.push_back(world.MakeRefillProcess("refill0", variant++));
+  for (const ProcessDef* def : defs) {
+    if (def == nullptr) {
+      result.failures = " workload-def-failed-to-build";
+      return result;
+    }
+  }
+
+  std::unique_ptr<RecoveryLog> log;
+  if (file_backed) {
+    std::remove(log_path.c_str());
+    auto backend = FileStorageBackend::Open(log_path);
+    if (!backend.ok()) {
+      result.failures = " log-open:" + backend.status().ToString();
+      return result;
+    }
+    log = std::make_unique<RecoveryLog>(std::move(*backend));
+  } else {
+    log = std::make_unique<RecoveryLog>();
+  }
+
+  SchedulerOptions options;
+  options.clock = world.clock();
+  options.park_timeout_ticks = 400;
+  options.defer_mode =
+      (seed % 2 == 0) ? DeferMode::kPrepared2PC : DeferMode::kDelayExecution;
+  // Half the runs also soak the read/write fallback so the ADT invariants
+  // are checked under both conflict relations.
+  options.use_op_commutativity = (seed + severity.level) % 2 == 0;
+  TransactionalProcessScheduler scheduler(options, log.get());
+  Status registered = world.RegisterAll(&scheduler);
+  if (!registered.ok()) {
+    result.failures = " register:" + registered.ToString();
+    return result;
+  }
+  for (const ProcessDef* def : defs) {
+    Result<ProcessId> pid = scheduler.Submit(def);
+    if (!pid.ok()) {
+      result.failures = " submit:" + pid.status().ToString();
+      return result;
+    }
+  }
+
+  Status run = scheduler.Run(300000);
+  result.stats = scheduler.stats();
+  if (!run.ok()) {
+    result.failures += " run:" + run.ToString();
+  }
+  for (int p = 1; p <= static_cast<int>(defs.size()); ++p) {
+    if (scheduler.OutcomeOf(ProcessId(p)) == ProcessOutcome::kActive) {
+      result.failures += StrCat(" non-terminal:P", p);
+    }
+  }
+  Result<bool> pred = IsPRED(scheduler.history(), scheduler.conflict_spec());
+  if (!pred.ok()) {
+    result.failures += " PRED-check-error:" + pred.status().ToString();
+  } else if (!*pred) {
+    result.failures += " not-PRED:" + scheduler.history().ToString();
+  }
+  if (!IsProcessRecoverable(CommittedProjection(scheduler.history()),
+                            scheduler.conflict_spec())) {
+    result.failures += " not-ProcREC:" + scheduler.history().ToString();
+  }
+  Status adt = world.CheckAdtInvariants();
+  if (!adt.ok()) {
+    result.failures += " adt-invariant:" + adt.ToString();
+  }
+  if (file_backed) std::remove(log_path.c_str());
+  return result;
+}
+
+TEST(SemanticChaos, SoakMixedAdtWorldAcrossBackends) {
+  const uint64_t seed_base =
+      static_cast<uint64_t>(EnvInt("TPM_CHAOS_SEED_BASE", 1));
+  const int64_t num_seeds = EnvInt("TPM_SEMANTIC_CHAOS_SEEDS", 12);
+  const std::string log_path = ::testing::TempDir() + "tpm_semchaos_" +
+                               StrCat(::getpid()) + ".log";
+  int64_t runs = 0;
+  int64_t committed = 0, aborted = 0;
+  for (uint64_t seed = seed_base; seed < seed_base + num_seeds; ++seed) {
+    for (const Severity& severity : kSeverities) {
+      for (bool file_backed : {false, true}) {
+        ChaosRunResult r =
+            SemanticChaosRun(seed, severity, file_backed, log_path);
+        ++runs;
+        committed += r.stats.processes_committed;
+        aborted += r.stats.processes_aborted;
+        if (!r.failures.empty()) {
+          const std::string tag = StrCat("semantic_chaos_", severity.name,
+                                         file_backed ? "_file" : "_mem");
+          std::string seed_file = WriteFailingSeed(
+              tag, static_cast<int64_t>(seed), "semantic-chaos", r.failures);
+          FAIL() << tag << " seed=" << seed << ":" << r.failures
+                 << "\nreproduce with: TPM_CHAOS_SEED_BASE=" << seed
+                 << " TPM_SEMANTIC_CHAOS_SEEDS=1 ctest -R SemanticChaos"
+                 << "\n(reproducer appended to " << seed_file << ")";
+        }
+      }
+    }
+  }
+  EXPECT_GE(runs, 3 * 2);
+  EXPECT_GT(committed, 0);
+  std::printf("semantic chaos soak: %lld runs, %lld committed, %lld aborted\n",
+              static_cast<long long>(runs), static_cast<long long>(committed),
+              static_cast<long long>(aborted));
 }
 
 // ---------------------------------------------------------------------------

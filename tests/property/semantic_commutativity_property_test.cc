@@ -1,0 +1,362 @@
+// Property tests for the operation-level commutativity layer (§3.2) and
+// the semantic ADT subsystems built on it:
+//
+//   1. Randomly constructed op tables are symmetric and closed under
+//      compensation pairing (a, b commute => a^-1, b commute), and
+//      VerifyOpTableClosure agrees.
+//   2. Pairs the escrow/queue tables declare commuting really commute
+//      observationally (§3.2): running a;b and b;a from the same state
+//      yields identical return values and identical final states.
+//   3. <a, a^-1> compensation pairs are effect-free on the ADT state
+//      (Def. 2), and services the derived spec marks effect-free leave
+//      the state untouched on generated sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/conflict.h"
+#include "subsystem/escrow_subsystem.h"
+#include "subsystem/queue_subsystem.h"
+
+namespace tpm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Random op tables: symmetry + closure by construction.
+
+TEST(SemanticCommutativityProperty, RandomTablesAreSymmetricAndClosed) {
+  Rng rng(4242);
+  for (int round = 0; round < 60; ++round) {
+    ConflictSpec spec;
+    const int n = static_cast<int>(rng.NextInRange(2, 10));
+    std::vector<int> ops;
+    for (int i = 0; i < n; ++i) {
+      ops.push_back(spec.RegisterOpKind(StrCat("op", i)));
+    }
+    // Random inverse matching: pair up a shuffled prefix of the ops.
+    std::vector<int> shuffled = ops;
+    rng.Shuffle(&shuffled);
+    const int pairs = static_cast<int>(rng.NextInRange(0, n / 2));
+    for (int i = 0; i < pairs; ++i) {
+      spec.SetInverseOp(shuffled[2 * i], shuffled[2 * i + 1]);
+    }
+    // Random commuting declarations, interleaved with more pairings so the
+    // fixpoint runs in both orders (declare-then-pair and pair-then-declare).
+    const int declarations = static_cast<int>(rng.NextInRange(1, 3 * n));
+    for (int i = 0; i < declarations; ++i) {
+      spec.AddCommutingOps(ops[rng.NextBounded(n)], ops[rng.NextBounded(n)]);
+    }
+
+    ASSERT_TRUE(spec.VerifyOpTableClosure().ok()) << "round " << round;
+    for (int a : ops) {
+      for (int b : ops) {
+        // Symmetry.
+        EXPECT_EQ(spec.OpsCommute(a, b), spec.OpsCommute(b, a))
+            << "round " << round << " ops " << a << "," << b;
+        // Closure under the inverse pairing, both sides.
+        if (!spec.OpsCommute(a, b)) continue;
+        const int ia = spec.InverseOf(a);
+        const int ib = spec.InverseOf(b);
+        if (ia >= 0) {
+          EXPECT_TRUE(spec.OpsCommute(ia, b)) << "round " << round;
+        }
+        if (ib >= 0) {
+          EXPECT_TRUE(spec.OpsCommute(a, ib)) << "round " << round;
+        }
+        if (ia >= 0 && ib >= 0) {
+          EXPECT_TRUE(spec.OpsCommute(ia, ib)) << "round " << round;
+        }
+      }
+    }
+  }
+}
+
+// The effective service relation never grows when the op layer turns on:
+// the table only downgrades conflicts (the read/write relation stays the
+// conservative upper bound).
+TEST(SemanticCommutativityProperty, OpLayerOnlyRemovesConflicts) {
+  Rng rng(777);
+  for (int round = 0; round < 40; ++round) {
+    ConflictSpec spec;
+    const int num_services = static_cast<int>(rng.NextInRange(2, 8));
+    const int num_ops = static_cast<int>(rng.NextInRange(1, 4));
+    std::vector<int> ops;
+    for (int i = 0; i < num_ops; ++i) {
+      ops.push_back(spec.RegisterOpKind(StrCat("op", i)));
+    }
+    for (int i = 1; i <= num_services; ++i) {
+      for (int j = i; j <= num_services; ++j) {
+        if (rng.NextBool(0.4)) spec.AddConflict(ServiceId(i), ServiceId(j));
+      }
+      if (rng.NextBool(0.7)) {
+        spec.BindOp(ServiceId(i), ops[rng.NextBounded(num_ops)]);
+      }
+    }
+    for (int i = 0; i < 2 * num_ops; ++i) {
+      spec.AddCommutingOps(ops[rng.NextBounded(num_ops)],
+                           ops[rng.NextBounded(num_ops)]);
+    }
+    for (int i = 1; i <= num_services; ++i) {
+      for (int j = 1; j <= num_services; ++j) {
+        spec.set_op_commutativity_enabled(true);
+        const bool effective = spec.ServicesConflict(ServiceId(i), ServiceId(j));
+        spec.set_op_commutativity_enabled(false);
+        const bool raw = spec.ServicesConflict(ServiceId(i), ServiceId(j));
+        EXPECT_TRUE(!effective || raw)
+            << "op layer added a conflict " << i << "," << j;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Observational commutativity of the real ADTs.
+
+/// One escrow/queue "operation instance" that can run against a fresh
+/// replica of the ADT state.
+struct AdtOp {
+  ServiceId service;
+  ServiceRequest request;
+};
+
+/// Runs ops in the given order against a freshly built escrow subsystem;
+/// returns (statuses, return values, final snapshot as string).
+struct RunResult {
+  std::vector<std::string> statuses;
+  std::vector<int64_t> returns;
+  std::string state;
+};
+
+RunResult RunEscrow(const std::vector<AdtOp>& ops, int64_t initial) {
+  EscrowSubsystem sub(SubsystemId(1), "escrow");
+  EXPECT_TRUE(sub.CreateCounter("c", initial).ok());
+  EXPECT_TRUE(sub.RegisterIncService(ServiceId(1), "c").ok());
+  EXPECT_TRUE(sub.RegisterDecService(ServiceId(2), "c").ok());
+  EXPECT_TRUE(sub.RegisterWithdrawService(ServiceId(3), "c").ok());
+  RunResult r;
+  for (const AdtOp& op : ops) {
+    auto outcome = sub.Invoke(op.service, op.request);
+    r.statuses.push_back(outcome.status().ToString());
+    r.returns.push_back(outcome.ok() ? outcome->return_value : -1);
+  }
+  r.state = StrCat(sub.BalanceOf("c"), "/", sub.AvailableOf("c"));
+  EXPECT_TRUE(sub.CheckInvariants().ok());
+  return r;
+}
+
+// Sequences of random commuting-table pairs, adjacent-swapped: identical
+// returns and identical final state (the §3.2 definition, on the ADT
+// itself rather than the declared table). The generator respects the
+// discipline the table's soundness rests on: decs are compensations, so
+// each follows an inc of its own process with enough credit left, and we
+// only swap ops of *different* processes (the scheduler never reorders a
+// single process's invocations).
+TEST(SemanticCommutativityProperty, EscrowTablePairsCommuteObservationally) {
+  Rng rng(1311);
+  ConflictSpec spec;
+  {
+    EscrowSubsystem sub(SubsystemId(1), "escrow");
+    ASSERT_TRUE(sub.CreateCounter("c", 1).ok());
+    ASSERT_TRUE(sub.RegisterIncService(ServiceId(1), "c").ok());
+    ASSERT_TRUE(sub.RegisterDecService(ServiceId(2), "c").ok());
+    ASSERT_TRUE(sub.RegisterWithdrawService(ServiceId(3), "c").ok());
+    sub.services().DeriveConflicts(&spec);
+  }
+  int swaps_tested = 0;
+  for (int round = 0; round < 150; ++round) {
+    const int64_t initial = rng.NextInRange(0, 10);
+    const int len = static_cast<int>(rng.NextInRange(3, 7));
+    // P1 deposits first; its later decs compensate against that credit.
+    int64_t credit_left = rng.NextInRange(5, 15);
+    std::vector<AdtOp> ops;
+    ops.push_back(AdtOp{ServiceId(1), ServiceRequest{ProcessId(1),
+                                                     ActivityId(1),
+                                                     credit_left}});
+    for (int i = 1; i < len; ++i) {
+      if (credit_left > 0 && rng.NextBool(0.35)) {
+        const int64_t amount = rng.NextInRange(1, credit_left);
+        credit_left -= amount;
+        ops.push_back(AdtOp{ServiceId(2), ServiceRequest{ProcessId(1),
+                                                         ActivityId(i + 1),
+                                                         amount}});
+      } else {
+        ops.push_back(AdtOp{ServiceId(rng.NextBool(0.5) ? 1 : 3),
+                            ServiceRequest{ProcessId(i + 1), ActivityId(1),
+                                           rng.NextInRange(1, 9)}});
+      }
+    }
+    const int at = static_cast<int>(rng.NextBounded(len - 1));
+    // Only swap cross-process pairs the derived spec declares
+    // non-conflicting.
+    if (ops[at].request.process == ops[at + 1].request.process) continue;
+    if (spec.ServicesConflict(ops[at].service, ops[at + 1].service)) continue;
+    std::vector<AdtOp> swapped = ops;
+    std::swap(swapped[at], swapped[at + 1]);
+
+    RunResult base = RunEscrow(ops, initial);
+    RunResult other = RunEscrow(swapped, initial);
+    EXPECT_EQ(base.state, other.state) << "round " << round;
+    // Return values follow the op, not the position.
+    std::swap(other.statuses[at], other.statuses[at + 1]);
+    std::swap(other.returns[at], other.returns[at + 1]);
+    EXPECT_EQ(base.statuses, other.statuses) << "round " << round;
+    EXPECT_EQ(base.returns, other.returns) << "round " << round;
+    ++swaps_tested;
+  }
+  EXPECT_GT(swaps_tested, 30);
+}
+
+RunResult RunQueue(const std::vector<AdtOp>& ops, int initial_tokens) {
+  QueueSubsystem sub(SubsystemId(1), "queue");
+  EXPECT_TRUE(sub.CreateQueue("q", initial_tokens).ok());
+  EXPECT_TRUE(sub.RegisterEnqueueService(ServiceId(1), "q").ok());
+  EXPECT_TRUE(sub.RegisterDequeueService(ServiceId(2), "q").ok());
+  EXPECT_TRUE(sub.RegisterRemoveService(ServiceId(3), "q").ok());
+  EXPECT_TRUE(sub.RegisterRequeueService(ServiceId(4), "q").ok());
+  RunResult r;
+  for (const AdtOp& op : ops) {
+    auto outcome = sub.Invoke(op.service, op.request);
+    r.statuses.push_back(outcome.status().ToString());
+    r.returns.push_back(outcome.ok() ? outcome->return_value : -1);
+  }
+  // Queue commutativity is about the token *multiset*, not issue order:
+  // concurrent enqueues may interleave their freshly issued ids. Compare
+  // lengths plus the sorted token set.
+  auto snapshot = sub.Snapshot();
+  std::vector<int64_t> tokens;
+  for (const auto& [name, q] : snapshot) {
+    tokens.insert(tokens.end(), q.begin(), q.end());
+  }
+  std::sort(tokens.begin(), tokens.end());
+  r.state = StrCat(sub.LengthOf("q"), ":");
+  for (int64_t t : tokens) r.state += StrCat(t, ",");
+  EXPECT_TRUE(sub.CheckInvariants().ok());
+  return r;
+}
+
+TEST(SemanticCommutativityProperty, QueueEnqueuesCommuteOnTokenSets) {
+  Rng rng(2711);
+  for (int round = 0; round < 60; ++round) {
+    const int initial = static_cast<int>(rng.NextInRange(0, 4));
+    const int len = static_cast<int>(rng.NextInRange(2, 5));
+    std::vector<AdtOp> ops;
+    for (int i = 0; i < len; ++i) {
+      ops.push_back(AdtOp{ServiceId(1),  // enq only: the commuting kind
+                          ServiceRequest{ProcessId(i + 1), ActivityId(1), 0}});
+    }
+    const int at = static_cast<int>(rng.NextBounded(len - 1));
+    std::vector<AdtOp> swapped = ops;
+    std::swap(swapped[at], swapped[at + 1]);
+    RunResult base = RunQueue(ops, initial);
+    RunResult other = RunQueue(swapped, initial);
+    EXPECT_EQ(base.state, other.state) << "round " << round;
+    for (const std::string& status : base.statuses) {
+      EXPECT_NE(status.find("OK"), std::string::npos);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Def. 2: compensation pairs are effect-free; effect-free services
+// leave the state untouched.
+
+TEST(SemanticCommutativityProperty, EscrowCompensationPairsAreEffectFree) {
+  Rng rng(999);
+  for (int round = 0; round < 80; ++round) {
+    EscrowSubsystem sub(SubsystemId(1), "escrow");
+    ASSERT_TRUE(sub.CreateCounter("c", rng.NextInRange(0, 20)).ok());
+    ASSERT_TRUE(sub.RegisterIncService(ServiceId(1), "c").ok());
+    ASSERT_TRUE(sub.RegisterDecService(ServiceId(2), "c").ok());
+    // A little unrelated history first.
+    for (int i = 0; i < 3; ++i) {
+      (void)sub.Invoke(ServiceId(1),
+                       ServiceRequest{ProcessId(50 + i), ActivityId(1),
+                                      rng.NextInRange(1, 5)});
+    }
+    auto before = sub.Snapshot();
+    const int64_t available_before = sub.AvailableOf("c");
+    const int64_t amount = rng.NextInRange(1, 9);
+    ServiceRequest req{ProcessId(1), ActivityId(1), amount};
+    ASSERT_TRUE(sub.Invoke(ServiceId(1), req).ok());
+    ASSERT_TRUE(sub.Invoke(ServiceId(2), req).ok());  // <inc dec>
+    EXPECT_EQ(sub.Snapshot(), before) << "round " << round;
+    EXPECT_EQ(sub.AvailableOf("c"), available_before);
+    EXPECT_TRUE(sub.CheckInvariants().ok());
+  }
+}
+
+TEST(SemanticCommutativityProperty, QueueCompensationPairsAreEffectFree) {
+  Rng rng(31337);
+  for (int round = 0; round < 60; ++round) {
+    QueueSubsystem sub(SubsystemId(1), "queue");
+    const int initial = static_cast<int>(rng.NextInRange(1, 5));
+    ASSERT_TRUE(sub.CreateQueue("q", initial).ok());
+    ASSERT_TRUE(sub.RegisterEnqueueService(ServiceId(1), "q").ok());
+    ASSERT_TRUE(sub.RegisterDequeueService(ServiceId(2), "q").ok());
+    ASSERT_TRUE(sub.RegisterRemoveService(ServiceId(3), "q").ok());
+    ASSERT_TRUE(sub.RegisterRequeueService(ServiceId(4), "q").ok());
+
+    auto before = sub.Snapshot();
+    if (rng.NextBool(0.5)) {
+      // <enq rm>: the fresh token is withdrawn again — queue contents
+      // exactly restored.
+      ServiceRequest req{ProcessId(1), ActivityId(7), 0};
+      ASSERT_TRUE(sub.Invoke(ServiceId(1), req).ok());
+      ASSERT_TRUE(sub.Invoke(ServiceId(3), req).ok());
+    } else {
+      // <deq req>: the head token goes back to the head.
+      ServiceRequest req{ProcessId(1), ActivityId(7), 0};
+      ASSERT_TRUE(sub.Invoke(ServiceId(2), req).ok());
+      ASSERT_TRUE(sub.Invoke(ServiceId(4), req).ok());
+    }
+    EXPECT_EQ(sub.Snapshot(), before) << "round " << round;
+    EXPECT_TRUE(sub.CheckInvariants().ok());
+  }
+}
+
+TEST(SemanticCommutativityProperty, EffectFreeServicesNeverChangeState) {
+  // The services the derived spec marks effect-free (escrow read, queue
+  // len) must not change ADT state on generated sequences — consistency
+  // between the IsEffectFree declaration and the implementation.
+  Rng rng(555);
+  EscrowSubsystem escrow(SubsystemId(1), "escrow");
+  ASSERT_TRUE(escrow.CreateCounter("c", 10).ok());
+  ASSERT_TRUE(escrow.RegisterIncService(ServiceId(1), "c").ok());
+  ASSERT_TRUE(escrow.RegisterReadService(ServiceId(2), "c").ok());
+  QueueSubsystem queue(SubsystemId(2), "queue");
+  ASSERT_TRUE(queue.CreateQueue("q", 3).ok());
+  ASSERT_TRUE(queue.RegisterEnqueueService(ServiceId(1), "q").ok());
+  ASSERT_TRUE(queue.RegisterLenService(ServiceId(2), "q").ok());
+
+  ConflictSpec escrow_spec, queue_spec;
+  escrow.services().DeriveConflicts(&escrow_spec);
+  queue.services().DeriveConflicts(&queue_spec);
+  ASSERT_TRUE(escrow_spec.IsEffectFreeService(ServiceId(2)));
+  ASSERT_TRUE(queue_spec.IsEffectFreeService(ServiceId(2)));
+
+  for (int i = 0; i < 40; ++i) {
+    ServiceRequest update{ProcessId(i + 1), ActivityId(1),
+                          rng.NextInRange(1, 5)};
+    if (rng.NextBool(0.5)) (void)escrow.Invoke(ServiceId(1), update);
+    if (rng.NextBool(0.5)) {
+      (void)queue.Invoke(ServiceId(1),
+                         ServiceRequest{ProcessId(i + 1), ActivityId(2), 0});
+    }
+    auto escrow_before = escrow.Snapshot();
+    auto queue_before = queue.Snapshot();
+    ServiceRequest query{ProcessId(99), ActivityId(9), 0};
+    ASSERT_TRUE(escrow.Invoke(ServiceId(2), query).ok());
+    ASSERT_TRUE(queue.Invoke(ServiceId(2), query).ok());
+    EXPECT_EQ(escrow.Snapshot(), escrow_before);
+    EXPECT_EQ(queue.Snapshot(), queue_before);
+  }
+}
+
+}  // namespace
+}  // namespace tpm

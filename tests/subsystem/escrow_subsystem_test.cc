@@ -1,0 +1,199 @@
+#include "subsystem/escrow_subsystem.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t process, int64_t param = 0,
+                   int64_t activity = 1) {
+  return ServiceRequest{ProcessId(process), ActivityId(activity), param};
+}
+
+class EscrowSubsystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(sub_.CreateCounter("stock", 10).ok());
+    ASSERT_TRUE(sub_.RegisterIncService(kInc, "stock").ok());
+    ASSERT_TRUE(sub_.RegisterDecService(kDec, "stock").ok());
+    ASSERT_TRUE(sub_.RegisterWithdrawService(kWithdraw, "stock").ok());
+    ASSERT_TRUE(sub_.RegisterReadService(kRead, "stock").ok());
+  }
+
+  static constexpr ServiceId kInc{1}, kDec{2}, kWithdraw{3}, kRead{4};
+  EscrowSubsystem sub_{SubsystemId(1), "escrow"};
+};
+
+TEST_F(EscrowSubsystemTest, IncReturnsAmountAndRaisesBalance) {
+  auto outcome = sub_.Invoke(kInc, Req(1, 5));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->return_value, 5);
+  EXPECT_EQ(sub_.BalanceOf("stock"), 15);
+  // The deposit is unstable until P1 resolves: nothing withdrawable yet.
+  EXPECT_EQ(sub_.AvailableOf("stock"), 10);
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(EscrowSubsystemTest, ParamZeroFallsBackToDefaultAmount) {
+  ASSERT_TRUE(sub_.Invoke(kInc, Req(1, 0)).ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 11);
+}
+
+TEST_F(EscrowSubsystemTest, WithdrawEscrowTestsAgainstStableBalance) {
+  auto first = sub_.Invoke(kWithdraw, Req(1, 7));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->return_value, 7);
+  EXPECT_EQ(sub_.BalanceOf("stock"), 3);
+  // 3 left: a withdraw of 4 exhausts the escrow and aborts.
+  EXPECT_TRUE(sub_.Invoke(kWithdraw, Req(2, 4)).status().IsAborted());
+  EXPECT_EQ(sub_.exhaustion_aborts(), 1);
+  EXPECT_EQ(sub_.BalanceOf("stock"), 3);
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(EscrowSubsystemTest, UnstableDepositsAreInvisibleToWithdraws) {
+  // P1 deposits 5; until P1 resolves, the credit must not fund withdraws
+  // (P1 could still abort and take it back).
+  ASSERT_TRUE(sub_.Invoke(kInc, Req(1, 5)).ok());
+  EXPECT_TRUE(sub_.Invoke(kWithdraw, Req(2, 12)).status().IsAborted());
+  sub_.OnProcessResolved(ProcessId(1), /*committed=*/true);
+  EXPECT_EQ(sub_.AvailableOf("stock"), 15);
+  EXPECT_TRUE(sub_.Invoke(kWithdraw, Req(2, 12)).ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 3);
+}
+
+TEST_F(EscrowSubsystemTest, CompensatingDecConsumesOwnCreditInfallibly) {
+  // Drain the stable balance completely, then deposit-and-compensate:
+  // the dec must succeed although stable() is at the low bound (Def. 2
+  // demands an infallible compensation).
+  ASSERT_TRUE(sub_.Invoke(kWithdraw, Req(9, 10)).ok());
+  ASSERT_TRUE(sub_.Invoke(kInc, Req(1, 5)).ok());
+  auto dec = sub_.Invoke(kDec, Req(1, 5));
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  EXPECT_EQ(sub_.BalanceOf("stock"), 0);
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(EscrowSubsystemTest, UnmatchedDecIsEscrowTestedLikeAWithdraw) {
+  // P2 never deposited: its dec is a forward decrement and must respect
+  // the escrow test.
+  ASSERT_TRUE(sub_.Invoke(kDec, Req(2, 8)).ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 2);
+  EXPECT_TRUE(sub_.Invoke(kDec, Req(2, 3)).status().IsAborted());
+  EXPECT_EQ(sub_.exhaustion_aborts(), 1);
+}
+
+TEST_F(EscrowSubsystemTest, IncWithdrawReturnValuesAreOrderIndependent) {
+  // §3.2 observational commutativity: both orders return the same values
+  // and land in the same state.
+  EscrowSubsystem other(SubsystemId(2), "escrow2");
+  ASSERT_TRUE(other.CreateCounter("stock", 10).ok());
+  ASSERT_TRUE(other.RegisterIncService(kInc, "stock").ok());
+  ASSERT_TRUE(other.RegisterWithdrawService(kWithdraw, "stock").ok());
+
+  auto inc_first = sub_.Invoke(kInc, Req(1, 5));
+  auto wd_second = sub_.Invoke(kWithdraw, Req(2, 4));
+  auto wd_first = other.Invoke(kWithdraw, Req(2, 4));
+  auto inc_second = other.Invoke(kInc, Req(1, 5));
+  ASSERT_TRUE(inc_first.ok() && wd_second.ok() && wd_first.ok() &&
+              inc_second.ok());
+  EXPECT_EQ(inc_first->return_value, inc_second->return_value);
+  EXPECT_EQ(wd_second->return_value, wd_first->return_value);
+  EXPECT_EQ(sub_.Snapshot(), other.Snapshot());
+}
+
+TEST_F(EscrowSubsystemTest, PreparedCommitKeepsAbortRestores) {
+  auto prepared = sub_.InvokePrepared(kInc, Req(1, 5));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->return_value, 5);
+  EXPECT_EQ(sub_.BalanceOf("stock"), 15);  // executed against live state
+  ASSERT_TRUE(sub_.CommitPrepared(prepared->tx).ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 15);
+
+  auto aborted = sub_.InvokePrepared(kWithdraw, Req(2, 3));
+  ASSERT_TRUE(aborted.ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 12);
+  ASSERT_TRUE(sub_.AbortPrepared(aborted->tx).ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 15);
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(EscrowSubsystemTest, PreparedWithdrawBlocksOnlyNonCommutingOps) {
+  auto prepared = sub_.InvokePrepared(kWithdraw, Req(1, 2));
+  ASSERT_TRUE(prepared.ok());
+  // withdraw/withdraw is the one semantic conflict: blocked.
+  EXPECT_TRUE(sub_.WouldBlock(kWithdraw));
+  EXPECT_TRUE(sub_.Invoke(kWithdraw, Req(2, 1)).status().IsUnavailable());
+  // inc and dec commute with the in-doubt withdraw: they proceed.
+  EXPECT_FALSE(sub_.WouldBlock(kInc));
+  EXPECT_TRUE(sub_.Invoke(kInc, Req(2, 3)).ok());
+  ASSERT_TRUE(sub_.CommitPrepared(prepared->tx).ok());
+  EXPECT_FALSE(sub_.WouldBlock(kWithdraw));
+}
+
+TEST_F(EscrowSubsystemTest, ReadsConservativelyBlockOnPreparedUpdates) {
+  auto prepared = sub_.InvokePrepared(kInc, Req(1, 5));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(sub_.WouldBlock(kRead));
+  EXPECT_TRUE(sub_.Invoke(kRead, Req(2)).status().IsUnavailable());
+  ASSERT_TRUE(sub_.CommitPrepared(prepared->tx).ok());
+  auto read = sub_.Invoke(kRead, Req(2));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->return_value, 15);
+}
+
+TEST_F(EscrowSubsystemTest, AbortAllPreparedRollsBackInReverseOrder) {
+  ASSERT_TRUE(sub_.InvokePrepared(kInc, Req(1, 5)).ok());
+  ASSERT_TRUE(sub_.InvokePrepared(kWithdraw, Req(2, 3)).ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 12);
+  ASSERT_TRUE(sub_.AbortAllPrepared().ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 10);
+  EXPECT_FALSE(sub_.WouldBlock(kWithdraw));
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(EscrowSubsystemTest, UndoAfterResolutionClampsToRemainingCredit) {
+  // Prepared inc, process resolves (credit folded to stable), then the
+  // branch aborts: the undo must not drive pending negative.
+  auto prepared = sub_.InvokePrepared(kInc, Req(1, 5));
+  ASSERT_TRUE(prepared.ok());
+  sub_.OnProcessResolved(ProcessId(1), /*committed=*/true);
+  ASSERT_TRUE(sub_.AbortPrepared(prepared->tx).ok());
+  EXPECT_EQ(sub_.BalanceOf("stock"), 10);
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(EscrowSubsystemTest, DerivedSpecAdmitsCommutingUpdates) {
+  ConflictSpec spec;
+  sub_.services().DeriveConflicts(&spec);
+  // Shared counter: every pair conflicts at the read/write level, but the
+  // op table downgrades everything except withdraw/withdraw (and the
+  // unbound read, which stays conservative).
+  EXPECT_FALSE(spec.ServicesConflict(kInc, kInc));
+  EXPECT_FALSE(spec.ServicesConflict(kInc, kDec));
+  EXPECT_FALSE(spec.ServicesConflict(kInc, kWithdraw));
+  EXPECT_FALSE(spec.ServicesConflict(kDec, kWithdraw));
+  EXPECT_TRUE(spec.ServicesConflict(kWithdraw, kWithdraw));
+  EXPECT_TRUE(spec.ServicesConflict(kRead, kInc));
+  EXPECT_TRUE(spec.IsEffectFreeService(kRead));
+  EXPECT_FALSE(spec.IsEffectFreeService(kInc));
+  EXPECT_TRUE(spec.VerifyOpTableClosure().ok());
+
+  // The ablation knob restores the read/write relation wholesale.
+  spec.set_op_commutativity_enabled(false);
+  EXPECT_TRUE(spec.ServicesConflict(kInc, kInc));
+  EXPECT_TRUE(spec.ServicesConflict(kInc, kWithdraw));
+}
+
+TEST_F(EscrowSubsystemTest, RejectsInvalidRegistrationsAndRequests) {
+  EXPECT_TRUE(sub_.CreateCounter("bad", 1, 5).IsInvalidArgument());
+  EXPECT_TRUE(
+      sub_.RegisterIncService(ServiceId(9), "stock", -1).IsInvalidArgument());
+  EXPECT_TRUE(sub_.Invoke(ServiceId(99), Req(1)).status().IsNotFound());
+  EXPECT_TRUE(sub_.Invoke(kInc, Req(1, -2)).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,198 @@
+#include "subsystem/queue_subsystem.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+
+namespace tpm {
+namespace {
+
+ServiceRequest Req(int64_t process, int64_t activity) {
+  return ServiceRequest{ProcessId(process), ActivityId(activity), 0};
+}
+
+class QueueSubsystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(sub_.CreateQueue("orders", /*initial_tokens=*/2).ok());
+    ASSERT_TRUE(sub_.RegisterEnqueueService(kEnq, "orders").ok());
+    ASSERT_TRUE(sub_.RegisterDequeueService(kDeq, "orders").ok());
+    ASSERT_TRUE(sub_.RegisterRemoveService(kRm, "orders").ok());
+    ASSERT_TRUE(sub_.RegisterRequeueService(kReq, "orders").ok());
+    ASSERT_TRUE(sub_.RegisterLenService(kLen, "orders").ok());
+  }
+
+  static constexpr ServiceId kEnq{1}, kDeq{2}, kRm{3}, kReq{4}, kLen{5};
+  QueueSubsystem sub_{SubsystemId(1), "queue"};
+};
+
+TEST_F(QueueSubsystemTest, FifoOrderWithSeededTokens) {
+  // CreateQueue pre-seeded tokens 1 and 2.
+  auto first = sub_.Invoke(kDeq, Req(1, 1));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->return_value, 1);
+  auto enq = sub_.Invoke(kEnq, Req(2, 1));
+  ASSERT_TRUE(enq.ok());
+  EXPECT_EQ(enq->return_value, 3);  // fresh token, not a reused id
+  auto second = sub_.Invoke(kDeq, Req(1, 2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->return_value, 2);  // FIFO: the seeded token before 3
+  EXPECT_EQ(sub_.LengthOf("orders"), 1);
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(QueueSubsystemTest, DequeueOnEmptyQueueAborts) {
+  ASSERT_TRUE(sub_.Invoke(kDeq, Req(1, 1)).ok());
+  ASSERT_TRUE(sub_.Invoke(kDeq, Req(1, 2)).ok());
+  EXPECT_TRUE(sub_.Invoke(kDeq, Req(1, 3)).status().IsAborted());
+  EXPECT_EQ(sub_.empty_dequeues(), 1);
+}
+
+TEST_F(QueueSubsystemTest, RemoveCompensatesTheActivitysOwnEnqueue) {
+  // P1/a7 enqueues; the compensating rm arrives under the same (process,
+  // activity) key and removes exactly that token, wherever it sits.
+  auto enq = sub_.Invoke(kEnq, Req(1, 7));
+  ASSERT_TRUE(enq.ok());
+  ASSERT_TRUE(sub_.Invoke(kEnq, Req(2, 1)).ok());  // someone else behind it
+  auto rm = sub_.Invoke(kRm, Req(1, 7));
+  ASSERT_TRUE(rm.ok());
+  EXPECT_EQ(rm->return_value, enq->return_value);
+  EXPECT_EQ(sub_.LengthOf("orders"), 3);  // 2 seeded + P2's
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(QueueSubsystemTest, DoubleRemoveIsRejected) {
+  ASSERT_TRUE(sub_.Invoke(kEnq, Req(1, 7)).ok());
+  ASSERT_TRUE(sub_.Invoke(kRm, Req(1, 7)).ok());
+  // The bookkeeping is gone: a second compensation must surface, not
+  // silently succeed.
+  EXPECT_TRUE(sub_.Invoke(kRm, Req(1, 7)).status().IsAborted());
+}
+
+TEST_F(QueueSubsystemTest, RemoveAfterTokenWasDequeuedIsRejected) {
+  QueueSubsystem fresh(SubsystemId(2), "queue2");
+  ASSERT_TRUE(fresh.CreateQueue("q", 0).ok());
+  ASSERT_TRUE(fresh.RegisterEnqueueService(kEnq, "q").ok());
+  ASSERT_TRUE(fresh.RegisterDequeueService(kDeq, "q").ok());
+  ASSERT_TRUE(fresh.RegisterRemoveService(kRm, "q").ok());
+  ASSERT_TRUE(fresh.Invoke(kEnq, Req(1, 1)).ok());
+  ASSERT_TRUE(fresh.Invoke(kDeq, Req(2, 1)).ok());  // P2 consumed the token
+  EXPECT_TRUE(fresh.Invoke(kRm, Req(1, 1)).status().IsAborted());
+}
+
+TEST_F(QueueSubsystemTest, RequeueRestoresFifoPosition) {
+  auto deq = sub_.Invoke(kDeq, Req(1, 3));
+  ASSERT_TRUE(deq.ok());
+  EXPECT_EQ(deq->return_value, 1);
+  auto req = sub_.Invoke(kReq, Req(1, 3));
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->return_value, 1);
+  // Back at the head: the next dequeue sees the same token again.
+  auto again = sub_.Invoke(kDeq, Req(2, 1));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->return_value, 1);
+  // Double requeue is a double compensation.
+  EXPECT_TRUE(sub_.Invoke(kReq, Req(1, 3)).status().IsAborted());
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(QueueSubsystemTest, EnqueueReturnValuesAreOrderIndependent) {
+  // §3.2: concurrent enqueues commute observationally — each returns its
+  // own token and both tokens end up present, in either order.
+  QueueSubsystem other(SubsystemId(2), "queue2");
+  ASSERT_TRUE(other.CreateQueue("orders", 2).ok());
+  ASSERT_TRUE(other.RegisterEnqueueService(kEnq, "orders").ok());
+  auto a1 = sub_.Invoke(kEnq, Req(1, 1));
+  auto b1 = sub_.Invoke(kEnq, Req(2, 1));
+  auto b2 = other.Invoke(kEnq, Req(2, 1));
+  auto a2 = other.Invoke(kEnq, Req(1, 1));
+  ASSERT_TRUE(a1.ok() && b1.ok() && a2.ok() && b2.ok());
+  // Each process sees a fresh token; the multiset of queued tokens is the
+  // same in both orders (the ids differ by issue order, the *sets* match).
+  EXPECT_EQ(sub_.LengthOf("orders"), other.LengthOf("orders"));
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+  EXPECT_TRUE(other.CheckInvariants().ok());
+}
+
+TEST_F(QueueSubsystemTest, PreparedEnqueueBlocksOnlyNonCommutingOps) {
+  auto prepared = sub_.InvokePrepared(kEnq, Req(1, 1));
+  ASSERT_TRUE(prepared.ok());
+  // enq/enq commutes: a second producer proceeds.
+  EXPECT_FALSE(sub_.WouldBlock(kEnq));
+  EXPECT_TRUE(sub_.Invoke(kEnq, Req(2, 1)).ok());
+  // deq races with the in-doubt enq near-empty: blocked.
+  EXPECT_TRUE(sub_.WouldBlock(kDeq));
+  EXPECT_TRUE(sub_.Invoke(kDeq, Req(3, 1)).status().IsUnavailable());
+  EXPECT_TRUE(sub_.WouldBlock(kLen));
+  ASSERT_TRUE(sub_.CommitPrepared(prepared->tx).ok());
+  EXPECT_FALSE(sub_.WouldBlock(kDeq));
+  EXPECT_TRUE(sub_.Invoke(kDeq, Req(3, 1)).ok());
+}
+
+TEST_F(QueueSubsystemTest, PreparedAbortUndoesTheEnqueue) {
+  auto prepared = sub_.InvokePrepared(kEnq, Req(1, 1));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(sub_.LengthOf("orders"), 3);
+  ASSERT_TRUE(sub_.AbortPrepared(prepared->tx).ok());
+  EXPECT_EQ(sub_.LengthOf("orders"), 2);
+  // The bookkeeping went with it: compensating the aborted enq is an error.
+  EXPECT_TRUE(sub_.Invoke(kRm, Req(1, 1)).status().IsAborted());
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(QueueSubsystemTest, AbortAllPreparedRestoresTheQueue) {
+  auto snapshot = sub_.Snapshot();
+  ASSERT_TRUE(sub_.InvokePrepared(kEnq, Req(1, 1)).ok());
+  ASSERT_TRUE(sub_.InvokePrepared(kEnq, Req(2, 1)).ok());
+  ASSERT_TRUE(sub_.AbortAllPrepared().ok());
+  EXPECT_EQ(sub_.Snapshot(), snapshot);
+  EXPECT_FALSE(sub_.WouldBlock(kDeq));
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(QueueSubsystemTest, ResolvedProcessLosesItsCompensationHandles) {
+  ASSERT_TRUE(sub_.Invoke(kEnq, Req(1, 1)).ok());
+  ASSERT_TRUE(sub_.Invoke(kDeq, Req(1, 2)).ok());
+  sub_.OnProcessResolved(ProcessId(1), /*committed=*/true);
+  EXPECT_TRUE(sub_.Invoke(kRm, Req(1, 1)).status().IsAborted());
+  EXPECT_TRUE(sub_.Invoke(kReq, Req(1, 2)).status().IsAborted());
+  EXPECT_TRUE(sub_.CheckInvariants().ok());
+}
+
+TEST_F(QueueSubsystemTest, LenIsEffectFreeAndReportsLength) {
+  auto len = sub_.Invoke(kLen, Req(1, 1));
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(len->return_value, 2);
+  auto def = sub_.services().Lookup(kLen);
+  ASSERT_TRUE(def.ok());
+  EXPECT_TRUE((*def)->effect_free);
+}
+
+TEST_F(QueueSubsystemTest, DerivedSpecMatchesTheDocumentedTable) {
+  ConflictSpec spec;
+  sub_.services().DeriveConflicts(&spec);
+  // enq commutes with enq, and by perfect-closure with rm (and rm with
+  // rm); deq/req conflict with every update, len stays conservative.
+  EXPECT_FALSE(spec.ServicesConflict(kEnq, kEnq));
+  EXPECT_FALSE(spec.ServicesConflict(kEnq, kRm));
+  EXPECT_FALSE(spec.ServicesConflict(kRm, kRm));
+  EXPECT_TRUE(spec.ServicesConflict(kEnq, kDeq));
+  EXPECT_TRUE(spec.ServicesConflict(kDeq, kDeq));
+  EXPECT_TRUE(spec.ServicesConflict(kDeq, kReq));
+  EXPECT_TRUE(spec.ServicesConflict(kReq, kRm));
+  EXPECT_TRUE(spec.ServicesConflict(kLen, kEnq));
+  EXPECT_TRUE(spec.IsEffectFreeService(kLen));
+  EXPECT_TRUE(spec.VerifyOpTableClosure().ok());
+
+  spec.set_op_commutativity_enabled(false);
+  EXPECT_TRUE(spec.ServicesConflict(kEnq, kEnq));
+  EXPECT_TRUE(spec.ServicesConflict(kEnq, kRm));
+}
+
+TEST_F(QueueSubsystemTest, RejectsInvalidRegistrationsAndRequests) {
+  EXPECT_TRUE(sub_.CreateQueue("bad", -1).IsInvalidArgument());
+  EXPECT_TRUE(sub_.Invoke(ServiceId(99), Req(1, 1)).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace tpm
