@@ -32,6 +32,9 @@ enum class StatusCode {
   kInternal,
   /// The component is (simulated) crashed or otherwise unavailable.
   kUnavailable,
+  /// A bounded resource (e.g. a submission queue under the kReject
+  /// backpressure policy) is at capacity; shed load or retry later.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -80,6 +83,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +101,9 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,69 @@
+#ifndef TPM_COMMON_THREAD_AFFINITY_H_
+#define TPM_COMMON_THREAD_AFFINITY_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace tpm {
+
+/// Single-thread ownership checker for classes whose instances are
+/// thread-compatible but not thread-safe (e.g. the scheduler). The guard
+/// binds to the first thread that calls CheckCurrentThread and from then on
+/// reports any call from a different thread — catching accidental
+/// cross-thread use deterministically and immediately, long before a data
+/// race would be large enough for TSan to observe.
+///
+/// Release() detaches the guard so ownership can be handed to another
+/// thread (e.g. a sharded runtime moving a quiesced scheduler from its
+/// setup thread onto a worker). The caller is responsible for the
+/// happens-before edge of the handoff itself (thread start/join, a mutex);
+/// the guard only detects violations, it does not synchronize state.
+class ThreadAffinityGuard {
+ public:
+  /// Binds to the calling thread on first use. Returns true iff the
+  /// calling thread is (or just became) the owner.
+  bool CheckCurrentThread() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id seen = owner_.load(std::memory_order_relaxed);
+    if (seen == self) return true;
+    if (seen == std::thread::id{}) {
+      std::thread::id expected{};
+      if (owner_.compare_exchange_strong(expected, self,
+                                         std::memory_order_acq_rel)) {
+        return true;
+      }
+      return expected == self;  // lost a benign same-thread race
+    }
+    return false;
+  }
+
+  /// As CheckCurrentThread, but aborts with a diagnostic naming `site` on
+  /// violation. For guarding public entry points.
+  void CheckOrDie(const char* class_name, const char* site) const {
+    if (CheckCurrentThread()) return;
+    std::fprintf(stderr,
+                 "FATAL: %s::%s called from a thread other than the owning "
+                 "one; the class is single-threaded. Quiesce and call "
+                 "ReleaseThreadAffinity() to hand ownership over.\n",
+                 class_name, site);
+    std::abort();
+  }
+
+  /// Detaches: the next CheckCurrentThread (from any thread) rebinds.
+  void Release() const {
+    owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+
+  bool bound() const {
+    return owner_.load(std::memory_order_relaxed) != std::thread::id{};
+  }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace tpm
+
+#endif  // TPM_COMMON_THREAD_AFFINITY_H_

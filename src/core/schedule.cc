@@ -240,4 +240,19 @@ std::string ProcessSchedule::ToString() const {
   return StrCat("<", StrJoin(parts, " "), ">");
 }
 
+ProcessSchedule CommittedProjection(const ProcessSchedule& schedule) {
+  ProcessSchedule out;
+  for (const auto& [pid, def] : schedule.processes()) {
+    if (schedule.IsProcessCommitted(pid)) (void)out.AddProcess(pid, def);
+  }
+  for (const ScheduleEvent& e : schedule.events()) {
+    if (e.type == EventType::kGroupAbort) continue;
+    const ProcessId pid =
+        e.type == EventType::kActivity ? e.act.process : e.process;
+    if (!schedule.IsProcessCommitted(pid)) continue;
+    (void)out.Append(e, /*enforce_legal=*/false);
+  }
+  return out;
+}
+
 }  // namespace tpm

@@ -113,6 +113,21 @@ class ProcessSchedule {
   std::map<ProcessId, std::shared_ptr<ProcessExecutionState>> states_;
 };
 
+/// The committed projection of a history: the events of exactly those
+/// processes that reached commit (group-abort markers dropped).
+///
+/// Workloads whose processes hammer the SAME hot ADT state routinely have
+/// aborted processes conflict-preceding later-committed ones. The
+/// syntactic Proc-REC checker (Def. 11) does not reduce away compensated
+/// work, so on such histories it would flag every such abort even when the
+/// compensations were emitted perfectly. The meaningful split is: check
+/// Proc-REC on the committed projection (commit order must agree with
+/// conflict order among the survivors) and PRED on the FULL history (the
+/// reduction-aware criterion that vets the compensations themselves).
+/// Shared by the integration/chaos suites and the sharded runtime's
+/// post-recovery self-check.
+ProcessSchedule CommittedProjection(const ProcessSchedule& schedule);
+
 }  // namespace tpm
 
 #endif  // TPM_CORE_SCHEDULE_H_

@@ -17,6 +17,7 @@ TransactionalProcessScheduler::TransactionalProcessScheduler(
 }
 
 Status TransactionalProcessScheduler::RegisterSubsystem(Subsystem* subsystem) {
+  CheckThread("RegisterSubsystem");
   if (subsystem == nullptr) {
     return Status::InvalidArgument("null subsystem");
   }
@@ -39,6 +40,7 @@ Status TransactionalProcessScheduler::RegisterSubsystem(Subsystem* subsystem) {
 }
 
 void TransactionalProcessScheduler::AddConflict(ServiceId a, ServiceId b) {
+  CheckThread("AddConflict");
   spec_.AddConflict(a, b);
   EnsureEmitterRows();
 }
@@ -136,6 +138,7 @@ void TransactionalProcessScheduler::ForEachEmitter(
 Result<ProcessId> TransactionalProcessScheduler::Submit(
     const ProcessDef* def, int64_t param,
     std::vector<ProcessDependency> dependencies) {
+  CheckThread("Submit");
   if (def == nullptr || !def->validated()) {
     return Status::InvalidArgument("process definition missing/unvalidated");
   }
@@ -173,6 +176,7 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
 }
 
 ProcessOutcome TransactionalProcessScheduler::OutcomeOf(ProcessId pid) const {
+  CheckThread("OutcomeOf");
   const ProcessRuntime* rt = FindRuntime(pid);
   if (rt == nullptr) return ProcessOutcome::kActive;
   return rt->state.outcome();
@@ -1160,6 +1164,7 @@ void TransactionalProcessScheduler::PollSubsystemHealth() {
 }
 
 Result<bool> TransactionalProcessScheduler::Step() {
+  CheckThread("Step");
   ++stats_.steps;
   clock_->Advance(1);
   stats_.virtual_time = clock_->now();
@@ -1228,6 +1233,7 @@ Result<bool> TransactionalProcessScheduler::Step() {
 }
 
 Status TransactionalProcessScheduler::Run(int64_t max_steps) {
+  CheckThread("Run");
   for (int64_t i = 0; i < max_steps; ++i) {
     TPM_ASSIGN_OR_RETURN(bool more, Step());
     if (!more) return Status::OK();
@@ -1254,6 +1260,7 @@ Status TransactionalProcessScheduler::CertifyHistory() {
 // Crash and recovery.
 
 Status TransactionalProcessScheduler::Checkpoint() {
+  CheckThread("Checkpoint");
   if (log_ == nullptr) {
     return Status::FailedPrecondition("checkpoint requires a recovery log");
   }
@@ -1324,6 +1331,7 @@ Status TransactionalProcessScheduler::Checkpoint() {
 }
 
 void TransactionalProcessScheduler::Crash() {
+  CheckThread("Crash");
   runtimes_.clear();
   pruned_.clear();
   cascade_counted_.clear();
@@ -1341,6 +1349,7 @@ void TransactionalProcessScheduler::Crash() {
 
 Status TransactionalProcessScheduler::Recover(
     const std::map<std::string, const ProcessDef*>& defs_by_name) {
+  CheckThread("Recover");
   if (log_ == nullptr) {
     return Status::FailedPrecondition("recovery requires a recovery log");
   }

@@ -11,6 +11,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/thread_affinity.h"
 #include "common/virtual_clock.h"
 #include "core/admission.h"
 #include "core/completion.h"
@@ -79,6 +80,18 @@ class SchedulerObserver {
 /// lives in core/serialization_graph.h, and this class is the execution /
 /// recovery engine that drives both. It exposes its state to the policy
 /// layer by privately implementing the read-only SchedulerView.
+///
+/// Threading contract: the scheduler is SINGLE-THREADED. One thread owns
+/// an instance at a time and makes every call — mutators and accessors
+/// alike (accessors read state a concurrent mutator may be mid-update on).
+/// The owner need not be the constructing thread: ownership binds to the
+/// first thread that uses the instance, and a quiesced scheduler can be
+/// handed to another thread via ReleaseThreadAffinity(). Every public
+/// entry point asserts the contract through a ThreadAffinityGuard and
+/// aborts on violation — catching accidental cross-thread use
+/// deterministically, long before TSan could. Multi-core scaling composes
+/// whole schedulers behind a partitioned front-end (src/runtime/) instead
+/// of threading this class.
 class TransactionalProcessScheduler : private SchedulerView {
  public:
   explicit TransactionalProcessScheduler(SchedulerOptions options = {},
@@ -98,6 +111,7 @@ class TransactionalProcessScheduler : private SchedulerView {
 
   /// Registers an observer (must outlive the scheduler).
   void AddObserver(SchedulerObserver* observer) {
+    CheckThread("AddObserver");
     if (observer != nullptr) observers_.push_back(observer);
   }
 
@@ -134,7 +148,10 @@ class TransactionalProcessScheduler : private SchedulerView {
 
   /// The emitted process schedule (activities, commits, aborts) — the S the
   /// correctness criteria are evaluated on.
-  const ProcessSchedule& history() const { return history_; }
+  const ProcessSchedule& history() const {
+    CheckThread("history");
+    return history_;
+  }
 
   /// Per-process latency record (virtual-time ticks).
   struct ProcessLatency {
@@ -147,11 +164,23 @@ class TransactionalProcessScheduler : private SchedulerView {
 
   /// Latencies of all terminated processes, in termination order. Queueing
   /// delay = started - submitted; service time = terminated - started.
-  const std::vector<ProcessLatency>& latencies() const { return latencies_; }
+  const std::vector<ProcessLatency>& latencies() const {
+    CheckThread("latencies");
+    return latencies_;
+  }
 
   ProcessOutcome OutcomeOf(ProcessId pid) const;
 
-  const SchedulerStats& stats() const { return stats_; }
+  const SchedulerStats& stats() const {
+    CheckThread("stats");
+    return stats_;
+  }
+
+  /// Detaches the single-thread ownership (see the class comment): the
+  /// next thread to call any public entry point becomes the new owner.
+  /// Only meaningful on a quiesced scheduler — the caller must provide the
+  /// happens-before edge of the handoff (thread join, mutex, ...).
+  void ReleaseThreadAffinity() const { affinity_.Release(); }
 
   /// Simulates a scheduler crash: all volatile state (runtimes, history,
   /// serialization graph) is lost. Subsystems and the recovery log survive.
@@ -260,6 +289,10 @@ class TransactionalProcessScheduler : private SchedulerView {
 
   Result<Subsystem*> RouteService(ServiceId service) const;
 
+  void CheckThread(const char* site) const {
+    affinity_.CheckOrDie("TransactionalProcessScheduler", site);
+  }
+
   // Dense runtime table: slot pid.value() - 1 (pids are handed out
   // sequentially from 1; Recover re-creates the original pids).
   ProcessRuntime* FindRuntime(ProcessId pid);
@@ -364,6 +397,9 @@ class TransactionalProcessScheduler : private SchedulerView {
   /// Set by deadlock resolution when every active process is completing
   /// and mutually blocked: lets exactly one blocked recovery step proceed.
   bool force_next_completion_ = false;
+  /// Single-thread ownership detector (see the class comment); mutable
+  /// state, so ownership can bind on a const accessor too.
+  ThreadAffinityGuard affinity_;
   /// The process the force applies to. Deadlock resolution targets the
   /// Lemma-2-correct step — the pending inverse whose original sits latest
   /// in the history — so that forcing never crosses compensation pairs

@@ -161,6 +161,43 @@ struct SchedulerStats {
   /// Proactive ◁-switches to an alternative group avoiding a subsystem
   /// with an open breaker (outage-aware graceful degradation).
   int64_t degraded_switches = 0;
+
+  /// Aggregates another scheduler's stats into this one — the fan-in the
+  /// sharded runtime uses to merge per-shard stats. Every counter is
+  /// additive except virtual_time, which is a makespan and therefore
+  /// merges as the maximum over the shards' clocks (with one shard this is
+  /// the identity, so merged single-shard stats equal the solo run's).
+  void MergeFrom(const SchedulerStats& other) {
+    const int64_t makespan =
+        virtual_time > other.virtual_time ? virtual_time : other.virtual_time;
+    steps += other.steps;
+    virtual_time = makespan;
+    activities_committed += other.activities_committed;
+    failed_invocations += other.failed_invocations;
+    compensations += other.compensations;
+    deferrals += other.deferrals;
+    blocked_by_locks += other.blocked_by_locks;
+    alternatives_taken += other.alternatives_taken;
+    processes_committed += other.processes_committed;
+    processes_aborted += other.processes_aborted;
+    deadlock_victims += other.deadlock_victims;
+    prepared_branches += other.prepared_branches;
+    quasi_commit_admissions += other.quasi_commit_admissions;
+    cascading_aborts += other.cascading_aborts;
+    irrecoverable_cascades += other.irrecoverable_cascades;
+    commit_waits += other.commit_waits;
+    forced_executions += other.forced_executions;
+    certified_violations += other.certified_violations;
+    recovered_log_anomalies += other.recovered_log_anomalies;
+    breaker_trips += other.breaker_trips;
+    deadline_failures += other.deadline_failures;
+    parked_activities += other.parked_activities;
+    resumed_activities += other.resumed_activities;
+    degraded_switches += other.degraded_switches;
+  }
+
+  friend bool operator==(const SchedulerStats&,
+                         const SchedulerStats&) = default;
 };
 
 }  // namespace tpm

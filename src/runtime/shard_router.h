@@ -1,0 +1,46 @@
+#ifndef TPM_RUNTIME_SHARD_ROUTER_H_
+#define TPM_RUNTIME_SHARD_ROUTER_H_
+
+#include "common/status.h"
+#include "core/process.h"
+#include "runtime/conflict_partition.h"
+
+namespace tpm {
+
+/// Maps process definitions onto scheduler shards: a process is pinned to
+/// the unique shard owning its entire service footprint (every service any
+/// of its activities — across all preference groups — or compensations
+/// invokes).
+///
+/// A footprint spanning two shards is a POSITIONED ADMISSION ERROR, not a
+/// routing decision: the partitioner co-locates every pair of conflicting
+/// services (and every declared colocation group), so a spanning footprint
+/// can only mean the caller's spec is inconsistent — the process couples
+/// services the conflict relation and the colocation groups both declare
+/// independent. The fix belongs in the spec (declare the conflict, or
+/// colocate the services), never in the router.
+class ShardRouter {
+ public:
+  /// Both referents must outlive the router.
+  ShardRouter(const ConflictSpec* spec, const ConflictPartition* partition)
+      : spec_(spec), partition_(partition) {}
+
+  /// The shard owning `def`'s footprint. Errors: NotFound for a service
+  /// never registered with the runtime; InvalidArgument, positioned at the
+  /// offending activity (name and service), for a spanning footprint.
+  /// A definition with an empty footprint routes to shard 0.
+  Result<int> RouteProcess(const ProcessDef& def) const;
+
+  /// Shard owning `service`, or -1 if unknown.
+  int ShardOfService(ServiceId service) const {
+    return partition_->ShardOfService(*spec_, service);
+  }
+
+ private:
+  const ConflictSpec* spec_;
+  const ConflictPartition* partition_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_RUNTIME_SHARD_ROUTER_H_

@@ -1,0 +1,418 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/str_util.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/schedule.h"
+
+namespace tpm {
+
+/// Per-shard SchedulerObserver installed on the shard scheduler; fans the
+/// callbacks into the runtime's observer list, tagged with the shard
+/// index. Runs on the shard worker thread; the runtime serializes the
+/// fan-in under observer_mu_ so concurrent shards never interleave inside
+/// a RuntimeObserver.
+class ShardedRuntime::ShardObserverRelay : public SchedulerObserver {
+ public:
+  ShardObserverRelay(ShardedRuntime* runtime, int shard)
+      : runtime_(runtime), shard_(shard) {}
+
+  void OnActivityCommitted(ProcessId pid, ActivityId act,
+                           bool inverse) override {
+    runtime_->RelayEvent([&](RuntimeObserver* o) {
+      o->OnActivityCommitted(shard_, pid, act, inverse);
+    });
+  }
+  void OnInvocationFailed(ProcessId pid, ActivityId act) override {
+    runtime_->RelayEvent(
+        [&](RuntimeObserver* o) { o->OnInvocationFailed(shard_, pid, act); });
+  }
+  void OnAlternativeTaken(ProcessId pid, ActivityId branch_point,
+                          int group) override {
+    runtime_->RelayEvent([&](RuntimeObserver* o) {
+      o->OnAlternativeTaken(shard_, pid, branch_point, group);
+    });
+  }
+  void OnProcessTerminated(ProcessId pid, ProcessOutcome outcome) override {
+    runtime_->RelayEvent([&](RuntimeObserver* o) {
+      o->OnProcessTerminated(shard_, pid, outcome);
+    });
+  }
+
+ private:
+  ShardedRuntime* runtime_;
+  int shard_;
+};
+
+ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions options)
+    : options_(std::move(options)) {}
+
+ShardedRuntime::~ShardedRuntime() { (void)Stop(); }
+
+Status ShardedRuntime::AddSubsystem(Subsystem* subsystem) {
+  if (started_) {
+    return Status::FailedPrecondition("AddSubsystem after Start");
+  }
+  if (subsystem == nullptr) {
+    return Status::InvalidArgument("null subsystem");
+  }
+  for (const Subsystem* existing : subsystems_) {
+    if (existing == subsystem) {
+      return Status::AlreadyExists(
+          StrCat("subsystem '", subsystem->name(), "' already added"));
+    }
+  }
+  // Each service must have exactly one owning subsystem — the partition
+  // assigns whole subsystems to shards by their services.
+  for (ServiceId id : subsystem->services().AllIds()) {
+    for (const Subsystem* existing : subsystems_) {
+      if (existing->services().Has(id)) {
+        return Status::AlreadyExists(
+            StrCat("service ", id.value(), " of subsystem '",
+                   subsystem->name(), "' is already offered by subsystem '",
+                   existing->name(), "'"));
+      }
+    }
+  }
+  subsystems_.push_back(subsystem);
+  return Status::OK();
+}
+
+Status ShardedRuntime::AddConflict(ServiceId a, ServiceId b) {
+  if (started_) {
+    return Status::FailedPrecondition("AddConflict after Start");
+  }
+  extra_conflicts_.emplace_back(a, b);
+  return Status::OK();
+}
+
+Status ShardedRuntime::AddColocation(std::vector<ServiceId> group) {
+  if (started_) {
+    return Status::FailedPrecondition("AddColocation after Start");
+  }
+  if (group.size() < 2) {
+    return Status::InvalidArgument(
+        "a colocation group needs at least two services");
+  }
+  colocations_.push_back(std::move(group));
+  return Status::OK();
+}
+
+Status ShardedRuntime::AddObserver(RuntimeObserver* observer) {
+  if (started_) {
+    return Status::FailedPrecondition("AddObserver after Start");
+  }
+  if (observer == nullptr) {
+    return Status::InvalidArgument("null observer");
+  }
+  observers_.push_back(observer);
+  return Status::OK();
+}
+
+Status ShardedRuntime::Start() {
+  if (started_) return Status::FailedPrecondition("Start called twice");
+  if (options_.num_shards < 1) {
+    return Status::InvalidArgument(
+        StrCat("num_shards must be >= 1, got ", options_.num_shards));
+  }
+  if (options_.log_mode == ShardLogMode::kFile && options_.wal_dir.empty()) {
+    return Status::InvalidArgument("kFile log mode requires wal_dir");
+  }
+
+  // Union conflict spec over all subsystems: every service interned, every
+  // derived (read/write + op-table) conflict declared, plus the explicit
+  // extras. This is the spec the partitioner and router see; each shard's
+  // scheduler re-derives its own local sub-spec from the subsystems
+  // registered with it.
+  union_spec_ = ConflictSpec();
+  for (const Subsystem* subsystem : subsystems_) {
+    subsystem->services().DeriveConflicts(&union_spec_);
+  }
+  for (const auto& [a, b] : extra_conflicts_) {
+    if (union_spec_.IndexOf(a) < 0) {
+      return Status::NotFound(
+          StrCat("AddConflict: service ", a.value(), " not registered"));
+    }
+    if (union_spec_.IndexOf(b) < 0) {
+      return Status::NotFound(
+          StrCat("AddConflict: service ", b.value(), " not registered"));
+    }
+    union_spec_.AddConflict(a, b);
+  }
+
+  // Colocation: each subsystem's services share its store and lock table
+  // and must be invoked by a single worker, so they form an implicit
+  // group; user groups (tenant pinning etc.) are appended after.
+  ColocationGroups groups;
+  for (const Subsystem* subsystem : subsystems_) {
+    std::vector<ServiceId> ids = subsystem->services().AllIds();
+    if (ids.size() >= 2) groups.push_back(std::move(ids));
+  }
+  for (const auto& group : colocations_) {
+    for (ServiceId id : group) {
+      if (union_spec_.IndexOf(id) < 0) {
+        return Status::NotFound(
+            StrCat("AddColocation: service ", id.value(), " not registered"));
+      }
+    }
+    groups.push_back(group);
+  }
+
+  TPM_ASSIGN_OR_RETURN(
+      partition_,
+      ComputeConflictPartition(union_spec_, options_.num_shards, groups));
+  TPM_RETURN_IF_ERROR(VerifyPartition(union_spec_, partition_, groups));
+  router_ = std::make_unique<ShardRouter>(&union_spec_, &partition_);
+
+  if (options_.log_mode == ShardLogMode::kFile) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.wal_dir, ec);
+    if (ec) {
+      return Status::Unavailable(
+          StrCat("cannot create wal_dir '", options_.wal_dir,
+                 "': ", ec.message()));
+    }
+  }
+
+  shards_.clear();
+  relays_.clear();
+  for (int i = 0; i < options_.num_shards; ++i) {
+    RuntimeShard::Options shard_options;
+    shard_options.index = i;
+    shard_options.scheduler = options_.scheduler;
+    shard_options.queue_capacity = options_.queue_capacity;
+    shard_options.backpressure = options_.backpressure;
+    shard_options.mode = options_.mode;
+    shard_options.log_mode = options_.log_mode;
+    if (options_.log_mode == ShardLogMode::kFile) {
+      shard_options.wal_path = (std::filesystem::path(options_.wal_dir) /
+                                StrCat("shard-", i, ".wal"))
+                                   .string();
+    }
+    auto shard = std::make_unique<RuntimeShard>(std::move(shard_options));
+    TPM_RETURN_IF_ERROR(shard->Init());
+    shards_.push_back(std::move(shard));
+  }
+
+  // Register each subsystem with the scheduler of the shard owning its
+  // services (all on one shard — its implicit colocation group).
+  shard_of_subsystem_.clear();
+  for (Subsystem* subsystem : subsystems_) {
+    std::vector<ServiceId> ids = subsystem->services().AllIds();
+    if (ids.empty()) {
+      return Status::InvalidArgument(
+          StrCat("subsystem '", subsystem->name(), "' offers no services"));
+    }
+    const int shard = partition_.ShardOfService(union_spec_, ids.front());
+    if (shard < 0) {
+      return Status::Internal(
+          StrCat("no shard owns service ", ids.front().value()));
+    }
+    TPM_RETURN_IF_ERROR(
+        shards_[shard]->scheduler()->RegisterSubsystem(subsystem));
+    shard_of_subsystem_.push_back(shard);
+  }
+  // Extra conflicts also go to the owning shard's local scheduler spec;
+  // the partition guarantees both endpoints landed on the same shard.
+  for (const auto& [a, b] : extra_conflicts_) {
+    const int shard = partition_.ShardOfService(union_spec_, a);
+    shards_[shard]->scheduler()->AddConflict(a, b);
+  }
+
+  for (int i = 0; i < options_.num_shards; ++i) {
+    relays_.push_back(std::make_unique<ShardObserverRelay>(this, i));
+    shards_[i]->scheduler()->AddObserver(relays_.back().get());
+  }
+
+  for (auto& shard : shards_) shard->Start();
+  started_ = true;
+  return Status::OK();
+}
+
+Result<SubmitTicket> ShardedRuntime::Submit(const ProcessDef* def,
+                                            int64_t param) {
+  if (!started_ || stopped_) {
+    return Status::Unavailable("runtime is not running");
+  }
+  if (def == nullptr) return Status::InvalidArgument("null process def");
+  auto routed = router_->RouteProcess(*def);
+  if (!routed.ok()) {
+    submissions_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return routed.status();
+  }
+  const int shard = *routed;
+
+  Submission submission;
+  submission.def = def;
+  submission.param = param;
+  SubmitTicket ticket;
+  ticket.shard = shard;
+  ticket.pid = submission.result.get_future().share();
+  Status pushed = shards_[shard]->EnqueueSubmission(std::move(submission));
+  if (!pushed.ok()) {
+    submissions_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return pushed;
+  }
+  submissions_accepted_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+Status ShardedRuntime::Tick(int64_t rounds) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("Tick on a runtime that is not running");
+  }
+  if (options_.mode != TickMode::kLockstep) {
+    return Status::FailedPrecondition(
+        "Tick is the lockstep driver; free-running shards self-drive");
+  }
+  Status first_error;
+  for (int64_t round = 0; round < rounds; ++round) {
+    // Barrier semantics: grant round t to every shard, then wait for all
+    // of them — no shard starts t+1 before every shard finished t.
+    for (auto& shard : shards_) shard->GrantTick();
+    for (auto& shard : shards_) {
+      Status status = shard->WaitTickDone();
+      if (!status.ok() && first_error.ok()) first_error = status;
+    }
+    ++lockstep_rounds_;
+    if (!first_error.ok()) return first_error;
+  }
+  return Status::OK();
+}
+
+Status ShardedRuntime::Drain(int64_t max_rounds) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("Drain on a runtime that is not running");
+  }
+  if (options_.mode == TickMode::kLockstep) {
+    for (int64_t round = 0; round < max_rounds; ++round) {
+      bool all_idle = true;
+      for (auto& shard : shards_) {
+        if (!shard->IsIdle()) {
+          all_idle = false;
+          break;
+        }
+      }
+      if (all_idle) return Status::OK();
+      TPM_RETURN_IF_ERROR(Tick(1));
+    }
+    return Status::FailedPrecondition(
+        StrCat("Drain did not quiesce within ", max_rounds,
+               " lockstep rounds"));
+  }
+  Status first_error;
+  for (auto& shard : shards_) {
+    Status status = shard->WaitIdle();
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+Status ShardedRuntime::Recover(
+    const std::map<std::string, const ProcessDef*>& defs_by_name) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition(
+        "Recover on a runtime that is not running");
+  }
+  // Fan the replay out: every shard worker replays its own WAL
+  // concurrently, then self-checks the recovered history. The command runs
+  // on the worker thread, so the scheduler's thread affinity holds.
+  const bool verify = options_.verify_recovery;
+  for (auto& shard : shards_) {
+    TransactionalProcessScheduler* scheduler = shard->scheduler();
+    const int index = shard->index();
+    shard->PostCommand([scheduler, &defs_by_name, verify, index] {
+      Status replayed = scheduler->Recover(defs_by_name);
+      if (!replayed.ok()) {
+        return Status(replayed.code(), StrCat("shard ", index, ": ",
+                                              replayed.message()));
+      }
+      if (!verify) return Status::OK();
+      // Post-recovery self-check, per shard: PRED on the full recovered
+      // history, Proc-REC on its committed projection (the same pair of
+      // criteria the chaos suites assert).
+      TPM_ASSIGN_OR_RETURN(
+          bool pred, IsPRED(scheduler->history(), scheduler->conflict_spec()));
+      if (!pred) {
+        return Status::Internal(
+            StrCat("shard ", index, ": recovered history is not PRED"));
+      }
+      if (!IsProcessRecoverable(CommittedProjection(scheduler->history()),
+                                scheduler->conflict_spec())) {
+        return Status::Internal(
+            StrCat("shard ", index,
+                   ": recovered committed projection is not Proc-REC"));
+      }
+      return Status::OK();
+    });
+  }
+  Status first_error;
+  for (auto& shard : shards_) {
+    Status status = shard->WaitCommandDone();
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+Status ShardedRuntime::Stop() {
+  if (!started_ || stopped_) {
+    stopped_ = started_;
+    return Status::OK();
+  }
+  for (auto& shard : shards_) shard->Stop();
+  stopped_ = true;
+  return Status::OK();
+}
+
+RuntimeStats ShardedRuntime::Stats() const {
+  RuntimeStats stats;
+  for (const auto& shard : shards_) {
+    stats.per_shard.push_back(shard->StatsSnapshot());
+  }
+  for (const SchedulerStats& shard_stats : stats.per_shard) {
+    stats.merged.MergeFrom(shard_stats);
+  }
+  stats.submissions_accepted =
+      submissions_accepted_.load(std::memory_order_relaxed);
+  stats.submissions_rejected =
+      submissions_rejected_.load(std::memory_order_relaxed);
+  stats.lockstep_rounds = lockstep_rounds_;
+  return stats;
+}
+
+TransactionalProcessScheduler* ShardedRuntime::shard_scheduler(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) return nullptr;
+  return shards_[shard]->scheduler();
+}
+
+VirtualClock* ShardedRuntime::shard_clock(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) return nullptr;
+  return shards_[shard]->clock();
+}
+
+RecoveryLog* ShardedRuntime::shard_log(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) return nullptr;
+  return shards_[shard]->log();
+}
+
+int ShardedRuntime::ShardOfSubsystem(const Subsystem* subsystem) const {
+  for (size_t i = 0; i < subsystems_.size(); ++i) {
+    if (subsystems_[i] == subsystem &&
+        i < shard_of_subsystem_.size()) {
+      return shard_of_subsystem_[i];
+    }
+  }
+  return -1;
+}
+
+void ShardedRuntime::RelayEvent(
+    const std::function<void(RuntimeObserver*)>& fn) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  for (RuntimeObserver* observer : observers_) fn(observer);
+}
+
+}  // namespace tpm

@@ -1,0 +1,116 @@
+#ifndef TPM_RUNTIME_SUBMISSION_QUEUE_H_
+#define TPM_RUNTIME_SUBMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace tpm {
+
+class ProcessDef;
+
+/// What a full submission queue does to the next producer.
+enum class BackpressurePolicy {
+  /// Push blocks until the shard worker drains a slot (or the queue
+  /// closes). Suited to free-running shards, where the worker drains
+  /// continuously; in lockstep mode a blocked producer would wait on the
+  /// tick driver, so size the queue for the batch instead.
+  kBlock,
+  /// Push fails immediately with ResourceExhausted; the caller sheds load.
+  kReject,
+};
+
+/// One queued process submission. The worker fulfills `result` with the
+/// shard-local ProcessId once the shard's scheduler admits the process
+/// (or with the admission error).
+struct Submission {
+  const ProcessDef* def = nullptr;
+  int64_t param = 0;
+  std::promise<Result<ProcessId>> result;
+};
+
+/// Bounded multi-producer single-consumer queue between the concurrent
+/// submission front-end and one shard worker. Producers are any threads
+/// calling ShardedRuntime::Submit; the consumer is the shard's worker
+/// thread, which drains in batches at tick boundaries. FIFO: admission
+/// order equals push order, which is what makes lockstep runs replayable.
+class SubmissionQueue {
+ public:
+  explicit SubmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  /// Producer side. On kReject + full: ResourceExhausted. On closed:
+  /// Unavailable (also for producers woken from a kBlock wait by Close).
+  Status Push(Submission submission, BackpressurePolicy policy) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy == BackpressurePolicy::kBlock) {
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return Status::Unavailable("submission queue closed");
+    if (items_.size() >= capacity_) {
+      return Status::ResourceExhausted("submission queue full");
+    }
+    items_.push_back(std::move(submission));
+    return Status::OK();
+  }
+
+  /// Consumer side: removes and returns everything currently queued (FIFO
+  /// order preserved), freeing capacity for blocked producers.
+  std::vector<Submission> DrainAll() {
+    std::vector<Submission> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained.reserve(items_.size());
+      while (!items_.empty()) {
+        drained.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (!drained.empty()) not_full_.notify_all();
+    return drained;
+  }
+
+  /// Rejects all future pushes and wakes blocked producers. Anything
+  /// already queued stays drainable (the worker fails the leftovers'
+  /// promises on shutdown).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<Submission> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_RUNTIME_SUBMISSION_QUEUE_H_

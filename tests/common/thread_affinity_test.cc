@@ -1,0 +1,101 @@
+#include "common/thread_affinity.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/scheduler.h"
+
+namespace tpm {
+namespace {
+
+TEST(ThreadAffinityGuardTest, BindsToFirstCheckingThread) {
+  ThreadAffinityGuard guard;
+  EXPECT_FALSE(guard.bound());
+  EXPECT_TRUE(guard.CheckCurrentThread());  // first check binds
+  EXPECT_TRUE(guard.bound());
+  EXPECT_TRUE(guard.CheckCurrentThread());  // same thread keeps passing
+}
+
+TEST(ThreadAffinityGuardTest, DetectsForeignThread) {
+  ThreadAffinityGuard guard;
+  ASSERT_TRUE(guard.CheckCurrentThread());
+  bool foreign_ok = true;
+  std::thread other([&] { foreign_ok = guard.CheckCurrentThread(); });
+  other.join();
+  EXPECT_FALSE(foreign_ok);
+  // The owner is unchanged by the failed check.
+  EXPECT_TRUE(guard.CheckCurrentThread());
+}
+
+TEST(ThreadAffinityGuardTest, ReleaseAllowsHandoffToAnotherThread) {
+  ThreadAffinityGuard guard;
+  ASSERT_TRUE(guard.CheckCurrentThread());
+  guard.Release();
+  EXPECT_FALSE(guard.bound());
+  bool rebound = false;
+  bool rebound_again = false;
+  std::thread other([&] {
+    rebound = guard.CheckCurrentThread();  // new first-user binds
+    rebound_again = guard.CheckCurrentThread();
+  });
+  other.join();
+  EXPECT_TRUE(rebound);
+  EXPECT_TRUE(rebound_again);
+  // Now this thread is the foreigner.
+  EXPECT_FALSE(guard.CheckCurrentThread());
+}
+
+TEST(ThreadAffinityGuardTest, ConcurrentFirstUseBindsExactlyOneWinner) {
+  // Two threads race the initial bind; exactly one may win, and the winner
+  // keeps passing while the loser fails.
+  for (int round = 0; round < 64; ++round) {
+    ThreadAffinityGuard guard;
+    int passes = 0;
+    std::mutex mu;
+    auto contender = [&] {
+      bool ok = guard.CheckCurrentThread();
+      std::lock_guard<std::mutex> lock(mu);
+      if (ok) ++passes;
+    };
+    std::thread a(contender);
+    std::thread b(contender);
+    a.join();
+    b.join();
+    EXPECT_EQ(passes, 1) << "round " << round;
+  }
+}
+
+TEST(ThreadAffinityGuardTest, SchedulerBindsOnFirstUseAndReleases) {
+  // The scheduler's guard follows the same protocol the sharded runtime
+  // relies on: bind on first public call, Release for a quiesced handoff.
+  TransactionalProcessScheduler scheduler;
+  (void)scheduler.stats();  // first use binds to this thread
+  scheduler.ReleaseThreadAffinity();
+  bool other_thread_ok = false;
+  std::thread other([&] {
+    (void)scheduler.stats();  // rebind on the worker
+    other_thread_ok = true;
+    scheduler.ReleaseThreadAffinity();
+  });
+  other.join();
+  EXPECT_TRUE(other_thread_ok);
+  (void)scheduler.stats();  // handed back
+}
+
+#if defined(GTEST_HAS_DEATH_TEST)
+TEST(ThreadAffinityGuardDeathTest, SchedulerAbortsOnCrossThreadUse) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TransactionalProcessScheduler scheduler;
+  (void)scheduler.stats();  // bind here
+  EXPECT_DEATH(
+      {
+        std::thread other([&] { (void)scheduler.stats(); });
+        other.join();
+      },
+      "single-threaded");
+}
+#endif
+
+}  // namespace
+}  // namespace tpm

@@ -22,7 +22,7 @@
 #include "core/pred.h"
 #include "core/recoverability.h"
 #include "core/scheduler.h"
-#include "integration/committed_projection.h"
+#include "core/schedule.h"
 #include "log/file_backend.h"
 #include "testing/fault_injector.h"
 #include "testing/mini_world.h"
@@ -585,7 +585,7 @@ TEST(FaultInjectionSweep, CombinedWalAndSubsystemFile) {
 // also crashes between the prepare and commit of the ADTs' local
 // transactions. After every crash + recovery: PRED on the full history,
 // Proc-REC on the committed projection (the workload shares hot ADT state,
-// see committed_projection.h), the combined ADT invariants (escrow safety
+// see CommittedProjection in core/schedule.h), the combined ADT invariants (escrow safety
 // envelope, queue token consistency, no negative KV value), and a fresh
 // order probe must still run to commit.
 
@@ -631,7 +631,7 @@ std::string SemanticInvariants(TransactionalProcessScheduler* scheduler,
   } else if (!*pred) {
     failures += " not-PRED:" + scheduler->history().ToString();
   }
-  if (!IsProcessRecoverable(testing::CommittedProjection(scheduler->history()),
+  if (!IsProcessRecoverable(CommittedProjection(scheduler->history()),
                             scheduler->conflict_spec())) {
     failures += " not-ProcREC:" + scheduler->history().ToString();
   }

@@ -28,7 +28,7 @@
 #include "core/scheduler.h"
 #include "log/file_backend.h"
 #include "log/recovery_log.h"
-#include "integration/committed_projection.h"
+#include "core/schedule.h"
 #include "testing/fault_injector.h"
 #include "workload/fault_workload.h"
 #include "workload/semantic_world.h"
@@ -36,7 +36,6 @@
 namespace tpm {
 namespace {
 
-using testing::CommittedProjection;
 using testing::WriteFailingSeed;
 
 int64_t EnvInt(const char* name, int64_t fallback) {
@@ -255,7 +254,7 @@ TEST(SubsystemChaos, SoakSeededOutageSchedulesAcrossBackends) {
 // Unlike the disjoint-key chaos workload above, every process here hammers
 // the SAME counter and queue, so aborted processes routinely conflict-
 // precede committed ones: Proc-REC is checked on the committed projection
-// and PRED on the full history (see committed_projection.h).
+// and PRED on the full history (see CommittedProjection in core/schedule.h).
 //
 // Reproduce failures with:
 //   TPM_CHAOS_SEED_BASE=<seed> TPM_SEMANTIC_CHAOS_SEEDS=1 ctest -R SemanticChaos
