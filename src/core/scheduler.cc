@@ -175,6 +175,64 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
   return pid;
 }
 
+Result<ProcessId> TransactionalProcessScheduler::SubmitHeld(
+    const ProcessDef* def, int64_t param) {
+  TPM_ASSIGN_OR_RETURN(ProcessId pid, Submit(def, param));
+  FindRuntime(pid)->hold_commit = true;
+  ++stats_.spanning_admitted;
+  return pid;
+}
+
+Status TransactionalProcessScheduler::ResolveHeldCommit(ProcessId pid,
+                                                        bool commit) {
+  CheckThread("ResolveHeldCommit");
+  ProcessRuntime* rt = FindRuntime(pid);
+  if (rt == nullptr) {
+    return Status::NotFound(StrCat("no such process: P", pid));
+  }
+  if (!rt->state.IsActive()) {
+    // Already terminal (e.g. aborted before voting, or a duplicate
+    // decision); the coordinator treats this as already-resolved.
+    return Status::NotFound(StrCat("P", pid, " already terminated"));
+  }
+  if (!rt->hold_commit) {
+    return Status::FailedPrecondition(
+        StrCat("P", pid, " is not a held sub-process"));
+  }
+  rt->hold_commit = false;
+  rt->commit_held = false;
+  if (commit) {
+    // The prepared branches release through the normal Lemma-1 machinery
+    // (ReleasePreparedIfUnblocked + Def. 11 commit-wait); the flag keeps
+    // the process off the deadlock-victim list until it commits.
+    rt->decided_commit = true;
+    return Status::OK();
+  }
+  return StartAbort(*rt);
+}
+
+Status TransactionalProcessScheduler::AddExternalOrder(ProcessId before,
+                                                       ProcessId after) {
+  CheckThread("AddExternalOrder");
+  if (FindRuntime(after) == nullptr) {
+    return Status::NotFound(StrCat("no such process: P", after));
+  }
+  sg_.AddEdge(before, after);
+  return Status::OK();
+}
+
+int64_t TransactionalProcessScheduler::held_undecided_count() const {
+  CheckThread("held_undecided_count");
+  int64_t count = 0;
+  for (const auto& rt : runtimes_) {
+    if (rt != nullptr && rt->state.IsActive() &&
+        (rt->hold_commit || rt->decided_commit)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 ProcessOutcome TransactionalProcessScheduler::OutcomeOf(ProcessId pid) const {
   CheckThread("OutcomeOf");
   const ProcessRuntime* rt = FindRuntime(pid);
@@ -359,6 +417,14 @@ Result<bool> TransactionalProcessScheduler::GateCompensation(
         will_undo = e_pos != SIZE_MAX && e_pos > last_noncomp;
       }
     }
+    if (other.commit_held || other.decided_commit) {
+      // A 2PC participant that voted "prepared" (or already received a
+      // commit decision) cannot be unilaterally cascade-aborted — only its
+      // coordinator may abort it. Our compensation waits for the decision
+      // to land; the external coordinator is guaranteed to deliver one.
+      wait = true;
+      continue;
+    }
     if (!other.completing() ||
         other.on_drain == DrainAction::kActivateGroup) {
       // Abort the dependent process (cascading abort, §2.2). A pending
@@ -412,12 +478,19 @@ Result<bool> TransactionalProcessScheduler::ExecuteActivity(ProcessRuntime& rt,
   }
   ServiceRequest request{rt.pid, act, rt.param};
 
+  // A held sub-process of a spanning process force-prepares EVERY
+  // non-compensatable activity, blockers or not: until the cross-shard
+  // coordinator decides, the whole spanning process must stay globally
+  // abortable, and a locally committed pivot would make it not so.
+  // Compensatables commit immediately — they stay undoable via their
+  // inverses, exactly the property the local Lemma 1 deferral relies on.
   const bool defer_commit =
-      options_.protocol == AdmissionProtocol::kPred &&
-      options_.defer_mode == DeferMode::kPrepared2PC &&
-      options_.ablation.lemma1_deferral &&
-      IsNonCompensatable(decl.kind) &&
-      !ActiveBlockers(*this, ViewOf(rt), act).empty();
+      (rt.hold_commit && IsNonCompensatable(decl.kind)) ||
+      (options_.protocol == AdmissionProtocol::kPred &&
+       options_.defer_mode == DeferMode::kPrepared2PC &&
+       options_.ablation.lemma1_deferral &&
+       IsNonCompensatable(decl.kind) &&
+       !ActiveBlockers(*this, ViewOf(rt), act).empty());
 
   guard_->OnExecute(rt.pid, decl.service);
 
@@ -830,6 +903,12 @@ Result<bool> TransactionalProcessScheduler::ExecuteCompletionStep(
 Status TransactionalProcessScheduler::ReleasePreparedIfUnblocked(
     ProcessRuntime& rt) {
   if (rt.prepared.empty()) return Status::OK();
+  if (rt.hold_commit) {
+    // Held sub-process of a spanning process: its prepared branches stay
+    // prepared — blockers gone or not — until the cross-shard coordinator
+    // decides (ResolveHeldCommit clears the flag).
+    return Status::OK();
+  }
   if (rt.release_in_doubt) {
     // The commit decision is logged but some participant was unreachable
     // during phase two. Re-drive it; while still unreachable the process
@@ -992,6 +1071,12 @@ Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
     if (!rt.dependencies.empty()) return false;  // still dormant
   }
   if (rt.ready.empty()) {
+    if (rt.hold_commit) {
+      // Held sub-process of a spanning process: instead of committing
+      // locally, cast (at most once) a durable "prepared" vote and wait
+      // for the cross-shard coordinator's decision.
+      return MaybeVoteHeldCommit(rt);
+    }
     if (!rt.prepared.empty()) {
       return false;  // waiting for prepared release
     }
@@ -1042,7 +1127,77 @@ Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
   return false;
 }
 
+Result<bool> TransactionalProcessScheduler::MaybeVoteHeldCommit(
+    ProcessRuntime& rt) {
+  if (rt.commit_held) return false;  // voted; waiting for the decision
+  // Def. 11 commit-wait applied to the vote: "prepared" fixes this
+  // sub-process's position in the global commit order, so the vote must
+  // not be cast while a conflicting predecessor is still active — this is
+  // what makes the composite (inter-shard weak + intra-shard strong) order
+  // consistent: a sub ordered after another on some shard cannot vote, and
+  // hence the spanning process cannot commit, before that predecessor
+  // terminates.
+  if (options_.protocol != AdmissionProtocol::kUnsafe) {
+    bool wait = false;
+    sg_.ForEachPredecessor(rt.pid, [&](ProcessId p) {
+      if (wait) return;
+      const ProcessRuntime* other = FindRuntime(p);
+      if (other != nullptr && other->state.IsActive()) wait = true;
+    });
+    if (wait) {
+      ++stats_.commit_waits;
+      return false;
+    }
+  }
+  // Durable vote: one HELD record per prepared branch (its subsystem:tx
+  // handle, so recovery can finish phase two), then the vote marker. Only
+  // once the marker is durable may the coordinator learn of the vote — a
+  // crash before the flush is presumed abort.
+  if (log_ != nullptr) {
+    for (const PreparedBranch& b : rt.prepared) {
+      TPM_RETURN_IF_ERROR(log_->Append(
+          {SchedulerLogRecord::Kind::kCommitHeld, rt.pid, b.activity,
+           StrCat(b.subsystem->id().value(), ":", b.tx.value()),
+           b.return_value}));
+    }
+    TPM_RETURN_IF_ERROR(log_->Append(
+        {SchedulerLogRecord::Kind::kCommitHeld, rt.pid, ActivityId(), "", 0}));
+    TPM_RETURN_IF_ERROR(log_->Flush());
+  }
+  rt.commit_held = true;
+  ++stats_.cross_shard_prepares;
+  for (SchedulerObserver* observer : observers_) {
+    observer->OnCommitHeld(rt.pid);
+  }
+  return true;
+}
+
+namespace {
+/// How many consecutive no-progress passes the scheduler tolerates while a
+/// held sub-process is waiting on its coordinator before treating the stall
+/// as a local problem and victimizing a (non-held) process anyway. Normal
+/// cross-shard decision latency is a handful of passes; the patience only
+/// runs out when the stall is really local (e.g. a ◁-tail sub wedged on its
+/// own trunk's prepared locks) or the coordinator died.
+constexpr int64_t kHeldStallPatience = 64;
+}  // namespace
+
 Status TransactionalProcessScheduler::ResolveDeadlock() {
+  // A held sub-process that voted (or was decided) is waiting on an
+  // external coordinator, not on local state: such a pass is external
+  // waiting, not a deadlock. Give the decision bounded (deterministic,
+  // pass-counted) time to arrive before falling through to victimization.
+  bool external_wait = false;
+  for (const auto& rt : runtimes_) {
+    if (rt != nullptr && rt->state.IsActive() &&
+        (rt->commit_held || rt->decided_commit)) {
+      external_wait = true;
+      break;
+    }
+  }
+  if (external_wait && ++held_stall_passes_ < kHeldStallPatience) {
+    return Status::OK();
+  }
   // Pick a victim among active, non-completing processes: prefer processes
   // still in B-REC (cheap backward recovery), then the one with the least
   // committed work to undo, then the youngest.
@@ -1053,6 +1208,11 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
   for (const auto& rt : runtimes_) {
     if (rt == nullptr) continue;
     if (!rt->state.IsActive() || rt->completing()) continue;
+    // A voted or commit-decided 2PC participant cannot unilaterally abort;
+    // only its coordinator may. (A held sub-process that has NOT voted yet
+    // stays victimizable — that is how distributed lock cycles resolve:
+    // the local abort surfaces to the agent, which aborts globally.)
+    if (rt->commit_held || rt->decided_commit) continue;
     if (victim == nullptr) {
       victim = rt.get();
       continue;
@@ -1117,6 +1277,11 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
     if (target != nullptr) {
       force_next_completion_ = true;
       force_completion_target_ = target->pid;
+      return Status::OK();
+    }
+    if (external_wait) {
+      // Everything left is (or waits behind) a held sub-process: progress
+      // will come from the coordinator's decision, not from local action.
       return Status::OK();
     }
     std::string detail;
@@ -1228,6 +1393,7 @@ Result<bool> TransactionalProcessScheduler::Step() {
     // bypass a gate later under changed circumstances. If the stall
     // returns, deadlock resolution recomputes a fresh target.
     force_next_completion_ = false;
+    held_stall_passes_ = 0;
   }
   return true;
 }
@@ -1315,6 +1481,21 @@ Status TransactionalProcessScheduler::Checkpoint() {
                           rt->pid, step.activity, "", 0}});
       }
     }
+    // A held sub-process that already voted keeps its vote across
+    // compaction: dropping the marker (or the subsystem:tx branch handles)
+    // would make a later recovery presume abort against a commit decision
+    // the coordinator may already have logged.
+    if ((rt->commit_held || rt->decided_commit) && !rt->prepared.empty()) {
+      for (const PreparedBranch& b : rt->prepared) {
+        compact.push_back({SchedulerLogRecord::Kind::kCommitHeld, rt->pid,
+                           b.activity,
+                           StrCat(b.subsystem->id().value(), ":",
+                                  b.tx.value()),
+                           b.return_value});
+      }
+      compact.push_back({SchedulerLogRecord::Kind::kCommitHeld, rt->pid,
+                         ActivityId(), "", 0});
+    }
   }
   std::stable_sort(acts.begin(), acts.end(),
                    [](const Positioned& a, const Positioned& b) {
@@ -1337,6 +1518,7 @@ void TransactionalProcessScheduler::Crash() {
   cascade_counted_.clear();
   force_next_completion_ = false;
   parked_this_pass_ = false;
+  held_stall_passes_ = 0;
   // A private clock restarts with the scheduler; a shared clock is global
   // simulation time and keeps running across the crash.
   if (clock_ == &owned_clock_) owned_clock_.Reset();
@@ -1348,19 +1530,25 @@ void TransactionalProcessScheduler::Crash() {
 }
 
 Status TransactionalProcessScheduler::Recover(
-    const std::map<std::string, const ProcessDef*>& defs_by_name) {
+    const std::map<std::string, const ProcessDef*>& defs_by_name,
+    const RecoverDirectives* directives) {
   CheckThread("Recover");
   if (log_ == nullptr) {
     return Status::FailedPrecondition("recovery requires a recovery log");
   }
   Crash();
-  // Presumed abort: prepared branches whose commit was never decided are
-  // rolled back in every subsystem.
-  for (Subsystem* subsystem : subsystems_) {
-    TPM_RETURN_IF_ERROR(subsystem->AbortAllPrepared());
-  }
   TPM_ASSIGN_OR_RETURN(std::vector<SchedulerLogRecord> records,
                        log_->Records());
+
+  // Held-vote bookkeeping reconstructed from HELD records: which processes
+  // durably voted "prepared", and the subsystem:tx handle of each branch.
+  struct HeldBranch {
+    ActivityId activity;
+    int64_t subsystem_id = -1;
+    int64_t tx = -1;
+  };
+  std::set<int64_t> held_voted;
+  std::map<int64_t, std::vector<HeldBranch>> held_branches;
 
   // Rebuild process execution states. Replay is defensive: a crash can
   // legitimately leave records that no longer apply — a write-ahead COMP
@@ -1423,7 +1611,88 @@ Status TransactionalProcessScheduler::Recover(
             ScheduleEvent::Abort(record.pid), /*enforce_legal=*/false));
         break;
       }
+      case SchedulerLogRecord::Kind::kCommitHeld: {
+        if (FindRuntime(record.pid) == nullptr) {
+          ++stats_.recovered_log_anomalies;
+          break;
+        }
+        if (!record.activity.valid()) {
+          // The vote marker: only its durable presence means "voted".
+          held_voted.insert(record.pid.value());
+          break;
+        }
+        const size_t colon = record.def_name.find(':');
+        if (colon == std::string::npos) {
+          ++stats_.recovered_log_anomalies;
+          break;
+        }
+        Result<int64_t> subsystem_id =
+            ParseInt64(record.def_name.substr(0, colon));
+        Result<int64_t> tx = ParseInt64(record.def_name.substr(colon + 1));
+        if (!subsystem_id.ok() || !tx.ok()) {
+          ++stats_.recovered_log_anomalies;
+          break;
+        }
+        held_branches[record.pid.value()].push_back(
+            HeldBranch{record.activity, *subsystem_id, *tx});
+        break;
+      }
     }
+  }
+
+  // Resolve in-doubt spanning sub-processes (Lemma 1 generalized so a
+  // shard is a 2PC participant). A durable vote marker plus a coordinator
+  // commit decision — relayed by the caller through `directives`, keyed by
+  // sub-process definition name — means the spanning process globally
+  // committed: finish phase two for the recorded branches and commit the
+  // sub-process. Voted sub-processes WITHOUT a decision fall through to
+  // presumed abort below; their branches were never released into the
+  // history, so rolling them back leaves nothing to compensate.
+  if (directives != nullptr && !directives->force_commit.empty()) {
+    for (const auto& rt : runtimes_) {
+      if (rt == nullptr || !rt->state.IsActive()) continue;
+      if (held_voted.count(rt->pid.value()) == 0) continue;
+      if (directives->force_commit.count(rt->def->name()) == 0) continue;
+      for (const HeldBranch& b : held_branches[rt->pid.value()]) {
+        if (rt->state.IsCommitted(b.activity)) {
+          continue;  // released and logged before the crash
+        }
+        Subsystem* subsystem = nullptr;
+        for (Subsystem* s : subsystems_) {
+          if (s->id().value() == b.subsystem_id) subsystem = s;
+        }
+        if (subsystem == nullptr) {
+          return Status::NotFound(StrCat(
+              "held branch names unknown subsystem ", b.subsystem_id));
+        }
+        // The branch may have been committed in phase two right before the
+        // crash with its ACT record lost — then CommitPrepared fails and
+        // the effect is already durable, which is exactly the state this
+        // path establishes.
+        (void)subsystem->CommitPrepared(TxId(b.tx));
+        if (!rt->state.RecordCommit(b.activity).ok()) {
+          ++stats_.recovered_log_anomalies;
+          continue;
+        }
+        TPM_RETURN_IF_ERROR(history_.Append(
+            ScheduleEvent::Activity(
+                ActivityInstance{rt->pid, b.activity, false}),
+            /*enforce_legal=*/false));
+        TPM_RETURN_IF_ERROR(
+            log_->Append({SchedulerLogRecord::Kind::kActivityCommitted,
+                          rt->pid, b.activity, "", 0}));
+      }
+      TPM_RETURN_IF_ERROR(FinishProcess(*rt, /*committed=*/true));
+      ++stats_.in_doubt_resolved;
+    }
+  }
+
+  // Presumed abort: prepared branches whose commit was never decided are
+  // rolled back in every subsystem. (After the force-commit pass — replay
+  // itself never touches subsystems, and phase two above must see the
+  // prepared transactions still in place.)
+  for (Subsystem* subsystem : subsystems_) {
+    TPM_RETURN_IF_ERROR(subsystem->AbortAllPrepared());
   }
 
   // Group abort of all in-flight processes (Def. 8 2b): compensations of

@@ -56,6 +56,11 @@ class SchedulerObserver {
   /// The process reached a terminal state.
   virtual void OnProcessTerminated(ProcessId /*pid*/,
                                    ProcessOutcome /*outcome*/) {}
+  /// A held sub-process (SubmitHeld) finished all its work and durably
+  /// voted "prepared": every non-compensatable effect sits in the prepared
+  /// state of its subsystem and the process now waits for the coordination
+  /// agent's global commit/abort decision (ResolveHeldCommit).
+  virtual void OnCommitHeld(ProcessId /*pid*/) {}
   /// A subsystem's circuit breaker changed state (observed once per
   /// scheduling pass — transitions within a pass coalesce/lag one pass).
   virtual void OnBreakerStateChange(SubsystemId /*subsystem*/,
@@ -139,6 +144,37 @@ class TransactionalProcessScheduler : private SchedulerView {
   Result<ProcessId> Submit(const ProcessDef* def, int64_t param = 0,
                            std::vector<ProcessDependency> dependencies = {});
 
+  /// Admits a sub-process of a cross-shard spanning process under the
+  /// held-commit protocol: this scheduler acts as a participant of a
+  /// distributed 2PC whose coordinator is the cross-shard agent. Every
+  /// non-compensatable activity is executed via InvokePrepared (Lemma 1's
+  /// deferred commit, forced regardless of defer_mode) and kept prepared;
+  /// when the process has executed all its work it durably logs a
+  /// "prepared" vote (kCommitHeld records) and parks until
+  /// ResolveHeldCommit delivers the global decision. Compensatable
+  /// activities commit locally as usual — they stay globally abortable
+  /// through compensation.
+  Result<ProcessId> SubmitHeld(const ProcessDef* def, int64_t param = 0);
+
+  /// Delivers the coordinator's decision for a held process. `commit`
+  /// releases the prepared branches through the normal Lemma-1 2PC path
+  /// and lets the process commit; otherwise the process aborts (prepared
+  /// branches roll back invisibly, committed compensatables compensate).
+  /// A process that already terminated (e.g. aborted before voting) is
+  /// reported via NotFound; the caller treats that as already-resolved.
+  Status ResolveHeldCommit(ProcessId pid, bool commit);
+
+  /// External order constraint hook for the cross-shard agent: embeds the
+  /// agent-imposed inter-shard order `before` << `after` into the local
+  /// serialization graph, so SGT admission and the Def. 11 commit-wait
+  /// respect it without this scheduler knowing about other shards.
+  Status AddExternalOrder(ProcessId before, ProcessId after);
+
+  /// Held processes that voted but have not yet received a decision —
+  /// they are externally in flight (the runtime's idle accounting must
+  /// treat them as busy).
+  int64_t held_undecided_count() const;
+
   /// Executes one scheduling pass over all active processes. Returns true
   /// while work remains.
   Result<bool> Step();
@@ -201,7 +237,16 @@ class TransactionalProcessScheduler : private SchedulerView {
   /// the price of asynchronous logging — and superseded write-ahead COMP
   /// intentions replay as duplicates, which are skipped and counted in
   /// stats().recovered_log_anomalies.
-  Status Recover(const std::map<std::string, const ProcessDef*>& defs_by_name);
+  /// Cross-shard recovery directives: sub-process definition names whose
+  /// held (voted-prepared) branches must be force-committed during Recover
+  /// because the coordinator log carries a durable global commit decision.
+  /// Everything held but not listed here is presumed aborted.
+  struct RecoverDirectives {
+    std::set<std::string> force_commit;
+  };
+
+  Status Recover(const std::map<std::string, const ProcessDef*>& defs_by_name,
+                 const RecoverDirectives* directives = nullptr);
 
   /// Log compaction: atomically rewrites the recovery log to the minimal
   /// set of records describing the current in-flight processes (terminated
@@ -257,6 +302,19 @@ class TransactionalProcessScheduler : private SchedulerView {
     /// (it must not execute, abort, or be victimized meanwhile — the
     /// decision is already made).
     bool release_in_doubt = false;
+    /// Held-commit protocol (SubmitHeld): the process is a participant of
+    /// a cross-shard 2PC. All non-compensatables are force-prepared and
+    /// retained; after the last activity the process votes instead of
+    /// committing.
+    bool hold_commit = false;
+    /// The prepared vote has been durably logged; the process is parked
+    /// waiting for ResolveHeldCommit. Not locally abortable (a participant
+    /// that voted "prepared" cannot unilaterally abort).
+    bool commit_held = false;
+    /// The coordinator decided commit: the prepared branches release
+    /// through the normal machinery and the process must reach commit —
+    /// it is no longer a deadlock victim candidate.
+    bool decided_commit = false;
     /// True once the process executed (or prepared) its first activity —
     /// it then holds one of the concurrency slots.
     bool started = false;
@@ -306,6 +364,7 @@ class TransactionalProcessScheduler : private SchedulerView {
 
   // Execution steps.
   Result<bool> TryExecuteProcess(ProcessRuntime& rt);
+  Result<bool> MaybeVoteHeldCommit(ProcessRuntime& rt);
   Result<bool> ExecuteActivity(ProcessRuntime& rt, ActivityId act);
   Result<bool> ExecuteCompletionStep(ProcessRuntime& rt);
   Status HandleInvocationAbort(ProcessRuntime& rt, ActivityId act);
@@ -394,6 +453,10 @@ class TransactionalProcessScheduler : private SchedulerView {
   bool parked_this_pass_ = false;
   /// Monotone counter of StartAbort calls, used for progress detection.
   int64_t aborts_started_ = 0;
+  /// Consecutive no-progress passes while a voted/decided held sub-process
+  /// is waiting on its cross-shard coordinator (see kHeldStallPatience in
+  /// ResolveDeadlock). Reset whenever a pass makes progress.
+  int64_t held_stall_passes_ = 0;
   /// Set by deadlock resolution when every active process is completing
   /// and mutually blocked: lets exactly one blocked recovery step proceed.
   bool force_next_completion_ = false;

@@ -161,6 +161,17 @@ struct SchedulerStats {
   /// Proactive ◁-switches to an alternative group avoiding a subsystem
   /// with an open breaker (outage-aware graceful degradation).
   int64_t degraded_switches = 0;
+  /// Cross-shard layer: sub-processes of spanning processes admitted on
+  /// this scheduler with the held-commit (distributed 2PC participant)
+  /// protocol.
+  int64_t spanning_admitted = 0;
+  /// Durable "prepared" votes this scheduler cast as a 2PC participant —
+  /// one per held sub-process reaching its vote point (Lemma 1 generalized
+  /// so a shard is a participant).
+  int64_t cross_shard_prepares = 0;
+  /// In-doubt held sub-processes force-committed during Recover because
+  /// the coordinator log carried a durable commit decision.
+  int64_t in_doubt_resolved = 0;
 
   /// Aggregates another scheduler's stats into this one — the fan-in the
   /// sharded runtime uses to merge per-shard stats. Every counter is
@@ -194,6 +205,9 @@ struct SchedulerStats {
     parked_activities += other.parked_activities;
     resumed_activities += other.resumed_activities;
     degraded_switches += other.degraded_switches;
+    spanning_admitted += other.spanning_admitted;
+    cross_shard_prepares += other.cross_shard_prepares;
+    in_doubt_resolved += other.in_doubt_resolved;
   }
 
   friend bool operator==(const SchedulerStats&,

@@ -18,6 +18,8 @@ const char* KindToken(SchedulerLogRecord::Kind kind) {
       return "COMMIT";
     case SchedulerLogRecord::Kind::kProcessAborted:
       return "ABORT";
+    case SchedulerLogRecord::Kind::kCommitHeld:
+      return "HELD";
   }
   return "?";
 }
@@ -28,6 +30,7 @@ Result<SchedulerLogRecord::Kind> ParseKind(const std::string& token) {
   if (token == "COMP") return SchedulerLogRecord::Kind::kActivityCompensated;
   if (token == "COMMIT") return SchedulerLogRecord::Kind::kProcessCommitted;
   if (token == "ABORT") return SchedulerLogRecord::Kind::kProcessAborted;
+  if (token == "HELD") return SchedulerLogRecord::Kind::kCommitHeld;
   return Status::InvalidArgument(StrCat("unknown log record kind: ", token));
 }
 

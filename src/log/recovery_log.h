@@ -21,6 +21,15 @@ struct SchedulerLogRecord {
     kActivityCompensated, // compensating activity executed
     kProcessCommitted,    // C_i
     kProcessAborted,      // A_i (its completion has been fully executed)
+    /// Cross-shard prepare vote (Lemma 1 generalized to shards): one record
+    /// per still-prepared branch of a held sub-process, with
+    /// def_name = "<subsystem_id>:<tx_id>" and param = the branch's return
+    /// value, followed by a vote-marker record carrying an invalid
+    /// activity id. The marker's durable presence means the sub-process
+    /// voted "prepared"; recovery force-commits the recorded branches iff
+    /// the coordinator log holds a commit decision for the spanning
+    /// process, and presumes abort otherwise.
+    kCommitHeld,
   };
 
   Kind kind = Kind::kProcessBegin;

@@ -1,0 +1,256 @@
+#include "runtime/global_projection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+namespace {
+
+/// One shard-local process in the merge.
+struct LocalProcess {
+  const SpanSubProjection* span = nullptr;  // null: not a spanning slice
+  ProcessId global_pid;
+  int64_t forward_total = 0;     // kActivity events with inverse == false
+  int64_t forward_consumed = 0;
+  bool committed = false;        // has a Commit terminal in its history
+  bool terminal_consumed = false;
+  bool terminal_commit = false;
+};
+
+/// One spanning process (gsn) across all shards.
+struct SpanInstance {
+  ProcessId global_pid;
+  int slices = 0;            // slices present in some history
+  int terminals = 0;         // slice terminals consumed so far
+  int committed_slices = 0;
+  bool terminal_emitted = false;
+};
+
+}  // namespace
+
+Result<ProcessSchedule> MergeGlobalProjection(
+    const std::vector<const ProcessSchedule*>& shard_histories,
+    const std::map<std::string, SpanSubProjection>& spans) {
+  ProcessSchedule global;
+
+  // --- Index every local process; assign global pids (shards ascending,
+  // local pids ascending — deterministic).
+  std::map<std::pair<int, int64_t>, LocalProcess> locals;
+  std::map<int64_t, SpanInstance> span_instances;  // by gsn
+  // sub-definition name -> (shard, pid), to evaluate forward_preds.
+  std::map<std::string, std::pair<int, int64_t>> slice_of_name;
+  int64_t next_pid = 1;
+  for (size_t shard = 0; shard < shard_histories.size(); ++shard) {
+    const ProcessSchedule& history = *shard_histories[shard];
+    for (const auto& [pid, def] : history.processes()) {
+      LocalProcess local;
+      auto span = spans.find(def->name());
+      if (span != spans.end()) {
+        local.span = &span->second;
+        SpanInstance& instance = span_instances[span->second.gsn];
+        if (instance.slices == 0) {
+          instance.global_pid = ProcessId(next_pid++);
+          TPM_RETURN_IF_ERROR(
+              global.AddProcess(instance.global_pid, span->second.original));
+        }
+        ++instance.slices;
+        local.global_pid = instance.global_pid;
+        slice_of_name[def->name()] = {static_cast<int>(shard), pid.value()};
+      } else {
+        local.global_pid = ProcessId(next_pid++);
+        TPM_RETURN_IF_ERROR(global.AddProcess(local.global_pid, def));
+      }
+      locals[{static_cast<int>(shard), pid.value()}] = local;
+    }
+    for (const ScheduleEvent& event : history.events()) {
+      if (event.type == EventType::kActivity && !event.act.inverse) {
+        ++locals[{static_cast<int>(shard), event.act.process.value()}]
+              .forward_total;
+      } else if (event.type == EventType::kCommit) {
+        locals[{static_cast<int>(shard), event.process.value()}].committed =
+            true;
+      }
+    }
+  }
+
+  // A slice's events are enabled once every skeleton predecessor present
+  // in some history has all its forward events merged.
+  auto slice_enabled = [&](const LocalProcess& local) {
+    // Aborted slices are effect-free (their forward work is compensated)
+    // and induce no conflicts, so they need no cross-shard ordering; after
+    // a crash their terminals can also arrive in per-shard orders no
+    // global decision sequence explains — gating them would wedge.
+    if (local.span == nullptr || !local.committed) return true;
+    for (const std::string& pred : local.span->forward_preds) {
+      auto found = slice_of_name.find(pred);
+      if (found == slice_of_name.end()) continue;  // never submitted
+      const LocalProcess& p = locals.at(found->second);
+      if (p.forward_consumed < p.forward_total) return false;
+    }
+    return true;
+  };
+  auto event_enabled = [&](int shard, const ScheduleEvent& event) {
+    switch (event.type) {
+      case EventType::kActivity:
+        return slice_enabled(locals.at({shard, event.act.process.value()}));
+      case EventType::kCommit:
+      case EventType::kAbort:
+        return slice_enabled(locals.at({shard, event.process.value()}));
+      case EventType::kGroupAbort:
+        for (ProcessId pid : event.group) {
+          if (!slice_enabled(locals.at({shard, pid.value()}))) return false;
+        }
+        return true;
+    }
+    return true;
+  };
+
+  // Consume a slice terminal; emit the single global terminal when the
+  // last slice of the span terminated.
+  auto consume_span_terminal = [&](LocalProcess& local,
+                                   bool committed) -> Status {
+    local.terminal_consumed = true;
+    local.terminal_commit = committed;
+    SpanInstance& instance = span_instances.at(local.span->gsn);
+    ++instance.terminals;
+    if (committed) ++instance.committed_slices;
+    if (instance.terminals < instance.slices || instance.terminal_emitted) {
+      return Status::OK();
+    }
+    instance.terminal_emitted = true;
+    if (instance.committed_slices != 0 &&
+        instance.committed_slices != instance.slices) {
+      return Status::Internal(StrCat(
+          "spanning process g", local.span->gsn, " is half-committed: ",
+          instance.committed_slices, " of ", instance.slices,
+          " slices committed — cross-shard atomicity violated"));
+    }
+    const ScheduleEvent terminal =
+        instance.committed_slices == instance.slices
+            ? ScheduleEvent::Commit(instance.global_pid)
+            : ScheduleEvent::Abort(instance.global_pid);
+    return global.Append(terminal, /*enforce_legal=*/false);
+  };
+
+  // Commit-order barriers: once a shard's history passes a slice terminal,
+  // everything after it was locally ordered AFTER that slice's commit (or
+  // abort). The merged history must keep that order against the span's
+  // single global terminal, which is only emitted at the LAST slice — so
+  // the shard stalls here until the span's global terminal is out.
+  // Terminals reach shards in coordinator decision order, so the barrier
+  // graph is acyclic for histories an actual run can produce.
+  std::vector<std::vector<int64_t>> barriers(shard_histories.size());
+  auto barred = [&](size_t shard) {
+    auto& pending = barriers[shard];
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [&](int64_t gsn) {
+                                   return span_instances.at(gsn)
+                                       .terminal_emitted;
+                                 }),
+                  pending.end());
+    return !pending.empty();
+  };
+
+  std::vector<size_t> cursor(shard_histories.size(), 0);
+  for (;;) {
+    bool all_done = true;
+    bool advanced = false;
+    for (size_t shard = 0; shard < shard_histories.size(); ++shard) {
+      const auto& events = shard_histories[shard]->events();
+      if (cursor[shard] >= events.size()) continue;
+      all_done = false;
+      if (barred(shard)) continue;
+      const ScheduleEvent& event = events[cursor[shard]];
+      if (!event_enabled(static_cast<int>(shard), event)) continue;
+      ++cursor[shard];
+      advanced = true;
+      switch (event.type) {
+        case EventType::kActivity: {
+          LocalProcess& local =
+              locals.at({static_cast<int>(shard), event.act.process.value()});
+          if (!event.act.inverse) ++local.forward_consumed;
+          ScheduleEvent mapped = event;
+          mapped.act.process = local.global_pid;
+          mapped.process = local.global_pid;
+          if (local.span != nullptr) {
+            auto original = local.span->to_original.find(event.act.activity);
+            if (original == local.span->to_original.end()) {
+              return Status::Internal(
+                  StrCat("spanning slice activity a", event.act.activity,
+                         " has no original mapping (gsn ", local.span->gsn,
+                         ")"));
+            }
+            mapped.act.activity = original->second;
+          }
+          TPM_RETURN_IF_ERROR(global.Append(mapped, /*enforce_legal=*/false));
+          break;
+        }
+        case EventType::kCommit:
+        case EventType::kAbort: {
+          LocalProcess& local =
+              locals.at({static_cast<int>(shard), event.process.value()});
+          if (local.span != nullptr) {
+            TPM_RETURN_IF_ERROR(consume_span_terminal(
+                local, event.type == EventType::kCommit));
+            // Commit-order barrier — commits only: aborted spans have no
+            // global C to order against, and post-crash abort terminals
+            // carry no decision order.
+            if (event.type == EventType::kCommit &&
+                !span_instances.at(local.span->gsn).terminal_emitted) {
+              barriers[shard].push_back(local.span->gsn);
+            }
+            break;
+          }
+          ScheduleEvent mapped = event;
+          mapped.process = local.global_pid;
+          TPM_RETURN_IF_ERROR(global.Append(mapped, /*enforce_legal=*/false));
+          break;
+        }
+        case EventType::kGroupAbort: {
+          // Spanning slices leave the group marker (their terminal is the
+          // global one); the rest of the group is remapped verbatim.
+          std::vector<ProcessId> remapped;
+          for (ProcessId pid : event.group) {
+            LocalProcess& local =
+                locals.at({static_cast<int>(shard), pid.value()});
+            if (local.span != nullptr) {
+              TPM_RETURN_IF_ERROR(
+                  consume_span_terminal(local, /*committed=*/false));
+            } else {
+              remapped.push_back(local.global_pid);
+            }
+          }
+          if (!remapped.empty()) {
+            TPM_RETURN_IF_ERROR(
+                global.Append(ScheduleEvent::GroupAbort(std::move(remapped)),
+                              /*enforce_legal=*/false));
+          }
+          break;
+        }
+      }
+      break;  // restart at shard 0: lowest enabled shard goes first
+    }
+    if (all_done) break;
+    if (!advanced) {
+      std::vector<std::string> stuck;
+      for (size_t shard = 0; shard < shard_histories.size(); ++shard) {
+        if (cursor[shard] < shard_histories[shard]->events().size()) {
+          stuck.push_back(StrCat(
+              "shard ", shard, " at ",
+              shard_histories[shard]->events()[cursor[shard]].ToString()));
+        }
+      }
+      return Status::Internal(
+          StrCat("global projection merge wedged — a slice emitted events "
+                 "before its skeleton predecessors finished (cross-shard "
+                 "order violation): ",
+                 StrJoin(stuck, "; ")));
+    }
+  }
+  return global;
+}
+
+}  // namespace tpm

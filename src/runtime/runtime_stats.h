@@ -23,6 +23,13 @@ struct RuntimeStats {
   int64_t submissions_rejected = 0;
   /// Lockstep tick rounds driven so far (0 in free-running mode).
   int64_t lockstep_rounds = 0;
+  /// Cross-shard coordination agent counters: spanning processes begun
+  /// (SBEGIN logged) and terminally decided either way. The per-shard 2PC
+  /// view (votes, force-commits) lives in the merged scheduler counters
+  /// (spanning_admitted / cross_shard_prepares / in_doubt_resolved).
+  int64_t spans_begun = 0;
+  int64_t spans_committed = 0;
+  int64_t spans_aborted = 0;
 };
 
 }  // namespace tpm

@@ -56,6 +56,14 @@ Status RuntimeShard::EnqueueSubmission(Submission submission) {
   return Status::OK();
 }
 
+void RuntimeShard::PostAgentOp(std::function<void()> op) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    agent_ops_.push_back(std::move(op));
+  }
+  cv_worker_.notify_all();
+}
+
 void RuntimeShard::GrantTick() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -94,15 +102,15 @@ Status RuntimeShard::WaitCommandDone() {
 Status RuntimeShard::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_client_.wait(lock, [&] {
-    return (!busy_ && !has_work_ && queue_.empty()) || !error_.ok() ||
-           stopped_;
+    return (!busy_ && !has_work_ && queue_.empty() && agent_ops_.empty()) ||
+           !error_.ok() || stopped_;
   });
   return error_;
 }
 
 bool RuntimeShard::IsIdle() {
   std::lock_guard<std::mutex> lock(mu_);
-  return !busy_ && !has_work_ && queue_.empty();
+  return !busy_ && !has_work_ && queue_.empty() && agent_ops_.empty();
 }
 
 SchedulerStats RuntimeShard::StatsSnapshot() const {
@@ -146,6 +154,15 @@ void RuntimeShard::PublishStats() {
 }
 
 bool RuntimeShard::RunOnePass(bool had_work) {
+  // Agent ops first: they may submit sub-processes or release held
+  // commits, and the pass below should see their effects. Run outside
+  // mu_ (they take the agent's lock; the agent may post to other shards).
+  std::deque<std::function<void()>> ops;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops.swap(agent_ops_);
+  }
+  for (std::function<void()>& op : ops) op();
   std::vector<Submission> submissions = queue_.DrainAll();
   bool admitted = false;
   for (Submission& submission : submissions) {
@@ -154,7 +171,7 @@ bool RuntimeShard::RunOnePass(bool had_work) {
     admitted = admitted || pid.ok();
     submission.result.set_value(std::move(pid));
   }
-  bool has_work = had_work || admitted;
+  bool has_work = had_work || admitted || !ops.empty();
   if (has_work) {
     Result<bool> more = scheduler_->Step();
     if (!more.ok()) {
@@ -177,7 +194,7 @@ void RuntimeShard::WorkerLoop() {
       if (options_.mode == TickMode::kLockstep) {
         return ticks_granted_ > ticks_done_;
       }
-      return has_work_ || !queue_.empty();
+      return has_work_ || !queue_.empty() || !agent_ops_.empty();
     });
     if (command_ != nullptr) {
       std::function<Status()> command = std::move(command_);

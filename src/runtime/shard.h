@@ -2,6 +2,7 @@
 #define TPM_RUNTIME_SHARD_H_
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,16 @@ class RuntimeShard {
   /// backpressure policy. Wakes the worker.
   Status EnqueueSubmission(Submission submission);
 
+  /// Queues a closure the worker runs at the start of its next pass,
+  /// before draining submissions — the cross-shard agent's channel for
+  /// scheduler calls (submit a sub-process, resolve a held commit) that
+  /// must execute on the owning worker thread. FIFO per shard; ops count
+  /// as work (the shard is not idle while one is pending). Wakes the
+  /// worker. The closure runs outside the shard mutex, so it may take the
+  /// agent's lock; never post from the posting shard's own op (reentrant
+  /// FIFO is fine, self-deadlock is not an issue since ops only append).
+  void PostAgentOp(std::function<void()> op);
+
   /// Lockstep driver protocol: grant one round, then wait for its
   /// completion. WaitTickDone returns the shard's sticky error, if any.
   void GrantTick();
@@ -144,6 +155,7 @@ class RuntimeShard {
   bool busy_ = false;
   int64_t ticks_granted_ = 0;
   int64_t ticks_done_ = 0;
+  std::deque<std::function<void()>> agent_ops_;
   std::function<Status()> command_;
   bool command_done_ = false;
   Status command_status_;

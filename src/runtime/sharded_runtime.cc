@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "common/str_util.h"
@@ -38,9 +39,18 @@ class ShardedRuntime::ShardObserverRelay : public SchedulerObserver {
     });
   }
   void OnProcessTerminated(ProcessId pid, ProcessOutcome outcome) override {
+    // Agent first, outside observer_mu_ (lock order: agent mutex is never
+    // taken under the relay mutex — the agent's inline handling can call
+    // back into shards).
+    runtime_->NotifyAgentTerminated(shard_, pid, outcome);
     runtime_->RelayEvent([&](RuntimeObserver* o) {
       o->OnProcessTerminated(shard_, pid, outcome);
     });
+  }
+  void OnCommitHeld(ProcessId pid) override {
+    runtime_->NotifyAgentCommitHeld(shard_, pid);
+    runtime_->RelayEvent(
+        [&](RuntimeObserver* o) { o->OnCommitHeld(shard_, pid); });
   }
 
  private:
@@ -228,6 +238,21 @@ Status ShardedRuntime::Start() {
     shards_[i]->scheduler()->AddObserver(relays_.back().get());
   }
 
+  // The coordination agent for spanning processes, with its own WAL
+  // stream beside the shard WALs.
+  CrossShardAgent::Options agent_options;
+  agent_options.mode = options_.mode;
+  agent_options.span_order = options_.span_order;
+  agent_options.log_mode = options_.log_mode;
+  if (options_.log_mode == ShardLogMode::kFile) {
+    agent_options.wal_path =
+        (std::filesystem::path(options_.wal_dir) / "coordinator.wal").string();
+  }
+  agent_options.crash_listener = options_.coordinator_crash_listener;
+  agent_ = std::make_unique<CrossShardAgent>(std::move(agent_options),
+                                             router_.get(), &shards_);
+  TPM_RETURN_IF_ERROR(agent_->Init());
+
   for (auto& shard : shards_) shard->Start();
   started_ = true;
   return Status::OK();
@@ -239,12 +264,21 @@ Result<SubmitTicket> ShardedRuntime::Submit(const ProcessDef* def,
     return Status::Unavailable("runtime is not running");
   }
   if (def == nullptr) return Status::InvalidArgument("null process def");
-  auto routed = router_->RouteProcess(*def);
-  if (!routed.ok()) {
+  RouterDecision decision = router_->Decide(*def);
+  if (decision.kind == RouteKind::kRejected) {
     submissions_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return routed.status();
+    return decision.error;
   }
-  const int shard = *routed;
+  if (decision.kind == RouteKind::kSplit) {
+    Result<SubmitTicket> ticket = agent_->Begin(def, param);
+    if (!ticket.ok()) {
+      submissions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ticket;
+    }
+    submissions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    return ticket;
+  }
+  const int shard = decision.shard;
 
   Submission submission;
   submission.def = def;
@@ -279,6 +313,9 @@ Status ShardedRuntime::Tick(int64_t rounds) {
       if (!status.ok() && first_error.ok()) first_error = status;
     }
     ++lockstep_rounds_;
+    // Deterministic agent turn: relay the round's queued shard events
+    // (votes, terminals) and let the agent post its ops for round t+1.
+    agent_->Pump();
     if (!first_error.ok()) return first_error;
   }
   return Status::OK();
@@ -290,6 +327,7 @@ Status ShardedRuntime::Drain(int64_t max_rounds) {
   }
   if (options_.mode == TickMode::kLockstep) {
     for (int64_t round = 0; round < max_rounds; ++round) {
+      agent_->Pump();
       bool all_idle = true;
       for (auto& shard : shards_) {
         if (!shard->IsIdle()) {
@@ -297,19 +335,37 @@ Status ShardedRuntime::Drain(int64_t max_rounds) {
           break;
         }
       }
-      if (all_idle) return Status::OK();
+      if (all_idle) {
+        // A spanning process parked on a remote shard's prepare is BUSY,
+        // not idle: quiescence additionally requires the agent drained.
+        if (agent_->InFlightCount() == 0) return Status::OK();
+        // Shards idle with spans in flight: either the agent's mailbox
+        // still holds the resolving events (pumped next iteration) or the
+        // coordinator failed sticky — surface that instead of spinning.
+        TPM_RETURN_IF_ERROR(agent_->status());
+      }
       TPM_RETURN_IF_ERROR(Tick(1));
     }
     return Status::FailedPrecondition(
         StrCat("Drain did not quiesce within ", max_rounds,
                " lockstep rounds"));
   }
-  Status first_error;
-  for (auto& shard : shards_) {
-    Status status = shard->WaitIdle();
-    if (!status.ok() && first_error.ok()) first_error = status;
+  for (;;) {
+    Status first_error;
+    for (auto& shard : shards_) {
+      Status status = shard->WaitIdle();
+      if (!status.ok() && first_error.ok()) first_error = status;
+    }
+    if (!first_error.ok()) return first_error;
+    // Shards idle but spans in flight: the agent is between posting ops
+    // (a submission or a commit-release not yet picked up) — re-wait. A
+    // sticky coordinator failure instead parks the held sub-processes
+    // forever, so report it rather than block on idleness that cannot
+    // come.
+    if (agent_->InFlightCount() == 0) return Status::OK();
+    TPM_RETURN_IF_ERROR(agent_->status());
+    std::this_thread::yield();
   }
-  return first_error;
 }
 
 Status ShardedRuntime::Recover(
@@ -318,6 +374,19 @@ Status ShardedRuntime::Recover(
     return Status::FailedPrecondition(
         "Recover on a runtime that is not running");
   }
+  // Coordinator log first: regenerate the sub-definitions of every
+  // spanning process it references and collect the force-commit
+  // directives for durably decided commits. The shard replays then treat
+  // a directed in-doubt vote as committed and group-abort the rest.
+  std::map<std::string, const ProcessDef*> all_defs = defs_by_name;
+  TransactionalProcessScheduler::RecoverDirectives directives;
+  std::map<std::string, SpanSubProjection> span_info;
+  TPM_ASSIGN_OR_RETURN(CrossShardAgent::SpanRecoveryPlan span_plan,
+                       agent_->RecoverScan(defs_by_name));
+  for (const auto& [name, def] : span_plan.sub_defs) all_defs[name] = def;
+  directives = std::move(span_plan.directives);
+  span_info = agent_->ProjectionInfo();
+
   // Fan the replay out: every shard worker replays its own WAL
   // concurrently, then self-checks the recovered history. The command runs
   // on the worker thread, so the scheduler's thread affinity holds.
@@ -325,8 +394,8 @@ Status ShardedRuntime::Recover(
   for (auto& shard : shards_) {
     TransactionalProcessScheduler* scheduler = shard->scheduler();
     const int index = shard->index();
-    shard->PostCommand([scheduler, &defs_by_name, verify, index] {
-      Status replayed = scheduler->Recover(defs_by_name);
+    shard->PostCommand([scheduler, &all_defs, &directives, verify, index] {
+      Status replayed = scheduler->Recover(all_defs, &directives);
       if (!replayed.ok()) {
         return Status(replayed.code(), StrCat("shard ", index, ": ",
                                               replayed.message()));
@@ -355,7 +424,47 @@ Status ShardedRuntime::Recover(
     Status status = shard->WaitCommandDone();
     if (!status.ok() && first_error.ok()) first_error = status;
   }
-  return first_error;
+  TPM_RETURN_IF_ERROR(first_error);
+  // Presumed abort, made durable: every spanning process without a
+  // decision record is now decided aborted (its votes were just rolled
+  // back by the shard replays).
+  TPM_RETURN_IF_ERROR(agent_->FinishRecovery());
+  if (!verify || span_info.empty()) return Status::OK();
+
+  // The global assertion (DESIGN.md §4h): merge the per-shard recovery
+  // histories — reassembling every spanning process into one global
+  // process, which is exactly where a half-committed span would surface —
+  // and check PRED + Proc-REC on the union spec.
+  std::vector<ProcessSchedule> histories(shards_.size());
+  for (auto& shard : shards_) {
+    TransactionalProcessScheduler* scheduler = shard->scheduler();
+    ProcessSchedule* slot = &histories[static_cast<size_t>(shard->index())];
+    shard->PostCommand([scheduler, slot] {
+      *slot = scheduler->history();
+      return Status::OK();
+    });
+  }
+  for (auto& shard : shards_) {
+    Status status = shard->WaitCommandDone();
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  TPM_RETURN_IF_ERROR(first_error);
+  std::vector<const ProcessSchedule*> history_ptrs;
+  history_ptrs.reserve(histories.size());
+  for (const ProcessSchedule& history : histories) {
+    history_ptrs.push_back(&history);
+  }
+  TPM_ASSIGN_OR_RETURN(ProcessSchedule global,
+                       MergeGlobalProjection(history_ptrs, span_info));
+  TPM_ASSIGN_OR_RETURN(bool pred, IsPRED(global, union_spec_));
+  if (!pred) {
+    return Status::Internal("global recovered history is not PRED");
+  }
+  if (!IsProcessRecoverable(CommittedProjection(global), union_spec_)) {
+    return Status::Internal(
+        "global recovered committed projection is not Proc-REC");
+  }
+  return Status::OK();
 }
 
 Status ShardedRuntime::Stop() {
@@ -364,6 +473,9 @@ Status ShardedRuntime::Stop() {
     return Status::OK();
   }
   for (auto& shard : shards_) shard->Stop();
+  // After the workers: pending agent ops died with them; fail the spans
+  // whose first sub-process never got admitted.
+  if (agent_ != nullptr) agent_->Shutdown();
   stopped_ = true;
   return Status::OK();
 }
@@ -381,6 +493,11 @@ RuntimeStats ShardedRuntime::Stats() const {
   stats.submissions_rejected =
       submissions_rejected_.load(std::memory_order_relaxed);
   stats.lockstep_rounds = lockstep_rounds_;
+  if (agent_ != nullptr) {
+    stats.spans_begun = agent_->spans_begun();
+    stats.spans_committed = agent_->spans_committed();
+    stats.spans_aborted = agent_->spans_aborted();
+  }
   return stats;
 }
 
@@ -409,10 +526,41 @@ int ShardedRuntime::ShardOfSubsystem(const Subsystem* subsystem) const {
   return -1;
 }
 
+SpanOutcome ShardedRuntime::SpanningOutcome(int64_t gsn) const {
+  if (agent_ == nullptr) return SpanOutcome::kUnknown;
+  return agent_->OutcomeOf(gsn);
+}
+
+Result<ProcessSchedule> ShardedRuntime::GlobalProjection() {
+  if (!stopped_) {
+    return Status::FailedPrecondition(
+        "GlobalProjection before Stop (the shard schedulers must be "
+        "quiesced)");
+  }
+  std::vector<const ProcessSchedule*> histories;
+  histories.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    histories.push_back(&shard->scheduler()->history());
+  }
+  return MergeGlobalProjection(
+      histories, agent_ != nullptr
+                     ? agent_->ProjectionInfo()
+                     : std::map<std::string, SpanSubProjection>());
+}
+
 void ShardedRuntime::RelayEvent(
     const std::function<void(RuntimeObserver*)>& fn) {
   std::lock_guard<std::mutex> lock(observer_mu_);
   for (RuntimeObserver* observer : observers_) fn(observer);
+}
+
+void ShardedRuntime::NotifyAgentCommitHeld(int shard, ProcessId pid) {
+  if (agent_ != nullptr) agent_->OnCommitHeld(shard, pid);
+}
+
+void ShardedRuntime::NotifyAgentTerminated(int shard, ProcessId pid,
+                                           ProcessOutcome outcome) {
+  if (agent_ != nullptr) agent_->OnProcessTerminated(shard, pid, outcome);
 }
 
 }  // namespace tpm

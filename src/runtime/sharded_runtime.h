@@ -14,10 +14,13 @@
 #include "core/process.h"
 #include "core/scheduler.h"
 #include "runtime/conflict_partition.h"
+#include "runtime/cross_shard_agent.h"
+#include "runtime/global_projection.h"
 #include "runtime/runtime_stats.h"
 #include "runtime/shard.h"
 #include "runtime/shard_router.h"
 #include "runtime/submission_queue.h"
+#include "subsystem/weak_order.h"
 
 namespace tpm {
 
@@ -37,6 +40,9 @@ class RuntimeObserver {
                                   int /*group*/) {}
   virtual void OnProcessTerminated(int /*shard*/, ProcessId /*pid*/,
                                    ProcessOutcome /*outcome*/) {}
+  /// A held sub-process of a spanning process durably voted "prepared" on
+  /// `shard` (the shard-tagged relay of SchedulerObserver::OnCommitHeld).
+  virtual void OnCommitHeld(int /*shard*/, ProcessId /*pid*/) {}
 };
 
 struct ShardedRuntimeOptions {
@@ -58,19 +64,18 @@ struct ShardedRuntimeOptions {
   ShardLogMode log_mode = ShardLogMode::kMemory;
   std::string wal_dir;
   /// After Recover, re-verify each shard's recovery history: PRED on the
-  /// full history and Proc-REC on its committed projection.
+  /// full history and Proc-REC on its committed projection. With spanning
+  /// processes, additionally PRED + Proc-REC on the GLOBAL committed
+  /// projection (the per-shard histories merged by MergeGlobalProjection).
   bool verify_recovery = true;
-};
-
-/// A routed submission: which shard took the process, and the shard-local
-/// ProcessId once the worker admits it (shard-local pids are the
-/// coordinates used with shard_scheduler(shard)->OutcomeOf and friends).
-struct SubmitTicket {
-  int shard = -1;
-  std::shared_future<Result<ProcessId>> pid;
-
-  /// Blocks until the shard worker admitted (or refused) the process.
-  Result<ProcessId> Await() { return pid.get(); }
+  /// §3.6 composite order between the order-independent sub-processes of
+  /// one spanning process: kWeak runs them in parallel, kStrong strictly
+  /// one after the other's prepared vote.
+  OrderMode span_order = OrderMode::kWeak;
+  /// Fault injection over the coordinator WAL (sites
+  /// "coordinator/append|sync|synced|decide"). The shard WALs keep their
+  /// own listener via `scheduler`.
+  CrashPointListener* coordinator_crash_listener = nullptr;
 };
 
 /// The sharded multi-threaded runtime: N unmodified single-threaded
@@ -124,9 +129,13 @@ class ShardedRuntime {
   const ConflictPartition& partition() const { return partition_; }
   const ShardRouter& router() const { return *router_; }
 
-  /// Thread-safe submission: routes `def` to the shard owning its
-  /// footprint and queues it under the backpressure policy. Errors:
-  /// InvalidArgument (spanning footprint — positioned admission error),
+  /// Thread-safe submission. A definition whose footprint lives on one
+  /// shard is queued there (the unchanged fast path); a spanning
+  /// definition is handed to the cross-shard agent, which decomposes it
+  /// and drives the distributed commit — the ticket's gsn identifies the
+  /// spanning process (SpanningOutcome), and its pid future delivers the
+  /// FIRST sub-process's admission. Errors: InvalidArgument (a spanning
+  /// shape the splitter does not support — positioned admission error),
   /// NotFound (unregistered service), ResourceExhausted (kReject + full
   /// queue), Unavailable (not started / stopping).
   Result<SubmitTicket> Submit(const ProcessDef* def, int64_t param = 0);
@@ -142,12 +151,19 @@ class ShardedRuntime {
   /// would be a moving target.
   Status Drain(int64_t max_rounds = 1'000'000);
 
-  /// Crash recovery: every shard worker replays its own WAL CONCURRENTLY
-  /// (scheduler Recover: rebuild states, group abort of in-flight
-  /// processes), then — with verify_recovery — asserts PRED on the shard's
-  /// recovery history and Proc-REC on its committed projection. Call after
-  /// Start on a runtime whose WAL files (and subsystems) survive from the
-  /// crashed incarnation, before submitting new work.
+  /// Crash recovery. First the coordinator WAL is replayed (CrossShardAgent
+  /// ::RecoverScan): every spanning process it references is re-split
+  /// deterministically, and durably decided commits become force-commit
+  /// directives. Then every shard worker replays its own WAL CONCURRENTLY
+  /// (scheduler Recover: rebuild states, force-commit directed in-doubt
+  /// votes, group abort of everything else in flight), then — with
+  /// verify_recovery — asserts PRED on the shard's recovery history and
+  /// Proc-REC on its committed projection. Undecided spanning processes
+  /// are then presumed aborted (durably, FinishRecovery), and with
+  /// spanning processes present the GLOBAL merged projection is verified
+  /// PRED + Proc-REC too. Call after Start on a runtime whose WAL files
+  /// (and subsystems) survive from the crashed incarnation, before
+  /// submitting new work.
   Status Recover(const std::map<std::string, const ProcessDef*>& defs_by_name);
 
   /// Stops all workers WITHOUT draining queued work (kill semantics; call
@@ -170,10 +186,27 @@ class ShardedRuntime {
   /// Shard owning `subsystem` (by its first service), or -1.
   int ShardOfSubsystem(const Subsystem* subsystem) const;
 
+  /// Terminal fate of the spanning process `gsn` (from its SubmitTicket).
+  SpanOutcome SpanningOutcome(int64_t gsn) const;
+
+  /// The cross-shard coordination agent. Valid after Start.
+  CrossShardAgent* cross_shard_agent() { return agent_.get(); }
+
+  /// The global committed-projection view (DESIGN.md §4h): the per-shard
+  /// histories merged, with every spanning process reassembled into one
+  /// global process. Call after Stop (the shard schedulers must be
+  /// quiesced). Fails with Internal if a spanning process is
+  /// half-committed — the cross-shard atomicity assertion.
+  Result<ProcessSchedule> GlobalProjection();
+
  private:
   class ShardObserverRelay;
 
   void RelayEvent(const std::function<void(RuntimeObserver*)>& fn);
+  /// Forwarded by the relays to the agent OUTSIDE observer_mu_ (lock
+  /// order: agent mutex after — never under — the relay mutex).
+  void NotifyAgentCommitHeld(int shard, ProcessId pid);
+  void NotifyAgentTerminated(int shard, ProcessId pid, ProcessOutcome outcome);
 
   ShardedRuntimeOptions options_;
   std::vector<Subsystem*> subsystems_;
@@ -184,6 +217,7 @@ class ShardedRuntime {
   ConflictPartition partition_;
   std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<RuntimeShard>> shards_;
+  std::unique_ptr<CrossShardAgent> agent_;
   std::vector<std::unique_ptr<ShardObserverRelay>> relays_;
   std::vector<int> shard_of_subsystem_;
 

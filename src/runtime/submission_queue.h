@@ -36,6 +36,21 @@ struct Submission {
   std::promise<Result<ProcessId>> result;
 };
 
+/// A routed submission: which shard took the process, and the shard-local
+/// ProcessId once the worker admits it (shard-local pids are the
+/// coordinates used with shard_scheduler(shard)->OutcomeOf and friends).
+/// For a spanning process, `shard`/`pid` refer to the FIRST sub-process
+/// in skeleton order and `gsn` is the global serial number the runtime's
+/// SpanningOutcome accessor keys on (-1 for a single-shard process).
+struct SubmitTicket {
+  int shard = -1;
+  int64_t gsn = -1;
+  std::shared_future<Result<ProcessId>> pid;
+
+  /// Blocks until the shard worker admitted (or refused) the process.
+  Result<ProcessId> Await() { return pid.get(); }
+};
+
 /// Bounded multi-producer single-consumer queue between the concurrent
 /// submission front-end and one shard worker. Producers are any threads
 /// calling ShardedRuntime::Submit; the consumer is the shard's worker

@@ -23,10 +23,16 @@ ShardedWorld::ShardedWorld(ShardedWorldOptions options) : options_(options) {
 ShardedWorld::~ShardedWorld() = default;
 
 Status ShardedWorld::RegisterAll(ShardedRuntime* runtime) {
+  // Services are created lazily by the Make*Process builders, so a
+  // workload touching only some ADTs leaves the rest empty — skip those,
+  // the runtime rejects subsystems with no services.
   for (auto& tenant : tenants_) {
-    TPM_RETURN_IF_ERROR(runtime->AddSubsystem(tenant.kv.get()));
-    TPM_RETURN_IF_ERROR(runtime->AddSubsystem(tenant.escrow.get()));
-    TPM_RETURN_IF_ERROR(runtime->AddSubsystem(tenant.queue.get()));
+    for (Subsystem* s : {static_cast<Subsystem*>(tenant.kv.get()),
+                         static_cast<Subsystem*>(tenant.escrow.get()),
+                         static_cast<Subsystem*>(tenant.queue.get())}) {
+      if (s->services().AllIds().empty()) continue;
+      TPM_RETURN_IF_ERROR(runtime->AddSubsystem(s));
+    }
   }
   for (int t = 0; t < options_.num_tenants; ++t) {
     std::vector<ServiceId> group = TenantServices(t);
@@ -217,6 +223,47 @@ const ProcessDef* ShardedWorld::MakeSpanningProcess(const std::string& name,
   ActivityId p = def->AddActivity("cross_deposit", ActivityKind::kPivot,
                                   EscrowInc(tenant_b, "stock"));
   if (!def->AddEdge(c1, p).ok()) return nullptr;
+  return Finish(std::move(def));
+}
+
+const ProcessDef* ShardedWorld::MakeSpanningChainProcess(
+    const std::string& name, int tenant_a, int tenant_b, int tenant_c) {
+  auto def = std::make_unique<ProcessDef>(name);
+  ActivityId c1 = def->AddActivity("enq_order", ActivityKind::kCompensatable,
+                                   Enqueue(tenant_a, "orders"),
+                                   Remove(tenant_a, "orders"));
+  ActivityId c2 = def->AddActivity("deposit", ActivityKind::kCompensatable,
+                                   EscrowInc(tenant_b, "stock"),
+                                   EscrowDec(tenant_b, "stock"));
+  ActivityId p = def->AddActivity("audit", ActivityKind::kPivot,
+                                  KvAdd(tenant_b, "span_audit"));
+  ActivityId r = def->AddActivity("announce", ActivityKind::kRetriable,
+                                  Enqueue(tenant_c, "orders"));
+  if (!def->AddEdge(c1, c2).ok() || !def->AddEdge(c2, p).ok() ||
+      !def->AddEdge(p, r).ok()) {
+    return nullptr;
+  }
+  return Finish(std::move(def));
+}
+
+const ProcessDef* ShardedWorld::MakeSpanningAltProcess(const std::string& name,
+                                                       int tenant_a,
+                                                       int tenant_b,
+                                                       int tenant_c) {
+  auto def = std::make_unique<ProcessDef>(name);
+  ActivityId c1 = def->AddActivity("enq_order", ActivityKind::kCompensatable,
+                                   Enqueue(tenant_a, "orders"),
+                                   Remove(tenant_a, "orders"));
+  ActivityId p = def->AddActivity("audit", ActivityKind::kPivot,
+                                  KvAdd(tenant_a, "alt_audit"));
+  ActivityId ra = def->AddActivity("book_revenue", ActivityKind::kRetriable,
+                                   EscrowInc(tenant_b, "revenue"));
+  ActivityId rb = def->AddActivity("backlog", ActivityKind::kRetriable,
+                                   KvAdd(tenant_c, "alt_backlog"));
+  if (!def->AddEdge(c1, p).ok() || !def->AddEdge(p, ra, 0).ok() ||
+      !def->AddEdge(p, rb, 1).ok()) {
+    return nullptr;
+  }
   return Finish(std::move(def));
 }
 

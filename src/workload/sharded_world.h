@@ -86,12 +86,28 @@ class ShardedWorld {
   const ProcessDef* MakeRefillProcess(int tenant, const std::string& name,
                                       int variant = 0);
 
-  /// A deliberately ill-routed process: enqueues into `tenant_a`'s order
-  /// queue but deposits into `tenant_b`'s stock counter. When the two
-  /// tenants live on different shards the router must refuse it with a
-  /// positioned InvalidArgument — the router test's probe.
+  /// A cross-shard process: enqueues into `tenant_a`'s order queue
+  /// (compensatable), then pivots a deposit into `tenant_b`'s stock
+  /// counter. When the tenants live on different shards the router splits
+  /// it into two sub-processes and the coordination agent drives the
+  /// distributed commit; same-shard tenants keep it on the pinned fast
+  /// path.
   const ProcessDef* MakeSpanningProcess(const std::string& name, int tenant_a,
                                         int tenant_b);
+  /// A multi-hop chain across three tenants: compensatable order enqueue
+  /// on `tenant_a`, compensatable stock deposit + pivot audit on
+  /// `tenant_b`, retriable announcement into `tenant_c`'s queue — a
+  /// three-stage cross-shard dependency skeleton.
+  const ProcessDef* MakeSpanningChainProcess(const std::string& name,
+                                             int tenant_a, int tenant_b,
+                                             int tenant_c);
+  /// Cross-shard ◁ alternatives: trunk (compensatable enqueue + pivot
+  /// audit) on `tenant_a`, then a preferred revenue booking on `tenant_b`
+  /// ◁ a fallback backlog write on `tenant_c` — the splitter turns the
+  /// groups into preference-ordered tails the agent tries in order.
+  const ProcessDef* MakeSpanningAltProcess(const std::string& name,
+                                           int tenant_a, int tenant_b,
+                                           int tenant_c);
 
   std::map<std::string, const ProcessDef*> DefsByName() const;
 

@@ -1,0 +1,244 @@
+// Kill-at-every-crash-point sweep over the coordinator WAL: the scenario
+// is first dry-run to count the coordinator crash-point hits per site
+// (coordinator/append|sync|synced|decide), then re-run once per hit with
+// the injector armed there. After every crash a fresh incarnation must
+// recover: durably decided spanning processes keep their decision,
+// undecided ones are presumed aborted, NO spanning process is ever
+// half-committed (the global projection merge fails loudly on that), and
+// the global history stays PRED + Proc-REC.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/schedule.h"
+#include "runtime/cross_shard_agent.h"
+#include "runtime/sharded_runtime.h"
+#include "testing/fault_injector.h"
+#include "workload/sharded_world.h"
+
+namespace tpm {
+namespace {
+
+constexpr int kTenants = 3;
+constexpr int kShards = 3;
+
+// Mixed load with every cross-shard shape: two-shard pair, three-hop
+// chain, ◁ tails, plus tenant-local noise that shares the spans' queues
+// and counters.
+std::vector<const ProcessDef*> BuildDefs(ShardedWorld* world) {
+  std::vector<const ProcessDef*> defs;
+  for (int t = 0; t < world->num_tenants(); ++t) {
+    defs.push_back(world->MakeOrderProcess(t, StrCat("order_t", t)));
+    defs.push_back(world->MakeConsumeProcess(t, StrCat("consume_t", t)));
+  }
+  defs.push_back(world->MakeSpanningProcess("span_pair", 0, 1));
+  defs.push_back(world->MakeSpanningChainProcess("span_chain", 0, 1, 2));
+  defs.push_back(world->MakeSpanningAltProcess("span_alt", 1, 2, 0));
+  defs.push_back(world->MakeSpanningProcess("span_pair2", 2, 0));
+  for (const ProcessDef* def : defs) EXPECT_NE(def, nullptr);
+  return defs;
+}
+
+std::string FreshWalDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "coordinator_recovery_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Site names contain '/'; flatten them for directory names.
+std::string SiteTag(const char* site) {
+  std::string tag = site;
+  for (char& c : tag) {
+    if (c == '/') c = '_';
+  }
+  return tag;
+}
+
+ShardedRuntimeOptions MakeOptions(const std::string& wal_dir,
+                                  CrashPointListener* listener) {
+  ShardedRuntimeOptions options;
+  options.num_shards = kShards;
+  options.mode = TickMode::kLockstep;
+  options.log_mode = ShardLogMode::kFile;
+  options.wal_dir = wal_dir;
+  options.coordinator_crash_listener = listener;
+  return options;
+}
+
+/// Runs the crash scenario: submit the mix (one tick per submission, so
+/// spans interleave with local work), then a bounded tail of rounds —
+/// enough for clean runs to finish, but NOT a Drain, since a crashed
+/// coordinator parks its held sub-processes forever. Records each
+/// spanning ticket's gsn and the first incarnation's view of its outcome
+/// at Stop time.
+void RunScenario(ShardedWorld* world, const ShardedRuntimeOptions& options,
+                 std::map<int64_t, SpanOutcome>* outcomes) {
+  std::vector<const ProcessDef*> defs = BuildDefs(world);
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world->RegisterAll(&runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+  std::vector<int64_t> gsns;
+  for (const ProcessDef* def : defs) {
+    auto ticket = runtime.Submit(def);
+    // After the injected coordinator crash, spanning submissions fail
+    // sticky — that IS the scenario, keep going.
+    if (ticket.ok() && ticket->gsn >= 0) gsns.push_back(ticket->gsn);
+    ASSERT_TRUE(runtime.Tick(1).ok());
+  }
+  ASSERT_TRUE(runtime.Tick(40).ok());
+  ASSERT_TRUE(runtime.Stop().ok());
+  for (int64_t gsn : gsns) {
+    (*outcomes)[gsn] = runtime.SpanningOutcome(gsn);
+  }
+}
+
+// The sweep proper. Also doubles as the clean-path test: the dry run (no
+// armed crash) must commit every span and recover as a no-op.
+TEST(CoordinatorRecoveryTest, KillAtEveryCoordinatorCrashPoint) {
+  const char* kSites[] = {kCoordCrashSiteAppend, kCoordCrashSiteSync,
+                          kCoordCrashSiteSynced, kCoordCrashSiteDecide};
+  for (const char* site : kSites) {
+    // Dry run: count this site's hits across the whole scenario.
+    testing::FaultInjector injector;
+    injector.ArmAtSite(site, 0);
+    int64_t total_hits = 0;
+    {
+      const std::string wal_dir = FreshWalDir(StrCat("dry_", SiteTag(site)));
+      ShardedWorld world({.seed = 51, .num_tenants = kTenants});
+      std::map<int64_t, SpanOutcome> outcomes;
+      RunScenario(&world, MakeOptions(wal_dir, &injector), &outcomes);
+      if (HasFatalFailure()) return;
+      total_hits = injector.hits();
+      // Clean run: every span decided.
+      for (const auto& [gsn, outcome] : outcomes) {
+        EXPECT_TRUE(outcome == SpanOutcome::kCommitted ||
+                    outcome == SpanOutcome::kAborted)
+            << site << " dry run g" << gsn;
+      }
+      std::filesystem::remove_all(wal_dir);
+    }
+    ASSERT_GT(total_hits, 0) << site;
+
+    for (int64_t k = 1; k <= total_hits; ++k) {
+      SCOPED_TRACE(StrCat(site, " hit ", k, "/", total_hits));
+      const std::string wal_dir =
+          FreshWalDir(StrCat(SiteTag(site), "_", k));
+      ShardedWorld world({.seed = 51, .num_tenants = kTenants});
+      injector.Reset();
+      injector.ArmAtSite(site, k);
+      std::map<int64_t, SpanOutcome> before;
+      RunScenario(&world, MakeOptions(wal_dir, &injector), &before);
+      if (HasFatalFailure()) return;
+      EXPECT_TRUE(injector.triggered());
+
+      // Fresh incarnation over the surviving WAL directory and subsystem
+      // state; no injector — the crash is over.
+      ShardedRuntime recovered(MakeOptions(wal_dir, nullptr));
+      ASSERT_TRUE(world.RegisterAll(&recovered).ok());
+      ASSERT_TRUE(recovered.Start().ok());
+      // Recover internally asserts per-shard PRED + Proc-REC AND the
+      // global criteria on the merged projection — a half-committed span
+      // fails the merge itself.
+      Status status = recovered.Recover(world.DefsByName());
+      ASSERT_TRUE(status.ok()) << status;
+
+      // Decision durability: what the first incarnation saw decided must
+      // recover to the SAME outcome; in-flight spans resolve either way
+      // (a durable decision may predate the crash), but never stay open.
+      for (const auto& [gsn, outcome_before] : before) {
+        SpanOutcome after = recovered.SpanningOutcome(gsn);
+        switch (outcome_before) {
+          case SpanOutcome::kCommitted:
+            EXPECT_EQ(after, SpanOutcome::kCommitted) << "g" << gsn;
+            break;
+          case SpanOutcome::kAborted:
+            EXPECT_EQ(after, SpanOutcome::kAborted) << "g" << gsn;
+            break;
+          default:
+            EXPECT_TRUE(after == SpanOutcome::kCommitted ||
+                        after == SpanOutcome::kAborted)
+                << "g" << gsn << " still open after recovery";
+            break;
+        }
+      }
+
+      // The recovered runtime accepts new spanning work.
+      const ProcessDef* post =
+          world.MakeSpanningProcess(StrCat("post_", k), 0, 2);
+      ASSERT_NE(post, nullptr);
+      auto ticket = recovered.Submit(post);
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+      ASSERT_TRUE(recovered.Drain().ok());
+      EXPECT_EQ(recovered.SpanningOutcome(ticket->gsn),
+                SpanOutcome::kCommitted);
+
+      ASSERT_TRUE(recovered.Stop().ok());
+      EXPECT_TRUE(world.CheckAdtInvariants().ok());
+
+      // External re-check of the atomicity assertion: the merge succeeds
+      // (no half-committed span) and the global history is PRED+Proc-REC.
+      auto global = recovered.GlobalProjection();
+      ASSERT_TRUE(global.ok()) << global.status();
+      auto pred = IsPRED(*global, recovered.union_spec());
+      ASSERT_TRUE(pred.ok()) << pred.status();
+      EXPECT_TRUE(*pred);
+      EXPECT_TRUE(IsProcessRecoverable(CommittedProjection(*global),
+                                       recovered.union_spec()));
+      std::filesystem::remove_all(wal_dir);
+    }
+  }
+}
+
+// Targeted ◁-tail window: crash exactly at the decision point (every
+// participant incl. the chosen tail voted, no decision logged). Recovery
+// must presume abort — the tail's and trunk's votes alone prove nothing.
+TEST(CoordinatorRecoveryTest, DecideCrashOnTailVotePresumesAbort) {
+  const std::string wal_dir = FreshWalDir("tail_decide");
+  ShardedWorld world({.seed = 53, .num_tenants = kTenants});
+  const ProcessDef* alt = world.MakeSpanningAltProcess("alt", 0, 1, 2);
+  ASSERT_NE(alt, nullptr);
+  testing::FaultInjector injector;
+  injector.ArmAtSite(kCoordCrashSiteDecide, 1);
+  int64_t gsn = -1;
+  {
+    ShardedRuntime runtime(MakeOptions(wal_dir, &injector));
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    ASSERT_TRUE(runtime.Start().ok());
+    auto ticket = runtime.Submit(alt);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    gsn = ticket->gsn;
+    ASSERT_GE(gsn, 1);
+    ASSERT_TRUE(runtime.Tick(40).ok());
+    ASSERT_TRUE(runtime.Stop().ok());
+    ASSERT_TRUE(injector.triggered());
+    // Crashed at the decision: still open in the dying incarnation.
+    EXPECT_EQ(runtime.SpanningOutcome(gsn), SpanOutcome::kInFlight);
+  }
+
+  ShardedRuntime recovered(MakeOptions(wal_dir, nullptr));
+  ASSERT_TRUE(world.RegisterAll(&recovered).ok());
+  ASSERT_TRUE(recovered.Start().ok());
+  ASSERT_TRUE(recovered.Recover(world.DefsByName()).ok());
+  EXPECT_EQ(recovered.SpanningOutcome(gsn), SpanOutcome::kAborted);
+  ASSERT_TRUE(recovered.Stop().ok());
+  EXPECT_TRUE(world.CheckAdtInvariants().ok());
+  // Presumed abort left no committed slice anywhere.
+  auto global = recovered.GlobalProjection();
+  ASSERT_TRUE(global.ok()) << global.status();
+  for (const auto& [pid, def] : global->processes()) {
+    if (def == alt) {
+      EXPECT_FALSE(global->IsProcessCommitted(pid));
+    }
+  }
+  std::filesystem::remove_all(wal_dir);
+}
+
+}  // namespace
+}  // namespace tpm

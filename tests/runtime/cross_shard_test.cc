@@ -1,0 +1,398 @@
+// Cross-shard processes end to end: the splitter's plans, the
+// coordination agent's distributed commit over the held-vote protocol,
+// composite weak/strong orders, ◁ tails across shards, the global merged
+// projection (PRED + Proc-REC), and lockstep determinism with spanning
+// processes in the mix.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/schedule.h"
+#include "runtime/cross_shard_agent.h"
+#include "runtime/global_projection.h"
+#include "runtime/sharded_runtime.h"
+#include "workload/sharded_world.h"
+
+namespace tpm {
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The mixed workload with spanning processes sprinkled in: per tenant
+// round-robin of order/consume/refill, plus `span_pct`% spanning
+// processes rotating through the three cross-shard shapes. The spanning
+// defs are created AFTER the tenant-local ones so both sides of a mirror
+// comparison register identical service ids.
+std::vector<const ProcessDef*> BuildSpanningWorkload(ShardedWorld* world,
+                                                     int per_tenant,
+                                                     int span_pct) {
+  std::vector<const ProcessDef*> defs;
+  for (int round = 0; round < per_tenant; ++round) {
+    for (int t = 0; t < world->num_tenants(); ++t) {
+      defs.push_back(world->MakeOrderProcess(
+          t, StrCat("order_t", t, "_", round), round));
+      defs.push_back(world->MakeConsumeProcess(
+          t, StrCat("consume_t", t, "_", round), round));
+      defs.push_back(world->MakeRefillProcess(
+          t, StrCat("refill_t", t, "_", round), round));
+    }
+  }
+  const int tenants = world->num_tenants();
+  const int spans =
+      static_cast<int>(defs.size()) * span_pct / (100 - span_pct + 1);
+  for (int i = 0; i < spans; ++i) {
+    const int a = i % tenants;
+    const int b = (i + 1) % tenants;
+    const int c = (i + 2) % tenants;
+    const ProcessDef* def = nullptr;
+    switch (i % 3) {
+      case 0:
+        def = world->MakeSpanningProcess(StrCat("span_", i), a, b);
+        break;
+      case 1:
+        def = world->MakeSpanningChainProcess(StrCat("span_", i), a, b, c);
+        break;
+      default:
+        def = world->MakeSpanningAltProcess(StrCat("span_", i), a, b, c);
+        break;
+    }
+    EXPECT_NE(def, nullptr) << "span_" << i;
+    // Interleave: every few locals, one spanning.
+    defs.insert(defs.begin() + (i * 4) % defs.size(), def);
+  }
+  for (const ProcessDef* def : defs) EXPECT_NE(def, nullptr);
+  return defs;
+}
+
+// One spanning process across two shards: split into two sub-processes,
+// voted, decided commit, globally committed — and the merged projection
+// shows ONE process with the original definition.
+TEST(CrossShardTest, TwoShardSpanCommitsAtomically) {
+  ShardedWorld world({.seed = 21, .num_tenants = 2});
+  const ProcessDef* span = world.MakeSpanningProcess("span", 0, 1);
+  ASSERT_NE(span, nullptr);
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  options.mode = TickMode::kLockstep;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+
+  auto ticket = runtime.Submit(span);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_GE(ticket->gsn, 1);
+  ASSERT_TRUE(runtime.Drain().ok());
+  auto pid = ticket->Await();
+  ASSERT_TRUE(pid.ok()) << pid.status();
+  EXPECT_EQ(runtime.SpanningOutcome(ticket->gsn), SpanOutcome::kCommitted);
+
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.spans_begun, 1);
+  EXPECT_EQ(stats.spans_committed, 1);
+  EXPECT_EQ(stats.spans_aborted, 0);
+  // Both slices went through the held 2PC: two admissions, two prepares.
+  EXPECT_EQ(stats.merged.spanning_admitted, 2);
+  EXPECT_EQ(stats.merged.cross_shard_prepares, 2);
+  EXPECT_EQ(stats.submissions_accepted, 1);
+
+  ASSERT_TRUE(runtime.Stop().ok());
+  ASSERT_TRUE(world.CheckAdtInvariants().ok());
+
+  // The global projection reassembles the span: one process, the original
+  // def, one Commit — and it satisfies the global criteria.
+  auto global = runtime.GlobalProjection();
+  ASSERT_TRUE(global.ok()) << global.status();
+  int span_processes = 0;
+  for (const auto& [gpid, def] : global->processes()) {
+    if (def == span) ++span_processes;
+  }
+  EXPECT_EQ(span_processes, 1);
+  auto pred = IsPRED(*global, runtime.union_spec());
+  ASSERT_TRUE(pred.ok()) << pred.status();
+  EXPECT_TRUE(*pred);
+  EXPECT_TRUE(
+      IsProcessRecoverable(CommittedProjection(*global), runtime.union_spec()));
+}
+
+// The three-stage chain exercises a multi-hop skeleton; strong composite
+// order forces strictly sequential sub-process submission and must still
+// commit.
+TEST(CrossShardTest, MultiHopChainCommitsUnderWeakAndStrongOrder) {
+  for (OrderMode order : {OrderMode::kWeak, OrderMode::kStrong}) {
+    ShardedWorld world({.seed = 22, .num_tenants = 3});
+    const ProcessDef* chain = world.MakeSpanningChainProcess("chain", 0, 1, 2);
+    ASSERT_NE(chain, nullptr);
+    ShardedRuntimeOptions options;
+    options.num_shards = 3;
+    options.mode = TickMode::kLockstep;
+    options.span_order = order;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+
+    auto ticket = runtime.Submit(chain);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    ASSERT_TRUE(runtime.Drain().ok());
+    EXPECT_EQ(runtime.SpanningOutcome(ticket->gsn), SpanOutcome::kCommitted)
+        << "order mode " << static_cast<int>(order);
+    RuntimeStats stats = runtime.Stats();
+    EXPECT_EQ(stats.merged.spanning_admitted, 3);
+    EXPECT_EQ(stats.merged.cross_shard_prepares, 3);
+    ASSERT_TRUE(runtime.Stop().ok());
+    ASSERT_TRUE(world.CheckAdtInvariants().ok());
+    auto global = runtime.GlobalProjection();
+    ASSERT_TRUE(global.ok()) << global.status();
+    auto pred = IsPRED(*global, runtime.union_spec());
+    ASSERT_TRUE(pred.ok());
+    EXPECT_TRUE(*pred);
+  }
+}
+
+// Cross-shard ◁ alternatives: the preferred tail is tried first and (its
+// services healthy) wins; the spanning process commits with exactly one
+// tail slice in the histories.
+TEST(CrossShardTest, CrossShardAlternativesTakePreferredTail) {
+  ShardedWorld world({.seed = 23, .num_tenants = 3});
+  const ProcessDef* alt = world.MakeSpanningAltProcess("alt", 0, 1, 2);
+  ASSERT_NE(alt, nullptr);
+  ShardedRuntimeOptions options;
+  options.num_shards = 3;
+  options.mode = TickMode::kLockstep;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+
+  auto ticket = runtime.Submit(alt);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  ASSERT_TRUE(runtime.Drain().ok());
+  EXPECT_EQ(runtime.SpanningOutcome(ticket->gsn), SpanOutcome::kCommitted);
+  // Trunk slice + the preferred tail only: two admissions.
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.merged.spanning_admitted, 2);
+  ASSERT_TRUE(runtime.Stop().ok());
+  auto global = runtime.GlobalProjection();
+  ASSERT_TRUE(global.ok()) << global.status();
+  auto pred = IsPRED(*global, runtime.union_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+  EXPECT_TRUE(
+      IsProcessRecoverable(CommittedProjection(*global), runtime.union_spec()));
+}
+
+// Spanning processes pinned to ONE shard never reach the agent: the
+// single-shard fast path is untouched (ticket has no gsn, no SBEGIN).
+TEST(CrossShardTest, SameShardFootprintStaysOnFastPath) {
+  ShardedWorld world({.seed = 24, .num_tenants = 2});
+  // Both tenants of the "spanning" def on one shard: pinned.
+  const ProcessDef* local = world.MakeSpanningProcess("local_span", 0, 1);
+  ASSERT_NE(local, nullptr);
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kLockstep;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+  auto ticket = runtime.Submit(local);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  EXPECT_EQ(ticket->gsn, -1);  // never went near the agent
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.spans_begun, 0);
+  EXPECT_EQ(stats.merged.spanning_admitted, 0);
+  auto pid = ticket->Await();
+  ASSERT_TRUE(pid.ok());
+  ASSERT_TRUE(runtime.Stop().ok());
+  EXPECT_EQ(runtime.shard_scheduler(0)->OutcomeOf(*pid),
+            ProcessOutcome::kCommitted);
+}
+
+// The mixed workload at >=20% spanning, lockstep: everything drains, the
+// global projection is PRED + Proc-REC, the ADT invariants hold, and the
+// span counters agree with the outcomes.
+TEST(CrossShardTest, MixedWorkloadWithSpansIsGloballyPredAndProcRec) {
+  ShardedWorld world({.seed = 25, .num_tenants = 4});
+  std::vector<const ProcessDef*> defs = BuildSpanningWorkload(&world, 2, 20);
+  ShardedRuntimeOptions options;
+  options.num_shards = 4;
+  options.mode = TickMode::kLockstep;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+
+  std::vector<int64_t> gsns;
+  for (const ProcessDef* def : defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << def->name() << ": " << ticket.status();
+    if (ticket->gsn >= 0) gsns.push_back(ticket->gsn);
+  }
+  EXPECT_GE(gsns.size(), 5u);
+  ASSERT_TRUE(runtime.Drain().ok());
+
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.spans_begun, static_cast<int64_t>(gsns.size()));
+  EXPECT_EQ(stats.spans_begun, stats.spans_committed + stats.spans_aborted);
+  for (int64_t gsn : gsns) {
+    SpanOutcome outcome = runtime.SpanningOutcome(gsn);
+    EXPECT_TRUE(outcome == SpanOutcome::kCommitted ||
+                outcome == SpanOutcome::kAborted)
+        << "g" << gsn;
+  }
+  ASSERT_TRUE(runtime.Stop().ok());
+  ASSERT_TRUE(world.CheckAdtInvariants().ok());
+
+  auto global = runtime.GlobalProjection();
+  ASSERT_TRUE(global.ok()) << global.status();
+  auto pred = IsPRED(*global, runtime.union_spec());
+  ASSERT_TRUE(pred.ok()) << pred.status();
+  EXPECT_TRUE(*pred);
+  EXPECT_TRUE(
+      IsProcessRecoverable(CommittedProjection(*global), runtime.union_spec()));
+}
+
+// Determinism with spanning enabled: two identically seeded lockstep runs
+// produce bit-identical per-shard histories, coordinator logs, and global
+// projections.
+TEST(CrossShardTest, LockstepWithSpansIsDeterministic) {
+  std::vector<uint64_t> shard_prints[2];
+  uint64_t coord_print[2] = {0, 0};
+  uint64_t global_print[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    ShardedWorld world({.seed = 26, .num_tenants = 4});
+    std::vector<const ProcessDef*> defs = BuildSpanningWorkload(&world, 2, 20);
+    ShardedRuntimeOptions options;
+    options.num_shards = 4;
+    options.mode = TickMode::kLockstep;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+    for (const ProcessDef* def : defs) {
+      auto ticket = runtime.Submit(def);
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+      // Lockstep submissions interleave with rounds exactly as the
+      // deterministic driver dictates: tick once per submission.
+      ASSERT_TRUE(runtime.Tick(1).ok());
+    }
+    ASSERT_TRUE(runtime.Drain().ok());
+    ASSERT_TRUE(runtime.Stop().ok());
+    for (int s = 0; s < 4; ++s) {
+      shard_prints[run].push_back(
+          Fnv1a(runtime.shard_scheduler(s)->history().ToString()));
+    }
+    std::string coord;
+    for (const std::string& record :
+         runtime.cross_shard_agent()->wal()->records()) {
+      coord += record;
+      coord += '\n';
+    }
+    coord_print[run] = Fnv1a(coord);
+    auto global = runtime.GlobalProjection();
+    ASSERT_TRUE(global.ok()) << global.status();
+    global_print[run] = Fnv1a(global->ToString());
+  }
+  EXPECT_EQ(shard_prints[0], shard_prints[1]);
+  EXPECT_EQ(coord_print[0], coord_print[1]);
+  EXPECT_EQ(global_print[0], global_print[1]);
+}
+
+// Splitter unit coverage: the plan's shape for the chain — per-shard
+// slices in skeleton order, local activity ids remapped onto the
+// original's, deterministic re-split.
+TEST(CrossShardTest, SplitPlanIsDeterministicAndCoversTheDefinition) {
+  ShardedWorld world({.seed = 27, .num_tenants = 3});
+  const ProcessDef* chain = world.MakeSpanningChainProcess("chain", 0, 1, 2);
+  ASSERT_NE(chain, nullptr);
+  ShardedRuntimeOptions options;
+  options.num_shards = 3;
+  options.mode = TickMode::kLockstep;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+
+  auto plan = runtime.router().Split(*chain, "chain@g1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->subs.size(), 3u);
+  EXPECT_TRUE(plan->tails.empty());
+  // Slices are one-per-shard, disjoint, and jointly cover the original's
+  // activities through to_original.
+  std::set<int> shards;
+  std::set<int64_t> covered;
+  for (const SubProcessPlan& sub : plan->subs) {
+    EXPECT_TRUE(shards.insert(sub.shard).second);
+    for (const auto& [local, original] : sub.to_original) {
+      EXPECT_TRUE(covered.insert(original.value()).second);
+    }
+  }
+  EXPECT_EQ(covered.size(), chain->activities().size());
+  // The first slice has no skeleton predecessors; later ones do.
+  EXPECT_TRUE(plan->subs[0].skeleton_preds.empty());
+  EXPECT_FALSE(plan->subs[2].skeleton_preds.empty());
+
+  // Deterministic: a second split is bit-identical (names, edges, maps).
+  auto replay = runtime.router().Split(*chain, "chain@g1");
+  ASSERT_TRUE(replay.ok());
+  for (size_t i = 0; i < plan->subs.size(); ++i) {
+    EXPECT_EQ(plan->subs[i].def->name(), replay->subs[i].def->name());
+    EXPECT_EQ(plan->subs[i].shard, replay->subs[i].shard);
+    EXPECT_EQ(plan->subs[i].to_original, replay->subs[i].to_original);
+    EXPECT_EQ(plan->subs[i].skeleton_preds, replay->subs[i].skeleton_preds);
+  }
+  ASSERT_TRUE(runtime.Stop().ok());
+}
+
+// Free-running spanning soak: concurrent submitters, spanning mix, drain,
+// then the global criteria. TPM_RUNTIME_SPAN_PCT overrides the spanning
+// share (CI chaos variant).
+TEST(CrossShardTest, FreeRunningSpanningSoakIsGloballyCorrect) {
+  int span_pct = 20;
+  if (const char* env = std::getenv("TPM_RUNTIME_SPAN_PCT")) {
+    auto parsed = ParseInt64(env);
+    if (parsed.ok() && *parsed >= 0 && *parsed <= 50) {
+      span_pct = static_cast<int>(*parsed);
+    }
+  }
+  ShardedWorld world({.seed = 28, .num_tenants = 4});
+  std::vector<const ProcessDef*> defs =
+      BuildSpanningWorkload(&world, 3, span_pct);
+  ShardedRuntimeOptions options;
+  options.num_shards = 4;
+  options.mode = TickMode::kFreeRunning;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  { Status start_status = runtime.Start(); ASSERT_TRUE(start_status.ok()) << start_status; }
+  int64_t spans = 0;
+  for (const ProcessDef* def : defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << def->name() << ": " << ticket.status();
+    if (ticket->gsn >= 0) ++spans;
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.spans_begun, spans);
+  EXPECT_EQ(stats.spans_begun, stats.spans_committed + stats.spans_aborted);
+  ASSERT_TRUE(runtime.Stop().ok());
+  ASSERT_TRUE(world.CheckAdtInvariants().ok());
+  auto global = runtime.GlobalProjection();
+  ASSERT_TRUE(global.ok()) << global.status();
+  auto pred = IsPRED(*global, runtime.union_spec());
+  ASSERT_TRUE(pred.ok()) << pred.status();
+  EXPECT_TRUE(*pred);
+  EXPECT_TRUE(
+      IsProcessRecoverable(CommittedProjection(*global), runtime.union_spec()));
+}
+
+}  // namespace
+}  // namespace tpm

@@ -219,13 +219,24 @@ TEST(ShardedRuntimeTest, MergeFromAddsCountersAndMaxesVirtualTime) {
   EXPECT_EQ(merged.processes_committed, 3);
 }
 
-// Satellite: a footprint spanning two shards is a positioned admission
-// error naming the offending activity and both shards.
-TEST(ShardedRuntimeTest, SpanningFootprintIsPositionedAdmissionError) {
+// Satellite: the router's typed decision — a tenant-local footprint is
+// kPinned, a supported cross-tenant one is kSplit, and an UNSUPPORTED
+// spanning shape (remote compensation) is kRejected with the positioned
+// diagnostic the admission error carries verbatim.
+TEST(ShardedRuntimeTest, UnsupportedSpanningShapeIsPositionedAdmissionError) {
   ShardedWorld world({.seed = 7, .num_tenants = 4});
   (void)BuildWorkload(&world, 1);
-  const ProcessDef* spanning = world.MakeSpanningProcess("cross_tenant", 0, 1);
-  ASSERT_NE(spanning, nullptr);
+  // Forward service on tenant 0 but compensation on tenant 1: a
+  // sub-process must compensate locally, so the splitter refuses.
+  ProcessDef bad("cross_comp");
+  ActivityId c1 = bad.AddActivity(
+      "enq_remote_comp", ActivityKind::kCompensatable,
+      world.Enqueue(0, "orders"), world.Remove(1, "orders"));
+  ActivityId p = bad.AddActivity("seal", ActivityKind::kPivot,
+                                 world.KvAdd(0, "audit_v0"));
+  ASSERT_TRUE(bad.AddEdge(c1, p).ok());
+  ASSERT_TRUE(bad.Validate().ok());
+
   ShardedRuntimeOptions options;
   options.num_shards = 4;
   options.mode = TickMode::kLockstep;
@@ -233,24 +244,41 @@ TEST(ShardedRuntimeTest, SpanningFootprintIsPositionedAdmissionError) {
   ASSERT_TRUE(world.RegisterAll(&runtime).ok());
   ASSERT_TRUE(runtime.Start().ok());
 
-  auto ticket = runtime.Submit(spanning);
+  RouterDecision rejected = runtime.router().Decide(bad);
+  EXPECT_EQ(rejected.kind, RouteKind::kRejected);
+  EXPECT_EQ(rejected.shard, -1);
+
+  auto ticket = runtime.Submit(&bad);
   ASSERT_FALSE(ticket.ok());
   EXPECT_TRUE(ticket.status().IsInvalidArgument()) << ticket.status();
-  // Positioned: the message names the process, the pinning and the
-  // offending activity, and says how to fix the spec.
-  EXPECT_NE(ticket.status().message().find("cross_tenant"), std::string::npos)
+  // Positioned: the message names the process, the offending activity,
+  // both shards, and says how to fix the spec.
+  EXPECT_NE(ticket.status().message().find("cross_comp"), std::string::npos)
       << ticket.status();
-  EXPECT_NE(ticket.status().message().find("cross_deposit"),
+  EXPECT_NE(ticket.status().message().find("enq_remote_comp"),
             std::string::npos)
       << ticket.status();
-  EXPECT_NE(ticket.status().message().find("spans shards"), std::string::npos)
+  EXPECT_NE(ticket.status().message().find("compensate locally"),
+            std::string::npos)
       << ticket.status();
   EXPECT_NE(ticket.status().message().find("colocate"), std::string::npos)
       << ticket.status();
   EXPECT_EQ(runtime.Stats().submissions_rejected, 1);
 
-  // A well-routed process still goes through afterwards.
+  // A tenant-local process is kPinned; a supported spanning one kSplit.
   const ProcessDef* good = world.MakeOrderProcess(0, "post_error_order");
+  ASSERT_NE(good, nullptr);
+  RouterDecision pinned = runtime.router().Decide(*good);
+  EXPECT_EQ(pinned.kind, RouteKind::kPinned);
+  EXPECT_GE(pinned.shard, 0);
+  EXPECT_TRUE(pinned.error.ok());
+  const ProcessDef* spanning = world.MakeSpanningProcess("cross_tenant", 0, 1);
+  ASSERT_NE(spanning, nullptr);
+  RouterDecision split = runtime.router().Decide(*spanning);
+  EXPECT_EQ(split.kind, RouteKind::kSplit);
+  EXPECT_TRUE(split.error.ok());
+
+  // A well-routed process still goes through after the rejection.
   auto ok_ticket = runtime.Submit(good);
   ASSERT_TRUE(ok_ticket.ok()) << ok_ticket.status();
   ASSERT_TRUE(runtime.Drain().ok());
