@@ -1,0 +1,453 @@
+// E23 — wall-clock submit->commit latency under open-loop load, batched vs
+// per-process admission. One producer thread per tenant drives short
+// escrow-increment processes (fully commuting within a tenant, so the
+// scheduler's admission/runtime overhead — not conflict resolution — is
+// what the numbers measure) into the free-running ShardedRuntime; shard
+// schedulers run with reclaim_terminated so millions of processes execute
+// in bounded memory. Per admission mode the harness measures:
+//
+//   1. saturation commit throughput (producers submit as fast as the
+//      bounded FIFO queues admit them), then
+//   2. open-loop latency at 70% of that throughput: each producer submits
+//      on a fixed schedule and the latency of a process is measured from
+//      its SCHEDULED submit time to the observer's termination callback —
+//      queue backpressure therefore counts against latency instead of
+//      being silently absorbed (no coordinated omission).
+//
+// Per-process submit times are joined to terminations through the
+// SubmitTicket pid futures, and the FIFO admission contract is asserted on
+// the side: a producer that is alone on its shard must see strictly
+// increasing pids. `--json <path>` writes BENCH_latency.json; `--processes
+// N` sizes each phase (default 250000 per phase, two phases per mode =
+// about a million processes per full run).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/json_writer.h"
+#include "common/str_util.h"
+#include "runtime/sharded_runtime.h"
+#include "subsystem/escrow_subsystem.h"
+
+using namespace tpm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+struct Tenant {
+  std::unique_ptr<EscrowSubsystem> escrow;
+  std::unique_ptr<ProcessDef> def;
+};
+
+// A tenant: one escrow counter with commuting inc services and the
+// two-activity chain  inc (compensatable, dec compensation) -> inc (pivot).
+Tenant MakeTenant(int t) {
+  Tenant tenant;
+  tenant.escrow = std::make_unique<EscrowSubsystem>(SubsystemId(100 + t),
+                                                    StrCat("escrow", t));
+  const std::string counter = StrCat("c", t);
+  const ServiceId inc_a(1000 * (t + 1) + 1);
+  const ServiceId dec_a(1000 * (t + 1) + 2);
+  const ServiceId inc_b(1000 * (t + 1) + 3);
+  Status s = tenant.escrow->CreateCounter(counter, 0);
+  if (s.ok()) s = tenant.escrow->RegisterIncService(inc_a, counter);
+  if (s.ok()) s = tenant.escrow->RegisterDecService(dec_a, counter);
+  if (s.ok()) s = tenant.escrow->RegisterIncService(inc_b, counter);
+  if (!s.ok()) return {};
+  tenant.def = std::make_unique<ProcessDef>(StrCat("pay_t", t));
+  ActivityId reserve = tenant.def->AddActivity(
+      "reserve", ActivityKind::kCompensatable, inc_a, dec_a);
+  ActivityId settle =
+      tenant.def->AddActivity("settle", ActivityKind::kPivot, inc_b);
+  if (!tenant.def->AddEdge(reserve, settle).ok()) return {};
+  if (!tenant.def->Validate().ok()) return {};
+  return tenant;
+}
+
+/// Records the wall-clock termination instant of every process, per shard,
+/// dense by pid (pids are per-shard sequential — the same contract the
+/// schedulers' runtime tables rely on).
+class TerminationRecorder : public RuntimeObserver {
+ public:
+  explicit TerminationRecorder(int shards) : terminated_ns_(shards) {}
+
+  void OnProcessTerminated(int shard, ProcessId pid,
+                           ProcessOutcome outcome) override {
+    std::vector<int64_t>& row = terminated_ns_[shard];
+    const size_t slot = static_cast<size_t>(pid.value() - 1);
+    if (slot >= row.size()) row.resize(slot + 1, -1);
+    row[slot] = NowNs();
+    if (outcome == ProcessOutcome::kCommitted) {
+      committed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  int64_t TerminatedNs(int shard, ProcessId pid) const {
+    const std::vector<int64_t>& row = terminated_ns_[shard];
+    const size_t slot = static_cast<size_t>(pid.value() - 1);
+    return slot < row.size() ? row[slot] : -1;
+  }
+
+  int64_t committed() const { return committed_.load(); }
+  int64_t aborted() const { return aborted_.load(); }
+
+ private:
+  std::vector<std::vector<int64_t>> terminated_ns_;
+  std::atomic<int64_t> committed_{0};
+  std::atomic<int64_t> aborted_{0};
+};
+
+struct PhaseResult {
+  bool ok = true;
+  std::string error;
+  int64_t submitted = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  double seconds = 0.0;
+  double throughput = 0.0;  // committed per second
+  bool fifo_pids = true;    // sole-producer shards saw increasing pids
+  // Latency phase only (ns).
+  std::vector<int64_t> latencies_ns;
+};
+
+struct Percentiles {
+  double p50 = 0, p99 = 0, p999 = 0, mean = 0, max = 0;
+};
+
+Percentiles Summarize(std::vector<int64_t>* ns) {
+  Percentiles out;
+  if (ns->empty()) return out;
+  std::sort(ns->begin(), ns->end());
+  auto at = [&](double q) {
+    size_t i = static_cast<size_t>(q * (ns->size() - 1));
+    return static_cast<double>((*ns)[i]);
+  };
+  out.p50 = at(0.50);
+  out.p99 = at(0.99);
+  out.p999 = at(0.999);
+  out.max = static_cast<double>(ns->back());
+  double sum = 0;
+  for (int64_t v : *ns) sum += static_cast<double>(v);
+  out.mean = sum / static_cast<double>(ns->size());
+  return out;
+}
+
+/// One measured run: `total` processes spread over the tenants' producer
+/// threads. rate_per_s <= 0 means saturation (submit as fast as the
+/// blocking queues allow); otherwise each producer paces submissions on a
+/// fixed open-loop schedule and latency is measured from the scheduled
+/// instant.
+PhaseResult RunPhase(bool batched, int tenants, int64_t total,
+                     double rate_per_s) {
+  PhaseResult result;
+  std::vector<Tenant> world;
+  for (int t = 0; t < tenants; ++t) {
+    world.push_back(MakeTenant(t));
+    if (world.back().def == nullptr) {
+      result.ok = false;
+      result.error = "tenant construction failed";
+      return result;
+    }
+  }
+
+  ShardedRuntimeOptions options;
+  options.num_shards = tenants;
+  options.mode = TickMode::kFreeRunning;
+  options.log_mode = ShardLogMode::kNone;
+  options.queue_capacity = 4096;
+  options.backpressure = BackpressurePolicy::kBlock;
+  options.batched_admission = batched;
+  options.scheduler.reclaim_terminated = true;
+  ShardedRuntime runtime(options);
+  TerminationRecorder recorder(tenants);
+  Status status = runtime.AddObserver(&recorder);
+  for (int t = 0; status.ok() && t < tenants; ++t) {
+    status = runtime.AddSubsystem(world[t].escrow.get());
+  }
+  if (status.ok()) status = runtime.Start();
+  if (!status.ok()) {
+    result.ok = false;
+    result.error = status.ToString();
+    return result;
+  }
+
+  struct ProducerLog {
+    std::vector<SubmitTicket> tickets;
+    std::vector<int64_t> submit_ns;
+    bool ok = true;
+    std::string error;
+  };
+  std::vector<ProducerLog> logs(tenants);
+  const int64_t per_producer = total / tenants;
+  const double producer_rate = rate_per_s > 0 ? rate_per_s / tenants : 0.0;
+
+  const auto begin = Clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(tenants);
+  for (int t = 0; t < tenants; ++t) {
+    producers.emplace_back([&, t] {
+      ProducerLog& log = logs[t];
+      log.tickets.reserve(per_producer);
+      log.submit_ns.reserve(per_producer);
+      const ProcessDef* def = world[t].def.get();
+      const auto start = Clock::now();
+      for (int64_t i = 0; i < per_producer; ++i) {
+        int64_t scheduled_ns;
+        if (producer_rate > 0) {
+          const auto due =
+              start + std::chrono::nanoseconds(static_cast<int64_t>(
+                          1e9 * static_cast<double>(i) / producer_rate));
+          std::this_thread::sleep_until(due);
+          scheduled_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             due.time_since_epoch())
+                             .count();
+        } else {
+          scheduled_ns = NowNs();
+        }
+        Result<SubmitTicket> ticket = runtime.Submit(def);
+        if (!ticket.ok()) {
+          log.ok = false;
+          log.error = ticket.status().ToString();
+          return;
+        }
+        log.tickets.push_back(std::move(*ticket));
+        log.submit_ns.push_back(scheduled_ns);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  status = runtime.Drain();
+  const auto end = Clock::now();
+  if (status.ok()) status = runtime.Stop();
+  if (!status.ok()) {
+    result.ok = false;
+    result.error = status.ToString();
+    return result;
+  }
+  for (const ProducerLog& log : logs) {
+    if (!log.ok) {
+      result.ok = false;
+      result.error = log.error;
+      return result;
+    }
+  }
+
+  // Join submit times to termination times via the admission futures (all
+  // resolved after Drain), and assert the FIFO contract where it is
+  // observable: a producer alone on its shard must see ascending pids.
+  std::map<int, int> producers_per_shard;
+  for (const ProducerLog& log : logs) {
+    if (!log.tickets.empty()) producers_per_shard[log.tickets[0].shard]++;
+  }
+  result.latencies_ns.reserve(rate_per_s > 0 ? total : 0);
+  for (ProducerLog& log : logs) {
+    int64_t last_pid = 0;
+    const bool sole = !log.tickets.empty() &&
+                      producers_per_shard[log.tickets[0].shard] == 1;
+    for (size_t i = 0; i < log.tickets.size(); ++i) {
+      SubmitTicket& ticket = log.tickets[i];
+      Result<ProcessId> pid = ticket.Await();
+      if (!pid.ok()) {
+        result.ok = false;
+        result.error = pid.status().ToString();
+        return result;
+      }
+      if (sole) {
+        if (pid->value() <= last_pid) result.fifo_pids = false;
+        last_pid = pid->value();
+      }
+      if (rate_per_s > 0) {
+        const int64_t done = recorder.TerminatedNs(ticket.shard, *pid);
+        if (done >= 0 && done >= log.submit_ns[i]) {
+          result.latencies_ns.push_back(done - log.submit_ns[i]);
+        }
+      }
+    }
+  }
+
+  result.submitted = static_cast<int64_t>(per_producer) * tenants;
+  result.committed = recorder.committed();
+  result.aborted = recorder.aborted();
+  result.seconds = std::chrono::duration<double>(end - begin).count();
+  result.throughput =
+      result.seconds > 0 ? result.committed / result.seconds : 0.0;
+  return result;
+}
+
+struct ModeReport {
+  bool batched = false;
+  PhaseResult saturation;
+  PhaseResult paced;
+  Percentiles latency;  // over paced.latencies_ns, microseconds printed
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int64_t processes = 250000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--processes" && i + 1 < argc) {
+      processes = std::stoll(argv[++i]);
+    }
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  // Producers and shard workers share the machine; half the threads each
+  // side keeps the open-loop schedule honest.
+  const int tenants = std::max(1, std::min(4, hw / 2));
+
+  std::cout << "E23 wall-clock submit->commit latency (open-loop, " << tenants
+            << " tenants/shards, " << processes
+            << " processes per phase, hw threads = " << hw << ")\n\n";
+
+  bool all_ok = true;
+  std::vector<ModeReport> reports;
+  for (bool batched : {false, true}) {
+    ModeReport report;
+    report.batched = batched;
+    report.saturation = RunPhase(batched, tenants, processes, -1.0);
+    all_ok = all_ok && report.saturation.ok;
+    double rate = 0.7 * report.saturation.throughput;
+    if (report.saturation.ok && rate > 0) {
+      report.paced = RunPhase(batched, tenants, processes, rate);
+      all_ok = all_ok && report.paced.ok;
+      report.latency = Summarize(&report.paced.latencies_ns);
+    } else if (report.saturation.ok) {
+      report.paced.ok = false;
+      report.paced.error = "saturation throughput was zero";
+      all_ok = false;
+    }
+    const char* label = batched ? "batched   " : "per-process";
+    std::cout << "  " << label << "  saturation: " << std::fixed
+              << std::setprecision(0) << report.saturation.throughput
+              << " commit/s (" << report.saturation.committed << "/"
+              << report.saturation.submitted << " committed, "
+              << report.saturation.aborted << " aborted"
+              << (report.saturation.ok
+                      ? ""
+                      : StrCat(", FAILED: ", report.saturation.error))
+              << ")\n";
+    if (report.paced.ok) {
+      std::cout << "               open-loop @" << std::setprecision(0) << rate
+                << "/s: p50 " << std::setprecision(1)
+                << report.latency.p50 / 1e3 << "us  p99 "
+                << report.latency.p99 / 1e3 << "us  p99.9 "
+                << report.latency.p999 / 1e3 << "us  mean "
+                << report.latency.mean / 1e3 << "us  max "
+                << report.latency.max / 1e6 << "ms  ("
+                << report.paced.latencies_ns.size() << " samples, fifo="
+                << (report.paced.fifo_pids ? "ok" : "VIOLATED") << ")\n";
+      all_ok = all_ok && report.paced.fifo_pids;
+    } else {
+      std::cout << "               open-loop phase FAILED: "
+                << report.paced.error << "\n";
+    }
+    reports.push_back(std::move(report));
+  }
+
+  double speedup = 0.0;
+  if (reports.size() == 2 && reports[0].saturation.throughput > 0) {
+    speedup =
+        reports[1].saturation.throughput / reports[0].saturation.throughput;
+  }
+  // Batching amortizes validation and cycle checks; wall-clock noise gets
+  // a tolerance band, so the enforced claim is "no regression".
+  const bool pass = all_ok && speedup >= 0.85;
+  std::cout << "\n  headline: batched/per-process saturation throughput = "
+            << std::fixed << std::setprecision(2) << speedup
+            << "x (require >= 0.85x; expected shape: >= 1x — the batch "
+               "path amortizes per-submission admission work) "
+            << (pass ? "[OK]" : "[FAIL]") << "\n";
+
+  std::ostringstream json;
+  bench::JsonWriter writer(json);
+  writer.BeginObject();
+  writer.Field("benchmark",
+               StrCat("bench_latency E23 open-loop submit->commit wall-clock "
+                      "latency (",
+                      tenants, " tenants, ", processes,
+                      " processes per phase, batched vs per-process "
+                      "admission)"));
+  writer.Field(
+      "methodology",
+      "per admission mode: (1) saturation phase — one producer thread per "
+      "tenant submits commuting escrow processes as fast as the bounded "
+      "FIFO queues admit, throughput = committed/seconds; (2) open-loop "
+      "phase at 70% of that throughput — submissions follow a fixed "
+      "schedule, latency = termination instant minus SCHEDULED submit "
+      "instant (backpressure counts, no coordinated omission); submit and "
+      "termination joined via admission-ticket pid futures; shard "
+      "schedulers run with reclaim_terminated (bounded memory); FIFO "
+      "admission asserted via ascending pids on sole-producer shards");
+  writer.Field("hardware_threads", hw);
+  writer.Field("tenants", tenants);
+  writer.Field("processes_per_phase", processes);
+  writer.BeginArray("modes");
+  for (const ModeReport& report : reports) {
+    writer.BeginObject();
+    writer.Field("admission", report.batched ? "batched" : "per_process");
+    writer.BeginObject("saturation");
+    writer.Field("ok", report.saturation.ok);
+    if (!report.saturation.ok) writer.Field("error", report.saturation.error);
+    writer.Field("submitted", report.saturation.submitted);
+    writer.Field("committed", report.saturation.committed);
+    writer.Field("aborted", report.saturation.aborted);
+    writer.Field("seconds", report.saturation.seconds, 6);
+    writer.Field("commit_throughput_per_s", report.saturation.throughput, 1);
+    writer.EndObject();
+    writer.BeginObject("open_loop");
+    writer.Field("ok", report.paced.ok);
+    if (!report.paced.ok) writer.Field("error", report.paced.error);
+    writer.Field("target_rate_per_s", 0.7 * report.saturation.throughput, 1);
+    writer.Field("submitted", report.paced.submitted);
+    writer.Field("committed", report.paced.committed);
+    writer.Field("aborted", report.paced.aborted);
+    writer.Field("samples",
+                 static_cast<int64_t>(report.paced.latencies_ns.size()));
+    writer.Field("fifo_pids_ascending", report.paced.fifo_pids);
+    writer.Field("p50_us", report.latency.p50 / 1e3, 1);
+    writer.Field("p99_us", report.latency.p99 / 1e3, 1);
+    writer.Field("p999_us", report.latency.p999 / 1e3, 1);
+    writer.Field("mean_us", report.latency.mean / 1e3, 1);
+    writer.Field("max_us", report.latency.max / 1e3, 1);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.BeginObject("headline");
+  writer.Field("batched_vs_per_process_throughput", speedup, 3);
+  writer.Field("required_min_ratio", 0.85, 2);
+  writer.Field("pass", pass);
+  writer.EndObject();
+  writer.EndObject();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str();
+    std::cout << "\n  wrote " << json_path << "\n";
+  }
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+#ifndef TPM_COMMON_FLAT_CONTAINERS_H_
+#define TPM_COMMON_FLAT_CONTAINERS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tpm {
+
+/// Sorted-vector set with the std::set subset the scheduler hot path uses.
+/// The point is allocation behaviour, not asymptotics: per-process sets are
+/// small (a handful of ready activities, committed marks), so binary search
+/// + contiguous storage beats one red-black node allocation per element —
+/// and clear() keeps the capacity, which is what makes runtime-object
+/// pooling (SchedulerOptions::reclaim_terminated) allocation-free in steady
+/// state. Iteration order is ascending, like std::set.
+template <typename K>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<K>::const_iterator;
+  using iterator = const_iterator;  // keys are immutable in place
+
+  std::pair<const_iterator, bool> insert(const K& key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) return {it, false};
+    return {keys_.insert(it, key), true};
+  }
+
+  size_t erase(const K& key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) return 0;
+    keys_.erase(it);
+    return 1;
+  }
+
+  size_t count(const K& key) const {
+    return std::binary_search(keys_.begin(), keys_.end(), key) ? 1 : 0;
+  }
+
+  const_iterator find(const K& key) const {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) return keys_.end();
+    return it;
+  }
+
+  const_iterator begin() const { return keys_.begin(); }
+  const_iterator end() const { return keys_.end(); }
+  bool empty() const { return keys_.empty(); }
+  size_t size() const { return keys_.size(); }
+  void clear() { keys_.clear(); }  // keeps capacity
+
+ private:
+  std::vector<K> keys_;
+};
+
+/// Sorted-vector map, companion of FlatSet (same rationale). Iterators are
+/// mutable pair iterators, so `it->second` is assignable like std::map.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  V& operator[](const K& key) {
+    auto it = LowerBound(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, {key, V()})->second;
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& key, Args&&... args) {
+    auto it = LowerBound(key);
+    if (it != entries_.end() && it->first == key) return {it, false};
+    return {entries_.insert(it, {key, V(std::forward<Args>(args)...)}), true};
+  }
+
+  size_t erase(const K& key) {
+    auto it = LowerBound(key);
+    if (it == entries_.end() || it->first != key) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+  iterator erase(iterator pos) { return entries_.erase(pos); }
+
+  size_t count(const K& key) const {
+    auto it = LowerBound(key);
+    return (it != entries_.end() && it->first == key) ? 1 : 0;
+  }
+
+  iterator find(const K& key) {
+    auto it = LowerBound(key);
+    if (it == entries_.end() || it->first != key) return entries_.end();
+    return it;
+  }
+
+  const_iterator find(const K& key) const {
+    auto it = LowerBound(key);
+    if (it == entries_.end() || it->first != key) return entries_.end();
+    return it;
+  }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }  // keeps capacity
+
+ private:
+  iterator LowerBound(const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+  const_iterator LowerBound(const K& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_COMMON_FLAT_CONTAINERS_H_

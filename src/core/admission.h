@@ -46,6 +46,17 @@ class SchedulerView {
   virtual void ForEachProcess(
       const std::function<void(const ProcessView&)>& fn) const = 0;
 
+  /// Invokes fn for every ACTIVE process, in ascending pid order. The
+  /// admission hot path iterates active processes far more often than it
+  /// iterates everything, and long-running schedulers accumulate terminated
+  /// runtimes — implementations with an active index override this.
+  virtual void ForEachActiveProcess(
+      const std::function<void(const ProcessView&)>& fn) const {
+    ForEachProcess([&](const ProcessView& p) {
+      if (p.state->IsActive()) fn(p);
+    });
+  }
+
   /// True iff `pid` emitted an instance of `service` (and its conflict
   /// footprint has not been reclaimed yet).
   virtual bool HasEmitted(ProcessId pid, ServiceId service) const = 0;
@@ -128,6 +139,22 @@ class AdmissionGuard {
   /// Decides whether original activity `act` of `rt` may execute now.
   virtual AdmissionDecision Admit(const SchedulerView::ProcessView& rt,
                                   ActivityId act) = 0;
+
+  /// Certifies a batch of freshly submitted processes in one call. The
+  /// scheduler has already extended the serialization graph with one node
+  /// per entry; the nodes are guaranteed edge-free (submission acquires no
+  /// conflict edges — those appear at activity emission), so extending the
+  /// graph cannot close a cycle and the batch is admissible as a whole.
+  /// SGT-based guards verify that isolation invariant and return kDefer if
+  /// it is violated, which makes the scheduler split the batch and fall
+  /// back to per-process admission — keeping batched outcomes bit-identical
+  /// to the one-at-a-time path. Protocols whose admission state is keyed on
+  /// activity execution (serial token, 2PL lock table) have nothing to
+  /// check at submission time and keep this default.
+  virtual AdmissionDecision AdmitBatch(const std::vector<ProcessId>& fresh) {
+    (void)fresh;
+    return AdmissionDecision::kAdmit;
+  }
 
   /// The engine is about to invoke `service` on behalf of `pid` (this is
   /// where locks / the serial token are taken).

@@ -1,9 +1,9 @@
 #ifndef TPM_CORE_EXECUTION_STATE_H_
 #define TPM_CORE_EXECUTION_STATE_H_
 
-#include <set>
 #include <vector>
 
+#include "common/flat_containers.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "core/activity.h"
@@ -33,6 +33,17 @@ class ProcessExecutionState {
  public:
   ProcessExecutionState(ProcessId pid, const ProcessDef* def)
       : pid_(pid), def_(def) {}
+
+  /// Re-initializes for a new process, keeping the containers' capacity —
+  /// the scheduler's runtime pool recycles states without reallocating.
+  void Reset(ProcessId pid, const ProcessDef* def) {
+    pid_ = pid;
+    def_ = def;
+    committed_order_.clear();
+    committed_.clear();
+    compensated_.clear();
+    outcome_ = ProcessOutcome::kActive;
+  }
 
   ProcessId pid() const { return pid_; }
   const ProcessDef& def() const { return *def_; }
@@ -81,8 +92,8 @@ class ProcessExecutionState {
   ProcessId pid_;
   const ProcessDef* def_;
   std::vector<ActivityId> committed_order_;
-  std::set<ActivityId> committed_;
-  std::set<ActivityId> compensated_;
+  FlatSet<ActivityId> committed_;
+  FlatSet<ActivityId> compensated_;
   ProcessOutcome outcome_ = ProcessOutcome::kActive;
 };
 

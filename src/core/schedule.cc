@@ -215,6 +215,27 @@ ProcessSchedule ProcessSchedule::Prefix(size_t n) const {
   return prefix;
 }
 
+void ProcessSchedule::ReleaseProcess(ProcessId pid) {
+  if (defs_.erase(pid) == 0) return;
+  states_.erase(pid);
+  released_.insert(pid);
+}
+
+void ProcessSchedule::Compact() {
+  if (released_.empty()) return;
+  std::erase_if(events_, [&](const ScheduleEvent& e) {
+    if (e.type == EventType::kGroupAbort) {
+      // A group-abort marker survives until every member is released.
+      for (ProcessId p : e.group) {
+        if (released_.count(p) == 0) return false;
+      }
+      return true;
+    }
+    return released_.count(e.process) > 0;
+  });
+  released_.clear();
+}
+
 ServiceId ProcessSchedule::ServiceOf(const ActivityInstance& inst) const {
   const ProcessDef* def = DefOf(inst.process);
   if (def == nullptr || !def->HasActivity(inst.activity)) return ServiceId();

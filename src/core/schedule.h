@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,20 @@ class ProcessSchedule {
   /// The schedule consisting of the first `n` events (same process set).
   ProcessSchedule Prefix(size_t n) const;
 
+  /// Bounded-memory support (SchedulerOptions::reclaim_terminated):
+  /// forgets a terminated process — its definition/state entries
+  /// immediately, its events at the next Compact(). The schedule then no
+  /// longer represents the full execution; callers own that trade-off.
+  void ReleaseProcess(ProcessId pid);
+
+  /// Erases the events of every released process. O(events), so callers
+  /// batch releases and compact at epoch boundaries; each event is erased
+  /// at most once, keeping the amortized cost per event constant.
+  void Compact();
+
+  /// Released processes whose events still await Compact().
+  size_t pending_release_count() const { return released_.size(); }
+
   /// True if instances a (earlier) and b (later, by position) conflict under
   /// `spec`: different processes and conflicting services, honoring perfect
   /// commutativity (inverse instances conflict exactly like their
@@ -111,6 +126,8 @@ class ProcessSchedule {
   std::vector<ScheduleEvent> events_;
   std::map<ProcessId, const ProcessDef*> defs_;
   std::map<ProcessId, std::shared_ptr<ProcessExecutionState>> states_;
+  /// Processes released but whose events are not yet compacted away.
+  std::set<ProcessId> released_;
 };
 
 /// The committed projection of a history: the events of exactly those

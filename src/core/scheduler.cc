@@ -76,6 +76,71 @@ void TransactionalProcessScheduler::EmplaceRuntime(
   size_t slot = static_cast<size_t>(pid.value()) - 1;
   if (slot >= runtimes_.size()) runtimes_.resize(slot + 1);
   runtimes_[slot] = std::move(rt);
+  // Pids are handed out ascending, so the index append is O(1); the
+  // sorted-insert fallback covers out-of-order replay.
+  if (active_pids_.empty() || active_pids_.back() < pid) {
+    active_pids_.push_back(pid);
+  } else {
+    auto it = std::lower_bound(active_pids_.begin(), active_pids_.end(), pid);
+    if (it == active_pids_.end() || *it != pid) active_pids_.insert(it, pid);
+  }
+}
+
+void TransactionalProcessScheduler::DeactivatePid(ProcessId pid) {
+  auto it = std::lower_bound(active_pids_.begin(), active_pids_.end(), pid);
+  if (it != active_pids_.end() && *it == pid) active_pids_.erase(it);
+}
+
+void TransactionalProcessScheduler::MarkPruned(ProcessId pid) {
+  const size_t slot = static_cast<size_t>(pid.value() - 1);
+  if (slot >= pruned_.size()) pruned_.resize(slot + 1, 0);
+  pruned_[slot] = 1;
+  if (options_.reclaim_terminated) reclaim_queue_.push_back(pid);
+}
+
+std::unique_ptr<TransactionalProcessScheduler::ProcessRuntime>
+TransactionalProcessScheduler::AcquireRuntime(ProcessId pid,
+                                              const ProcessDef* def) {
+  if (runtime_pool_.empty()) {
+    return std::make_unique<ProcessRuntime>(pid, def);
+  }
+  std::unique_ptr<ProcessRuntime> rt = std::move(runtime_pool_.back());
+  runtime_pool_.pop_back();
+  rt->Reset(pid, def);
+  return rt;
+}
+
+namespace {
+/// How many released processes accumulate before the history's event
+/// vector is compacted (Compact is O(events), so batching keeps the
+/// amortized cost per event constant).
+constexpr size_t kHistoryCompactBatch = 1024;
+}  // namespace
+
+void TransactionalProcessScheduler::DrainReclaimables() {
+  if (!options_.reclaim_terminated || reclaim_queue_.empty()) return;
+  for (ProcessId pid : reclaim_queue_) {
+    const size_t slot = static_cast<size_t>(pid.value() - 1);
+    if (slot >= runtimes_.size() || runtimes_[slot] == nullptr) continue;
+    if (slot >= reclaimed_outcome_.size()) {
+      reclaimed_outcome_.resize(slot + 1,
+                                static_cast<uint8_t>(ProcessOutcome::kActive));
+    }
+    reclaimed_outcome_[slot] =
+        static_cast<uint8_t>(runtimes_[slot]->state.outcome());
+    history_.ReleaseProcess(pid);
+    runtime_pool_.push_back(std::move(runtimes_[slot]));
+  }
+  reclaim_queue_.clear();
+  // Cascade bookkeeping referencing recycled processes can never be
+  // re-evaluated (the compensation gate only looks at live runtimes).
+  std::erase_if(cascade_counted_, [&](const std::pair<int64_t, int64_t>& p) {
+    return FindRuntime(ProcessId(p.first)) == nullptr ||
+           FindRuntime(ProcessId(p.second)) == nullptr;
+  });
+  if (history_.pending_release_count() >= kHistoryCompactBatch) {
+    history_.Compact();
+  }
 }
 
 void TransactionalProcessScheduler::EnsureEmitterRows() {
@@ -114,6 +179,16 @@ void TransactionalProcessScheduler::ForEachProcess(
   }
 }
 
+void TransactionalProcessScheduler::ForEachActiveProcess(
+    const std::function<void(const ProcessView&)>& fn) const {
+  // active_pids_ is sorted ascending, so visit order matches the slot scan
+  // of ForEachProcess restricted to active processes.
+  for (ProcessId pid : active_pids_) {
+    const ProcessRuntime* rt = FindRuntime(pid);
+    if (rt != nullptr) fn(ViewOf(*rt));
+  }
+}
+
 bool TransactionalProcessScheduler::HasEmitted(ProcessId pid,
                                                ServiceId service) const {
   int index = spec_.IndexOf(service);
@@ -139,8 +214,15 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
     const ProcessDef* def, int64_t param,
     std::vector<ProcessDependency> dependencies) {
   CheckThread("Submit");
+  DrainReclaimables();
   if (def == nullptr || !def->validated()) {
     return Status::InvalidArgument("process definition missing/unvalidated");
+  }
+  if (options_.reclaim_terminated && !dependencies.empty()) {
+    // A dependency pins its target runtime (the execution path dereferences
+    // it unchecked), which the reclaim protocol cannot guarantee.
+    return Status::InvalidArgument(
+        "inter-process dependencies are unsupported with reclaim_terminated");
   }
   TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(*def));
   for (const ActivityDecl& decl : def->activities()) {
@@ -161,7 +243,7 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
     }
   }
   ProcessId pid(next_pid_++);
-  auto runtime = std::make_unique<ProcessRuntime>(pid, def);
+  std::unique_ptr<ProcessRuntime> runtime = AcquireRuntime(pid, def);
   runtime->param = param;
   runtime->dependencies = std::move(dependencies);
   runtime->submitted_at = clock_->now();
@@ -173,6 +255,94 @@ Result<ProcessId> TransactionalProcessScheduler::Submit(
   }
   EmplaceRuntime(pid, std::move(runtime));
   return pid;
+}
+
+Status TransactionalProcessScheduler::ValidateDefForBatch(
+    const ProcessDef* def) {
+  if (def == nullptr || !def->validated()) {
+    return Status::InvalidArgument("process definition missing/unvalidated");
+  }
+  if (validated_defs_.count(def) > 0) return Status::OK();
+  TPM_RETURN_IF_ERROR(ValidateWellFormedFlex(*def));
+  for (const ActivityDecl& decl : def->activities()) {
+    TPM_RETURN_IF_ERROR(RouteService(decl.service).status());
+    if (decl.compensation_service.valid()) {
+      TPM_RETURN_IF_ERROR(RouteService(decl.compensation_service).status());
+    }
+  }
+  validated_defs_.insert(def);
+  return Status::OK();
+}
+
+std::vector<Result<ProcessId>> TransactionalProcessScheduler::SubmitBatch(
+    const std::vector<BatchSubmission>& batch) {
+  CheckThread("SubmitBatch");
+  DrainReclaimables();
+  std::vector<Result<ProcessId>> results(
+      batch.size(), Result<ProcessId>(Status::Internal("batch slot unset")));
+  // Phase 1: admission checks, memoized per definition — the first
+  // occurrence of a definition pays the full well-formedness + routing
+  // validation, every repeat is a set lookup.
+  std::vector<size_t> valid;
+  valid.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Status checked = ValidateDefForBatch(batch[i].def);
+    if (checked.ok()) {
+      valid.push_back(i);
+    } else {
+      results[i] = checked;
+    }
+  }
+  // Phase 2: allocate the pid range and extend the serialization graph
+  // with one isolated node per admitted process; the guard certifies the
+  // whole extension with ONE incremental cycle check (fresh nodes have no
+  // incident edges, so the extension cannot close a cycle — the guard
+  // verifies exactly that).
+  const int64_t first_pid = next_pid_;
+  std::vector<ProcessId> fresh;
+  fresh.reserve(valid.size());
+  for (size_t k = 0; k < valid.size(); ++k) {
+    ProcessId pid(next_pid_++);
+    sg_.AddNode(pid);
+    fresh.push_back(pid);
+  }
+  if (!fresh.empty() &&
+      guard_->AdmitBatch(fresh) != AdmissionDecision::kAdmit) {
+    // Split on rejection: undo the speculative extension and fall back to
+    // per-process admission, which reproduces the one-at-a-time outcomes
+    // exactly (same pid sequence — nothing else consumed pids).
+    for (ProcessId pid : fresh) sg_.RemoveNode(pid);
+    next_pid_ = first_pid;
+    for (size_t i : valid) {
+      results[i] = Submit(batch[i].def, batch[i].param);
+    }
+    return results;
+  }
+  // Phase 3: materialize runtimes, history entries and WAL records in
+  // batch order — the record sequence is exactly the per-process one.
+  size_t k = 0;
+  for (size_t i : valid) {
+    const ProcessDef* def = batch[i].def;
+    const ProcessId pid = fresh[k++];
+    std::unique_ptr<ProcessRuntime> runtime = AcquireRuntime(pid, def);
+    runtime->param = batch[i].param;
+    runtime->submitted_at = clock_->now();
+    for (ActivityId root : def->Roots()) runtime->ready.insert(root);
+    Status recorded = history_.AddProcess(pid, def);
+    if (recorded.ok() && log_ != nullptr) {
+      recorded =
+          log_->Append({SchedulerLogRecord::Kind::kProcessBegin, pid,
+                        ActivityId(), def->name(), batch[i].param});
+    }
+    if (!recorded.ok()) {
+      sg_.RemoveNode(pid);
+      results[i] = recorded;
+      continue;
+    }
+    EmplaceRuntime(pid, std::move(runtime));
+    results[i] = pid;
+  }
+  return results;
 }
 
 Result<ProcessId> TransactionalProcessScheduler::SubmitHeld(
@@ -224,7 +394,8 @@ Status TransactionalProcessScheduler::AddExternalOrder(ProcessId before,
 int64_t TransactionalProcessScheduler::held_undecided_count() const {
   CheckThread("held_undecided_count");
   int64_t count = 0;
-  for (const auto& rt : runtimes_) {
+  for (ProcessId pid : active_pids_) {
+    const ProcessRuntime* rt = FindRuntime(pid);
     if (rt != nullptr && rt->state.IsActive() &&
         (rt->hold_commit || rt->decided_commit)) {
       ++count;
@@ -236,8 +407,14 @@ int64_t TransactionalProcessScheduler::held_undecided_count() const {
 ProcessOutcome TransactionalProcessScheduler::OutcomeOf(ProcessId pid) const {
   CheckThread("OutcomeOf");
   const ProcessRuntime* rt = FindRuntime(pid);
-  if (rt == nullptr) return ProcessOutcome::kActive;
-  return rt->state.outcome();
+  if (rt != nullptr) return rt->state.outcome();
+  if (options_.reclaim_terminated && pid.value() >= 1) {
+    const size_t slot = static_cast<size_t>(pid.value() - 1);
+    if (slot < reclaimed_outcome_.size()) {
+      return static_cast<ProcessOutcome>(reclaimed_outcome_[slot]);
+    }
+  }
+  return ProcessOutcome::kActive;
 }
 
 // ---------------------------------------------------------------------------
@@ -248,25 +425,35 @@ void TransactionalProcessScheduler::AddSerializationEdges(
   for (ProcessId p : preds) sg_.AddEdge(p, pid);
 }
 
-void TransactionalProcessScheduler::PruneSerializationGraph() {
+void TransactionalProcessScheduler::PruneSerializationGraph(
+    std::vector<ProcessId> worklist) {
   // A terminated process with no predecessors can never again lie on a
   // cycle (edges are only ever added toward active requesters), so its
   // graph bookkeeping can be dropped — recursively, since its removal may
-  // free successors. The runtime itself is kept for outcome queries.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& rt : runtimes_) {
-      if (rt == nullptr) continue;
-      if (rt->state.IsActive() || pruned_.count(rt->pid) > 0 ||
-          sg_.HasPredecessors(rt->pid)) {
-        continue;
-      }
-      sg_.RemoveNode(rt->pid);
-      RemoveEmitter(rt->pid);
-      pruned_.insert(rt->pid);
-      changed = true;
+  // free successors. The runtime itself is kept for outcome queries (until
+  // reclaim_terminated recycles it).
+  //
+  // Worklist instead of a full fixpoint scan: the invariant is that every
+  // FinishProcess leaves the graph fully pruned, and between calls edges
+  // are only added toward active processes — so the only nodes whose
+  // prunability can have changed are the seeds (the process that just
+  // terminated, plus the successors its removal exposed). Popping those and
+  // cascading through exposed successors therefore removes exactly the set
+  // the full scan's fixpoint would.
+  while (!worklist.empty()) {
+    const ProcessId pid = worklist.back();
+    worklist.pop_back();
+    const ProcessRuntime* rt = FindRuntime(pid);
+    if (rt == nullptr || rt->state.IsActive() || IsPruned(pid) ||
+        sg_.HasPredecessors(pid)) {
+      continue;
     }
+    std::vector<ProcessId> exposed;
+    sg_.ForEachSuccessor(pid, [&](ProcessId succ) { exposed.push_back(succ); });
+    sg_.RemoveNode(pid);
+    RemoveEmitter(pid);
+    MarkPruned(pid);
+    for (ProcessId succ : exposed) worklist.push_back(succ);
   }
 }
 
@@ -698,7 +885,7 @@ Status TransactionalProcessScheduler::CompensateSubtree(ProcessRuntime& rt,
   // Drop ready activities of the abandoned branch (and their parked
   // bookkeeping — a parked activity abandoned with its branch never
   // resumes).
-  std::set<ActivityId> still_ready;
+  FlatSet<ActivityId> still_ready;
   for (ActivityId r : rt.ready) {
     if (!rt.def->Precedes(branch_point, r)) still_ready.insert(r);
   }
@@ -1003,15 +1190,22 @@ Status TransactionalProcessScheduler::FinishProcess(ProcessRuntime& rt,
     rt.state.RecordAbortProcess();
     ++stats_.processes_aborted;
   }
+  // Immediately after the outcome flip, so the active index stays
+  // consistent with the state even if the WAL append below fails.
+  DeactivatePid(rt.pid);
   if (log_ != nullptr) {
     TPM_RETURN_IF_ERROR(log_->Append(
         {committed ? SchedulerLogRecord::Kind::kProcessCommitted
                    : SchedulerLogRecord::Kind::kProcessAborted,
          rt.pid, ActivityId(), "", 0}));
   }
-  latencies_.push_back(ProcessLatency{rt.pid, rt.submitted_at,
-                                      rt.started_at, clock_->now(),
-                                      rt.state.outcome()});
+  if (!options_.reclaim_terminated) {
+    // Unbounded growth — deliberately skipped in bounded-memory mode
+    // (observers / stats() carry the per-process signal there).
+    latencies_.push_back(ProcessLatency{rt.pid, rt.submitted_at,
+                                        rt.started_at, clock_->now(),
+                                        rt.state.outcome()});
+  }
   for (SchedulerObserver* observer : observers_) {
     observer->OnProcessTerminated(rt.pid, rt.state.outcome());
   }
@@ -1021,14 +1215,20 @@ Status TransactionalProcessScheduler::FinishProcess(ProcessRuntime& rt,
   for (Subsystem* subsystem : subsystems_) {
     subsystem->OnProcessResolved(rt.pid, committed);
   }
+  std::vector<ProcessId> prune_seeds;
   if (!committed && AbortedProcessLeavesNoTrace(rt)) {
     // The process reduced away entirely: release its conflict footprint so
-    // it no longer constrains (or cycles with) future activities.
+    // it no longer constrains (or cycles with) future activities. The
+    // successors the removal exposes seed the pruning worklist.
+    sg_.ForEachSuccessor(rt.pid,
+                         [&](ProcessId succ) { prune_seeds.push_back(succ); });
     sg_.RemoveNode(rt.pid);
     RemoveEmitter(rt.pid);
-    pruned_.insert(rt.pid);
+    MarkPruned(rt.pid);
+  } else {
+    prune_seeds.push_back(rt.pid);
   }
-  PruneSerializationGraph();
+  PruneSerializationGraph(std::move(prune_seeds));
   return Status::OK();
 }
 
@@ -1040,7 +1240,8 @@ Result<bool> TransactionalProcessScheduler::TryExecuteProcess(
   // Congestion control: unstarted processes wait for a concurrency slot.
   if (!rt.started && options_.max_concurrent_processes > 0) {
     int started_active = 0;
-    for (const auto& other : runtimes_) {
+    for (ProcessId pid : active_pids_) {
+      const ProcessRuntime* other = FindRuntime(pid);
       if (other != nullptr && other->state.IsActive() && other->started) {
         ++started_active;
       }
@@ -1188,7 +1389,8 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
   // waiting, not a deadlock. Give the decision bounded (deterministic,
   // pass-counted) time to arrive before falling through to victimization.
   bool external_wait = false;
-  for (const auto& rt : runtimes_) {
+  for (ProcessId pid : active_pids_) {
+    const ProcessRuntime* rt = FindRuntime(pid);
     if (rt != nullptr && rt->state.IsActive() &&
         (rt->commit_held || rt->decided_commit)) {
       external_wait = true;
@@ -1205,7 +1407,8 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
   auto cost = [](const ProcessRuntime& rt) {
     return rt.state.EffectiveCommitted().size();
   };
-  for (const auto& rt : runtimes_) {
+  for (ProcessId pid : active_pids_) {
+    ProcessRuntime* rt = FindRuntime(pid);
     if (rt == nullptr) continue;
     if (!rt->state.IsActive() || rt->completing()) continue;
     // A voted or commit-decided 2PC participant cannot unilaterally abort;
@@ -1214,7 +1417,7 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
     // the local abort surfaces to the agent, which aborts globally.)
     if (rt->commit_held || rt->decided_commit) continue;
     if (victim == nullptr) {
-      victim = rt.get();
+      victim = rt;
       continue;
     }
     const bool rt_brec = rt->state.recovery_state() ==
@@ -1222,14 +1425,14 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
     const bool victim_brec = victim->state.recovery_state() ==
                              RecoveryState::kBackwardRecoverable;
     if (rt_brec != victim_brec) {
-      if (rt_brec) victim = rt.get();
+      if (rt_brec) victim = rt;
       continue;
     }
     if (cost(*rt) != cost(*victim)) {
-      if (cost(*rt) < cost(*victim)) victim = rt.get();
+      if (cost(*rt) < cost(*victim)) victim = rt;
       continue;
     }
-    if (rt->pid > victim->pid) victim = rt.get();
+    if (rt->pid > victim->pid) victim = rt;
   }
   if (victim == nullptr) {
     // Every active process is already completing and this pass made no
@@ -1248,13 +1451,14 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
     bool target_is_inverse = false;
     size_t latest_original = 0;
     const auto& events = history_.events();
-    for (const auto& rt : runtimes_) {
+    for (ProcessId pid : active_pids_) {
+      ProcessRuntime* rt = FindRuntime(pid);
       if (rt == nullptr || !rt->state.IsActive() || !rt->completing()) {
         continue;
       }
       if (rt->pending.empty() || !rt->pending.front().inverse) {
         // Drain or forward step: eligible, but any inverse takes priority.
-        if (target == nullptr) target = rt.get();
+        if (target == nullptr) target = rt;
         continue;
       }
       // Position of the most recent original commit of the head inverse.
@@ -1269,7 +1473,7 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
         }
       }
       if (!target_is_inverse || pos > latest_original) {
-        target = rt.get();
+        target = rt;
         target_is_inverse = true;
         latest_original = pos;
       }
@@ -1285,7 +1489,8 @@ Status TransactionalProcessScheduler::ResolveDeadlock() {
       return Status::OK();
     }
     std::string detail;
-    for (const auto& rt : runtimes_) {
+    for (ProcessId pid : active_pids_) {
+      const ProcessRuntime* rt = FindRuntime(pid);
       if (rt == nullptr || !rt->state.IsActive()) continue;
       detail += StrCat(" P", rt->pid, "(completing=", rt->completing() ? 1 : 0,
                        ",pending=", rt->pending.size(),
@@ -1330,6 +1535,7 @@ void TransactionalProcessScheduler::PollSubsystemHealth() {
 
 Result<bool> TransactionalProcessScheduler::Step() {
   CheckThread("Step");
+  DrainReclaimables();
   ++stats_.steps;
   clock_->Advance(1);
   stats_.virtual_time = clock_->now();
@@ -1338,8 +1544,13 @@ Result<bool> TransactionalProcessScheduler::Step() {
   parked_this_pass_ = false;
   const int64_t aborts_before = aborts_started_;
 
+  // Snapshot the active index: execution terminates processes (mutating
+  // active_pids_) mid-loop. Visit order — ascending pid — is unchanged.
+  std::vector<ProcessId> active = active_pids_;
+
   // Release deferred commits whose blockers are gone (Lemma 1).
-  for (const auto& rt : runtimes_) {
+  for (ProcessId pid : active) {
+    ProcessRuntime* rt = FindRuntime(pid);
     if (rt == nullptr || !rt->state.IsActive() || rt->prepared.empty()) {
       continue;
     }
@@ -1349,10 +1560,6 @@ Result<bool> TransactionalProcessScheduler::Step() {
   }
 
   // One execution attempt per active process, in pid order.
-  std::vector<ProcessId> active;
-  for (const auto& rt : runtimes_) {
-    if (rt != nullptr && rt->state.IsActive()) active.push_back(rt->pid);
-  }
   bool any_busy = false;
   for (ProcessId pid : active) {
     ProcessRuntime* rt = FindRuntime(pid);
@@ -1371,14 +1578,7 @@ Result<bool> TransactionalProcessScheduler::Step() {
     progress = progress || p;
   }
 
-  bool any_active = false;
-  for (const auto& rt : runtimes_) {
-    if (rt != nullptr && rt->state.IsActive()) {
-      any_active = true;
-      break;
-    }
-  }
-  if (!any_active) return false;
+  if (active_pids_.empty()) return false;
   // Cascade aborts initiated inside admission/compensation gates changed
   // scheduler state even if no activity executed this pass; time passing
   // for a long-running activity is progress too, and so is parking — a
@@ -1514,7 +1714,11 @@ Status TransactionalProcessScheduler::Checkpoint() {
 void TransactionalProcessScheduler::Crash() {
   CheckThread("Crash");
   runtimes_.clear();
+  active_pids_.clear();
   pruned_.clear();
+  reclaim_queue_.clear();
+  reclaimed_outcome_.clear();
+  // runtime_pool_ survives: pooled objects carry no process state.
   cascade_counted_.clear();
   force_next_completion_ = false;
   parked_this_pass_ = false;
@@ -1523,6 +1727,7 @@ void TransactionalProcessScheduler::Crash() {
   // simulation time and keeps running across the crash.
   if (clock_ == &owned_clock_) owned_clock_.Reset();
   latencies_.clear();
+  validated_defs_.clear();
   history_ = ProcessSchedule();
   sg_.Clear();
   for (std::vector<ProcessId>& row : service_emitters_) row.clear();
@@ -1638,6 +1843,13 @@ Status TransactionalProcessScheduler::Recover(
         break;
       }
     }
+  }
+
+  // Replay flipped outcomes directly (no FinishProcess), so rebuild the
+  // active index before anything consumes it — slot order keeps it sorted.
+  active_pids_.clear();
+  for (const auto& rt : runtimes_) {
+    if (rt != nullptr && rt->state.IsActive()) active_pids_.push_back(rt->pid);
   }
 
   // Resolve in-doubt spanning sub-processes (Lemma 1 generalized so a

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_containers.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "common/thread_affinity.h"
@@ -144,6 +145,30 @@ class TransactionalProcessScheduler : private SchedulerView {
   Result<ProcessId> Submit(const ProcessDef* def, int64_t param = 0,
                            std::vector<ProcessDependency> dependencies = {});
 
+  /// One entry of a batched admission (SubmitBatch).
+  struct BatchSubmission {
+    const ProcessDef* def = nullptr;
+    int64_t param = 0;
+  };
+
+  /// Admits a whole batch of processes in one pass — the shard worker's
+  /// per-tick queue drain. Returns one Result per entry, in order, and the
+  /// outcomes are bit-identical to calling Submit once per entry in the
+  /// same order (proven by the batch-equivalence golden test). The batch
+  /// path amortizes the per-submission admission cost: definition
+  /// validation and service routing are memoized per ProcessDef pointer
+  /// (sound because definitions are immutable once validated, must outlive
+  /// their processes, and the routing table only grows), the serialization
+  /// graph is extended with one isolated node per admitted process, and
+  /// the admission guard certifies the whole extension with a single
+  /// incremental cycle check instead of one per process (the multi-level
+  /// amortization: a batch of fresh, edge-free nodes cannot close a
+  /// cycle). If the guard declines the batch, admission falls back to the
+  /// per-process path entry by entry. Inter-process dependencies are not
+  /// supported in batches — submit those through Submit.
+  std::vector<Result<ProcessId>> SubmitBatch(
+      const std::vector<BatchSubmission>& batch);
+
   /// Admits a sub-process of a cross-shard spanning process under the
   /// held-commit protocol: this scheduler acts as a participant of a
   /// distributed 2PC whose coordinator is the cross-shard agent. Every
@@ -275,9 +300,9 @@ class TransactionalProcessScheduler : private SchedulerView {
     ProcessId pid;
     const ProcessDef* def = nullptr;
     ProcessExecutionState state;
-    std::set<ActivityId> ready;
-    std::map<ActivityId, int> active_group;
-    std::map<ActivityId, int> retries;
+    FlatSet<ActivityId> ready;
+    FlatMap<ActivityId, int> active_group;
+    FlatMap<ActivityId, int> retries;
     std::vector<PreparedBranch> prepared;
     /// Compensation / recovery steps to execute with priority (front
     /// first). While non-empty the process executes only these.
@@ -295,7 +320,7 @@ class TransactionalProcessScheduler : private SchedulerView {
     /// Parked activities stay in `ready` but are not invoked; they resume
     /// when the breaker half-opens, fail over after park_timeout_ticks, or
     /// are dropped with their branch on a degraded switch.
-    std::map<ActivityId, int64_t> parked;
+    FlatMap<ActivityId, int64_t> parked;
     /// A 2PC commit decision for the prepared branches is logged but some
     /// participant was unreachable during phase two: the branches are in
     /// doubt and the process waits for RecoverInDoubt to resolve them
@@ -327,6 +352,34 @@ class TransactionalProcessScheduler : private SchedulerView {
 
     ProcessRuntime(ProcessId p, const ProcessDef* d)
         : pid(p), def(d), state(p, d) {}
+
+    /// Re-initializes a pooled runtime for a new process. Every container
+    /// is cleared in place, keeping its capacity — the steady-state
+    /// admission path then allocates nothing.
+    void Reset(ProcessId p, const ProcessDef* d) {
+      pid = p;
+      def = d;
+      state.Reset(p, d);
+      ready.clear();
+      active_group.clear();
+      retries.clear();
+      prepared.clear();
+      pending.clear();
+      on_drain = DrainAction::kNone;
+      drain_branch_point = ActivityId();
+      drain_group = 0;
+      param = 0;
+      dependencies.clear();
+      busy_until = 0;
+      parked.clear();
+      release_in_doubt = false;
+      hold_commit = false;
+      commit_held = false;
+      decided_commit = false;
+      started = false;
+      submitted_at = 0;
+      started_at = -1;
+    }
   };
 
   // --- SchedulerView (the read-only face the admission layer consumes). ---
@@ -335,6 +388,8 @@ class TransactionalProcessScheduler : private SchedulerView {
   }
   std::optional<ProcessView> FindProcess(ProcessId pid) const override;
   void ForEachProcess(
+      const std::function<void(const ProcessView&)>& fn) const override;
+  void ForEachActiveProcess(
       const std::function<void(const ProcessView&)>& fn) const override;
   bool HasEmitted(ProcessId pid, ServiceId service) const override;
   void ForEachEmitter(
@@ -351,11 +406,34 @@ class TransactionalProcessScheduler : private SchedulerView {
     affinity_.CheckOrDie("TransactionalProcessScheduler", site);
   }
 
+  /// Submit's per-definition admission checks (well-formed flex structure
+  /// + every service routed), memoized per ProcessDef pointer for the
+  /// batch path. Only success is cached: a definition that fails routing
+  /// now may pass after more subsystems register.
+  Status ValidateDefForBatch(const ProcessDef* def);
+
   // Dense runtime table: slot pid.value() - 1 (pids are handed out
   // sequentially from 1; Recover re-creates the original pids).
   ProcessRuntime* FindRuntime(ProcessId pid);
   const ProcessRuntime* FindRuntime(ProcessId pid) const;
   void EmplaceRuntime(ProcessId pid, std::unique_ptr<ProcessRuntime> rt);
+
+  /// A fresh runtime for `pid` — from the pool (reclaim_terminated) when
+  /// one is available, else newly allocated.
+  std::unique_ptr<ProcessRuntime> AcquireRuntime(ProcessId pid,
+                                                 const ProcessDef* def);
+  /// Epoch boundary of the reclaim protocol (start of Submit/SubmitBatch/
+  /// Step): recycles every pruned terminated runtime into the pool and
+  /// compacts the history once enough releases accumulated.
+  void DrainReclaimables();
+
+  bool IsPruned(ProcessId pid) const {
+    const size_t slot = static_cast<size_t>(pid.value() - 1);
+    return slot < pruned_.size() && pruned_[slot] != 0;
+  }
+  void MarkPruned(ProcessId pid);
+  /// Drops `pid` from the sorted active index (no-op if absent).
+  void DeactivatePid(ProcessId pid);
 
   // Dense per-service emitter index (rows follow spec_'s interning).
   void EnsureEmitterRows();
@@ -402,7 +480,11 @@ class TransactionalProcessScheduler : private SchedulerView {
   void RecomputeReadyFrom(ProcessRuntime& rt, ActivityId committed);
   void AddSerializationEdges(ProcessId pid,
                              const std::vector<ProcessId>& preds);
-  void PruneSerializationGraph();
+  /// Worklist pruning: seeds are the only nodes whose prunability can have
+  /// changed since the last call (the invariant: every FinishProcess
+  /// leaves the graph fully pruned, and edges added between calls point
+  /// only toward active processes).
+  void PruneSerializationGraph(std::vector<ProcessId> worklist);
   Status ResolveDeadlock();
   Status CertifyHistory();
 
@@ -412,16 +494,33 @@ class TransactionalProcessScheduler : private SchedulerView {
   std::map<ServiceId, Subsystem*> routing_;
   std::vector<Subsystem*> subsystems_;
 
-  /// Slot pid.value() - 1; null until that pid is submitted.
+  /// Slot pid.value() - 1; null until that pid is submitted (and, with
+  /// reclaim_terminated, null again once the runtime was recycled).
   std::vector<std::unique_ptr<ProcessRuntime>> runtimes_;
-  /// Terminated processes whose serialization-graph bookkeeping was
-  /// reclaimed.
-  std::set<ProcessId> pruned_;
+  /// Active pids, sorted ascending — the index behind every "for each
+  /// active process" scan (Step, deadlock resolution, the admission
+  /// view). Maintained at EmplaceRuntime/FinishProcess, rebuilt by
+  /// Recover (replay flips outcomes without FinishProcess).
+  std::vector<ProcessId> active_pids_;
+  /// Dense flag per pid slot: terminated and serialization-graph
+  /// bookkeeping reclaimed.
+  std::vector<uint8_t> pruned_;
+  /// reclaim_terminated: pruned pids awaiting recycling at the next epoch
+  /// boundary, recycled runtime objects ready for reuse, and the dense
+  /// outcome table answering OutcomeOf for reclaimed processes.
+  std::vector<ProcessId> reclaim_queue_;
+  std::vector<std::unique_ptr<ProcessRuntime>> runtime_pool_;
+  std::vector<uint8_t> reclaimed_outcome_;
   /// (compensating pid, dependent pid) pairs already counted in the
   /// cascade statistics (the compensation gate re-evaluates every pass).
   std::set<std::pair<int64_t, int64_t>> cascade_counted_;
   ProcessSchedule history_;
   int64_t next_pid_ = 1;
+  /// Definitions that already passed Submit's admission checks (see
+  /// ValidateDefForBatch). Keyed by pointer: the lifetime contract —
+  /// definitions outlive their processes and are immutable once
+  /// validated — is what makes the memoization sound.
+  std::set<const ProcessDef*> validated_defs_;
 
   /// Serialization graph (SGT state) — dense slots, no per-query
   /// allocation on the reachability paths.

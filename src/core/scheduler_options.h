@@ -107,6 +107,19 @@ struct SchedulerOptions {
   /// or abort — bounds termination under unrepaired outages). 0 = park
   /// indefinitely (termination then relies on the outage being repaired).
   int64_t park_timeout_ticks = 0;
+  /// Bounded-memory mode for long-running / high-throughput schedulers
+  /// (the latency bench): once a terminated process's serialization-graph
+  /// footprint has been pruned, its runtime object is recycled into a pool
+  /// (reused by later submissions without reallocating its containers) and
+  /// its history events are compacted away at epoch boundaries — the start
+  /// of the next Submit/SubmitBatch/Step. Consequences, all opt-in:
+  /// OutcomeOf answers from a dense outcome table, history() only covers
+  /// processes not yet reclaimed, latencies() stays empty (use an observer
+  /// or stats()), and per-process Submit dependencies, certify_prefixes and
+  /// Checkpoint/Recover are unsupported (rejected / would see a truncated
+  /// log picture). Off by default: behaviour and history are then
+  /// bit-identical to earlier versions.
+  bool reclaim_terminated = false;
 };
 
 struct SchedulerStats {

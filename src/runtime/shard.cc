@@ -166,10 +166,29 @@ bool RuntimeShard::RunOnePass(bool had_work) {
   std::vector<Submission> submissions = queue_.DrainAll();
   bool admitted = false;
   for (Submission& submission : submissions) {
-    Result<ProcessId> pid =
-        scheduler_->Submit(submission.def, submission.param);
-    admitted = admitted || pid.ok();
-    submission.result.set_value(std::move(pid));
+    if (submission.def_owner != nullptr) {
+      retained_defs_.emplace(submission.def_owner.get(),
+                             std::move(submission.def_owner));
+    }
+  }
+  if (options_.batched_admission && !submissions.empty()) {
+    std::vector<TransactionalProcessScheduler::BatchSubmission> batch;
+    batch.reserve(submissions.size());
+    for (const Submission& submission : submissions) {
+      batch.push_back({submission.def, submission.param});
+    }
+    std::vector<Result<ProcessId>> pids = scheduler_->SubmitBatch(batch);
+    for (size_t i = 0; i < submissions.size(); ++i) {
+      admitted = admitted || pids[i].ok();
+      submissions[i].result.set_value(std::move(pids[i]));
+    }
+  } else {
+    for (Submission& submission : submissions) {
+      Result<ProcessId> pid =
+          scheduler_->Submit(submission.def, submission.param);
+      admitted = admitted || pid.ok();
+      submission.result.set_value(std::move(pid));
+    }
   }
   bool has_work = had_work || admitted || !ops.empty();
   if (has_work) {

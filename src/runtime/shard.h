@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +57,11 @@ class RuntimeShard {
     TickMode mode = TickMode::kFreeRunning;
     ShardLogMode log_mode = ShardLogMode::kMemory;
     std::string wal_path;  // kFile only
+    /// Admit each per-pass queue drain through Scheduler::SubmitBatch (one
+    /// batched validation + graph extension + guard check instead of N).
+    /// Admission outcomes are bit-identical either way; off = the
+    /// per-process reference path.
+    bool batched_admission = true;
   };
 
   explicit RuntimeShard(Options options);
@@ -139,6 +145,12 @@ class RuntimeShard {
   std::unique_ptr<RecoveryLog> log_;
   std::unique_ptr<TransactionalProcessScheduler> scheduler_;
   SubmissionQueue queue_;
+  /// Definitions whose ownership was transferred with the submission
+  /// (Submission::def_owner): the scheduler keeps raw ProcessDef pointers
+  /// for the life of each admitted process, so the shard holds them until
+  /// it is destroyed. Worker-thread only (and the destructor, after join).
+  std::map<const ProcessDef*, std::shared_ptr<const ProcessDef>>
+      retained_defs_;
 
   std::thread worker_;
   bool stopped_ = false;

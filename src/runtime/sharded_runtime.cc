@@ -196,6 +196,7 @@ Status ShardedRuntime::Start() {
     shard_options.scheduler = options_.scheduler;
     shard_options.queue_capacity = options_.queue_capacity;
     shard_options.backpressure = options_.backpressure;
+    shard_options.batched_admission = options_.batched_admission;
     shard_options.mode = options_.mode;
     shard_options.log_mode = options_.log_mode;
     if (options_.log_mode == ShardLogMode::kFile) {
@@ -260,7 +261,19 @@ Status ShardedRuntime::Start() {
 
 Result<SubmitTicket> ShardedRuntime::Submit(const ProcessDef* def,
                                             int64_t param) {
-  if (!started_ || stopped_) {
+  return SubmitInternal(def, /*owner=*/nullptr, param);
+}
+
+Result<SubmitTicket> ShardedRuntime::Submit(
+    std::shared_ptr<const ProcessDef> def, int64_t param) {
+  const ProcessDef* raw = def.get();
+  return SubmitInternal(raw, std::move(def), param);
+}
+
+Result<SubmitTicket> ShardedRuntime::SubmitInternal(
+    const ProcessDef* def, std::shared_ptr<const ProcessDef> owner,
+    int64_t param) {
+  if (!started_.load() || stopped_.load()) {
     return Status::Unavailable("runtime is not running");
   }
   if (def == nullptr) return Status::InvalidArgument("null process def");
@@ -270,6 +283,13 @@ Result<SubmitTicket> ShardedRuntime::Submit(const ProcessDef* def,
     return decision.error;
   }
   if (decision.kind == RouteKind::kSplit) {
+    if (owner != nullptr) {
+      // The agent re-splits from the original definition for the life of
+      // the span (and recovery re-derives slices from it), so the runtime
+      // itself keeps the owner.
+      std::lock_guard<std::mutex> lock(retained_defs_mu_);
+      retained_span_defs_.push_back(owner);
+    }
     Result<SubmitTicket> ticket = agent_->Begin(def, param);
     if (!ticket.ok()) {
       submissions_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -282,6 +302,7 @@ Result<SubmitTicket> ShardedRuntime::Submit(const ProcessDef* def,
 
   Submission submission;
   submission.def = def;
+  submission.def_owner = std::move(owner);
   submission.param = param;
   SubmitTicket ticket;
   ticket.shard = shard;
@@ -468,8 +489,8 @@ Status ShardedRuntime::Recover(
 }
 
 Status ShardedRuntime::Stop() {
-  if (!started_ || stopped_) {
-    stopped_ = started_;
+  if (!started_.load() || stopped_.load()) {
+    stopped_.store(started_.load());
     return Status::OK();
   }
   for (auto& shard : shards_) shard->Stop();

@@ -55,6 +55,10 @@ struct ShardedRuntimeOptions {
   /// Bounded submission queue per shard, and what a full one does.
   size_t queue_capacity = 1024;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Each worker admits its per-pass queue drain through one batched
+  /// Scheduler::SubmitBatch call (outcomes bit-identical to per-process
+  /// admission; off = the reference path, useful for A/B benching).
+  bool batched_admission = true;
   /// Lockstep (deterministic, driven by Tick/Drain) or free-running
   /// (workers self-drive; Drain blocks until quiescence).
   TickMode mode = TickMode::kFreeRunning;
@@ -138,7 +142,20 @@ class ShardedRuntime {
   /// shape the splitter does not support — positioned admission error),
   /// NotFound (unregistered service), ResourceExhausted (kReject + full
   /// queue), Unavailable (not started / stopping).
+  ///
+  /// Lifetime contract: the caller retains ownership of *def and must keep
+  /// it valid until the runtime is STOPPED — the shard scheduler stores
+  /// the raw pointer for the life of the admitted process and its history,
+  /// not merely until the queue drains. A producer that cannot guarantee
+  /// that uses the shared_ptr overload below, which transfers ownership
+  /// across the queue so the definition survives the producer.
   Result<SubmitTicket> Submit(const ProcessDef* def, int64_t param = 0);
+
+  /// Ownership-transferring submission: the runtime keeps the definition
+  /// alive for as long as any shard scheduler may dereference it, so the
+  /// producer may drop its reference as soon as this returns.
+  Result<SubmitTicket> Submit(std::shared_ptr<const ProcessDef> def,
+                              int64_t param = 0);
 
   /// Lockstep only: drives `rounds` global tick rounds (every shard
   /// completes round t before any shard starts t+1 — the shard clocks
@@ -202,6 +219,10 @@ class ShardedRuntime {
  private:
   class ShardObserverRelay;
 
+  Result<SubmitTicket> SubmitInternal(const ProcessDef* def,
+                                      std::shared_ptr<const ProcessDef> owner,
+                                      int64_t param);
+
   void RelayEvent(const std::function<void(RuntimeObserver*)>& fn);
   /// Forwarded by the relays to the agent OUTSIDE observer_mu_ (lock
   /// order: agent mutex after — never under — the relay mutex).
@@ -221,15 +242,25 @@ class ShardedRuntime {
   std::vector<std::unique_ptr<ShardObserverRelay>> relays_;
   std::vector<int> shard_of_subsystem_;
 
-  bool started_ = false;
-  bool stopped_ = false;
+  // Lifecycle flags are read by Submit from arbitrary producer threads
+  // while the control-plane thread runs Start/Stop; atomics keep those
+  // reads racefree (the control plane itself stays single-threaded).
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
 
   std::mutex observer_mu_;
   std::vector<RuntimeObserver*> observers_;
 
+  // Owned definitions for spanning submissions (the cross-shard agent
+  // re-splits from the original def); pinned submissions travel their
+  // owner inside the Submission instead.
+  std::mutex retained_defs_mu_;
+  std::vector<std::shared_ptr<const ProcessDef>> retained_span_defs_;
+
   std::atomic<int64_t> submissions_accepted_{0};
   std::atomic<int64_t> submissions_rejected_{0};
-  int64_t lockstep_rounds_ = 0;
+  // Written by Tick (control plane), read by Stats from any thread.
+  std::atomic<int64_t> lockstep_rounds_{0};
 };
 
 }  // namespace tpm

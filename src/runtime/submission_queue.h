@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -30,8 +31,15 @@ enum class BackpressurePolicy {
 /// One queued process submission. The worker fulfills `result` with the
 /// shard-local ProcessId once the shard's scheduler admits the process
 /// (or with the admission error).
+///
+/// Lifetime: the scheduler stores `def` for the whole life of the admitted
+/// process (runtime state, history, recovery), so it must stay valid until
+/// the runtime stops — not merely until the queue drains. A producer that
+/// cannot guarantee that sets `def_owner`; the shard worker then retains
+/// the definition for as long as its scheduler may dereference it.
 struct Submission {
   const ProcessDef* def = nullptr;
+  std::shared_ptr<const ProcessDef> def_owner;  // optional ownership transfer
   int64_t param = 0;
   std::promise<Result<ProcessId>> result;
 };
@@ -65,14 +73,33 @@ class SubmissionQueue {
 
   /// Producer side. On kReject + full: ResourceExhausted. On closed:
   /// Unavailable (also for producers woken from a kBlock wait by Close).
+  ///
+  /// Blocked producers are admitted strictly in arrival order (ticketed
+  /// wakeup): a producer parked on a full queue gets the next freed slot
+  /// before any producer that called Push later, under either policy — a
+  /// pending waiter counts as occupying the slot it is owed, so a kReject
+  /// push cannot barge past it either.
   Status Push(Submission submission, BackpressurePolicy policy) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (policy == BackpressurePolicy::kBlock) {
-      not_full_.wait(lock,
-                     [&] { return closed_ || items_.size() < capacity_; });
-    }
     if (closed_) return Status::Unavailable("submission queue closed");
-    if (items_.size() >= capacity_) {
+    const bool must_wait =
+        items_.size() >= capacity_ || wait_head_ != wait_tail_;
+    if (must_wait && policy == BackpressurePolicy::kBlock) {
+      const uint64_t ticket = wait_tail_++;
+      ++blocked_producers_;
+      not_full_.wait(lock, [&] {
+        return closed_ ||
+               (wait_head_ == ticket && items_.size() < capacity_);
+      });
+      --blocked_producers_;
+      if (closed_) return Status::Unavailable("submission queue closed");
+      ++wait_head_;
+      items_.push_back(std::move(submission));
+      // Hand the wakeup on: the next ticket holder may already have room.
+      not_full_.notify_all();
+      return Status::OK();
+    }
+    if (must_wait) {
       return Status::ResourceExhausted("submission queue full");
     }
     items_.push_back(std::move(submission));
@@ -118,12 +145,27 @@ class SubmissionQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Number of producers currently parked inside a kBlock Push. Test
+  /// probe: lets a test wait until a producer is provably blocked before
+  /// racing another push against its wakeup.
+  size_t blocked_producers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_producers_;
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::deque<Submission> items_;
   bool closed_ = false;
+  size_t blocked_producers_ = 0;
+  // FIFO wakeup tickets: producers that must wait take wait_tail_++ and are
+  // served when wait_head_ reaches their ticket. Close() abandons unserved
+  // tickets (closed_ wakes and fails every waiter), which is fine — a
+  // closed queue never serves tickets again.
+  uint64_t wait_head_ = 0;
+  uint64_t wait_tail_ = 0;
 };
 
 }  // namespace tpm

@@ -1,0 +1,157 @@
+// Bounded-memory mode (SchedulerOptions::reclaim_terminated): terminated
+// runtimes are recycled into a pool and their history events compacted
+// away at epoch boundaries, so a long-running scheduler's footprint is a
+// function of the live process set, not of everything it ever ran.
+#include <set>
+
+#include "core/scheduler.h"
+#include <gtest/gtest.h>
+
+#include "testing/mini_world.h"
+
+namespace tpm {
+namespace {
+
+using testing::MiniWorld;
+
+TEST(SchedulerReclaimTest, OutcomesSurviveReclamation) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b r:c");
+  ASSERT_NE(def, nullptr);
+
+  SchedulerOptions options;
+  options.reclaim_terminated = true;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+
+  constexpr int kProcesses = 200;
+  std::vector<ProcessId> pids;
+  for (int i = 0; i < kProcesses; ++i) {
+    Result<ProcessId> pid = scheduler.Submit(def);
+    ASSERT_TRUE(pid.ok()) << pid.status().ToString();
+    pids.push_back(*pid);
+    ASSERT_TRUE(scheduler.Run().ok());
+  }
+
+  // Every outcome is still answerable after the runtime was recycled.
+  // (Identical conflicting chains run one at a time all commit.)
+  EXPECT_EQ(scheduler.stats().processes_committed, kProcesses);
+  for (ProcessId pid : pids) {
+    EXPECT_EQ(scheduler.OutcomeOf(pid), ProcessOutcome::kCommitted)
+        << "P" << pid.value();
+  }
+  // Latency records are deliberately not accumulated in bounded mode.
+  EXPECT_TRUE(scheduler.latencies().empty());
+}
+
+TEST(SchedulerReclaimTest, HistoryAndRuntimeFootprintStayBounded) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+
+  SchedulerOptions options;
+  options.reclaim_terminated = true;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+
+  // Enough sequential processes to cross the internal compaction batch
+  // (1024 releases) several times.
+  constexpr int kProcesses = 3000;
+  size_t max_history = 0;
+  for (int i = 0; i < kProcesses; ++i) {
+    Result<ProcessId> pid = scheduler.Submit(def);
+    ASSERT_TRUE(pid.ok()) << pid.status().ToString();
+    ASSERT_TRUE(scheduler.Run().ok());
+    max_history = std::max(max_history, scheduler.history().size());
+  }
+  EXPECT_EQ(scheduler.stats().processes_committed, kProcesses);
+  // Events of released processes are compacted away in batches of 1024
+  // releases; with ~4 events per process the high-water mark stays a
+  // small multiple of the batch, far below the ~12000 an unbounded
+  // history would hold.
+  EXPECT_LT(max_history, 6000u);
+  EXPECT_LT(scheduler.history().size(), 6000u);
+  // The live process table is empty again (all reclaimed at the last
+  // epoch boundary or pending the next one).
+  EXPECT_LT(scheduler.history().processes().size(), 3u);
+}
+
+TEST(SchedulerReclaimTest, BatchSubmissionWorksWithReclaim) {
+  using BatchSubmission = TransactionalProcessScheduler::BatchSubmission;
+  MiniWorld world;
+  // Distinct keys so concurrent admission commits everything.
+  const ProcessDef* d1 = world.MakeChain("m1", "c:k1 p:l1");
+  const ProcessDef* d2 = world.MakeChain("m2", "c:k2 p:l2");
+  ASSERT_NE(d1, nullptr);
+  ASSERT_NE(d2, nullptr);
+
+  SchedulerOptions options;
+  options.reclaim_terminated = true;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+
+  std::vector<ProcessId> pids;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Result<ProcessId>> results =
+        scheduler.SubmitBatch({BatchSubmission{d1, 0}, BatchSubmission{d2, 0}});
+    for (const Result<ProcessId>& r : results) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      pids.push_back(*r);
+    }
+    ASSERT_TRUE(scheduler.Run().ok());
+  }
+  EXPECT_EQ(scheduler.stats().processes_committed, 100);
+  for (ProcessId pid : pids) {
+    EXPECT_EQ(scheduler.OutcomeOf(pid), ProcessOutcome::kCommitted);
+  }
+}
+
+TEST(SchedulerReclaimTest, DependenciesAreRejectedUnderReclaim) {
+  MiniWorld world;
+  const ProcessDef* def = world.MakeChain("p", "c:a p:b");
+  ASSERT_NE(def, nullptr);
+
+  SchedulerOptions options;
+  options.reclaim_terminated = true;
+  TransactionalProcessScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.RegisterSubsystem(world.subsystem()).ok());
+
+  Result<ProcessId> first = scheduler.Submit(def);
+  ASSERT_TRUE(first.ok());
+  Result<ProcessId> dependent = scheduler.Submit(
+      def, 0, {{*first, ActivityId(1)}});
+  EXPECT_TRUE(dependent.status().IsInvalidArgument())
+      << dependent.status().ToString();
+}
+
+TEST(SchedulerReclaimTest, ReclaimedStatsMatchUnboundedRun) {
+  // Same workload with and without reclamation: stats and final subsystem
+  // state must be identical — reclamation only changes memory retention.
+  auto run = [](bool reclaim, int64_t* store_value) {
+    MiniWorld world;
+    const ProcessDef* d1 = world.MakeChain("m1", "c:a p:b r:c");
+    const ProcessDef* d2 = world.MakeChain("m2", "c:a c:b p:c");
+    SchedulerOptions options;
+    options.reclaim_terminated = reclaim;
+    TransactionalProcessScheduler scheduler(options);
+    Status registered = scheduler.RegisterSubsystem(world.subsystem());
+    EXPECT_TRUE(registered.ok());
+    for (int i = 0; i < 40; ++i) {
+      Result<ProcessId> p1 = scheduler.Submit(d1);
+      Result<ProcessId> p2 = scheduler.Submit(d2);
+      EXPECT_TRUE(p1.ok() && p2.ok());
+      Status ran = scheduler.Run();
+      EXPECT_TRUE(ran.ok()) << ran.ToString();
+    }
+    *store_value = world.Value("a");
+    return scheduler.stats();
+  };
+  int64_t bounded_store = 0, unbounded_store = 0;
+  SchedulerStats bounded = run(true, &bounded_store);
+  SchedulerStats unbounded = run(false, &unbounded_store);
+  EXPECT_EQ(bounded, unbounded);
+  EXPECT_EQ(bounded_store, unbounded_store);
+}
+
+}  // namespace
+}  // namespace tpm

@@ -420,6 +420,93 @@ TEST(ShardedRuntimeTest, FreeRunningDrainReachesQuiescence) {
             static_cast<int64_t>(defs.size()));
 }
 
+// The ownership-transferring Submit overload: the producer drops its
+// reference to the definition immediately after submitting, and only the
+// runtime's retained reference keeps it alive while the shard scheduler
+// admits, runs, and records the process. ASan turns any lifetime hole
+// here into a hard use-after-free failure.
+TEST(ShardedRuntimeTest, SharedPtrSubmissionOutlivesProducerReference) {
+  ShardedWorld world({.seed = 31, .num_tenants = 1});
+  (void)BuildWorkload(&world, 1);  // registers the services
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kFreeRunning;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+  std::vector<SubmitTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    auto def = std::make_shared<ProcessDef>(
+        *world.MakeOrderProcess(0, "ephemeral_" + std::to_string(i)));
+    auto ticket =
+        runtime.Submit(std::shared_ptr<const ProcessDef>(def), /*param=*/i);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+    def.reset();  // producer's reference is gone before the worker drains
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  ASSERT_TRUE(runtime.Stop().ok());
+  for (auto& ticket : tickets) {
+    auto pid = ticket.Await();
+    ASSERT_TRUE(pid.ok()) << pid.status();
+    EXPECT_EQ(runtime.shard_scheduler(ticket.shard)->OutcomeOf(*pid),
+              ProcessOutcome::kCommitted);
+  }
+  EXPECT_TRUE(world.CheckAdtInvariants().ok());
+}
+
+// Stats() is documented thread-safe; hammering it from a polling thread
+// while producers submit and shard workers publish snapshots must be
+// race-free (lifecycle flags, accept/reject counters, lockstep round
+// counter, agent counters, shard snapshots). TSan is the real assertion
+// here; the monotonicity checks keep the snapshots honest.
+TEST(ShardedRuntimeTest, StatsReadsAreSafeUnderConcurrentTraffic) {
+  ShardedWorld world({.seed = 37, .num_tenants = 3});
+  std::vector<const ProcessDef*> defs = BuildWorkload(&world, 3);
+  ShardedRuntimeOptions options;
+  options.num_shards = 3;
+  options.mode = TickMode::kFreeRunning;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    int64_t last_accepted = 0;
+    int64_t last_committed = 0;
+    while (!done.load()) {
+      RuntimeStats stats = runtime.Stats();
+      EXPECT_GE(stats.submissions_accepted, last_accepted);
+      EXPECT_GE(stats.merged.processes_committed, last_committed);
+      EXPECT_GE(stats.submissions_rejected, 0);
+      last_accepted = stats.submissions_accepted;
+      last_committed = stats.merged.processes_committed;
+      std::this_thread::yield();
+    }
+  });
+  constexpr int kProducers = 3;
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= defs.size()) break;
+        auto ticket = runtime.Submit(defs[i]);
+        EXPECT_TRUE(ticket.ok()) << ticket.status();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(runtime.Drain().ok());
+  done.store(true);
+  poller.join();
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_TRUE(runtime.Stop().ok());
+  EXPECT_EQ(stats.submissions_accepted, static_cast<int64_t>(defs.size()));
+  EXPECT_TRUE(world.CheckAdtInvariants().ok());
+}
+
 TEST(ShardedRuntimeTest, StopFailsLeftoverSubmissionsInsteadOfDropping) {
   ShardedWorld world({.seed = 29, .num_tenants = 1});
   (void)BuildWorkload(&world, 1);

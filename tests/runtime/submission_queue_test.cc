@@ -76,6 +76,150 @@ TEST(SubmissionQueueTest, CloseRejectsPushesAndWakesBlockedProducers) {
   EXPECT_EQ(queue.DrainAll().size(), 1u);
 }
 
+// The class header promises FIFO: admission order equals push order, which
+// is what makes lockstep runs replayable. Under backpressure that means a
+// producer already parked in a kBlock Push must get the freed slot before
+// any producer that arrives later — a late arrival must not barge past the
+// waiter just because it reached the mutex first after DrainAll's wakeup.
+TEST(SubmissionQueueTest, BlockedProducersAdmitInArrivalOrderUnderBackpressure) {
+  constexpr int kIterations = 200;
+  int violations = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    SubmissionQueue queue(1);
+    ASSERT_TRUE(queue.Push(Make(-1), BackpressurePolicy::kReject).ok());
+    std::thread waiter([&] {
+      Status status = queue.Push(Make(1), BackpressurePolicy::kBlock);
+      EXPECT_TRUE(status.ok()) << status;
+    });
+    // Wait until the first producer is provably parked on the full queue,
+    // THEN start the second — its arrival order is now pinned down.
+    while (queue.blocked_producers() < 1) std::this_thread::yield();
+    std::thread late([&] {
+      Status status = queue.Push(Make(2), BackpressurePolicy::kBlock);
+      EXPECT_TRUE(status.ok()) << status;
+    });
+    while (queue.blocked_producers() < 2) std::this_thread::yield();
+    // Free one slot. Both producers wake and contend for it; FIFO demands
+    // the earlier arrival wins, every time.
+    std::vector<Submission> filler = queue.DrainAll();
+    ASSERT_EQ(filler.size(), 1u);
+    ASSERT_EQ(filler[0].param, -1);
+    std::vector<Submission> admitted;
+    while (admitted.size() < 2u) {
+      for (Submission& s : queue.DrainAll()) admitted.push_back(std::move(s));
+      std::this_thread::yield();
+    }
+    waiter.join();
+    late.join();
+    ASSERT_EQ(admitted.size(), 2u);
+    if (admitted[0].param != 1) ++violations;
+  }
+  EXPECT_EQ(violations, 0)
+      << violations << "/" << kIterations
+      << " iterations admitted the late producer ahead of the parked one";
+}
+
+// Per-producer order is the replayability invariant the sharded runtime
+// leans on: each front-end thread's submissions must reach the shard
+// scheduler in the order that thread pushed them, even when every push
+// fights for capacity.
+TEST(SubmissionQueueTest, PerProducerOrderHoldsAtCapacity) {
+  SubmissionQueue queue(2);  // far below the offered load: constant backpressure
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  std::atomic<int> failures{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!queue.Push(Make(p * kPerProducer + i), BackpressurePolicy::kBlock)
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<int64_t> admitted;
+  while (admitted.size() < size_t{kProducers} * kPerProducer) {
+    for (Submission& s : queue.DrainAll()) admitted.push_back(s.param);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(queue.empty());
+  // No loss, no duplication, and each producer's items in push order.
+  std::vector<int> next(kProducers, 0);
+  for (int64_t param : admitted) {
+    int producer = static_cast<int>(param / kPerProducer);
+    int index = static_cast<int>(param % kPerProducer);
+    ASSERT_LT(producer, kProducers);
+    EXPECT_EQ(index, next[producer])
+        << "producer " << producer << " admitted out of push order";
+    next[producer] = index + 1;
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+}
+
+TEST(SubmissionQueueTest, CloseWakesEveryBlockedProducerWithUnavailable) {
+  SubmissionQueue queue(1);
+  ASSERT_TRUE(queue.Push(Make(0), BackpressurePolicy::kReject).ok());
+  constexpr int kBlocked = 4;
+  std::vector<std::thread> producers;
+  std::vector<Status> results(kBlocked);
+  for (int p = 0; p < kBlocked; ++p) {
+    producers.emplace_back([&, p] {
+      results[p] = queue.Push(Make(p + 1), BackpressurePolicy::kBlock);
+    });
+  }
+  while (queue.blocked_producers() < kBlocked) std::this_thread::yield();
+  queue.Close();
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kBlocked; ++p) {
+    EXPECT_TRUE(results[p].IsUnavailable()) << "producer " << p << ": "
+                                            << results[p];
+  }
+  // The item admitted before Close stays drainable for shutdown cleanup.
+  EXPECT_EQ(queue.DrainAll().size(), 1u);
+}
+
+TEST(SubmissionQueueTest, CapacityOneQueueRoundTripsEverySubmission) {
+  SubmissionQueue queue(1);
+  EXPECT_EQ(queue.capacity(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.Push(Make(i), BackpressurePolicy::kReject).ok());
+    EXPECT_TRUE(queue.Push(Make(-1), BackpressurePolicy::kReject)
+                    .IsResourceExhausted());
+    std::vector<Submission> drained = queue.DrainAll();
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].param, i);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+// Shutdown contract: submissions still queued at Close are drainable, and
+// the worker fails their promises — a producer holding the ticket future
+// must observe the error, not hang.
+TEST(SubmissionQueueTest, DrainAfterCloseFailsLeftoverPromises) {
+  SubmissionQueue queue(4);
+  std::vector<std::shared_future<Result<ProcessId>>> futures;
+  for (int i = 0; i < 3; ++i) {
+    Submission s = Make(i);
+    futures.push_back(s.result.get_future().share());
+    ASSERT_TRUE(queue.Push(std::move(s), BackpressurePolicy::kBlock).ok());
+  }
+  queue.Close();
+  std::vector<Submission> leftovers = queue.DrainAll();
+  ASSERT_EQ(leftovers.size(), 3u);
+  for (Submission& s : leftovers) {
+    s.result.set_value(Status::Unavailable("shard stopped before admission"));
+  }
+  for (auto& future : futures) {
+    Result<ProcessId> outcome = future.get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_TRUE(outcome.status().IsUnavailable()) << outcome.status();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
 TEST(SubmissionQueueTest, ManyProducersAllLand) {
   SubmissionQueue queue(4);
   constexpr int kProducers = 8;
