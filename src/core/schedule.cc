@@ -183,8 +183,11 @@ Status ProcessSchedule::Append(const ScheduleEvent& event, bool enforce_legal) {
     }
   }
   events_.push_back(event);
+  digest_ = Fnv1a(digest_, event.ToString());
   return Status::OK();
 }
+
+void ProcessSchedule::ResetDigest() { digest_ = kFnv1aOffsetBasis; }
 
 std::vector<ProcessId> ProcessSchedule::ActiveProcesses() const {
   std::vector<ProcessId> active;

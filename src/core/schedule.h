@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/status.h"
 #include "core/activity.h"
 #include "core/conflict.h"
@@ -108,6 +109,17 @@ class ProcessSchedule {
   /// Released processes whose events still await Compact().
   size_t pending_release_count() const { return released_.size(); }
 
+  /// Incremental FNV-1a digest over every event ever appended (each event's
+  /// ToString folded in at append time). Because it accumulates at append,
+  /// it keeps covering events that Compact() later erases — two schedules
+  /// have equal digests iff they observed the same event sequence, which is
+  /// what replica voting compares. O(1) to read.
+  uint64_t digest() const { return digest_; }
+
+  /// Restarts the digest accumulator (replica respawn: the fresh replica's
+  /// schedule is empty, so all live replicas re-baseline together).
+  void ResetDigest();
+
   /// True if instances a (earlier) and b (later, by position) conflict under
   /// `spec`: different processes and conflicting services, honoring perfect
   /// commutativity (inverse instances conflict exactly like their
@@ -124,6 +136,7 @@ class ProcessSchedule {
 
  private:
   std::vector<ScheduleEvent> events_;
+  uint64_t digest_ = kFnv1aOffsetBasis;
   std::map<ProcessId, const ProcessDef*> defs_;
   std::map<ProcessId, std::shared_ptr<ProcessExecutionState>> states_;
   /// Processes released but whose events are not yet compacted away.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 
+#include "common/fingerprint.h"
 #include "common/ids.h"
 
 namespace tpm {
@@ -225,6 +226,51 @@ struct SchedulerStats {
 
   friend bool operator==(const SchedulerStats&,
                          const SchedulerStats&) = default;
+
+  /// FNV-1a digest of the counter deltas since `base` — the stats component
+  /// of a replica's vote. Deltas rather than absolutes so a respawned
+  /// replica (which re-baselines at adoption) votes comparably with peers
+  /// that carry history from before the respawn. With a default-constructed
+  /// base this hashes the absolute values.
+  ///
+  /// Maintenance note: the counter list appears in MergeFrom, operator==
+  /// (implicitly) and here — a new counter must be added to all three.
+  uint64_t Fingerprint() const { return FingerprintSince(SchedulerStats{}); }
+
+  uint64_t FingerprintSince(const SchedulerStats& base) const {
+    uint64_t h = kFnv1aOffsetBasis;
+    auto fold = [&h](int64_t now, int64_t then) {
+      h = Fnv1aInt(h, static_cast<uint64_t>(now - then));
+    };
+    fold(steps, base.steps);
+    fold(virtual_time, base.virtual_time);
+    fold(activities_committed, base.activities_committed);
+    fold(failed_invocations, base.failed_invocations);
+    fold(compensations, base.compensations);
+    fold(deferrals, base.deferrals);
+    fold(blocked_by_locks, base.blocked_by_locks);
+    fold(alternatives_taken, base.alternatives_taken);
+    fold(processes_committed, base.processes_committed);
+    fold(processes_aborted, base.processes_aborted);
+    fold(deadlock_victims, base.deadlock_victims);
+    fold(prepared_branches, base.prepared_branches);
+    fold(quasi_commit_admissions, base.quasi_commit_admissions);
+    fold(cascading_aborts, base.cascading_aborts);
+    fold(irrecoverable_cascades, base.irrecoverable_cascades);
+    fold(commit_waits, base.commit_waits);
+    fold(forced_executions, base.forced_executions);
+    fold(certified_violations, base.certified_violations);
+    fold(recovered_log_anomalies, base.recovered_log_anomalies);
+    fold(breaker_trips, base.breaker_trips);
+    fold(deadline_failures, base.deadline_failures);
+    fold(parked_activities, base.parked_activities);
+    fold(resumed_activities, base.resumed_activities);
+    fold(degraded_switches, base.degraded_switches);
+    fold(spanning_admitted, base.spanning_admitted);
+    fold(cross_shard_prepares, base.cross_shard_prepares);
+    fold(in_doubt_resolved, base.in_doubt_resolved);
+    return h;
+  }
 };
 
 }  // namespace tpm

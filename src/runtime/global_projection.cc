@@ -1,6 +1,8 @@
 #include "runtime/global_projection.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/str_util.h"
@@ -27,6 +29,7 @@ struct SpanInstance {
   int terminals = 0;         // slice terminals consumed so far
   int committed_slices = 0;
   bool terminal_emitted = false;
+  std::vector<std::pair<int, int64_t>> members;  // (shard, local pid)
 };
 
 }  // namespace
@@ -57,6 +60,7 @@ Result<ProcessSchedule> MergeGlobalProjection(
               global.AddProcess(instance.global_pid, span->second.original));
         }
         ++instance.slices;
+        instance.members.emplace_back(static_cast<int>(shard), pid.value());
         local.global_pid = instance.global_pid;
         slice_of_name[def->name()] = {static_cast<int>(shard), pid.value()};
       } else {
@@ -92,13 +96,32 @@ Result<ProcessSchedule> MergeGlobalProjection(
     }
     return true;
   };
+  // A committed span's global terminal can only be emitted once every
+  // slice's forward events are in the merged history (activities must
+  // precede their process's commit).
+  auto span_forward_done = [&](int64_t gsn) {
+    for (const auto& member : span_instances.at(gsn).members) {
+      const LocalProcess& m = locals.at(member);
+      if (m.forward_consumed < m.forward_total) return false;
+    }
+    return true;
+  };
   auto event_enabled = [&](int shard, const ScheduleEvent& event) {
     switch (event.type) {
       case EventType::kActivity:
         return slice_enabled(locals.at({shard, event.act.process.value()}));
       case EventType::kCommit:
-      case EventType::kAbort:
-        return slice_enabled(locals.at({shard, event.process.value()}));
+      case EventType::kAbort: {
+        const LocalProcess& local = locals.at({shard, event.process.value()});
+        if (!slice_enabled(local)) return false;
+        // A slice COMMIT stalls until the whole span's forward work is
+        // merged: consuming it emits the global terminal (see below), and
+        // every sibling's forward events must precede that terminal.
+        if (event.type == EventType::kCommit && local.span != nullptr) {
+          return span_forward_done(local.span->gsn);
+        }
+        return true;
+      }
       case EventType::kGroupAbort:
         for (ProcessId pid : event.group) {
           if (!slice_enabled(locals.at({shard, pid.value()}))) return false;
@@ -108,8 +131,18 @@ Result<ProcessSchedule> MergeGlobalProjection(
     return true;
   };
 
-  // Consume a slice terminal; emit the single global terminal when the
-  // last slice of the span terminated.
+  // Consume a slice terminal. The global COMMIT is emitted at the FIRST
+  // slice commit consumed (its gate above guarantees all span forward
+  // events are already merged); aborts emit at the last slice terminal.
+  // Emitting at the first commit keeps every merge wait pointed at
+  // strictly-earlier wall-clock events — all of a span's forward events
+  // precede its 2PC decision, which precedes every slice's commit record
+  // — so the greedy merge below always makes progress. (Emitting at the
+  // LAST terminal instead can wait on an event a shard appended *after*
+  // events already stalled behind this one, deadlocking the merge against
+  // the forward-predecessor gate.) Events a shard ordered after a slice
+  // commit still land after the global terminal: it is out no later than
+  // the first slice-commit consumption.
   auto consume_span_terminal = [&](LocalProcess& local,
                                    bool committed) -> Status {
     local.terminal_consumed = true;
@@ -117,41 +150,24 @@ Result<ProcessSchedule> MergeGlobalProjection(
     SpanInstance& instance = span_instances.at(local.span->gsn);
     ++instance.terminals;
     if (committed) ++instance.committed_slices;
-    if (instance.terminals < instance.slices || instance.terminal_emitted) {
-      return Status::OK();
-    }
-    instance.terminal_emitted = true;
-    if (instance.committed_slices != 0 &&
+    if (instance.terminals == instance.slices &&
+        instance.committed_slices != 0 &&
         instance.committed_slices != instance.slices) {
       return Status::Internal(StrCat(
           "spanning process g", local.span->gsn, " is half-committed: ",
           instance.committed_slices, " of ", instance.slices,
           " slices committed — cross-shard atomicity violated"));
     }
-    const ScheduleEvent terminal =
-        instance.committed_slices == instance.slices
-            ? ScheduleEvent::Commit(instance.global_pid)
-            : ScheduleEvent::Abort(instance.global_pid);
-    return global.Append(terminal, /*enforce_legal=*/false);
-  };
-
-  // Commit-order barriers: once a shard's history passes a slice terminal,
-  // everything after it was locally ordered AFTER that slice's commit (or
-  // abort). The merged history must keep that order against the span's
-  // single global terminal, which is only emitted at the LAST slice — so
-  // the shard stalls here until the span's global terminal is out.
-  // Terminals reach shards in coordinator decision order, so the barrier
-  // graph is acyclic for histories an actual run can produce.
-  std::vector<std::vector<int64_t>> barriers(shard_histories.size());
-  auto barred = [&](size_t shard) {
-    auto& pending = barriers[shard];
-    pending.erase(std::remove_if(pending.begin(), pending.end(),
-                                 [&](int64_t gsn) {
-                                   return span_instances.at(gsn)
-                                       .terminal_emitted;
-                                 }),
-                  pending.end());
-    return !pending.empty();
+    if (instance.terminal_emitted) return Status::OK();
+    if (committed) {
+      instance.terminal_emitted = true;
+      return global.Append(ScheduleEvent::Commit(instance.global_pid),
+                           /*enforce_legal=*/false);
+    }
+    if (instance.terminals < instance.slices) return Status::OK();
+    instance.terminal_emitted = true;
+    return global.Append(ScheduleEvent::Abort(instance.global_pid),
+                         /*enforce_legal=*/false);
   };
 
   std::vector<size_t> cursor(shard_histories.size(), 0);
@@ -162,7 +178,6 @@ Result<ProcessSchedule> MergeGlobalProjection(
       const auto& events = shard_histories[shard]->events();
       if (cursor[shard] >= events.size()) continue;
       all_done = false;
-      if (barred(shard)) continue;
       const ScheduleEvent& event = events[cursor[shard]];
       if (!event_enabled(static_cast<int>(shard), event)) continue;
       ++cursor[shard];
@@ -195,13 +210,6 @@ Result<ProcessSchedule> MergeGlobalProjection(
           if (local.span != nullptr) {
             TPM_RETURN_IF_ERROR(consume_span_terminal(
                 local, event.type == EventType::kCommit));
-            // Commit-order barrier — commits only: aborted spans have no
-            // global C to order against, and post-crash abort terminals
-            // carry no decision order.
-            if (event.type == EventType::kCommit &&
-                !span_instances.at(local.span->gsn).terminal_emitted) {
-              barriers[shard].push_back(local.span->gsn);
-            }
             break;
           }
           ScheduleEvent mapped = event;
@@ -241,6 +249,34 @@ Result<ProcessSchedule> MergeGlobalProjection(
           stuck.push_back(StrCat(
               "shard ", shard, " at ",
               shard_histories[shard]->events()[cursor[shard]].ToString()));
+        }
+      }
+      if (std::getenv("TPM_MERGE_WEDGE_DUMP") != nullptr) {
+        for (size_t shard = 0; shard < shard_histories.size(); ++shard) {
+          fprintf(stderr, "=== shard %zu (cursor %zu) ===\n", shard,
+                  cursor[shard]);
+          const auto& events = shard_histories[shard]->events();
+          for (size_t i = 0; i < events.size(); ++i) {
+            fprintf(stderr, "  [%zu]%s %s\n", i, i == cursor[shard] ? "*" : " ",
+                    events[i].ToString().c_str());
+          }
+          for (const auto& [pid, def] : shard_histories[shard]->processes()) {
+            const LocalProcess& lp =
+                locals.at({static_cast<int>(shard), pid.value()});
+            fprintf(stderr,
+                    "  pid %lld def %s span=%d gsn=%lld committed=%d "
+                    "fwd %lld/%lld preds=[%s]\n",
+                    static_cast<long long>(pid.value()), def->name().c_str(),
+                    lp.span != nullptr ? 1 : 0,
+                    static_cast<long long>(lp.span != nullptr ? lp.span->gsn
+                                                              : -1),
+                    lp.committed ? 1 : 0,
+                    static_cast<long long>(lp.forward_consumed),
+                    static_cast<long long>(lp.forward_total),
+                    lp.span != nullptr
+                        ? StrJoin(lp.span->forward_preds, ",").c_str()
+                        : "");
+          }
         }
       }
       return Status::Internal(

@@ -41,7 +41,10 @@ struct SpanSubProjection {
 ///  * the sub-processes of one spanning process are remapped onto ONE
 ///    global process — original pids and activity ids, one terminal: the
 ///    local terminals of the slices are consumed silently and a single
-///    global C/A is emitted once the last slice terminated. Slices of one
+///    global C is emitted at the first slice commit (once every slice's
+///    forward events are merged; waiting for the LAST terminal instead
+///    can deadlock the merge against the skeleton gate), a global A at
+///    the last slice terminal of an aborted span. Slices of one
 ///    span disagreeing on their terminal (some committed, some aborted)
 ///    are an atomicity violation and fail the merge — this is exactly the
 ///    "no spanning process half-committed" assertion the recovery sweep

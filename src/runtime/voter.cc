@@ -1,0 +1,88 @@
+#include "runtime/voter.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace tpm {
+
+std::string VoteDigest::ToString() const {
+  return StrCat("{history=", history, " store=", store, " stats=", stats,
+                "}");
+}
+
+void Voter::SubmitVote(int64_t round, int replica, const VoteDigest& digest) {
+  votes_[round][replica] = digest;
+}
+
+void Voter::RemoveReplica(int replica) {
+  for (auto it = votes_.begin(); it != votes_.end();) {
+    it->second.erase(replica);
+    if (it->second.empty()) {
+      it = votes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Voter::Outcome> Voter::TakeCompleted(const std::vector<int>& live,
+                                                 int tiebreak_replica) {
+  std::vector<Outcome> outcomes;
+  if (live.empty()) {
+    votes_.clear();
+    return outcomes;
+  }
+  for (auto it = votes_.begin(); it != votes_.end();) {
+    const std::map<int, VoteDigest>& ballots = it->second;
+    const bool complete =
+        std::all_of(live.begin(), live.end(), [&ballots](int replica) {
+          return ballots.count(replica) > 0;
+        });
+    if (!complete) {
+      ++it;
+      continue;
+    }
+    // Tally: count identical digests. The candidate list is tiny (<= R),
+    // so a quadratic scan is fine.
+    std::vector<std::pair<VoteDigest, int>> tally;
+    for (int replica : live) {
+      const VoteDigest& digest = ballots.at(replica);
+      auto slot = std::find_if(
+          tally.begin(), tally.end(),
+          [&digest](const auto& entry) { return entry.first == digest; });
+      if (slot == tally.end()) {
+        tally.push_back({digest, 1});
+      } else {
+        ++slot->second;
+      }
+    }
+    const auto tiebreak_ballot = ballots.find(tiebreak_replica);
+    const VoteDigest* winner = &tally.front().first;
+    int best = tally.front().second;
+    for (const auto& [digest, count] : tally) {
+      if (count > best) {
+        winner = &digest;
+        best = count;
+      } else if (count == best && tiebreak_ballot != ballots.end() &&
+                 digest == tiebreak_ballot->second && !(*winner == digest)) {
+        winner = &digest;
+      }
+    }
+    Outcome outcome;
+    outcome.round = it->first;
+    outcome.winner = *winner;
+    for (int replica : live) {
+      if (!(ballots.at(replica) == *winner)) {
+        outcome.losers.push_back(replica);
+      }
+    }
+    outcomes.push_back(std::move(outcome));
+    it = votes_.erase(it);
+  }
+  return outcomes;
+}
+
+void Voter::Reset() { votes_.clear(); }
+
+}  // namespace tpm

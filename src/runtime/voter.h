@@ -1,0 +1,79 @@
+#ifndef TPM_RUNTIME_VOTER_H_
+#define TPM_RUNTIME_VOTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace tpm {
+
+/// One replica's state digest at a vote boundary: the three components the
+/// group compares. Replicas fed the identical submission stream from
+/// identical state must agree on all three; a mismatch in any is a
+/// divergence (silent corruption, a non-deterministic leak, or a bug).
+struct VoteDigest {
+  /// Incremental FNV-1a over every emitted history event
+  /// (TransactionalProcessScheduler::HistoryDigest).
+  uint64_t history = 0;
+  /// Combined StateFingerprint of the registered subsystems in
+  /// registration order (SubsystemStateFingerprint).
+  uint64_t store = 0;
+  /// SchedulerStats::FingerprintSince the replica's baseline (deltas, so a
+  /// respawned replica votes comparably with longer-lived peers).
+  uint64_t stats = 0;
+
+  friend bool operator==(const VoteDigest&, const VoteDigest&) = default;
+
+  std::string ToString() const;
+};
+
+/// Majority voting over per-replica state digests at epoch boundaries.
+///
+/// Not thread-safe: the ReplicaGroup serializes all calls under its own
+/// mutex. Votes are keyed by absolute vote-round index, so late voters and
+/// replicas that die mid-round are handled by re-running the completion
+/// check whenever the live set shrinks.
+class Voter {
+ public:
+  struct Outcome {
+    int64_t round = 0;
+    VoteDigest winner;
+    /// Replicas whose digest lost the vote (divergent — to be evicted).
+    std::vector<int> losers;
+  };
+
+  /// Records replica `replica`'s digest for vote round `round`.
+  void SubmitVote(int64_t round, int replica, const VoteDigest& digest);
+
+  /// Drops a replica's pending votes (it died or was evicted); rounds it
+  /// was the last missing voter of become completable.
+  void RemoveReplica(int replica);
+
+  /// Returns (and forgets) every round for which all of `live` have now
+  /// voted, in round order. The winner is the digest with the most votes;
+  /// a tie is broken in favor of the digest `tiebreak_replica` (the acting
+  /// primary) voted for — with two live replicas split 1:1 the divergence
+  /// is unattributable, so the group keeps the primary's side and evicts
+  /// the other; only R>=3 gives a true majority. A replica in `live` that
+  /// voted with the winner is never a loser.
+  std::vector<Outcome> TakeCompleted(const std::vector<int>& live,
+                                     int tiebreak_replica);
+
+  /// Forgets everything (replica respawn re-baselines the whole group).
+  void Reset();
+
+  int64_t pending_rounds() const {
+    return static_cast<int64_t>(votes_.size());
+  }
+
+ private:
+  /// round -> replica -> digest.
+  std::map<int64_t, std::map<int, VoteDigest>> votes_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_RUNTIME_VOTER_H_

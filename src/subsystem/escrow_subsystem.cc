@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fingerprint.h"
 #include "common/str_util.h"
 
 namespace tpm {
@@ -321,6 +322,38 @@ Status EscrowSubsystem::CheckInvariants() const {
                  " (the escrow test's envelope was violated)"));
     }
   }
+  return Status::OK();
+}
+
+uint64_t EscrowSubsystem::StateFingerprint() const {
+  uint64_t h = kFnv1aOffsetBasis;
+  for (const auto& [name, c] : counters_) {
+    h = Fnv1a(h, name);
+    h = Fnv1aInt(h, static_cast<uint64_t>(c.balance));
+    h = Fnv1aInt(h, static_cast<uint64_t>(c.low_bound));
+    h = Fnv1aInt(h, static_cast<uint64_t>(c.pending_total));
+    for (const auto& [pid, credit] : c.pending) {
+      h = Fnv1aInt(h, static_cast<uint64_t>(pid));
+      h = Fnv1aInt(h, static_cast<uint64_t>(credit));
+    }
+  }
+  h = Fnv1aInt(h, static_cast<uint64_t>(next_tx_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(invocations_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(exhaustion_aborts_));
+  return h;
+}
+
+Status EscrowSubsystem::AdoptStateFrom(const Subsystem& peer) {
+  const auto* other = dynamic_cast<const EscrowSubsystem*>(&peer);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("AdoptStateFrom: ", name_, " cannot adopt from ", peer.name(),
+               " (not an EscrowSubsystem)"));
+  }
+  counters_ = other->counters_;
+  next_tx_ = other->next_tx_;
+  invocations_ = other->invocations_;
+  exhaustion_aborts_ = other->exhaustion_aborts_;
   return Status::OK();
 }
 

@@ -89,6 +89,8 @@ class EscrowSubsystem : public Subsystem {
   bool WouldBlock(ServiceId service) const override;
   Status AbortAllPrepared() override;
   void OnProcessResolved(ProcessId process, bool committed) override;
+  uint64_t StateFingerprint() const override;
+  Status AdoptStateFrom(const Subsystem& peer) override;
 
   int64_t BalanceOf(const std::string& counter) const;
   /// Stable headroom above the lower bound: what the escrow test would let

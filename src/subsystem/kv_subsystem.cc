@@ -1,5 +1,6 @@
 #include "subsystem/kv_subsystem.h"
 
+#include "common/fingerprint.h"
 #include "common/str_util.h"
 
 namespace tpm {
@@ -98,6 +99,43 @@ void KvSubsystem::ScheduleFailures(ServiceId service, int count) {
 
 void KvSubsystem::SetFailureProbability(ServiceId service, double p) {
   failure_probability_[service] = p;
+}
+
+uint64_t KvSubsystem::StateFingerprint() const {
+  uint64_t h = kFnv1aOffsetBasis;
+  for (const auto& [key, value] : store_.Snapshot()) {
+    h = Fnv1a(h, key);
+    h = Fnv1aInt(h, static_cast<uint64_t>(value));
+  }
+  h = Fnv1aInt(h, store_.version());
+  for (const auto& [service, remaining] : scripted_failures_) {
+    h = Fnv1aInt(h, static_cast<uint64_t>(service.value()));
+    h = Fnv1aInt(h, static_cast<uint64_t>(remaining));
+  }
+  h = Fnv1aInt(h, static_cast<uint64_t>(invocations_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(injected_aborts_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(internal_retries_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(backoff_ticks_waited_));
+  return h;
+}
+
+Status KvSubsystem::AdoptStateFrom(const Subsystem& peer) {
+  const auto* other = dynamic_cast<const KvSubsystem*>(&peer);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("AdoptStateFrom: ", name_, " cannot adopt from ", peer.name(),
+               " (not a KvSubsystem)"));
+  }
+  store_ = other->store_;
+  scripted_failures_ = other->scripted_failures_;
+  failure_probability_ = other->failure_probability_;
+  retry_policy_ = other->retry_policy_;
+  rng_ = other->rng_;
+  invocations_ = other->invocations_;
+  injected_aborts_ = other->injected_aborts_;
+  internal_retries_ = other->internal_retries_;
+  backoff_ticks_waited_ = other->backoff_ticks_waited_;
+  return Status::OK();
 }
 
 }  // namespace tpm

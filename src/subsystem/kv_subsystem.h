@@ -68,6 +68,26 @@ class Subsystem {
   /// Monotone health-event counters (deadline failures, breaker trips) for
   /// stats aggregation; plain subsystems report zeros.
   virtual SubsystemHealthCounters health_counters() const { return {}; }
+
+  /// Deterministic digest of all behavior-relevant subsystem state — the
+  /// store component of a replica's vote digest. Replicas fed the identical
+  /// submission stream must report identical fingerprints; silent state
+  /// corruption in one replica shows up here before it can influence any
+  /// externally visible result. Default 0: an opaque subsystem contributes
+  /// nothing (votes then rest on history + stats alone).
+  virtual uint64_t StateFingerprint() const { return 0; }
+
+  /// Copies every piece of behavior-relevant state from `peer`, which must
+  /// be the same concrete type (checked via dynamic_cast). Used by replica
+  /// respawn: a dead replica's periphery is re-seeded from a healthy peer
+  /// while the group is quiescent, then the peer's WAL is copied for
+  /// scheduler-side continuity. Default: FailedPrecondition — a subsystem
+  /// without an override cannot host respawn.
+  virtual Status AdoptStateFrom(const Subsystem& peer) {
+    (void)peer;
+    return Status::FailedPrecondition("AdoptStateFrom not supported by " +
+                                      name());
+  }
 };
 
 /// Subsystem simulated over an in-memory KvStore, with failure injection
@@ -94,6 +114,8 @@ class KvSubsystem : public Subsystem {
   Status AbortPrepared(TxId tx) override;
   bool WouldBlock(ServiceId service) const override;
   Status AbortAllPrepared() override;
+  uint64_t StateFingerprint() const override;
+  Status AdoptStateFrom(const Subsystem& peer) override;
 
   /// The next `count` invocations of `service` abort (deterministic
   /// failure script; models Def. 3 for retriables and Def. 4 for pivots).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fingerprint.h"
 #include "common/str_util.h"
 
 namespace tpm {
@@ -326,6 +327,48 @@ Status QueueSubsystem::CheckInvariants() const {
                  " but still present in a queue"));
     }
   }
+  return Status::OK();
+}
+
+uint64_t QueueSubsystem::StateFingerprint() const {
+  uint64_t h = kFnv1aOffsetBasis;
+  for (const auto& [name, q] : queues_) {
+    h = Fnv1a(h, name);
+    for (int64_t token : q.tokens) {
+      h = Fnv1aInt(h, static_cast<uint64_t>(token));
+    }
+  }
+  auto fold_bookkeeping =
+      [&h](const std::map<std::pair<int64_t, int64_t>, int64_t>& by_activity) {
+        for (const auto& [key, token] : by_activity) {
+          h = Fnv1aInt(h, static_cast<uint64_t>(key.first));
+          h = Fnv1aInt(h, static_cast<uint64_t>(key.second));
+          h = Fnv1aInt(h, static_cast<uint64_t>(token));
+        }
+      };
+  fold_bookkeeping(enqueued_by_activity_);
+  fold_bookkeeping(dequeued_by_activity_);
+  h = Fnv1aInt(h, static_cast<uint64_t>(next_token_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(next_tx_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(invocations_));
+  h = Fnv1aInt(h, static_cast<uint64_t>(empty_dequeues_));
+  return h;
+}
+
+Status QueueSubsystem::AdoptStateFrom(const Subsystem& peer) {
+  const auto* other = dynamic_cast<const QueueSubsystem*>(&peer);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("AdoptStateFrom: ", name_, " cannot adopt from ", peer.name(),
+               " (not a QueueSubsystem)"));
+  }
+  queues_ = other->queues_;
+  enqueued_by_activity_ = other->enqueued_by_activity_;
+  dequeued_by_activity_ = other->dequeued_by_activity_;
+  next_token_ = other->next_token_;
+  next_tx_ = other->next_tx_;
+  invocations_ = other->invocations_;
+  empty_dequeues_ = other->empty_dequeues_;
   return Status::OK();
 }
 

@@ -1,0 +1,65 @@
+#ifndef TPM_TESTING_DIVERGENCE_INJECTOR_H_
+#define TPM_TESTING_DIVERGENCE_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "log/storage_backend.h"
+
+namespace tpm {
+namespace testing {
+
+/// Silent-corruption injector for replica-divergence tests: rides the
+/// WAL's crash-point hooks like FaultInjector, but instead of crashing it
+/// runs a corruption callback at the armed hit and lets execution continue
+/// — the model of a bit-flip or a heisenbug that damages one replica's
+/// state without killing it. Attach as one replica's
+/// ReplicationOptions::replica_crash_listener and have the callback mutate
+/// that replica's subsystem state (e.g. KvSubsystem::store().Put with a
+/// flipped value); the callback then runs ON the replica's worker thread,
+/// mid-pass, exactly where real corruption would strike. The voter must
+/// catch the divergence at the next vote boundary — before any externally
+/// visible effect, since only the acting primary's results are ever
+/// released.
+class DivergenceInjector : public CrashPointListener {
+ public:
+  /// Arm: run `corrupt` on the `hit`-th crash-point hit (1-based).
+  /// hit <= 0 disarms (count-only mode, for dry runs).
+  void ArmAt(int64_t hit, std::function<void()> corrupt) {
+    arm_at_ = hit;
+    corrupt_ = std::move(corrupt);
+    hits_ = 0;
+    corrupted_ = false;
+  }
+
+  void Reset() {
+    arm_at_ = 0;
+    corrupt_ = nullptr;
+    hits_ = 0;
+    corrupted_ = false;
+  }
+
+  bool OnCrashPoint(const char* /*site*/) override {
+    ++hits_;
+    if (arm_at_ > 0 && !corrupted_ && hits_ == arm_at_ &&
+        corrupt_ != nullptr) {
+      corrupted_ = true;
+      corrupt_();
+    }
+    return false;  // never crash — the corruption is silent
+  }
+
+  int64_t hits() const { return hits_; }
+  bool corrupted() const { return corrupted_; }
+
+ private:
+  int64_t arm_at_ = 0;
+  std::function<void()> corrupt_;
+  int64_t hits_ = 0;
+  bool corrupted_ = false;
+};
+
+}  // namespace testing
+}  // namespace tpm
+
+#endif  // TPM_TESTING_DIVERGENCE_INJECTOR_H_

@@ -1,0 +1,121 @@
+// FlatSet / FlatMap: the sorted-vector containers on the scheduler hot
+// path. The contracts that matter there: std::set/std::map-compatible
+// semantics (sorted iteration, idempotent insert, exact erase) and the
+// pooling property — clear() keeps the capacity so steady-state reuse
+// performs no allocations.
+
+#include "common/flat_containers.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tpm {
+namespace {
+
+TEST(FlatSetTest, InsertKeepsAscendingOrderAndDeduplicates) {
+  FlatSet<int> set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(5).second);
+  EXPECT_TRUE(set.insert(1).second);
+  EXPECT_TRUE(set.insert(9).second);
+  EXPECT_TRUE(set.insert(3).second);
+  auto dup = set.insert(5);
+  EXPECT_FALSE(dup.second);
+  EXPECT_EQ(*dup.first, 5);
+  EXPECT_EQ(set.size(), 4u);
+  std::vector<int> seen(set.begin(), set.end());
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 9}));
+}
+
+TEST(FlatSetTest, CountFindAndEraseMatchStdSetSemantics) {
+  FlatSet<int> set;
+  for (int k : {4, 2, 8}) set.insert(k);
+  EXPECT_EQ(set.count(2), 1u);
+  EXPECT_EQ(set.count(3), 0u);
+  EXPECT_NE(set.find(8), set.end());
+  EXPECT_EQ(set.find(5), set.end());
+  EXPECT_EQ(set.erase(2), 1u);
+  EXPECT_EQ(set.erase(2), 0u);  // already gone
+  EXPECT_EQ(set.count(2), 0u);
+  EXPECT_EQ(set.size(), 2u);
+  std::vector<int> seen(set.begin(), set.end());
+  EXPECT_EQ(seen, (std::vector<int>{4, 8}));
+}
+
+TEST(FlatSetTest, ClearKeepsNoElementsButStaysReusable) {
+  FlatSet<int> set;
+  for (int k = 0; k < 64; ++k) set.insert(k);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  // The pooling property in action: refilling after clear works and keeps
+  // the same semantics (capacity retention itself is not observable
+  // through the API, but reuse must be).
+  for (int k = 63; k >= 0; --k) set.insert(k);
+  EXPECT_EQ(set.size(), 64u);
+  int expected = 0;
+  for (int k : set) EXPECT_EQ(k, expected++);
+}
+
+TEST(FlatMapTest, BracketInsertsDefaultAndFindsExisting) {
+  FlatMap<int, std::string> map;
+  map[3] = "three";
+  map[1] = "one";
+  map[2] = "two";
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map[1], "one");  // no duplicate insert
+  EXPECT_EQ(map.size(), 3u);
+  // Sorted iteration, mutable through the iterator.
+  std::vector<int> keys;
+  for (auto& [k, v] : map) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 2, 3}));
+  map.find(2)->second = "TWO";
+  EXPECT_EQ(map[2], "TWO");
+}
+
+TEST(FlatMapTest, EmplaceIsIdempotentAndEraseIsExact) {
+  FlatMap<int, int> map;
+  EXPECT_TRUE(map.emplace(7, 70).second);
+  auto dup = map.emplace(7, 71);
+  EXPECT_FALSE(dup.second);
+  EXPECT_EQ(dup.first->second, 70);  // first value wins
+  EXPECT_EQ(map.count(7), 1u);
+  EXPECT_EQ(map.erase(8), 0u);
+  EXPECT_EQ(map.erase(7), 1u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), map.end());
+}
+
+TEST(FlatMapTest, IteratorEraseReturnsTheSuccessor) {
+  FlatMap<int, int> map;
+  for (int k : {1, 2, 3, 4}) map.emplace(k, k * 10);
+  auto it = map.find(2);
+  ASSERT_NE(it, map.end());
+  it = map.erase(it);
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->first, 3);
+  EXPECT_EQ(map.size(), 3u);
+  // Erase-while-iterating drains cleanly.
+  for (auto i = map.begin(); i != map.end();) i = map.erase(i);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMapTest, ClearThenRefillStaysSorted) {
+  FlatMap<int, int> map;
+  for (int k = 0; k < 32; ++k) map[k] = k;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  for (int k = 31; k >= 0; --k) map[k] = k * 2;
+  int expected = 0;
+  for (const auto& [k, v] : map) {
+    EXPECT_EQ(k, expected);
+    EXPECT_EQ(v, expected * 2);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 32);
+}
+
+}  // namespace
+}  // namespace tpm

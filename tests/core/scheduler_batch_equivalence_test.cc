@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fingerprint.h"
 #include "common/str_util.h"
 #include "core/scheduler.h"
 #include "testing/mini_world.h"
@@ -69,15 +70,6 @@ constexpr WorkloadSpec kWorkloads[] = {
     {"w2-extreme-fail", 3, 0.10, 99, 0, 0},
     {"w3-durations-throttled", 9, 0.0, 5, 3, 4},
 };
-
-uint64_t Fnv1a(const std::string& s) {
-  uint64_t h = 14695981039346656037ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 std::string HexOf(uint64_t v) {
   std::ostringstream os;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/str_util.h"
 #include "core/flex_structure.h"
 #include "core/pred.h"
@@ -288,14 +289,6 @@ TEST(FaultInjectionSweep, FileAsynchronous) {
 // workload completed and restarted from the on-disk log reaches the same
 // state fingerprint (process outcomes + subsystem stores) as the run that
 // was never interrupted.
-
-uint64_t Fnv1a(uint64_t hash, const std::string& bytes) {
-  for (unsigned char c : bytes) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
 
 uint64_t StateFingerprint(TransactionalProcessScheduler* scheduler,
                           MiniWorld* world, int64_t num_pids) {

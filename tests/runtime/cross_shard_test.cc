@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "common/str_util.h"
 #include "core/pred.h"
 #include "core/recoverability.h"
@@ -22,15 +23,6 @@
 
 namespace tpm {
 namespace {
-
-uint64_t Fnv1a(const std::string& s) {
-  uint64_t h = 14695981039346656037ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 // The mixed workload with spanning processes sprinkled in: per tenant
 // round-robin of order/consume/refill, plus `span_pct`% spanning

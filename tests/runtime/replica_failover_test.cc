@@ -1,0 +1,383 @@
+// Replicated shards, part 2: hot failover. Killing the acting primary
+// mid-run promotes a live follower with no stop-the-world WAL replay —
+// the shard keeps serving through the kill. The sweep arms a real WAL
+// crash at every crash point of the primary's log; the soak repeats the
+// kill-respawn cycle under concurrent producers with fresh seeds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/str_util.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/schedule.h"
+#include "runtime/replica_group.h"
+#include "runtime/sharded_runtime.h"
+#include "testing/fault_injector.h"
+#include "workload/sharded_world.h"
+
+namespace tpm {
+namespace {
+
+std::vector<const ProcessDef*> BuildWorkloadRounds(ShardedWorld* world,
+                                                   int begin, int end) {
+  std::vector<const ProcessDef*> defs;
+  for (int round = begin; round < end; ++round) {
+    for (int t = 0; t < world->num_tenants(); ++t) {
+      defs.push_back(world->MakeOrderProcess(
+          t, "order_t" + std::to_string(t) + "_" + std::to_string(round),
+          round));
+      defs.push_back(world->MakeConsumeProcess(
+          t, "consume_t" + std::to_string(t) + "_" + std::to_string(round),
+          round));
+      defs.push_back(world->MakeRefillProcess(
+          t, "refill_t" + std::to_string(t) + "_" + std::to_string(round),
+          round));
+    }
+  }
+  return defs;
+}
+
+struct ReplicaWorlds {
+  std::vector<std::unique_ptr<ShardedWorld>> worlds;
+  std::vector<const ProcessDef*> defs;
+};
+
+ReplicaWorlds MakeReplicaWorlds(int factor, uint64_t seed, int tenants,
+                                int per_tenant, int initial_tokens = 8) {
+  ReplicaWorlds rw;
+  for (int r = 0; r < factor; ++r) {
+    rw.worlds.push_back(std::make_unique<ShardedWorld>(
+        ShardedWorldOptions{.seed = seed,
+                            .num_tenants = tenants,
+                            .queue_initial_tokens = initial_tokens}));
+    std::vector<const ProcessDef*> defs =
+        BuildWorkloadRounds(rw.worlds.back().get(), 0, per_tenant);
+    if (r == 0) rw.defs = std::move(defs);
+  }
+  return rw;
+}
+
+Status RegisterReplicas(ReplicaWorlds* rw, ShardedRuntime* runtime) {
+  for (size_t r = 0; r < rw->worlds.size(); ++r) {
+    Status status =
+        rw->worlds[r]->RegisterAllAsReplica(runtime, static_cast<int>(r));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+// Full post-quiescence audit of one replicated shard on its acting
+// primary: PRED, Proc-REC of the committed projection.
+void AuditShard(ShardedRuntime* runtime, int shard) {
+  TransactionalProcessScheduler* scheduler = runtime->shard_scheduler(shard);
+  ASSERT_NE(scheduler, nullptr);
+  auto pred = IsPRED(scheduler->history(), scheduler->conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred) << "shard " << shard << " history not PRED";
+  EXPECT_TRUE(IsProcessRecoverable(CommittedProjection(scheduler->history()),
+                                   scheduler->conflict_spec()))
+      << "shard " << shard << " not Proc-REC";
+}
+
+// ---------------------------------------------------------------------------
+// Killing the primary mid-run: the follower takes over, every submission
+// (including those sent AFTER the kill) is served, no recovery pause.
+
+TEST(ReplicaFailoverTest, KillPrimaryMidRunKeepsServing) {
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/3, /*seed=*/53,
+                                       /*tenants=*/2, /*per_tenant=*/4);
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kFreeRunning;
+  options.replication.factor = 3;
+  options.replication.vote_every_rounds = 2;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  std::vector<SubmitTicket> tickets;
+  const size_t half = rw.defs.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    auto ticket = runtime.Submit(rw.defs[i]);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+
+  // Kill the acting primary while the first half may still be in flight.
+  ASSERT_TRUE(runtime.KillReplica(0, runtime.shard_group(0)->primary()).ok());
+
+  // The shard keeps accepting and serving — the probe of the acceptance
+  // criterion: no stop-the-world recovery on the failover path.
+  for (size_t i = half; i < rw.defs.size(); ++i) {
+    auto ticket = runtime.Submit(rw.defs[i]);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+  for (SubmitTicket& ticket : tickets) {
+    auto pid = ticket.Await();
+    EXPECT_TRUE(pid.ok()) << pid.status();
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  EXPECT_EQ(stats.failovers, 1);
+  EXPECT_EQ(stats.replica_divergences, 0);
+  EXPECT_EQ(stats.replicas_evicted, 0);
+  const int primary = runtime.shard_group(0)->primary();
+  EXPECT_NE(primary, 0);
+  EXPECT_EQ(stats.merged.processes_committed + stats.merged.processes_aborted,
+            static_cast<int64_t>(rw.defs.size()));
+  AuditShard(&runtime, 0);
+  EXPECT_TRUE(rw.worlds[primary]->CheckAdtInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// The sweep: a REAL WAL crash (via the fault injector) at every crash
+// point of the initial primary's log. Each armed run must keep the shard
+// serving on the survivors with zero availability loss — all submissions
+// served, exactly one failover, audit clean.
+
+TEST(ReplicaFailoverSweepTest, KillPrimaryAtEveryCrashPointKeepsServing) {
+  constexpr uint64_t kSeed = 59;
+  constexpr int kTenants = 2;
+  constexpr int kPerTenant = 2;
+
+  auto run_once = [&](testing::FaultInjector* injector,
+                      RuntimeStats* stats_out, int* primary_out,
+                      std::vector<Status>* results_out) -> Status {
+    ReplicaWorlds rw =
+        MakeReplicaWorlds(/*factor=*/3, kSeed, kTenants, kPerTenant);
+    ShardedRuntimeOptions options;
+    options.num_shards = 1;
+    options.mode = TickMode::kLockstep;  // deterministic hit stream
+    options.replication.factor = 3;
+    options.replication.vote_every_rounds = 1;
+    options.replication.replica_crash_listener = injector;
+    options.replication.listener_replica = 0;  // the initial primary
+    ShardedRuntime runtime(options);
+    Status status = RegisterReplicas(&rw, &runtime);
+    if (!status.ok()) return status;
+    status = runtime.Start();
+    if (!status.ok()) return status;
+    std::vector<SubmitTicket> tickets;
+    for (const ProcessDef* def : rw.defs) {
+      auto ticket = runtime.Submit(def);
+      if (!ticket.ok()) return ticket.status();
+      tickets.push_back(*ticket);
+    }
+    status = runtime.Drain();
+    if (!status.ok()) return status;
+    for (SubmitTicket& ticket : tickets) {
+      results_out->push_back(ticket.Await().status());
+    }
+    *stats_out = runtime.Stats();
+    *primary_out = runtime.shard_group(0)->primary();
+    Status stop = runtime.Stop();
+    if (!stop.ok()) return stop;
+    AuditShard(&runtime, 0);
+    return rw.worlds[*primary_out]->CheckAdtInvariants();
+  };
+
+  // Dry run: count the crash-point hits of replica 0's WAL.
+  testing::FaultInjector injector;
+  injector.ArmAt(0);
+  {
+    RuntimeStats stats;
+    int primary = 0;
+    std::vector<Status> results;
+    ASSERT_TRUE(run_once(&injector, &stats, &primary, &results).ok());
+    ASSERT_EQ(stats.failovers, 0);
+  }
+  const int64_t total_hits = injector.hits();
+  ASSERT_GT(total_hits, 0);
+
+  // Armed runs, sampled down to a CI-friendly count while always covering
+  // the first and last hit.
+  const int64_t stride = std::max<int64_t>(1, total_hits / 24);
+  std::cerr << "replica failover sweep: " << total_hits
+            << " crash points, stride " << stride << "\n";
+  for (int64_t hit = 1; hit <= total_hits; hit += stride) {
+    SCOPED_TRACE("crash hit " + std::to_string(hit));
+    injector.Reset();
+    injector.ArmAt(hit);
+    RuntimeStats stats;
+    int primary = 0;
+    std::vector<Status> results;
+    Status status = run_once(&injector, &stats, &primary, &results);
+    EXPECT_TRUE(status.ok()) << status;
+    EXPECT_TRUE(injector.triggered());
+    // Zero availability loss: every submission served by the survivors.
+    for (const Status& result : results) {
+      EXPECT_TRUE(result.ok()) << result;
+    }
+    EXPECT_EQ(stats.failovers, 1);
+    EXPECT_EQ(stats.replica_divergences, 0);
+    EXPECT_NE(primary, 0);
+    EXPECT_EQ(stats.per_shard_replicas[0].live_replicas, 2);
+    if (::testing::Test::HasFailure()) {
+      std::string path = testing::WriteFailingSeed(
+          "replica_failover_sweep", hit, injector.triggered_site(),
+          StrCat("seed=", kSeed, " crash_hit=", hit,
+                 " ctest -R ReplicaFailoverSweep"));
+      std::cerr << "sweep failed at crash hit " << hit << " (site "
+                << injector.triggered_site() << "); reproducer written to "
+                << path << "\n";
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover + respawn round trip in free-running mode: the killed primary
+// is rebuilt from the promoted one and rejoins as a clean follower.
+
+TEST(ReplicaFailoverTest, RespawnAfterFailoverRestoresTheQuorum) {
+  constexpr uint64_t kSeed = 61;
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/3, kSeed,
+                                       /*tenants=*/2, /*per_tenant=*/1);
+  std::vector<const ProcessDef*> wave2 =
+      BuildWorkloadRounds(rw.worlds[0].get(), 1, 2);
+  (void)BuildWorkloadRounds(rw.worlds[1].get(), 1, 2);
+  (void)BuildWorkloadRounds(rw.worlds[2].get(), 1, 2);
+
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kFreeRunning;
+  options.replication.factor = 3;
+  options.replication.vote_every_rounds = 1;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  for (const ProcessDef* def : rw.defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    EXPECT_TRUE(ticket->Await().ok());
+  }
+  ASSERT_TRUE(runtime.KillReplica(0, runtime.shard_group(0)->primary()).ok());
+  ASSERT_TRUE(runtime.Drain().ok());
+  EXPECT_EQ(runtime.shard_group(0)->primary(), 1);
+
+  ASSERT_TRUE(runtime.RespawnReplica(0, 0, rw.worlds[0]->DefsByName()).ok());
+  EXPECT_EQ(runtime.shard_group(0)->replica_state(0), ReplicaState::kActive);
+  // Respawn rebuilds the dead replica but does not steal primaryship back.
+  EXPECT_EQ(runtime.shard_group(0)->primary(), 1);
+
+  std::vector<SubmitTicket> tickets;
+  for (const ProcessDef* def : wave2) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  for (SubmitTicket& ticket : tickets) {
+    EXPECT_TRUE(ticket.Await().ok());
+  }
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  EXPECT_EQ(stats.failovers, 1);
+  EXPECT_EQ(stats.replica_divergences, 0);
+  EXPECT_EQ(stats.per_shard_replicas[0].live_replicas, 3);
+  // All three replicas agree on the final store.
+  const uint64_t fp =
+      runtime.replica_scheduler(0, 1)->SubsystemStateFingerprint();
+  EXPECT_EQ(runtime.replica_scheduler(0, 0)->SubsystemStateFingerprint(), fp);
+  EXPECT_EQ(runtime.replica_scheduler(0, 2)->SubsystemStateFingerprint(), fp);
+  AuditShard(&runtime, 0);
+  EXPECT_TRUE(rw.worlds[1]->CheckAdtInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// TSan soak: concurrent producers, a kill (sometimes of the primary) in
+// the middle of the run, full audit per iteration. Fresh seeds per run;
+// override via TPM_REPLICA_SEED_BASE / TPM_REPLICA_SOAK_ITERS in CI.
+
+TEST(ReplicaSoakTest, FailoverUnderConcurrentProducersPreservesInvariants) {
+  const char* base_env = std::getenv("TPM_REPLICA_SEED_BASE");
+  const char* iters_env = std::getenv("TPM_REPLICA_SOAK_ITERS");
+  const uint64_t seed_base =
+      base_env != nullptr ? std::strtoull(base_env, nullptr, 10) : 4321;
+  const int iterations = iters_env != nullptr ? std::atoi(iters_env) : 2;
+  constexpr int kShards = 2;
+  constexpr int kFactor = 3;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(iter);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ReplicaWorlds rw = MakeReplicaWorlds(kFactor, seed, /*tenants=*/4,
+                                         /*per_tenant=*/3,
+                                         /*initial_tokens=*/32);
+    ShardedRuntimeOptions options;
+    options.num_shards = kShards;
+    options.mode = TickMode::kFreeRunning;
+    options.queue_capacity = 16;  // backpressure engages
+    options.replication.factor = kFactor;
+    options.replication.vote_every_rounds = 2;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+    ASSERT_TRUE(runtime.Start().ok());
+
+    const int kill_shard = static_cast<int>(seed % kShards);
+    const int kill_replica = static_cast<int>(seed % kFactor);
+    constexpr int kProducers = 3;
+    std::atomic<size_t> next{0};
+    std::atomic<int> submit_failures{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= rw.defs.size()) break;
+          auto ticket = runtime.Submit(rw.defs[i]);
+          if (!ticket.ok() || !ticket->Await().ok()) {
+            submit_failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    // Kill one replica once the run is roughly half submitted.
+    while (next.load() < rw.defs.size() / 2) std::this_thread::yield();
+    ASSERT_TRUE(runtime.KillReplica(kill_shard, kill_replica).ok());
+    for (auto& t : producers) t.join();
+    ASSERT_TRUE(runtime.Drain().ok());
+    RuntimeStats stats = runtime.Stats();
+    ASSERT_TRUE(runtime.Stop().ok());
+
+    EXPECT_EQ(submit_failures.load(), 0);
+    EXPECT_EQ(stats.merged.processes_committed +
+                  stats.merged.processes_aborted,
+              static_cast<int64_t>(rw.defs.size()));
+    EXPECT_EQ(stats.failovers, kill_replica == 0 ? 1 : 0);
+    EXPECT_EQ(stats.replica_divergences, 0);
+    EXPECT_EQ(stats.replicas_evicted, 0);
+    for (int s = 0; s < kShards; ++s) AuditShard(&runtime, s);
+    // A replica index alive on EVERY shard holds the complete final
+    // state; the killed one is stale on kill_shard only.
+    const int intact = (kill_replica + 1) % kFactor;
+    EXPECT_TRUE(rw.worlds[intact]->CheckAdtInvariants().ok());
+
+    if (::testing::Test::HasFailure()) {
+      std::string path = testing::WriteFailingSeed(
+          "replica_failover_soak", iter, "ReplicaSoakTest",
+          StrCat("TPM_REPLICA_SEED_BASE=", seed,
+                 " TPM_REPLICA_SOAK_ITERS=1 ctest -R ReplicaSoak"));
+      std::cerr << "soak failed at seed " << seed << "; reproducer written to "
+                << path << "\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpm

@@ -1,0 +1,680 @@
+// Replicated shards, part 1: voter semantics, lockstep bit-equivalence of
+// every replica against solo schedulers, divergence detection + eviction
+// (follower and primary corruption), replica counters through the stats
+// fan-in and the shard-tagged observer relay, spanning rejection, total
+// death, and respawn rejoin.
+
+#include "runtime/replica_group.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "core/pred.h"
+#include "core/recoverability.h"
+#include "core/schedule.h"
+#include "runtime/sharded_runtime.h"
+#include "runtime/voter.h"
+#include "testing/divergence_injector.h"
+#include "workload/sharded_world.h"
+
+namespace tpm {
+namespace {
+
+// The canonical mixed workload over tick rounds [begin, end): order /
+// consume / refill per tenant per round, in a fixed global order — the
+// same shape the unreplicated equivalence tests use, with a round range so
+// a test can mint a second wave with fresh names after a respawn.
+std::vector<const ProcessDef*> BuildWorkloadRounds(ShardedWorld* world,
+                                                   int begin, int end) {
+  std::vector<const ProcessDef*> defs;
+  for (int round = begin; round < end; ++round) {
+    for (int t = 0; t < world->num_tenants(); ++t) {
+      const ProcessDef* order = world->MakeOrderProcess(
+          t, "order_t" + std::to_string(t) + "_" + std::to_string(round),
+          round);
+      const ProcessDef* consume = world->MakeConsumeProcess(
+          t, "consume_t" + std::to_string(t) + "_" + std::to_string(round),
+          round);
+      const ProcessDef* refill = world->MakeRefillProcess(
+          t, "refill_t" + std::to_string(t) + "_" + std::to_string(round),
+          round);
+      EXPECT_NE(order, nullptr);
+      EXPECT_NE(consume, nullptr);
+      EXPECT_NE(refill, nullptr);
+      defs.push_back(order);
+      defs.push_back(consume);
+      defs.push_back(refill);
+    }
+  }
+  return defs;
+}
+
+// R mirror worlds with the identical seed and identical Make sequence (so
+// they mint identical ServiceIds), each registered as one replica.
+struct ReplicaWorlds {
+  std::vector<std::unique_ptr<ShardedWorld>> worlds;
+  // Replica 0's defs — the submission set (all replicas execute the same
+  // immutable definitions; footprints resolve against their own stores).
+  std::vector<const ProcessDef*> defs;
+};
+
+ReplicaWorlds MakeReplicaWorlds(int factor, uint64_t seed, int tenants,
+                                int per_tenant) {
+  ReplicaWorlds rw;
+  for (int r = 0; r < factor; ++r) {
+    rw.worlds.push_back(std::make_unique<ShardedWorld>(
+        ShardedWorldOptions{.seed = seed, .num_tenants = tenants}));
+    std::vector<const ProcessDef*> defs =
+        BuildWorkloadRounds(rw.worlds.back().get(), 0, per_tenant);
+    if (r == 0) rw.defs = std::move(defs);
+  }
+  return rw;
+}
+
+Status RegisterReplicas(ReplicaWorlds* rw, ShardedRuntime* runtime) {
+  for (size_t r = 0; r < rw->worlds.size(); ++r) {
+    Status status =
+        rw->worlds[r]->RegisterAllAsReplica(runtime, static_cast<int>(r));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+VoteDigest MakeDigest(uint64_t h) { return VoteDigest{h, h * 31, h * 131}; }
+
+// ---------------------------------------------------------------------------
+// Voter unit semantics.
+
+TEST(VoterTest, MajorityWinsAndTheOddOneOutLoses) {
+  Voter voter;
+  voter.SubmitVote(0, 0, MakeDigest(1));
+  voter.SubmitVote(0, 1, MakeDigest(1));
+  voter.SubmitVote(0, 2, MakeDigest(2));
+  auto outcomes = voter.TakeCompleted({0, 1, 2}, /*tiebreak_replica=*/0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].round, 0);
+  EXPECT_EQ(outcomes[0].winner, MakeDigest(1));
+  ASSERT_EQ(outcomes[0].losers.size(), 1u);
+  EXPECT_EQ(outcomes[0].losers[0], 2);
+  EXPECT_EQ(voter.pending_rounds(), 0);
+}
+
+TEST(VoterTest, TwoWayTieKeepsTheTiebreakReplicasSide) {
+  // R=2 split 1:1 is unattributable; the group keeps the acting primary's
+  // side and evicts the other — by construction, not by evidence.
+  Voter voter;
+  voter.SubmitVote(3, 0, MakeDigest(7));
+  voter.SubmitVote(3, 1, MakeDigest(8));
+  auto outcomes = voter.TakeCompleted({0, 1}, /*tiebreak_replica=*/0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].winner, MakeDigest(7));
+  ASSERT_EQ(outcomes[0].losers.size(), 1u);
+  EXPECT_EQ(outcomes[0].losers[0], 1);
+
+  voter.SubmitVote(4, 0, MakeDigest(7));
+  voter.SubmitVote(4, 1, MakeDigest(8));
+  outcomes = voter.TakeCompleted({0, 1}, /*tiebreak_replica=*/1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].winner, MakeDigest(8));
+  ASSERT_EQ(outcomes[0].losers.size(), 1u);
+  EXPECT_EQ(outcomes[0].losers[0], 0);
+}
+
+TEST(VoterTest, RoundsWaitForEveryLiveVoter) {
+  Voter voter;
+  voter.SubmitVote(0, 0, MakeDigest(1));
+  EXPECT_TRUE(voter.TakeCompleted({0, 1}, 0).empty());
+  EXPECT_EQ(voter.pending_rounds(), 1);
+  voter.SubmitVote(0, 1, MakeDigest(1));
+  auto outcomes = voter.TakeCompleted({0, 1}, 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].losers.empty());
+}
+
+TEST(VoterTest, RemoveReplicaMakesItsRoundsCompletable) {
+  // A replica that dies mid-round must not wedge the vote: dropping it
+  // lets the survivors' ballots complete the round.
+  Voter voter;
+  voter.SubmitVote(0, 0, MakeDigest(5));
+  voter.SubmitVote(0, 1, MakeDigest(5));
+  EXPECT_TRUE(voter.TakeCompleted({0, 1, 2}, 0).empty());
+  voter.RemoveReplica(2);
+  auto outcomes = voter.TakeCompleted({0, 1}, 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].losers.empty());
+  EXPECT_EQ(outcomes[0].winner, MakeDigest(5));
+}
+
+TEST(VoterTest, ResetForgetsEverything) {
+  Voter voter;
+  voter.SubmitVote(0, 0, MakeDigest(1));
+  voter.SubmitVote(1, 0, MakeDigest(2));
+  EXPECT_EQ(voter.pending_rounds(), 2);
+  voter.Reset();
+  EXPECT_EQ(voter.pending_rounds(), 0);
+  EXPECT_TRUE(voter.TakeCompleted({0}, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep bit-equivalence: every replica of a replicated lockstep run
+// matches a solo single-threaded scheduler fed the same per-shard
+// submission sequence — the determinism claim the voter relies on.
+
+TEST(ReplicaGroupTest, ReplicatedLockstepMatchesSoloBitExactly) {
+  constexpr int kTenants = 4;
+  constexpr int kShards = 2;
+  constexpr uint64_t kSeed = 11;
+
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/2, kSeed, kTenants,
+                                       /*per_tenant=*/2);
+  ShardedRuntimeOptions options;
+  options.num_shards = kShards;
+  options.mode = TickMode::kLockstep;
+  options.replication.factor = 2;
+  options.replication.vote_every_rounds = 2;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+  ASSERT_TRUE(runtime.replicated());
+
+  std::vector<std::vector<std::string>> routed_names(kShards);
+  for (const ProcessDef* def : rw.defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    routed_names[ticket->shard].push_back(def->name());
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  // A healthy replicated run: votes happened, nothing diverged.
+  EXPECT_GT(stats.vote_rounds, 0);
+  EXPECT_EQ(stats.replica_divergences, 0);
+  EXPECT_EQ(stats.replicas_evicted, 0);
+  EXPECT_EQ(stats.failovers, 0);
+  ASSERT_EQ(stats.per_shard_replicas.size(), static_cast<size_t>(kShards));
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(stats.per_shard_replicas[s].live_replicas, 2) << "shard " << s;
+    EXPECT_EQ(stats.per_shard_replicas[s].primary, 0) << "shard " << s;
+  }
+
+  std::vector<std::vector<int>> tenants_of_shard(kShards);
+  for (int t = 0; t < kTenants; ++t) {
+    const int shard = runtime.partition().ShardOfService(
+        runtime.union_spec(), rw.worlds[0]->TenantServices(t)[0]);
+    ASSERT_GE(shard, 0);
+    tenants_of_shard[shard].push_back(t);
+  }
+
+  for (int s = 0; s < kShards; ++s) {
+    ShardedWorld mirror({.seed = kSeed, .num_tenants = kTenants});
+    (void)BuildWorkloadRounds(&mirror, 0, 2);
+    auto mirror_by_name = mirror.DefsByName();
+    TransactionalProcessScheduler solo;
+    for (int t : tenants_of_shard[s]) {
+      ASSERT_TRUE(solo.RegisterSubsystem(mirror.kv(t)).ok());
+      ASSERT_TRUE(solo.RegisterSubsystem(mirror.escrow(t)).ok());
+      ASSERT_TRUE(solo.RegisterSubsystem(mirror.queue(t)).ok());
+    }
+    for (const std::string& name : routed_names[s]) {
+      ASSERT_TRUE(solo.Submit(mirror_by_name.at(name)).ok()) << name;
+    }
+    if (!routed_names[s].empty()) {
+      for (;;) {
+        auto more = solo.Step();
+        ASSERT_TRUE(more.ok());
+        if (!*more) break;
+      }
+    }
+    const uint64_t solo_fp = Fnv1a(solo.history().ToString());
+    // BOTH replicas, not just the primary: the whole group tracked the
+    // solo baseline bit for bit.
+    for (int r = 0; r < 2; ++r) {
+      TransactionalProcessScheduler* replica = runtime.replica_scheduler(s, r);
+      ASSERT_NE(replica, nullptr);
+      EXPECT_EQ(Fnv1a(replica->history().ToString()), solo_fp)
+          << "shard " << s << " replica " << r << " history diverged";
+    }
+    EXPECT_TRUE(stats.per_shard[s] == solo.stats())
+        << "shard " << s << " stats diverged";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence detection. A follower is silently corrupted mid-run; the
+// voter catches it at the next boundary and evicts it, and because only
+// the acting primary's results and events are ever released, the
+// corruption has NO externally visible effect.
+
+TEST(ReplicaGroupTest, CorruptedFollowerIsEvictedWithNoVisibleEffect) {
+  constexpr int kTenants = 2;
+  constexpr uint64_t kSeed = 17;
+
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/2, kSeed, kTenants,
+                                       /*per_tenant=*/2);
+  testing::DivergenceInjector injector;
+  // The corruption: a stray write into replica 1's tenant-0 KV store,
+  // executed on replica 1's own worker thread at the 3rd WAL touch — a
+  // model of a bit-flip that damages state without crashing anything.
+  ShardedWorld* follower_world = rw.worlds[1].get();
+  injector.ArmAt(3, [follower_world] {
+    follower_world->kv(0)->store().Put("t0/poison", 99);
+  });
+
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kLockstep;
+  options.replication.factor = 2;
+  options.replication.vote_every_rounds = 1;  // catch at the next boundary
+  options.replication.replica_crash_listener = &injector;
+  options.replication.listener_replica = 1;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  std::vector<SubmitTicket> tickets;
+  for (const ProcessDef* def : rw.defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+
+  // Every submission was served despite the eviction.
+  for (SubmitTicket& ticket : tickets) {
+    auto pid = ticket.Await();
+    EXPECT_TRUE(pid.ok()) << pid.status();
+  }
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  EXPECT_TRUE(injector.corrupted());
+  EXPECT_EQ(stats.replica_divergences, 1);
+  EXPECT_EQ(stats.replicas_evicted, 1);
+  EXPECT_EQ(stats.failovers, 0);  // the primary never wavered
+  EXPECT_GE(stats.vote_rounds, 1);
+  ReplicaGroup* group = runtime.shard_group(0);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->replica_state(1), ReplicaState::kEvicted);
+  EXPECT_EQ(group->replica_state(0), ReplicaState::kActive);
+  EXPECT_EQ(group->primary(), 0);
+
+  // The stores really did diverge — that's what the vote saw...
+  TransactionalProcessScheduler* primary = runtime.replica_scheduler(0, 0);
+  TransactionalProcessScheduler* evicted = runtime.replica_scheduler(0, 1);
+  ASSERT_NE(primary, nullptr);
+  ASSERT_NE(evicted, nullptr);
+  EXPECT_NE(primary->SubsystemStateFingerprint(),
+            evicted->SubsystemStateFingerprint());
+
+  // ...but externally the run is indistinguishable from a healthy solo
+  // run: the primary's history matches the solo baseline bit for bit.
+  ShardedWorld mirror({.seed = kSeed, .num_tenants = kTenants});
+  (void)BuildWorkloadRounds(&mirror, 0, 2);
+  auto mirror_by_name = mirror.DefsByName();
+  TransactionalProcessScheduler solo;
+  ASSERT_TRUE(mirror.RegisterAllSolo(&solo).ok());
+  for (const ProcessDef* def : rw.defs) {
+    ASSERT_TRUE(solo.Submit(mirror_by_name.at(def->name())).ok());
+  }
+  for (;;) {
+    auto more = solo.Step();
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+  }
+  EXPECT_EQ(Fnv1a(primary->history().ToString()),
+            Fnv1a(solo.history().ToString()));
+  EXPECT_TRUE(rw.worlds[0]->CheckAdtInvariants().ok());
+}
+
+// With R=3 the majority attributes the corruption even when it strikes
+// the PRIMARY: the two healthy followers outvote it, the primary is
+// evicted, and a follower is promoted — serving continues.
+
+TEST(ReplicaGroupTest, CorruptedPrimaryIsOutvotedAndReplaced) {
+  constexpr int kTenants = 2;
+  constexpr uint64_t kSeed = 23;
+
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/3, kSeed, kTenants,
+                                       /*per_tenant=*/2);
+  testing::DivergenceInjector injector;
+  ShardedWorld* primary_world = rw.worlds[0].get();
+  injector.ArmAt(3, [primary_world] {
+    primary_world->kv(0)->store().Put("t0/poison", 99);
+  });
+
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kLockstep;
+  options.replication.factor = 3;
+  options.replication.vote_every_rounds = 1;
+  options.replication.replica_crash_listener = &injector;
+  options.replication.listener_replica = 0;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  std::vector<SubmitTicket> tickets;
+  for (const ProcessDef* def : rw.defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+  for (SubmitTicket& ticket : tickets) {
+    auto pid = ticket.Await();
+    EXPECT_TRUE(pid.ok()) << pid.status();
+  }
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  EXPECT_TRUE(injector.corrupted());
+  EXPECT_EQ(stats.replica_divergences, 1);
+  EXPECT_EQ(stats.replicas_evicted, 1);
+  EXPECT_EQ(stats.failovers, 1);  // eviction of the primary promoted 1
+  ReplicaGroup* group = runtime.shard_group(0);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->replica_state(0), ReplicaState::kEvicted);
+  EXPECT_EQ(group->replica_state(1), ReplicaState::kActive);
+  EXPECT_EQ(group->replica_state(2), ReplicaState::kActive);
+  EXPECT_EQ(group->primary(), 1);
+
+  // The healthy majority agrees with itself and with the solo baseline;
+  // the evicted replica's store stands apart.
+  TransactionalProcessScheduler* r0 = runtime.replica_scheduler(0, 0);
+  TransactionalProcessScheduler* r1 = runtime.replica_scheduler(0, 1);
+  TransactionalProcessScheduler* r2 = runtime.replica_scheduler(0, 2);
+  EXPECT_EQ(r1->SubsystemStateFingerprint(), r2->SubsystemStateFingerprint());
+  EXPECT_NE(r0->SubsystemStateFingerprint(), r1->SubsystemStateFingerprint());
+  EXPECT_EQ(Fnv1a(r1->history().ToString()), Fnv1a(r2->history().ToString()));
+
+  auto pred = IsPRED(r1->history(), r1->conflict_spec());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(*pred);
+  EXPECT_TRUE(IsProcessRecoverable(CommittedProjection(r1->history()),
+                                   r1->conflict_spec()));
+  EXPECT_TRUE(rw.worlds[1]->CheckAdtInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Counters and events: replica lifecycle flows through Stats() (summing
+// the per-shard groups) and through the shard-tagged observer relay.
+
+struct ReplicaEventRecorder : RuntimeObserver {
+  struct Event {
+    int shard;
+    int replica;
+    ReplicaState from;
+    ReplicaState to;
+  };
+  std::mutex mu;
+  std::vector<Event> events;
+  void OnReplicaStateChange(int shard, int replica, ReplicaState from,
+                            ReplicaState to) override {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back({shard, replica, from, to});
+  }
+  bool Saw(int shard, int replica, ReplicaState from, ReplicaState to) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Event& e : events) {
+      if (e.shard == shard && e.replica == replica && e.from == from &&
+          e.to == to) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST(ReplicaGroupTest, CountersFlowThroughStatsFanInAndObserverRelay) {
+  constexpr int kTenants = 4;
+  constexpr int kShards = 2;
+
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/3, /*seed=*/31, kTenants,
+                                       /*per_tenant=*/1);
+  ReplicaEventRecorder recorder;
+  ShardedRuntimeOptions options;
+  options.num_shards = kShards;
+  options.mode = TickMode::kFreeRunning;
+  options.replication.factor = 3;
+  options.replication.vote_every_rounds = 1;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.AddObserver(&recorder).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  for (const ProcessDef* def : rw.defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    EXPECT_TRUE(ticket->Await().ok());
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+
+  // Kill a follower on each shard, then shard 0's primary (a failover).
+  ASSERT_TRUE(runtime.KillReplica(0, 2).ok());
+  ASSERT_TRUE(runtime.KillReplica(1, 2).ok());
+  ASSERT_TRUE(runtime.KillReplica(0, runtime.shard_group(0)->primary()).ok());
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  EXPECT_EQ(stats.failovers, 1);
+  EXPECT_EQ(stats.replica_divergences, 0);
+  EXPECT_EQ(stats.replicas_evicted, 0);
+  ASSERT_EQ(stats.per_shard_replicas.size(), static_cast<size_t>(kShards));
+  EXPECT_EQ(stats.per_shard_replicas[0].live_replicas, 1);
+  EXPECT_EQ(stats.per_shard_replicas[0].primary, 1);
+  EXPECT_EQ(stats.per_shard_replicas[0].failovers, 1);
+  EXPECT_EQ(stats.per_shard_replicas[1].live_replicas, 2);
+  EXPECT_EQ(stats.per_shard_replicas[1].primary, 0);
+  // The top-level counters are exactly the per-shard sums.
+  int64_t vote_sum = 0;
+  int64_t failover_sum = 0;
+  for (const ReplicaGroupStats& g : stats.per_shard_replicas) {
+    vote_sum += g.vote_rounds;
+    failover_sum += g.failovers;
+  }
+  EXPECT_EQ(stats.vote_rounds, vote_sum);
+  EXPECT_EQ(stats.failovers, failover_sum);
+  EXPECT_GT(stats.vote_rounds, 0);
+  // The MergeFrom fan-in still works under replication (primary snapshots).
+  EXPECT_EQ(stats.merged.processes_committed + stats.merged.processes_aborted,
+            static_cast<int64_t>(rw.defs.size()));
+
+  // The relay tagged every lifecycle event with its shard.
+  EXPECT_TRUE(
+      recorder.Saw(0, 2, ReplicaState::kActive, ReplicaState::kKilled));
+  EXPECT_TRUE(
+      recorder.Saw(1, 2, ReplicaState::kActive, ReplicaState::kKilled));
+  EXPECT_TRUE(
+      recorder.Saw(0, 0, ReplicaState::kActive, ReplicaState::kKilled));
+  EXPECT_FALSE(
+      recorder.Saw(1, 0, ReplicaState::kActive, ReplicaState::kKilled));
+}
+
+// ---------------------------------------------------------------------------
+// Guardrails: spanning processes are rejected, a fully dead group fails
+// cleanly, file-WAL mode opens one WAL per replica.
+
+TEST(ReplicaGroupTest, SpanningProcessesAreRejectedUnderReplication) {
+  constexpr int kTenants = 2;
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/2, /*seed=*/37, kTenants,
+                                       /*per_tenant=*/1);
+  // Mirror worlds must mint identical ServiceIds, so every world makes the
+  // spanning def — only replica 0's is submitted.
+  std::vector<const ProcessDef*> spans;
+  for (auto& world : rw.worlds) {
+    spans.push_back(world->MakeSpanningProcess("span", 0, 1));
+  }
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;  // two tenants spread over two shards
+  options.mode = TickMode::kLockstep;
+  options.replication.factor = 2;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  auto ticket = runtime.Submit(spans[0]);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_TRUE(ticket.status().IsInvalidArgument()) << ticket.status();
+
+  // Pinned (single-shard) processes still go through.
+  auto pinned = runtime.Submit(rw.defs[0]);
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+  ASSERT_TRUE(runtime.Drain().ok());
+  EXPECT_TRUE(pinned->Await().ok());
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.submissions_rejected, 1);
+  ASSERT_TRUE(runtime.Stop().ok());
+}
+
+TEST(ReplicaGroupTest, AllReplicasDeadFailsTheShardNotTheProcess) {
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/2, /*seed=*/41,
+                                       /*tenants=*/1, /*per_tenant=*/1);
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kLockstep;
+  options.replication.factor = 2;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  ASSERT_TRUE(runtime.KillReplica(0, 0).ok());  // failover to 1...
+  ASSERT_TRUE(runtime.KillReplica(0, 1).ok());  // ...then total death
+  ReplicaGroup* group = runtime.shard_group(0);
+  ASSERT_NE(group, nullptr);
+  EXPECT_FALSE(group->status().ok());
+  EXPECT_EQ(group->Stats().live_replicas, 0);
+  EXPECT_EQ(group->Stats().failovers, 1);
+
+  auto ticket = runtime.Submit(rw.defs[0]);
+  if (ticket.ok()) {
+    // Queued before the sequencer saw the death: the promise must still be
+    // failed, never dropped.
+    EXPECT_FALSE(runtime.Drain().ok());
+    ASSERT_TRUE(runtime.Stop().ok());
+    auto pid = ticket->Await();
+    ASSERT_FALSE(pid.ok());
+    EXPECT_TRUE(pid.status().IsUnavailable()) << pid.status();
+  } else {
+    EXPECT_TRUE(ticket.status().IsUnavailable()) << ticket.status();
+    ASSERT_TRUE(runtime.Stop().ok());
+  }
+}
+
+TEST(ReplicaGroupTest, FileWalModeOpensOneWalPerReplica) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "tpm_replica_wal_test";
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directories(dir));
+
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/2, /*seed=*/43,
+                                       /*tenants=*/1, /*per_tenant=*/1);
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kLockstep;
+  options.log_mode = ShardLogMode::kFile;
+  options.wal_dir = dir.string();
+  options.replication.factor = 2;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+  for (const ProcessDef* def : rw.defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  EXPECT_TRUE(fs::exists(dir / "shard-0-replica-0.wal"));
+  EXPECT_TRUE(fs::exists(dir / "shard-0-replica-1.wal"));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Respawn: a killed follower rebuilt from the primary rejoins and votes
+// cleanly — no false divergence from its shorter history.
+
+TEST(ReplicaGroupTest, RespawnedReplicaRejoinsWithoutFalseDivergence) {
+  constexpr int kTenants = 2;
+  constexpr uint64_t kSeed = 47;
+
+  // Both waves' defs are minted up front so the mirror worlds' ServiceIds
+  // stay aligned.
+  ReplicaWorlds rw = MakeReplicaWorlds(/*factor=*/2, kSeed, kTenants,
+                                       /*per_tenant=*/1);
+  std::vector<const ProcessDef*> wave2 =
+      BuildWorkloadRounds(rw.worlds[0].get(), 1, 2);
+  (void)BuildWorkloadRounds(rw.worlds[1].get(), 1, 2);
+
+  ShardedRuntimeOptions options;
+  options.num_shards = 1;
+  options.mode = TickMode::kLockstep;
+  options.replication.factor = 2;
+  options.replication.vote_every_rounds = 1;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(RegisterReplicas(&rw, &runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  for (const ProcessDef* def : rw.defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+
+  ASSERT_TRUE(runtime.KillReplica(0, 1).ok());
+  ASSERT_TRUE(runtime.Drain().ok());
+  ReplicaGroup* group = runtime.shard_group(0);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->replica_state(1), ReplicaState::kKilled);
+
+  ASSERT_TRUE(
+      runtime.RespawnReplica(0, 1, rw.worlds[0]->DefsByName()).ok());
+  EXPECT_EQ(group->replica_state(1), ReplicaState::kActive);
+  // Stores must agree immediately after adoption (probed through the
+  // worlds' subsystems — the schedulers are affined to their workers).
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(rw.worlds[0]->kv(t)->StateFingerprint(),
+              rw.worlds[1]->kv(t)->StateFingerprint());
+    EXPECT_EQ(rw.worlds[0]->escrow(t)->StateFingerprint(),
+              rw.worlds[1]->escrow(t)->StateFingerprint());
+    EXPECT_EQ(rw.worlds[0]->queue(t)->StateFingerprint(),
+              rw.worlds[1]->queue(t)->StateFingerprint());
+  }
+  const int64_t votes_before = group->Stats().vote_rounds;
+
+  std::vector<SubmitTicket> tickets;
+  for (const ProcessDef* def : wave2) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(*ticket);
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  for (SubmitTicket& ticket : tickets) {
+    EXPECT_TRUE(ticket.Await().ok());
+  }
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  // The respawned replica voted again and never falsely diverged.
+  EXPECT_GT(stats.vote_rounds, votes_before);
+  EXPECT_EQ(stats.replica_divergences, 0);
+  EXPECT_EQ(stats.replicas_evicted, 0);
+  EXPECT_EQ(group->replica_state(1), ReplicaState::kActive);
+  EXPECT_EQ(stats.per_shard_replicas[0].live_replicas, 2);
+
+  // Post-respawn the stores agree exactly.
+  EXPECT_EQ(runtime.replica_scheduler(0, 0)->SubsystemStateFingerprint(),
+            runtime.replica_scheduler(0, 1)->SubsystemStateFingerprint());
+  EXPECT_TRUE(rw.worlds[0]->CheckAdtInvariants().ok());
+}
+
+}  // namespace
+}  // namespace tpm

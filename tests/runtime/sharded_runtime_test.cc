@@ -12,6 +12,7 @@
 #include <set>
 #include <thread>
 
+#include "common/fingerprint.h"
 #include "common/str_util.h"
 #include "core/pred.h"
 #include "core/recoverability.h"
@@ -21,15 +22,6 @@
 
 namespace tpm {
 namespace {
-
-uint64_t Fnv1a(const std::string& s) {
-  uint64_t h = 14695981039346656037ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 // The canonical mixed workload: `per_tenant` each of order/consume/refill
 // per tenant, interleaved across tenants in a fixed global order.
