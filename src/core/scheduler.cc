@@ -39,10 +39,66 @@ Status TransactionalProcessScheduler::RegisterSubsystem(Subsystem* subsystem) {
   return Status::OK();
 }
 
+Status TransactionalProcessScheduler::UnregisterSubsystem(
+    Subsystem* subsystem) {
+  CheckThread("UnregisterSubsystem");
+  if (subsystem == nullptr) return Status::InvalidArgument("null subsystem");
+  auto slot = std::find(subsystems_.begin(), subsystems_.end(), subsystem);
+  if (slot == subsystems_.end()) {
+    return Status::NotFound(
+        StrCat("subsystem '", subsystem->name(), "' is not registered"));
+  }
+  const auto touches = [&](ServiceId service) {
+    if (!service.valid()) return false;
+    auto it = routing_.find(service);
+    return it != routing_.end() && it->second == subsystem;
+  };
+  for (ProcessId pid : active_pids_) {
+    const ProcessRuntime* rt = FindRuntime(pid);
+    if (rt == nullptr || rt->def == nullptr) continue;
+    for (const ActivityDecl& decl : rt->def->activities()) {
+      if (touches(decl.service) || touches(decl.compensation_service)) {
+        return Status::FailedPrecondition(StrCat(
+            "subsystem '", subsystem->name(), "': active process ",
+            pid.value(), " still touches its services (quiesce first)"));
+      }
+    }
+  }
+  for (auto it = routing_.begin(); it != routing_.end();) {
+    it = it->second == subsystem ? routing_.erase(it) : std::next(it);
+  }
+  const size_t index = static_cast<size_t>(slot - subsystems_.begin());
+  subsystems_.erase(slot);
+  if (index < breaker_seen_.size()) {
+    breaker_seen_.erase(breaker_seen_.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+  }
+  // The memoized admission checks embed "every service routed here"; a
+  // shrunken routing table invalidates them wholesale.
+  validated_defs_.clear();
+  return Status::OK();
+}
+
 void TransactionalProcessScheduler::AddConflict(ServiceId a, ServiceId b) {
   CheckThread("AddConflict");
   spec_.AddConflict(a, b);
   EnsureEmitterRows();
+}
+
+int64_t TransactionalProcessScheduler::ReservePidRange(int64_t count) {
+  CheckThread("ReservePidRange");
+  const int64_t base = next_pid_;
+  next_pid_ += count;
+  return base;
+}
+
+void TransactionalProcessScheduler::ForEachActiveDef(
+    const std::function<void(ProcessId, const ProcessDef*)>& fn) const {
+  CheckThread("ForEachActiveDef");
+  for (ProcessId pid : active_pids_) {
+    const ProcessRuntime* rt = FindRuntime(pid);
+    if (rt != nullptr) fn(pid, rt->def);
+  }
 }
 
 Result<Subsystem*> TransactionalProcessScheduler::RouteService(

@@ -112,6 +112,14 @@ class TransactionalProcessScheduler : private SchedulerView {
   /// must outlive the scheduler.
   Status RegisterSubsystem(Subsystem* subsystem);
 
+  /// Removes a registered subsystem: its services stop being routable
+  /// here (elastic migration moves the subsystem to another shard's
+  /// scheduler). Fails with FailedPrecondition while any active process's
+  /// footprint touches one of its services — the caller must quiesce
+  /// first. The conflict spec keeps the services interned: dense indices
+  /// are append-only, so history analyses over past emitters stay valid.
+  Status UnregisterSubsystem(Subsystem* subsystem);
+
   /// Adds a conflict beyond those derived from read/write sets.
   void AddConflict(ServiceId a, ServiceId b);
 
@@ -299,6 +307,19 @@ class TransactionalProcessScheduler : private SchedulerView {
 
   Status Recover(const std::map<std::string, const ProcessDef*>& defs_by_name,
                  const RecoverDirectives* directives = nullptr);
+
+  /// Reserves `count` consecutive pids and returns the first. The elastic
+  /// migration engine renumbers an imported WAL segment into the reserved
+  /// range before replaying it here, so imported pids can never collide
+  /// with organically admitted ones — and an aborted import strips exactly
+  /// [base, base + count). An unused reservation is a harmless pid gap.
+  int64_t ReservePidRange(int64_t count);
+
+  /// Visits every active (non-terminated) process with its definition, in
+  /// ascending pid order — the migration engine's quiesce poll ("any live
+  /// process still touching this component?") without exposing runtimes.
+  void ForEachActiveDef(
+      const std::function<void(ProcessId, const ProcessDef*)>& fn) const;
 
   /// Log compaction: atomically rewrites the recovery log to the minimal
   /// set of records describing the current in-flight processes (terminated

@@ -1,0 +1,71 @@
+#include "runtime/elastic/elastic_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace tpm {
+
+ElasticController::ElasticController(ElasticPolicyOptions options,
+                                     GatherFn gather, ApplyFn apply)
+    : options_(options),
+      gather_(std::move(gather)),
+      apply_(std::move(apply)),
+      policy_(options) {}
+
+ElasticController::~ElasticController() { Stop(); }
+
+void ElasticController::Start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ElasticController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ElasticController::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++pause_depth_;
+  cv_.wait(lock, [this] { return !polling_; });
+}
+
+void ElasticController::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pause_depth_ > 0) --pause_depth_;
+  }
+  cv_.notify_all();
+}
+
+void ElasticController::Loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, options_.poll_interval_ms));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, interval,
+                 [this] { return stop_; });
+    if (stop_) return;
+    if (pause_depth_ > 0) continue;
+    polling_ = true;
+    lock.unlock();
+    // Outside the lock: gather may take monitor locks, apply may run a
+    // full migration.
+    const PolicyInputs inputs = gather_();
+    const PolicyDecision decision = policy_.Evaluate(inputs);
+    if (decision.kind != PolicyActionKind::kNone) {
+      decisions_.fetch_add(1, std::memory_order_relaxed);
+      apply_(decision);
+    }
+    lock.lock();
+    polling_ = false;
+    cv_.notify_all();
+  }
+}
+
+}  // namespace tpm

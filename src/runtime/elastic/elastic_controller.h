@@ -1,0 +1,72 @@
+#ifndef TPM_RUNTIME_ELASTIC_ELASTIC_CONTROLLER_H_
+#define TPM_RUNTIME_ELASTIC_ELASTIC_CONTROLLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "runtime/elastic/elastic_policy.h"
+
+namespace tpm {
+
+/// The elastic control loop: a background thread that, every
+/// poll_interval_ms, gathers a PolicyInputs snapshot, runs the (pure)
+/// ElasticPolicy over it, and applies at most one decision. The runtime
+/// owns the gather/apply closures; the controller owns only the cadence,
+/// so the policy stays unit-testable without threads.
+///
+/// Pause() blocks until any in-flight poll (including its apply — a
+/// migration) finished and keeps further polls from starting; the runtime
+/// pauses the controller around Drain and Recover so rebalancing never
+/// races the control plane.
+class ElasticController {
+ public:
+  using GatherFn = std::function<PolicyInputs()>;
+  /// Applies one non-kNone decision. Failures are the runtime's to
+  /// surface (e.g. as a sticky error); the controller just keeps polling.
+  using ApplyFn = std::function<void(const PolicyDecision&)>;
+
+  ElasticController(ElasticPolicyOptions options, GatherFn gather,
+                    ApplyFn apply);
+  ~ElasticController();
+
+  ElasticController(const ElasticController&) = delete;
+  ElasticController& operator=(const ElasticController&) = delete;
+
+  void Start();
+  /// Stops and joins the poll thread. Idempotent.
+  void Stop();
+
+  /// Blocks new polls and waits out the in-flight one. Counted: each
+  /// Pause must be matched by a Resume.
+  void Pause();
+  void Resume();
+
+  /// Non-kNone decisions applied so far.
+  int64_t decisions() const {
+    return decisions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  ElasticPolicyOptions options_;
+  GatherFn gather_;
+  ApplyFn apply_;
+  ElasticPolicy policy_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  int pause_depth_ = 0;
+  bool polling_ = false;  // a poll body (gather/evaluate/apply) is running
+  std::atomic<int64_t> decisions_{0};
+};
+
+}  // namespace tpm
+
+#endif  // TPM_RUNTIME_ELASTIC_ELASTIC_CONTROLLER_H_

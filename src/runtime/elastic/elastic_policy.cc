@@ -1,0 +1,163 @@
+#include "runtime/elastic/elastic_policy.h"
+
+#include <algorithm>
+
+namespace tpm {
+
+namespace {
+constexpr double kBusyEpsilon = 1e-6;
+}  // namespace
+
+int ElasticPolicy::PickComponent(const PolicyInputs& inputs,
+                                 int donor) const {
+  // The donor's components by recent traffic, hottest first.
+  std::vector<const PolicyComponentInput*> owned;
+  for (const PolicyComponentInput& component : inputs.components) {
+    if (component.shard == donor) owned.push_back(&component);
+  }
+  if (owned.size() < 2) return -1;  // moving the only component moves the
+                                    // hotspot, it does not split it
+  std::stable_sort(owned.begin(), owned.end(),
+                   [](const PolicyComponentInput* a,
+                      const PolicyComponentInput* b) {
+                     return a->recent_submissions > b->recent_submissions;
+                   });
+  // Second-hottest, and only if it actually carries traffic — migrating a
+  // cold component would not relieve anything.
+  if (owned[1]->recent_submissions <= 0) return -1;
+  return owned[1]->component;
+}
+
+int ElasticPolicy::PickTarget(const PolicyInputs& inputs, int donor,
+                              bool allow_parked) const {
+  int parked = -1;
+  int coolest = -1;
+  double coolest_busy = 0.0;
+  for (int shard = 0; shard < static_cast<int>(inputs.shards.size());
+       ++shard) {
+    if (shard == donor) continue;
+    const PolicyShardInput& input = inputs.shards[static_cast<size_t>(shard)];
+    if (input.parked) {
+      if (parked < 0) parked = shard;
+      continue;
+    }
+    if (coolest < 0 || input.busy_fraction < coolest_busy) {
+      coolest = shard;
+      coolest_busy = input.busy_fraction;
+    }
+  }
+  if (allow_parked && parked >= 0) return parked;  // adaptive grow
+  return coolest;
+}
+
+PolicyDecision ElasticPolicy::Evaluate(const PolicyInputs& inputs) {
+  PolicyDecision none;
+  if (cooldown_ > 0) --cooldown_;
+
+  int active = 0;
+  int hottest = -1;
+  double hottest_busy = 0.0;
+  double busy_sum = 0.0;
+  for (int shard = 0; shard < static_cast<int>(inputs.shards.size());
+       ++shard) {
+    const PolicyShardInput& input = inputs.shards[static_cast<size_t>(shard)];
+    if (input.parked) continue;
+    ++active;
+    busy_sum += input.busy_fraction;
+    if (hottest < 0 || input.busy_fraction > hottest_busy) {
+      hottest = shard;
+      hottest_busy = input.busy_fraction;
+    }
+  }
+  if (active == 0) return none;
+  const double mean_busy = busy_sum / active;
+
+  // Rule 1: sustained imbalance -> split the hottest shard's load.
+  const bool breached = mean_busy > kBusyEpsilon &&
+                        hottest_busy / mean_busy >= options_.imbalance_ratio;
+  breach_streak_ = breached ? breach_streak_ + 1 : 0;
+  if (breached && breach_streak_ >= options_.sustain_polls &&
+      cooldown_ == 0) {
+    const int component = PickComponent(inputs, hottest);
+    const int target = PickTarget(inputs, hottest, /*allow_parked=*/true);
+    if (component >= 0 && target >= 0) {
+      breach_streak_ = 0;
+      cooldown_ = options_.cooldown_polls;
+      PolicyDecision decision;
+      decision.kind = PolicyActionKind::kMigrate;
+      decision.component = component;
+      decision.from = hottest;
+      decision.to = target;
+      return decision;
+    }
+  }
+
+  // Rule 2: everything cold -> consolidate toward fewer shards.
+  if (options_.consolidate_below > 0 && active > options_.min_active_shards &&
+      cooldown_ == 0) {
+    bool all_cold = true;
+    int donor = -1;
+    double donor_busy = 0.0;
+    for (int shard = 0; shard < static_cast<int>(inputs.shards.size());
+         ++shard) {
+      const PolicyShardInput& input =
+          inputs.shards[static_cast<size_t>(shard)];
+      if (input.parked) continue;
+      if (input.busy_fraction >= options_.consolidate_below) {
+        all_cold = false;
+        break;
+      }
+      // Donor: the least-busy shard that still owns something to move.
+      if (input.components > 0 &&
+          (donor < 0 || input.busy_fraction < donor_busy)) {
+        donor = shard;
+        donor_busy = input.busy_fraction;
+      }
+    }
+    if (all_cold && donor >= 0) {
+      const int target = PickTarget(inputs, donor, /*allow_parked=*/false);
+      if (target >= 0) {
+        // Any of the donor's components; take the coldest so hot traffic
+        // is disturbed last.
+        int component = -1;
+        int64_t coldest = 0;
+        for (const PolicyComponentInput& candidate : inputs.components) {
+          if (candidate.shard != donor) continue;
+          if (component < 0 || candidate.recent_submissions < coldest) {
+            component = candidate.component;
+            coldest = candidate.recent_submissions;
+          }
+        }
+        if (component >= 0) {
+          cooldown_ = options_.cooldown_polls;
+          PolicyDecision decision;
+          decision.kind = PolicyActionKind::kMigrate;
+          decision.component = component;
+          decision.from = donor;
+          decision.to = target;
+          return decision;
+        }
+      }
+    }
+  }
+
+  // Rule 3: park an emptied, idle shard (DPM sleep).
+  if (options_.park_idle_shards && active > options_.min_active_shards) {
+    for (int shard = 0; shard < static_cast<int>(inputs.shards.size());
+         ++shard) {
+      const PolicyShardInput& input =
+          inputs.shards[static_cast<size_t>(shard)];
+      if (input.parked || input.components > 0) continue;
+      if (input.queue_depth == 0 &&
+          input.busy_fraction < options_.park_busy_threshold) {
+        PolicyDecision decision;
+        decision.kind = PolicyActionKind::kPark;
+        decision.shard = shard;
+        return decision;
+      }
+    }
+  }
+  return none;
+}
+
+}  // namespace tpm

@@ -1,0 +1,92 @@
+#ifndef TPM_RUNTIME_ELASTIC_ELASTIC_POLICY_H_
+#define TPM_RUNTIME_ELASTIC_ELASTIC_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/elastic/elastic_options.h"
+
+namespace tpm {
+
+/// Policy-visible state of one shard.
+struct PolicyShardInput {
+  bool parked = false;
+  double busy_fraction = 0.0;
+  size_t queue_depth = 0;
+  /// Conflict components currently routed to this shard.
+  int components = 0;
+};
+
+/// Policy-visible state of one conflict component.
+struct PolicyComponentInput {
+  int component = -1;
+  /// Current owning shard.
+  int shard = -1;
+  /// Submissions since the previous poll (the controller diffs the
+  /// monitor's cumulative counters).
+  int64_t recent_submissions = 0;
+};
+
+struct PolicyInputs {
+  std::vector<PolicyShardInput> shards;
+  std::vector<PolicyComponentInput> components;
+};
+
+enum class PolicyActionKind { kNone, kMigrate, kPark };
+
+struct PolicyDecision {
+  PolicyActionKind kind = PolicyActionKind::kNone;
+  /// kMigrate: which component, from which shard, to which shard.
+  int component = -1;
+  int from = -1;
+  int to = -1;
+  /// kPark: which shard.
+  int shard = -1;
+};
+
+/// The load-aware rebalancing + DPM parking policy, as a PURE state
+/// machine: Evaluate consumes one poll's inputs and the policy's own
+/// hysteresis state (breach streak, cooldown) and returns at most one
+/// action. No clocks, no threads — the unit tests drive it directly, the
+/// ElasticController drives it on a timer.
+///
+/// Decision order per poll:
+///  1. Imbalance: if max(busy of active shards) / mean >= imbalance_ratio
+///     for sustain_polls consecutive polls (and no cooldown), migrate the
+///     SECOND-hottest component off the hottest shard — moving the hottest
+///     component would just relocate the hotspot; splitting the top two
+///     apart halves it. A donor owning a single component is declined. The
+///     target is a parked shard if one exists (adaptive grow), else the
+///     least-busy active shard.
+///  2. Consolidation (consolidate_below > 0): if EVERY active shard is
+///     below the threshold and more than min_active_shards are active,
+///     migrate the least-busy multi-shard donor's component onto another
+///     active shard; once a shard owns nothing, rule 3 parks it.
+///  3. Parking: an active shard owning no components, with an empty queue
+///     and busy below park_busy_threshold, parks (never below
+///     min_active_shards).
+class ElasticPolicy {
+ public:
+  explicit ElasticPolicy(ElasticPolicyOptions options) : options_(options) {}
+
+  PolicyDecision Evaluate(const PolicyInputs& inputs);
+
+  int breach_streak() const { return breach_streak_; }
+  int cooldown() const { return cooldown_; }
+
+ private:
+  /// Rule 1/2 helper: the component to move off `donor`, or -1.
+  int PickComponent(const PolicyInputs& inputs, int donor) const;
+  /// Migration target for `donor`'s component: a parked shard if any,
+  /// else the least-busy active shard != donor; -1 if none.
+  int PickTarget(const PolicyInputs& inputs, int donor,
+                 bool allow_parked) const;
+
+  ElasticPolicyOptions options_;
+  int breach_streak_ = 0;
+  int cooldown_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_RUNTIME_ELASTIC_ELASTIC_POLICY_H_

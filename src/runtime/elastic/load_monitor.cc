@@ -1,0 +1,110 @@
+#include "runtime/elastic/load_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tpm {
+
+namespace {
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+LoadMonitor::LoadMonitor(int num_shards, int num_components,
+                         int64_t window_ns)
+    : window_ns_(std::max<int64_t>(window_ns, 1)),
+      component_submissions_(
+          static_cast<size_t>(std::max(num_components, 0))) {
+  shards_.reserve(static_cast<size_t>(std::max(num_shards, 0)));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+  for (auto& counter : component_submissions_) counter.store(0);
+}
+
+void LoadMonitor::Expire(ShardState& state, int64_t now_ns) const {
+  const int64_t horizon = now_ns - window_ns_;
+  while (!state.window.empty() && state.window.front().at_ns < horizon) {
+    state.window_busy_ns -= state.window.front().pass_ns;
+    state.window_admitted -= state.window.front().admitted;
+    state.window.pop_front();
+  }
+}
+
+void LoadMonitor::RecordPass(int shard, const ShardPassSample& sample) {
+  if (shard < 0 || shard >= num_shards()) return;
+  ShardState& state = *shards_[static_cast<size_t>(shard)];
+  const int64_t now_ns = NowNs();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.window.push_back({now_ns, sample.pass_ns, sample.admitted});
+  state.window_busy_ns += sample.pass_ns;
+  state.window_admitted += sample.admitted;
+  state.queue_depth = sample.queue_depth;
+  state.committed_total = sample.committed_total;
+  state.admitted_total += sample.admitted;
+  Expire(state, now_ns);
+}
+
+void LoadMonitor::CountSubmission(int component) {
+  if (component < 0 || component >= num_components()) return;
+  component_submissions_[static_cast<size_t>(component)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void LoadMonitor::SetParked(int shard, bool parked) {
+  if (shard < 0 || shard >= num_shards()) return;
+  ShardState& state = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.parked = parked;
+}
+
+ShardLoadSnapshot LoadMonitor::SnapshotLocked(int shard, ShardState& state,
+                                              int64_t now_ns) const {
+  Expire(state, now_ns);
+  ShardLoadSnapshot snapshot;
+  snapshot.shard = shard;
+  snapshot.parked = state.parked;
+  snapshot.queue_depth = state.queue_depth;
+  snapshot.committed_total = state.committed_total;
+  snapshot.admitted_total = state.admitted_total;
+  snapshot.busy_fraction =
+      std::min(1.0, static_cast<double>(state.window_busy_ns) /
+                        static_cast<double>(window_ns_));
+  snapshot.admitted_per_ms = static_cast<double>(state.window_admitted) /
+                             (static_cast<double>(window_ns_) / 1e6);
+  return snapshot;
+}
+
+ShardLoadSnapshot LoadMonitor::Snapshot(int shard) const {
+  if (shard < 0 || shard >= num_shards()) return {};
+  ShardState& state = *shards_[static_cast<size_t>(shard)];
+  const int64_t now_ns = NowNs();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return SnapshotLocked(shard, state, now_ns);
+}
+
+std::vector<ShardLoadSnapshot> LoadMonitor::SnapshotAll() const {
+  std::vector<ShardLoadSnapshot> all;
+  all.reserve(shards_.size());
+  const int64_t now_ns = NowNs();
+  for (int shard = 0; shard < num_shards(); ++shard) {
+    ShardState& state = *shards_[static_cast<size_t>(shard)];
+    std::lock_guard<std::mutex> lock(state.mu);
+    all.push_back(SnapshotLocked(shard, state, now_ns));
+  }
+  return all;
+}
+
+std::vector<int64_t> LoadMonitor::ComponentSubmissions() const {
+  std::vector<int64_t> counts;
+  counts.reserve(component_submissions_.size());
+  for (const auto& counter : component_submissions_) {
+    counts.push_back(counter.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+}  // namespace tpm

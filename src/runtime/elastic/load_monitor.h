@@ -1,0 +1,99 @@
+#ifndef TPM_RUNTIME_ELASTIC_LOAD_MONITOR_H_
+#define TPM_RUNTIME_ELASTIC_LOAD_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/shard.h"
+
+namespace tpm {
+
+/// One shard's load, over the monitor's sliding window.
+struct ShardLoadSnapshot {
+  int shard = 0;
+  bool parked = false;
+  /// Producer-side queue depth at the last pass boundary.
+  size_t queue_depth = 0;
+  /// Fraction of the window's wall time the worker spent inside passes.
+  double busy_fraction = 0.0;
+  /// Admission rate over the window.
+  double admitted_per_ms = 0.0;
+  /// Cumulative committed processes (the scheduler's counter, not
+  /// windowed — rates are the consumer's diff).
+  int64_t committed_total = 0;
+  /// Cumulative submissions admitted on this shard.
+  int64_t admitted_total = 0;
+};
+
+/// Per-shard sliding-window load telemetry, fed from the shard workers'
+/// pass samples (ShardElasticProbe::OnPassEnd) plus per-conflict-component
+/// submission counts fed from the producer front-end.
+///
+/// Threading: RecordPass is called by each shard's own worker (one writer
+/// per shard slot, guarded by that slot's mutex); CountSubmission by any
+/// producer thread (atomic counters); Snapshot* by the controller or any
+/// inspector.
+class LoadMonitor {
+ public:
+  /// `window_ns` is the sliding window busy fractions and rates are
+  /// computed over.
+  LoadMonitor(int num_shards, int num_components,
+              int64_t window_ns = 200'000'000);
+
+  LoadMonitor(const LoadMonitor&) = delete;
+  LoadMonitor& operator=(const LoadMonitor&) = delete;
+
+  /// Shard worker, end of every pass.
+  void RecordPass(int shard, const ShardPassSample& sample);
+
+  /// Producer front-end, once per pinned submission.
+  void CountSubmission(int component);
+
+  void SetParked(int shard, bool parked);
+
+  ShardLoadSnapshot Snapshot(int shard) const;
+  std::vector<ShardLoadSnapshot> SnapshotAll() const;
+
+  /// Cumulative submission count per component (consumers diff across
+  /// polls for recency).
+  std::vector<int64_t> ComponentSubmissions() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_components() const {
+    return static_cast<int>(component_submissions_.size());
+  }
+
+ private:
+  struct PassEntry {
+    int64_t at_ns = 0;
+    int64_t pass_ns = 0;
+    int64_t admitted = 0;
+  };
+  struct ShardState {
+    mutable std::mutex mu;
+    std::deque<PassEntry> window;
+    int64_t window_busy_ns = 0;
+    int64_t window_admitted = 0;
+    size_t queue_depth = 0;
+    int64_t committed_total = 0;
+    int64_t admitted_total = 0;
+    bool parked = false;
+  };
+
+  /// Drops window entries older than window_ns_. Caller holds state.mu.
+  void Expire(ShardState& state, int64_t now_ns) const;
+  ShardLoadSnapshot SnapshotLocked(int shard, ShardState& state,
+                                   int64_t now_ns) const;
+
+  const int64_t window_ns_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::vector<std::atomic<int64_t>> component_submissions_;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_RUNTIME_ELASTIC_LOAD_MONITOR_H_

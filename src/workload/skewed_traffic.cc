@@ -1,0 +1,46 @@
+#include "workload/skewed_traffic.h"
+
+#include <algorithm>
+
+namespace tpm {
+
+SkewedTraffic::SkewedTraffic(SkewedTrafficOptions options)
+    : options_(options), rng_(options.seed) {
+  options_.num_tenants = std::max(1, options_.num_tenants);
+  options_.hot_tenants =
+      std::min(std::max(1, options_.hot_tenants), options_.num_tenants);
+  Rotate();
+}
+
+void SkewedTraffic::Rotate() {
+  hot_.clear();
+  cold_.clear();
+  // Phase p's hot set: hot_tenants consecutive tenants starting at
+  // p * hot_tenants (mod num_tenants) — round-robin over tenant groups.
+  const int start =
+      static_cast<int>((phase_ * options_.hot_tenants) %
+                       static_cast<int64_t>(options_.num_tenants));
+  for (int i = 0; i < options_.hot_tenants; ++i) {
+    hot_.push_back((start + i) % options_.num_tenants);
+  }
+  for (int tenant = 0; tenant < options_.num_tenants; ++tenant) {
+    if (std::find(hot_.begin(), hot_.end(), tenant) == hot_.end()) {
+      cold_.push_back(tenant);
+    }
+  }
+}
+
+int SkewedTraffic::NextTenant() {
+  if (options_.phase_length > 0 && draws_ > 0 &&
+      draws_ % options_.phase_length == 0) {
+    ++phase_;
+    Rotate();
+  }
+  ++draws_;
+  if (cold_.empty() || rng_.NextBool(options_.hot_fraction)) {
+    return hot_[rng_.NextIndex(hot_.size())];
+  }
+  return cold_[rng_.NextIndex(cold_.size())];
+}
+
+}  // namespace tpm

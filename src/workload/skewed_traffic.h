@@ -1,0 +1,52 @@
+#ifndef TPM_WORKLOAD_SKEWED_TRAFFIC_H_
+#define TPM_WORKLOAD_SKEWED_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tpm {
+
+struct SkewedTrafficOptions {
+  uint64_t seed = 1;
+  int num_tenants = 8;
+  /// Fraction of draws aimed at the hot set; the rest spread uniformly
+  /// over the cold tenants.
+  double hot_fraction = 0.9;
+  /// Tenants that are simultaneously hot.
+  int hot_tenants = 2;
+  /// Draws per phase before the hot set rotates to the next group of
+  /// tenants (round-robin); 0 = the hot set never moves.
+  int64_t phase_length = 0;
+};
+
+/// Deterministic skewed tenant chooser for elastic experiments: most
+/// traffic hammers a small hot set, and (optionally) the hot set rotates
+/// every phase_length draws — the moving hotspot a static partition
+/// placement cannot follow but a load-aware migration policy can.
+class SkewedTraffic {
+ public:
+  explicit SkewedTraffic(SkewedTrafficOptions options);
+
+  /// Draws the next tenant. Rotates the hot set at phase boundaries.
+  int NextTenant();
+
+  int64_t draws() const { return draws_; }
+  int64_t phase() const { return phase_; }
+  const std::vector<int>& hot_set() const { return hot_; }
+
+ private:
+  void Rotate();
+
+  SkewedTrafficOptions options_;
+  Rng rng_;
+  std::vector<int> hot_;
+  std::vector<int> cold_;
+  int64_t draws_ = 0;
+  int64_t phase_ = 0;
+};
+
+}  // namespace tpm
+
+#endif  // TPM_WORKLOAD_SKEWED_TRAFFIC_H_

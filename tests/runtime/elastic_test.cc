@@ -1,0 +1,775 @@
+// Elastic runtime (DESIGN.md §4k): load telemetry, the rebalancing policy
+// state machine, skewed traffic generation, manual quiesce-and-migrate,
+// DPM parking / adaptive growth, and the bit-equivalence of the elastic-off
+// and elastic-on-but-idle runtimes.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/str_util.h"
+#include "runtime/elastic/elastic_policy.h"
+#include "runtime/elastic/load_monitor.h"
+#include "runtime/sharded_runtime.h"
+#include "workload/sharded_world.h"
+#include "workload/skewed_traffic.h"
+
+namespace tpm {
+namespace {
+
+// The canonical mixed workload (same shape as the sharded runtime tests):
+// `per_tenant` each of order/consume/refill per tenant.
+std::vector<const ProcessDef*> BuildWorkload(ShardedWorld* world,
+                                             int per_tenant) {
+  std::vector<const ProcessDef*> defs;
+  for (int round = 0; round < per_tenant; ++round) {
+    for (int t = 0; t < world->num_tenants(); ++t) {
+      defs.push_back(world->MakeOrderProcess(
+          t, StrCat("order_t", t, "_", round), round));
+      defs.push_back(world->MakeConsumeProcess(
+          t, StrCat("consume_t", t, "_", round), round));
+      defs.push_back(world->MakeRefillProcess(
+          t, StrCat("refill_t", t, "_", round), round));
+    }
+  }
+  return defs;
+}
+
+// ---------------------------------------------------------------------------
+// LoadMonitor
+
+TEST(LoadMonitorTest, TracksPassSamplesAndSubmissions) {
+  LoadMonitor monitor(/*num_shards=*/2, /*num_components=*/3,
+                      /*window_ns=*/1'000'000'000);
+  ShardPassSample sample;
+  sample.pass_ns = 5'000'000;
+  sample.queue_depth = 7;
+  sample.admitted = 4;
+  sample.committed_total = 11;
+  monitor.RecordPass(0, sample);
+  sample.committed_total = 13;
+  sample.queue_depth = 2;
+  monitor.RecordPass(0, sample);
+
+  ShardLoadSnapshot snap = monitor.Snapshot(0);
+  EXPECT_EQ(snap.shard, 0);
+  EXPECT_FALSE(snap.parked);
+  EXPECT_EQ(snap.queue_depth, 2u);           // last pass boundary
+  EXPECT_EQ(snap.committed_total, 13);       // cumulative, not windowed
+  EXPECT_EQ(snap.admitted_total, 8);
+  EXPECT_GT(snap.busy_fraction, 0.0);
+  EXPECT_LE(snap.busy_fraction, 1.0);
+
+  // Shard 1 never ran a pass: everything zero.
+  ShardLoadSnapshot idle = monitor.Snapshot(1);
+  EXPECT_EQ(idle.busy_fraction, 0.0);
+  EXPECT_EQ(idle.admitted_total, 0);
+
+  monitor.SetParked(1, true);
+  EXPECT_TRUE(monitor.Snapshot(1).parked);
+  monitor.SetParked(1, false);
+  EXPECT_FALSE(monitor.Snapshot(1).parked);
+
+  monitor.CountSubmission(2);
+  monitor.CountSubmission(2);
+  monitor.CountSubmission(0);
+  std::vector<int64_t> subs = monitor.ComponentSubmissions();
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], 1);
+  EXPECT_EQ(subs[1], 0);
+  EXPECT_EQ(subs[2], 2);
+
+  EXPECT_EQ(monitor.SnapshotAll().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ElasticPolicy: drive the pure state machine directly.
+
+PolicyInputs TwoShardInputs(double busy0, double busy1) {
+  PolicyInputs inputs;
+  inputs.shards.resize(2);
+  inputs.shards[0].busy_fraction = busy0;
+  inputs.shards[0].components = 2;
+  inputs.shards[1].busy_fraction = busy1;
+  inputs.shards[1].components = 0;
+  inputs.components.resize(2);
+  inputs.components[0] = {.component = 0, .shard = 0,
+                          .recent_submissions = 100};
+  inputs.components[1] = {.component = 1, .shard = 0,
+                          .recent_submissions = 40};
+  return inputs;
+}
+
+TEST(ElasticPolicyTest, SustainedImbalanceMigratesSecondHottest) {
+  ElasticPolicyOptions options;
+  options.imbalance_ratio = 1.5;
+  options.sustain_polls = 3;
+  options.cooldown_polls = 4;
+  options.park_idle_shards = false;
+  ElasticPolicy policy(options);
+
+  PolicyInputs hot = TwoShardInputs(/*busy0=*/0.9, /*busy1=*/0.05);
+  // Breach must SUSTAIN for sustain_polls before anything moves.
+  EXPECT_EQ(policy.Evaluate(hot).kind, PolicyActionKind::kNone);
+  EXPECT_EQ(policy.Evaluate(hot).kind, PolicyActionKind::kNone);
+  PolicyDecision decision = policy.Evaluate(hot);
+  ASSERT_EQ(decision.kind, PolicyActionKind::kMigrate);
+  EXPECT_EQ(decision.from, 0);
+  EXPECT_EQ(decision.to, 1);
+  // Second-hottest component leaves: moving the hottest would just move
+  // the hotspot.
+  EXPECT_EQ(decision.component, 1);
+
+  // Cooldown: the very next breaches do not fire again.
+  EXPECT_EQ(policy.Evaluate(hot).kind, PolicyActionKind::kNone);
+  EXPECT_EQ(policy.Evaluate(hot).kind, PolicyActionKind::kNone);
+}
+
+TEST(ElasticPolicyTest, BreachStreakResetsWhenLoadEvensOut) {
+  ElasticPolicyOptions options;
+  options.imbalance_ratio = 1.5;
+  options.sustain_polls = 2;
+  options.park_idle_shards = false;
+  ElasticPolicy policy(options);
+  EXPECT_EQ(policy.Evaluate(TwoShardInputs(0.9, 0.05)).kind,
+            PolicyActionKind::kNone);
+  // Balanced poll breaks the streak; the next breach starts from zero.
+  EXPECT_EQ(policy.Evaluate(TwoShardInputs(0.5, 0.5)).kind,
+            PolicyActionKind::kNone);
+  EXPECT_EQ(policy.Evaluate(TwoShardInputs(0.9, 0.05)).kind,
+            PolicyActionKind::kNone);
+  EXPECT_EQ(policy.Evaluate(TwoShardInputs(0.9, 0.05)).kind,
+            PolicyActionKind::kMigrate);
+}
+
+TEST(ElasticPolicyTest, DeclinesSingleComponentAndColdSecondDonors) {
+  ElasticPolicyOptions options;
+  options.imbalance_ratio = 1.2;
+  options.sustain_polls = 1;
+  options.park_idle_shards = false;
+  {
+    // One owned component: migrating it moves the hotspot, not splits it.
+    ElasticPolicy policy(options);
+    PolicyInputs inputs = TwoShardInputs(0.9, 0.05);
+    inputs.shards[0].components = 1;
+    inputs.components.resize(1);
+    EXPECT_EQ(policy.Evaluate(inputs).kind, PolicyActionKind::kNone);
+  }
+  {
+    // Second-hottest component has no traffic: nothing worth moving.
+    ElasticPolicy policy(options);
+    PolicyInputs inputs = TwoShardInputs(0.9, 0.05);
+    inputs.components[1].recent_submissions = 0;
+    EXPECT_EQ(policy.Evaluate(inputs).kind, PolicyActionKind::kNone);
+  }
+}
+
+TEST(ElasticPolicyTest, GrowthPrefersParkedTarget) {
+  ElasticPolicyOptions options;
+  options.imbalance_ratio = 1.2;
+  options.sustain_polls = 1;
+  options.park_idle_shards = false;
+  ElasticPolicy policy(options);
+  PolicyInputs inputs;
+  inputs.shards.resize(3);
+  inputs.shards[0] = {.parked = false, .busy_fraction = 0.9, .components = 2};
+  inputs.shards[1] = {.parked = false, .busy_fraction = 0.1, .components = 1};
+  inputs.shards[2] = {.parked = true};  // spare capacity
+  inputs.components = {{.component = 0, .shard = 0, .recent_submissions = 50},
+                       {.component = 1, .shard = 0, .recent_submissions = 20},
+                       {.component = 2, .shard = 1, .recent_submissions = 5}};
+  PolicyDecision decision = policy.Evaluate(inputs);
+  ASSERT_EQ(decision.kind, PolicyActionKind::kMigrate);
+  // Adaptive grow: a parked spare beats the merely-cool active shard.
+  EXPECT_EQ(decision.to, 2);
+}
+
+TEST(ElasticPolicyTest, ConsolidatesColdestComponentWhenAllShardsCold) {
+  ElasticPolicyOptions options;
+  options.consolidate_below = 0.2;
+  options.park_idle_shards = false;
+  options.min_active_shards = 1;
+  ElasticPolicy policy(options);
+  PolicyInputs inputs;
+  inputs.shards.resize(2);
+  inputs.shards[0] = {.parked = false, .busy_fraction = 0.05, .components = 1};
+  inputs.shards[1] = {.parked = false, .busy_fraction = 0.01, .components = 1};
+  inputs.components = {{.component = 0, .shard = 0, .recent_submissions = 9},
+                       {.component = 1, .shard = 1, .recent_submissions = 2}};
+  PolicyDecision decision = policy.Evaluate(inputs);
+  ASSERT_EQ(decision.kind, PolicyActionKind::kMigrate);
+  // Least-busy shard that still owns something donates its coldest
+  // component toward the remaining active shard.
+  EXPECT_EQ(decision.from, 1);
+  EXPECT_EQ(decision.to, 0);
+  EXPECT_EQ(decision.component, 1);
+}
+
+TEST(ElasticPolicyTest, ParksEmptyIdleShardButKeepsMinimumActive) {
+  ElasticPolicyOptions options;
+  options.park_idle_shards = true;
+  options.park_busy_threshold = 0.05;
+  options.min_active_shards = 1;
+  ElasticPolicy policy(options);
+  PolicyInputs inputs;
+  inputs.shards.resize(2);
+  inputs.shards[0] = {.parked = false, .busy_fraction = 0.5, .components = 2};
+  inputs.shards[1] = {.parked = false, .busy_fraction = 0.0, .queue_depth = 0,
+                      .components = 0};
+  inputs.components = {{.component = 0, .shard = 0, .recent_submissions = 5},
+                       {.component = 1, .shard = 0, .recent_submissions = 5}};
+  PolicyDecision decision = policy.Evaluate(inputs);
+  ASSERT_EQ(decision.kind, PolicyActionKind::kPark);
+  EXPECT_EQ(decision.shard, 1);
+
+  // The same shape with min_active_shards = 2 must leave both running.
+  options.min_active_shards = 2;
+  ElasticPolicy strict(options);
+  EXPECT_EQ(strict.Evaluate(inputs).kind, PolicyActionKind::kNone);
+
+  // An emptied shard with queued work is not idle.
+  ElasticPolicy busy_queue(ElasticPolicyOptions{
+      .park_idle_shards = true, .min_active_shards = 1});
+  inputs.shards[1].queue_depth = 3;
+  EXPECT_EQ(busy_queue.Evaluate(inputs).kind, PolicyActionKind::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// SkewedTraffic
+
+TEST(SkewedTrafficTest, DeterministicAndHotHeavy) {
+  SkewedTrafficOptions options;
+  options.seed = 7;
+  options.num_tenants = 8;
+  options.hot_tenants = 2;
+  options.hot_fraction = 0.9;
+  SkewedTraffic a(options);
+  SkewedTraffic b(options);
+  int hot_draws = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const int tenant = a.NextTenant();
+    EXPECT_EQ(tenant, b.NextTenant());  // same seed, same stream
+    ASSERT_GE(tenant, 0);
+    ASSERT_LT(tenant, 8);
+    if (tenant == a.hot_set()[0] || tenant == a.hot_set()[1]) ++hot_draws;
+  }
+  // 90% nominal; allow generous slack.
+  EXPECT_GT(hot_draws, 1600);
+  EXPECT_EQ(a.draws(), 2000);
+  EXPECT_EQ(a.phase(), 0);
+}
+
+TEST(SkewedTrafficTest, PhaseRotationMovesTheHotSet) {
+  SkewedTrafficOptions options;
+  options.seed = 11;
+  options.num_tenants = 6;
+  options.hot_tenants = 2;
+  options.phase_length = 100;
+  SkewedTraffic traffic(options);
+  std::vector<int> first_hot = traffic.hot_set();
+  ASSERT_EQ(first_hot.size(), 2u);
+  EXPECT_EQ(first_hot[0], 0);
+  EXPECT_EQ(first_hot[1], 1);
+  for (int i = 0; i < 100; ++i) (void)traffic.NextTenant();
+  (void)traffic.NextTenant();  // first draw of phase 1 rotates
+  EXPECT_EQ(traffic.phase(), 1);
+  std::vector<int> second_hot = traffic.hot_set();
+  EXPECT_EQ(second_hot[0], 2);
+  EXPECT_EQ(second_hot[1], 3);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime integration
+
+TEST(ElasticRuntimeTest, StartRejectsInvalidElasticConfigs) {
+  {
+    // Elastic and replication are mutually exclusive (staged limit).
+    ShardedWorld world({.seed = 3, .num_tenants = 2});
+    (void)BuildWorkload(&world, 1);
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.replication.factor = 3;
+    options.elastic.enabled = true;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    Status status = runtime.Start();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status;
+  }
+  {
+    // The controller needs the elastic layer it steers.
+    ShardedWorld world({.seed = 3, .num_tenants = 2});
+    (void)BuildWorkload(&world, 1);
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.elastic.policy.enabled = true;  // but elastic.enabled = false
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    EXPECT_EQ(runtime.Start().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Autonomous rebalancing needs free-running workers.
+    ShardedWorld world({.seed = 3, .num_tenants = 2});
+    (void)BuildWorkload(&world, 1);
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.mode = TickMode::kLockstep;
+    options.elastic.enabled = true;
+    options.elastic.policy.enabled = true;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    EXPECT_EQ(runtime.Start().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Cannot pre-pack onto more shards than exist.
+    ShardedWorld world({.seed = 3, .num_tenants = 2});
+    (void)BuildWorkload(&world, 1);
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.elastic.enabled = true;
+    options.elastic.initial_active_shards = 3;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    EXPECT_EQ(runtime.Start().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ElasticRuntimeTest, MigrateComponentRequiresElasticAndValidArguments) {
+  ShardedWorld world({.seed = 5, .num_tenants = 2});
+  (void)BuildWorkload(&world, 1);
+  {
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    ASSERT_TRUE(runtime.Start().ok());
+    EXPECT_EQ(runtime.MigrateComponent(0, 1).code(),
+              StatusCode::kFailedPrecondition);  // elastic off
+    EXPECT_EQ(runtime.ParkShard(1).code(), StatusCode::kFailedPrecondition);
+    ASSERT_TRUE(runtime.Stop().ok());
+  }
+  ShardedWorld elastic_world({.seed = 5, .num_tenants = 2});
+  (void)BuildWorkload(&elastic_world, 1);
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  options.elastic.enabled = true;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(elastic_world.RegisterAll(&runtime).ok());
+  EXPECT_EQ(runtime.MigrateComponent(0, 1).code(),
+            StatusCode::kFailedPrecondition);  // not started yet
+  ASSERT_TRUE(runtime.Start().ok());
+  EXPECT_EQ(runtime.MigrateComponent(-1, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(runtime.MigrateComponent(99, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(runtime.MigrateComponent(0, 9).code(),
+            StatusCode::kInvalidArgument);
+  const int owner = runtime.router().ShardOfComponent(0);
+  EXPECT_EQ(runtime.MigrateComponent(0, owner).code(),
+            StatusCode::kInvalidArgument);  // already there
+  EXPECT_EQ(runtime.ResumeShard(9).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(runtime.Stop().ok());
+}
+
+// Manual quiesce-and-migrate: the component's services reroute, traffic
+// follows, ADT state stays intact, and the stats counters account for it.
+TEST(ElasticRuntimeTest, ManualMigrationMovesComponentAndTraffic) {
+  ShardedWorld world({.seed = 21, .num_tenants = 4});
+  std::vector<const ProcessDef*> defs = BuildWorkload(&world, 2);
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  options.mode = TickMode::kFreeRunning;
+  options.elastic.enabled = true;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  for (const ProcessDef* def : defs) {
+    ASSERT_TRUE(runtime.Submit(def).ok());
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+
+  // Move tenant 0's component to the other shard.
+  const ServiceId svc = world.TenantServices(0)[0];
+  const int component = runtime.router().ComponentOfService(svc);
+  const int from = runtime.router().ShardOfComponent(component);
+  const int to = 1 - from;
+  ASSERT_TRUE(runtime.MigrateComponent(component, to).ok());
+
+  // The router remap flipped: every service of the component now routes
+  // to the target shard.
+  for (ServiceId id : world.TenantServices(0)) {
+    EXPECT_EQ(runtime.router().ShardOfService(id), to);
+  }
+  EXPECT_EQ(runtime.router().ShardOfComponent(component), to);
+
+  // Fresh traffic for the migrated tenant lands on — and commits on —
+  // the new shard.
+  const ProcessDef* post = world.MakeOrderProcess(0, "order_post", 0);
+  auto ticket = runtime.Submit(post);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(ticket->shard, to);
+  ASSERT_TRUE(runtime.Drain().ok());
+  Result<ProcessId> admitted = ticket->Await();
+  ASSERT_TRUE(admitted.ok());
+
+  // Drive-by: per-shard producer queue depth is surfaced, and a drained
+  // runtime reports empty queues.
+  std::vector<size_t> depths = runtime.QueueDepths();
+  ASSERT_EQ(depths.size(), 2u);
+  EXPECT_EQ(depths[0], 0u);
+  EXPECT_EQ(depths[1], 0u);
+
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.migrations_started, 1);
+  EXPECT_EQ(stats.migrations_completed, 1);
+  EXPECT_EQ(stats.migrations_aborted, 0);
+  ASSERT_EQ(stats.queue_depths.size(), 2u);
+  ASSERT_TRUE(runtime.Stop().ok());
+  // After Stop the workers have released scheduler affinity: the process
+  // admitted post-migration committed on the target shard.
+  EXPECT_EQ(runtime.shard_scheduler(to)->OutcomeOf(*admitted),
+            ProcessOutcome::kCommitted);
+  EXPECT_TRUE(world.CheckAdtInvariants().ok());
+}
+
+// Migration with producers still submitting: the route gate buffers the
+// migrating component's traffic and replays it on the target; every ticket
+// resolves and the ADT invariants hold.
+TEST(ElasticRuntimeTest, MigrationUnderLiveTrafficKeepsInvariants) {
+  ShardedWorld world({.seed = 33, .num_tenants = 4});
+  std::vector<const ProcessDef*> defs = BuildWorkload(&world, 6);
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  options.mode = TickMode::kFreeRunning;
+  options.elastic.enabled = true;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  const ServiceId svc = world.TenantServices(0)[0];
+  const int component = runtime.router().ComponentOfService(svc);
+  const int to = 1 - runtime.router().ShardOfComponent(component);
+
+  constexpr int kProducers = 3;
+  std::atomic<size_t> next{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= defs.size()) break;
+        auto ticket = runtime.Submit(defs[i]);
+        if (!ticket.ok() || !ticket->Await().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  while (next.load() < defs.size() / 3) std::this_thread::yield();
+  ASSERT_TRUE(runtime.MigrateComponent(component, to).ok());
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(runtime.Drain().ok());
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_TRUE(runtime.Stop().ok());
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(stats.migrations_completed, 1);
+  EXPECT_EQ(stats.merged.processes_committed + stats.merged.processes_aborted,
+            static_cast<int64_t>(defs.size()));
+  EXPECT_EQ(runtime.router().ShardOfComponent(component), to);
+  EXPECT_TRUE(world.CheckAdtInvariants().ok());
+}
+
+// Observer that records elastic lifecycle events.
+class ElasticEventObserver : public RuntimeObserver {
+ public:
+  void OnShardParked(int shard) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    parked_.push_back(shard);
+  }
+  void OnShardResumed(int shard) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    resumed_.push_back(shard);
+  }
+  void OnComponentMigrated(int component, int from, int to) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    migrated_.push_back({component, from, to});
+  }
+  std::vector<int> parked() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return parked_;
+  }
+  std::vector<int> resumed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resumed_;
+  }
+  std::vector<std::array<int, 3>> migrated() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return migrated_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> parked_;
+  std::vector<int> resumed_;
+  std::vector<std::array<int, 3>> migrated_;
+};
+
+// Adaptive growth out of parked spares: initial_active_shards packs the
+// whole workload onto a prefix of the fleet, the surplus shards park at
+// Start, and a migration into a spare resumes it. Then the emptied donor
+// parks (adaptive shrink).
+TEST(ElasticRuntimeTest, AdaptiveGrowResumesParkedSpareAndShrinkParks) {
+  ShardedWorld world({.seed = 27, .num_tenants = 2});
+  std::vector<const ProcessDef*> defs = BuildWorkload(&world, 2);
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  options.mode = TickMode::kFreeRunning;
+  options.elastic.enabled = true;
+  options.elastic.initial_active_shards = 1;
+  ShardedRuntime runtime(options);
+  ElasticEventObserver observer;
+  ASSERT_TRUE(runtime.AddObserver(&observer).ok());
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  // Everything packed on shard 0; shard 1 is a parked spare.
+  ASSERT_EQ(runtime.router().num_components(), 2);
+  EXPECT_EQ(runtime.router().ShardOfComponent(0), 0);
+  EXPECT_EQ(runtime.router().ShardOfComponent(1), 0);
+  EXPECT_FALSE(runtime.ShardParked(0));
+  EXPECT_TRUE(runtime.ShardParked(1));
+  EXPECT_EQ(observer.parked(), std::vector<int>{1});
+  EXPECT_EQ(runtime.Stats().shards_parked, 1);
+
+  // Parking an owner is refused.
+  EXPECT_EQ(runtime.ParkShard(0).code(), StatusCode::kFailedPrecondition);
+
+  for (const ProcessDef* def : defs) {
+    auto ticket = runtime.Submit(def);
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(ticket->shard, 0);  // spare gets no traffic
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+
+  // Grow: migrating into the parked spare resumes it.
+  const int component = runtime.router().ComponentOfService(
+      world.TenantServices(0)[0]);
+  ASSERT_TRUE(runtime.MigrateComponent(component, 1).ok());
+  EXPECT_FALSE(runtime.ShardParked(1));
+  EXPECT_EQ(observer.resumed(), std::vector<int>{1});
+  auto migrated = observer.migrated();
+  ASSERT_EQ(migrated.size(), 1u);
+  EXPECT_EQ(migrated[0], (std::array<int, 3>{component, 0, 1}));
+
+  const ProcessDef* grown = world.MakeOrderProcess(0, "order_grown", 0);
+  auto ticket = runtime.Submit(grown);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_EQ(ticket->shard, 1);
+  ASSERT_TRUE(runtime.Drain().ok());
+  EXPECT_TRUE(ticket->Await().ok());
+
+  // Shrink: move the other component over too, park the emptied donor.
+  const int other = 1 - component;
+  ASSERT_TRUE(runtime.MigrateComponent(other, 1).ok());
+  ASSERT_TRUE(runtime.Drain().ok());
+  ASSERT_TRUE(runtime.ParkShard(0).ok());
+  EXPECT_TRUE(runtime.ShardParked(0));
+  EXPECT_EQ(runtime.Stats().shards_parked, 1);
+
+  // Traffic is unaffected by the parked shard 0.
+  const ProcessDef* shrunk = world.MakeOrderProcess(1, "order_shrunk", 0);
+  auto ticket2 = runtime.Submit(shrunk);
+  ASSERT_TRUE(ticket2.ok());
+  EXPECT_EQ(ticket2->shard, 1);
+  ASSERT_TRUE(runtime.Drain().ok());
+  EXPECT_TRUE(ticket2->Await().ok());
+
+  ASSERT_TRUE(runtime.ResumeShard(0).ok());
+  EXPECT_FALSE(runtime.ShardParked(0));
+  ASSERT_TRUE(runtime.Stop().ok());
+  EXPECT_TRUE(world.CheckAdtInvariants().ok());
+}
+
+// Staged limits around spanning processes: spans block migration, and a
+// past migration blocks new spans (sub-process names encode shard
+// numbers).
+TEST(ElasticRuntimeTest, SpanningProcessesAndMigrationAreMutuallyStaged) {
+  {
+    // A begun span pins the topology.
+    ShardedWorld world({.seed = 9, .num_tenants = 4});
+    (void)BuildWorkload(&world, 1);
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.mode = TickMode::kFreeRunning;
+    options.elastic.enabled = true;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    ASSERT_TRUE(runtime.Start().ok());
+    // Two tenants on different shards make the span route kSplit.
+    int tenant_a = 0, tenant_b = -1;
+    const int shard_a =
+        runtime.router().ShardOfService(world.TenantServices(0)[0]);
+    for (int t = 1; t < 4; ++t) {
+      if (runtime.router().ShardOfService(world.TenantServices(t)[0]) !=
+          shard_a) {
+        tenant_b = t;
+        break;
+      }
+    }
+    ASSERT_GE(tenant_b, 1);
+    const ProcessDef* span =
+        world.MakeSpanningProcess("span", tenant_a, tenant_b);
+    auto ticket = runtime.Submit(span);
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_TRUE(runtime.Drain().ok());
+    const int away = 1 - runtime.router().ShardOfComponent(0);
+    EXPECT_EQ(runtime.MigrateComponent(0, away).code(),
+              StatusCode::kFailedPrecondition);
+    ASSERT_TRUE(runtime.Stop().ok());
+  }
+  {
+    // A past migration rejects new spans.
+    ShardedWorld world({.seed = 9, .num_tenants = 4});
+    (void)BuildWorkload(&world, 1);
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.mode = TickMode::kFreeRunning;
+    options.elastic.enabled = true;
+    ShardedRuntime runtime(options);
+    ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+    ASSERT_TRUE(runtime.Start().ok());
+    const int component = runtime.router().ComponentOfService(
+        world.TenantServices(0)[0]);
+    const int to = 1 - runtime.router().ShardOfComponent(component);
+    ASSERT_TRUE(runtime.MigrateComponent(component, to).ok());
+    int tenant_b = -1;
+    const int shard_a =
+        runtime.router().ShardOfService(world.TenantServices(0)[0]);
+    for (int t = 1; t < 4; ++t) {
+      if (runtime.router().ShardOfService(world.TenantServices(t)[0]) !=
+          shard_a) {
+        tenant_b = t;
+        break;
+      }
+    }
+    ASSERT_GE(tenant_b, 1);
+    const ProcessDef* span =
+        world.MakeSpanningProcess("span_late", 0, tenant_b);
+    auto ticket = runtime.Submit(span);
+    ASSERT_FALSE(ticket.ok());
+    EXPECT_EQ(ticket.status().code(), StatusCode::kFailedPrecondition);
+    ASSERT_TRUE(runtime.Stop().ok());
+    EXPECT_TRUE(world.CheckAdtInvariants().ok());
+  }
+}
+
+// The controller end to end: one hot shard, a parked spare, an aggressive
+// policy — the runtime splits the load onto the spare by itself.
+TEST(ElasticRuntimeTest, ControllerRebalancesOntoParkedSpare) {
+  ShardedWorld world({.seed = 45, .num_tenants = 2});
+  // Defs (and hence services) must exist before Start computes the
+  // partition; pre-generate the whole traffic budget.
+  constexpr int kMaxRounds = 4000;
+  std::vector<std::vector<const ProcessDef*>> rounds;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    std::vector<const ProcessDef*> pair;
+    for (int t = 0; t < 2; ++t) {
+      pair.push_back(world.MakeOrderProcess(
+          t, StrCat("hot_t", t, "_", round), round));
+    }
+    rounds.push_back(std::move(pair));
+  }
+  ShardedRuntimeOptions options;
+  options.num_shards = 2;
+  options.mode = TickMode::kFreeRunning;
+  options.elastic.enabled = true;
+  options.elastic.initial_active_shards = 1;
+  options.elastic.policy.enabled = true;
+  options.elastic.policy.imbalance_ratio = 1.0;  // any load is "imbalanced"
+  options.elastic.policy.sustain_polls = 2;
+  options.elastic.policy.cooldown_polls = 2;
+  options.elastic.policy.poll_interval_ms = 5;
+  options.elastic.policy.park_idle_shards = false;
+  ShardedRuntime runtime(options);
+  ASSERT_TRUE(world.RegisterAll(&runtime).ok());
+  ASSERT_TRUE(runtime.Start().ok());
+
+  // Keep both tenants busy until the controller migrates one of them.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  int round = 0;
+  while (runtime.migration_engine()->migrations_completed() == 0 &&
+         std::chrono::steady_clock::now() < deadline && round < kMaxRounds) {
+    std::vector<SubmitTicket> tickets;
+    for (const ProcessDef* def : rounds[static_cast<size_t>(round)]) {
+      auto ticket = runtime.Submit(def);
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+      tickets.push_back(*ticket);
+    }
+    for (SubmitTicket& ticket : tickets) ASSERT_TRUE(ticket.Await().ok());
+    ++round;
+  }
+  ASSERT_TRUE(runtime.Drain().ok());
+  // The two components ended up on different shards: adaptive growth into
+  // the spare.
+  EXPECT_NE(runtime.router().ShardOfComponent(0),
+            runtime.router().ShardOfComponent(1))
+      << "controller never rebalanced after " << round << " rounds";
+  ASSERT_TRUE(runtime.Stop().ok());
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_GE(stats.migrations_completed, 1);
+  EXPECT_GE(stats.rebalance_decisions, 1);
+  EXPECT_TRUE(world.CheckAdtInvariants().ok());
+}
+
+// The elastic-off bit-equivalence satellite: the same lockstep workload
+// produces bit-identical per-shard histories whether the elastic layer is
+// absent or present-but-idle (enabled, no policy, no migrations).
+TEST(ElasticRuntimeTest, IdleElasticLayerIsBitIdenticalToPlainRuntime) {
+  auto run = [](bool elastic) {
+    ShardedWorld world({.seed = 17, .num_tenants = 4});
+    std::vector<const ProcessDef*> defs = BuildWorkload(&world, 2);
+    ShardedRuntimeOptions options;
+    options.num_shards = 2;
+    options.mode = TickMode::kLockstep;
+    options.elastic.enabled = elastic;
+    ShardedRuntime runtime(options);
+    EXPECT_TRUE(world.RegisterAll(&runtime).ok());
+    EXPECT_TRUE(runtime.Start().ok());
+    for (const ProcessDef* def : defs) {
+      EXPECT_TRUE(runtime.Submit(def).ok());
+    }
+    EXPECT_TRUE(runtime.Drain().ok());
+    RuntimeStats stats = runtime.Stats();
+    EXPECT_TRUE(runtime.Stop().ok());
+    std::vector<uint64_t> digests;
+    for (int s = 0; s < 2; ++s) {
+      digests.push_back(
+          Fnv1a(runtime.shard_scheduler(s)->history().ToString()));
+    }
+    return std::make_pair(digests, stats);
+  };
+  auto [plain_digests, plain_stats] = run(false);
+  auto [elastic_digests, elastic_stats] = run(true);
+  EXPECT_EQ(plain_digests, elastic_digests);
+  ASSERT_EQ(plain_stats.per_shard.size(), elastic_stats.per_shard.size());
+  for (size_t s = 0; s < plain_stats.per_shard.size(); ++s) {
+    EXPECT_TRUE(plain_stats.per_shard[s] == elastic_stats.per_shard[s])
+        << "shard " << s;
+  }
+  EXPECT_EQ(plain_stats.submissions_accepted,
+            elastic_stats.submissions_accepted);
+  EXPECT_EQ(elastic_stats.migrations_started, 0);
+  EXPECT_EQ(elastic_stats.rebalance_decisions, 0);
+}
+
+}  // namespace
+}  // namespace tpm
